@@ -1,0 +1,167 @@
+//! Criterion benches for the synthesis and DFT algorithms, including the
+//! ablations DESIGN.md calls out (effectiveness measures on/off, exact
+//! vs greedy MFVS, coloring policies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlstb::cdfg::benchmarks;
+use hlstb::hls::bind::{self, RegAlgo};
+use hlstb::hls::fu::ResourceLimits;
+use hlstb::hls::sched::{self, ListPriority};
+use hlstb::scan::scanvars::{self, ScanSelectOptions};
+use hlstb::scan::simsched::{self, SimSchedOptions};
+use hlstb::sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+use hlstb::sgraph::SGraph;
+use hlstb_bench::fig1;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(20);
+    for g in [benchmarks::diffeq(), benchmarks::ewf()] {
+        let lim = ResourceLimits::minimal_for(&g);
+        group.bench_with_input(BenchmarkId::new("list", g.name()), &g, |b, g| {
+            b.iter(|| sched::list_schedule(g, &lim, ListPriority::Slack).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("list_io_aware", g.name()), &g, |b, g| {
+            b.iter(|| sched::list_schedule(g, &lim, ListPriority::IoAware).unwrap())
+        });
+        let latency = sched::critical_path(&g) + 2;
+        group.bench_with_input(BenchmarkId::new("force_directed", g.name()), &g, |b, g| {
+            b.iter(|| sched::force_directed(g, latency).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_regassign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_assignment");
+    group.sample_size(20);
+    let g = benchmarks::ewf();
+    let lim = ResourceLimits::minimal_for(&g);
+    let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+    group.bench_function("left_edge", |b| {
+        b.iter(|| bind::assign_registers(&g, &s, RegAlgo::LeftEdge))
+    });
+    group.bench_function("dsatur", |b| {
+        b.iter(|| bind::assign_registers(&g, &s, RegAlgo::Dsatur))
+    });
+    group.bench_function("io_max", |b| {
+        b.iter(|| hlstb::scan::ioreg::assign_io_max(&g, &s))
+    });
+    group.finish();
+}
+
+fn random_graph(n: usize, edges: usize, seed: u64) -> SGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SGraph::from_edges(
+        n,
+        (0..edges).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))),
+    )
+}
+
+fn bench_mfvs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mfvs");
+    group.sample_size(15);
+    for n in [8usize, 12, 20] {
+        let g = random_graph(n, 2 * n, 42);
+        group.bench_with_input(BenchmarkId::new("exact<=16", n), &g, |b, g| {
+            b.iter(|| {
+                minimum_feedback_vertex_set(
+                    g,
+                    MfvsOptions { exact_threshold: 16, ..Default::default() },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| {
+                minimum_feedback_vertex_set(
+                    g,
+                    MfvsOptions { exact_threshold: 0, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_selection");
+    group.sample_size(15);
+    let g = benchmarks::ewf();
+    let lim = ResourceLimits::minimal_for(&g);
+    let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+    group.bench_function("with_sharing_measure", |b| {
+        b.iter(|| scanvars::select_scan_variables(&g, &s, &ScanSelectOptions::default()))
+    });
+    group.bench_function("ablation_no_sharing", |b| {
+        b.iter(|| {
+            scanvars::select_scan_variables(
+                &g,
+                &s,
+                &ScanSelectOptions { w_share: 0.0, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("mfvs_baseline", |b| {
+        b.iter(|| scanvars::mfvs_baseline(&g, &s, 4096))
+    });
+    group.finish();
+}
+
+fn bench_simsched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simultaneous_sched_assign");
+    group.sample_size(10);
+    for g in [benchmarks::figure1(), benchmarks::diffeq()] {
+        let opts = SimSchedOptions {
+            limits: ResourceLimits::minimal_for(&g),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("full", g.name()), &g, |b, g| {
+            b.iter(|| simsched::schedule_and_assign(g, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bist_assign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bist_assignment");
+    group.sample_size(15);
+    let g = benchmarks::ewf();
+    let lim = ResourceLimits::minimal_for(&g);
+    let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+    let (fu_of, _) = bind::bind_fus(&g, &s);
+    group.bench_function("avra", |b| {
+        b.iter(|| hlstb::bist::selfadj::avra_assignment(&g, &s, &fu_of))
+    });
+    group.bench_function("tfb_mapping", |b| {
+        b.iter(|| hlstb::bist::tfb::map_tfbs(&g, &s))
+    });
+    group.bench_function("xtfb_mapping", |b| {
+        b.iter(|| hlstb::bist::tfb::map_xtfbs(&g, &s))
+    });
+    group.finish();
+}
+
+fn bench_sessions_and_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sessions_and_fig1");
+    group.sample_size(15);
+    group.bench_function("figure1_variants", |b| b.iter(fig1::variants));
+    let (dp, _) = fig1::variants();
+    group.bench_function("session_schedule", |b| {
+        b.iter(|| hlstb::bist::sessions::schedule_sessions(&dp))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduling,
+    bench_regassign,
+    bench_mfvs,
+    bench_scan_selection,
+    bench_simsched,
+    bench_bist_assign,
+    bench_sessions_and_fig1,
+);
+criterion_main!(benches);

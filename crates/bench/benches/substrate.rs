@@ -1,0 +1,131 @@
+//! Criterion benches for the gate-level substrate: simulation, fault
+//! grading, combinational and sequential ATPG, and the LFSR/MISR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlstb::bist::lfsr::{Lfsr, Misr};
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::netlist::atpg::{generate_all, AtpgOptions};
+use hlstb::netlist::fault::{all_faults, collapsed_faults};
+use hlstb::netlist::fsim::{comb_fault_sim, TestFrame};
+use hlstb::netlist::net::{Netlist, NetlistBuilder};
+use hlstb::netlist::seq::{seq_podem, SeqAtpgOptions};
+use hlstb::netlist::sim::eval_comb;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn adder(width: u32) -> Netlist {
+    let mut b = NetlistBuilder::new("add");
+    let a = b.inputs("a", width);
+    let c = b.inputs("b", width);
+    let (s, co) = b.ripple_add(&a, &c);
+    b.outputs("s", &s);
+    b.output("co", co);
+    b.finish().unwrap()
+}
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_64way");
+    group.sample_size(30);
+    for width in [8u32, 16, 32] {
+        let nl = adder(width);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pi: Vec<u64> = (0..nl.inputs().len()).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("adder", width), &nl, |b, nl| {
+            b.iter(|| eval_comb(nl, &pi, &[], None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim");
+    group.sample_size(15);
+    let nl = adder(16);
+    let faults = all_faults(&nl);
+    let mut rng = StdRng::seed_from_u64(2);
+    let frames: Vec<TestFrame> = (0..4)
+        .map(|_| TestFrame {
+            pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+            ff: Vec::new(),
+        })
+        .collect();
+    group.bench_function("adder16_256patterns", |b| {
+        b.iter(|| comb_fault_sim(&nl, &faults, &frames))
+    });
+    group.finish();
+}
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(10);
+    for width in [4u32, 8] {
+        let nl = adder(width);
+        let faults = collapsed_faults(&nl);
+        group.bench_with_input(BenchmarkId::new("podem_full", width), &nl, |b, nl| {
+            b.iter(|| generate_all(nl, &faults, &AtpgOptions::default()))
+        });
+    }
+    // Sequential ATPG effort on a datapath slice.
+    let d = SynthesisFlow::new(benchmarks::tseng())
+        .strategy(DftStrategy::BehavioralPartialScan)
+        .run()
+        .unwrap();
+    let nl = d.expanded.netlist;
+    let faults = collapsed_faults(&nl);
+    let fault = faults[faults.len() / 2];
+    group.bench_function("seq_podem_tseng_1fault", |b| {
+        b.iter(|| {
+            seq_podem(
+                &nl,
+                fault,
+                &SeqAtpgOptions { max_frames: 3, backtrack_limit: 200 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_lfsr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr_misr");
+    group.sample_size(40);
+    group.bench_function("lfsr8_255steps", |b| {
+        b.iter(|| {
+            let mut l = Lfsr::new(8, 1);
+            let mut acc = 0u32;
+            for _ in 0..255 {
+                acc ^= l.step();
+            }
+            acc
+        })
+    });
+    group.bench_function("misr16_1k_absorbs", |b| {
+        b.iter(|| {
+            let mut m = Misr::new(16);
+            for i in 0..1000u32 {
+                m.absorb(i);
+            }
+            m.signature()
+        })
+    });
+    group.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("flow_diffeq_default", |b| {
+        b.iter(|| SynthesisFlow::new(benchmarks::diffeq()).run().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_logic_sim,
+    bench_fault_sim,
+    bench_atpg,
+    bench_lfsr,
+    bench_expand,
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E19 — ablations of the design choices DESIGN.md calls out: the
+//! hardware-sharing effectiveness weight in scan selection and the
+//! testability weight in simultaneous scheduling/assignment.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::hls::fu::ResourceLimits;
+use hlstb::hls::sched::{self, ListPriority};
+use hlstb::scan::scanvars::{select_scan_variables, ScanSelectOptions};
+use hlstb::scan::simsched::{schedule_and_assign, SimSchedOptions};
+use hlstb::sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+
+use crate::Table;
+
+/// Sweeps the sharing-effectiveness weight `w_share` of scan-variable
+/// selection: the measure is what turns "few scan variables" into "few
+/// scan registers".
+pub fn share_weight_sweep() -> Table {
+    use hlstb::cdfg::benchmarks::{random_cdfg, RandomCdfgParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut t = Table::new(
+        "E19a  Ablation: scan selection sharing weight (total scan registers, 12 random loopy designs)",
+        &["workload", "w=0.0", "w=0.25", "w=0.75", "w=2.0"],
+    );
+    for (label, ops, states) in [("small", 14usize, 4usize), ("medium", 22, 5), ("large", 30, 6)] {
+        let mut sums = [0usize; 4];
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(7_000 + seed * 13 + ops as u64);
+            let g = random_cdfg(
+                RandomCdfgParams { ops, inputs: 3, states, mul_percent: 20 },
+                &mut rng,
+            );
+            let lim = ResourceLimits::minimal_for(&g);
+            let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+            for (i, w) in [0.0, 0.25, 0.75, 2.0].into_iter().enumerate() {
+                let sel = select_scan_variables(
+                    &g,
+                    &s,
+                    &ScanSelectOptions { w_share: w, ..Default::default() },
+                );
+                sums[i] += sel.register_count();
+            }
+        }
+        t.row(vec![
+            label.to_string(),
+            sums[0].to_string(),
+            sums[1].to_string(),
+            sums[2].to_string(),
+            sums[3].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Sweeps the testability weight `w_test` of simultaneous scheduling and
+/// assignment: with the weight at zero the placement degenerates to
+/// utilization-driven packing and assignment loops creep back in.
+pub fn test_weight_sweep() -> Table {
+    let mut t = Table::new(
+        "E19b  Ablation: simultaneous-scheduling testability weight (residual MFVS)",
+        &["design", "w=0", "w=2", "w=8", "w=32"],
+    );
+    for g in [benchmarks::figure1(), benchmarks::tseng(), benchmarks::iir_biquad()] {
+        let mut row = vec![g.name().to_string()];
+        for w in [0.0, 2.0, 8.0, 32.0] {
+            let opts = SimSchedOptions {
+                w_test: w,
+                limits: ResourceLimits::minimal_for(&g),
+                compare_conventional: false,
+                ..Default::default()
+            };
+            let r = schedule_and_assign(&g, &opts).unwrap();
+            let fvs = minimum_feedback_vertex_set(
+                &r.datapath.register_sgraph(),
+                MfvsOptions::default(),
+            );
+            row.push(fvs.nodes.len().to_string());
+        }
+        t.row(row);
+    }
+    t
+}

@@ -1,0 +1,6 @@
+//! E19 — ablation sweeps of the load-bearing weights.
+fn main() {
+    print!("{}", hlstb_bench::ablation::share_weight_sweep());
+    println!();
+    print!("{}", hlstb_bench::ablation::test_weight_sweep());
+}

@@ -1,0 +1,4 @@
+//! E13 — arithmetic BIST with subspace state coverage.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::arith_table());
+}

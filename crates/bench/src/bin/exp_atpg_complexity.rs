@@ -1,0 +1,4 @@
+//! E1 — sequential ATPG effort vs cycle length and depth.
+fn main() {
+    print!("{}", hlstb_bench::atpg_complexity::run());
+}

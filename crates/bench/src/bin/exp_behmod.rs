@@ -1,0 +1,4 @@
+//! E15 — behavior modification with test statements.
+fn main() {
+    print!("{}", hlstb_bench::rtl_exps::behmod_table());
+}

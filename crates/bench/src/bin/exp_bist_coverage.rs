@@ -1,0 +1,4 @@
+//! E17 — executable BIST coverage of the naive vs shared plans.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::bist_coverage_table());
+}

@@ -1,0 +1,4 @@
+//! E4 — boundary-variable scan assignment.
+fn main() {
+    print!("{}", hlstb_bench::scan_exps::boundary_table());
+}

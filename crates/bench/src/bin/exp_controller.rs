@@ -1,0 +1,4 @@
+//! E7 — controller DFT conflicts and repair.
+fn main() {
+    print!("{}", hlstb_bench::rtl_exps::controller_table());
+}

@@ -1,0 +1,4 @@
+//! E6 — deflection-operation insertion.
+fn main() {
+    print!("{}", hlstb_bench::scan_exps::deflect_table());
+}

@@ -1,0 +1,4 @@
+//! F1 — regenerates the Figure 1 assignment-loop comparison.
+fn main() {
+    print!("{}", hlstb_bench::fig1::run());
+}

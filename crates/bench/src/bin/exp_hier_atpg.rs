@@ -1,0 +1,4 @@
+//! E14 — hierarchical vs flat test generation.
+fn main() {
+    print!("{}", hlstb_bench::hier_exp::run(40));
+}

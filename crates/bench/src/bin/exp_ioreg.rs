@@ -1,0 +1,4 @@
+//! E2 — I/O register maximization.
+fn main() {
+    print!("{}", hlstb_bench::scan_exps::ioreg_table());
+}

@@ -1,0 +1,4 @@
+//! E8 — transparent scan cells and k-level test points.
+fn main() {
+    print!("{}", hlstb_bench::rtl_exps::rtl_dft_table());
+}

@@ -1,0 +1,4 @@
+//! E18 — scaling sweep over random behaviors.
+fn main() {
+    print!("{}", hlstb_bench::scaling::run(&[8, 16, 24, 32], 3, 6));
+}

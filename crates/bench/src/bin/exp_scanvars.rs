@@ -1,0 +1,4 @@
+//! E3 — scan-variable selection vs MFVS.
+fn main() {
+    print!("{}", hlstb_bench::scan_exps::scanvars_table());
+}

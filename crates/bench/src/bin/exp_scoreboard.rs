@@ -1,0 +1,4 @@
+//! E20 — sequential-ATPG scoreboard across DFT strategies.
+fn main() {
+    print!("{}", hlstb_bench::scoreboard::run(40));
+}

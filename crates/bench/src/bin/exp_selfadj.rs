@@ -1,0 +1,4 @@
+//! E9 — self-adjacent register minimization.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::selfadj_table());
+}

@@ -1,0 +1,4 @@
+//! E12 — test-session minimization.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::sessions_table());
+}

@@ -1,0 +1,4 @@
+//! E11 — TPGR/SR sharing and exact CBILBO conditions.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::share_table());
+}

@@ -1,0 +1,4 @@
+//! E5 — simultaneous scheduling/assignment loop avoidance.
+fn main() {
+    print!("{}", hlstb_bench::scan_exps::simsched_table());
+}

@@ -1,0 +1,4 @@
+//! T1 — prints the survey's Table 1 from the tool registry.
+fn main() {
+    print!("{}", hlstb::tools::render_table1());
+}

@@ -1,0 +1,4 @@
+//! E10 — TFB vs XTFB mapping.
+fn main() {
+    print!("{}", hlstb_bench::bist_exps::tfb_table());
+}

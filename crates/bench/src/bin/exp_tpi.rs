@@ -1,0 +1,4 @@
+//! E16 — COP-guided test-point insertion.
+fn main() {
+    print!("{}", hlstb_bench::rtl_exps::tpi_table());
+}

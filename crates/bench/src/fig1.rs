@@ -1,0 +1,87 @@
+//! F1 — the paper's Figure 1: assignment loops formed (and avoided) by
+//! scheduling/assignment under the 3-step, 2-adder constraint.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::hls::bind::{Binding, FuInstance, RegisterAssignment};
+use hlstb::hls::datapath::Datapath;
+use hlstb::hls::fu::FuKind;
+use hlstb::sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+use hlstb_cdfg::{OpId, Schedule};
+
+use crate::Table;
+
+/// Builds Figure 1's two schedule/assignment variants: `(b)` with the
+/// assignment loop `RA1 → RA2 → RA1`, `(c)` with only self-loops.
+pub fn variants() -> (Datapath, Datapath) {
+    let g = benchmarks::figure1();
+    let ids = |name: &str| g.var_by_name(name).unwrap().id;
+    let (a, b, d, f, p, q, s) =
+        (ids("a"), ids("b"), ids("d"), ids("f"), ids("p"), ids("q"), ids("s"));
+    let (c, e, r, t, gg) = (ids("c"), ids("e"), ids("r"), ids("t"), ids("g"));
+    let inputs_each_own =
+        vec![vec![a], vec![b], vec![d], vec![f], vec![p], vec![q], vec![s]];
+
+    let sched_b = Schedule::new(&g, vec![0, 1, 1, 2, 2]).unwrap();
+    let fus_b = vec![
+        FuInstance { kind: FuKind::Adder, ops: vec![OpId(0), OpId(2), OpId(4)] },
+        FuInstance { kind: FuKind::Adder, ops: vec![OpId(1), OpId(3)] },
+    ];
+    let mut regs_b = inputs_each_own.clone();
+    regs_b.push(vec![c, gg, r]);
+    regs_b.push(vec![e]);
+    regs_b.push(vec![t]);
+    let binding_b = Binding::from_parts(
+        &g,
+        &sched_b,
+        vec![0, 1, 0, 1, 0],
+        fus_b,
+        RegisterAssignment { registers: regs_b },
+    )
+    .expect("variant (b) is valid");
+    let dp_b = Datapath::build(&g, &sched_b, &binding_b).unwrap();
+
+    let sched_c = Schedule::new(&g, vec![0, 1, 0, 1, 2]).unwrap();
+    let fus_c = vec![
+        FuInstance { kind: FuKind::Adder, ops: vec![OpId(0), OpId(1), OpId(4)] },
+        FuInstance { kind: FuKind::Adder, ops: vec![OpId(2), OpId(3)] },
+    ];
+    let mut regs_c = inputs_each_own;
+    regs_c.push(vec![c, e, gg]);
+    regs_c.push(vec![r, t]);
+    let binding_c = Binding::from_parts(
+        &g,
+        &sched_c,
+        vec![0, 0, 1, 1, 0],
+        fus_c,
+        RegisterAssignment { registers: regs_c },
+    )
+    .expect("variant (c) is valid");
+    let dp_c = Datapath::build(&g, &sched_c, &binding_c).unwrap();
+    (dp_b, dp_c)
+}
+
+/// The F1 result table.
+pub fn run() -> Table {
+    let (dp_b, dp_c) = variants();
+    let mut t = Table::new(
+        "F1  Figure 1: loops formed during assignment (3 steps, 2 adders)",
+        &["variant", "non-self loops", "self-loops", "scan registers needed"],
+    );
+    for (name, dp) in [("(b) loop-forming", &dp_b), ("(c) loop-avoiding", &dp_c)] {
+        let sg = dp.register_sgraph();
+        let cycles = hlstb::sgraph::cycles::enumerate_cycles(
+            &sg,
+            hlstb::sgraph::cycles::CycleLimits::default(),
+        );
+        let non_self = cycles.iter().filter(|c| !c.is_self_loop()).count();
+        let self_loops = cycles.iter().filter(|c| c.is_self_loop()).count();
+        let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
+        t.row(vec![
+            name.into(),
+            non_self.to_string(),
+            self_loops.to_string(),
+            fvs.nodes.len().to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,73 @@
+//! E14 — hierarchical test generation vs flat sequential ATPG.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::SynthesisFlow;
+use hlstb::hls::expand::ControllerMode;
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::seq::{seq_generate_all, SeqAtpgOptions};
+use hlstb::testgen::hier;
+
+use crate::Table;
+
+/// E14 — module-level ATPG plus environment translation against flat
+/// sequential ATPG on the whole (externally controlled) data path.
+///
+/// `flat_fault_budget` caps how many faults the flat run targets so the
+/// regeneration stays minutes-scale; effort is reported per fault.
+pub fn run(flat_fault_budget: usize) -> Table {
+    let mut t = Table::new(
+        "E14  Hierarchical test generation (Genesis/CHEETA) vs flat sequential ATPG",
+        &[
+            "design",
+            "module tests",
+            "translated",
+            "module cov %",
+            "hier decisions/fault",
+            "flat decisions/fault",
+            "flat coverage %",
+        ],
+    );
+    // ar_lattice needs AMBIANT-style repair before its modules have
+    // environments (its multiplier operands are constants and
+    // loop-carried values) — run it through `constraints::repair` first.
+    let repaired = hlstb::testgen::constraints::repair(&benchmarks::ar_lattice(), 4)
+        .expect("repair succeeds")
+        .cdfg;
+    for g in [benchmarks::figure1(), benchmarks::tseng(), repaired] {
+        let d = SynthesisFlow::new(g.clone())
+            .controller(ControllerMode::External)
+            .run()
+            .unwrap();
+        let hier_result = hier::hierarchical_tests(&g, &d.binding, 4);
+        let total_patterns = hier_result.tests.len() + hier_result.untranslated;
+        // Flat: sequential ATPG on the expanded netlist with no scan.
+        let nl = &d.expanded.netlist;
+        let faults = collapsed_faults(nl);
+        let budget = faults.len().min(flat_fault_budget);
+        let flat = seq_generate_all(
+            nl,
+            &faults[..budget],
+            &SeqAtpgOptions { max_frames: 4, backtrack_limit: 300 },
+        );
+        let hier_per_fault = if total_patterns == 0 {
+            0.0
+        } else {
+            hier_result.module_effort.decisions as f64 / total_patterns as f64
+        };
+        let flat_per_fault = if budget == 0 {
+            0.0
+        } else {
+            flat.effort.decisions as f64 / budget as f64
+        };
+        t.row(vec![
+            g.name().to_string(),
+            total_patterns.to_string(),
+            hier_result.tests.len().to_string(),
+            format!("{:.1}", hier_result.module_coverage),
+            format!("{hier_per_fault:.1}"),
+            format!("{flat_per_fault:.1}"),
+            format!("{:.1}", flat.coverage_percent()),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,155 @@
+//! E7, E8, E15 — controller DFT, RTL/non-scan DFT, and behavior
+//! modification.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::SynthesisFlow;
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::random::random_pattern_run;
+use hlstb::scan::behmod;
+use hlstb::scan::controller;
+use hlstb::scan::kcontrol;
+use hlstb::scan::rtlscan::{self, RtlScanCosts};
+use hlstb::sgraph::cycles::CycleLimits;
+use hlstb::sgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Table;
+
+fn limits() -> CycleLimits {
+    CycleLimits { max_cycles: 1024, max_len: 16 }
+}
+
+/// E7 — controller conflicts and their repair with extra control
+/// vectors.
+pub fn controller_table() -> Table {
+    let mut t = Table::new(
+        "E7  Controller DFT (Dey/Gangaram/Potkonjak ICCAD'95): extra control vectors",
+        &["design", "test cubes", "conflicts", "vectors added", "coverage before %", "coverage after %"],
+    );
+    for g in [benchmarks::figure1(), benchmarks::tseng(), benchmarks::fir(4)] {
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let (cubes, conflicts) = controller::conflict_analysis(&d.datapath, 4);
+        let (aug, added) = controller::augment_controller(&d.datapath, &cubes);
+        let before =
+            controller::composite_coverage(&d.datapath, 4, 12, &mut StdRng::seed_from_u64(5));
+        let after = controller::composite_coverage(&aug, 4, 12, &mut StdRng::seed_from_u64(5));
+        t.row(vec![
+            g.name().to_string(),
+            cubes.len().to_string(),
+            conflicts.to_string(),
+            added.to_string(),
+            format!("{before:.1}"),
+            format!("{after:.1}"),
+        ]);
+    }
+    t
+}
+
+/// E8 — RTL partial scan with transparent cells, and k-level test
+/// points, against register-only loop breaking.
+pub fn rtl_dft_table() -> Table {
+    let mut t = Table::new(
+        "E8  RTL/non-scan DFT: transparent scan cells and k-level test points",
+        &["design", "MFVS regs", "mixed cost", "k=0 points", "k=1 points", "k=2 points"],
+    );
+    for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let sg = d.datapath.register_sgraph();
+        let costs = RtlScanCosts::default();
+        let (reg_only, _) = rtlscan::register_only_cost(&sg, &costs);
+        let mixed = rtlscan::plan_rtl_scan(&sg, &costs, limits());
+        let inputs: Vec<NodeId> = d
+            .datapath
+            .input_registers()
+            .iter()
+            .map(|&r| NodeId(r as u32))
+            .collect();
+        let outputs: Vec<NodeId> = d
+            .datapath
+            .output_registers()
+            .iter()
+            .map(|&r| NodeId(r as u32))
+            .collect();
+        let points: Vec<usize> = (0..3)
+            .map(|k| kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits()).point_count())
+            .collect();
+        t.row(vec![
+            g.name().to_string(),
+            reg_only.to_string(),
+            format!("{:.1}", mixed.cost),
+            points[0].to_string(),
+            points[1].to_string(),
+            points[2].to_string(),
+        ]);
+    }
+    t
+}
+
+/// E15 — behavior modification with test statements: random-pattern
+/// coverage before and after, plus the overhead.
+pub fn behmod_table() -> Table {
+    let mut t = Table::new(
+        "E15  Behavior modification (Chen/Karnik/Saab TCAD'94): test statements",
+        &["design", "statements", "cov before %", "cov after %", "gates before", "gates after"],
+    );
+    for g in [benchmarks::ewf(), benchmarks::diffeq()] {
+        let before = SynthesisFlow::new(g.clone()).run().unwrap();
+        let modified = behmod::add_test_statements(&g, 3, 3).unwrap();
+        let after = SynthesisFlow::new(modified.cdfg.clone()).run().unwrap();
+        let cov = |nl: &hlstb::netlist::net::Netlist| {
+            let faults = collapsed_faults(nl);
+            let mut rng = StdRng::seed_from_u64(33);
+            random_pattern_run(nl, &faults, 1024, &mut rng)
+                .summary
+                .coverage_percent()
+        };
+        let nb = before.expanded.netlist.clone().with_full_scan();
+        let na = after.expanded.netlist.clone().with_full_scan();
+        t.row(vec![
+            g.name().to_string(),
+            modified.statement_count().to_string(),
+            format!("{:.1}", cov(&nb)),
+            format!("{:.1}", cov(&na)),
+            before.report.gates.to_string(),
+            after.report.gates.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E16 — gate-level test-point insertion (the §1 baseline technique):
+/// COP-guided control/observe points vs pseudorandom coverage.
+pub fn tpi_table() -> Table {
+    use hlstb::netlist::fault::all_faults;
+    use hlstb::scan::tpi::{insert_test_points, TpiOptions};
+
+    let mut t = Table::new(
+        "E16  COP-guided test-point insertion",
+        &["design", "points", "control", "observe", "cov before %", "cov after %"],
+    );
+    for g in [benchmarks::ewf(), benchmarks::diffeq(), benchmarks::gcd()] {
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let nl = d.expanded.netlist.clone().with_full_scan();
+        let r = insert_test_points(&nl, &TpiOptions { target_weakness: 0.02, max_points: 6 });
+        let cov = |n: &hlstb::netlist::net::Netlist| {
+            let faults = all_faults(n);
+            random_pattern_run(n, &faults, 512, &mut StdRng::seed_from_u64(17))
+                .summary
+                .coverage_percent()
+        };
+        let (c, o) = r.points.iter().fold((0, 0), |(c, o), p| match p {
+            hlstb::scan::tpi::TestPoint::Control { .. } => (c + 1, o),
+            hlstb::scan::tpi::TestPoint::Observe { .. } => (c, o + 1),
+        });
+        t.row(vec![
+            g.name().to_string(),
+            r.points.len().to_string(),
+            c.to_string(),
+            o.to_string(),
+            format!("{:.1}", cov(&nl)),
+            format!("{:.1}", cov(&r.netlist)),
+        ]);
+    }
+    t
+}

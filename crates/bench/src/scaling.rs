@@ -1,0 +1,52 @@
+//! E18 — scaling sweep: behavioral partial scan over randomly generated
+//! behaviors of growing size. A survey-level sanity series: the flow
+//! must stay sound (S-graph acyclic after scan) and the scan-register
+//! count must track the loop structure, not the design size.
+
+use hlstb::cdfg::benchmarks::{random_cdfg, RandomCdfgParams};
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Table;
+
+/// Sweeps `ops ∈ sizes` at a fixed state count, averaging over `seeds`
+/// random behaviors per size.
+pub fn run(sizes: &[usize], states: usize, seeds: u64) -> Table {
+    let mut t = Table::new(
+        "E18  Scaling: behavioral partial scan on random behaviors",
+        &["ops", "designs", "avg regs", "avg scan", "max scan", "all acyclic"],
+    );
+    for &ops in sizes {
+        let mut regs = 0usize;
+        let mut scan = 0usize;
+        let mut max_scan = 0usize;
+        let mut acyclic = true;
+        let mut count = 0usize;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(1000 * ops as u64 + seed);
+            let g = random_cdfg(
+                RandomCdfgParams { ops, inputs: 3, states, mul_percent: 25 },
+                &mut rng,
+            );
+            let d = SynthesisFlow::new(g)
+                .strategy(DftStrategy::BehavioralPartialScan)
+                .run()
+                .expect("random behaviors synthesize");
+            regs += d.report.registers;
+            scan += d.report.scan_registers;
+            max_scan = max_scan.max(d.report.scan_registers);
+            acyclic &= d.report.sgraph_acyclic_after_scan;
+            count += 1;
+        }
+        t.row(vec![
+            ops.to_string(),
+            count.to_string(),
+            format!("{:.1}", regs as f64 / count as f64),
+            format!("{:.1}", scan as f64 / count as f64),
+            max_scan.to_string(),
+            acyclic.to_string(),
+        ]);
+    }
+    t
+}

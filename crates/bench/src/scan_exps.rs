@@ -1,0 +1,164 @@
+//! E2–E6 — the §3.2–§3.4 partial-scan experiments.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::hls::bind::{self, Binding, RegAlgo, RegisterAssignment};
+use hlstb::hls::datapath::Datapath;
+use hlstb::sgraph::depth::sequential_depth;
+use hlstb::sgraph::NodeId;
+use hlstb::hls::fu::ResourceLimits;
+use hlstb::hls::sched::{self, ListPriority};
+use hlstb::scan::boundary;
+use hlstb::scan::deflect::{self, DeflectOptions};
+use hlstb::scan::ioreg;
+use hlstb::scan::scanvars::{self, ScanSelectOptions};
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb_cdfg::{Cdfg, Schedule};
+
+use crate::Table;
+
+fn sched_for(g: &Cdfg) -> Schedule {
+    let lim = ResourceLimits::minimal_for(g);
+    sched::list_schedule(g, &lim, ListPriority::Slack).unwrap()
+}
+
+/// Worst combined sequential depth (control + observe) over the
+/// registers of a data path built from the given assignment.
+fn worst_depth(g: &Cdfg, s: &Schedule, regs: RegisterAssignment) -> u32 {
+    let (fu_of, fus) = bind::bind_fus(g, s);
+    let b = Binding::from_parts(g, s, fu_of, fus, regs).expect("valid assignment");
+    let dp = Datapath::build(g, s, &b).expect("buildable");
+    let sg = dp.register_sgraph();
+    let inputs: Vec<NodeId> =
+        dp.input_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let outputs: Vec<NodeId> =
+        dp.output_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let d = sequential_depth(&sg, &inputs, &outputs);
+    d.max_control() + d.max_observe()
+}
+
+/// E2 — I/O register maximization vs left-edge.
+pub fn ioreg_table() -> Table {
+    let mut t = Table::new(
+        "E2  I/O register maximization (Lee et al. ICCD'92) vs left-edge",
+        &["design", "LE regs", "LE I/O", "LE depth", "IO-max regs", "IO-max I/O", "IO-max depth"],
+    );
+    for g in benchmarks::all() {
+        let s = sched_for(&g);
+        let le = bind::assign_registers(&g, &s, RegAlgo::LeftEdge);
+        let le_stats = ioreg::io_stats(&g, &le);
+        let le_depth = worst_depth(&g, &s, le.clone());
+        let ours = ioreg::assign_io_max(&g, &s);
+        let ours_depth = worst_depth(&g, &s, ours.regs.clone());
+        t.row(vec![
+            g.name().to_string(),
+            le.len().to_string(),
+            le_stats.io.to_string(),
+            le_depth.to_string(),
+            ours.stats.total.to_string(),
+            ours.stats.io.to_string(),
+            ours_depth.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E3 — scan-variable selection with effectiveness measures vs the MFVS
+/// baseline.
+pub fn scanvars_table() -> Table {
+    let mut t = Table::new(
+        "E3  Scan-variable selection (Potkonjak/Dey/Roy TCAD'95) vs MFVS baseline",
+        &["design", "loops", "MFVS vars", "MFVS regs", "measure vars", "measure regs"],
+    );
+    for g in benchmarks::all() {
+        let s = sched_for(&g);
+        let base = scanvars::mfvs_baseline(&g, &s, 4096);
+        let ours = scanvars::select_scan_variables(&g, &s, &ScanSelectOptions::default());
+        t.row(vec![
+            g.name().to_string(),
+            ours.loops_total.to_string(),
+            base.scan_vars.len().to_string(),
+            base.register_count().to_string(),
+            ours.scan_vars.len().to_string(),
+            ours.register_count().to_string(),
+        ]);
+    }
+    t
+}
+
+/// E4 — boundary-variable selection.
+pub fn boundary_table() -> Table {
+    let mut t = Table::new(
+        "E4  Boundary-variable scan assignment (Lee/Jha/Wolf DAC'93)",
+        &["design", "loops", "boundary vars", "scan regs", "total regs", "I/O regs"],
+    );
+    for g in benchmarks::all() {
+        let s = sched_for(&g);
+        let a = boundary::assign_boundary(&g, &s, 4096);
+        let stats = boundary::stats(&g, &a);
+        t.row(vec![
+            g.name().to_string(),
+            a.loops_total.to_string(),
+            a.boundary_vars.len().to_string(),
+            a.scan_register_count.to_string(),
+            stats.total.to_string(),
+            stats.io.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E5 — simultaneous scheduling/assignment vs the testability-oblivious
+/// flow: scan registers needed to make the data path loop-free.
+pub fn simsched_table() -> Table {
+    let mut t = Table::new(
+        "E5  Loop avoidance (simultaneous scheduling+assignment) vs oblivious flow",
+        &["design", "oblivious scan regs", "loop-avoiding scan regs"],
+    );
+    for g in benchmarks::all() {
+        let oblivious = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::GateLevelPartialScan)
+            .run()
+            .unwrap();
+        let avoiding = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::SimultaneousLoopAvoidance)
+            .run()
+            .unwrap();
+        t.row(vec![
+            g.name().to_string(),
+            oblivious.report.scan_registers.to_string(),
+            avoiding.report.scan_registers.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E6 — deflection operations reduce scan registers.
+pub fn deflect_table() -> Table {
+    let mut t = Table::new(
+        "E6  Deflection operations (Dey & Potkonjak ITC'94)",
+        &["design", "scan regs before", "scan regs after", "deflections", "latency before", "latency after"],
+    );
+    for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad(), benchmarks::ar_lattice()] {
+        let limits = ResourceLimits::minimal_for(&g);
+        let s0 = sched::list_schedule(&g, &limits, ListPriority::Slack).unwrap();
+        let before = scanvars::select_scan_variables(&g, &s0, &ScanSelectOptions::default());
+        let r = deflect::optimize(
+            &g,
+            &DeflectOptions {
+                limits,
+                max_insertions: 4,
+                latency_slack: 2,
+                select: ScanSelectOptions::default(),
+            },
+        );
+        t.row(vec![
+            g.name().to_string(),
+            before.register_count().to_string(),
+            r.selection.register_count().to_string(),
+            r.inserted.to_string(),
+            s0.num_steps().to_string(),
+            r.schedule.num_steps().to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,50 @@
+//! E20 — the survey's bottom line as one scoreboard: sequential-ATPG
+//! coverage and effort for the same behavior under each DFT strategy.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::seq::{seq_generate_all, SeqAtpgOptions};
+
+use crate::Table;
+
+/// Runs sequential ATPG on a fault sample for each strategy.
+///
+/// `sample` bounds the targeted faults per design (evenly spaced through
+/// the collapsed list so the sample covers the whole structure).
+pub fn run(sample: usize) -> Table {
+    let mut t = Table::new(
+        "E20  DFT scoreboard: sequential ATPG per strategy (sampled faults)",
+        &["design", "strategy", "scan regs", "coverage %", "decisions/fault"],
+    );
+    for g in [benchmarks::figure1(), benchmarks::tseng()] {
+        for (label, strategy) in [
+            ("none", DftStrategy::None),
+            ("behavioral scan", DftStrategy::BehavioralPartialScan),
+            ("full scan", DftStrategy::FullScan),
+        ] {
+            let d = SynthesisFlow::new(g.clone())
+                .strategy(strategy)
+                .reset_controller(true)
+                .run()
+                .unwrap();
+            let opts = SeqAtpgOptions {
+                max_frames: d.report.period as usize + 2,
+                backtrack_limit: 1_500,
+            };
+            let nl = &d.expanded.netlist;
+            let all = collapsed_faults(nl);
+            let step = (all.len() / sample).max(1);
+            let faults: Vec<_> = all.iter().step_by(step).copied().take(sample).collect();
+            let run = seq_generate_all(nl, &faults, &opts);
+            t.row(vec![
+                g.name().to_string(),
+                label.to_string(),
+                d.report.scan_registers.to_string(),
+                format!("{:.1}", run.coverage_percent()),
+                format!("{:.1}", run.effort.decisions as f64 / faults.len().max(1) as f64),
+            ]);
+        }
+    }
+    t
+}

@@ -1,0 +1,89 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A printable experiment result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Finds a cell by row key (first column) and header.
+    pub fn cell(&self, key: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == key)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as f64.
+    pub fn value(&self, key: &str, header: &str) -> Option<f64> {
+        self.cell(key, header)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{c:<w$}")?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_lookup_and_render() {
+        let mut t = Table::new("demo", &["design", "x"]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        assert_eq!(t.value("a", "x"), Some(1.5));
+        assert!(t.to_string().contains("demo"));
+        assert!(t.cell("b", "x").is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Shape assertions for every experiment: the qualitative claims of the
+//! survey — who wins and in which direction — must hold on regeneration.
+
+use hlstb_bench::{atpg_complexity, bist_exps, fig1, hier_exp, rtl_exps, scan_exps};
+
+#[test]
+fn f1_loop_vs_loop_free() {
+    let t = fig1::run();
+    assert_eq!(t.value("(b) loop-forming", "non-self loops"), Some(1.0));
+    assert_eq!(t.value("(b) loop-forming", "scan registers needed"), Some(1.0));
+    assert_eq!(t.value("(c) loop-avoiding", "non-self loops"), Some(0.0));
+    assert_eq!(t.value("(c) loop-avoiding", "scan registers needed"), Some(0.0));
+}
+
+#[test]
+fn e1_cycles_exponential_depth_mild() {
+    let t = atpg_complexity::run();
+    // Ring effort grows superlinearly with cycle length …
+    let ring: Vec<f64> = t
+        .rows
+        .iter()
+        .filter(|r| r[0] == "ring")
+        .map(|r| r[4].parse::<f64>().unwrap())
+        .collect();
+    for w in ring.windows(2) {
+        assert!(w[1] > w[0] * 2.0, "ring effort not superlinear: {ring:?}");
+    }
+    // … while pure depth keeps the decision count flat.
+    let chain: Vec<f64> = t
+        .rows
+        .iter()
+        .filter(|r| r[0] == "chain")
+        .map(|r| r[4].parse::<f64>().unwrap())
+        .collect();
+    let max = chain.iter().cloned().fold(0.0, f64::max);
+    let min = chain.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max <= min * 4.0 + 4.0, "chain decisions blew up: {chain:?}");
+}
+
+#[test]
+fn e2_iomax_wins_io_registers() {
+    let t = scan_exps::ioreg_table();
+    let mut wins = 0;
+    for row in &t.rows {
+        let le: f64 = row[2].parse().unwrap();
+        let ours: f64 = row[5].parse().unwrap();
+        if ours >= le {
+            wins += 1;
+        }
+        // Register totals stay close to minimal.
+        let le_total: f64 = row[1].parse().unwrap();
+        let our_total: f64 = row[4].parse().unwrap();
+        assert!(our_total <= le_total + 2.0, "{row:?}");
+    }
+    assert!(wins * 10 >= t.rows.len() * 8, "{wins}/{}", t.rows.len());
+}
+
+#[test]
+fn e3_measure_driven_beats_or_ties_mfvs_registers() {
+    let t = scan_exps::scanvars_table();
+    for row in &t.rows {
+        let mfvs_vars: f64 = row[2].parse().unwrap();
+        let regs: f64 = row[5].parse().unwrap();
+        assert!(regs <= mfvs_vars, "{row:?}");
+    }
+}
+
+#[test]
+fn e4_boundary_breaks_every_loop() {
+    let t = scan_exps::boundary_table();
+    for row in &t.rows {
+        let loops: f64 = row[1].parse().unwrap();
+        let scan: f64 = row[3].parse().unwrap();
+        if loops > 0.0 {
+            assert!(scan >= 1.0, "{row:?}");
+        } else {
+            assert_eq!(scan, 0.0, "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn e5_loop_avoidance_never_scans_more() {
+    let t = scan_exps::simsched_table();
+    for row in &t.rows {
+        let oblivious: f64 = row[1].parse().unwrap();
+        let avoiding: f64 = row[2].parse().unwrap();
+        assert!(avoiding <= oblivious, "{row:?}");
+    }
+}
+
+#[test]
+fn e6_deflection_never_hurts() {
+    let t = scan_exps::deflect_table();
+    for row in &t.rows {
+        let before: f64 = row[1].parse().unwrap();
+        let after: f64 = row[2].parse().unwrap();
+        assert!(after <= before, "{row:?}");
+    }
+}
+
+#[test]
+fn e9_avra_reduces_self_adjacency_at_equal_cost() {
+    let t = bist_exps::selfadj_table();
+    for row in &t.rows {
+        let conv_sa: f64 = row[2].parse().unwrap();
+        let avra_sa: f64 = row[4].parse().unwrap();
+        assert!(avra_sa <= conv_sa, "{row:?}");
+        let conv_regs: f64 = row[1].parse().unwrap();
+        let avra_regs: f64 = row[3].parse().unwrap();
+        assert!(avra_regs <= conv_regs + 1.0, "{row:?}");
+    }
+}
+
+#[test]
+fn e10_xtfb_uses_fewer_blocks() {
+    let t = bist_exps::tfb_table();
+    for row in &t.rows {
+        let tfbs: f64 = row[1].parse().unwrap();
+        let xtfbs: f64 = row[2].parse().unwrap();
+        assert!(xtfbs <= tfbs, "{row:?}");
+    }
+}
+
+#[test]
+fn e11_exact_conditions_reduce_cbilbos_and_overhead() {
+    let t = bist_exps::share_table();
+    for row in &t.rows {
+        let naive: f64 = row[1].parse().unwrap();
+        let shared: f64 = row[2].parse().unwrap();
+        assert!(shared <= naive, "{row:?}");
+        let novh: f64 = row[3].parse().unwrap();
+        let sovh: f64 = row[4].parse().unwrap();
+        assert!(sovh <= novh + 1e-6, "{row:?}");
+    }
+}
+
+#[test]
+fn e12_sessions_bounded_and_pipelining_helps() {
+    let t = bist_exps::sessions_table();
+    let mut pipelined_wins = 0;
+    for row in &t.rows {
+        let modules: f64 = row[1].parse().unwrap();
+        for col in [2, 3, 4] {
+            let sessions: f64 = row[col].parse().unwrap();
+            assert!(sessions >= 1.0 && sessions <= modules.max(1.0), "{row:?}");
+        }
+        let strict: f64 = row[2].parse().unwrap();
+        let pipelined: f64 = row[4].parse().unwrap();
+        assert!(pipelined <= strict, "{row:?}");
+        if pipelined < strict {
+            pipelined_wins += 1;
+        }
+    }
+    assert!(pipelined_wins >= 1, "pipelined semantics never increased concurrency");
+}
+
+#[test]
+fn e13_guided_binding_and_accumulator_quality() {
+    let t = bist_exps::arith_table();
+    for row in &t.rows {
+        let plain: f64 = row[1].parse().unwrap();
+        let guided: f64 = row[2].parse().unwrap();
+        assert!(guided + 1e-9 >= plain, "{row:?}");
+        // Accumulator patterns reach 90 % on the multiplier; the
+        // low-entropy source does not.
+        assert!(row[3].parse::<f64>().is_ok(), "{row:?}");
+        assert_eq!(row[4], ">4096", "{row:?}");
+    }
+}
+
+#[test]
+fn e14_hierarchical_much_cheaper_per_fault() {
+    let t = hier_exp::run(24);
+    for row in &t.rows {
+        let hier: f64 = row[4].parse().unwrap();
+        let flat: f64 = row[5].parse().unwrap();
+        assert!(
+            hier <= flat || flat == 0.0,
+            "hierarchical should be cheaper: {row:?}"
+        );
+        let translated: f64 = row[2].parse().unwrap();
+        assert!(translated > 0.0, "{row:?}");
+    }
+}
+
+#[test]
+fn e8_klevel_points_monotone_and_mixed_cheaper() {
+    let t = rtl_exps::rtl_dft_table();
+    for row in &t.rows {
+        let mfvs: f64 = row[1].parse().unwrap();
+        let mixed: f64 = row[2].parse().unwrap();
+        assert!(mixed <= mfvs + 1e-9, "{row:?}");
+        let k0: f64 = row[3].parse().unwrap();
+        let k1: f64 = row[4].parse().unwrap();
+        let k2: f64 = row[5].parse().unwrap();
+        assert!(k1 <= k0 && k2 <= k1, "{row:?}");
+    }
+}
+
+#[test]
+fn e16_test_points_never_reduce_coverage() {
+    let t = rtl_exps::tpi_table();
+    for row in &t.rows {
+        let before: f64 = row[4].parse().unwrap();
+        let after: f64 = row[5].parse().unwrap();
+        assert!(after + 0.5 >= before, "{row:?}");
+        let points: f64 = row[1].parse().unwrap();
+        assert!(points <= 6.0, "{row:?}");
+    }
+}
+
+#[test]
+fn e7_extra_vectors_never_hurt_composite_coverage() {
+    let t = rtl_exps::controller_table();
+    let mut any_conflict = false;
+    for row in &t.rows {
+        let conflicts: f64 = row[2].parse().unwrap();
+        let added: f64 = row[3].parse().unwrap();
+        if conflicts > 0.0 {
+            any_conflict = true;
+            assert!(added > 0.0, "{row:?}");
+        }
+        let before: f64 = row[4].parse().unwrap();
+        let after: f64 = row[5].parse().unwrap();
+        assert!(after + 0.1 >= before, "{row:?}");
+    }
+    assert!(any_conflict, "control conflicts should be common");
+}
+
+#[test]
+fn e17_shared_plan_is_coverage_neutral_and_cheaper() {
+    let t = bist_exps::bist_coverage_table();
+    for row in &t.rows {
+        let naive_cov: f64 = row[1].parse().unwrap();
+        let shared_cov: f64 = row[2].parse().unwrap();
+        assert!(shared_cov + 6.0 >= naive_cov, "{row:?}");
+        let naive_ovh: f64 = row[3].parse().unwrap();
+        let shared_ovh: f64 = row[4].parse().unwrap();
+        assert!(shared_ovh <= naive_ovh, "{row:?}");
+        assert!(naive_cov > 60.0, "{row:?}");
+    }
+}
+
+#[test]
+fn e18_scaling_stays_sound_and_scan_tracks_loops() {
+    let t = hlstb_bench::scaling::run(&[8, 16, 24], 3, 4);
+    for row in &t.rows {
+        assert_eq!(row[5], "true", "{row:?}");
+        // Scan registers stay near the state count, not the op count.
+        let avg_scan: f64 = row[3].parse().unwrap();
+        assert!(avg_scan <= 8.0, "{row:?}");
+    }
+    // Registers grow with design size …
+    let r8: f64 = t.rows[0][2].parse().unwrap();
+    let r24: f64 = t.rows[2][2].parse().unwrap();
+    assert!(r24 > r8);
+}
+
+#[test]
+fn e19_weights_never_hurt_their_objective() {
+    let a = hlstb_bench::ablation::share_weight_sweep();
+    for row in &a.rows {
+        let w0: f64 = row[1].parse().unwrap();
+        let w_hi: f64 = row[3].parse().unwrap();
+        assert!(w_hi <= w0 + 1.0, "{row:?}");
+    }
+    let b = hlstb_bench::ablation::test_weight_sweep();
+    for row in &b.rows {
+        let w0: f64 = row[1].parse().unwrap();
+        let w8: f64 = row[3].parse().unwrap();
+        assert!(w8 <= w0, "{row:?}");
+    }
+}
+
+#[test]
+fn e20_coverage_is_monotone_in_scan_investment() {
+    let t = hlstb_bench::scoreboard::run(24);
+    // Rows come in (none, behavioral, full) triples per design.
+    for triple in t.rows.chunks(3) {
+        let none: f64 = triple[0][3].parse().unwrap();
+        let behavioral: f64 = triple[1][3].parse().unwrap();
+        let full: f64 = triple[2][3].parse().unwrap();
+        assert!(behavioral + 1e-9 >= none, "{triple:?}");
+        assert!(full + 1e-9 >= behavioral, "{triple:?}");
+        assert!(full > none, "full scan must actually help: {triple:?}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Arithmetic BIST (Mukherjee, Kassab, Rajski & Tyszer, VTS'95 —
+//! survey §5.4).
+//!
+//! Instead of dedicated TPGR/SR hardware, the data path's own adders
+//! generate tests (accumulator sequences) and compact responses. The
+//! *subspace state coverage* metric scores how thoroughly a pattern
+//! stream exercises every small bit-window of an operand; assignment of
+//! operations to functional units then maximizes the coverage seen at
+//! each unit's inputs, because a unit shared by several operations sees
+//! the union of their operand streams.
+
+use std::collections::HashMap;
+
+use hlstb_cdfg::{Cdfg, OpId, Schedule, VarId};
+use hlstb_hls::bind::FuInstance;
+use hlstb_hls::fu::FuKind;
+
+/// Generates `n` accumulator patterns `a_{i+1} = a_i + increment`
+/// (mod 2^width). Odd increments sweep the full space.
+pub fn accumulator_patterns(seed: u64, increment: u64, n: usize, width: u32) -> Vec<u64> {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut v = Vec::with_capacity(n);
+    let mut a = seed & mask;
+    for _ in 0..n {
+        v.push(a);
+        a = a.wrapping_add(increment) & mask;
+    }
+    v
+}
+
+/// Subspace state coverage: the mean, over all `width − b + 1`
+/// contiguous `b`-bit windows, of (distinct window values) / 2^b.
+///
+/// # Panics
+///
+/// Panics if `b` is 0 or exceeds `width`.
+pub fn subspace_state_coverage(values: &[u64], width: u32, b: u32) -> f64 {
+    assert!(b >= 1 && b <= width, "window out of range");
+    let windows = width - b + 1;
+    let mut total = 0.0;
+    for off in 0..windows {
+        let mut seen = std::collections::HashSet::new();
+        let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        for &v in values {
+            seen.insert(v >> off & mask);
+        }
+        total += seen.len() as f64 / (1u64 << b) as f64;
+    }
+    total / windows as f64
+}
+
+/// The operand value streams of every operation when the behavior runs
+/// on accumulator-driven inputs.
+pub fn operand_streams(
+    cdfg: &Cdfg,
+    width: u32,
+    iterations: usize,
+) -> HashMap<OpId, Vec<Vec<u64>>> {
+    let streams: HashMap<String, Vec<u64>> = cdfg
+        .inputs()
+        .enumerate()
+        .map(|(i, v)| {
+            (
+                v.name.clone(),
+                accumulator_patterns(7 + 3 * i as u64, 2 * i as u64 + 3, iterations, width),
+            )
+        })
+        .collect();
+    let history = cdfg.evaluate(&streams, &HashMap::new(), width);
+    let by_var: HashMap<VarId, &Vec<u64>> = cdfg
+        .vars()
+        .map(|v| (v.id, &history[&v.name]))
+        .collect();
+    cdfg.ops()
+        .map(|op| {
+            let per_port = op
+                .inputs
+                .iter()
+                .map(|operand| by_var[&operand.var].clone())
+                .collect();
+            (op.id, per_port)
+        })
+        .collect()
+}
+
+/// Union subspace coverage at a functional unit's inputs: all operand
+/// values of all its operations pooled, scored at window `b`.
+pub fn fu_input_coverage(
+    ops: &[OpId],
+    streams: &HashMap<OpId, Vec<Vec<u64>>>,
+    width: u32,
+    b: u32,
+) -> f64 {
+    let mut pooled = Vec::new();
+    for op in ops {
+        for port in &streams[op] {
+            pooled.extend_from_slice(port);
+        }
+    }
+    if pooled.is_empty() {
+        0.0
+    } else {
+        subspace_state_coverage(&pooled, width, b)
+    }
+}
+
+/// Coverage-guided FU binding: operations (schedule order) join the
+/// compatible unit whose input coverage the merge improves most; ties
+/// fall back to first-fit. Produces the same shapes as
+/// [`hlstb_hls::bind::bind_fus`].
+pub fn coverage_guided_binding(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    width: u32,
+    iterations: usize,
+    b: u32,
+) -> (Vec<usize>, Vec<FuInstance>) {
+    let streams = operand_streams(cdfg, width, iterations);
+    let mut fus: Vec<FuInstance> = Vec::new();
+    let mut busy: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut fu_of = vec![usize::MAX; cdfg.num_ops()];
+    let mut ops: Vec<OpId> = cdfg.ops().map(|o| o.id).collect();
+    ops.sort_by_key(|&o| (schedule.start(o), o.0));
+    for o in ops {
+        let kind = FuKind::for_op(cdfg.op(o).kind);
+        let (s, e) = (schedule.start(o), schedule.start(o) + schedule.latency(o));
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..fus.len() {
+            if fus[i].kind != kind || busy[i].iter().any(|&(bs, be)| e > bs && s < be) {
+                continue;
+            }
+            let mut merged = fus[i].ops.clone();
+            merged.push(o);
+            let cov = fu_input_coverage(&merged, &streams, width, b);
+            if best.map_or(true, |(bc, _)| cov > bc + 1e-12) {
+                best = Some((cov, i));
+            }
+        }
+        let i = match best {
+            Some((_, i)) => i,
+            None => {
+                fus.push(FuInstance { kind, ops: Vec::new() });
+                busy.push(Vec::new());
+                fus.len() - 1
+            }
+        };
+        fus[i].ops.push(o);
+        busy[i].push((s, e));
+        fu_of[o.index()] = i;
+    }
+    (fu_of, fus)
+}
+
+/// Mean input coverage over all units of a binding.
+pub fn binding_coverage(
+    fus: &[FuInstance],
+    streams: &HashMap<OpId, Vec<Vec<u64>>>,
+    width: u32,
+    b: u32,
+) -> f64 {
+    if fus.is_empty() {
+        return 0.0;
+    }
+    fus.iter()
+        .map(|f| fu_input_coverage(&f.ops, streams, width, b))
+        .sum::<f64>()
+        / fus.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind;
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    #[test]
+    fn odd_increment_sweeps_space() {
+        let p = accumulator_patterns(0, 3, 16, 4);
+        let mut s = p.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn coverage_is_one_for_exhaustive_streams() {
+        let all: Vec<u64> = (0..256).collect();
+        let c = subspace_state_coverage(&all, 8, 4);
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_detects_stuck_windows() {
+        // High nibble constant: windows there are poorly covered.
+        let vals: Vec<u64> = (0..16).map(|v| 0xf0 | v).collect();
+        let c = subspace_state_coverage(&vals, 8, 4);
+        assert!(c < 0.5, "{c}");
+    }
+
+    #[test]
+    fn power_of_two_increment_covers_worse() {
+        let odd = accumulator_patterns(1, 3, 64, 8);
+        let pow2 = accumulator_patterns(1, 16, 64, 8);
+        let co = subspace_state_coverage(&odd, 8, 4);
+        let cp = subspace_state_coverage(&pow2, 8, 4);
+        assert!(co > cp, "{co} vs {cp}");
+    }
+
+    #[test]
+    fn guided_binding_matches_shapes_and_validates() {
+        for g in benchmarks::all() {
+            let lim = ResourceLimits::minimal_for(&g);
+            let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+            let (fu_of, fus) = coverage_guided_binding(&g, &s, 8, 64, 4);
+            let regs = bind::assign_registers(&g, &s, bind::RegAlgo::LeftEdge);
+            let b = bind::Binding::from_parts(&g, &s, fu_of, fus, regs);
+            assert!(b.is_ok(), "{}: {:?}", g.name(), b.err());
+        }
+    }
+
+    #[test]
+    fn guided_binding_improves_mean_coverage() {
+        let g = benchmarks::ewf();
+        let lim = ResourceLimits::minimal_for(&g);
+        let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+        let streams = operand_streams(&g, 8, 64);
+        let (_, guided) = coverage_guided_binding(&g, &s, 8, 64, 4);
+        let (_, plain) = bind::bind_fus(&g, &s);
+        let cg = binding_coverage(&guided, &streams, 8, 4);
+        let cp = binding_coverage(&plain, &streams, 8, 4);
+        assert!(cg + 1e-9 >= cp, "{cg} vs {cp}");
+    }
+}

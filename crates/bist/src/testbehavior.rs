@@ -1,0 +1,177 @@
+//! Test behavior with I/O-only test registers (Papachristou & Carletta,
+//! ITC'95; Papachristou, Chiu & Harmanani, DAC'91 — survey §5.3).
+//!
+//! Only the input registers become TPGRs and only the output registers
+//! become SRs; internal testability is restored not with internal test
+//! registers but with *test behavior*: extra operations, executed in
+//! test mode only, that pump pseudorandom values into poorly-covered
+//! internal signals and tap poorly-observed ones. Each test point costs
+//! one extra primary input (a TPGR) or output (an SR). The published
+//! scheme tests the whole design — controller included — in three
+//! sessions: data path, controller, and their interconnect.
+
+use hlstb_cdfg::{Cdfg, VarKind};
+
+/// Testability metric of one internal signal under pseudorandom inputs:
+/// how many operations lie between the signal and the nearest
+/// controllable input (generation) and observable output (compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalMetric {
+    /// Ops from a pseudorandom source.
+    pub gen_distance: u32,
+    /// Ops to a compaction point.
+    pub obs_distance: u32,
+}
+
+/// The test-behavior plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestBehaviorPlan {
+    /// Signals given a pseudorandom injection point (extra TPGR each).
+    pub extra_tpgrs: Vec<String>,
+    /// Signals given a compaction tap (extra SR each).
+    pub extra_srs: Vec<String>,
+    /// Test sessions of the published scheme.
+    pub sessions: usize,
+}
+
+impl TestBehaviorPlan {
+    /// Total extra test registers the plan needs.
+    pub fn extra_registers(&self) -> usize {
+        self.extra_tpgrs.len() + self.extra_srs.len()
+    }
+}
+
+/// Per-signal metrics: BFS-like relaxation over the operation graph,
+/// charging one per operation traversed and a flat ten per iteration
+/// boundary (matching the behavioral analysis convention).
+pub fn signal_metrics(cdfg: &Cdfg) -> Vec<Option<SignalMetric>> {
+    const ITER: u32 = 10;
+    let n = cdfg.num_vars();
+    let mut gen = vec![None; n];
+    let mut obs = vec![None; n];
+    for v in cdfg.vars() {
+        if matches!(v.kind, VarKind::Input | VarKind::Constant(_)) {
+            gen[v.id.index()] = Some(0);
+        }
+        if v.kind == VarKind::Output {
+            obs[v.id.index()] = Some(0);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for op in cdfg.ops() {
+            let worst = op
+                .inputs
+                .iter()
+                .map(|o| match (gen[o.var.index()], o.distance) {
+                    (Some(d), dist) => Some(d + ITER * dist),
+                    (None, dist) if dist >= 1 => Some(ITER * dist),
+                    (None, _) => None,
+                })
+                .collect::<Option<Vec<u32>>>()
+                .map(|ds| ds.into_iter().max().unwrap_or(0) + 1);
+            if let Some(d) = worst {
+                if gen[op.output.index()].map_or(true, |cur| d < cur) {
+                    gen[op.output.index()] = Some(d);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for op in cdfg.ops() {
+            if let Some(d) = obs[op.output.index()] {
+                for operand in &op.inputs {
+                    let cand = d + 1 + ITER * operand.distance;
+                    if obs[operand.var.index()].map_or(true, |cur| cand < cur) {
+                        obs[operand.var.index()] = Some(cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|i| match (gen[i], obs[i]) {
+            (Some(g), Some(o)) => Some(SignalMetric { gen_distance: g, obs_distance: o }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Plans test behavior: internal signals whose generation distance
+/// exceeds `gen_max` get an injection point, those whose observation
+/// distance exceeds `obs_max` get a tap. Sessions fixed at the published
+/// three (data path / controller / interconnect).
+pub fn plan(cdfg: &Cdfg, gen_max: u32, obs_max: u32) -> TestBehaviorPlan {
+    let metrics = signal_metrics(cdfg);
+    let mut extra_tpgrs = Vec::new();
+    let mut extra_srs = Vec::new();
+    for v in cdfg.vars() {
+        if v.kind != VarKind::Intermediate {
+            continue;
+        }
+        match metrics[v.id.index()] {
+            Some(m) => {
+                if m.gen_distance > gen_max {
+                    extra_tpgrs.push(v.name.clone());
+                }
+                if m.obs_distance > obs_max {
+                    extra_srs.push(v.name.clone());
+                }
+            }
+            None => {
+                extra_tpgrs.push(v.name.clone());
+                extra_srs.push(v.name.clone());
+            }
+        }
+    }
+    TestBehaviorPlan { extra_tpgrs, extra_srs, sessions: 3 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+
+    #[test]
+    fn metrics_exist_for_all_live_signals() {
+        let g = benchmarks::diffeq();
+        let m = signal_metrics(&g);
+        for v in g.vars() {
+            if matches!(v.kind, VarKind::Constant(_)) {
+                continue;
+            }
+            if !v.uses.is_empty() || v.kind == VarKind::Output {
+                assert!(m[v.id.index()].is_some(), "{} has no metric", v.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lax_plan_is_empty() {
+        let g = benchmarks::tseng();
+        let p = plan(&g, 1000, 1000);
+        assert_eq!(p.extra_registers(), 0);
+        assert_eq!(p.sessions, 3);
+    }
+
+    #[test]
+    fn strict_plan_taps_deep_signals() {
+        let g = benchmarks::ewf();
+        let p = plan(&g, 2, 2);
+        assert!(p.extra_registers() > 0);
+    }
+
+    #[test]
+    fn deeper_thresholds_monotonically_shrink_plans() {
+        let g = benchmarks::ewf();
+        let sizes: Vec<usize> = (0..6).map(|t| plan(&g, t, t).extra_registers()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "{sizes:?}");
+        }
+    }
+}

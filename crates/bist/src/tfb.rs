@@ -1,0 +1,357 @@
+//! Test-function-block mapping (Papachristou, Chiu & Harmanani, DAC'91)
+//! and the XTFB relaxation (Harmanani & Papachristou, ICCAD'93) —
+//! survey §5.1.
+//!
+//! A **TFB** is an ALU with a mux at each input and one test register at
+//! its output. *Actions* `(v, o(v))` — a variable with the operation
+//! producing it — are merged into one TFB when their lifetimes are
+//! disjoint, their operations can share the ALU, and **neither variable
+//! feeds the other's operation**; the last condition guarantees the
+//! output register never becomes an input of its own block, so no
+//! self-adjacent register (hence no CBILBO) can arise. An **XTFB**
+//! allows multiple output registers per ALU and drops that condition:
+//! self-adjacent registers are tolerated as long as they only need to be
+//! TPGRs, with a single non-fed-back output register acting as the SR.
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, OpId, Schedule, StepSet, VarId};
+use hlstb_hls::estimate::RegisterCosts;
+use hlstb_hls::fu::FuKind;
+
+/// An action: a variable and its producing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// The produced variable.
+    pub var: VarId,
+    /// The producing operation.
+    pub op: OpId,
+}
+
+/// One test function block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tfb {
+    /// The ALU class.
+    pub kind: FuKind,
+    /// Merged actions.
+    pub actions: Vec<Action>,
+}
+
+/// A complete TFB mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TfbMapping {
+    /// The blocks.
+    pub blocks: Vec<Tfb>,
+}
+
+impl TfbMapping {
+    /// Number of blocks (each costs an ALU + muxes + one test register).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+fn actions_of(cdfg: &Cdfg) -> Vec<Action> {
+    cdfg.ops().map(|o| Action { var: o.output, op: o.id }).collect()
+}
+
+fn feeds(cdfg: &Cdfg, var: VarId, op: OpId) -> bool {
+    cdfg.op(op).inputs.iter().any(|operand| operand.var == var)
+}
+
+fn time_disjoint(schedule: &Schedule, a: OpId, b: OpId) -> bool {
+    let (sa, ea) = (schedule.start(a), schedule.start(a) + schedule.latency(a));
+    let (sb, eb) = (schedule.start(b), schedule.start(b) + schedule.latency(b));
+    ea <= sb || eb <= sa
+}
+
+/// TFB compatibility of two actions.
+pub fn compatible(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    lt: &LifetimeMap,
+    a: Action,
+    b: Action,
+) -> bool {
+    FuKind::for_op(cdfg.op(a.op).kind) == FuKind::for_op(cdfg.op(b.op).kind)
+        && time_disjoint(schedule, a.op, b.op)
+        && !lt.overlap(a.var, b.var)
+        && !feeds(cdfg, a.var, b.op)
+        && !feeds(cdfg, b.var, a.op)
+        && !feeds(cdfg, a.var, a.op)
+        && !feeds(cdfg, b.var, b.op)
+}
+
+/// Greedy prime-sequence covering: actions in schedule order join the
+/// first block compatible with every member.
+pub fn map_tfbs(cdfg: &Cdfg, schedule: &Schedule) -> TfbMapping {
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let mut actions = actions_of(cdfg);
+    actions.sort_by_key(|a| (schedule.start(a.op), a.op.0));
+    let mut blocks: Vec<Tfb> = Vec::new();
+    for a in actions {
+        // Actions whose variable feeds their own operation can never
+        // join a TFB (condition ii); they get a dedicated block and the
+        // feedback is routed through another block's register in the
+        // full methodology — counted here as its own block.
+        let slot = blocks.iter_mut().find(|b| {
+            b.kind == FuKind::for_op(cdfg.op(a.op).kind)
+                && b.actions.iter().all(|&x| compatible(cdfg, schedule, &lt, x, a))
+        });
+        match slot {
+            Some(b) => b.actions.push(a),
+            None => blocks.push(Tfb {
+                kind: FuKind::for_op(cdfg.op(a.op).kind),
+                actions: vec![a],
+            }),
+        }
+    }
+    TfbMapping { blocks }
+}
+
+/// An extended test function block: one ALU, several output registers,
+/// one of which is the SR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xtfb {
+    /// The ALU class.
+    pub kind: FuKind,
+    /// Actions grouped per output register.
+    pub registers: Vec<Vec<Action>>,
+    /// Index into `registers` of the signature register, when one
+    /// exists that is never fed back into this block.
+    pub sr: Option<usize>,
+}
+
+/// An XTFB mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XtfbMapping {
+    /// The blocks.
+    pub blocks: Vec<Xtfb>,
+}
+
+impl XtfbMapping {
+    /// Number of ALUs used.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total output registers across blocks.
+    pub fn register_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.registers.len()).sum()
+    }
+
+    /// Number of registers that must be CBILBOs (blocks without a clean
+    /// SR candidate).
+    pub fn cbilbo_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.sr.is_none()).count()
+    }
+
+    /// Register test area of the mapping: the SR costs the SR rate,
+    /// fed-back output registers cost the TPGR rate, a block without an
+    /// SR candidate pays one CBILBO.
+    pub fn register_area(&self, width: u32, costs: &RegisterCosts) -> f64 {
+        let w = width as f64;
+        let mut area = 0.0;
+        for b in &self.blocks {
+            for (i, _) in b.registers.iter().enumerate() {
+                area += w * match b.sr {
+                    Some(sr) if i == sr => costs.sr,
+                    None if i == 0 => costs.cbilbo,
+                    _ => costs.tpgr,
+                };
+            }
+        }
+        area
+    }
+}
+
+/// XTFB mapping: ops pack onto ALUs purely by class and time
+/// disjointness; output variables then pack into per-block registers by
+/// lifetime; the SR is any output register whose variables never feed
+/// the block.
+pub fn map_xtfbs(cdfg: &Cdfg, schedule: &Schedule) -> XtfbMapping {
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let mut actions = actions_of(cdfg);
+    actions.sort_by_key(|a| (schedule.start(a.op), a.op.0));
+    // Pack ops onto ALUs (no feedback restriction).
+    let mut alus: Vec<(FuKind, Vec<Action>)> = Vec::new();
+    for a in actions {
+        let kind = FuKind::for_op(cdfg.op(a.op).kind);
+        let slot = alus.iter_mut().find(|(k, members)| {
+            *k == kind && members.iter().all(|m| time_disjoint(schedule, m.op, a.op))
+        });
+        match slot {
+            Some((_, members)) => members.push(a),
+            None => alus.push((kind, vec![a])),
+        }
+    }
+    let blocks = alus
+        .into_iter()
+        .map(|(kind, members)| {
+            // Pack output variables into registers by lifetime.
+            let mut registers: Vec<(Vec<Action>, StepSet)> = Vec::new();
+            for &a in &members {
+                let steps = lt.get(a.var).map_or(StepSet::EMPTY, |l| l.steps);
+                match registers.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+                    Some((g, occ)) => {
+                        g.push(a);
+                        *occ = occ.union(steps);
+                    }
+                    None => registers.push((vec![a], steps)),
+                }
+            }
+            let registers: Vec<Vec<Action>> =
+                registers.into_iter().map(|(g, _)| g).collect();
+            // SR candidate: a register none of whose variables feed any
+            // member op. If packing buried every clean variable among
+            // fed-back ones, extract one into its own register — an SR
+            // is worth the extra plain register.
+            let mut registers = registers;
+            let mut sr = registers.iter().position(|g| {
+                g.iter().all(|a| members.iter().all(|m| !feeds(cdfg, a.var, m.op)))
+            });
+            if sr.is_none() {
+                let clean = registers.iter().enumerate().find_map(|(ri, g)| {
+                    g.iter()
+                        .position(|a| members.iter().all(|m| !feeds(cdfg, a.var, m.op)))
+                        .map(|ai| (ri, ai))
+                });
+                if let Some((ri, ai)) = clean {
+                    let a = registers[ri].remove(ai);
+                    registers.push(vec![a]);
+                    sr = Some(registers.len() - 1);
+                }
+            }
+            Xtfb { kind, registers, sr }
+        })
+        .collect();
+    XtfbMapping { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn sched_for(g: &Cdfg) -> Schedule {
+        let lim = ResourceLimits::minimal_for(g);
+        sched::list_schedule(g, &lim, ListPriority::Slack).unwrap()
+    }
+
+    #[test]
+    fn tfb_blocks_have_no_cross_feeding() {
+        for g in benchmarks::all() {
+            let s = sched_for(&g);
+            let m = map_tfbs(&g, &s);
+            for b in &m.blocks {
+                for a in &b.actions {
+                    for x in &b.actions {
+                        if a.op == x.op {
+                            continue; // self-feeding accumulators stay singletons
+                        }
+                        assert!(
+                            !feeds(&g, a.var, x.op),
+                            "{}: {} feeds its own block",
+                            g.name(),
+                            a.var
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_feeding_actions_are_singletons() {
+        for g in benchmarks::all() {
+            let s = sched_for(&g);
+            let m = map_tfbs(&g, &s);
+            for b in &m.blocks {
+                for a in &b.actions {
+                    if feeds(&g, a.var, a.op) {
+                        assert_eq!(
+                            b.actions.len(),
+                            1,
+                            "{}: self-feeding action shares a block",
+                            g.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tfb_covers_every_action() {
+        let g = benchmarks::ewf();
+        let s = sched_for(&g);
+        let m = map_tfbs(&g, &s);
+        let covered: usize = m.blocks.iter().map(|b| b.actions.len()).sum();
+        assert_eq!(covered, g.num_ops());
+    }
+
+    #[test]
+    fn xtfb_uses_no_more_blocks_than_tfb() {
+        for g in benchmarks::all() {
+            let s = sched_for(&g);
+            let tfb = map_tfbs(&g, &s);
+            let xtfb = map_xtfbs(&g, &s);
+            assert!(
+                xtfb.block_count() <= tfb.block_count(),
+                "{}: {} vs {}",
+                g.name(),
+                xtfb.block_count(),
+                tfb.block_count()
+            );
+        }
+    }
+
+    #[test]
+    fn xtfb_area_at_most_all_sr_tfb_area() {
+        let costs = RegisterCosts::default();
+        for g in [benchmarks::diffeq(), benchmarks::ewf()] {
+            let s = sched_for(&g);
+            let tfb = map_tfbs(&g, &s);
+            let xtfb = map_xtfbs(&g, &s);
+            // TFB: every block's output register is an SR.
+            let tfb_area = tfb.block_count() as f64 * costs.sr * 8.0;
+            let xtfb_area = xtfb.register_area(8, &costs);
+            // XTFB may use more registers but cheaper kinds; the headline
+            // claim is less *test* area than TFB-with-CBILBO baselines —
+            // here we check the mapping is at least cost-comparable.
+            assert!(
+                xtfb_area <= tfb_area * 1.6,
+                "{}: {} vs {}",
+                g.name(),
+                xtfb_area,
+                tfb_area
+            );
+        }
+    }
+
+    #[test]
+    fn xtfb_sr_register_is_never_fed_back() {
+        let g = benchmarks::diffeq();
+        let s = sched_for(&g);
+        let m = map_xtfbs(&g, &s);
+        for b in &m.blocks {
+            if let Some(sr) = b.sr {
+                for a in &b.registers[sr] {
+                    for reg in &b.registers {
+                        for member in reg {
+                            assert!(!feeds(&g, a.var, member.op));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_free_design_has_sr_everywhere() {
+        let g = benchmarks::fir(6);
+        let s = sched_for(&g);
+        let m = map_xtfbs(&g, &s);
+        assert_eq!(m.cbilbo_count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-module consistency of the BIST planning stack: roles, plans,
+//! sessions, and self-adjacency must tell one coherent story on every
+//! benchmark.
+
+use hlstb_bist::registers::{module_io_registers, naive_plan, TestRegisterKind};
+use hlstb_bist::selfadj::self_adjacent_registers;
+use hlstb_bist::sessions::{schedule_sessions_with, ConflictModel};
+use hlstb_bist::share::{shared_plan, shared_roles};
+use hlstb_cdfg::benchmarks;
+use hlstb_hls::bind::{self, BindOptions};
+use hlstb_hls::datapath::Datapath;
+use hlstb_hls::fu::ResourceLimits;
+use hlstb_hls::sched::{self, ListPriority};
+
+fn datapaths() -> Vec<(String, Datapath)> {
+    benchmarks::all()
+        .into_iter()
+        .map(|g| {
+            let lim = ResourceLimits::minimal_for(&g);
+            let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+            let b = bind::bind(&g, &s, &BindOptions::default()).unwrap();
+            (g.name().to_string(), Datapath::build(&g, &s, &b).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn naive_cbilbos_are_exactly_the_self_adjacent_registers() {
+    for (name, dp) in datapaths() {
+        let plan = naive_plan(&dp);
+        let sa = self_adjacent_registers(&dp);
+        let cbilbos: Vec<usize> = plan
+            .kind_of
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == TestRegisterKind::Cbilbo)
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(cbilbos, sa, "{name}");
+    }
+}
+
+#[test]
+fn shared_roles_respect_module_boundaries() {
+    for (name, dp) in datapaths() {
+        let roles = shared_roles(&dp);
+        let io = module_io_registers(&dp);
+        for (r, role) in roles.iter().enumerate() {
+            for &m in &role.tpgr_for {
+                assert!(io[m].0.contains(&r), "{name}: R{r} not an input of {m}");
+            }
+            for &m in &role.sr_for {
+                assert!(io[m].1.contains(&r), "{name}: R{r} not an output of {m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_plan_generates_wherever_naive_does() {
+    for (name, dp) in datapaths() {
+        let naive = naive_plan(&dp);
+        let shared = shared_plan(&dp);
+        for (r, (nk, sk)) in naive.kind_of.iter().zip(&shared.kind_of).enumerate() {
+            if nk.generates() {
+                assert!(sk.generates(), "{name}: R{r} lost its generation role");
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_sessions_never_exceed_strict() {
+    for (name, dp) in datapaths() {
+        let strict = schedule_sessions_with(&dp, ConflictModel::Strict).len();
+        let relaxed = schedule_sessions_with(&dp, ConflictModel::Relaxed).len();
+        assert!(relaxed <= strict, "{name}: {relaxed} > {strict}");
+        assert!(relaxed >= 1, "{name}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Fluent construction of [`Cdfg`]s.
+
+use std::collections::HashMap;
+
+use crate::graph::{Cdfg, CdfgError, Operand, Operation, Variable, VarKind};
+use crate::ids::{OpId, VarId};
+use crate::op::OpKind;
+
+/// Incrementally builds a [`Cdfg`], resolving loop-carried references.
+///
+/// Loop-carried dependencies are expressed with *forward references*:
+/// [`forward`](CdfgBuilder::forward) introduces a placeholder read at a
+/// given inter-iteration distance, and [`bind_forward`](CdfgBuilder::bind_forward)
+/// later points it at the defining variable once that exists.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_cdfg::{CdfgBuilder, OpKind};
+///
+/// // sum(n) = sum(n-1) + x(n)
+/// let mut b = CdfgBuilder::new("accumulator");
+/// let x = b.input("x");
+/// let prev = b.forward("prev_sum", 1);
+/// let sum = b.op_output(OpKind::Add, &[x, prev], "sum");
+/// b.bind_forward(prev, sum);
+/// let cdfg = b.finish()?;
+/// assert_eq!(cdfg.loops(4).len(), 1);
+/// # Ok::<(), hlstb_cdfg::CdfgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdfgBuilder {
+    name: String,
+    vars: Vec<PendingVar>,
+    ops: Vec<PendingOp>,
+    fresh: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PendingVar {
+    name: String,
+    kind: VarKind,
+    /// Set when this is a forward placeholder.
+    forward: Option<Forward>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Forward {
+    distance: u32,
+    target: Option<VarId>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingOp {
+    kind: OpKind,
+    inputs: Vec<VarId>,
+    output: VarId,
+}
+
+impl CdfgBuilder {
+    /// Starts a new empty CDFG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CdfgBuilder { name: name.into(), vars: Vec::new(), ops: Vec::new(), fresh: 0 }
+    }
+
+    fn push_var(&mut self, name: String, kind: VarKind, forward: Option<Forward>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(PendingVar { name, kind, forward });
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(name.into(), VarKind::Input, None)
+    }
+
+    /// Declares a constant-valued variable.
+    pub fn constant(&mut self, value: u64) -> VarId {
+        self.fresh += 1;
+        let name = format!("const_{value}_{}", self.fresh);
+        self.push_var(name, VarKind::Constant(value), None)
+    }
+
+    /// Declares a forward reference read `distance` iterations in the
+    /// past, to be resolved with [`bind_forward`](Self::bind_forward).
+    pub fn forward(&mut self, name: impl Into<String>, distance: u32) -> VarId {
+        self.push_var(
+            name.into(),
+            VarKind::Intermediate,
+            Some(Forward { distance, target: None }),
+        )
+    }
+
+    /// Resolves a forward reference to the variable that defines it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fwd` was not created by [`forward`](Self::forward) or is
+    /// already bound.
+    pub fn bind_forward(&mut self, fwd: VarId, target: VarId) {
+        let slot = self.vars[fwd.index()]
+            .forward
+            .as_mut()
+            .expect("bind_forward on a non-forward variable");
+        assert!(slot.target.is_none(), "forward reference bound twice");
+        slot.target = Some(target);
+    }
+
+    /// Adds an operation producing a fresh intermediate variable.
+    pub fn op(&mut self, kind: OpKind, inputs: &[VarId], out_name: impl Into<String>) -> VarId {
+        self.add_op(kind, inputs, out_name.into(), VarKind::Intermediate)
+    }
+
+    /// Adds an operation whose result is a primary output.
+    pub fn op_output(
+        &mut self,
+        kind: OpKind,
+        inputs: &[VarId],
+        out_name: impl Into<String>,
+    ) -> VarId {
+        self.add_op(kind, inputs, out_name.into(), VarKind::Output)
+    }
+
+    fn add_op(&mut self, kind: OpKind, inputs: &[VarId], name: String, vk: VarKind) -> VarId {
+        let output = self.push_var(name, vk, None);
+        self.ops.push(PendingOp { kind, inputs: inputs.to_vec(), output });
+        output
+    }
+
+    /// Re-marks an intermediate variable as a primary output (useful when
+    /// a transformation decides late that a value must stay observable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is an input, constant, or forward reference.
+    pub fn mark_output(&mut self, var: VarId) {
+        let v = &mut self.vars[var.index()];
+        assert!(
+            v.kind == VarKind::Intermediate && v.forward.is_none(),
+            "only intermediates can be promoted to outputs"
+        );
+        v.kind = VarKind::Output;
+    }
+
+    /// Number of operations added so far.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Finishes and validates the CDFG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError`] if a forward reference is unbound or any
+    /// graph invariant fails (see [`Cdfg::new`]).
+    pub fn finish(self) -> Result<Cdfg, CdfgError> {
+        // Resolve forwards: map placeholder id -> (target id, distance).
+        let mut resolve: HashMap<VarId, (VarId, u32)> = HashMap::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            if let Some(f) = v.forward {
+                let target = f.target.ok_or_else(|| CdfgError::UnknownId {
+                    what: format!("unbound forward `{}`", v.name),
+                })?;
+                resolve.insert(VarId(i as u32), (target, f.distance));
+            }
+        }
+        // Chase chains of forwards (a forward bound to a forward).
+        let chase = |mut id: VarId, mut dist: u32| -> (VarId, u32) {
+            let mut hops = 0;
+            while let Some(&(t, d)) = resolve.get(&id) {
+                id = t;
+                dist += d;
+                hops += 1;
+                assert!(hops <= resolve.len(), "forward reference cycle");
+            }
+            (id, dist)
+        };
+
+        // Compact ids, dropping placeholders.
+        let mut remap: Vec<Option<VarId>> = vec![None; self.vars.len()];
+        let mut vars = Vec::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.forward.is_some() {
+                continue;
+            }
+            let id = VarId(vars.len() as u32);
+            remap[i] = Some(id);
+            vars.push(Variable {
+                id,
+                name: v.name.clone(),
+                kind: v.kind,
+                def: None,
+                uses: Vec::new(),
+            });
+        }
+        let remap_operand = |raw: VarId| -> Operand {
+            let (target, dist) = chase(raw, 0);
+            let var = remap[target.index()].expect("forward target must be a real variable");
+            Operand { var, distance: dist }
+        };
+
+        let mut ops = Vec::new();
+        for (i, p) in self.ops.iter().enumerate() {
+            let id = OpId(i as u32);
+            let inputs: Vec<Operand> = p.inputs.iter().map(|&v| remap_operand(v)).collect();
+            let output = remap[p.output.index()].expect("op output cannot be a forward");
+            ops.push(Operation { id, kind: p.kind, inputs, output });
+        }
+        // Fill def/uses caches.
+        for op in &ops {
+            vars[op.output.index()].def = Some(op.id);
+            for (port, operand) in op.inputs.iter().enumerate() {
+                vars[operand.var.index()].uses.push((op.id, port));
+            }
+        }
+        Cdfg::new(self.name, vars, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbound_forward_is_an_error() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let f = b.forward("f", 1);
+        b.op_output(OpKind::Add, &[x, f], "y");
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn forward_ids_are_compacted_away() {
+        let mut b = CdfgBuilder::new("acc");
+        let x = b.input("x");
+        let f = b.forward("f", 1);
+        let s = b.op_output(OpKind::Add, &[x, f], "s");
+        b.bind_forward(f, s);
+        let g = b.finish().unwrap();
+        // x and s only — the placeholder vanished.
+        assert_eq!(g.num_vars(), 2);
+        let op = g.ops().next().unwrap();
+        assert_eq!(op.inputs[1].var, g.var_by_name("s").unwrap().id);
+        assert_eq!(op.inputs[1].distance, 1);
+    }
+
+    #[test]
+    fn mark_output_promotes() {
+        let mut b = CdfgBuilder::new("m");
+        let x = b.input("x");
+        let t = b.op(OpKind::Pass, &[x], "t");
+        b.mark_output(t);
+        let g = b.finish().unwrap();
+        assert_eq!(g.outputs().count(), 1);
+    }
+
+    #[test]
+    fn constants_get_unique_names() {
+        let mut b = CdfgBuilder::new("c");
+        let c1 = b.constant(0);
+        let c2 = b.constant(0);
+        assert_ne!(c1, c2);
+        let x = b.input("x");
+        let t = b.op(OpKind::Add, &[x, c1], "t");
+        b.op_output(OpKind::Add, &[t, c2], "u");
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,98 @@
+//! Graphviz DOT export for CDFGs.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Cdfg, VarKind};
+
+/// Renders the CDFG as a Graphviz `digraph`.
+///
+/// Operations are boxes labelled with their mnemonic; primary inputs and
+/// outputs are ellipses; loop-carried edges are dashed and annotated with
+/// their inter-iteration distance.
+///
+/// # Example
+///
+/// ```
+/// let g = hlstb_cdfg::benchmarks::figure1();
+/// let dot = hlstb_cdfg::dot::to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("+"));
+/// ```
+pub fn to_dot(cdfg: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", cdfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in cdfg.vars() {
+        match v.kind {
+            VarKind::Input => {
+                let _ = writeln!(out, "  {} [label=\"{}\", shape=ellipse];", v.id, v.name);
+            }
+            VarKind::Output => {
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{}\", shape=ellipse, peripheries=2];",
+                    v.id, v.name
+                );
+            }
+            _ => {}
+        }
+    }
+    for op in cdfg.ops() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{} ({})\", shape=box];",
+            op.id,
+            op.kind.mnemonic(),
+            cdfg.var(op.output).name
+        );
+    }
+    for op in cdfg.ops() {
+        for operand in &op.inputs {
+            let v = cdfg.var(operand.var);
+            let style = if operand.distance > 0 {
+                format!(" [style=dashed, label=\"z-{}\"]", operand.distance)
+            } else {
+                String::new()
+            };
+            match (v.kind, v.def) {
+                (_, Some(def)) => {
+                    let _ = writeln!(out, "  {} -> {}{};", def, op.id, style);
+                }
+                (VarKind::Input, None) => {
+                    let _ = writeln!(out, "  {} -> {}{};", v.id, op.id, style);
+                }
+                _ => {} // constants are left implicit
+            }
+        }
+        let outv = cdfg.var(op.output);
+        if outv.kind == VarKind::Output {
+            let _ = writeln!(out, "  {} -> {};", op.id, outv.id);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_contains_all_ops() {
+        let g = benchmarks::diffeq();
+        let dot = to_dot(&g);
+        for op in g.ops() {
+            assert!(dot.contains(&op.id.to_string()));
+        }
+        // Loop-carried edges are dashed.
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let g = benchmarks::fir(4);
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

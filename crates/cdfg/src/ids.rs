@@ -1,0 +1,76 @@
+//! Typed identifiers for CDFG entities.
+//!
+//! Newtypes keep operation and variable indices from being confused with
+//! one another or with raw `usize` arithmetic (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an [`Operation`](crate::Operation) inside one [`Cdfg`](crate::Cdfg).
+///
+/// Ids are dense indices assigned in creation order, so they can be used
+/// directly to index per-operation side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+/// Identifier of a [`Variable`](crate::Variable) inside one [`Cdfg`](crate::Cdfg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl OpId {
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VarId {
+    /// Returns the id as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<OpId> for usize {
+    fn from(id: OpId) -> usize {
+        id.index()
+    }
+}
+
+impl From<VarId> for usize {
+    fn from(id: VarId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(OpId(3).to_string(), "op3");
+        assert_eq!(VarId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(OpId(1) < OpId(2));
+        assert!(VarId(0) < VarId(9));
+    }
+}

@@ -1,0 +1,53 @@
+//! Control-data flow graph (CDFG) intermediate representation for
+//! high-level synthesis for testability.
+//!
+//! This crate is the behavioral front end of the `hlstb` workbench, the
+//! reproduction of Wagner & Dey, *"High-Level Synthesis for Testability:
+//! A Survey and Perspective"* (DAC 1996). It provides:
+//!
+//! * the [`Cdfg`] graph itself — operations ([`Operation`]) producing and
+//!   consuming variables ([`Variable`]), connected by data-dependency
+//!   edges that may carry an inter-iteration *distance* (loop-carried
+//!   dependencies are how behavioral loops appear in the data path);
+//! * a [`builder::CdfgBuilder`] for programmatic construction;
+//! * scheduling containers ([`schedule::Schedule`]) and variable
+//!   [`lifetime`] analysis under a schedule;
+//! * enumeration of behavioral loops ([`Cdfg::loops`]), the §3.3.1
+//!   objects that scan-variable selection must break;
+//! * the classic HLS [`benchmarks`] the surveyed papers evaluate on,
+//!   including the paper's own Figure 1 example;
+//! * behavior-preserving [`transform`]s, notably the deflection-operation
+//!   insertion of Dey & Potkonjak (ITC'94, survey §3.4).
+//!
+//! # Example
+//!
+//! ```
+//! use hlstb_cdfg::benchmarks;
+//!
+//! let cdfg = benchmarks::figure1();
+//! assert_eq!(cdfg.num_ops(), 5);
+//! // The Figure 1 example is loop-free at the behavioral level …
+//! assert!(cdfg.loops(16).is_empty());
+//! // … every loop in its data path will come from resource sharing.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod benchmarks;
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod lifetime;
+pub mod op;
+pub mod pretty;
+pub mod schedule;
+pub mod transform;
+
+pub use builder::CdfgBuilder;
+pub use graph::{Cdfg, CdfgError, CdfgLoop, DataEdge, Operand, Operation, Variable, VarKind};
+pub use ids::{OpId, VarId};
+pub use lifetime::{LifetimeMap, StepSet};
+pub use op::OpKind;
+pub use schedule::Schedule;

@@ -1,0 +1,233 @@
+//! Operation kinds and their algebraic/implementation properties.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a CDFG operation.
+///
+/// The set covers the arithmetic/logic repertoire of the data-flow
+/// intensive designs the survey targets (DSP filters, small processors).
+/// Each kind knows its algebraic properties — commutativity and identity
+/// element — which the deflection-operation transform (survey §3.4,
+/// Dey & Potkonjak ITC'94) relies on, and a default latency in control
+/// steps used by the schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Low-half multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise complement (unary).
+    Not,
+    /// Logical shift left by a constant encoded in the second operand.
+    Shl,
+    /// Logical shift right by a constant encoded in the second operand.
+    Shr,
+    /// Unsigned less-than comparison producing 0 or 1.
+    Lt,
+    /// Equality comparison producing 0 or 1.
+    Eq,
+    /// Two-way select: `out = if sel != 0 { a } else { b }`; operands are
+    /// ordered `(sel, a, b)`.
+    Select,
+    /// Identity move (`out = a`). Deflection operations with an identity
+    /// second operand (`a + 0`, `a * 1`) lower to this when the library
+    /// has no cheaper realization.
+    Pass,
+}
+
+impl OpKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [OpKind; 13] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::Lt,
+        OpKind::Eq,
+        OpKind::Select,
+        OpKind::Pass,
+    ];
+
+    /// Number of input operands the kind consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Not | OpKind::Pass => 1,
+            OpKind::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether swapping the two operands preserves the result.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Eq
+        )
+    }
+
+    /// The right identity element of the operation, if one exists.
+    ///
+    /// `a ⊕ identity == a`. This is what makes an inserted deflection
+    /// operation behavior-preserving: `Add` with 0, `Mul` with 1, etc.
+    pub fn right_identity(self) -> Option<u64> {
+        match self {
+            OpKind::Add | OpKind::Sub | OpKind::Or | OpKind::Xor | OpKind::Shl | OpKind::Shr => {
+                Some(0)
+            }
+            OpKind::Mul => Some(1),
+            OpKind::And => Some(u64::MAX),
+            _ => None,
+        }
+    }
+
+    /// Default latency in control steps assumed by the schedulers.
+    ///
+    /// Multipliers take two steps, everything else one — the convention
+    /// of the classic HLS benchmarks (HAL differential equation, elliptic
+    /// wave filter) the surveyed papers report on. Schedulers accept a
+    /// custom latency table when this does not fit.
+    pub fn default_latency(self) -> u32 {
+        match self {
+            OpKind::Mul => 2,
+            _ => 1,
+        }
+    }
+
+    /// A short mnemonic used in reports and DOT output.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Mul => "*",
+            OpKind::And => "&",
+            OpKind::Or => "|",
+            OpKind::Xor => "^",
+            OpKind::Not => "~",
+            OpKind::Shl => "<<",
+            OpKind::Shr => ">>",
+            OpKind::Lt => "<",
+            OpKind::Eq => "==",
+            OpKind::Select => "sel",
+            OpKind::Pass => "pass",
+        }
+    }
+
+    /// Evaluates the operation on concrete values, masked to `width` bits.
+    ///
+    /// Used by the behavioral reference simulator that checks
+    /// transformations preserve behavior, and by the netlist expansion
+    /// self-tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or `width` is 0 or > 64.
+    pub fn eval(self, inputs: &[u64], width: u32) -> u64 {
+        assert!(width >= 1 && width <= 64, "width out of range");
+        assert_eq!(inputs.len(), self.arity(), "operand count mismatch");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let v = match self {
+            OpKind::Add => inputs[0].wrapping_add(inputs[1]),
+            OpKind::Sub => inputs[0].wrapping_sub(inputs[1]),
+            OpKind::Mul => inputs[0].wrapping_mul(inputs[1]),
+            OpKind::And => inputs[0] & inputs[1],
+            OpKind::Or => inputs[0] | inputs[1],
+            OpKind::Xor => inputs[0] ^ inputs[1],
+            OpKind::Not => !inputs[0],
+            OpKind::Shl => inputs[0].checked_shl((inputs[1] & 63) as u32).unwrap_or(0),
+            OpKind::Shr => (inputs[0] & mask)
+                .checked_shr((inputs[1] & 63) as u32)
+                .unwrap_or(0),
+            OpKind::Lt => u64::from((inputs[0] & mask) < (inputs[1] & mask)),
+            OpKind::Eq => u64::from((inputs[0] & mask) == (inputs[1] & mask)),
+            OpKind::Select => {
+                if inputs[0] & mask != 0 {
+                    inputs[1]
+                } else {
+                    inputs[2]
+                }
+            }
+            OpKind::Pass => inputs[0],
+        };
+        v & mask
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_expectations() {
+        for kind in OpKind::ALL {
+            let inputs = vec![5u64; kind.arity()];
+            // Must not panic.
+            let _ = kind.eval(&inputs, 8);
+        }
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for kind in OpKind::ALL {
+            if let Some(id) = kind.right_identity() {
+                for a in [0u64, 1, 7, 200, 255] {
+                    assert_eq!(
+                        kind.eval(&[a, id], 8),
+                        a & 0xff,
+                        "{kind:?} identity {id} failed on {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_kinds_commute() {
+        for kind in OpKind::ALL {
+            if kind.is_commutative() {
+                for (a, b) in [(3u64, 9u64), (255, 1), (0, 77)] {
+                    assert_eq!(kind.eval(&[a, b], 8), kind.eval(&[b, a], 8), "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_masks_to_width() {
+        assert_eq!(OpKind::Add.eval(&[0xff, 1], 8), 0);
+        assert_eq!(OpKind::Mul.eval(&[16, 16], 8), 0);
+        assert_eq!(OpKind::Not.eval(&[0], 4), 0xf);
+    }
+
+    #[test]
+    fn select_picks_by_condition() {
+        assert_eq!(OpKind::Select.eval(&[1, 10, 20], 8), 10);
+        assert_eq!(OpKind::Select.eval(&[0, 10, 20], 8), 20);
+    }
+
+    #[test]
+    fn sub_is_not_commutative_but_has_identity() {
+        assert_eq!(OpKind::Sub.right_identity(), Some(0));
+        assert!(!OpKind::Sub.is_commutative());
+    }
+}

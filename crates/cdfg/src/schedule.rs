@@ -1,0 +1,209 @@
+//! Schedule container: the result of the scheduling task.
+//!
+//! Scheduling algorithms live in `hlstb-hls`; the container lives here so
+//! lifetime analysis and transformations can consume schedules without a
+//! dependency cycle.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Cdfg;
+use crate::ids::OpId;
+
+/// Maximum number of control steps supported (lifetimes are tracked in a
+/// 128-bit step set).
+pub const MAX_STEPS: u32 = 128;
+
+/// Errors from [`Schedule::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An intra-iteration dependency is violated: the consumer starts
+    /// before the producer finishes.
+    PrecedenceViolated {
+        /// Producer operation.
+        from: OpId,
+        /// Consumer operation.
+        to: OpId,
+    },
+    /// The schedule exceeds [`MAX_STEPS`] control steps.
+    TooManySteps {
+        /// Number of steps the schedule would need.
+        steps: u32,
+    },
+    /// The start-time table length does not match the operation count.
+    WrongLength {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::PrecedenceViolated { from, to } => {
+                write!(f, "{to} starts before its producer {from} finishes")
+            }
+            ScheduleError::TooManySteps { steps } => {
+                write!(f, "schedule needs {steps} steps, maximum is {MAX_STEPS}")
+            }
+            ScheduleError::WrongLength { expected, found } => {
+                write!(f, "start table has {found} entries, CDFG has {expected} operations")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// A validated non-pipelined schedule: a start control step for every
+/// operation, plus per-operation latencies.
+///
+/// Control steps are numbered from 0. The value of an operation is
+/// available in registers from the step *after* it finishes, i.e. from
+/// `start + latency`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    start: Vec<u32>,
+    latency: Vec<u32>,
+    num_steps: u32,
+}
+
+impl Schedule {
+    /// Builds a schedule from explicit start times, using each kind's
+    /// [`default_latency`](crate::OpKind::default_latency).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn new(cdfg: &Cdfg, start: Vec<u32>) -> Result<Self, ScheduleError> {
+        let latency: Vec<u32> = cdfg.ops().map(|o| o.kind.default_latency()).collect();
+        Self::with_latencies(cdfg, start, latency)
+    }
+
+    /// Builds a schedule with caller-provided per-operation latencies.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn with_latencies(
+        cdfg: &Cdfg,
+        start: Vec<u32>,
+        latency: Vec<u32>,
+    ) -> Result<Self, ScheduleError> {
+        if start.len() != cdfg.num_ops() || latency.len() != cdfg.num_ops() {
+            return Err(ScheduleError::WrongLength {
+                expected: cdfg.num_ops(),
+                found: start.len().min(latency.len()),
+            });
+        }
+        let mut num_steps = 1;
+        for (i, (&s, &l)) in start.iter().zip(&latency).enumerate() {
+            let end = s + l.max(1);
+            num_steps = num_steps.max(end);
+            let _ = i;
+        }
+        if num_steps > MAX_STEPS {
+            return Err(ScheduleError::TooManySteps { steps: num_steps });
+        }
+        for e in cdfg.data_edges() {
+            if e.distance == 0 {
+                let fin = start[e.from.index()] + latency[e.from.index()].max(1);
+                if start[e.to.index()] < fin {
+                    return Err(ScheduleError::PrecedenceViolated { from: e.from, to: e.to });
+                }
+            }
+        }
+        Ok(Schedule { start, latency, num_steps })
+    }
+
+    /// Start control step of an operation.
+    pub fn start(&self, op: OpId) -> u32 {
+        self.start[op.index()]
+    }
+
+    /// Latency in steps of an operation (≥ 1).
+    pub fn latency(&self, op: OpId) -> u32 {
+        self.latency[op.index()].max(1)
+    }
+
+    /// The first step at which the operation's result is register-valid.
+    pub fn ready_step(&self, op: OpId) -> u32 {
+        self.start(op) + self.latency(op)
+    }
+
+    /// Total control steps of one iteration.
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// Operations active (executing) during `step`, in id order.
+    pub fn ops_at(&self, step: u32) -> Vec<OpId> {
+        (0..self.start.len())
+            .filter(|&i| {
+                let s = self.start[i];
+                step >= s && step < s + self.latency[i].max(1)
+            })
+            .map(|i| OpId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::op::OpKind;
+
+    fn two_op() -> Cdfg {
+        let mut b = CdfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t = b.op(OpKind::Add, &[a, c], "t");
+        b.op_output(OpKind::Add, &[t, c], "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_schedule_accepted() {
+        let g = two_op();
+        let s = Schedule::new(&g, vec![0, 1]).unwrap();
+        assert_eq!(s.num_steps(), 2);
+        assert_eq!(s.ready_step(OpId(0)), 1);
+    }
+
+    #[test]
+    fn precedence_violation_rejected() {
+        let g = two_op();
+        assert!(matches!(
+            Schedule::new(&g, vec![0, 0]),
+            Err(ScheduleError::PrecedenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn multicycle_latency_respected() {
+        let mut b = CdfgBuilder::new("m");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t = b.op(OpKind::Mul, &[a, c], "t"); // latency 2
+        b.op_output(OpKind::Add, &[t, c], "o");
+        let g = b.finish().unwrap();
+        assert!(Schedule::new(&g, vec![0, 1]).is_err());
+        let s = Schedule::new(&g, vec![0, 2]).unwrap();
+        assert_eq!(s.num_steps(), 3);
+        assert_eq!(s.ops_at(1), vec![OpId(0)]);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let g = two_op();
+        assert!(matches!(
+            Schedule::new(&g, vec![0]),
+            Err(ScheduleError::WrongLength { .. })
+        ));
+    }
+}

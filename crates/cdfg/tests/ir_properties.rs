@@ -1,0 +1,104 @@
+//! Property tests of the behavioral IR on random graphs.
+
+use std::collections::HashMap;
+
+use hlstb_cdfg::benchmarks::{random_cdfg, RandomCdfgParams};
+use hlstb_cdfg::{LifetimeMap, Schedule, StepSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random(seed: u64, ops: usize, states: usize) -> hlstb_cdfg::Cdfg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_cdfg(RandomCdfgParams { ops, inputs: 3, states, mul_percent: 25 }, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Topological order respects every intra-iteration edge.
+    #[test]
+    fn topo_order_is_a_linear_extension(seed in 0u64..5000, ops in 4usize..24) {
+        let g = random(seed, ops, 2);
+        let order = g.topo_order();
+        let pos: HashMap<_, _> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        for e in g.data_edges() {
+            if e.distance == 0 {
+                prop_assert!(pos[&e.from] < pos[&e.to]);
+            }
+        }
+    }
+
+    /// Every enumerated loop really is a cycle with positive distance.
+    #[test]
+    fn loops_are_genuine_cycles(seed in 0u64..5000, ops in 5usize..20, states in 1usize..4) {
+        prop_assume!(states + 1 < ops);
+        let g = random(seed, ops, states);
+        for l in g.loops(256) {
+            prop_assert!(l.total_distance >= 1);
+            prop_assert_eq!(l.ops.len(), l.vars.len());
+            // Consecutive ops are joined by a data edge through the
+            // recorded variable.
+            for (i, &op) in l.ops.iter().enumerate() {
+                let var = l.vars[i];
+                prop_assert_eq!(g.var(var).def, Some(op));
+                let next = l.ops[(i + 1) % l.ops.len()];
+                prop_assert!(
+                    g.op(next).inputs.iter().any(|o| o.var == var),
+                    "edge {} -> {} missing", op, next
+                );
+            }
+        }
+    }
+
+    /// The interpreter is deterministic and width-masking is sound.
+    #[test]
+    fn evaluate_masks_and_repeats(seed in 0u64..5000, ops in 4usize..16) {
+        let g = random(seed, ops, 1);
+        let streams: HashMap<String, Vec<u64>> = g
+            .inputs()
+            .map(|v| (v.name.clone(), vec![seed & 0xff, 200, 3]))
+            .collect();
+        let a = g.evaluate(&streams, &HashMap::new(), 5);
+        let b = g.evaluate(&streams, &HashMap::new(), 5);
+        prop_assert_eq!(&a, &b);
+        for vals in a.values() {
+            for &v in vals {
+                prop_assert!(v < 32, "value exceeds 5-bit mask");
+            }
+        }
+    }
+
+    /// ASAP-style packed schedules always validate and lifetimes stay in
+    /// range.
+    #[test]
+    fn lifetimes_stay_within_period(seed in 0u64..5000, ops in 4usize..16) {
+        let g = random(seed, ops, 1);
+        // Serial schedule: op i at step i (latencies accounted).
+        let mut t = 0u32;
+        let order = g.topo_order();
+        let mut start = vec![0u32; g.num_ops()];
+        for &op in &order {
+            start[op.index()] = t;
+            t += g.op(op).kind.default_latency();
+        }
+        let s = Schedule::new(&g, start).expect("serial schedules are legal");
+        let lt = LifetimeMap::compute(&g, &s);
+        let all = StepSet::all(s.num_steps());
+        for v in lt.vars().collect::<Vec<_>>() {
+            let steps = lt.get(v).unwrap().steps;
+            prop_assert_eq!(steps.union(all), all, "lifetime exceeds period");
+        }
+    }
+
+    /// DOT output is structurally balanced for any graph.
+    #[test]
+    fn dot_is_balanced(seed in 0u64..5000, ops in 4usize..20) {
+        let g = random(seed, ops, 2);
+        let dot = hlstb_cdfg::dot::to_dot(&g);
+        prop_assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        let header = format!("digraph \"{}\"", g.name());
+        let has_header = dot.contains(&header);
+        prop_assert!(has_header);
+    }
+}

@@ -1,0 +1,192 @@
+//! `hlstb` — command-line driver for the workbench.
+//!
+//! ```text
+//! hlstb list
+//! hlstb table1
+//! hlstb synth <design> [--strategy S] [--policy P] [--scheduler X] [--width N]
+//! hlstb sgraph <design> [--strategy S]      # DOT on stdout
+//! hlstb cdfg <design>                       # DOT on stdout
+//! ```
+
+use std::process::ExitCode;
+
+use hlstb::cdfg::{benchmarks, Cdfg};
+use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler, SynthesisFlow};
+
+fn designs() -> Vec<Cdfg> {
+    benchmarks::all()
+}
+
+fn find_design(name: &str) -> Option<Cdfg> {
+    designs().into_iter().find(|g| g.name() == name)
+}
+
+fn parse_strategy(s: &str) -> Option<DftStrategy> {
+    Some(match s {
+        "none" => DftStrategy::None,
+        "full-scan" => DftStrategy::FullScan,
+        "gate-partial-scan" => DftStrategy::GateLevelPartialScan,
+        "behavioral-partial-scan" => DftStrategy::BehavioralPartialScan,
+        "loop-avoidance" => DftStrategy::SimultaneousLoopAvoidance,
+        "bist-naive" => DftStrategy::BistNaive,
+        "bist-shared" => DftStrategy::BistShared,
+        _ => {
+            let k = s.strip_prefix("k-level=")?;
+            DftStrategy::KLevelTestPoints(k.parse().ok()?)
+        }
+    })
+}
+
+fn parse_policy(s: &str) -> Option<RegisterPolicy> {
+    Some(match s {
+        "left-edge" => RegisterPolicy::LeftEdge,
+        "dsatur" => RegisterPolicy::Dsatur,
+        "io-max" => RegisterPolicy::IoMax,
+        "boundary" => RegisterPolicy::Boundary,
+        "loop-avoiding" => RegisterPolicy::LoopAvoiding,
+        "avra" => RegisterPolicy::Avra,
+        _ => return None,
+    })
+}
+
+fn parse_scheduler(s: &str) -> Option<Scheduler> {
+    Some(match s {
+        "list" => Scheduler::List,
+        "io-aware" => Scheduler::IoAware,
+        "asap" => Scheduler::Asap,
+        _ => {
+            let extra = s.strip_prefix("force-directed=")?;
+            Scheduler::ForceDirected(extra.parse().ok()?)
+        }
+    })
+}
+
+const USAGE: &str = "usage: hlstb <list|table1|synth|sgraph|cdfg> [args]
+  list                          available benchmark designs
+  table1                        the survey's Table 1
+  synth <design> [options]      run the synthesis flow, print the report
+  sgraph <design> [options]     register S-graph as Graphviz DOT
+  cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
+options:
+  --strategy  none|full-scan|gate-partial-scan|behavioral-partial-scan|
+              loop-avoidance|bist-naive|bist-shared|k-level=<k>
+  --policy    left-edge|dsatur|io-max|boundary|loop-avoiding|avra
+  --scheduler list|io-aware|asap|force-directed=<extra>
+  --width     data-path width in bits (default 4)
+  --json      (synth) print the report as JSON instead of text";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).ok_or(USAGE)?;
+    match cmd {
+        "list" => {
+            for g in designs() {
+                println!(
+                    "{:<12} {:>3} ops  {:>2} inputs  {:>2} outputs  {:>2} loops",
+                    g.name(),
+                    g.num_ops(),
+                    g.inputs().count(),
+                    g.outputs().count(),
+                    g.loops(64).len()
+                );
+            }
+            Ok(())
+        }
+        "table1" => {
+            print!("{}", hlstb::tools::render_table1());
+            Ok(())
+        }
+        "synth" | "sgraph" => {
+            let name = args.get(1).ok_or(USAGE)?;
+            let cdfg = find_design(name)
+                .ok_or_else(|| format!("unknown design `{name}` (try `hlstb list`)"))?;
+            let mut flow = SynthesisFlow::new(cdfg);
+            let mut json = false;
+            let mut i = 2;
+            while i < args.len() {
+                let key = args[i].as_str();
+                if key == "--json" {
+                    json = true;
+                    i += 1;
+                    continue;
+                }
+                let value = args.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?;
+                flow = match key {
+                    "--strategy" => flow.strategy(
+                        parse_strategy(value).ok_or_else(|| format!("bad strategy {value}"))?,
+                    ),
+                    "--policy" => flow.register_policy(
+                        parse_policy(value).ok_or_else(|| format!("bad policy {value}"))?,
+                    ),
+                    "--scheduler" => flow.scheduler(
+                        parse_scheduler(value).ok_or_else(|| format!("bad scheduler {value}"))?,
+                    ),
+                    "--width" => flow.width(
+                        value.parse().map_err(|_| format!("bad width {value}"))?,
+                    ),
+                    other => return Err(format!("unknown option {other}\n{USAGE}")),
+                };
+                i += 2;
+            }
+            let design = flow.run().map_err(|e| e.to_string())?;
+            if cmd == "synth" {
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&design.report)
+                            .map_err(|e| e.to_string())?
+                    );
+                    return Ok(());
+                }
+                println!("{}", design.report);
+                if let Some(plan) = &design.bist_plan {
+                    let (t, s, b, c) = plan.counts();
+                    println!("  BIST plan         : {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO");
+                }
+                if let Some(plan) = &design.kcontrol_plan {
+                    println!(
+                        "  k-level points    : {} control, {} observe (k = {})",
+                        plan.control_points.len(),
+                        plan.observe_points.len(),
+                        plan.k
+                    );
+                }
+            } else {
+                let sg = design.datapath.register_sgraph();
+                println!("digraph sgraph {{");
+                for n in sg.nodes() {
+                    let scan = design.datapath.registers()[n.index()].scan;
+                    let shape = if scan { "doublecircle" } else { "circle" };
+                    println!("  n{} [label=\"{}\", shape={shape}];", n.0, sg.label(n));
+                }
+                for (u, v) in sg.edges() {
+                    println!("  n{} -> n{};", u.0, v.0);
+                }
+                println!("}}");
+            }
+            Ok(())
+        }
+        "cdfg" => {
+            let name = args.get(1).ok_or(USAGE)?;
+            let cdfg = find_design(name)
+                .ok_or_else(|| format!("unknown design `{name}` (try `hlstb list`)"))?;
+            if args.iter().any(|a| a == "--text") {
+                print!("{}", hlstb::cdfg::pretty::to_pseudocode(&cdfg));
+            } else {
+                print!("{}", hlstb::cdfg::dot::to_dot(&cdfg));
+            }
+            Ok(())
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}

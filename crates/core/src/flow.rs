@@ -1,0 +1,523 @@
+//! The end-to-end synthesis-for-testability flow.
+
+use std::error::Error;
+use std::fmt;
+
+use hlstb_bist::registers::BistPlan;
+use hlstb_cdfg::{Cdfg, Schedule};
+use hlstb_hls::bind::{self, BindError, Binding, RegAlgo};
+use hlstb_hls::datapath::{Datapath, DatapathError};
+use hlstb_hls::estimate::{estimate_area, RegisterCosts};
+use hlstb_hls::expand::{self, ControllerMode, ExpandError, ExpandOptions, ExpandedDatapath};
+use hlstb_hls::fu::ResourceLimits;
+use hlstb_hls::sched::{self, ListPriority, SchedError};
+use hlstb_scan::kcontrol::{self, KControlPlan};
+use hlstb_scan::scanvars::{self, ScanSelectOptions};
+use hlstb_scan::simsched::{self, SimSchedOptions};
+use hlstb_sgraph::cycles::{enumerate_cycles, CycleLimits};
+use hlstb_sgraph::depth::sequential_depth;
+use hlstb_sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+use hlstb_sgraph::NodeId;
+
+use crate::report::TestabilityReport;
+
+/// Scheduler selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Resource-constrained list scheduling (least slack first).
+    #[default]
+    List,
+    /// List scheduling with the I/O-aware priority of §3.2.
+    IoAware,
+    /// Force-directed scheduling with the given extra latency.
+    ForceDirected(u32),
+    /// ASAP (unconstrained).
+    Asap,
+}
+
+/// Register-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegisterPolicy {
+    /// Left-edge minimum-register assignment.
+    #[default]
+    LeftEdge,
+    /// DSATUR conflict-graph coloring.
+    Dsatur,
+    /// I/O-register maximization (Lee et al., §3.2).
+    IoMax,
+    /// Boundary-variable scan assignment (Lee, Jha & Wolf, §3.3.1).
+    Boundary,
+    /// Loop-avoiding assignment (Potkonjak, Dey & Roy, §3.3.2).
+    LoopAvoiding,
+    /// Self-adjacency-minimizing assignment (Avra, §5.1).
+    Avra,
+}
+
+/// The DFT strategy applied after data-path construction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DftStrategy {
+    /// No test hardware.
+    #[default]
+    None,
+    /// Every register scannable.
+    FullScan,
+    /// Gate-level-style partial scan: a minimum feedback vertex set of
+    /// the register S-graph is scanned.
+    GateLevelPartialScan,
+    /// Behavioral partial scan: scan variables selected on the CDFG with
+    /// the §3.3.1 effectiveness measures; residual assignment loops are
+    /// broken by MFVS on what remains.
+    BehavioralPartialScan,
+    /// Simultaneous scheduling and assignment that avoids loop formation
+    /// (§3.3.2); overrides the scheduler and register policy.
+    SimultaneousLoopAvoidance,
+    /// BIST with the naive TPGR/SR/CBILBO configuration (§5 baseline).
+    BistNaive,
+    /// BIST with maximal TPGR/SR sharing and exact CBILBO conditions
+    /// (§5.1, Parulkar et al.).
+    BistShared,
+    /// Non-scan k-level controllability/observability test points
+    /// (§4.2, Dey & Potkonjak).
+    KLevelTestPoints(u32),
+}
+
+/// Errors from the flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Scheduling failed.
+    Sched(SchedError),
+    /// Binding failed.
+    Bind(BindError),
+    /// Data-path construction failed.
+    Datapath(DatapathError),
+    /// Gate-level expansion failed.
+    Expand(ExpandError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sched(e) => write!(f, "scheduling: {e}"),
+            FlowError::Bind(e) => write!(f, "binding: {e}"),
+            FlowError::Datapath(e) => write!(f, "data path: {e}"),
+            FlowError::Expand(e) => write!(f, "expansion: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<SchedError> for FlowError {
+    fn from(e: SchedError) -> Self {
+        FlowError::Sched(e)
+    }
+}
+impl From<BindError> for FlowError {
+    fn from(e: BindError) -> Self {
+        FlowError::Bind(e)
+    }
+}
+impl From<DatapathError> for FlowError {
+    fn from(e: DatapathError) -> Self {
+        FlowError::Datapath(e)
+    }
+}
+impl From<ExpandError> for FlowError {
+    fn from(e: ExpandError) -> Self {
+        FlowError::Expand(e)
+    }
+}
+
+/// A complete synthesized, DFT-processed design.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDesign {
+    /// The behavior.
+    pub cdfg: Cdfg,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The binding.
+    pub binding: Binding,
+    /// The data path (scan marks applied).
+    pub datapath: Datapath,
+    /// The gate-level expansion.
+    pub expanded: ExpandedDatapath,
+    /// The testability report.
+    pub report: TestabilityReport,
+    /// BIST configuration, when a BIST strategy ran.
+    pub bist_plan: Option<BistPlan>,
+    /// k-level test-point plan, when that strategy ran.
+    pub kcontrol_plan: Option<KControlPlan>,
+}
+
+/// Builder for one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisFlow {
+    cdfg: Cdfg,
+    limits: ResourceLimits,
+    scheduler: Scheduler,
+    policy: RegisterPolicy,
+    strategy: DftStrategy,
+    width: u32,
+    controller: ControllerMode,
+    reset_controller: bool,
+}
+
+impl SynthesisFlow {
+    /// Starts a flow for a behavior with minimal resources, the default
+    /// list scheduler, left-edge registers, no DFT, 4-bit width.
+    pub fn new(cdfg: Cdfg) -> Self {
+        let limits = ResourceLimits::minimal_for(&cdfg);
+        SynthesisFlow {
+            cdfg,
+            limits,
+            scheduler: Scheduler::default(),
+            policy: RegisterPolicy::default(),
+            strategy: DftStrategy::default(),
+            width: 4,
+            controller: ControllerMode::Expanded,
+            reset_controller: false,
+        }
+    }
+
+    /// Sets the resource limits.
+    pub fn limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Sets the register policy.
+    pub fn register_policy(mut self, p: RegisterPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Sets the DFT strategy.
+    pub fn strategy(mut self, s: DftStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Sets the data-path width in bits.
+    pub fn width(mut self, w: u32) -> Self {
+        self.width = w;
+        self
+    }
+
+    /// Sets the controller realization of the expansion.
+    pub fn controller(mut self, c: ControllerMode) -> Self {
+        self.controller = c;
+        self
+    }
+
+    /// Adds a synchronous reset to the expanded controller (needed for
+    /// non-scan sequential ATPG to initialize the FSM).
+    pub fn reset_controller(mut self, on: bool) -> Self {
+        self.reset_controller = on;
+        self
+    }
+
+    /// Runs the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline stage failure as a [`FlowError`].
+    pub fn run(self) -> Result<SynthesizedDesign, FlowError> {
+        let cdfg = self.cdfg.clone();
+        // 1. Schedule + bind (+ possibly integrated DFT).
+        let (schedule, binding, mut datapath, mut boundary_scan) =
+            if self.strategy == DftStrategy::SimultaneousLoopAvoidance {
+                let r = simsched::schedule_and_assign(
+                    &cdfg,
+                    &SimSchedOptions { limits: self.limits.clone(), ..Default::default() },
+                )?;
+                (r.schedule, r.binding, r.datapath, r.scan_registers)
+            } else {
+                let schedule = match self.scheduler {
+                    Scheduler::List => {
+                        sched::list_schedule(&cdfg, &self.limits, ListPriority::Slack)?
+                    }
+                    Scheduler::IoAware => {
+                        sched::list_schedule(&cdfg, &self.limits, ListPriority::IoAware)?
+                    }
+                    Scheduler::ForceDirected(extra) => {
+                        sched::force_directed(&cdfg, sched::critical_path(&cdfg) + extra)?
+                    }
+                    Scheduler::Asap => sched::asap(&cdfg)?,
+                };
+                let (fu_of, fus) = bind::bind_fus(&cdfg, &schedule);
+                let mut boundary_scan = Vec::new();
+                let regs = match self.policy {
+                    RegisterPolicy::LeftEdge => {
+                        bind::assign_registers(&cdfg, &schedule, RegAlgo::LeftEdge)
+                    }
+                    RegisterPolicy::Dsatur => {
+                        bind::assign_registers(&cdfg, &schedule, RegAlgo::Dsatur)
+                    }
+                    RegisterPolicy::IoMax => {
+                        hlstb_scan::ioreg::assign_io_max(&cdfg, &schedule).regs
+                    }
+                    RegisterPolicy::Boundary => {
+                        let a = hlstb_scan::boundary::assign_boundary(&cdfg, &schedule, 4096);
+                        boundary_scan = (0..a.scan_register_count).collect();
+                        a.regs
+                    }
+                    RegisterPolicy::LoopAvoiding => {
+                        simsched::loop_avoiding_registers(&cdfg, &schedule, &fu_of)
+                    }
+                    RegisterPolicy::Avra => {
+                        hlstb_bist::selfadj::avra_assignment(&cdfg, &schedule, &fu_of)
+                    }
+                };
+                let binding = Binding::from_parts(&cdfg, &schedule, fu_of, fus, regs)?;
+                let datapath = Datapath::build(&cdfg, &schedule, &binding)?;
+                (schedule, binding, datapath, boundary_scan)
+            };
+
+        // 2. Apply the DFT strategy.
+        let mut bist_plan = None;
+        let mut kcontrol_plan = None;
+        let limits = CycleLimits { max_cycles: 4096, max_len: 24 };
+        match self.strategy {
+            DftStrategy::None => {}
+            DftStrategy::FullScan => {
+                let all: Vec<usize> = (0..datapath.registers().len()).collect();
+                datapath.mark_scan(&all);
+            }
+            DftStrategy::GateLevelPartialScan => {
+                let sg = datapath.register_sgraph();
+                let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
+                let marks: Vec<usize> = fvs.nodes.iter().map(|n| n.index()).collect();
+                datapath.mark_scan(&marks);
+            }
+            DftStrategy::SimultaneousLoopAvoidance => {
+                // The integrated flow concentrated all feedback into the
+                // scan-seeded registers; a minimum feedback vertex set on
+                // the resulting S-graph (often a subset of the seeds, or
+                // empty when loops became tolerated self-loops) is the
+                // final scan set.
+                boundary_scan.clear();
+                let sg = datapath.register_sgraph();
+                let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
+                let marks: Vec<usize> = fvs.nodes.iter().map(|n| n.index()).collect();
+                datapath.mark_scan(&marks);
+            }
+            DftStrategy::BehavioralPartialScan => {
+                let sel = scanvars::select_scan_variables(
+                    &cdfg,
+                    &schedule,
+                    &ScanSelectOptions::default(),
+                );
+                let lookup = binding.regs.lookup(&cdfg);
+                let mut marks: Vec<usize> = sel
+                    .scan_vars
+                    .iter()
+                    .filter_map(|v| lookup[v.index()])
+                    .collect();
+                marks.extend(boundary_scan.drain(..));
+                marks.sort_unstable();
+                marks.dedup();
+                datapath.mark_scan(&marks);
+                // Residual assignment loops: break with MFVS on the rest.
+                let sg = datapath.register_sgraph();
+                let scanned: std::collections::BTreeSet<NodeId> = datapath
+                    .scan_registers()
+                    .iter()
+                    .map(|&r| NodeId(r as u32))
+                    .collect();
+                let (rest, back) = sg.without_nodes(&scanned);
+                let fvs = minimum_feedback_vertex_set(&rest, MfvsOptions::default());
+                let extra: Vec<usize> =
+                    fvs.nodes.iter().map(|n| back[n.index()].index()).collect();
+                datapath.mark_scan(&extra);
+            }
+            DftStrategy::BistNaive => {
+                bist_plan = Some(hlstb_bist::registers::naive_plan(&datapath));
+            }
+            DftStrategy::BistShared => {
+                bist_plan = Some(hlstb_bist::share::shared_plan(&datapath));
+            }
+            DftStrategy::KLevelTestPoints(k) => {
+                let sg = datapath.register_sgraph();
+                let inputs: Vec<NodeId> = datapath
+                    .input_registers()
+                    .iter()
+                    .map(|&r| NodeId(r as u32))
+                    .collect();
+                let outputs: Vec<NodeId> = datapath
+                    .output_registers()
+                    .iter()
+                    .map(|&r| NodeId(r as u32))
+                    .collect();
+                kcontrol_plan =
+                    Some(kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits));
+            }
+        }
+
+        // 3. Expand to gates.
+        let expanded = expand::expand(
+            &datapath,
+            &ExpandOptions {
+                width: self.width,
+                controller: self.controller,
+                scan_controller: false,
+                reset_controller: self.reset_controller,
+            },
+        )?;
+
+        // 4. Report.
+        let sg = datapath.register_sgraph();
+        let cycles = enumerate_cycles(&sg, limits)
+            .into_iter()
+            .filter(|c| !c.is_self_loop())
+            .count();
+        let mfvs_size = minimum_feedback_vertex_set(&sg, MfvsOptions::default())
+            .nodes
+            .len();
+        let scanned: std::collections::BTreeSet<NodeId> = datapath
+            .scan_registers()
+            .iter()
+            .map(|&r| NodeId(r as u32))
+            .collect();
+        let (post, back) = sg.without_nodes(&scanned);
+        let acyclic = post.is_acyclic(true);
+        // Post-scan depth: scan registers act as pseudo I/O.
+        let mut din: Vec<NodeId> = Vec::new();
+        let mut dout: Vec<NodeId> = Vec::new();
+        for (new, old) in back.iter().enumerate() {
+            let r = old.index();
+            if datapath.input_registers().contains(&r) {
+                din.push(NodeId(new as u32));
+            }
+            if datapath.output_registers().contains(&r) {
+                dout.push(NodeId(new as u32));
+            }
+        }
+        let depth = sequential_depth(&post, &din, &dout);
+        let report = TestabilityReport {
+            name: cdfg.name().to_string(),
+            period: datapath.period(),
+            registers: datapath.registers().len(),
+            io_registers: {
+                let mut io = datapath.input_registers();
+                io.extend(datapath.output_registers());
+                io.sort_unstable();
+                io.dedup();
+                io.len()
+            },
+            fus: datapath.fus().len(),
+            scan_registers: datapath.scan_registers().len(),
+            sgraph_cycles: cycles,
+            sgraph_acyclic_after_scan: acyclic,
+            mfvs_size,
+            max_control_depth: depth.max_control(),
+            max_observe_depth: depth.max_observe(),
+            gates: expanded.netlist.num_gates(),
+            area: estimate_area(&datapath, self.width, &RegisterCosts::default()).total(),
+        };
+        Ok(SynthesizedDesign {
+            cdfg,
+            schedule,
+            binding,
+            datapath,
+            expanded,
+            report,
+            bist_plan,
+            kcontrol_plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+
+    #[test]
+    fn default_flow_builds_every_benchmark() {
+        for g in benchmarks::all() {
+            let d = SynthesisFlow::new(g.clone()).run();
+            assert!(d.is_ok(), "{}: {:?}", g.name(), d.err());
+            let d = d.unwrap();
+            assert!(d.report.gates > 0);
+            assert_eq!(d.report.scan_registers, 0);
+        }
+    }
+
+    #[test]
+    fn full_scan_marks_everything() {
+        let d = SynthesisFlow::new(benchmarks::diffeq())
+            .strategy(DftStrategy::FullScan)
+            .run()
+            .unwrap();
+        assert_eq!(d.report.scan_registers, d.report.registers);
+        assert!(d.report.sgraph_acyclic_after_scan);
+    }
+
+    #[test]
+    fn partial_scan_strategies_break_all_loops() {
+        for strategy in [
+            DftStrategy::GateLevelPartialScan,
+            DftStrategy::BehavioralPartialScan,
+        ] {
+            for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+                let d = SynthesisFlow::new(g.clone()).strategy(strategy).run().unwrap();
+                assert!(
+                    d.report.sgraph_acyclic_after_scan,
+                    "{} with {strategy:?}",
+                    g.name()
+                );
+                assert!(d.report.scan_registers < d.report.registers);
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_avoidance_scans_no_more_than_oblivious() {
+        let g = benchmarks::figure1();
+        let avoid = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::SimultaneousLoopAvoidance)
+            .run()
+            .unwrap();
+        let oblivious = SynthesisFlow::new(g)
+            .strategy(DftStrategy::GateLevelPartialScan)
+            .run()
+            .unwrap();
+        assert!(avoid.report.scan_registers <= oblivious.report.scan_registers);
+    }
+
+    #[test]
+    fn bist_strategies_attach_plans() {
+        let d = SynthesisFlow::new(benchmarks::diffeq())
+            .strategy(DftStrategy::BistShared)
+            .run()
+            .unwrap();
+        let plan = d.bist_plan.expect("plan attached");
+        assert_eq!(plan.kind_of.len(), d.report.registers);
+    }
+
+    #[test]
+    fn klevel_strategy_attaches_plan() {
+        let d = SynthesisFlow::new(benchmarks::diffeq())
+            .strategy(DftStrategy::KLevelTestPoints(1))
+            .run()
+            .unwrap();
+        assert!(d.kcontrol_plan.is_some());
+    }
+
+    #[test]
+    fn iomax_policy_raises_io_register_share() {
+        let g = benchmarks::ewf();
+        let base = SynthesisFlow::new(g.clone()).run().unwrap();
+        let io = SynthesisFlow::new(g)
+            .register_policy(RegisterPolicy::IoMax)
+            .run()
+            .unwrap();
+        assert!(io.report.io_registers >= base.report.io_registers);
+    }
+}

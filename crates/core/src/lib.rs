@@ -1,0 +1,50 @@
+//! `hlstb` — a high-level-synthesis-for-testability workbench.
+//!
+//! This crate is the facade of the reproduction of **Wagner & Dey,
+//! "High-Level Synthesis for Testability: A Survey and Perspective"
+//! (DAC 1996)**: one [`flow::SynthesisFlow`] that takes a behavioral
+//! description (a [`hlstb_cdfg::Cdfg`]) through scheduling, binding and
+//! data-path construction, applies a selected design-for-testability
+//! strategy from the survey's catalogue, expands to gates, and reports
+//! the testability metrics every experiment compares on.
+//!
+//! The individual techniques live in the sub-crates (re-exported here):
+//!
+//! | Crate | Survey section |
+//! |---|---|
+//! | [`cdfg`] | behavioral IR, benchmarks, transformations (§1.1, §3.4) |
+//! | [`sgraph`] | S-graph analysis, MFVS, the ATPG cost model (§3.1) |
+//! | [`hls`] | allocation/scheduling/assignment, RTL, gates (§1.1) |
+//! | [`scan`] | partial-scan synthesis (§3, §4) |
+//! | [`bist`] | BIST synthesis (§5) |
+//! | [`testgen`] | hierarchical test generation (§6) |
+//! | [`netlist`] | the gate-level substrate: simulation, faults, ATPG |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hlstb::flow::{DftStrategy, SynthesisFlow};
+//! use hlstb::cdfg::benchmarks;
+//!
+//! let design = SynthesisFlow::new(benchmarks::diffeq())
+//!     .strategy(DftStrategy::BehavioralPartialScan)
+//!     .run()?;
+//! // The behavioral scan selection leaves no loops but self-loops:
+//! assert!(design.report.sgraph_acyclic_after_scan);
+//! # Ok::<(), hlstb::flow::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod report;
+pub mod tools;
+
+pub use hlstb_bist as bist;
+pub use hlstb_cdfg as cdfg;
+pub use hlstb_hls as hls;
+pub use hlstb_netlist as netlist;
+pub use hlstb_scan as scan;
+pub use hlstb_sgraph as sgraph;
+pub use hlstb_testgen as testgen;

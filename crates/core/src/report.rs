@@ -1,0 +1,91 @@
+//! Unified testability report.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Structural and testability metrics of a synthesized design — the
+//  common vocabulary of all experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestabilityReport {
+    /// Design name.
+    pub name: String,
+    /// Control steps per iteration.
+    pub period: u32,
+    /// Total data-path registers (delay stages included).
+    pub registers: usize,
+    /// Registers hosting primary I/O.
+    pub io_registers: usize,
+    /// Functional units.
+    pub fus: usize,
+    /// Registers marked for scan.
+    pub scan_registers: usize,
+    /// Non-self loops in the register S-graph before scan.
+    pub sgraph_cycles: usize,
+    /// Whether removing the scan registers leaves the S-graph acyclic
+    /// (self-loops tolerated).
+    pub sgraph_acyclic_after_scan: bool,
+    /// Size of a minimum feedback vertex set of the pre-scan S-graph
+    /// (the gate-level partial-scan baseline).
+    pub mfvs_size: usize,
+    /// Maximum sequential depth from input registers (post-scan).
+    pub max_control_depth: u32,
+    /// Maximum sequential depth to output registers (post-scan).
+    pub max_observe_depth: u32,
+    /// Gate count of the expanded netlist.
+    pub gates: usize,
+    /// Area estimate in gate equivalents.
+    pub area: f64,
+}
+
+impl fmt::Display for TestabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {}", self.name)?;
+        writeln!(f, "  period            : {} steps", self.period)?;
+        writeln!(
+            f,
+            "  registers         : {} total, {} I/O, {} scan",
+            self.registers, self.io_registers, self.scan_registers
+        )?;
+        writeln!(f, "  functional units  : {}", self.fus)?;
+        writeln!(
+            f,
+            "  S-graph           : {} cycles, MFVS {}, acyclic after scan: {}",
+            self.sgraph_cycles, self.mfvs_size, self.sgraph_acyclic_after_scan
+        )?;
+        writeln!(
+            f,
+            "  sequential depth  : control {} / observe {}",
+            self.max_control_depth, self.max_observe_depth
+        )?;
+        write!(f, "  gates             : {} ({:.0} GE)", self.gates, self.area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_metrics() {
+        let r = TestabilityReport {
+            name: "x".into(),
+            period: 4,
+            registers: 10,
+            io_registers: 5,
+            fus: 3,
+            scan_registers: 2,
+            sgraph_cycles: 1,
+            sgraph_acyclic_after_scan: true,
+            mfvs_size: 1,
+            max_control_depth: 2,
+            max_observe_depth: 3,
+            gates: 500,
+            area: 1234.5,
+        };
+        let s = r.to_string();
+        assert!(s.contains("10 total"));
+        assert!(s.contains("MFVS 1"));
+        assert!(s.contains("1235 GE") || s.contains("1234 GE"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The survey's Table 1: operational level of testability insertion for
+//! the commercial EDA tools of 1996 — catalog data, reproduced verbatim
+//! by the `exp_table1` experiment binary.
+
+use serde::{Deserialize, Serialize};
+
+/// At which representation a tool inserts testability structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertionLevel {
+    /// Behavioral/RT-level HDL.
+    Hdl,
+    /// Technology-independent (generic-gate) netlist.
+    TechnologyIndependent,
+    /// Technology-dependent (mapped) netlist.
+    TechnologyDependent,
+}
+
+impl InsertionLevel {
+    /// The wording used in the paper's table.
+    pub fn label(self) -> &'static str {
+        match self {
+            InsertionLevel::Hdl => "HDL",
+            InsertionLevel::TechnologyIndependent => "technology-independent",
+            InsertionLevel::TechnologyDependent => "technology-dependent",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ToolEntry {
+    /// Vendor / tool name.
+    pub name: &'static str,
+    /// The synthesis system the tool builds on.
+    pub synthesis_base: &'static str,
+    /// Level(s) at which testability is inserted.
+    pub levels: &'static [InsertionLevel],
+}
+
+/// The eight rows of Table 1, in the paper's order.
+pub fn table1() -> Vec<ToolEntry> {
+    use InsertionLevel::*;
+    vec![
+        ToolEntry { name: "Sunrise", synthesis_base: "Viewlogic", levels: &[TechnologyDependent] },
+        ToolEntry {
+            name: "Mentor",
+            synthesis_base: "Autologic II",
+            levels: &[TechnologyIndependent],
+        },
+        ToolEntry {
+            name: "LogicVision",
+            synthesis_base: "Synopsys HDL & Design Compiler",
+            levels: &[Hdl],
+        },
+        ToolEntry {
+            name: "IBM",
+            synthesis_base: "Booledozer",
+            levels: &[TechnologyIndependent, TechnologyDependent],
+        },
+        ToolEntry {
+            name: "Synopsys",
+            synthesis_base: "Synopsys HDL & Design Compiler",
+            levels: &[Hdl, TechnologyDependent],
+        },
+        ToolEntry {
+            name: "Compass",
+            synthesis_base: "ASIC Synthesizer",
+            levels: &[TechnologyDependent],
+        },
+        ToolEntry {
+            name: "AT&T",
+            synthesis_base: "Synovation",
+            levels: &[Hdl, TechnologyDependent],
+        },
+    ]
+}
+
+/// Renders Table 1 in the paper's three-column layout.
+pub fn render_table1() -> String {
+    let rows = table1();
+    let mut out = String::from(
+        "Table 1: Operational Level of Testability Insertion\n\
+         Name        | Synthesis Base                  | Testability Insertion Level\n\
+         ------------+---------------------------------+----------------------------\n",
+    );
+    for r in rows {
+        let levels: Vec<&str> = r.levels.iter().map(|l| l.label()).collect();
+        out.push_str(&format!(
+            "{:<11} | {:<31} | {}\n",
+            r.name,
+            r.synthesis_base,
+            levels.join(" and ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_vendors() {
+        let names: Vec<&str> = table1().iter().map(|t| t.name).collect();
+        for expected in ["Sunrise", "Mentor", "LogicVision", "IBM", "Synopsys", "Compass", "AT&T"]
+        {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let s = render_table1();
+        for t in table1() {
+            assert!(s.contains(t.name));
+        }
+        assert!(s.contains("technology-independent"));
+    }
+}

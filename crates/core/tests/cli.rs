@@ -1,0 +1,63 @@
+//! End-to-end tests of the `hlstb` command-line driver.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hlstb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_shows_all_benchmarks() {
+    let (stdout, _, ok) = run(&["list"]);
+    assert!(ok);
+    for name in ["figure1", "diffeq", "ewf", "gcd", "dct_lite"] {
+        assert!(stdout.contains(name), "{name} missing from list");
+    }
+}
+
+#[test]
+fn synth_prints_a_report() {
+    let (stdout, _, ok) = run(&["synth", "tseng", "--strategy", "behavioral-partial-scan"]);
+    assert!(ok);
+    assert!(stdout.contains("design tseng"));
+    assert!(stdout.contains("registers"));
+}
+
+#[test]
+fn synth_json_is_parseable() {
+    let (stdout, _, ok) = run(&["synth", "figure1", "--json"]);
+    assert!(ok, "{stdout}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["name"], "figure1");
+    assert!(v["gates"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn sgraph_emits_dot() {
+    let (stdout, _, ok) = run(&["sgraph", "diffeq", "--strategy", "gate-partial-scan"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("doublecircle"), "scan registers should be marked");
+}
+
+#[test]
+fn unknown_design_fails_cleanly() {
+    let (_, stderr, ok) = run(&["synth", "nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown design"));
+}
+
+#[test]
+fn table1_prints() {
+    let (stdout, _, ok) = run(&["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("LogicVision"));
+}

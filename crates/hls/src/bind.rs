@@ -1,0 +1,458 @@
+//! Assignment (binding): operations → functional units, variables →
+//! registers.
+//!
+//! The register-assignment entry points are deliberately pluggable —
+//! the testability techniques of the survey (§3.2 I/O-register
+//! maximization, §3.3 scan sharing, §5.1 BIST assignment) are all
+//! *register assignment policies*; they produce a
+//! [`RegisterAssignment`] and validate it through
+//! [`Binding::from_parts`].
+
+
+use std::error::Error;
+use std::fmt;
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, OpId, Schedule, VarId, VarKind};
+use serde::{Deserialize, Serialize};
+
+use crate::fu::FuKind;
+
+/// One functional-unit instance and the operations bound to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuInstance {
+    /// The class of the unit.
+    pub kind: FuKind,
+    /// Operations executed on this unit.
+    pub ops: Vec<OpId>,
+}
+
+/// A variable-to-register assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegisterAssignment {
+    /// `registers[r]` lists the variables sharing register `r`.
+    pub registers: Vec<Vec<VarId>>,
+}
+
+impl RegisterAssignment {
+    /// The register index of a variable, if assigned.
+    pub fn reg_of(&self, var: VarId) -> Option<usize> {
+        self.registers.iter().position(|g| g.contains(&var))
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Whether there are no registers.
+    pub fn is_empty(&self) -> bool {
+        self.registers.is_empty()
+    }
+
+    /// A dense lookup table variable → register index.
+    pub fn lookup(&self, cdfg: &Cdfg) -> Vec<Option<usize>> {
+        let mut t = vec![None; cdfg.num_vars()];
+        for (r, group) in self.registers.iter().enumerate() {
+            for &v in group {
+                t[v.index()] = Some(r);
+            }
+        }
+        t
+    }
+}
+
+/// A complete binding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// `fu_of[op]` is the index into [`Binding::fus`].
+    pub fu_of: Vec<usize>,
+    /// The functional-unit instances.
+    pub fus: Vec<FuInstance>,
+    /// The register assignment.
+    pub regs: RegisterAssignment,
+}
+
+/// Errors from binding construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// Two operations on one unit overlap in time.
+    FuConflict {
+        /// First operation.
+        a: OpId,
+        /// Second operation.
+        b: OpId,
+    },
+    /// An operation is bound to a unit of the wrong class.
+    WrongClass {
+        /// The operation.
+        op: OpId,
+        /// The unit's class.
+        fu: FuKind,
+    },
+    /// Two variables in one register have overlapping lifetimes.
+    RegisterConflict {
+        /// First variable.
+        a: VarId,
+        /// Second variable.
+        b: VarId,
+    },
+    /// A register-resident variable has no register.
+    Unassigned {
+        /// The variable.
+        var: VarId,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::FuConflict { a, b } => write!(f, "{a} and {b} overlap on one unit"),
+            BindError::WrongClass { op, fu } => write!(f, "{op} cannot run on a {fu}"),
+            BindError::RegisterConflict { a, b } => {
+                write!(f, "{a} and {b} share a register but their lifetimes overlap")
+            }
+            BindError::Unassigned { var } => write!(f, "{var} has no register"),
+        }
+    }
+}
+
+impl Error for BindError {}
+
+/// Register-assignment algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegAlgo {
+    /// Left-edge: greedy first-fit in birth order (the conventional
+    /// minimum-register assignment).
+    #[default]
+    LeftEdge,
+    /// DSATUR coloring of the conflict graph.
+    Dsatur,
+}
+
+/// Options for [`bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BindOptions {
+    /// Register-assignment algorithm.
+    pub reg_algo: RegAlgo,
+}
+
+impl Binding {
+    /// Validates a binding assembled from parts (custom policies enter
+    /// here).
+    ///
+    /// # Errors
+    ///
+    /// See [`BindError`].
+    pub fn from_parts(
+        cdfg: &Cdfg,
+        schedule: &Schedule,
+        fu_of: Vec<usize>,
+        fus: Vec<FuInstance>,
+        regs: RegisterAssignment,
+    ) -> Result<Self, BindError> {
+        let b = Binding { fu_of, fus, regs };
+        b.validate(cdfg, schedule)?;
+        Ok(b)
+    }
+
+    fn validate(&self, cdfg: &Cdfg, schedule: &Schedule) -> Result<(), BindError> {
+        // FU class and occupancy.
+        for (fi, fu) in self.fus.iter().enumerate() {
+            for (i, &a) in fu.ops.iter().enumerate() {
+                if !fu.kind.supports(cdfg.op(a).kind) {
+                    return Err(BindError::WrongClass { op: a, fu: fu.kind });
+                }
+                debug_assert_eq!(self.fu_of[a.index()], fi);
+                for &b in &fu.ops[i + 1..] {
+                    let (sa, ea) = (schedule.start(a), schedule.start(a) + schedule.latency(a));
+                    let (sb, eb) = (schedule.start(b), schedule.start(b) + schedule.latency(b));
+                    if sa < eb && sb < ea {
+                        return Err(BindError::FuConflict { a, b });
+                    }
+                }
+            }
+        }
+        // Register lifetimes.
+        let lt = LifetimeMap::compute(cdfg, schedule);
+        for group in &self.regs.registers {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if lt.overlap(a, b) {
+                        return Err(BindError::RegisterConflict { a, b });
+                    }
+                }
+            }
+        }
+        for v in cdfg.vars() {
+            if matches!(v.kind, VarKind::Constant(_)) {
+                continue;
+            }
+            if self.regs.reg_of(v.id).is_none() {
+                return Err(BindError::Unassigned { var: v.id });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy minimum-instance FU binding: operations of each class in start
+/// order, first instance whose occupancy is free.
+pub fn bind_fus(cdfg: &Cdfg, schedule: &Schedule) -> (Vec<usize>, Vec<FuInstance>) {
+    let mut fus: Vec<FuInstance> = Vec::new();
+    let mut busy: Vec<Vec<(u32, u32)>> = Vec::new(); // per fu: (start,end)
+    let mut fu_of = vec![usize::MAX; cdfg.num_ops()];
+    let mut ops: Vec<OpId> = cdfg.ops().map(|o| o.id).collect();
+    ops.sort_by_key(|&o| (schedule.start(o), o.0));
+    for o in ops {
+        let kind = FuKind::for_op(cdfg.op(o).kind);
+        let (s, e) = (schedule.start(o), schedule.start(o) + schedule.latency(o));
+        let slot = (0..fus.len()).find(|&i| {
+            fus[i].kind == kind && busy[i].iter().all(|&(bs, be)| e <= bs || be <= s)
+        });
+        let i = match slot {
+            Some(i) => i,
+            None => {
+                fus.push(FuInstance { kind, ops: Vec::new() });
+                busy.push(Vec::new());
+                fus.len() - 1
+            }
+        };
+        fus[i].ops.push(o);
+        busy[i].push((s, e));
+        fu_of[o.index()] = i;
+    }
+    (fu_of, fus)
+}
+
+/// The register-conflict graph: nodes are the register-resident
+/// variables (in id order), an edge joins overlapping lifetimes.
+pub fn conflict_graph(cdfg: &Cdfg, lt: &LifetimeMap) -> (Vec<VarId>, Vec<Vec<bool>>) {
+    let vars: Vec<VarId> = cdfg
+        .vars()
+        .filter(|v| !matches!(v.kind, VarKind::Constant(_)))
+        .map(|v| v.id)
+        .collect();
+    let n = vars.len();
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if lt.overlap(vars[i], vars[j]) {
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+    }
+    (vars, adj)
+}
+
+/// DSATUR graph coloring; returns one color per node. Deterministic:
+/// ties break toward the lower node index.
+pub fn dsatur(adj: &[Vec<bool>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut color = vec![usize::MAX; n];
+    let degree: Vec<usize> = adj.iter().map(|r| r.iter().filter(|&&b| b).count()).collect();
+    for _ in 0..n {
+        // Pick uncolored node with max saturation, then max degree.
+        let mut best: Option<(usize, usize, usize)> = None; // (sat, deg, node)
+        for v in 0..n {
+            if color[v] != usize::MAX {
+                continue;
+            }
+            let sat = {
+                let mut used: Vec<usize> =
+                    (0..n).filter(|&u| adj[v][u] && color[u] != usize::MAX).map(|u| color[u]).collect();
+                used.sort_unstable();
+                used.dedup();
+                used.len()
+            };
+            let cand = (sat, degree[v], v);
+            best = match best {
+                None => Some(cand),
+                Some(b) => {
+                    if (cand.0, cand.1) > (b.0, b.1) || ((cand.0, cand.1) == (b.0, b.1) && cand.2 < b.2)
+                    {
+                        Some(cand)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let (_, _, v) = best.expect("an uncolored node exists");
+        let mut c = 0;
+        loop {
+            if !(0..n).any(|u| adj[v][u] && color[u] == c) {
+                break;
+            }
+            c += 1;
+        }
+        color[v] = c;
+    }
+    color
+}
+
+/// Left-edge register assignment: variables in birth order, first
+/// register whose occupied steps don't intersect.
+pub fn left_edge(cdfg: &Cdfg, lt: &LifetimeMap) -> RegisterAssignment {
+    let mut vars: Vec<VarId> = cdfg
+        .vars()
+        .filter(|v| !matches!(v.kind, VarKind::Constant(_)))
+        .map(|v| v.id)
+        .collect();
+    vars.sort_by_key(|&v| (lt.get(v).map_or(0, |l| l.birth), v.0));
+    let mut registers: Vec<Vec<VarId>> = Vec::new();
+    let mut occupied: Vec<hlstb_cdfg::StepSet> = Vec::new();
+    for v in vars {
+        let steps = lt.get(v).map_or(hlstb_cdfg::StepSet::EMPTY, |l| l.steps);
+        let slot = (0..registers.len()).find(|&r| !occupied[r].intersects(steps));
+        match slot {
+            Some(r) => {
+                registers[r].push(v);
+                occupied[r] = occupied[r].union(steps);
+            }
+            None => {
+                registers.push(vec![v]);
+                occupied.push(steps);
+            }
+        }
+    }
+    RegisterAssignment { registers }
+}
+
+/// Register assignment via the chosen algorithm.
+pub fn assign_registers(cdfg: &Cdfg, schedule: &Schedule, algo: RegAlgo) -> RegisterAssignment {
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    match algo {
+        RegAlgo::LeftEdge => left_edge(cdfg, &lt),
+        RegAlgo::Dsatur => {
+            let (vars, adj) = conflict_graph(cdfg, &lt);
+            let colors = dsatur(&adj);
+            let ncol = colors.iter().copied().max().map_or(0, |m| m + 1);
+            let mut registers = vec![Vec::new(); ncol];
+            for (i, &v) in vars.iter().enumerate() {
+                registers[colors[i]].push(v);
+            }
+            RegisterAssignment { registers }
+        }
+    }
+}
+
+/// Full conventional binding: greedy FU binding plus the selected
+/// register assignment.
+///
+/// # Errors
+///
+/// Returns [`BindError`] if the produced binding fails validation
+/// (indicates an internal inconsistency; surfaced rather than panicking).
+pub fn bind(cdfg: &Cdfg, schedule: &Schedule, options: &BindOptions) -> Result<Binding, BindError> {
+    let (fu_of, fus) = bind_fus(cdfg, schedule);
+    let regs = assign_registers(cdfg, schedule, options.reg_algo);
+    Binding::from_parts(cdfg, schedule, fu_of, fus, regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched;
+    use hlstb_cdfg::benchmarks;
+
+    #[test]
+    fn figure1_asap_needs_two_adders() {
+        let g = benchmarks::figure1();
+        let s = sched::asap(&g).unwrap();
+        let (_, fus) = bind_fus(&g, &s);
+        assert_eq!(fus.len(), 2);
+        assert!(fus.iter().all(|f| f.kind == FuKind::Adder));
+    }
+
+    #[test]
+    fn left_edge_and_dsatur_register_counts_agree_on_chains() {
+        let g = benchmarks::figure1();
+        let s = sched::asap(&g).unwrap();
+        let le = assign_registers(&g, &s, RegAlgo::LeftEdge);
+        let ds = assign_registers(&g, &s, RegAlgo::Dsatur);
+        // Both must produce valid assignments of identical size here.
+        assert_eq!(le.len(), ds.len());
+    }
+
+    #[test]
+    fn bindings_validate_on_all_benchmarks() {
+        for g in benchmarks::all() {
+            let lim = crate::fu::ResourceLimits::minimal_for(&g);
+            let s = sched::list_schedule(&g, &lim, sched::ListPriority::Slack).unwrap();
+            for algo in [RegAlgo::LeftEdge, RegAlgo::Dsatur] {
+                let b = bind(&g, &s, &BindOptions { reg_algo: algo });
+                assert!(b.is_ok(), "{} with {algo:?}: {:?}", g.name(), b.err());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_register_sharing_is_caught() {
+        let g = benchmarks::figure1();
+        let s = sched::asap(&g).unwrap();
+        let (fu_of, fus) = bind_fus(&g, &s);
+        // Throw every variable into one register: must conflict.
+        let all: Vec<_> = g
+            .vars()
+            .filter(|v| !matches!(v.kind, VarKind::Constant(_)))
+            .map(|v| v.id)
+            .collect();
+        let regs = RegisterAssignment { registers: vec![all] };
+        let r = Binding::from_parts(&g, &s, fu_of, fus, regs);
+        assert!(matches!(r, Err(BindError::RegisterConflict { .. })));
+    }
+
+    #[test]
+    fn missing_assignment_is_caught() {
+        let g = benchmarks::figure1();
+        let s = sched::asap(&g).unwrap();
+        let (fu_of, fus) = bind_fus(&g, &s);
+        let regs = RegisterAssignment { registers: Vec::new() };
+        let r = Binding::from_parts(&g, &s, fu_of, fus, regs);
+        assert!(matches!(r, Err(BindError::Unassigned { .. })));
+    }
+
+    #[test]
+    fn dsatur_colors_triangle_with_three() {
+        let adj = vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, false],
+        ];
+        let c = dsatur(&adj);
+        let mut cs = c.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn dsatur_colors_bipartite_with_two() {
+        // C4 cycle.
+        let adj = vec![
+            vec![false, true, false, true],
+            vec![true, false, true, false],
+            vec![false, true, false, true],
+            vec![true, false, true, false],
+        ];
+        let c = dsatur(&adj);
+        assert!(c.iter().max().unwrap() <= &1);
+    }
+
+    #[test]
+    fn multicycle_ops_occupy_fus_exclusively() {
+        let g = benchmarks::diffeq();
+        let s = sched::asap(&g).unwrap();
+        let (_, fus) = bind_fus(&g, &s);
+        for fu in &fus {
+            for (i, &a) in fu.ops.iter().enumerate() {
+                for &b in &fu.ops[i + 1..] {
+                    let (sa, ea) = (s.start(a), s.start(a) + s.latency(a));
+                    let (sb, eb) = (s.start(b), s.start(b) + s.latency(b));
+                    assert!(ea <= sb || eb <= sa);
+                }
+            }
+        }
+    }
+}

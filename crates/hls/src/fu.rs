@@ -1,0 +1,132 @@
+//! Functional-unit classes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hlstb_cdfg::{Cdfg, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// A class of functional unit in the module library.
+///
+/// The default library mirrors the surveyed papers' data paths: adders
+/// execute additions/subtractions (and identity moves), multipliers are
+/// dedicated, and an ALU covers the logic/compare/shift repertoire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Adder/subtractor.
+    Adder,
+    /// Multiplier (two-cycle by default).
+    Multiplier,
+    /// Logic/compare/shift/select unit.
+    Alu,
+}
+
+impl FuKind {
+    /// All classes in a stable order.
+    pub const ALL: [FuKind; 3] = [FuKind::Adder, FuKind::Multiplier, FuKind::Alu];
+
+    /// The class that executes `op` in the default library.
+    pub fn for_op(op: OpKind) -> FuKind {
+        match op {
+            OpKind::Add | OpKind::Sub | OpKind::Pass => FuKind::Adder,
+            OpKind::Mul => FuKind::Multiplier,
+            _ => FuKind::Alu,
+        }
+    }
+
+    /// Whether this class can execute `op`.
+    pub fn supports(self, op: OpKind) -> bool {
+        FuKind::for_op(op) == self
+    }
+
+    /// Rough area in gate equivalents per bit of data-path width, used
+    /// by [`crate::estimate`].
+    pub fn gate_equivalents_per_bit(self) -> f64 {
+        match self {
+            FuKind::Adder => 7.0,
+            FuKind::Multiplier => 40.0,
+            FuKind::Alu => 12.0,
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::Adder => "adder",
+            FuKind::Multiplier => "multiplier",
+            FuKind::Alu => "alu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resource limits per functional-unit class; classes absent from the
+/// map are unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceLimits {
+    limits: BTreeMap<FuKind, usize>,
+}
+
+impl ResourceLimits {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        ResourceLimits::default()
+    }
+
+    /// Sets the limit for one class, returning `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` — a zero allocation can never schedule.
+    pub fn with(mut self, kind: FuKind, count: usize) -> Self {
+        assert!(count > 0, "zero allocation for {kind}");
+        self.limits.insert(kind, count);
+        self
+    }
+
+    /// The limit for a class, if any.
+    pub fn limit(&self, kind: FuKind) -> Option<usize> {
+        self.limits.get(&kind).copied()
+    }
+
+    /// The minimum feasible allocation for a CDFG: one unit per class in
+    /// use (the tightest constraint under which list scheduling still
+    /// succeeds).
+    pub fn minimal_for(cdfg: &Cdfg) -> Self {
+        let mut lim = ResourceLimits::default();
+        for op in cdfg.ops() {
+            lim.limits.entry(FuKind::for_op(op.kind)).or_insert(1);
+        }
+        lim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+
+    #[test]
+    fn classes_cover_all_ops() {
+        for k in OpKind::ALL {
+            let class = FuKind::for_op(k);
+            assert!(class.supports(k));
+        }
+    }
+
+    #[test]
+    fn limits_roundtrip() {
+        let l = ResourceLimits::unlimited().with(FuKind::Adder, 2);
+        assert_eq!(l.limit(FuKind::Adder), Some(2));
+        assert_eq!(l.limit(FuKind::Multiplier), None);
+    }
+
+    #[test]
+    fn minimal_for_diffeq_has_all_three() {
+        let lim = ResourceLimits::minimal_for(&benchmarks::diffeq());
+        assert_eq!(lim.limit(FuKind::Adder), Some(1));
+        assert_eq!(lim.limit(FuKind::Multiplier), Some(1));
+        assert_eq!(lim.limit(FuKind::Alu), Some(1));
+    }
+}

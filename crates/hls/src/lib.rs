@@ -1,0 +1,52 @@
+//! High-level synthesis engine of the `hlstb` workbench.
+//!
+//! Implements the three fundamental behavioral synthesis tasks the
+//! survey's §1.1 enumerates — **allocation** (how many functional units
+//! of which kind), **scheduling** (which control step runs each
+//! operation) and **assignment/binding** (which unit executes each
+//! operation, which register holds each variable) — plus what the
+//! testability work needs downstream of them:
+//!
+//! * [`fu`] — functional-unit classes and default op→class mapping;
+//! * [`sched`] — ASAP/ALAP/mobility, resource-constrained list
+//!   scheduling, force-directed scheduling, and the mobility-path
+//!   flavor of Lee/Wolf/Jha (survey §3.2);
+//! * [`bind`] — FU binding, conflict-graph (DSATUR) and left-edge
+//!   register assignment;
+//! * [`datapath`] — the RTL data path (registers, FUs, port/register
+//!   muxes), its register S-graph (the object every loop-analysis in the
+//!   survey reasons about), and the per-step control table;
+//! * [`expand`] — gate-level expansion via `hlstb-netlist`, with an
+//!   expanded FSM controller or externally-driven control (the "control
+//!   signals fully controllable in test mode" assumption of §3.5);
+//! * [`estimate`] — area/register/mux accounting for overhead reporting.
+//!
+//! # Example: schedule, bind and build the paper's Figure 1
+//!
+//! ```
+//! use hlstb_cdfg::benchmarks;
+//! use hlstb_hls::{bind, datapath, sched};
+//!
+//! let cdfg = benchmarks::figure1();
+//! let schedule = sched::asap(&cdfg)?;
+//! let binding = bind::bind(&cdfg, &schedule, &bind::BindOptions::default())?;
+//! let dp = datapath::Datapath::build(&cdfg, &schedule, &binding)?;
+//! let sg = dp.register_sgraph();
+//! assert!(sg.num_nodes() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bind;
+pub mod datapath;
+pub mod estimate;
+pub mod expand;
+pub mod fu;
+pub mod portswap;
+pub mod sched;
+
+pub use bind::{BindOptions, Binding, RegisterAssignment};
+pub use datapath::Datapath;
+pub use fu::FuKind;

@@ -1,0 +1,417 @@
+//! Scheduling algorithms.
+//!
+//! All algorithms produce a validated [`Schedule`]; resource-constrained
+//! ones respect [`ResourceLimits`] including multi-cycle occupancy of
+//! multipliers.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use hlstb_cdfg::schedule::{ScheduleError, MAX_STEPS};
+use hlstb_cdfg::{Cdfg, OpId, Schedule, VarKind};
+
+use crate::fu::{FuKind, ResourceLimits};
+
+/// Errors from the schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The requested latency is shorter than the critical path.
+    LatencyTooShort {
+        /// Requested latency.
+        requested: u32,
+        /// Critical-path length.
+        critical: u32,
+    },
+    /// Scheduling exceeded [`MAX_STEPS`] control steps.
+    Overflow,
+    /// Validation of the produced schedule failed (internal error).
+    Invalid(ScheduleError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::LatencyTooShort { requested, critical } => {
+                write!(f, "latency {requested} below critical path {critical}")
+            }
+            SchedError::Overflow => write!(f, "schedule exceeds {MAX_STEPS} steps"),
+            SchedError::Invalid(e) => write!(f, "invalid schedule produced: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn lat(cdfg: &Cdfg, op: OpId) -> u32 {
+    cdfg.op(op).kind.default_latency()
+}
+
+/// As-soon-as-possible schedule (unlimited resources).
+///
+/// # Errors
+///
+/// [`SchedError::Overflow`] if the critical path exceeds the step cap.
+pub fn asap(cdfg: &Cdfg) -> Result<Schedule, SchedError> {
+    let mut start = vec![0u32; cdfg.num_ops()];
+    for &op in &cdfg.topo_order() {
+        let s = cdfg
+            .zero_distance_predecessors(op)
+            .into_iter()
+            .map(|p| start[p.index()] + lat(cdfg, p))
+            .max()
+            .unwrap_or(0);
+        if s + lat(cdfg, op) > MAX_STEPS {
+            return Err(SchedError::Overflow);
+        }
+        start[op.index()] = s;
+    }
+    Schedule::new(cdfg, start).map_err(SchedError::Invalid)
+}
+
+/// Critical-path length in control steps (the ASAP latency).
+pub fn critical_path(cdfg: &Cdfg) -> u32 {
+    asap(cdfg).map(|s| s.num_steps()).unwrap_or(MAX_STEPS)
+}
+
+/// As-late-as-possible schedule for a total latency of `latency` steps.
+///
+/// # Errors
+///
+/// [`SchedError::LatencyTooShort`] if `latency` is below the critical
+/// path.
+pub fn alap(cdfg: &Cdfg, latency: u32) -> Result<Schedule, SchedError> {
+    let critical = critical_path(cdfg);
+    if latency < critical {
+        return Err(SchedError::LatencyTooShort { requested: latency, critical });
+    }
+    let mut start = vec![0u32; cdfg.num_ops()];
+    for &op in cdfg.topo_order().iter().rev() {
+        let succ_min = cdfg
+            .successors(op)
+            .into_iter()
+            .map(|s| start[s.index()])
+            .min();
+        let end = succ_min.unwrap_or(latency);
+        start[op.index()] = end - lat(cdfg, op);
+    }
+    Schedule::new(cdfg, start).map_err(SchedError::Invalid)
+}
+
+/// Per-operation mobility (ALAP start − ASAP start) at the given latency.
+///
+/// # Errors
+///
+/// Same conditions as [`alap`].
+pub fn mobility(cdfg: &Cdfg, latency: u32) -> Result<Vec<u32>, SchedError> {
+    let a = asap(cdfg)?;
+    let l = alap(cdfg, latency)?;
+    Ok(cdfg.ops().map(|o| l.start(o.id) - a.start(o.id)).collect())
+}
+
+/// Priority hints for the list scheduler's tie-breaking, used by the
+/// mobility-path flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ListPriority {
+    /// Least slack first (classic list scheduling).
+    #[default]
+    Slack,
+    /// Least slack, then prefer operations that consume primary-input
+    /// variables (ending I/O lifetimes early) and defer operations that
+    /// produce primary outputs (starting output lifetimes late) — the
+    /// register-assignment-friendly order in the spirit of the
+    /// mobility-path scheduling of Lee, Wolf & Jha (ICCAD'92), which
+    /// maximizes I/O register sharing (survey §3.2).
+    IoAware,
+}
+
+/// Resource-constrained list scheduling.
+///
+/// # Errors
+///
+/// [`SchedError::Overflow`] if the schedule exceeds the step cap.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_cdfg::benchmarks;
+/// use hlstb_hls::fu::{FuKind, ResourceLimits};
+/// use hlstb_hls::sched::{list_schedule, ListPriority};
+///
+/// let cdfg = benchmarks::figure1();
+/// let two_adders = ResourceLimits::unlimited().with(FuKind::Adder, 2);
+/// let s = list_schedule(&cdfg, &two_adders, ListPriority::Slack)?;
+/// assert_eq!(s.num_steps(), 3); // the paper's 3-step constraint holds
+/// # Ok::<(), hlstb_hls::sched::SchedError>(())
+/// ```
+
+pub fn list_schedule(
+    cdfg: &Cdfg,
+    limits: &ResourceLimits,
+    priority: ListPriority,
+) -> Result<Schedule, SchedError> {
+    let n = cdfg.num_ops();
+    let asap_len = critical_path(cdfg);
+    // Generous ALAP bound for slack computation; ops may slip past it,
+    // slack simply saturates at 0.
+    let bound = (asap_len + n as u32).min(MAX_STEPS);
+    let alap_sched = alap(cdfg, bound)?;
+
+    let io_bias: Vec<i64> = cdfg
+        .ops()
+        .map(|o| {
+            let consumes_pi = o
+                .inputs
+                .iter()
+                .filter(|operand| cdfg.var(operand.var).kind == VarKind::Input)
+                .count() as i64;
+            let produces_po = i64::from(cdfg.var(o.output).kind == VarKind::Output);
+            match priority {
+                ListPriority::Slack => 0,
+                ListPriority::IoAware => produces_po - consumes_pi,
+            }
+        })
+        .collect();
+
+    let mut start: Vec<Option<u32>> = vec![None; n];
+    let mut done = 0usize;
+    let mut step = 0u32;
+    // busy[kind] = list of (instance ends_at) — we only need counts.
+    let mut busy: HashMap<FuKind, Vec<u32>> = HashMap::new();
+    while done < n {
+        if step >= MAX_STEPS {
+            return Err(SchedError::Overflow);
+        }
+        // Free units whose occupation ended.
+        for ends in busy.values_mut() {
+            ends.retain(|&e| e > step);
+        }
+        // Ready ops: unscheduled, all zero-distance preds finished.
+        let mut ready: Vec<OpId> = (0..n)
+            .map(|i| OpId(i as u32))
+            .filter(|&o| start[o.index()].is_none())
+            .filter(|&o| {
+                cdfg.zero_distance_predecessors(o).into_iter().all(|p| {
+                    start[p.index()].is_some_and(|s| s + lat(cdfg, p) <= step)
+                })
+            })
+            .collect();
+        // Priority: least slack first, then the I/O bias, then id.
+        ready.sort_by_key(|&o| {
+            let slack = alap_sched.start(o).saturating_sub(step) as i64;
+            (slack + io_bias[o.index()], o.0)
+        });
+        for o in ready {
+            let kind = FuKind::for_op(cdfg.op(o).kind);
+            let in_use = busy.get(&kind).map_or(0, Vec::len);
+            if limits.limit(kind).is_some_and(|l| in_use >= l) {
+                continue;
+            }
+            start[o.index()] = Some(step);
+            busy.entry(kind).or_default().push(step + lat(cdfg, o));
+            done += 1;
+        }
+        step += 1;
+    }
+    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    Schedule::new(cdfg, start).map_err(SchedError::Invalid)
+}
+
+/// Simplified force-directed scheduling (Paulin & Knight) at a fixed
+/// latency: operations are placed one at a time at the step of least
+/// self-force against the per-class distribution graphs.
+///
+/// # Errors
+///
+/// Same conditions as [`alap`].
+pub fn force_directed(cdfg: &Cdfg, latency: u32) -> Result<Schedule, SchedError> {
+    let asap_s = asap(cdfg)?;
+    let alap_s = alap(cdfg, latency)?;
+    let n = cdfg.num_ops();
+    // Probability distribution per class per step.
+    let mut placed: Vec<Option<u32>> = vec![None; n];
+    let window = |o: OpId, placed: &[Option<u32>]| -> (u32, u32) {
+        match placed[o.index()] {
+            Some(s) => (s, s),
+            None => (asap_s.start(o), alap_s.start(o)),
+        }
+    };
+    let distribution = |kind: FuKind, placed: &[Option<u32>]| -> Vec<f64> {
+        let mut d = vec![0.0; latency as usize];
+        for op in cdfg.ops() {
+            if FuKind::for_op(op.kind) != kind {
+                continue;
+            }
+            let (lo, hi) = window(op.id, placed);
+            let p = 1.0 / (hi - lo + 1) as f64;
+            for s in lo..=hi {
+                for k in 0..lat(cdfg, op.id) {
+                    if let Some(slot) = d.get_mut((s + k) as usize) {
+                        *slot += p;
+                    }
+                }
+            }
+        }
+        d
+    };
+    // Place in order of least mobility (forced ops first), by self-force.
+    let mut order: Vec<OpId> = (0..n).map(|i| OpId(i as u32)).collect();
+    order.sort_by_key(|&o| (alap_s.start(o) - asap_s.start(o), o.0));
+    for o in order {
+        let kind = FuKind::for_op(cdfg.op(o).kind);
+        let (lo, hi) = window(o, &placed);
+        let d = distribution(kind, &placed);
+        let mut best = lo;
+        let mut best_force = f64::INFINITY;
+        for s in lo..=hi {
+            // Feasibility against already-placed predecessors/successors.
+            let preds_ok = cdfg
+                .zero_distance_predecessors(o)
+                .into_iter()
+                .all(|p| window(p, &placed).0 + lat(cdfg, p) <= s || placed[p.index()].is_none());
+            let succs_ok = cdfg
+                .successors(o)
+                .into_iter()
+                .all(|q| placed[q.index()].map_or(true, |qs| s + lat(cdfg, o) <= qs));
+            let preds_hard = cdfg
+                .zero_distance_predecessors(o)
+                .into_iter()
+                .all(|p| placed[p.index()].map_or(true, |ps| ps + lat(cdfg, p) <= s));
+            if !(preds_ok && succs_ok && preds_hard) {
+                continue;
+            }
+            let force: f64 = (0..lat(cdfg, o))
+                .map(|k| d.get((s + k) as usize).copied().unwrap_or(0.0))
+                .sum();
+            if force < best_force {
+                best_force = force;
+                best = s;
+            }
+        }
+        placed[o.index()] = Some(best);
+    }
+    let start: Vec<u32> = placed.into_iter().map(|s| s.expect("all placed")).collect();
+    Schedule::new(cdfg, start).map_err(SchedError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_cdfg::OpKind;
+
+    #[test]
+    fn asap_matches_critical_path_on_figure1() {
+        let g = benchmarks::figure1();
+        let s = asap(&g).unwrap();
+        // Chains +1→+2→+5 take 3 steps.
+        assert_eq!(s.num_steps(), 3);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = benchmarks::figure1();
+        let s = alap(&g, 4).unwrap();
+        assert_eq!(s.num_steps(), 4);
+        // +4 (index 3, output t) ends at the deadline.
+        let last = g.ops().map(|o| s.start(o.id) + 1).max().unwrap();
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn alap_rejects_short_latency() {
+        let g = benchmarks::figure1();
+        assert!(matches!(alap(&g, 2), Err(SchedError::LatencyTooShort { .. })));
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path() {
+        let g = benchmarks::figure1();
+        let m = mobility(&g, 3).unwrap();
+        // +1, +2, +5 are critical (mobility 0); +3, +4 have slack 1.
+        assert_eq!(m.iter().filter(|&&x| x == 0).count(), 3);
+        assert_eq!(m.iter().filter(|&&x| x == 1).count(), 2);
+    }
+
+    #[test]
+    fn list_schedule_respects_adder_limit() {
+        let g = benchmarks::figure1();
+        let lim = ResourceLimits::unlimited().with(FuKind::Adder, 2);
+        let s = list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+        assert_eq!(s.num_steps(), 3, "figure 1 fits 3 steps with 2 adders");
+        for step in 0..s.num_steps() {
+            assert!(s.ops_at(step).len() <= 2);
+        }
+        // One adder forces a longer schedule.
+        let lim1 = ResourceLimits::unlimited().with(FuKind::Adder, 1);
+        let s1 = list_schedule(&g, &lim1, ListPriority::Slack).unwrap();
+        assert_eq!(s1.num_steps(), 5);
+    }
+
+    #[test]
+    fn list_schedule_handles_multicycle_multipliers() {
+        let g = benchmarks::diffeq();
+        let lim = ResourceLimits::unlimited()
+            .with(FuKind::Multiplier, 2)
+            .with(FuKind::Adder, 1)
+            .with(FuKind::Alu, 1);
+        let s = list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+        // No step may have more than 2 multipliers active.
+        for step in 0..s.num_steps() {
+            let muls = s
+                .ops_at(step)
+                .into_iter()
+                .filter(|&o| g.op(o).kind == OpKind::Mul)
+                .count();
+            assert!(muls <= 2, "step {step} has {muls} muls");
+        }
+    }
+
+    #[test]
+    fn io_aware_priority_still_valid() {
+        for g in benchmarks::all() {
+            let lim = ResourceLimits::minimal_for(&g);
+            let s = list_schedule(&g, &lim, ListPriority::IoAware).unwrap();
+            assert!(s.num_steps() >= critical_path(&g));
+        }
+    }
+
+    #[test]
+    fn force_directed_balances_multipliers() {
+        let g = benchmarks::diffeq();
+        let latency = critical_path(&g) + 2;
+        let s = force_directed(&g, latency).unwrap();
+        assert!(s.num_steps() <= latency);
+        // Peak multiplier usage should not exceed the trivial ASAP peak.
+        let peak = |sched: &Schedule| {
+            (0..sched.num_steps())
+                .map(|t| {
+                    sched
+                        .ops_at(t)
+                        .into_iter()
+                        .filter(|&o| g.op(o).kind == OpKind::Mul)
+                        .count()
+                })
+                .max()
+                .unwrap()
+        };
+        let asap_peak = peak(&asap(&g).unwrap());
+        assert!(peak(&s) <= asap_peak);
+    }
+
+    #[test]
+    fn all_benchmarks_schedule_under_minimal_resources() {
+        for g in benchmarks::all() {
+            let lim = ResourceLimits::minimal_for(&g);
+            let s = list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+            assert!(s.num_steps() < 128, "{}", g.name());
+        }
+    }
+}

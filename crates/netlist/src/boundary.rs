@@ -1,0 +1,205 @@
+//! Simplified IEEE 1149.1-style boundary scan wrapping (survey §4.2:
+//! "testability structures, such as an IEEE 1149.1 boundary scan cell,
+//! can be directly synthesized").
+//!
+//! Each primary input gets a BC-1-style cell — a shift flop plus an
+//! output mux that substitutes the cell's held value for the pin in test
+//! mode — and each primary output gets an observe-and-shift cell. The
+//! cells form one chain (`bs_in` → input cells → output cells →
+//! `bs_out`) shifted when `bs_shift` is high. The full TAP controller is
+//! out of scope; `bs_mode`/`bs_shift` are direct pins, which is the
+//! "synthesize the cell, wire the protocol later" flow the survey
+//! describes.
+
+use crate::net::{GateKind, NetId, Netlist, NetlistBuilder};
+
+/// A boundary-scan-wrapped netlist.
+#[derive(Debug, Clone)]
+pub struct BoundaryScanDesign {
+    /// The wrapped netlist: adds `bs_mode`, `bs_shift`, `bs_in` inputs
+    /// and a `bs_out` output.
+    pub netlist: Netlist,
+    /// Names of the wrapped pins in chain order.
+    pub chain: Vec<String>,
+}
+
+/// Wraps every primary input and output of `nl` with boundary cells.
+pub fn wrap_boundary_scan(nl: &Netlist) -> BoundaryScanDesign {
+    // Two-phase construction: boundary cells and core flops first, then
+    // the combinational core in topological order.
+    let mut b = NetlistBuilder::new(format!("{}_bs", nl.name()));
+    let bs_mode = b.input("bs_mode");
+    let bs_shift = b.input("bs_shift");
+    let bs_in = b.input("bs_in");
+    let mut chain = Vec::new();
+    let mut prev = bs_in;
+    let mut core_input_net: Vec<NetId> = Vec::new();
+    for &pin in nl.inputs() {
+        let name = nl.net_name(pin).unwrap_or("pin").to_string();
+        let ext = b.input(name.clone());
+        let ff = b.dff_uninit(false);
+        let d = b.gate(GateKind::Mux, &[bs_shift, prev, ext]);
+        b.set_dff_input(ff, d);
+        let to_core = b.gate(GateKind::Mux, &[bs_mode, ff, ext]);
+        core_input_net.push(to_core);
+        chain.push(name);
+        prev = ff;
+    }
+    // Phase 1: reserve all core flops.
+    let mut map: Vec<NetId> = vec![NetId(u32::MAX); nl.num_gates()];
+    for (id, g) in nl.gates() {
+        if let GateKind::Dff { scan } = g.kind {
+            map[id.index()] = b.dff_uninit(scan);
+        }
+    }
+    // Phase 2: sources and topological combinational gates.
+    let mut input_idx = 0usize;
+    for (id, g) in nl.gates() {
+        match g.kind {
+            GateKind::Input => {
+                map[id.index()] = core_input_net[input_idx];
+                input_idx += 1;
+            }
+            GateKind::Const(c) => {
+                map[id.index()] = if c { b.one() } else { b.zero() };
+            }
+            _ => {}
+        }
+    }
+    for &gid in nl.topo() {
+        let g = nl.gate(gid);
+        let inputs: Vec<NetId> = g.inputs.iter().map(|n| map[n.index()]).collect();
+        map[gid.index()] = b.gate(g.kind, &inputs);
+    }
+    // Phase 3: rewire core flop inputs.
+    for (id, g) in nl.gates() {
+        if g.kind.is_dff() {
+            b.set_dff_input(map[id.index()], map[g.inputs[0].index()]);
+        }
+    }
+    // Output cells: capture the core output, shift on bs_shift; the
+    // external pin keeps the functional value (observe-only cell).
+    for (name, net) in nl.outputs() {
+        let core = map[net.index()];
+        let ff = b.dff_uninit(false);
+        let d = b.gate(GateKind::Mux, &[bs_shift, prev, core]);
+        b.set_dff_input(ff, d);
+        b.output(name.clone(), core);
+        chain.push(name.clone());
+        prev = ff;
+    }
+    b.output("bs_out", prev);
+    let netlist = b.finish().expect("boundary wrapping preserves validity");
+    BoundaryScanDesign { netlist, chain }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetlistBuilder;
+    use crate::sim::{eval_comb, next_state, output_values};
+
+    fn core() -> Netlist {
+        let mut b = NetlistBuilder::new("core");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        let q = b.register(&[x], None, false);
+        b.output("o", q[0]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_covers_all_pins() {
+        let bs = wrap_boundary_scan(&core());
+        assert_eq!(bs.chain, vec!["a", "b", "o"]);
+        assert!(bs.netlist.outputs().iter().any(|(n, _)| n == "bs_out"));
+    }
+
+    #[test]
+    fn functional_mode_is_transparent() {
+        let nl = core();
+        let bs = wrap_boundary_scan(&nl);
+        // Drive: bs_mode=0, bs_shift=0, bs_in=0, a, b.
+        for pat in 0..4u64 {
+            let a = pat & 1;
+            let c = pat >> 1 & 1;
+            let mut ff0 = vec![0u64; nl.dffs().len()];
+            let v0 = eval_comb(&nl, &[a * u64::MAX, c * u64::MAX], &ff0, None);
+            ff0 = next_state(&nl, &v0);
+            let v1 = eval_comb(&nl, &[0, 0], &ff0, None);
+            let expected = output_values(&nl, &v1)[0] & 1;
+
+            let mut ffb = vec![0u64; bs.netlist.dffs().len()];
+            let pi1 = vec![0, 0, 0, a * u64::MAX, c * u64::MAX];
+            let w0 = eval_comb(&bs.netlist, &pi1, &ffb, None);
+            ffb = next_state(&bs.netlist, &w0);
+            let pi2 = vec![0, 0, 0, 0, 0];
+            let w1 = eval_comb(&bs.netlist, &pi2, &ffb, None);
+            let got = bs
+                .netlist
+                .outputs()
+                .iter()
+                .find(|(n, _)| n == "o")
+                .map(|(_, net)| w1[net.index()] & 1)
+                .unwrap();
+            assert_eq!(got, expected, "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn shift_moves_bits_down_the_chain() {
+        let bs = wrap_boundary_scan(&core());
+        let n = bs.chain.len();
+        // Shift a single 1 through: after n cycles it appears at bs_out.
+        let mut ff = vec![0u64; bs.netlist.dffs().len()];
+        let mut outs = Vec::new();
+        for t in 0..2 * n {
+            let bit = u64::from(t == 0) * u64::MAX;
+            // bs_mode=1, bs_shift=1, bs_in=bit, a=b=0.
+            let pi = vec![u64::MAX, u64::MAX, bit, 0, 0];
+            let v = eval_comb(&bs.netlist, &pi, &ff, None);
+            let bs_out = bs
+                .netlist
+                .outputs()
+                .iter()
+                .find(|(nm, _)| nm == "bs_out")
+                .map(|(_, net)| v[net.index()] & 1)
+                .unwrap();
+            outs.push(bs_out);
+            ff = next_state(&bs.netlist, &v);
+        }
+        // The injected 1 must appear exactly once at the chain output.
+        assert_eq!(outs.iter().filter(|&&b| b == 1).count(), 1, "{outs:?}");
+    }
+
+    #[test]
+    fn test_mode_injects_cell_values() {
+        let bs = wrap_boundary_scan(&core());
+        // Load the input cells by shifting [a_cell=1, b_cell=1, o_cell=0]
+        // then switch to bs_mode=1 and check the core computes from the
+        // cells, not the pins.
+        let mut ff = vec![0u64; bs.netlist.dffs().len()];
+        // Chain order a, b, o: to leave 1s in a,b shift in 0,1,1.
+        for &bit in &[0u64, u64::MAX, u64::MAX] {
+            let pi = vec![u64::MAX, u64::MAX, bit, 0, 0];
+            let v = eval_comb(&bs.netlist, &pi, &ff, None);
+            ff = next_state(&bs.netlist, &v);
+        }
+        // bs_mode=1, bs_shift=0; pins held at 0: core sees a=1, b=1.
+        let pi = vec![u64::MAX, 0, 0, 0, 0];
+        let v = eval_comb(&bs.netlist, &pi, &ff, None);
+        ff = next_state(&bs.netlist, &v);
+        let v2 = eval_comb(&bs.netlist, &pi, &ff, None);
+        let o = bs
+            .netlist
+            .outputs()
+            .iter()
+            .find(|(nm, _)| nm == "o")
+            .map(|(_, net)| v2[net.index()] & 1)
+            .unwrap();
+        // xor(1,1) = 0 delayed one cycle.
+        assert_eq!(o, 0);
+        let _ = v2;
+    }
+}

@@ -1,0 +1,219 @@
+//! COP testability measures: signal probabilities (controllability) and
+//! observabilities under random patterns.
+//!
+//! The classic closed-form estimates (Brglez's COP) that test-point
+//! insertion uses to find random-pattern-resistant logic: `c1[net]` is
+//! the probability the net is 1 under uniform random inputs, `ob[net]`
+//! the probability a value change propagates to an observation point.
+//! Flip-flop outputs are treated as pseudo-inputs (probability ½) and
+//! scannable flop inputs as observation points — the full-scan view.
+
+use crate::net::{GateKind, NetId, Netlist};
+
+/// COP estimates for a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopEstimates {
+    /// Probability each net is 1.
+    pub c1: Vec<f64>,
+    /// Observability of each net.
+    pub ob: Vec<f64>,
+}
+
+impl CopEstimates {
+    /// Estimated detectability of stuck-at-0 on `net` (need 1, observe).
+    pub fn detect_sa0(&self, net: NetId) -> f64 {
+        self.c1[net.index()] * self.ob[net.index()]
+    }
+
+    /// Estimated detectability of stuck-at-1 on `net` (need 0, observe).
+    pub fn detect_sa1(&self, net: NetId) -> f64 {
+        (1.0 - self.c1[net.index()]) * self.ob[net.index()]
+    }
+
+    /// The minimum of both detectabilities — the net's weak spot.
+    pub fn weakness(&self, net: NetId) -> f64 {
+        self.detect_sa0(net).min(self.detect_sa1(net))
+    }
+}
+
+/// Computes COP estimates. Reconvergent fanout makes these approximate
+/// (the standard caveat); they rank nets, they don't certify them.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_netlist::net::NetlistBuilder;
+/// use hlstb_netlist::cop;
+///
+/// let mut b = NetlistBuilder::new("and");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let g = b.and2(x, y);
+/// b.output("o", g);
+/// let nl = b.finish()?;
+/// let est = cop::estimate(&nl);
+/// assert!((est.c1[g.index()] - 0.25).abs() < 1e-12);
+/// # Ok::<(), hlstb_netlist::net::NetlistError>(())
+/// ```
+
+pub fn estimate(nl: &Netlist) -> CopEstimates {
+    let n = nl.num_gates();
+    let mut c1 = vec![0.5f64; n];
+    // Forward pass: controllabilities in topological order.
+    for (id, g) in nl.gates() {
+        match g.kind {
+            GateKind::Input => c1[id.index()] = 0.5,
+            GateKind::Const(c) => c1[id.index()] = if c { 1.0 } else { 0.0 },
+            GateKind::Dff { .. } => c1[id.index()] = 0.5,
+            _ => {}
+        }
+    }
+    for &gid in nl.topo() {
+        let g = nl.gate(gid);
+        let p = |k: usize| c1[g.inputs[k].index()];
+        c1[gid.index()] = match g.kind {
+            GateKind::Buf => p(0),
+            GateKind::Not => 1.0 - p(0),
+            GateKind::And => p(0) * p(1),
+            GateKind::Nand => 1.0 - p(0) * p(1),
+            GateKind::Or => 1.0 - (1.0 - p(0)) * (1.0 - p(1)),
+            GateKind::Nor => (1.0 - p(0)) * (1.0 - p(1)),
+            GateKind::Xor => p(0) * (1.0 - p(1)) + p(1) * (1.0 - p(0)),
+            GateKind::Xnor => 1.0 - (p(0) * (1.0 - p(1)) + p(1) * (1.0 - p(0))),
+            GateKind::Mux => p(0) * p(1) + (1.0 - p(0)) * p(2),
+            GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. } => continue,
+        };
+    }
+    // Backward pass: observabilities in reverse topological order.
+    let mut ob = vec![0.0f64; n];
+    for (_, net) in nl.outputs() {
+        ob[net.index()] = 1.0;
+    }
+    for &f in &nl.scan_flops() {
+        let d = nl.gate(f).inputs[0];
+        ob[d.index()] = 1.0;
+    }
+    for &gid in nl.topo().iter().rev() {
+        let g = nl.gate(gid);
+        let out_ob = ob[gid.index()];
+        if out_ob == 0.0 {
+            continue;
+        }
+        let p = |k: usize| c1[g.inputs[k].index()];
+        let mut bump = |net: NetId, v: f64| {
+            let slot = &mut ob[net.index()];
+            if v > *slot {
+                *slot = v;
+            }
+        };
+        match g.kind {
+            GateKind::Buf | GateKind::Not => bump(g.inputs[0], out_ob),
+            GateKind::And | GateKind::Nand => {
+                bump(g.inputs[0], out_ob * p(1));
+                bump(g.inputs[1], out_ob * p(0));
+            }
+            GateKind::Or | GateKind::Nor => {
+                bump(g.inputs[0], out_ob * (1.0 - p(1)));
+                bump(g.inputs[1], out_ob * (1.0 - p(0)));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                bump(g.inputs[0], out_ob);
+                bump(g.inputs[1], out_ob);
+            }
+            GateKind::Mux => {
+                let differ = p(1) * (1.0 - p(2)) + p(2) * (1.0 - p(1));
+                bump(g.inputs[0], out_ob * differ);
+                bump(g.inputs[1], out_ob * p(0));
+                bump(g.inputs[2], out_ob * (1.0 - p(0)));
+            }
+            GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. } => {}
+        }
+    }
+    CopEstimates { c1, ob }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetlistBuilder;
+
+    #[test]
+    fn and_chain_probability_decays() {
+        let mut b = NetlistBuilder::new("andchain");
+        let mut cur = b.input("i0");
+        for i in 1..6 {
+            let x = b.input(format!("i{i}"));
+            cur = b.and2(cur, x);
+        }
+        b.output("o", cur);
+        let nl = b.finish().unwrap();
+        let cop = estimate(&nl);
+        let out = nl.outputs()[0].1;
+        assert!((cop.c1[out.index()] - 0.5f64.powi(6)).abs() < 1e-12);
+        // Deep AND inputs are hard to observe (all siblings must be 1).
+        let first = nl.inputs()[0];
+        assert!(cop.ob[first.index()] < 0.05);
+    }
+
+    #[test]
+    fn xor_preserves_observability() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c);
+        b.output("o", x);
+        let nl = b.finish().unwrap();
+        let cop = estimate(&nl);
+        assert!((cop.ob[a.index()] - 1.0).abs() < 1e-12);
+        assert!((cop.c1[x.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_blocked_logic_is_weak() {
+        let mut b = NetlistBuilder::new("blk");
+        let a = b.input("a");
+        let z = b.zero();
+        let g = b.and2(a, z);
+        b.output("o", g);
+        let nl = b.finish().unwrap();
+        let cop = estimate(&nl);
+        // g can never be 1 → sa0 undetectable.
+        assert_eq!(cop.detect_sa0(g), 0.0);
+        // a is unobservable through the blocked AND.
+        assert_eq!(cop.ob[a.index()], 0.0);
+    }
+
+    #[test]
+    fn scan_flops_are_observation_points() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a");
+        let n = b.not(a);
+        let _q = b.gate(GateKind::Dff { scan: true }, &[n]);
+        b.output("dummy", a);
+        let nl = b.finish().unwrap();
+        let cop = estimate(&nl);
+        assert!((cop.ob[n.index()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weakness_ranks_hard_nets_last() {
+        let mut b = NetlistBuilder::new("rank");
+        let mut cur = b.input("i0");
+        for i in 1..8 {
+            let x = b.input(format!("i{i}"));
+            cur = b.and2(cur, x);
+        }
+        b.output("o", cur);
+        let nl = b.finish().unwrap();
+        let cop = estimate(&nl);
+        // The final AND output's sa0 needs all-ones: tied-weakest (every
+        // AND on the chain shares the 2^-8 bound — a classic COP
+        // identity), and nothing is weaker.
+        for (id, g) in nl.gates() {
+            if matches!(g.kind, GateKind::Input | GateKind::Const(_)) {
+                continue;
+            }
+            assert!(cop.weakness(cur) <= cop.weakness(id.net()) + 1e-12);
+        }
+    }
+}

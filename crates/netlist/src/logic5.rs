@@ -1,0 +1,192 @@
+//! Roth-style 5-valued logic for deterministic test generation.
+//!
+//! `D` means good-machine 1 / faulty-machine 0, `Db` the reverse. Values
+//! with only one side known are pessimistically widened to `X`, which
+//! keeps the calculus sound (a found test is a real test) at the price of
+//! possibly exploring more decisions.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the five composite values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum V5 {
+    /// 0 in both machines.
+    Zero,
+    /// 1 in both machines.
+    One,
+    /// Unknown.
+    X,
+    /// Good 1, faulty 0.
+    D,
+    /// Good 0, faulty 1.
+    Db,
+}
+
+impl V5 {
+    /// Builds from separate good/faulty components, widening one-sided
+    /// knowledge to `X`.
+    pub fn from_pair(good: Option<bool>, faulty: Option<bool>) -> V5 {
+        match (good, faulty) {
+            (Some(true), Some(true)) => V5::One,
+            (Some(false), Some(false)) => V5::Zero,
+            (Some(true), Some(false)) => V5::D,
+            (Some(false), Some(true)) => V5::Db,
+            _ => V5::X,
+        }
+    }
+
+    /// The good-machine component.
+    pub fn good(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::Db => Some(false),
+            V5::One | V5::D => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// The faulty-machine component.
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::D => Some(false),
+            V5::One | V5::Db => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// Whether the value carries a fault effect.
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, V5::D | V5::Db)
+    }
+
+    /// A plain binary value.
+    pub fn of_bool(b: bool) -> V5 {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// Logical complement.
+    pub fn not(self) -> V5 {
+        match self {
+            V5::Zero => V5::One,
+            V5::One => V5::Zero,
+            V5::X => V5::X,
+            V5::D => V5::Db,
+            V5::Db => V5::D,
+        }
+    }
+
+    /// 5-valued AND.
+    pub fn and(self, other: V5) -> V5 {
+        V5::from_pair(and3(self.good(), other.good()), and3(self.faulty(), other.faulty()))
+    }
+
+    /// 5-valued OR.
+    pub fn or(self, other: V5) -> V5 {
+        V5::from_pair(or3(self.good(), other.good()), or3(self.faulty(), other.faulty()))
+    }
+
+    /// 5-valued XOR.
+    pub fn xor(self, other: V5) -> V5 {
+        V5::from_pair(xor3(self.good(), other.good()), xor3(self.faulty(), other.faulty()))
+    }
+
+    /// 5-valued 2:1 mux (`sel ? a : b`).
+    pub fn mux(sel: V5, a: V5, b: V5) -> V5 {
+        V5::from_pair(
+            mux3(sel.good(), a.good(), b.good()),
+            mux3(sel.faulty(), a.faulty(), b.faulty()),
+        )
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn xor3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x != y),
+        _ => None,
+    }
+}
+
+fn mux3(sel: Option<bool>, a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match sel {
+        Some(true) => a,
+        Some(false) => b,
+        None => match (a, b) {
+            (Some(x), Some(y)) if x == y => Some(x),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values_dominate_x_and_d() {
+        assert_eq!(V5::Zero.and(V5::X), V5::Zero);
+        assert_eq!(V5::Zero.and(V5::D), V5::Zero);
+        assert_eq!(V5::One.or(V5::Db), V5::One);
+    }
+
+    #[test]
+    fn d_propagates_through_noncontrolling() {
+        assert_eq!(V5::D.and(V5::One), V5::D);
+        assert_eq!(V5::Db.or(V5::Zero), V5::Db);
+        assert_eq!(V5::D.xor(V5::Zero), V5::D);
+        assert_eq!(V5::D.xor(V5::One), V5::Db);
+    }
+
+    #[test]
+    fn d_meets_dbar() {
+        assert_eq!(V5::D.and(V5::Db), V5::Zero);
+        assert_eq!(V5::D.or(V5::Db), V5::One);
+        assert_eq!(V5::D.xor(V5::D), V5::Zero);
+    }
+
+    #[test]
+    fn not_flips_d() {
+        assert_eq!(V5::D.not(), V5::Db);
+        assert_eq!(V5::X.not(), V5::X);
+    }
+
+    #[test]
+    fn mux_with_unknown_select_agreement() {
+        assert_eq!(V5::mux(V5::X, V5::One, V5::One), V5::One);
+        assert_eq!(V5::mux(V5::X, V5::One, V5::Zero), V5::X);
+        assert_eq!(V5::mux(V5::One, V5::D, V5::Zero), V5::D);
+        assert_eq!(V5::mux(V5::Zero, V5::D, V5::Db), V5::Db);
+    }
+
+    #[test]
+    fn mixed_pairs_widen_to_x() {
+        assert_eq!(V5::from_pair(Some(true), None), V5::X);
+        assert_eq!(V5::from_pair(None, Some(false)), V5::X);
+    }
+
+    #[test]
+    fn d_through_mux_select() {
+        // A fault effect on the select with equal data stays hidden.
+        assert_eq!(V5::mux(V5::D, V5::One, V5::One), V5::One);
+        // With differing data it shows.
+        assert_eq!(V5::mux(V5::D, V5::One, V5::Zero), V5::D);
+    }
+}

@@ -1,0 +1,217 @@
+//! Boundary-variable scan selection (Lee, Jha & Wolf, DAC'93 — survey
+//! §3.3.1).
+//!
+//! The *boundary variables* of a behavioral loop are the values carried
+//! across the iteration boundary (the positive-distance dependency
+//! edges). Scanning one boundary variable per loop breaks it. Boundary
+//! variables of different loops are alive simultaneously at the
+//! boundary, so they rarely share registers with each other — but other
+//! intermediates can share *their* scan registers, and the remaining
+//! variables are packed I/O-first as in the companion ICCD'92 policy.
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, Schedule, StepSet, VarId, VarKind};
+use hlstb_hls::bind::RegisterAssignment;
+
+use crate::ioreg;
+
+/// Result of boundary-variable selection and assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryAssignment {
+    /// The selected boundary (scan) variables.
+    pub boundary_vars: Vec<VarId>,
+    /// Full register assignment; the first `scan_register_count`
+    /// registers are the scan registers.
+    pub regs: RegisterAssignment,
+    /// Number of scan registers.
+    pub scan_register_count: usize,
+    /// Loops considered.
+    pub loops_total: usize,
+}
+
+/// Selects one boundary variable per loop (preferring short lifetimes,
+/// as the paper does, to maximize later sharing), then assigns all
+/// variables with scan registers first and I/O registers next.
+pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> BoundaryAssignment {
+    let loops = cdfg.loops(max_loops);
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);
+
+    // Boundary candidates per loop: variables read at distance >= 1
+    // along the loop.
+    let mut boundary_vars: Vec<VarId> = Vec::new();
+    for l in &loops {
+        if l.vars.iter().any(|v| boundary_vars.contains(v)) {
+            continue; // already broken by an earlier choice
+        }
+        let candidates: Vec<VarId> = l
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| cdfg.var(v).is_loop_carried(cdfg))
+            .collect();
+        // Every loop has total_distance >= 1, so a carried var exists.
+        let pick = candidates
+            .into_iter()
+            .min_by_key(|&v| (steps_of(v).len(), v.0))
+            .expect("loop has a boundary variable");
+        boundary_vars.push(pick);
+    }
+
+    // Scan registers: first-fit grouping of boundary variables (they
+    // typically conflict pairwise and each gets its own register).
+    let mut scan_groups: Vec<(Vec<VarId>, StepSet)> = Vec::new();
+    for &v in &boundary_vars {
+        let steps = steps_of(v);
+        match scan_groups.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+            Some((g, occ)) => {
+                g.push(v);
+                *occ = occ.union(steps);
+            }
+            None => scan_groups.push((vec![v], steps)),
+        }
+    }
+
+    // Let other intermediates share the scan registers first.
+    let mut rest: Vec<VarId> = cdfg
+        .vars()
+        .filter(|v| {
+            !matches!(v.kind, VarKind::Constant(_)) && !boundary_vars.contains(&v.id)
+        })
+        .map(|v| v.id)
+        .collect();
+    rest.sort_by_key(|&v| (steps_of(v).len(), v.0));
+    let mut unplaced = Vec::new();
+    for v in rest {
+        if cdfg.var(v).kind != VarKind::Intermediate {
+            unplaced.push(v);
+            continue; // I/O variables go through the I/O-max phases
+        }
+        let steps = steps_of(v);
+        match scan_groups.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+            Some((g, occ)) => {
+                g.push(v);
+                *occ = occ.union(steps);
+            }
+            None => unplaced.push(v),
+        }
+    }
+
+    // Assign the remainder with the I/O-maximizing policy on a reduced
+    // problem: reuse the phase logic by first-fitting I/O variables into
+    // their own buckets, then intermediates.
+    let mut io_buckets: Vec<(Vec<VarId>, StepSet)> = Vec::new();
+    let mut extra: Vec<(Vec<VarId>, StepSet)> = Vec::new();
+    for v in unplaced {
+        let steps = steps_of(v);
+        let is_io = matches!(cdfg.var(v).kind, VarKind::Input | VarKind::Output);
+        if is_io {
+            match io_buckets.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+                Some((g, occ)) => {
+                    g.push(v);
+                    *occ = occ.union(steps);
+                }
+                None => io_buckets.push((vec![v], steps)),
+            }
+        } else {
+            let slot = io_buckets
+                .iter_mut()
+                .chain(extra.iter_mut())
+                .find(|(_, occ)| !occ.intersects(steps));
+            match slot {
+                Some((g, occ)) => {
+                    g.push(v);
+                    *occ = occ.union(steps);
+                }
+                None => extra.push((vec![v], steps)),
+            }
+        }
+    }
+
+    let scan_register_count = scan_groups.len();
+    let mut registers: Vec<Vec<VarId>> =
+        scan_groups.into_iter().map(|(g, _)| g).collect();
+    registers.extend(io_buckets.into_iter().map(|(g, _)| g));
+    registers.extend(extra.into_iter().map(|(g, _)| g));
+    BoundaryAssignment {
+        boundary_vars,
+        regs: RegisterAssignment { registers },
+        scan_register_count,
+        loops_total: loops.len(),
+    }
+}
+
+/// Convenience: the I/O statistics of the produced assignment.
+pub fn stats(cdfg: &Cdfg, a: &BoundaryAssignment) -> ioreg::IoRegStats {
+    ioreg::io_stats(cdfg, &a.regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, Binding};
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn schedule_for(cdfg: &Cdfg) -> Schedule {
+        let lim = ResourceLimits::minimal_for(cdfg);
+        sched::list_schedule(cdfg, &lim, ListPriority::Slack).unwrap()
+    }
+
+    #[test]
+    fn every_loop_gets_a_boundary_variable() {
+        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::ar_lattice()] {
+            let s = schedule_for(&g);
+            let a = assign_boundary(&g, &s, 4096);
+            for l in g.loops(4096) {
+                assert!(
+                    l.vars.iter().any(|v| a.boundary_vars.contains(v)),
+                    "{}: uncut loop",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_vars_are_loop_carried() {
+        let g = benchmarks::diffeq();
+        let s = schedule_for(&g);
+        let a = assign_boundary(&g, &s, 4096);
+        for &v in &a.boundary_vars {
+            assert!(g.var(v).is_loop_carried(&g), "{v} is not loop-carried");
+        }
+    }
+
+    #[test]
+    fn assignment_validates_against_binding() {
+        for g in benchmarks::all() {
+            let s = schedule_for(&g);
+            let a = assign_boundary(&g, &s, 4096);
+            let (fu_of, fus) = bind::bind_fus(&g, &s);
+            let b = Binding::from_parts(&g, &s, fu_of, fus, a.regs.clone());
+            assert!(b.is_ok(), "{}: {:?}", g.name(), b.err());
+        }
+    }
+
+    #[test]
+    fn loop_free_design_has_zero_scan_registers() {
+        let g = benchmarks::fir(6);
+        let s = schedule_for(&g);
+        let a = assign_boundary(&g, &s, 4096);
+        assert_eq!(a.scan_register_count, 0);
+        assert!(a.boundary_vars.is_empty());
+    }
+
+    #[test]
+    fn intermediates_share_scan_registers() {
+        let g = benchmarks::ewf();
+        let s = schedule_for(&g);
+        let a = assign_boundary(&g, &s, 4096);
+        // At least one scan register hosts a non-boundary variable.
+        let shared = a.regs.registers[..a.scan_register_count]
+            .iter()
+            .any(|group| group.iter().any(|v| !a.boundary_vars.contains(v)));
+        assert!(shared, "no sharing achieved on EWF");
+    }
+}

@@ -1,0 +1,187 @@
+//! Control-aware testability analysis (Gu, Kuchcinski & Peng,
+//! EURO-DAC'94 — survey §3.5).
+//!
+//! Most behavioral DFT reasons about the data path alone. This analysis
+//! also reads the *control logic*: a register whose load enable is
+//! asserted in only one of many control steps is much harder to exercise
+//! through functional operation than one loaded every step, independent
+//! of its topological depth. The combined per-register measure steers
+//! scan selection toward registers that are both on loops *and* hard to
+//! load.
+
+use hlstb_hls::datapath::Datapath;
+use hlstb_sgraph::depth::sequential_depth;
+use hlstb_sgraph::mfvs::{is_feedback_vertex_set, minimum_feedback_vertex_set, MfvsOptions};
+use hlstb_sgraph::NodeId;
+use std::collections::BTreeSet;
+
+/// Per-register testability profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterProfile {
+    /// Fraction of control steps in which the register loads (0, 1].
+    pub load_ease: f64,
+    /// Sequential control depth from input registers (None: unreachable).
+    pub control_depth: Option<u32>,
+    /// Sequential observe depth to output registers.
+    pub observe_depth: Option<u32>,
+    /// The combined hardness score (higher = harder to test).
+    pub hardness: f64,
+}
+
+/// Computes every register's profile: load ease from the control table,
+/// depths from the S-graph.
+pub fn profile(dp: &Datapath) -> Vec<RegisterProfile> {
+    let period = dp.period().max(1) as f64;
+    let n = dp.registers().len();
+    let mut loads = vec![0usize; n];
+    for step in dp.control() {
+        for (r, &en) in step.reg_enable.iter().enumerate() {
+            if en {
+                loads[r] += 1;
+            }
+        }
+    }
+    let sg = dp.register_sgraph();
+    let inputs: Vec<NodeId> =
+        dp.input_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let outputs: Vec<NodeId> =
+        dp.output_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let depth = sequential_depth(&sg, &inputs, &outputs);
+    (0..n)
+        .map(|r| {
+            let load_ease = (loads[r] as f64 / period).max(1.0 / (2.0 * period));
+            let c = depth.control[r];
+            let o = depth.observe[r];
+            let depth_cost = c.map_or(2.0 * period, f64::from)
+                + o.map_or(2.0 * period, f64::from);
+            RegisterProfile {
+                load_ease,
+                control_depth: c,
+                observe_depth: o,
+                hardness: depth_cost / load_ease,
+            }
+        })
+        .collect()
+}
+
+/// Control-aware scan selection: a minimum-size feedback vertex set is
+/// still required, but among equal-size choices the hardest-to-load
+/// registers are scanned (greedy weighted removal, validated against the
+/// unweighted MFVS size and falling back to it if the heuristic
+/// overshoots).
+pub fn control_aware_scan(dp: &Datapath) -> Vec<usize> {
+    let sg = dp.register_sgraph();
+    let baseline = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
+    let profiles = profile(dp);
+    // Greedy: repeatedly remove the node with the highest
+    // hardness-weighted cycle participation.
+    let mut removed: BTreeSet<NodeId> = BTreeSet::new();
+    loop {
+        let (rest, map) = sg.without_nodes(&removed);
+        if rest.is_acyclic(true) {
+            break;
+        }
+        let comps = hlstb_sgraph::scc::cyclic_components(&rest);
+        let mut best: Option<(f64, NodeId)> = None;
+        for comp in comps {
+            for n in comp {
+                let orig = map[n.index()];
+                let ind = rest.predecessors(n).filter(|&p| p != n).count();
+                let outd = rest.successors(n).filter(|&s| s != n).count();
+                let score =
+                    (ind * outd) as f64 * profiles[orig.index()].hardness.max(1e-6);
+                if best.map_or(true, |(bs, bn)| score > bs || (score == bs && orig < bn)) {
+                    best = Some((score, orig));
+                }
+            }
+        }
+        removed.insert(best.expect("cyclic graph has candidates").1);
+    }
+    if removed.len() > baseline.nodes.len() {
+        // The weighted heuristic overshot the minimum: keep the size
+        // guarantee and the weighting only as a tie-breaking aspiration.
+        return baseline.nodes.iter().map(|n| n.index()).collect();
+    }
+    debug_assert!(is_feedback_vertex_set(&sg, &removed, true));
+    removed.into_iter().map(|n| n.index()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, BindOptions};
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn dp(g: &hlstb_cdfg::Cdfg) -> Datapath {
+        let lim = ResourceLimits::minimal_for(g);
+        let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
+        let b = bind::bind(g, &s, &BindOptions::default()).unwrap();
+        Datapath::build(g, &s, &b).unwrap()
+    }
+
+    #[test]
+    fn load_ease_reflects_the_control_table() {
+        let d = dp(&benchmarks::diffeq());
+        let p = profile(&d);
+        let period = d.period() as f64;
+        for (r, prof) in p.iter().enumerate() {
+            let loads = d
+                .control()
+                .iter()
+                .filter(|st| st.reg_enable[r])
+                .count() as f64;
+            if loads > 0.0 {
+                assert!((prof.load_ease - loads / period).abs() < 1e-9, "R{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rarely_loaded_registers_are_harder() {
+        let d = dp(&benchmarks::ewf());
+        let p = profile(&d);
+        // Hardness must be monotone in 1/load_ease for equal depths.
+        for a in 0..p.len() {
+            for b in 0..p.len() {
+                if p[a].control_depth == p[b].control_depth
+                    && p[a].observe_depth == p[b].observe_depth
+                    && p[a].load_ease < p[b].load_ease
+                {
+                    assert!(p[a].hardness >= p[b].hardness);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_aware_scan_is_a_minimal_fvs() {
+        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+            let d = dp(&g);
+            let sg = d.register_sgraph();
+            let marks = control_aware_scan(&d);
+            let set: BTreeSet<NodeId> =
+                marks.iter().map(|&r| NodeId(r as u32)).collect();
+            assert!(is_feedback_vertex_set(&sg, &set, true), "{}", g.name());
+            let baseline = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
+            assert!(marks.len() <= baseline.nodes.len(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn acyclic_datapaths_need_no_scan() {
+        // A straight-line behavior whose data path stays acyclic (no
+        // sharing-induced loops with one op per step).
+        let mut b = hlstb_cdfg::CdfgBuilder::new("line");
+        let x = b.input("x");
+        let c = b.input("c");
+        let t = b.op(hlstb_cdfg::OpKind::Add, &[x, c], "t");
+        b.op_output(hlstb_cdfg::OpKind::Add, &[t, c], "y");
+        let g = b.finish().unwrap();
+        let d = dp(&g);
+        if d.register_sgraph().is_acyclic(true) {
+            assert!(control_aware_scan(&d).is_empty());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Deflection-operation driver (Dey & Potkonjak, ITC'94 — survey §3.4).
+//!
+//! When two selected scan variables cannot share a scan register because
+//! their lifetimes overlap, inserting a behavior-preserving deflection
+//! operation (`x + 0`) re-times one of them: the original variable dies
+//! at the deflection and a fresh variable carries the tail of the
+//! lifetime. Done judiciously this removes sharing bottlenecks, so fewer
+//! scan registers break the same set of CDFG loops — at zero behavioral
+//! cost and, when slack absorbs the extra operation, zero performance
+//! cost.
+
+use hlstb_cdfg::transform::{deflection_sites, insert_deflection, insert_deflection_all};
+use hlstb_cdfg::{Cdfg, OpKind, Schedule};
+use hlstb_hls::fu::ResourceLimits;
+use hlstb_hls::sched::{self, ListPriority};
+
+use crate::scanvars::{select_scan_variables, ScanSelectOptions, ScanSelection};
+
+/// Result of the deflection-driven optimization.
+#[derive(Debug, Clone)]
+pub struct DeflectResult {
+    /// The (possibly transformed) CDFG.
+    pub cdfg: Cdfg,
+    /// Its schedule.
+    pub schedule: Schedule,
+    /// Scan selection on the final CDFG.
+    pub selection: ScanSelection,
+    /// Number of deflection operations inserted.
+    pub inserted: usize,
+}
+
+/// Options for [`optimize`].
+#[derive(Debug, Clone)]
+pub struct DeflectOptions {
+    /// Resource limits used when re-scheduling after each insertion.
+    pub limits: ResourceLimits,
+    /// Maximum deflections to insert.
+    pub max_insertions: usize,
+    /// Allow the schedule to grow by this many steps over the original.
+    pub latency_slack: u32,
+    /// Scan-selection options.
+    pub select: ScanSelectOptions,
+}
+
+/// Greedily inserts deflection operations while they reduce the scan
+/// register count (never accepting a latency increase beyond the slack).
+pub fn optimize(cdfg: &Cdfg, options: &DeflectOptions) -> DeflectResult {
+    let schedule_of = |g: &Cdfg| {
+        sched::list_schedule(g, &options.limits, ListPriority::Slack)
+            .expect("benchmark CDFGs schedule under their own limits")
+    };
+    let mut current = cdfg.clone();
+    let mut schedule = schedule_of(&current);
+    let budget = schedule.num_steps() + options.latency_slack;
+    let mut selection = select_scan_variables(&current, &schedule, &options.select);
+    let mut inserted = 0usize;
+
+    // Phase 1 — batch: deflect one wrapped read of *every* selected scan
+    // variable at once; the win usually only appears when several
+    // deflected (short-lifetime) variables can share one scan register,
+    // which single-insertion lookahead cannot see.
+    if selection.register_count() > 1 {
+        let mut candidate = current.clone();
+        let mut batch = 0usize;
+        for &v in &selection.scan_vars {
+            if batch >= options.max_insertions {
+                break;
+            }
+            // Retime every distance-1 read of the scan variable through
+            // one deflection.
+            if let Ok(d) = insert_deflection_all(&candidate, v, 1, OpKind::Add) {
+                candidate = d.cdfg;
+                batch += 1;
+            }
+        }
+        if batch > 0 {
+            if let Ok(new_sched) =
+                sched::list_schedule(&candidate, &options.limits, ListPriority::Slack)
+            {
+                if new_sched.num_steps() <= budget {
+                    let new_sel =
+                        select_scan_variables(&candidate, &new_sched, &options.select);
+                    if new_sel.register_count() < selection.register_count() {
+                        current = candidate;
+                        schedule = new_sched;
+                        selection = new_sel;
+                        inserted += batch;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2 — greedy single insertions for any further gains.
+    while inserted < options.max_insertions && selection.register_count() > 1 {
+        // Try deflecting each use of each selected scan variable; accept
+        // the first insertion that strictly reduces the register count
+        // within the latency budget.
+        let mut improved = false;
+        'search: for &v in &selection.scan_vars {
+            for site in deflection_sites(&current, v) {
+                let carrier = match current.op(site.user).kind {
+                    OpKind::Mul => OpKind::Mul,
+                    _ => OpKind::Add,
+                };
+                let Ok(defl) = insert_deflection(&current, site, carrier) else {
+                    continue;
+                };
+                let Ok(new_sched) =
+                    sched::list_schedule(&defl.cdfg, &options.limits, ListPriority::Slack)
+                else {
+                    continue;
+                };
+                if new_sched.num_steps() > budget {
+                    continue;
+                }
+                let new_sel = select_scan_variables(&defl.cdfg, &new_sched, &options.select);
+                if new_sel.register_count() < selection.register_count() {
+                    current = defl.cdfg;
+                    schedule = new_sched;
+                    selection = new_sel;
+                    inserted += 1;
+                    improved = true;
+                    break 'search;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    DeflectResult { cdfg: current, schedule, selection, inserted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use std::collections::HashMap;
+
+    fn options_for(g: &Cdfg) -> DeflectOptions {
+        DeflectOptions {
+            limits: ResourceLimits::minimal_for(g),
+            max_insertions: 4,
+            latency_slack: 2,
+            select: ScanSelectOptions::default(),
+        }
+    }
+
+    #[test]
+    fn never_increases_scan_registers() {
+        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+            let opts = options_for(&g);
+            let sched0 = sched::list_schedule(&g, &opts.limits, ListPriority::Slack).unwrap();
+            let before = select_scan_variables(&g, &sched0, &opts.select);
+            let r = optimize(&g, &opts);
+            assert!(
+                r.selection.register_count() <= before.register_count(),
+                "{}: {} -> {}",
+                g.name(),
+                before.register_count(),
+                r.selection.register_count()
+            );
+        }
+    }
+
+    #[test]
+    fn transformed_behavior_is_preserved() {
+        let g = benchmarks::iir_biquad();
+        let r = optimize(&g, &options_for(&g));
+        let streams: HashMap<String, Vec<u64>> = g
+            .inputs()
+            .map(|v| (v.name.clone(), vec![7, 13, 21, 4, 9, 200]))
+            .collect();
+        let before = g.evaluate(&streams, &HashMap::new(), 8);
+        let after = r.cdfg.evaluate(&streams, &HashMap::new(), 8);
+        for o in g.outputs() {
+            assert_eq!(before[&o.name], after[&o.name], "{}", o.name);
+        }
+    }
+
+    #[test]
+    fn loop_free_designs_are_untouched() {
+        let g = benchmarks::fir(6);
+        let r = optimize(&g, &options_for(&g));
+        assert_eq!(r.inserted, 0);
+        assert_eq!(r.selection.register_count(), 0);
+    }
+
+    #[test]
+    fn insertion_count_is_bounded() {
+        let g = benchmarks::ewf();
+        let mut opts = options_for(&g);
+        opts.max_insertions = 1;
+        let r = optimize(&g, &opts);
+        assert!(r.inserted <= 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Behavioral and RTL synthesis for sequential ATPG — the survey's §3
+//! and §4.
+//!
+//! Every module implements one surveyed technique as a register-
+//! assignment policy, a selection algorithm, or a structural transform
+//! over `hlstb-hls` data paths:
+//!
+//! * [`ioreg`] — I/O register maximization during data-path allocation
+//!   (Lee, Wolf, Jha & Acken, ICCD'92; §3.2);
+//! * [`scanvars`] — scan-variable selection with the loop-cutting and
+//!   hardware-sharing effectiveness measures (Potkonjak, Dey & Roy,
+//!   TCAD'95; §3.3.1);
+//! * [`boundary`] — boundary-variable scan selection (Lee, Jha & Wolf,
+//!   DAC'93; §3.3.1);
+//! * [`simsched`] — simultaneous scheduling and assignment that avoids
+//!   forming assignment loops (ibid.; §3.3.2);
+//! * [`deflect`] — deflection-operation insertion to enable scan-register
+//!   sharing (Dey & Potkonjak, ITC'94; §3.4);
+//! * [`rtlscan`] — RTL partial scan with transparent scan registers on
+//!   non-register nodes (Steensma et al.; Vishakantaiah et al.; §4.1);
+//! * [`kcontrol`] — k-level controllability/observability test points
+//!   (Dey & Potkonjak, ICCAD'94; §4.2);
+//! * [`controller`] — controller-based DFT: control-vector conflict
+//!   analysis and extra test vectors (Dey, Gangaram & Potkonjak,
+//!   ICCAD'95; §3.5);
+//! * [`behmod`] — behavior modification with test statements (Chen,
+//!   Karnik & Saab, TCAD'94; §3.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behmod;
+pub mod boundary;
+pub mod controller;
+pub mod ctrlaware;
+pub mod deflect;
+pub mod ioreg;
+pub mod kcontrol;
+pub mod rtlscan;
+pub mod scanvars;
+pub mod simsched;
+pub mod tpi;

@@ -1,0 +1,219 @@
+//! RTL partial scan with transparent scan registers (Steensma, Catthoor
+//! & De Man, ITC'91; Vishakantaiah et al. — survey §4.1).
+//!
+//! At the RT level a loop can be broken in two ways: replace a
+//! *register node* with a scan register, or place a *transparent scan
+//! register* on a non-register node (a functional-unit output wire),
+//! which is cheaper because it only latches in test mode. Considering
+//! both together — breaking nodes *or edges* of the S-graph — needs
+//! significantly less scan hardware than register-only selection.
+
+use std::collections::BTreeSet;
+
+use hlstb_sgraph::cycles::{enumerate_cycles, Cycle, CycleLimits};
+use hlstb_sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+use hlstb_sgraph::{NodeId, SGraph};
+
+/// Relative costs of the two breaking mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtlScanCosts {
+    /// Cost of converting a register to a scan register.
+    pub scan_register: f64,
+    /// Cost of a transparent scan register on a wire (cheaper: no
+    /// functional flop is touched).
+    pub transparent: f64,
+}
+
+impl Default for RtlScanCosts {
+    fn default() -> Self {
+        RtlScanCosts { scan_register: 1.0, transparent: 0.6 }
+    }
+}
+
+/// A mixed node/edge loop-breaking plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlScanPlan {
+    /// Registers converted to scan registers.
+    pub scan_registers: Vec<NodeId>,
+    /// Edges cut by transparent scan registers.
+    pub transparent_cells: Vec<(NodeId, NodeId)>,
+    /// Total cost under the given cost model.
+    pub cost: f64,
+}
+
+impl RtlScanPlan {
+    /// Total number of inserted test structures.
+    pub fn structure_count(&self) -> usize {
+        self.scan_registers.len() + self.transparent_cells.len()
+    }
+}
+
+fn cycles_after(
+    g: &SGraph,
+    removed_nodes: &BTreeSet<NodeId>,
+    removed_edges: &BTreeSet<(NodeId, NodeId)>,
+    limits: CycleLimits,
+) -> Vec<Cycle> {
+    // Rebuild the graph minus removals, keeping original node ids by
+    // filtering edges only (node removal = drop all incident edges).
+    let mut h = SGraph::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        if removed_nodes.contains(&u) || removed_nodes.contains(&v) {
+            continue;
+        }
+        if removed_edges.contains(&(u, v)) {
+            continue;
+        }
+        h.add_edge(u, v);
+    }
+    enumerate_cycles(&h, limits)
+        .into_iter()
+        .filter(|c| !c.is_self_loop())
+        .collect()
+}
+
+/// Greedy mixed node/edge loop breaking: at every step pick the node or
+/// edge with the best broken-loops-per-cost ratio. Self-loops are
+/// tolerated (they are sequentially testable).
+pub fn plan_rtl_scan(g: &SGraph, costs: &RtlScanCosts, limits: CycleLimits) -> RtlScanPlan {
+    let mut removed_nodes: BTreeSet<NodeId> = BTreeSet::new();
+    let mut removed_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    let mut cost = 0.0;
+    loop {
+        let cycles = cycles_after(g, &removed_nodes, &removed_edges, limits);
+        if cycles.is_empty() {
+            break;
+        }
+        // Candidate scores.
+        let mut best: Option<(f64, Choice)> = None;
+        let consider = |ratio: f64, choice: Choice, best: &mut Option<(f64, Choice)>| {
+            if best.as_ref().map_or(true, |(r, c)| {
+                ratio > *r + 1e-12 || ((ratio - *r).abs() <= 1e-12 && choice < *c)
+            }) {
+                *best = Some((ratio, choice));
+            }
+        };
+        // Node candidates.
+        let mut node_hits: std::collections::BTreeMap<NodeId, usize> = Default::default();
+        let mut edge_hits: std::collections::BTreeMap<(NodeId, NodeId), usize> = Default::default();
+        for c in &cycles {
+            for (i, &n) in c.nodes.iter().enumerate() {
+                *node_hits.entry(n).or_default() += 1;
+                let next = c.nodes[(i + 1) % c.nodes.len()];
+                *edge_hits.entry((n, next)).or_default() += 1;
+            }
+        }
+        for (&n, &hits) in &node_hits {
+            consider(hits as f64 / costs.scan_register, Choice::Node(n), &mut best);
+        }
+        for (&e, &hits) in &edge_hits {
+            consider(hits as f64 / costs.transparent, Choice::Edge(e), &mut best);
+        }
+        match best.expect("cycles imply candidates").1 {
+            Choice::Node(n) => {
+                removed_nodes.insert(n);
+                cost += costs.scan_register;
+            }
+            Choice::Edge(e) => {
+                removed_edges.insert(e);
+                cost += costs.transparent;
+            }
+        }
+    }
+    let mixed = RtlScanPlan {
+        scan_registers: removed_nodes.into_iter().collect(),
+        transparent_cells: removed_edges.into_iter().collect(),
+        cost,
+    };
+    // The greedy ratio rule can lose to plain MFVS on hub-dominated
+    // graphs; return whichever is cheaper.
+    let fvs = minimum_feedback_vertex_set(g, MfvsOptions::default());
+    let reg_cost = fvs.nodes.len() as f64 * costs.scan_register;
+    if reg_cost < mixed.cost {
+        RtlScanPlan {
+            scan_registers: fvs.nodes.into_iter().collect(),
+            transparent_cells: Vec::new(),
+            cost: reg_cost,
+        }
+    } else {
+        mixed
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Choice {
+    Node(NodeId),
+    Edge((NodeId, NodeId)),
+}
+
+/// The register-only baseline: MFVS cost under the same cost model.
+pub fn register_only_cost(g: &SGraph, costs: &RtlScanCosts) -> (usize, f64) {
+    let fvs = minimum_feedback_vertex_set(g, MfvsOptions::default());
+    (fvs.nodes.len(), fvs.nodes.len() as f64 * costs.scan_register)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> CycleLimits {
+        CycleLimits { max_cycles: 512, max_len: 16 }
+    }
+
+    #[test]
+    fn breaks_all_loops() {
+        // Two overlapping rings sharing an edge.
+        let g = SGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 0)]);
+        let plan = plan_rtl_scan(&g, &RtlScanCosts::default(), limits());
+        let removed_nodes: BTreeSet<NodeId> = plan.scan_registers.iter().copied().collect();
+        let removed_edges: BTreeSet<(NodeId, NodeId)> =
+            plan.transparent_cells.iter().copied().collect();
+        assert!(cycles_after(&g, &removed_nodes, &removed_edges, limits()).is_empty());
+    }
+
+    #[test]
+    fn self_loops_are_tolerated() {
+        let g = SGraph::from_edges(2, [(0, 0), (1, 1)]);
+        let plan = plan_rtl_scan(&g, &RtlScanCosts::default(), limits());
+        assert_eq!(plan.structure_count(), 0);
+        assert_eq!(plan.cost, 0.0);
+    }
+
+    #[test]
+    fn mixed_plan_never_costs_more_than_register_only() {
+        for edges in [
+            vec![(0u32, 1u32), (1, 2), (2, 0)],
+            vec![(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (2, 0)],
+        ] {
+            let n = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap() as usize + 1;
+            let g = SGraph::from_edges(n, edges);
+            let costs = RtlScanCosts::default();
+            let plan = plan_rtl_scan(&g, &costs, limits());
+            let (_, reg_cost) = register_only_cost(&g, &costs);
+            assert!(plan.cost <= reg_cost + 1e-9, "{} vs {}", plan.cost, reg_cost);
+        }
+    }
+
+    #[test]
+    fn single_ring_uses_one_cheap_transparent_cell() {
+        let g = SGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let plan = plan_rtl_scan(&g, &RtlScanCosts::default(), limits());
+        // One transparent cell (0.6) beats one scan register (1.0).
+        assert_eq!(plan.transparent_cells.len(), 1);
+        assert!(plan.scan_registers.is_empty());
+    }
+
+    #[test]
+    fn hub_node_beats_many_edges() {
+        // Node 0 sits on three rings; breaking it once is cheaper than
+        // three transparent cells.
+        let g = SGraph::from_edges(
+            4,
+            [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
+        );
+        let plan = plan_rtl_scan(&g, &RtlScanCosts::default(), limits());
+        assert!(plan.cost <= 1.0 + 1e-9);
+        assert_eq!(plan.scan_registers, vec![NodeId(0)]);
+    }
+}

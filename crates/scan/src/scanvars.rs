@@ -1,0 +1,347 @@
+//! Scan-variable selection with the loop-cutting and hardware-sharing
+//! effectiveness measures (Potkonjak, Dey & Roy, TCAD'95 — survey
+//! §3.3.1).
+//!
+//! Breaking every CDFG loop with scan *variables* differs from the
+//! gate-level MFVS problem in one crucial way: selected scan variables
+//! with disjoint lifetimes can share one physical scan register. A
+//! minimum feedback *vertex* set can therefore be a poor solution; the
+//! two measures below pick variables that both cut many loops and share
+//! well.
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, Schedule, StepSet, VarId};
+
+/// Options for [`select_scan_variables`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanSelectOptions {
+    /// Weight of the loop-cutting effectiveness measure.
+    pub w_loop: f64,
+    /// Weight of the hardware-sharing effectiveness measure. Setting it
+    /// to 0 is the ablation that degrades the technique to pure loop
+    /// cutting (MFVS-like behaviour).
+    pub w_share: f64,
+    /// Cap on loop enumeration.
+    pub max_loops: usize,
+}
+
+impl Default for ScanSelectOptions {
+    fn default() -> Self {
+        ScanSelectOptions { w_loop: 1.0, w_share: 0.75, max_loops: 4_096 }
+    }
+}
+
+/// The outcome of a scan-variable selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSelection {
+    /// Selected scan variables, in selection order.
+    pub scan_vars: Vec<VarId>,
+    /// Grouping of the scan variables into shared scan registers.
+    pub scan_registers: Vec<Vec<VarId>>,
+    /// Number of behavioral loops considered.
+    pub loops_total: usize,
+}
+
+impl ScanSelection {
+    /// The number of physical scan registers needed.
+    pub fn register_count(&self) -> usize {
+        self.scan_registers.len()
+    }
+}
+
+/// Groups variables into the minimum first-fit number of shared
+/// registers by lifetime compatibility (shortest lifetimes first).
+pub fn group_into_registers(
+    vars: &[VarId],
+    lt: &LifetimeMap,
+) -> Vec<Vec<VarId>> {
+    let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);
+    let mut sorted = vars.to_vec();
+    sorted.sort_by_key(|&v| (steps_of(v).len(), v.0));
+    let mut groups: Vec<(Vec<VarId>, StepSet)> = Vec::new();
+    for v in sorted {
+        let steps = steps_of(v);
+        match groups.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+            Some((g, occ)) => {
+                g.push(v);
+                *occ = occ.union(steps);
+            }
+            None => groups.push((vec![v], steps)),
+        }
+    }
+    groups.into_iter().map(|(g, _)| g).collect()
+}
+
+/// Greedy measure-driven selection until every loop is cut.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_cdfg::benchmarks;
+/// use hlstb_hls::{fu::ResourceLimits, sched};
+/// use hlstb_scan::scanvars::{select_scan_variables, ScanSelectOptions};
+///
+/// let cdfg = benchmarks::diffeq();
+/// let lim = ResourceLimits::minimal_for(&cdfg);
+/// let schedule = sched::list_schedule(&cdfg, &lim, sched::ListPriority::Slack)?;
+/// let sel = select_scan_variables(&cdfg, &schedule, &ScanSelectOptions::default());
+/// // Every behavioral loop is cut by a selected variable.
+/// assert!(cdfg.loops(64).iter().all(|l| l.vars.iter().any(|v| sel.scan_vars.contains(v))));
+/// # Ok::<(), hlstb_hls::sched::SchedError>(())
+/// ```
+
+pub fn select_scan_variables(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    options: &ScanSelectOptions,
+) -> ScanSelection {
+    let loops = cdfg.loops(options.max_loops);
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);
+
+    let loop_vars: Vec<Vec<VarId>> = loops
+        .iter()
+        .map(|l| {
+            let mut vs = l.vars.clone();
+            vs.sort();
+            vs.dedup();
+            vs
+        })
+        .collect();
+    let mut all_candidates: Vec<VarId> = loop_vars.iter().flatten().copied().collect();
+    all_candidates.sort();
+    all_candidates.dedup();
+
+    let mut uncut: Vec<usize> = (0..loops.len()).collect();
+    let mut selected: Vec<VarId> = Vec::new();
+    while !uncut.is_empty() {
+        let mut best: Option<((f64, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>), VarId)> = None;
+        for &v in &all_candidates {
+            if selected.contains(&v) {
+                continue;
+            }
+            let lce = uncut
+                .iter()
+                .filter(|&&li| loop_vars[li].contains(&v))
+                .count() as f64;
+            if lce == 0.0 {
+                continue;
+            }
+            // Sharing effectiveness: how well v coexists with the already
+            // selected variables (and, initially, with the other loop
+            // variables it may later share with).
+            let vsteps = steps_of(v);
+            let hse = if selected.is_empty() {
+                let peers = all_candidates.len().saturating_sub(1).max(1);
+                let compatible = all_candidates
+                    .iter()
+                    .filter(|&&u| u != v && !steps_of(u).intersects(vsteps))
+                    .count();
+                compatible as f64 / peers as f64
+            } else {
+                let compatible = selected
+                    .iter()
+                    .filter(|&&u| !steps_of(u).intersects(vsteps))
+                    .count();
+                compatible as f64 / selected.len() as f64
+            };
+            let score = options.w_loop * lce + options.w_share * hse;
+            // Ties break toward shorter lifetimes (they share registers
+            // best), then lower ids for determinism.
+            let key = (score, std::cmp::Reverse(vsteps.len()), std::cmp::Reverse(v.0));
+            let better = match &best {
+                None => true,
+                Some((bk, _)) => {
+                    key.0 > bk.0 + 1e-12
+                        || ((key.0 - bk.0).abs() <= 1e-12 && (key.1, key.2) > (bk.1, bk.2))
+                }
+            };
+            if better {
+                best = Some((key, v));
+            }
+        }
+        let (_, v) = best.expect("uncut loops always have candidates");
+        selected.push(v);
+        uncut.retain(|&li| !loop_vars[li].contains(&v));
+    }
+    let scan_registers = group_into_registers(&selected, &lt);
+    ScanSelection { scan_vars: selected, scan_registers, loops_total: loops.len() }
+}
+
+/// Baseline: a minimum *cardinality* set of variables hitting all loops
+/// (the MFVS analogue, sharing-oblivious), solved exactly for small loop
+/// counts by iterative deepening and greedily otherwise; variables are
+/// then grouped into registers the same way, so the comparison isolates
+/// the selection policy.
+pub fn mfvs_baseline(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    max_loops: usize,
+) -> ScanSelection {
+    let loops = cdfg.loops(max_loops);
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let loop_vars: Vec<Vec<VarId>> = loops
+        .iter()
+        .map(|l| {
+            let mut vs = l.vars.clone();
+            vs.sort();
+            vs.dedup();
+            vs
+        })
+        .collect();
+    let selected = minimum_hitting_set(&loop_vars);
+    let scan_registers = group_into_registers(&selected, &lt);
+    ScanSelection { scan_vars: selected, scan_registers, loops_total: loops.len() }
+}
+
+/// Exact minimum hitting set by iterative deepening for ≤ 24 sets;
+/// greedy max-frequency fallback above that.
+fn minimum_hitting_set(sets: &[Vec<VarId>]) -> Vec<VarId> {
+    let live: Vec<&Vec<VarId>> = sets.iter().filter(|s| !s.is_empty()).collect();
+    if live.is_empty() {
+        return Vec::new();
+    }
+    if live.len() <= 24 {
+        for k in 1..=live.len() {
+            let mut chosen = Vec::new();
+            if hit_search(&live, k, &mut chosen) {
+                return chosen;
+            }
+        }
+    }
+    // Greedy fallback.
+    let mut remaining: Vec<&Vec<VarId>> = live;
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        let mut counts: std::collections::HashMap<VarId, usize> = Default::default();
+        for s in &remaining {
+            for &v in *s {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        let (&v, _) = counts
+            .iter()
+            .max_by_key(|(v, c)| (**c, std::cmp::Reverse(v.0)))
+            .expect("nonempty sets");
+        out.push(v);
+        remaining.retain(|s| !s.contains(&v));
+    }
+    out
+}
+
+fn hit_search(sets: &[&Vec<VarId>], budget: usize, chosen: &mut Vec<VarId>) -> bool {
+    let first_unhit = sets.iter().find(|s| !s.iter().any(|v| chosen.contains(v)));
+    let set = match first_unhit {
+        None => return true,
+        Some(s) => s,
+    };
+    if budget == 0 {
+        return false;
+    }
+    for &v in set.iter() {
+        chosen.push(v);
+        if hit_search(sets, budget - 1, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_cdfg::CdfgLoop;
+    use hlstb_hls::fu::ResourceLimits;
+    use hlstb_hls::sched::{self, ListPriority};
+
+    fn schedule_for(cdfg: &Cdfg) -> Schedule {
+        let lim = ResourceLimits::minimal_for(cdfg);
+        sched::list_schedule(cdfg, &lim, ListPriority::Slack).unwrap()
+    }
+
+    fn loops_all_cut(cdfg: &Cdfg, sel: &ScanSelection, max: usize) -> bool {
+        cdfg.loops(max)
+            .iter()
+            .all(|l: &CdfgLoop| l.vars.iter().any(|v| sel.scan_vars.contains(v)))
+    }
+
+    #[test]
+    fn cuts_all_loops_on_loopy_benchmarks() {
+        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+            let s = schedule_for(&g);
+            let sel = select_scan_variables(&g, &s, &ScanSelectOptions::default());
+            assert!(sel.loops_total > 0, "{}", g.name());
+            assert!(loops_all_cut(&g, &sel, 4096), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn loop_free_behaviors_need_nothing() {
+        let g = benchmarks::fir(6);
+        let s = schedule_for(&g);
+        let sel = select_scan_variables(&g, &s, &ScanSelectOptions::default());
+        assert!(sel.scan_vars.is_empty());
+        assert_eq!(sel.register_count(), 0);
+    }
+
+    #[test]
+    fn baseline_cuts_all_loops_too() {
+        let g = benchmarks::diffeq();
+        let s = schedule_for(&g);
+        let sel = mfvs_baseline(&g, &s, 4096);
+        assert!(loops_all_cut(&g, &sel, 4096));
+    }
+
+    #[test]
+    fn measure_driven_needs_no_more_registers_than_baseline() {
+        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+            let s = schedule_for(&g);
+            let ours = select_scan_variables(&g, &s, &ScanSelectOptions::default());
+            let base = mfvs_baseline(&g, &s, 4096);
+            assert!(
+                ours.register_count() <= base.scan_vars.len(),
+                "{}: {} scan registers vs {} MFVS variables",
+                g.name(),
+                ours.register_count(),
+                base.scan_vars.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_groups_are_lifetime_disjoint() {
+        let g = benchmarks::ewf();
+        let s = schedule_for(&g);
+        let sel = select_scan_variables(&g, &s, &ScanSelectOptions::default());
+        let lt = LifetimeMap::compute(&g, &s);
+        for group in &sel.scan_registers {
+            assert!(lt.compatible(group));
+        }
+    }
+
+    #[test]
+    fn hitting_set_is_exact_on_small_instances() {
+        let v = |i: u32| VarId(i);
+        // {1,2}, {2,3}, {3,4}: optimal is {2,3} (size 2) or {2,4}/{1,3}…
+        let sets = vec![vec![v(1), v(2)], vec![v(2), v(3)], vec![v(3), v(4)]];
+        let hs = minimum_hitting_set(&sets);
+        assert_eq!(hs.len(), 2);
+        // Common element {5} in all: optimal 1.
+        let sets2 = vec![vec![v(1), v(5)], vec![v(2), v(5)], vec![v(3), v(5)]];
+        assert_eq!(minimum_hitting_set(&sets2).len(), 1);
+    }
+
+    #[test]
+    fn ablation_without_sharing_measure_never_reduces_registers() {
+        let g = benchmarks::ewf();
+        let s = schedule_for(&g);
+        let with = select_scan_variables(&g, &s, &ScanSelectOptions::default());
+        let without = select_scan_variables(
+            &g,
+            &s,
+            &ScanSelectOptions { w_share: 0.0, ..Default::default() },
+        );
+        assert!(with.register_count() <= without.register_count() + 1);
+    }
+}

@@ -1,0 +1,624 @@
+//! Simultaneous scheduling and assignment for loop avoidance
+//! (Potkonjak, Dey & Roy, TCAD'95 — survey §3.3.2).
+//!
+//! At each step the unscheduled operation with least slack is placed on
+//! the (module, control-step) pair of least cost, where the cost
+//! combines **testability** (module-level loops the placement would
+//! create — the genesis of assignment loops), **resource utilization**
+//! (new module instantiations), and **flexibility** (how many other
+//! ready operations the slot could have served). Register assignment
+//! then also refuses placements that would create new non-self register
+//! loops. The result, on the survey's Figure 1 and the benchmark suite,
+//! is a data path whose S-graph needs far fewer scan registers than a
+//! testability-oblivious schedule.
+
+use std::collections::HashMap;
+
+use hlstb_cdfg::{Cdfg, LifetimeMap, OpId, Schedule, StepSet, VarId, VarKind};
+use hlstb_hls::bind::{Binding, FuInstance, RegisterAssignment};
+use hlstb_hls::datapath::Datapath;
+use hlstb_hls::fu::{FuKind, ResourceLimits};
+use hlstb_hls::sched::{self, ListPriority, SchedError};
+
+use crate::scanvars::{select_scan_variables, ScanSelectOptions};
+
+/// Cost weights and constraints for [`schedule_and_assign`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSchedOptions {
+    /// Weight of the testability (loop-formation) term.
+    pub w_test: f64,
+    /// Weight of the resource-utilization term.
+    pub w_util: f64,
+    /// Weight of the flexibility term.
+    pub w_flex: f64,
+    /// Resource limits per functional-unit class.
+    pub limits: ResourceLimits,
+    /// Extra latency allowed beyond the critical path.
+    pub latency_slack: u32,
+    /// Also evaluate the conventional (testability-oblivious) schedule
+    /// as a candidate and keep the better result — the default, because
+    /// it is in the published algorithm's search space. Ablations turn
+    /// it off to expose the cost weights' raw effect.
+    pub compare_conventional: bool,
+}
+
+impl Default for SimSchedOptions {
+    fn default() -> Self {
+        SimSchedOptions {
+            w_test: 8.0,
+            w_util: 2.0,
+            w_flex: 1.0,
+            limits: ResourceLimits::unlimited(),
+            latency_slack: 1,
+            compare_conventional: true,
+        }
+    }
+}
+
+/// Result of simultaneous scheduling and assignment.
+#[derive(Debug, Clone)]
+pub struct SimSchedResult {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The binding (FU assignment plus loop-avoiding registers).
+    pub binding: Binding,
+    /// The built data path.
+    pub datapath: Datapath,
+    /// The registers hosting the selected CDFG scan variables — the
+    /// registers that must be scanned (reused to absorb all feedback).
+    pub scan_registers: Vec<usize>,
+}
+
+/// Runs the least-slack / least-cost placement loop.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] when no feasible placement exists within
+/// the latency budget (raise `latency_slack` or the resource limits).
+pub fn schedule_and_assign(
+    cdfg: &Cdfg,
+    options: &SimSchedOptions,
+) -> Result<SimSchedResult, SchedError> {
+    // Baseline latency: what plain list scheduling needs under the same
+    // resource limits (the critical path alone is unreachable when the
+    // allocation is tight).
+    let base = sched::list_schedule(cdfg, &options.limits, ListPriority::Slack)?
+        .num_steps();
+    let mut last_err = SchedError::Overflow;
+    let mut best: Option<SimSchedResult> = None;
+    let cost_of = |r: &SimSchedResult| -> (usize, usize) {
+        let fvs = hlstb_sgraph::mfvs::minimum_feedback_vertex_set(
+            &r.datapath.register_sgraph(),
+            hlstb_sgraph::mfvs::MfvsOptions::default(),
+        );
+        (fvs.nodes.len(), r.datapath.registers().len())
+    };
+    for extra in options.latency_slack..options.latency_slack + 8 {
+        match attempt(cdfg, options, base + extra) {
+            Ok(r) => {
+                best = Some(r);
+                break;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    // The conventional schedule is itself a candidate point of the
+    // search space; keep it if its residual testability cost is lower
+    // (the published algorithm never does worse than the testability-
+    // oblivious solution because that solution is in its search space).
+    if !options.compare_conventional {
+        return best.ok_or(last_err);
+    }
+    if let Ok(conv_sched) = sched::list_schedule(cdfg, &options.limits, ListPriority::Slack) {
+        let (fu_of, fus) = hlstb_hls::bind::bind_fus(cdfg, &conv_sched);
+        if let Ok(conv) = assign_registers_best(cdfg, conv_sched, fu_of, fus) {
+            if best.as_ref().map_or(true, |b| cost_of(&conv) < cost_of(b)) {
+                best = Some(conv);
+            }
+        }
+    }
+    best.ok_or(last_err)
+}
+
+/// Builds the better of the seeded loop-avoiding and left-edge register
+/// assignments for a fixed schedule and module binding, judged by
+/// residual MFVS size then register count.
+fn assign_registers_best(
+    cdfg: &Cdfg,
+    schedule: Schedule,
+    fu_of: Vec<usize>,
+    fus: Vec<FuInstance>,
+) -> Result<SimSchedResult, SchedError> {
+    assign_registers_best_with(cdfg, schedule, fu_of, fus, true)
+}
+
+fn assign_registers_best_with(
+    cdfg: &Cdfg,
+    schedule: Schedule,
+    fu_of: Vec<usize>,
+    fus: Vec<FuInstance>,
+    include_left_edge: bool,
+) -> Result<SimSchedResult, SchedError> {
+    let selection = select_scan_variables(cdfg, &schedule, &ScanSelectOptions::default());
+    let (seeded, seeded_scan) =
+        loop_avoiding_registers_with_scan(cdfg, &schedule, &fu_of, &selection.scan_vars);
+    let shared = hlstb_hls::bind::left_edge(cdfg, &LifetimeMap::compute(cdfg, &schedule));
+    let mut best: Option<(usize, usize, Binding, Datapath, Vec<usize>)> = None;
+    let mut candidates = vec![(seeded, seeded_scan)];
+    if include_left_edge {
+        candidates.push((shared, Vec::new()));
+    }
+    for (regs, scan_hint) in candidates {
+        let Ok(binding) = Binding::from_parts(cdfg, &schedule, fu_of.clone(), fus.clone(), regs)
+        else {
+            continue;
+        };
+        let Ok(datapath) = Datapath::build(cdfg, &schedule, &binding) else {
+            continue;
+        };
+        let sg = datapath.register_sgraph();
+        let fvs = hlstb_sgraph::mfvs::minimum_feedback_vertex_set(
+            &sg,
+            hlstb_sgraph::mfvs::MfvsOptions::default(),
+        );
+        let cost = (fvs.nodes.len(), datapath.registers().len());
+        if best.as_ref().map_or(true, |(c, r, ..)| cost < (*c, *r)) {
+            best = Some((cost.0, cost.1, binding, datapath, scan_hint));
+        }
+    }
+    let (_, _, binding, datapath, scan_registers) = best.ok_or(SchedError::Overflow)?;
+    Ok(SimSchedResult { schedule, binding, datapath, scan_registers })
+}
+
+fn attempt(
+    cdfg: &Cdfg,
+    options: &SimSchedOptions,
+    latency: u32,
+) -> Result<SimSchedResult, SchedError> {
+    let asap = sched::asap(cdfg)?;
+    let alap = sched::alap(cdfg, latency)?;
+    let lat = |o: OpId| cdfg.op(o).kind.default_latency();
+    let n = cdfg.num_ops();
+
+    let mut start: Vec<Option<u32>> = vec![None; n];
+    let mut module_of: Vec<Option<usize>> = vec![None; n];
+    let mut modules: Vec<(FuKind, Vec<(u32, u32)>, Vec<OpId>)> = Vec::new(); // kind, busy, ops
+    // Module adjacency for the testability term.
+    let mut madj: Vec<Vec<usize>> = Vec::new();
+
+    let creates_cycle = |madj: &[Vec<usize>], extra: &[(usize, usize)], from: usize| -> usize {
+        // Count distinct non-self cycles through `from` after adding the
+        // extra edges, bounded depth 6.
+        let succs = |u: usize| -> Vec<usize> {
+            let mut v: Vec<usize> = madj.get(u).map(|s| s.clone()).unwrap_or_default();
+            v.extend(extra.iter().filter(|(a, _)| *a == u).map(|(_, b)| *b));
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut count = 0usize;
+        let mut stack = vec![(from, 0usize)];
+        let mut path = vec![from];
+        // DFS enumerating simple paths back to `from`, length <= 6.
+        fn dfs(
+            u: usize,
+            from: usize,
+            depth: usize,
+            succs: &dyn Fn(usize) -> Vec<usize>,
+            path: &mut Vec<usize>,
+            count: &mut usize,
+        ) {
+            if depth > 6 || *count > 64 {
+                return;
+            }
+            for w in succs(u) {
+                if w == from && depth >= 1 {
+                    *count += 1;
+                } else if !path.contains(&w) {
+                    path.push(w);
+                    dfs(w, from, depth + 1, succs, path, count);
+                    path.pop();
+                }
+            }
+        }
+        let _ = &mut stack;
+        dfs(from, from, 0, &succs, &mut path, &mut count);
+        count
+    };
+
+    let mut remaining: Vec<OpId> = cdfg.ops().map(|o| o.id).collect();
+    while !remaining.is_empty() {
+        // Ready ops with least static slack.
+        let mut ready: Vec<OpId> = remaining
+            .iter()
+            .copied()
+            .filter(|&o| {
+                cdfg.zero_distance_predecessors(o)
+                    .into_iter()
+                    .all(|p| start[p.index()].is_some())
+            })
+            .collect();
+        ready.sort_by_key(|&o| (alap.start(o) - asap.start(o), o.0));
+        let op = *ready.first().expect("acyclic CDFG always has a ready op");
+        let kind = FuKind::for_op(cdfg.op(op).kind);
+        let earliest = cdfg
+            .zero_distance_predecessors(op)
+            .into_iter()
+            .map(|p| start[p.index()].expect("ready implies scheduled") + lat(p))
+            .max()
+            .unwrap_or(0)
+            .max(asap.start(op));
+        // The ALAP deadline is resource-oblivious, so it is treated as a
+        // soft bound: placements past it are allowed (the schedule just
+        // stretches), preferring in-deadline slots.
+        let deadline = alap.start(op).max(earliest);
+        let horizon = 120u32;
+
+        // Enumerate candidate (module, step) pairs.
+        let mut best: Option<(f64, usize, u32, bool)> = None; // cost, module, step, is_new
+        let existing_count = modules.iter().filter(|(k, _, _)| *k == kind).count();
+        let may_new = options.limits.limit(kind).map_or(true, |l| existing_count < l);
+        let mut c = earliest;
+        while c <= horizon {
+            if best.is_some() && c > deadline {
+                break;
+            }
+            let window = (c, c + lat(op));
+            // Existing modules of the right kind that are free.
+            for (mi, (mk, busy, _)) in modules.iter().enumerate() {
+                if *mk != kind || busy.iter().any(|&(s, e)| window.0 < e && s < window.1) {
+                    continue;
+                }
+                let cost = candidate_cost(
+                    cdfg, op, mi, &module_of, &madj, &creates_cycle, options, false, &ready,
+                    c, &start,
+                );
+                if best.map_or(true, |(bc, ..)| cost < bc - 1e-12) {
+                    best = Some((cost, mi, c, false));
+                }
+            }
+            if may_new {
+                let mi = modules.len();
+                let cost = candidate_cost(
+                    cdfg, op, mi, &module_of, &madj, &creates_cycle, options, true, &ready, c,
+                    &start,
+                );
+                if best.map_or(true, |(bc, ..)| cost < bc - 1e-12) {
+                    best = Some((cost, mi, c, true));
+                }
+            }
+            c += 1;
+        }
+        let (_, mi, c, is_new) = best.ok_or(SchedError::Overflow)?;
+        if is_new {
+            modules.push((kind, Vec::new(), Vec::new()));
+            madj.push(Vec::new());
+        }
+        modules[mi].1.push((c, c + lat(op)));
+        modules[mi].2.push(op);
+        start[op.index()] = Some(c);
+        module_of[op.index()] = Some(mi);
+        // Commit module adjacency edges.
+        for (pm, _) in neighbor_edges(cdfg, op, mi, &module_of) {
+            if !madj[pm.0].contains(&pm.1) {
+                let t = pm.1;
+                madj[pm.0].push(t);
+            }
+        }
+        remaining.retain(|&o| o != op);
+    }
+
+    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let schedule = Schedule::new(cdfg, start).map_err(SchedError::Invalid)?;
+    let fu_of: Vec<usize> = module_of.into_iter().map(|m| m.expect("all bound")).collect();
+    let fus: Vec<FuInstance> = modules
+        .into_iter()
+        .map(|(kind, _, ops)| FuInstance { kind, ops })
+        .collect();
+    assign_registers_best_with(cdfg, schedule, fu_of, fus, options.compare_conventional)
+}
+
+type CycleCounter<'a> = &'a dyn Fn(&[Vec<usize>], &[(usize, usize)], usize) -> usize;
+
+#[allow(clippy::too_many_arguments)]
+fn candidate_cost(
+    cdfg: &Cdfg,
+    op: OpId,
+    module: usize,
+    module_of: &[Option<usize>],
+    madj: &[Vec<usize>],
+    creates_cycle: CycleCounter<'_>,
+    options: &SimSchedOptions,
+    is_new: bool,
+    ready: &[OpId],
+    step: u32,
+    start: &[Option<u32>],
+) -> f64 {
+    // Testability: non-self module cycles this placement would create.
+    let edges: Vec<(usize, usize)> = neighbor_edges(cdfg, op, module, module_of)
+        .into_iter()
+        .map(|(e, _)| e)
+        .filter(|(a, b)| a != b) // self-loops tolerated
+        .collect();
+    let new_cycles = if edges.is_empty() {
+        0
+    } else {
+        creates_cycle(madj, &edges, module)
+    };
+    // Utilization: new module instantiation.
+    let util = if is_new { 1.0 } else { 0.0 };
+    // Flexibility: how many other ready ops compete for this very slot.
+    let competitors = ready
+        .iter()
+        .filter(|&&o| o != op && start[o.index()].is_none())
+        .filter(|&&o| FuKind::for_op(cdfg.op(o).kind) == FuKind::for_op(cdfg.op(op).kind))
+        .count() as f64;
+    let flex = competitors * (1.0 / (1.0 + step as f64));
+    options.w_test * new_cycles as f64 + options.w_util * util + options.w_flex * flex
+}
+
+/// Module-graph edges this op would contribute: producer-module → this
+/// module and this module → consumer-modules (only for already-placed
+/// neighbors). The `bool` marks producer edges.
+fn neighbor_edges(
+    cdfg: &Cdfg,
+    op: OpId,
+    module: usize,
+    module_of: &[Option<usize>],
+) -> Vec<((usize, usize), bool)> {
+    let mut edges = Vec::new();
+    for operand in &cdfg.op(op).inputs {
+        if let Some(def) = cdfg.var(operand.var).def {
+            if let Some(pm) = module_of[def.index()] {
+                edges.push(((pm, module), true));
+            }
+        }
+    }
+    for &(user, _) in &cdfg.var(cdfg.op(op).output).uses {
+        if let Some(cm) = module_of[user.index()] {
+            edges.push(((module, cm), false));
+        }
+    }
+    edges
+}
+
+/// Register assignment that refuses placements creating new non-self
+/// register loops; falls back to a fresh register when every existing
+/// one would close a cycle.
+pub fn loop_avoiding_registers(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    fu_of: &[usize],
+) -> RegisterAssignment {
+    loop_avoiding_registers_with_scan(cdfg, schedule, fu_of, &[]).0
+}
+
+/// Loop-avoiding register assignment seeded with scan variables: the
+/// scan variables are packed first into dedicated scan registers, which
+/// are exempt from (and invisible to) the cycle check — scanning cuts
+/// them out of the S-graph — and other variables preferentially share
+/// them. Returns the assignment and the indices of the scan registers.
+pub fn loop_avoiding_registers_with_scan(
+    cdfg: &Cdfg,
+    schedule: &Schedule,
+    fu_of: &[usize],
+    scan_vars: &[VarId],
+) -> (RegisterAssignment, Vec<usize>) {
+    let _ = fu_of; // module binding influences muxing, not register loops
+    let lt = LifetimeMap::compute(cdfg, schedule);
+    let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);
+
+    let mut groups: Vec<(Vec<VarId>, StepSet)> = Vec::new();
+    let mut reg_of: HashMap<VarId, usize> = HashMap::new();
+    let mut radj: Vec<Vec<usize>> = Vec::new();
+
+    // Phase A: scan registers from the selected scan variables,
+    // shortest lifetimes first for maximal sharing.
+    let mut svars = scan_vars.to_vec();
+    svars.sort_by_key(|&v| (steps_of(v).len(), v.0));
+    for v in svars {
+        let steps = steps_of(v);
+        let slot = groups.iter().position(|(_, occ)| !occ.intersects(steps));
+        let ri = match slot {
+            Some(ri) => ri,
+            None => {
+                groups.push((Vec::new(), StepSet::EMPTY));
+                radj.push(Vec::new());
+                groups.len() - 1
+            }
+        };
+        groups[ri].0.push(v);
+        groups[ri].1 = groups[ri].1.union(steps);
+        reg_of.insert(v, ri);
+    }
+    let scan_count = groups.len();
+    let is_scan = |r: usize| r < scan_count;
+
+    let reaches = |radj: &[Vec<usize>], from: usize, to: usize| -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; radj.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &w in &radj[u] {
+                if is_scan(w) {
+                    continue; // scanned registers cut the S-graph
+                }
+                if w == to {
+                    return true;
+                }
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    };
+
+    // Phase B: remaining variables, birth order; scan registers first.
+    let mut vars: Vec<VarId> = cdfg
+        .vars()
+        .filter(|v| !matches!(v.kind, VarKind::Constant(_)))
+        .filter(|v| !reg_of.contains_key(&v.id))
+        .map(|v| v.id)
+        .collect();
+    vars.sort_by_key(|&v| (lt.get(v).map_or(0, |l| l.birth), v.0));
+
+    for v in vars {
+        let steps = steps_of(v);
+        let mut in_regs: Vec<usize> = Vec::new();
+        let mut out_regs: Vec<usize> = Vec::new();
+        if let Some(def) = cdfg.var(v).def {
+            for operand in &cdfg.op(def).inputs {
+                if let Some(&r) = reg_of.get(&operand.var) {
+                    in_regs.push(r);
+                }
+            }
+        }
+        for &(user, _) in &cdfg.var(v).uses {
+            let out = cdfg.op(user).output;
+            if let Some(&r) = reg_of.get(&out) {
+                out_regs.push(r);
+            }
+        }
+        let mut placed = None;
+        for (ri, (_, occ)) in groups.iter().enumerate() {
+            if occ.intersects(steps) {
+                continue;
+            }
+            if is_scan(ri) {
+                placed = Some(ri); // scan registers absorb feedback freely
+                break;
+            }
+            let closes = in_regs
+                .iter()
+                .any(|&inr| inr != ri && !is_scan(inr) && reaches(&radj, ri, inr))
+                || out_regs
+                    .iter()
+                    .any(|&outr| outr != ri && !is_scan(outr) && reaches(&radj, outr, ri));
+            if !closes {
+                placed = Some(ri);
+                break;
+            }
+        }
+        let ri = match placed {
+            Some(ri) => ri,
+            None => {
+                groups.push((Vec::new(), StepSet::EMPTY));
+                radj.push(Vec::new());
+                groups.len() - 1
+            }
+        };
+        groups[ri].0.push(v);
+        groups[ri].1 = groups[ri].1.union(steps);
+        reg_of.insert(v, ri);
+        for &inr in &in_regs {
+            if !radj[inr].contains(&ri) {
+                radj[inr].push(ri);
+            }
+        }
+        for &outr in &out_regs {
+            if !radj[ri].contains(&outr) {
+                radj[ri].push(outr);
+            }
+        }
+    }
+    (
+        RegisterAssignment { registers: groups.into_iter().map(|(g, _)| g).collect() },
+        (0..scan_count).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_hls::bind::{self, BindOptions};
+    use hlstb_hls::sched::ListPriority;
+    use hlstb_sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
+
+    fn scan_count(dp: &Datapath) -> usize {
+        let sg = dp.register_sgraph();
+        minimum_feedback_vertex_set(&sg, MfvsOptions::default()).nodes.len()
+    }
+
+    #[test]
+    fn figure1_with_two_adders_avoids_all_loops() {
+        let g = benchmarks::figure1();
+        let opts = SimSchedOptions {
+            limits: ResourceLimits::unlimited().with(FuKind::Adder, 2),
+            ..Default::default()
+        };
+        let r = schedule_and_assign(&g, &opts).unwrap();
+        // Three steps, two adders — the paper's constraint — and no scan
+        // registers needed (Figure 1(c)'s outcome).
+        assert_eq!(scan_count(&r.datapath), 0, "figure 1 should come out loop-free");
+    }
+
+    #[test]
+    fn never_worse_than_oblivious_flow_on_loop_free_behaviors() {
+        for g in [benchmarks::figure1(), benchmarks::fir(8), benchmarks::tseng()] {
+            let lim = ResourceLimits::minimal_for(&g);
+            let opts = SimSchedOptions { limits: lim.clone(), ..Default::default() };
+            let ours = schedule_and_assign(&g, &opts).unwrap();
+            let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+            let b = bind::bind(&g, &s, &BindOptions::default()).unwrap();
+            let base = Datapath::build(&g, &s, &b).unwrap();
+            assert!(
+                scan_count(&ours.datapath) <= scan_count(&base),
+                "{}: {} vs {}",
+                g.name(),
+                scan_count(&ours.datapath),
+                scan_count(&base)
+            );
+        }
+    }
+
+    #[test]
+    fn loopy_behaviors_still_schedule_and_build() {
+        for g in [benchmarks::diffeq(), benchmarks::iir_biquad(), benchmarks::ar_lattice()] {
+            let opts = SimSchedOptions::default();
+            let r = schedule_and_assign(&g, &opts).unwrap();
+            assert!(r.datapath.consistent_with(&g, &r.schedule), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn loop_avoiding_registers_add_no_cycles_on_dags() {
+        let g = benchmarks::fir(8);
+        let lim = ResourceLimits::minimal_for(&g);
+        let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
+        let (fu_of, fus) = bind::bind_fus(&g, &s);
+        let regs = loop_avoiding_registers(&g, &s, &fu_of);
+        let b = Binding::from_parts(&g, &s, fu_of, fus, regs).unwrap();
+        let dp = Datapath::build(&g, &s, &b).unwrap();
+        // FIR has no behavioral loops *except* the delay line the input
+        // needs; the shared-register graph must stay self-loop-only.
+        let sg = dp.register_sgraph();
+        assert!(sg.is_acyclic(true));
+    }
+
+    #[test]
+    fn respects_resource_limits() {
+        let g = benchmarks::diffeq();
+        let opts = SimSchedOptions {
+            limits: ResourceLimits::unlimited()
+                .with(FuKind::Multiplier, 2)
+                .with(FuKind::Adder, 1)
+                .with(FuKind::Alu, 1),
+            latency_slack: 3,
+            ..Default::default()
+        };
+        let r = schedule_and_assign(&g, &opts).unwrap();
+        let muls = r
+            .binding
+            .fus
+            .iter()
+            .filter(|f| f.kind == FuKind::Multiplier)
+            .count();
+        assert!(muls <= 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Bounded enumeration of elementary cycles (Johnson's algorithm).
+
+use crate::graph::{NodeId, SGraph};
+
+/// An elementary cycle: each node appears once; `nodes[i] → nodes[i+1]`
+/// and `nodes.last() → nodes[0]` are edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The nodes on the cycle in traversal order, starting from the
+    /// smallest node id.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Cycle {
+    /// Length of the cycle (1 for a self-loop).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cycle is a self-loop.
+    pub fn is_self_loop(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Whether the cycle passes through `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// Limits for [`enumerate_cycles`]; enumeration is worst-case exponential,
+/// so both a count cap and a length cap are enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleLimits {
+    /// Stop after this many cycles.
+    pub max_cycles: usize,
+    /// Ignore cycles longer than this.
+    pub max_len: usize,
+}
+
+impl Default for CycleLimits {
+    fn default() -> Self {
+        CycleLimits { max_cycles: 10_000, max_len: 64 }
+    }
+}
+
+/// Enumerates elementary cycles, self-loops included, up to the limits.
+///
+/// Cycles are found in increasing order of their smallest node id
+/// (Johnson's start-vertex order), so truncation by `max_cycles` is
+/// deterministic.
+pub fn enumerate_cycles(g: &SGraph, limits: CycleLimits) -> Vec<Cycle> {
+    let n = g.num_nodes();
+    let mut result = Vec::new();
+    let mut blocked = vec![false; n];
+    let mut block_map: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut path: Vec<usize> = Vec::new();
+
+    fn unblock(v: usize, blocked: &mut [bool], block_map: &mut [Vec<usize>]) {
+        blocked[v] = false;
+        let waiters = std::mem::take(&mut block_map[v]);
+        for w in waiters {
+            if blocked[w] {
+                unblock(w, blocked, block_map);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn circuit(
+        v: usize,
+        start: usize,
+        g: &SGraph,
+        blocked: &mut Vec<bool>,
+        block_map: &mut Vec<Vec<usize>>,
+        path: &mut Vec<usize>,
+        result: &mut Vec<Cycle>,
+        limits: CycleLimits,
+    ) -> bool {
+        let mut found = false;
+        path.push(v);
+        blocked[v] = true;
+        for w in g.successors(NodeId(v as u32)).map(|x| x.index()) {
+            if w < start || result.len() >= limits.max_cycles {
+                continue;
+            }
+            if w == start {
+                if path.len() <= limits.max_len {
+                    result.push(Cycle {
+                        nodes: path.iter().map(|&x| NodeId(x as u32)).collect(),
+                    });
+                }
+                found = true;
+            } else if !blocked[w] && path.len() < limits.max_len {
+                if circuit(w, start, g, blocked, block_map, path, result, limits) {
+                    found = true;
+                }
+            }
+        }
+        if found {
+            unblock(v, blocked, block_map);
+        } else {
+            for w in g.successors(NodeId(v as u32)).map(|x| x.index()) {
+                if w >= start && !block_map[w].contains(&v) {
+                    block_map[w].push(v);
+                }
+            }
+        }
+        path.pop();
+        found
+    }
+
+    for start in 0..n {
+        if result.len() >= limits.max_cycles {
+            break;
+        }
+        for b in blocked.iter_mut() {
+            *b = false;
+        }
+        for m in block_map.iter_mut() {
+            m.clear();
+        }
+        path.clear();
+        circuit(start, start, g, &mut blocked, &mut block_map, &mut path, &mut result, limits);
+    }
+    result
+}
+
+/// Length of the shortest cycle through each node, ignoring self-loops
+/// (`None` when the node is on no such cycle). BFS from each node back to
+/// itself — the "loop length" input to the ATPG complexity model.
+pub fn shortest_cycle_lengths(g: &SGraph) -> Vec<Option<usize>> {
+    let n = g.num_nodes();
+    let mut out = vec![None; n];
+    for s in 0..n {
+        // BFS from s; shortest path back to s of length >= 2, or 1 if
+        // a self-loop exists — here self-loops are ignored by contract.
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for w in g.successors(NodeId(s as u32)) {
+            if w.index() != s && dist[w.index()] == usize::MAX {
+                dist[w.index()] = 1;
+                queue.push_back(w.index());
+            }
+        }
+        let mut best = None;
+        while let Some(u) = queue.pop_front() {
+            if u == s {
+                continue;
+            }
+            for w in g.successors(NodeId(u as u32)) {
+                if w.index() == s {
+                    best = Some(best.map_or(dist[u] + 1, |b: usize| b.min(dist[u] + 1)));
+                } else if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[u] + 1;
+                    queue.push_back(w.index());
+                }
+            }
+        }
+        out[s] = best;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_has_one_cycle() {
+        let g = SGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let cycles = enumerate_cycles(&g, CycleLimits::default());
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn self_loops_are_length_one_cycles() {
+        let g = SGraph::from_edges(2, [(0, 0), (1, 1)]);
+        let cycles = enumerate_cycles(&g, CycleLimits::default());
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.iter().all(Cycle::is_self_loop));
+    }
+
+    #[test]
+    fn complete_digraph_cycle_count() {
+        // K3 with all 6 arcs: 3 two-cycles + 2 three-cycles.
+        let g = SGraph::from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+        let cycles = enumerate_cycles(&g, CycleLimits::default());
+        assert_eq!(cycles.len(), 5);
+    }
+
+    #[test]
+    fn limits_are_respected() {
+        let g = SGraph::from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+        let cycles = enumerate_cycles(&g, CycleLimits { max_cycles: 2, max_len: 64 });
+        assert_eq!(cycles.len(), 2);
+        let short = enumerate_cycles(&g, CycleLimits { max_cycles: 100, max_len: 2 });
+        assert!(short.iter().all(|c| c.len() <= 2));
+        assert_eq!(short.len(), 3);
+    }
+
+    #[test]
+    fn shortest_cycle_length_ignores_self_loops() {
+        let g = SGraph::from_edges(3, [(0, 0), (0, 1), (1, 2), (2, 0)]);
+        let lens = shortest_cycle_lengths(&g);
+        assert_eq!(lens, vec![Some(3), Some(3), Some(3)]);
+        let dag = SGraph::from_edges(2, [(0, 1)]);
+        assert_eq!(shortest_cycle_lengths(&dag), vec![None, None]);
+    }
+}

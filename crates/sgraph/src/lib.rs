@@ -1,0 +1,42 @@
+//! S-graph analysis: the topological testability substrate of the
+//! `hlstb` workbench.
+//!
+//! Survey §3.1: sequential ATPG complexity grows *exponentially* with
+//! the length of cycles in the S-graph and *linearly* with sequential
+//! depth [Cheng & Agrawal 1990; Lee & Reddy 1990]. Each S-graph node is
+//! a flip-flop or register; a directed edge `u → v` means a purely
+//! combinational path leads from `u` to `v`. Gate-level partial scan
+//! breaks all loops except self-loops by scanning a (near-)minimum
+//! feedback vertex set; the behavioral techniques this workbench
+//! reproduces use the same measures one level up.
+//!
+//! This crate is deliberately free of HLS types: nodes are dense
+//! [`NodeId`]s, and `hlstb-hls` / `hlstb-netlist` build [`SGraph`]s from
+//! their own structures.
+//!
+//! # Example
+//!
+//! ```
+//! use hlstb_sgraph::{SGraph, mfvs};
+//!
+//! // A 3-register ring plus a self-loop on node 0.
+//! let g = SGraph::from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 0)]);
+//! let fvs = mfvs::minimum_feedback_vertex_set(&g, mfvs::MfvsOptions::default());
+//! // One scanned register breaks the ring; the self-loop is tolerated.
+//! assert_eq!(fvs.nodes.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cycles;
+pub mod depth;
+pub mod graph;
+pub mod mfvs;
+pub mod scc;
+
+pub use cost::{AtpgComplexity, CostWeights};
+pub use cycles::Cycle;
+pub use graph::{NodeId, SGraph};
+pub use mfvs::{FeedbackVertexSet, MfvsOptions};

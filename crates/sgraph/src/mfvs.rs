@@ -1,0 +1,293 @@
+//! Minimum feedback vertex set selection — the gate-level partial-scan
+//! baseline (Cheng & Agrawal; Lee & Reddy) the behavioral techniques are
+//! compared against.
+//!
+//! Scanning the registers of a feedback vertex set (FVS) makes the
+//! remaining S-graph acyclic (self-loops optionally tolerated), which is
+//! what makes sequential ATPG tractable. Exact minimization is NP-hard;
+//! this module combines Levy–Low-style reductions, an exact
+//! branch-and-bound for small strongly connected components, and a
+//! degree-product greedy fallback.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{NodeId, SGraph};
+use crate::scc::cyclic_components;
+
+/// Options for FVS selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MfvsOptions {
+    /// Tolerate self-loops (the partial-scan convention: a single
+    /// register looping through an ALU back to itself is sequentially
+    /// testable and need not be scanned). When `false`, every node with a
+    /// self-loop is forced into the set.
+    pub tolerate_self_loops: bool,
+    /// Components with at most this many nodes are solved exactly by
+    /// branch and bound; larger ones fall back to the greedy heuristic.
+    pub exact_threshold: usize,
+}
+
+impl Default for MfvsOptions {
+    fn default() -> Self {
+        MfvsOptions { tolerate_self_loops: true, exact_threshold: 16 }
+    }
+}
+
+/// A feedback vertex set and whether it is provably minimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackVertexSet {
+    /// The selected nodes.
+    pub nodes: BTreeSet<NodeId>,
+    /// `true` when every component was solved by exact branch and bound.
+    pub optimal: bool,
+}
+
+/// Checks that removing `set` leaves the graph acyclic (under the given
+/// self-loop tolerance).
+pub fn is_feedback_vertex_set(g: &SGraph, set: &BTreeSet<NodeId>, tolerate_self_loops: bool) -> bool {
+    let (rest, _) = g.without_nodes(set);
+    rest.is_acyclic(tolerate_self_loops)
+}
+
+/// Selects a (near-)minimum feedback vertex set.
+///
+/// Deterministic: ties in the greedy heuristic break toward smaller node
+/// ids, and branch-and-bound explores nodes in ascending order.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_sgraph::{SGraph, mfvs::{minimum_feedback_vertex_set, MfvsOptions}};
+///
+/// // Two rings sharing node 0: scanning it breaks both.
+/// let g = SGraph::from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0)]);
+/// let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+/// assert_eq!(fvs.nodes.len(), 1);
+/// ```
+
+pub fn minimum_feedback_vertex_set(g: &SGraph, options: MfvsOptions) -> FeedbackVertexSet {
+    let mut selected: BTreeSet<NodeId> = BTreeSet::new();
+    let mut optimal = true;
+
+    let mut work = g.clone();
+    let mut names: Vec<NodeId> = g.nodes().collect(); // work id -> original id
+
+    if !options.tolerate_self_loops {
+        // Self-loop nodes are unavoidable members.
+        let forced: BTreeSet<NodeId> =
+            work.nodes().filter(|&n| work.has_self_loop(n)).collect();
+        for n in &forced {
+            selected.insert(names[n.index()]);
+        }
+        let (ng, map) = work.without_nodes(&forced);
+        names = map.iter().map(|m| names[m.index()]).collect();
+        work = ng;
+    }
+
+    // Decompose into cyclic SCCs and solve each independently (an FVS of
+    // the whole graph is the union of FVSs of its SCCs).
+    for comp in cyclic_components(&work) {
+        let keep: BTreeSet<NodeId> = comp.iter().copied().collect();
+        let (sub, map) = work.induced_subgraph(&keep);
+        let local = if sub.num_nodes() <= options.exact_threshold {
+            exact_fvs(&sub)
+        } else {
+            optimal = false;
+            greedy_fvs(&sub)
+        };
+        for n in local {
+            selected.insert(names[map[n.index()].index()]);
+        }
+    }
+    debug_assert!(is_feedback_vertex_set(g, &selected, options.tolerate_self_loops || selected_covers_self_loops(g, &selected)));
+    FeedbackVertexSet { nodes: selected, optimal }
+}
+
+fn selected_covers_self_loops(g: &SGraph, set: &BTreeSet<NodeId>) -> bool {
+    g.nodes().filter(|&n| g.has_self_loop(n)).all(|n| set.contains(&n))
+}
+
+/// Exact minimum FVS (self-loops already handled by the caller; they are
+/// ignored here) by iterative deepening over set size, branching on the
+/// nodes of a shortest cycle.
+fn exact_fvs(g: &SGraph) -> Vec<NodeId> {
+    if g.is_acyclic(true) {
+        return Vec::new();
+    }
+    for k in 1..=g.num_nodes() {
+        if let Some(sol) = search(g, k, &mut BTreeSet::new()) {
+            return sol;
+        }
+    }
+    unreachable!("removing all nodes always breaks all cycles");
+}
+
+fn search(g: &SGraph, budget: usize, removed: &mut BTreeSet<NodeId>) -> Option<Vec<NodeId>> {
+    let (rest, map) = g.without_nodes(removed);
+    let cycle = match find_short_cycle(&rest) {
+        None => return Some(removed.iter().copied().collect()),
+        Some(c) => c,
+    };
+    if budget == 0 {
+        return None;
+    }
+    for n in cycle {
+        let orig = map[n.index()];
+        removed.insert(orig);
+        if let Some(sol) = search(g, budget - 1, removed) {
+            return Some(sol);
+        }
+        removed.remove(&orig);
+    }
+    None
+}
+
+/// A shortest non-self-loop cycle, by BFS from every node.
+fn find_short_cycle(g: &SGraph) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut best: Option<Vec<NodeId>> = None;
+    for s in 0..n {
+        // BFS tracking parents; find shortest path s -> ... -> s.
+        let mut parent = vec![usize::MAX; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for w in g.successors(NodeId(s as u32)).map(|x| x.index()) {
+            if w == s {
+                continue;
+            }
+            if dist[w] == usize::MAX {
+                dist[w] = 1;
+                parent[w] = s;
+                queue.push_back(w);
+            }
+        }
+        'bfs: while let Some(u) = queue.pop_front() {
+            for w in g.successors(NodeId(u as u32)).map(|x| x.index()) {
+                if w == s {
+                    // reconstruct
+                    let mut path = vec![NodeId(u as u32)];
+                    let mut cur = u;
+                    while parent[cur] != s {
+                        cur = parent[cur];
+                        path.push(NodeId(cur as u32));
+                    }
+                    path.push(NodeId(s as u32));
+                    path.reverse();
+                    if best.as_ref().map_or(true, |b| path.len() < b.len()) {
+                        best = Some(path);
+                    }
+                    break 'bfs;
+                }
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    parent[w] = u;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if best.as_ref().is_some_and(|b| b.len() == 2) {
+            break; // cannot do better than a 2-cycle
+        }
+    }
+    best
+}
+
+/// Greedy FVS: repeatedly remove the node with the largest
+/// in-degree × out-degree product (ignoring self-loops) until acyclic.
+fn greedy_fvs(g: &SGraph) -> Vec<NodeId> {
+    let mut removed: BTreeSet<NodeId> = BTreeSet::new();
+    loop {
+        let (rest, map) = g.without_nodes(&removed);
+        if rest.is_acyclic(true) {
+            return removed.into_iter().collect();
+        }
+        // Only nodes inside cyclic SCCs are candidates.
+        let mut best: Option<(usize, NodeId)> = None;
+        for comp in cyclic_components(&rest) {
+            for &n in &comp {
+                let ind = rest.predecessors(n).filter(|&p| p != n).count();
+                let outd = rest.successors(n).filter(|&s| s != n).count();
+                let score = ind * outd;
+                let orig = map[n.index()];
+                if best.map_or(true, |(bs, bn)| score > bs || (score == bs && orig < bn)) {
+                    best = Some((score, orig));
+                }
+            }
+        }
+        removed.insert(best.expect("cyclic graph has candidates").1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_needs_one() {
+        let g = SGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        assert_eq!(fvs.nodes.len(), 1);
+        assert!(fvs.optimal);
+        assert!(is_feedback_vertex_set(&g, &fvs.nodes, true));
+    }
+
+    #[test]
+    fn self_loops_tolerated_by_default() {
+        let g = SGraph::from_edges(3, [(0, 0), (1, 1), (2, 2)]);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        assert!(fvs.nodes.is_empty());
+    }
+
+    #[test]
+    fn self_loops_forced_when_not_tolerated(){
+        let g = SGraph::from_edges(2, [(0, 0), (0, 1)]);
+        let opts = MfvsOptions { tolerate_self_loops: false, ..Default::default() };
+        let fvs = minimum_feedback_vertex_set(&g, opts);
+        assert_eq!(fvs.nodes.iter().copied().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert!(is_feedback_vertex_set(&g, &fvs.nodes, false));
+    }
+
+    #[test]
+    fn two_disjoint_rings_need_two() {
+        let g = SGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        assert_eq!(fvs.nodes.len(), 2);
+        assert!(fvs.optimal);
+    }
+
+    #[test]
+    fn shared_hub_is_exploited() {
+        // Two rings sharing node 0: one removal suffices, and exact B&B
+        // must find it.
+        let g = SGraph::from_edges(5, [(0, 1), (1, 0), (0, 2), (2, 0), (3, 4), (4, 3)]);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        assert_eq!(fvs.nodes.len(), 2); // node 0 plus one in the 3-4 ring
+        assert!(fvs.nodes.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_graphs() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 1)];
+        let g = SGraph::from_edges(4, edges);
+        let exact = minimum_feedback_vertex_set(
+            &g,
+            MfvsOptions { exact_threshold: 16, ..Default::default() },
+        );
+        let greedy = minimum_feedback_vertex_set(
+            &g,
+            MfvsOptions { exact_threshold: 0, ..Default::default() },
+        );
+        assert!(is_feedback_vertex_set(&g, &greedy.nodes, true));
+        // Node 1 or 2 alone breaks both cycles.
+        assert_eq!(exact.nodes.len(), 1);
+        assert!(greedy.nodes.len() >= exact.nodes.len());
+    }
+
+    #[test]
+    fn dag_needs_nothing() {
+        let g = SGraph::from_edges(4, [(0, 1), (1, 2), (0, 3)]);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        assert!(fvs.nodes.is_empty());
+        assert!(fvs.optimal);
+    }
+}

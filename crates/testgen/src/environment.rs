@@ -1,0 +1,421 @@
+//! Symbolic test environments (Bhatia & Jha's Genesis — survey §6).
+//!
+//! A *test environment* for an operation is a pair of symbolic paths:
+//! justification paths that can deliver **any** value to each of its
+//! operands from the primary inputs, and a transparent propagation path
+//! that carries its result — unchanged — to a primary output. Arithmetic
+//! transparency supplies both: an adder with 0 on its side port, a
+//! multiplier with 1, a mux with its select pinned.
+
+use std::collections::HashMap;
+
+use hlstb_cdfg::{Cdfg, OpId, OpKind, VarId, VarKind};
+
+fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// The transparent "modes" of an operation: for each carrying port, the
+/// constants required on the other ports and the inverse mapping from
+/// the desired output value to the carried value.
+fn modes(kind: OpKind, width: u32) -> Vec<(usize, Vec<(usize, u64)>, fn(u64, u64) -> u64)> {
+    fn ident(v: u64, _m: u64) -> u64 {
+        v
+    }
+    fn neg(v: u64, m: u64) -> u64 {
+        v.wrapping_neg() & m
+    }
+    fn inv(v: u64, m: u64) -> u64 {
+        !v & m
+    }
+    let ones = mask(width);
+    match kind {
+        OpKind::Add => vec![(0, vec![(1, 0)], ident), (1, vec![(0, 0)], ident)],
+        OpKind::Sub => vec![(0, vec![(1, 0)], ident), (1, vec![(0, 0)], neg)],
+        OpKind::Mul => vec![(0, vec![(1, 1)], ident), (1, vec![(0, 1)], ident)],
+        OpKind::And => vec![(0, vec![(1, ones)], ident), (1, vec![(0, ones)], ident)],
+        OpKind::Or | OpKind::Xor => vec![(0, vec![(1, 0)], ident), (1, vec![(0, 0)], ident)],
+        OpKind::Not => vec![(0, vec![], inv)],
+        OpKind::Shl | OpKind::Shr => vec![(0, vec![(1, 0)], ident)],
+        OpKind::Select => vec![(1, vec![(0, 1)], ident), (2, vec![(0, 0)], ident)],
+        OpKind::Pass => vec![(0, vec![], ident)],
+        OpKind::Lt | OpKind::Eq => Vec::new(), // comparators are opaque
+    }
+}
+
+/// Whether each variable can be justified to an arbitrary value from the
+/// primary inputs within one iteration (optimistic: simultaneity
+/// conflicts are checked only during concrete translation).
+pub fn justifiable_any(cdfg: &Cdfg, width: u32) -> Vec<bool> {
+    let mut ok = vec![false; cdfg.num_vars()];
+    for v in cdfg.vars() {
+        if v.kind == VarKind::Input {
+            ok[v.id.index()] = true;
+        }
+    }
+    let const_of = |v: VarId| match cdfg.var(v).kind {
+        VarKind::Constant(c) => Some(c & mask(width)),
+        _ => None,
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for op in cdfg.ops() {
+            if ok[op.output.index()] {
+                continue;
+            }
+            for (carry, fixed, _) in modes(op.kind, width) {
+                let carry_op = op.inputs[carry];
+                if carry_op.distance != 0 || !ok[carry_op.var.index()] {
+                    continue;
+                }
+                let fixed_ok = fixed.iter().all(|&(p, k)| {
+                    let o = op.inputs[p];
+                    o.distance == 0
+                        && (const_of(o.var) == Some(k & mask(width)) || ok[o.var.index()])
+                });
+                if fixed_ok {
+                    ok[op.output.index()] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    ok
+}
+
+/// Whether each variable's value can propagate unchanged (modulo
+/// invertible unaries excluded here for simplicity) to a primary output.
+pub fn observable_any(cdfg: &Cdfg, width: u32) -> Vec<bool> {
+    let just = justifiable_any(cdfg, width);
+    let const_of = |v: VarId| match cdfg.var(v).kind {
+        VarKind::Constant(c) => Some(c & mask(width)),
+        _ => None,
+    };
+    let mut ok = vec![false; cdfg.num_vars()];
+    for v in cdfg.vars() {
+        if v.kind == VarKind::Output {
+            ok[v.id.index()] = true;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for op in cdfg.ops() {
+            if !ok[op.output.index()] {
+                continue;
+            }
+            for (carry, fixed, f) in modes(op.kind, width) {
+                // Only value-preserving propagation (identity inverse).
+                if f(5, mask(width)) != 5 {
+                    continue;
+                }
+                let carry_op = op.inputs[carry];
+                if carry_op.distance != 0 || ok[carry_op.var.index()] {
+                    continue;
+                }
+                let fixed_ok = fixed.iter().all(|&(p, k)| {
+                    let o = op.inputs[p];
+                    o.distance == 0
+                        && (const_of(o.var) == Some(k & mask(width)) || just[o.var.index()])
+                });
+                if fixed_ok {
+                    ok[carry_op.var.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    ok
+}
+
+/// Whether an operation has a full test environment: every operand
+/// justifiable to arbitrary values and its result observable.
+pub fn has_environment(cdfg: &Cdfg, op: OpId, width: u32) -> bool {
+    let just = justifiable_any(cdfg, width);
+    let obs = observable_any(cdfg, width);
+    let o = cdfg.op(op);
+    o.inputs.iter().all(|operand| {
+        operand.distance == 0
+            && (just[operand.var.index()]
+                || matches!(cdfg.var(operand.var).kind, VarKind::Constant(_)))
+    }) && (obs[o.output.index()] || cdfg.var(o.output).kind == VarKind::Output)
+}
+
+/// Concretely justifies `var = value`: returns the primary-input
+/// assignment that produces it, or `None` when no conflict-free
+/// justification exists.
+///
+/// # Example
+///
+/// ```
+/// use hlstb_cdfg::benchmarks;
+/// use hlstb_testgen::environment::justify;
+///
+/// let cdfg = benchmarks::figure1();
+/// let e = cdfg.var_by_name("e").unwrap().id; // internal sum
+/// let assignment = justify(&cdfg, e, 9, 4).expect("figure 1 is transparent");
+/// assert!(!assignment.is_empty());
+/// ```
+
+pub fn justify(
+    cdfg: &Cdfg,
+    var: VarId,
+    value: u64,
+    width: u32,
+) -> Option<HashMap<String, u64>> {
+    let value = value & mask(width);
+    let v = cdfg.var(var);
+    match v.kind {
+        VarKind::Input => {
+            let mut m = HashMap::new();
+            m.insert(v.name.clone(), value);
+            Some(m)
+        }
+        VarKind::Constant(c) => (c & mask(width) == value).then(HashMap::new),
+        _ => {
+            let def = v.def?;
+            let op = cdfg.op(def);
+            // Constant-amount shifts are concretely invertible when no
+            // set bits fall off the end, even though they are not
+            // arbitrary-value transparent.
+            if matches!(op.kind, OpKind::Shl | OpKind::Shr) {
+                if let VarKind::Constant(k) = cdfg.var(op.inputs[1].var).kind {
+                    let k = (k & 63) as u32;
+                    let m = mask(width);
+                    let needed = match op.kind {
+                        OpKind::Shl => value >> k,
+                        _ => (value << k) & m,
+                    };
+                    let round_trip = match op.kind {
+                        OpKind::Shl => (needed << k) & m,
+                        _ => (needed & m) >> k,
+                    };
+                    if round_trip == value && op.inputs[0].distance == 0 {
+                        if let Some(acc) = justify(cdfg, op.inputs[0].var, needed, width) {
+                            return Some(acc);
+                        }
+                    }
+                }
+            }
+            for (carry, fixed, f) in modes(op.kind, width) {
+                let carry_operand = op.inputs[carry];
+                if carry_operand.distance != 0 {
+                    continue;
+                }
+                let needed = f(value, mask(width));
+                let Some(mut acc) = justify(cdfg, carry_operand.var, needed, width) else {
+                    continue;
+                };
+                let mut okm = true;
+                for &(p, k) in &fixed {
+                    let o = op.inputs[p];
+                    if o.distance != 0 {
+                        okm = false;
+                        break;
+                    }
+                    match justify(cdfg, o.var, k, width) {
+                        Some(sub) => {
+                            if !merge(&mut acc, &sub) {
+                                okm = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            okm = false;
+                            break;
+                        }
+                    }
+                }
+                if okm {
+                    return Some(acc);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Concretely sensitizes a value-preserving path from `var` to a primary
+/// output: returns the side-input assignment and the output's name.
+pub fn propagate(cdfg: &Cdfg, var: VarId, width: u32) -> Option<(HashMap<String, u64>, String)> {
+    let v = cdfg.var(var);
+    if v.kind == VarKind::Output {
+        return Some((HashMap::new(), v.name.clone()));
+    }
+    for &(user, port) in &v.uses {
+        let op = cdfg.op(user);
+        if op.inputs[port].distance != 0 {
+            continue;
+        }
+        for (carry, fixed, f) in modes(op.kind, width) {
+            if carry != port || f(5, mask(width)) != 5 {
+                continue;
+            }
+            let mut acc = HashMap::new();
+            let mut okm = true;
+            for &(p, k) in &fixed {
+                let o = op.inputs[p];
+                if o.distance != 0 {
+                    okm = false;
+                    break;
+                }
+                match justify(cdfg, o.var, k, width) {
+                    Some(sub) => {
+                        if !merge(&mut acc, &sub) {
+                            okm = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        okm = false;
+                        break;
+                    }
+                }
+            }
+            if !okm {
+                continue;
+            }
+            if let Some((rest, po)) = propagate(cdfg, op.output, width) {
+                if merge(&mut acc, &rest) {
+                    return Some((acc, po));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Merges `other` into `acc`; `false` on a conflicting assignment.
+pub fn merge(acc: &mut HashMap<String, u64>, other: &HashMap<String, u64>) -> bool {
+    for (k, &v) in other {
+        match acc.get(k) {
+            Some(&cur) if cur != v => return false,
+            _ => {
+                acc.insert(k.clone(), v);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_cdfg::benchmarks;
+    use hlstb_cdfg::CdfgBuilder;
+
+    fn streams_from(
+        cdfg: &Cdfg,
+        assign: &HashMap<String, u64>,
+    ) -> HashMap<String, Vec<u64>> {
+        cdfg.inputs()
+            .map(|v| (v.name.clone(), vec![*assign.get(&v.name).unwrap_or(&0)]))
+            .collect()
+    }
+
+    #[test]
+    fn justify_through_add_chain() {
+        // o = ((a + b) + c) — justify the inner sum to 42.
+        let mut b = CdfgBuilder::new("t");
+        let a = b.input("a");
+        let b2 = b.input("b");
+        let c = b.input("c");
+        let s1 = b.op(OpKind::Add, &[a, b2], "s1");
+        b.op_output(OpKind::Add, &[s1, c], "o");
+        let g = b.finish().unwrap();
+        let s1_id = g.var_by_name("s1").unwrap().id;
+        let assign = justify(&g, s1_id, 42, 8).unwrap();
+        let out = g.evaluate(&streams_from(&g, &assign), &HashMap::new(), 8);
+        assert_eq!(out["s1"][0], 42);
+    }
+
+    #[test]
+    fn justify_through_mul_uses_unit_constant() {
+        let mut b = CdfgBuilder::new("t");
+        let a = b.input("a");
+        let k = b.input("k");
+        let m = b.op(OpKind::Mul, &[a, k], "m");
+        b.op_output(OpKind::Pass, &[m], "o");
+        let g = b.finish().unwrap();
+        let m_id = g.var_by_name("m").unwrap().id;
+        let assign = justify(&g, m_id, 77, 8).unwrap();
+        let out = g.evaluate(&streams_from(&g, &assign), &HashMap::new(), 8);
+        assert_eq!(out["m"][0], 77);
+    }
+
+    #[test]
+    fn justify_inverts_sub_and_not() {
+        let mut b = CdfgBuilder::new("t");
+        let a = b.input("a");
+        let n = b.op(OpKind::Not, &[a], "n");
+        b.op_output(OpKind::Pass, &[n], "o");
+        let g = b.finish().unwrap();
+        let n_id = g.var_by_name("n").unwrap().id;
+        let assign = justify(&g, n_id, 0xA5 & 0xff, 8).unwrap();
+        let out = g.evaluate(&streams_from(&g, &assign), &HashMap::new(), 8);
+        assert_eq!(out["n"][0], 0xA5);
+    }
+
+    #[test]
+    fn propagation_reaches_an_output_unchanged() {
+        let g = benchmarks::tseng();
+        let t1 = g.var_by_name("t1").unwrap().id;
+        if let Some((assign, po)) = propagate(&g, t1, 8) {
+            // Drive t1's producers with something and check the PO
+            // carries t1's value.
+            let mut full = assign.clone();
+            full.entry("r1".into()).or_insert(5);
+            full.entry("r2".into()).or_insert(9);
+            let out = g.evaluate(&streams_from(&g, &full), &HashMap::new(), 8);
+            assert_eq!(out[&po][0], out["t1"][0]);
+        }
+    }
+
+    #[test]
+    fn constants_justify_only_their_own_value() {
+        let mut b = CdfgBuilder::new("t");
+        let a = b.input("a");
+        let k = b.constant(7);
+        let s = b.op(OpKind::Add, &[a, k], "s");
+        b.op_output(OpKind::Pass, &[s], "o");
+        let g = b.finish().unwrap();
+        let k_id = g.ops().next().unwrap().inputs[1].var;
+        assert!(justify(&g, k_id, 7, 8).is_some());
+        assert!(justify(&g, k_id, 8, 8).is_none());
+    }
+
+    #[test]
+    fn environment_exists_for_simple_dataflow_ops() {
+        let g = benchmarks::figure1();
+        for op in g.ops() {
+            assert!(has_environment(&g, op.id, 8), "{} lacks an environment", op.id);
+        }
+    }
+
+    #[test]
+    fn comparator_outputs_are_not_justifiable_any() {
+        let g = benchmarks::diffeq();
+        let just = justifiable_any(&g, 8);
+        let c = g.var_by_name("c").unwrap().id; // comparison output
+        assert!(!just[c.index()]);
+    }
+
+    #[test]
+    fn merge_detects_conflicts() {
+        let mut a = HashMap::new();
+        a.insert("x".to_string(), 1u64);
+        let mut b = HashMap::new();
+        b.insert("x".to_string(), 2u64);
+        assert!(!merge(&mut a, &b));
+        b.insert("x".to_string(), 1u64);
+        let mut a2 = HashMap::new();
+        a2.insert("x".to_string(), 1u64);
+        assert!(merge(&mut a2, &b));
+    }
+}

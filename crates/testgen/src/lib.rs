@@ -1,0 +1,25 @@
+//! High-level synthesis and test generation — the survey's §6.
+//!
+//! Gate-level sequential ATPG on a whole chip is the expensive road.
+//! The surveyed alternative is hierarchical: generate tests for each
+//! module in isolation (cheap — the module is small and combinational),
+//! then *translate* them to chip-level vectors through the module's
+//! **test environment**: symbolic justification paths that deliver
+//! arbitrary values to the module's inputs and a transparent propagation
+//! path that carries its response to a primary output.
+//!
+//! * [`environment`] — symbolic justifiability/observability analysis
+//!   and concrete value justification/propagation through arithmetic
+//!   transparency (Bhatia & Jha's Genesis, EDTC'94);
+//! * [`hier`] — precomputed module tests composed into chip-level
+//!   vectors (Murray & Hayes, ITC'88; Vishakantaiah et al.'s
+//!   ATKET/CHEETA);
+//! * [`constraints`] — detection of operations without a test
+//!   environment and AMBIANT-style behavioral repair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod environment;
+pub mod hier;

@@ -1,0 +1,74 @@
+//! Round-trip properties of the test-environment machinery on random
+//! loop-free behaviors: whatever `justify` promises, the reference
+//! interpreter must deliver.
+
+use std::collections::HashMap;
+
+use hlstb_cdfg::benchmarks::{random_cdfg, RandomCdfgParams};
+use hlstb_testgen::environment::{justify, propagate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn justify_promises_are_kept(
+        seed in 0u64..5_000,
+        ops in 4usize..14,
+        value in 0u64..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Loop-free (states = 0): intra-iteration justification domain.
+        let g = random_cdfg(
+            RandomCdfgParams { ops, inputs: 3, states: 0, mul_percent: 30 },
+            &mut rng,
+        );
+        for v in g.vars() {
+            if let Some(assign) = justify(&g, v.id, value, 4) {
+                let streams: HashMap<String, Vec<u64>> = g
+                    .inputs()
+                    .map(|i| (i.name.clone(), vec![*assign.get(&i.name).unwrap_or(&0)]))
+                    .collect();
+                let out = g.evaluate(&streams, &HashMap::new(), 4);
+                prop_assert_eq!(
+                    out[&v.name][0], value,
+                    "justify({}, {}) broke its promise (seed {})", v.name, value, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_promises_are_kept(
+        seed in 0u64..5_000,
+        ops in 4usize..14,
+        fill in 0u64..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_cdfg(
+            RandomCdfgParams { ops, inputs: 3, states: 0, mul_percent: 30 },
+            &mut rng,
+        );
+        for v in g.vars() {
+            if let Some((assign, po)) = propagate(&g, v.id, 4) {
+                let streams: HashMap<String, Vec<u64>> = g
+                    .inputs()
+                    .map(|i| {
+                        (
+                            i.name.clone(),
+                            vec![*assign.get(&i.name).unwrap_or(&fill)],
+                        )
+                    })
+                    .collect();
+                let out = g.evaluate(&streams, &HashMap::new(), 4);
+                prop_assert_eq!(
+                    out[&po][0], out[&v.name][0],
+                    "propagate({}) to {} broke value preservation (seed {})",
+                    v.name, po, seed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Explores the §5 BIST design space on one benchmark: naive plan,
+//! shared plan, TFB/XTFB mappings, session schedule, and an LFSR/MISR
+//! self-test of a multiplier block.
+//!
+//! ```sh
+//! cargo run --example bist_explorer
+//! ```
+
+use hlstb::bist::lfsr::{Lfsr, Misr};
+use hlstb::bist::registers::naive_plan;
+use hlstb::bist::sessions::schedule_sessions;
+use hlstb::bist::share::shared_plan;
+use hlstb::bist::tfb::{map_tfbs, map_xtfbs};
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::SynthesisFlow;
+use hlstb::hls::estimate::RegisterCosts;
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::random::pattern_source_run;
+use hlstb::testgen::hier::module_netlist;
+use hlstb_cdfg::OpKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cdfg = benchmarks::diffeq();
+    let d = SynthesisFlow::new(cdfg.clone()).run()?;
+    let costs = RegisterCosts::default();
+
+    let naive = naive_plan(&d.datapath);
+    let shared = shared_plan(&d.datapath);
+    println!("diffeq data path: {} registers, {} modules", d.report.registers, d.report.fus);
+    let (t, s, b, c) = naive.counts();
+    println!("naive plan : {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
+        naive.overhead_percent(8, &costs));
+    let (t, s, b, c) = shared.counts();
+    println!("shared plan: {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
+        shared.overhead_percent(8, &costs));
+
+    let schedule = d.schedule.clone();
+    let tfb = map_tfbs(&cdfg, &schedule);
+    let xtfb = map_xtfbs(&cdfg, &schedule);
+    println!("TFB mapping : {} blocks", tfb.block_count());
+    println!("XTFB mapping: {} blocks, {} CBILBOs", xtfb.block_count(), xtfb.cbilbo_count());
+
+    let sessions = schedule_sessions(&d.datapath);
+    println!("test sessions: {} → {:?}", sessions.len(), sessions);
+
+    // LFSR-driven self-test of a 4-bit multiplier with MISR compaction.
+    let nl = module_netlist(OpKind::Mul, 4);
+    let faults = collapsed_faults(&nl);
+    let mut gen = Lfsr::new(8, 1);
+    let run = pattern_source_run(&nl, &faults, 255, |_| {
+        let s = gen.step();
+        ((0..8).map(|k| s >> k & 1 == 1).collect(), Vec::new())
+    });
+    println!(
+        "\n4-bit multiplier under LFSR BIST: {:.1} % coverage after {} patterns",
+        run.summary.coverage_percent(),
+        run.curve.last().map_or(0, |p| p.patterns)
+    );
+    let mut misr = Misr::new(16);
+    for i in 0..255u32 {
+        misr.absorb(i.wrapping_mul(2654435761));
+    }
+    println!(
+        "MISR signature 0x{:04x}, aliasing probability {:.1e}",
+        misr.signature(),
+        misr.aliasing_probability()
+    );
+    Ok(())
+}

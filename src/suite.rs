@@ -1,0 +1,3 @@
+//! Workspace-level support library for the `hlstb-suite` examples and
+//! integration tests. All functionality lives in the member crates; see
+//! [`hlstb`] for the facade.

@@ -1,0 +1,144 @@
+//! Workspace integration tests: the full behavior → schedule → binding →
+//! data path → gates pipeline, across crates, on every benchmark.
+
+use std::collections::HashMap;
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler, SynthesisFlow};
+use hlstb::hls::expand::simulate_hw;
+use hlstb::netlist::atpg::{generate_all, AtpgOptions};
+use hlstb::netlist::fault::collapsed_faults;
+
+fn streams_for(cdfg: &hlstb::cdfg::Cdfg, n: usize) -> HashMap<String, Vec<u64>> {
+    cdfg.inputs()
+        .map(|v| {
+            let base = v.id.0 as u64 * 11 + 5;
+            (v.name.clone(), (0..n as u64).map(|i| (base + 7 * i) & 0xf).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn every_strategy_builds_every_benchmark() {
+    for g in benchmarks::all() {
+        for strategy in [
+            DftStrategy::None,
+            DftStrategy::FullScan,
+            DftStrategy::GateLevelPartialScan,
+            DftStrategy::BehavioralPartialScan,
+            DftStrategy::BistNaive,
+            DftStrategy::BistShared,
+            DftStrategy::KLevelTestPoints(1),
+        ] {
+            let d = SynthesisFlow::new(g.clone()).strategy(strategy).run();
+            assert!(d.is_ok(), "{} with {strategy:?}: {:?}", g.name(), d.err());
+        }
+    }
+}
+
+#[test]
+fn gate_level_equals_behavior_for_every_register_policy() {
+    let g = benchmarks::diffeq();
+    let streams = streams_for(&g, 5);
+    let reference = g.evaluate(&streams, &HashMap::new(), 4);
+    for policy in [
+        RegisterPolicy::LeftEdge,
+        RegisterPolicy::Dsatur,
+        RegisterPolicy::IoMax,
+        RegisterPolicy::Boundary,
+        RegisterPolicy::LoopAvoiding,
+        RegisterPolicy::Avra,
+    ] {
+        let d = SynthesisFlow::new(g.clone())
+            .register_policy(policy)
+            .run()
+            .unwrap();
+        let hw = simulate_hw(&d.expanded, &d.datapath, &streams);
+        for o in g.outputs() {
+            assert_eq!(hw[&o.name], reference[&o.name], "{policy:?}:{}", o.name);
+        }
+    }
+}
+
+#[test]
+fn gate_level_equals_behavior_for_every_scheduler() {
+    let g = benchmarks::ewf();
+    let streams = streams_for(&g, 4);
+    let reference = g.evaluate(&streams, &HashMap::new(), 4);
+    for scheduler in [
+        Scheduler::List,
+        Scheduler::IoAware,
+        Scheduler::ForceDirected(2),
+        Scheduler::Asap,
+    ] {
+        let d = SynthesisFlow::new(g.clone()).scheduler(scheduler).run().unwrap();
+        let hw = simulate_hw(&d.expanded, &d.datapath, &streams);
+        for o in g.outputs() {
+            assert_eq!(hw[&o.name], reference[&o.name], "{scheduler:?}:{}", o.name);
+        }
+    }
+}
+
+#[test]
+fn scan_marks_do_not_change_function() {
+    let g = benchmarks::ar_lattice();
+    let streams = streams_for(&g, 5);
+    let plain = SynthesisFlow::new(g.clone()).run().unwrap();
+    let scanned = SynthesisFlow::new(g.clone())
+        .strategy(DftStrategy::BehavioralPartialScan)
+        .run()
+        .unwrap();
+    let a = simulate_hw(&plain.expanded, &plain.datapath, &streams);
+    let b = simulate_hw(&scanned.expanded, &scanned.datapath, &streams);
+    for o in g.outputs() {
+        assert_eq!(a[&o.name], b[&o.name], "{}", o.name);
+    }
+}
+
+#[test]
+fn full_scan_restores_combinational_atpg_coverage() {
+    // The central DFT promise: with every register scannable, plain
+    // combinational ATPG tests the whole data path.
+    let g = benchmarks::tseng();
+    let d = SynthesisFlow::new(g).strategy(DftStrategy::FullScan).run().unwrap();
+    let nl = d.expanded.netlist.clone().with_full_scan(); // controller too
+    let faults = collapsed_faults(&nl);
+    let run = generate_all(&nl, &faults, &AtpgOptions { backtrack_limit: 5_000 });
+    assert!(run.aborted == 0, "aborted {}", run.aborted);
+    assert!(
+        run.efficiency_percent() > 99.9,
+        "efficiency {:.2}",
+        run.efficiency_percent()
+    );
+    assert!(run.coverage_percent() > 90.0, "coverage {:.2}", run.coverage_percent());
+}
+
+#[test]
+fn behavioral_scan_beats_no_scan_on_sequential_atpg() {
+    use hlstb::netlist::seq::{seq_generate_all, SeqAtpgOptions};
+    let g = benchmarks::iir_biquad();
+    let plain = SynthesisFlow::new(g.clone()).run().unwrap();
+    let scanned = SynthesisFlow::new(g)
+        .strategy(DftStrategy::BehavioralPartialScan)
+        .run()
+        .unwrap();
+    let opts = SeqAtpgOptions { max_frames: 4, backtrack_limit: 200 };
+    let sample = 30;
+    let f1 = collapsed_faults(&plain.expanded.netlist);
+    let r1 = seq_generate_all(&plain.expanded.netlist, &f1[..sample.min(f1.len())], &opts);
+    let f2 = collapsed_faults(&scanned.expanded.netlist);
+    let r2 = seq_generate_all(&scanned.expanded.netlist, &f2[..sample.min(f2.len())], &opts);
+    assert!(
+        r2.coverage_percent() >= r1.coverage_percent(),
+        "scan {:.1} vs plain {:.1}",
+        r2.coverage_percent(),
+        r1.coverage_percent()
+    );
+}
+
+#[test]
+fn table1_is_complete() {
+    let t = hlstb::tools::table1();
+    assert_eq!(t.len(), 7);
+    assert!(hlstb::tools::render_table1().lines().count() >= 10);
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over randomly generated behaviors: every seeded
+//! random CDFG must survive the whole pipeline with gate-level
+//! equivalence, and the core invariants must hold along the way.
+
+use std::collections::HashMap;
+
+use hlstb::cdfg::benchmarks::{random_cdfg, RandomCdfgParams};
+use hlstb::cdfg::{LifetimeMap, Schedule};
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::hls::expand::simulate_hw;
+use hlstb::sgraph::mfvs::{is_feedback_vertex_set, minimum_feedback_vertex_set, MfvsOptions};
+use hlstb::sgraph::SGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_cdfgs_synthesize_and_match_gates(
+        seed in 0u64..1000,
+        ops in 6usize..18,
+        inputs in 1usize..4,
+        states in 0usize..3,
+        mul_percent in 0u8..50,
+    ) {
+        prop_assume!(states + 1 < ops);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_cdfg(RandomCdfgParams { ops, inputs, states, mul_percent }, &mut rng);
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let streams: HashMap<String, Vec<u64>> = g
+            .inputs()
+            .map(|v| (v.name.clone(), vec![(v.id.0 as u64 * 3 + seed) & 0xf, 7, 2]))
+            .collect();
+        let reference = g.evaluate(&streams, &HashMap::new(), 4);
+        let hw = simulate_hw(&d.expanded, &d.datapath, &streams);
+        for o in g.outputs() {
+            prop_assert_eq!(&hw[&o.name], &reference[&o.name]);
+        }
+    }
+
+    #[test]
+    fn behavioral_scan_always_leaves_acyclic_sgraph(
+        seed in 0u64..1000,
+        ops in 6usize..16,
+        states in 1usize..4,
+    ) {
+        prop_assume!(states + 1 < ops);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_cdfg(
+            RandomCdfgParams { ops, inputs: 2, states, mul_percent: 25 },
+            &mut rng,
+        );
+        let d = SynthesisFlow::new(g)
+            .strategy(DftStrategy::BehavioralPartialScan)
+            .run()
+            .unwrap();
+        prop_assert!(d.report.sgraph_acyclic_after_scan);
+    }
+
+    #[test]
+    fn mfvs_is_always_a_feedback_vertex_set(
+        n in 2usize..12,
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 1..40),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = SGraph::from_edges(n, edges);
+        let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
+        prop_assert!(is_feedback_vertex_set(&g, &fvs.nodes, true));
+    }
+
+    #[test]
+    fn lifetimes_never_overlap_within_a_register(
+        seed in 0u64..500,
+        ops in 6usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_cdfg(
+            RandomCdfgParams { ops, inputs: 2, states: 1, mul_percent: 20 },
+            &mut rng,
+        );
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let lt = LifetimeMap::compute(&g, &d.schedule);
+        for r in d.datapath.registers() {
+            prop_assert!(lt.compatible(&r.vars));
+        }
+    }
+
+    #[test]
+    fn schedules_respect_all_precedences(
+        seed in 0u64..500,
+        ops in 6usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_cdfg(
+            RandomCdfgParams { ops, inputs: 3, states: 2, mul_percent: 30 },
+            &mut rng,
+        );
+        let d = SynthesisFlow::new(g.clone()).run().unwrap();
+        let s: &Schedule = &d.schedule;
+        for e in g.data_edges() {
+            if e.distance == 0 {
+                prop_assert!(s.start(e.to) >= s.ready_step(e.from));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Golden-value regression tests: the synthesized shape of every
+//! benchmark is pinned so unintended changes to scheduling, binding, or
+//! DFT selection surface immediately. Update deliberately when an
+//! algorithm improves — the shape tests in `crates/bench` guard the
+//! directions that must not change.
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+
+fn shape(name: &str, strategy: DftStrategy) -> (u32, usize, usize, bool) {
+    let g = benchmarks::all()
+        .into_iter()
+        .find(|g| g.name() == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let d = SynthesisFlow::new(g).strategy(strategy).run().unwrap();
+    (
+        d.report.period,
+        d.report.registers,
+        d.report.scan_registers,
+        d.report.sgraph_acyclic_after_scan,
+    )
+}
+
+#[test]
+fn figure1_shapes() {
+    // Default flow uses minimal resources (one adder): five steps.
+    assert_eq!(shape("figure1", DftStrategy::None), (5, 8, 0, true));
+    assert_eq!(
+        shape("figure1", DftStrategy::SimultaneousLoopAvoidance).2,
+        0,
+        "figure 1 must come out loop-free"
+    );
+}
+
+#[test]
+fn diffeq_shapes() {
+    let (period, regs, scan, acyclic) = shape("diffeq", DftStrategy::BehavioralPartialScan);
+    assert_eq!(period, 13);
+    assert_eq!(regs, 10);
+    assert!(acyclic);
+    assert!(scan >= 1 && scan <= 4, "{scan}");
+}
+
+#[test]
+fn ewf_shapes() {
+    let (period, regs, _, _) = shape("ewf", DftStrategy::None);
+    // 34 ops on minimal resources: one multiplier serializes the 8 muls.
+    assert_eq!(period, 35);
+    assert!(regs >= 11 && regs <= 16, "{regs}");
+}
+
+#[test]
+fn loop_free_designs_scan_nothing_behaviorally() {
+    for name in ["fir8", "tseng", "dct_lite", "ar_lattice"] {
+        let (_, _, scan, acyclic) = shape(name, DftStrategy::BehavioralPartialScan);
+        assert!(acyclic, "{name}");
+        // Behavioral loops absent: any scan comes from assignment loops
+        // only, and must be small.
+        assert!(scan <= 2, "{name}: {scan}");
+    }
+}
+
+#[test]
+fn full_scan_always_scans_everything() {
+    for g in benchmarks::all() {
+        let d = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::FullScan)
+            .run()
+            .unwrap();
+        assert_eq!(d.report.scan_registers, d.report.registers, "{}", g.name());
+        assert!(d.report.sgraph_acyclic_after_scan, "{}", g.name());
+    }
+}
+
+#[test]
+fn gate_counts_are_stable_within_bounds() {
+    // Coarse bounds: structural expansion should not silently explode.
+    for (name, lo, hi) in [
+        ("figure1", 150, 400),
+        ("diffeq", 250, 700),
+        ("ewf", 600, 1500),
+        ("gcd", 250, 800),
+    ] {
+        let g = benchmarks::all().into_iter().find(|g| g.name() == name).unwrap();
+        let d = SynthesisFlow::new(g).run().unwrap();
+        assert!(
+            d.report.gates >= lo && d.report.gates <= hi,
+            "{name}: {} gates outside [{lo}, {hi}]",
+            d.report.gates
+        );
+    }
+}
+
+#[test]
+fn bist_plans_cover_every_benchmark() {
+    for g in benchmarks::all() {
+        let d = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::BistShared)
+            .run()
+            .unwrap();
+        let plan = d.bist_plan.expect("plan attached");
+        // At least one generator and, where outputs exist, one compactor.
+        assert!(
+            plan.kind_of.iter().any(|k| k.generates()),
+            "{}: no generator",
+            g.name()
+        );
+        assert!(
+            plan.kind_of.iter().any(|k| k.compacts()),
+            "{}: no compactor",
+            g.name()
+        );
+    }
+}
