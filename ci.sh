@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate plus lint hygiene, exactly as CI runs it. The workspace
+# builds fully offline (in-tree rand/proptest/criterion subsets), so no
+# network access is needed for any step.
+set -eux
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

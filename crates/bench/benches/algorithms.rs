@@ -69,7 +69,10 @@ fn bench_mfvs(c: &mut Criterion) {
             b.iter(|| {
                 minimum_feedback_vertex_set(
                     g,
-                    MfvsOptions { exact_threshold: 16, ..Default::default() },
+                    MfvsOptions {
+                        exact_threshold: 16,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -77,7 +80,10 @@ fn bench_mfvs(c: &mut Criterion) {
             b.iter(|| {
                 minimum_feedback_vertex_set(
                     g,
-                    MfvsOptions { exact_threshold: 0, ..Default::default() },
+                    MfvsOptions {
+                        exact_threshold: 0,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -99,7 +105,10 @@ fn bench_scan_selection(c: &mut Criterion) {
             scanvars::select_scan_variables(
                 &g,
                 &s,
-                &ScanSelectOptions { w_share: 0.0, ..Default::default() },
+                &ScanSelectOptions {
+                    w_share: 0.0,
+                    ..Default::default()
+                },
             )
         })
     });

@@ -79,7 +79,10 @@ fn bench_atpg(c: &mut Criterion) {
             seq_podem(
                 &nl,
                 fault,
-                &SeqAtpgOptions { max_frames: 3, backtrack_limit: 200 },
+                &SeqAtpgOptions {
+                    max_frames: 3,
+                    backtrack_limit: 200,
+                },
             )
         })
     });

@@ -23,12 +23,21 @@ pub fn share_weight_sweep() -> Table {
         "E19a  Ablation: scan selection sharing weight (total scan registers, 12 random loopy designs)",
         &["workload", "w=0.0", "w=0.25", "w=0.75", "w=2.0"],
     );
-    for (label, ops, states) in [("small", 14usize, 4usize), ("medium", 22, 5), ("large", 30, 6)] {
+    for (label, ops, states) in [
+        ("small", 14usize, 4usize),
+        ("medium", 22, 5),
+        ("large", 30, 6),
+    ] {
         let mut sums = [0usize; 4];
         for seed in 0..12u64 {
             let mut rng = StdRng::seed_from_u64(7_000 + seed * 13 + ops as u64);
             let g = random_cdfg(
-                RandomCdfgParams { ops, inputs: 3, states, mul_percent: 20 },
+                RandomCdfgParams {
+                    ops,
+                    inputs: 3,
+                    states,
+                    mul_percent: 20,
+                },
                 &mut rng,
             );
             let lim = ResourceLimits::minimal_for(&g);
@@ -37,7 +46,10 @@ pub fn share_weight_sweep() -> Table {
                 let sel = select_scan_variables(
                     &g,
                     &s,
-                    &ScanSelectOptions { w_share: w, ..Default::default() },
+                    &ScanSelectOptions {
+                        w_share: w,
+                        ..Default::default()
+                    },
                 );
                 sums[i] += sel.register_count();
             }
@@ -61,7 +73,11 @@ pub fn test_weight_sweep() -> Table {
         "E19b  Ablation: simultaneous-scheduling testability weight (residual MFVS)",
         &["design", "w=0", "w=2", "w=8", "w=32"],
     );
-    for g in [benchmarks::figure1(), benchmarks::tseng(), benchmarks::iir_biquad()] {
+    for g in [
+        benchmarks::figure1(),
+        benchmarks::tseng(),
+        benchmarks::iir_biquad(),
+    ] {
         let mut row = vec![g.name().to_string()];
         for w in [0.0, 2.0, 8.0, 32.0] {
             let opts = SimSchedOptions {
@@ -71,10 +87,8 @@ pub fn test_weight_sweep() -> Table {
                 ..Default::default()
             };
             let r = schedule_and_assign(&g, &opts).unwrap();
-            let fvs = minimum_feedback_vertex_set(
-                &r.datapath.register_sgraph(),
-                MfvsOptions::default(),
-            );
+            let fvs =
+                minimum_feedback_vertex_set(&r.datapath.register_sgraph(), MfvsOptions::default());
             row.push(fvs.nodes.len().to_string());
         }
         t.row(row);

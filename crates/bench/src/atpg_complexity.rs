@@ -49,9 +49,20 @@ pub fn chain_circuit(n: usize) -> (Netlist, Fault) {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E1  Sequential ATPG effort vs S-graph cycle length and depth",
-        &["circuit", "param", "detected", "frames", "decisions", "backtracks", "implications"],
+        &[
+            "circuit",
+            "param",
+            "detected",
+            "frames",
+            "decisions",
+            "backtracks",
+            "implications",
+        ],
     );
-    let opts = SeqAtpgOptions { max_frames: 12, backtrack_limit: 50_000 };
+    let opts = SeqAtpgOptions {
+        max_frames: 12,
+        backtrack_limit: 50_000,
+    };
     for n in [1usize, 2, 3, 4, 5] {
         let (nl, fault) = ring_circuit(n);
         let (status, effort) = seq_podem(&nl, fault, &opts);

@@ -22,6 +22,7 @@ fn main() {
         hlstb_bench::rtl_exps::tpi_table(),
         hlstb_bench::bist_exps::bist_coverage_table(),
         hlstb_bench::scaling::run(&[8, 16, 24, 32], 3, 6),
+        hlstb_bench::fsim_bench::sweep(512).table(),
         hlstb_bench::ablation::share_weight_sweep(),
         hlstb_bench::ablation::test_weight_sweep(),
         hlstb_bench::scoreboard::run(40),

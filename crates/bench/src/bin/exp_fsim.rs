@@ -1,0 +1,21 @@
+//! E21 — grading-engine benchmark: fault dropping + sharded workers on
+//! the nine-design random-pattern sweep. Prints the table and writes
+//! `BENCH_fsim.json` next to the working directory for perf tracking.
+
+fn main() {
+    let patterns: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
+    let sweep = hlstb_bench::fsim_bench::sweep(patterns);
+    print!("{}", sweep.table());
+    println!(
+        "whole-sweep fault-phase speedup vs naive: drop {:.2}x, drop-2t {:.2}x, drop-4t {:.2}x",
+        sweep.speedup("drop"),
+        sweep.speedup("drop-2t"),
+        sweep.speedup("drop-4t")
+    );
+    let path = "BENCH_fsim.json";
+    std::fs::write(path, sweep.to_json()).expect("write BENCH_fsim.json");
+    println!("wrote {path}");
+}

@@ -33,7 +33,13 @@ fn dp_with(g: &Cdfg, s: &Schedule, regs: hlstb::hls::bind::RegisterAssignment) -
 pub fn selfadj_table() -> Table {
     let mut t = Table::new(
         "E9  Self-adjacent registers (Avra ITC'91) vs conventional assignment",
-        &["design", "conv regs", "conv self-adj", "avra regs", "avra self-adj"],
+        &[
+            "design",
+            "conv regs",
+            "conv self-adj",
+            "avra regs",
+            "avra self-adj",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -58,7 +64,14 @@ pub fn tfb_table() -> Table {
     let costs = RegisterCosts::default();
     let mut t = Table::new(
         "E10  TFB (DAC'91) vs XTFB (ICCAD'93) self-testable data paths",
-        &["design", "TFBs", "XTFBs", "XTFB regs", "XTFB CBILBOs", "XTFB reg area (GE)"],
+        &[
+            "design",
+            "TFBs",
+            "XTFBs",
+            "XTFB regs",
+            "XTFB CBILBOs",
+            "XTFB reg area (GE)",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -81,7 +94,13 @@ pub fn share_table() -> Table {
     let costs = RegisterCosts::default();
     let mut t = Table::new(
         "E11  TPGR/SR sharing (Parulkar/Gupta/Breuer DAC'95) vs naive BIST",
-        &["design", "naive CBILBOs", "shared CBILBOs", "naive ovh %", "shared ovh %"],
+        &[
+            "design",
+            "naive CBILBOs",
+            "shared CBILBOs",
+            "naive ovh %",
+            "shared ovh %",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -103,7 +122,13 @@ pub fn share_table() -> Table {
 pub fn sessions_table() -> Table {
     let mut t = Table::new(
         "E12  Test sessions (Harris & Orailoglu DAC'94)",
-        &["design", "modules", "strict (left-edge)", "strict (avra)", "pipelined"],
+        &[
+            "design",
+            "modules",
+            "strict (left-edge)",
+            "strict (avra)",
+            "pipelined",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -126,7 +151,13 @@ pub fn sessions_table() -> Table {
 pub fn arith_table() -> Table {
     let mut t = Table::new(
         "E13  Arithmetic BIST (Mukherjee et al. VTS'95): subspace state coverage",
-        &["design", "plain binding cov", "guided binding cov", "acc pat 90% mul", "uniform 90% mul"],
+        &[
+            "design",
+            "plain binding cov",
+            "guided binding cov",
+            "acc pat 90% mul",
+            "uniform 90% mul",
+        ],
     );
     for g in [benchmarks::ewf(), benchmarks::diffeq()] {
         let s = sched_for(&g);
@@ -160,7 +191,9 @@ fn mul_pattern_comparison() -> (String, String) {
     };
     let acc_a = arith::accumulator_patterns(1, 7, 4096, 4);
     let acc_b = arith::accumulator_patterns(3, 5, 4096, 4);
-    let acc = pattern_source_run(&nl, &faults, 4096, |i| (bits8(acc_a[i], acc_b[i]), Vec::new()));
+    let acc = pattern_source_run(&nl, &faults, 4096, |i| {
+        (bits8(acc_a[i], acc_b[i]), Vec::new())
+    });
     // Low-entropy comparator: a slow binary counter on one operand only.
     let uni = pattern_source_run(&nl, &faults, 4096, |i| {
         (bits8((i as u64) & 0xf, 0x3), Vec::new())
@@ -176,29 +209,57 @@ fn mul_pattern_comparison() -> (String, String) {
 /// E17 — executable BIST: plan coverage at the gate level. The shared
 /// plan must keep the naive plan's coverage at a fraction of its cost.
 pub fn bist_coverage_table() -> Table {
-    use hlstb::bist::selftest::bist_coverage;
+    use hlstb::bist::selftest::bist_coverage_opts;
     use hlstb::bist::share::shared_plan;
     use hlstb::flow::SynthesisFlow;
+    use hlstb::netlist::fsim::ParallelOptions;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     let costs = RegisterCosts::default();
+    let opts = ParallelOptions::default();
     let mut t = Table::new(
         "E17  Executable BIST: naive vs shared plan, gate-level coverage",
-        &["design", "naive cov %", "shared cov %", "naive ovh %", "shared ovh %"],
+        &[
+            "design",
+            "naive cov %",
+            "shared cov %",
+            "naive ovh %",
+            "shared ovh %",
+            "dropped",
+        ],
     );
-    for g in [benchmarks::figure1(), benchmarks::tseng(), benchmarks::diffeq()] {
+    for g in [
+        benchmarks::figure1(),
+        benchmarks::tseng(),
+        benchmarks::diffeq(),
+    ] {
         let d = SynthesisFlow::new(g.clone()).run().unwrap();
         let naive = naive_plan(&d.datapath);
         let shared = shared_plan(&d.datapath);
-        let cn = bist_coverage(&d.expanded, &d.datapath, &naive, 10, &mut StdRng::seed_from_u64(21));
-        let cs = bist_coverage(&d.expanded, &d.datapath, &shared, 10, &mut StdRng::seed_from_u64(21));
+        let (cn, sn) = bist_coverage_opts(
+            &d.expanded,
+            &d.datapath,
+            &naive,
+            10,
+            &mut StdRng::seed_from_u64(21),
+            &opts,
+        );
+        let (cs, ss) = bist_coverage_opts(
+            &d.expanded,
+            &d.datapath,
+            &shared,
+            10,
+            &mut StdRng::seed_from_u64(21),
+            &opts,
+        );
         t.row(vec![
             g.name().to_string(),
             format!("{cn:.1}"),
             format!("{cs:.1}"),
             format!("{:.1}", naive.overhead_percent(4, &costs)),
             format!("{:.1}", shared.overhead_percent(4, &costs)),
+            (sn.dropped + ss.dropped).to_string(),
         ]);
     }
     t

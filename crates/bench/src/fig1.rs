@@ -15,16 +15,36 @@ use crate::Table;
 pub fn variants() -> (Datapath, Datapath) {
     let g = benchmarks::figure1();
     let ids = |name: &str| g.var_by_name(name).unwrap().id;
-    let (a, b, d, f, p, q, s) =
-        (ids("a"), ids("b"), ids("d"), ids("f"), ids("p"), ids("q"), ids("s"));
+    let (a, b, d, f, p, q, s) = (
+        ids("a"),
+        ids("b"),
+        ids("d"),
+        ids("f"),
+        ids("p"),
+        ids("q"),
+        ids("s"),
+    );
     let (c, e, r, t, gg) = (ids("c"), ids("e"), ids("r"), ids("t"), ids("g"));
-    let inputs_each_own =
-        vec![vec![a], vec![b], vec![d], vec![f], vec![p], vec![q], vec![s]];
+    let inputs_each_own = vec![
+        vec![a],
+        vec![b],
+        vec![d],
+        vec![f],
+        vec![p],
+        vec![q],
+        vec![s],
+    ];
 
     let sched_b = Schedule::new(&g, vec![0, 1, 1, 2, 2]).unwrap();
     let fus_b = vec![
-        FuInstance { kind: FuKind::Adder, ops: vec![OpId(0), OpId(2), OpId(4)] },
-        FuInstance { kind: FuKind::Adder, ops: vec![OpId(1), OpId(3)] },
+        FuInstance {
+            kind: FuKind::Adder,
+            ops: vec![OpId(0), OpId(2), OpId(4)],
+        },
+        FuInstance {
+            kind: FuKind::Adder,
+            ops: vec![OpId(1), OpId(3)],
+        },
     ];
     let mut regs_b = inputs_each_own.clone();
     regs_b.push(vec![c, gg, r]);
@@ -42,8 +62,14 @@ pub fn variants() -> (Datapath, Datapath) {
 
     let sched_c = Schedule::new(&g, vec![0, 1, 0, 1, 2]).unwrap();
     let fus_c = vec![
-        FuInstance { kind: FuKind::Adder, ops: vec![OpId(0), OpId(1), OpId(4)] },
-        FuInstance { kind: FuKind::Adder, ops: vec![OpId(2), OpId(3)] },
+        FuInstance {
+            kind: FuKind::Adder,
+            ops: vec![OpId(0), OpId(1), OpId(4)],
+        },
+        FuInstance {
+            kind: FuKind::Adder,
+            ops: vec![OpId(2), OpId(3)],
+        },
     ];
     let mut regs_c = inputs_each_own;
     regs_c.push(vec![c, e, gg]);
@@ -65,7 +91,12 @@ pub fn run() -> Table {
     let (dp_b, dp_c) = variants();
     let mut t = Table::new(
         "F1  Figure 1: loops formed during assignment (3 steps, 2 adders)",
-        &["variant", "non-self loops", "self-loops", "scan registers needed"],
+        &[
+            "variant",
+            "non-self loops",
+            "self-loops",
+            "scan registers needed",
+        ],
     );
     for (name, dp) in [("(b) loop-forming", &dp_b), ("(c) loop-avoiding", &dp_c)] {
         let sg = dp.register_sgraph();

@@ -1,0 +1,266 @@
+//! E21 — the fault-grading engine itself: fault dropping and sharded
+//! workers timed on the nine-design random-pattern sweep (the same
+//! substrate as E13's coverage curves).
+//!
+//! Every configuration grades the *same* fault universe against the
+//! *same* pseudorandom frames, so the detected sets must be
+//! bit-identical; the sweep asserts that. What varies is only the work:
+//! the naive engine evaluates every live fault under every frame, the
+//! engine drops a fault the moment it is detected and restricts each
+//! faulty evaluation to the fault's output cone, and the sharded
+//! configurations split the universe across `std::thread::scope`
+//! workers.
+
+use std::time::Duration;
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::fsim::{comb_fault_sim_opts, ParallelOptions, TestFrame};
+use hlstb::netlist::stats::GradeStats;
+use hlstb_cdfg::Cdfg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Table;
+
+/// The engine configurations the sweep compares, in report order. The
+/// first is the baseline every speedup is quoted against.
+pub fn configs() -> Vec<(&'static str, ParallelOptions)> {
+    vec![
+        (
+            "naive",
+            ParallelOptions {
+                threads: 1,
+                drop_detected: false,
+            },
+        ),
+        (
+            "drop",
+            ParallelOptions {
+                threads: 1,
+                drop_detected: true,
+            },
+        ),
+        ("drop-2t", ParallelOptions::with_threads(2)),
+        ("drop-4t", ParallelOptions::with_threads(4)),
+    ]
+}
+
+/// One engine configuration timed on one design.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Design name.
+    pub design: String,
+    /// Configuration name (see [`configs`]).
+    pub config: &'static str,
+    /// Final stuck-at coverage — identical across configurations.
+    pub coverage_percent: f64,
+    /// The engine's work and timing counters.
+    pub stats: GradeStats,
+}
+
+/// Result of [`sweep`]: every configuration on every design.
+#[derive(Debug, Clone)]
+pub struct FsimSweep {
+    /// Patterns graded per design (rounded up to whole 64-bit words).
+    pub patterns: usize,
+    /// One entry per (design, configuration) pair, design-major.
+    pub runs: Vec<EngineRun>,
+}
+
+/// Grades the full nine-design suite. `patterns` is rounded up to a
+/// whole number of 64-pattern words.
+pub fn sweep(patterns: usize) -> FsimSweep {
+    sweep_designs(&benchmarks::all(), patterns)
+}
+
+/// [`sweep`] over a caller-chosen design list (tests use a subset).
+pub fn sweep_designs(designs: &[Cdfg], patterns: usize) -> FsimSweep {
+    let mut runs = Vec::new();
+    for (di, g) in designs.iter().enumerate() {
+        let d = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::FullScan)
+            .run()
+            .expect("benchmark designs synthesize");
+        let nl = &d.expanded.netlist;
+        let faults = collapsed_faults(nl);
+        // Same frames for every configuration: the comparison times the
+        // engine, not the pattern source.
+        let mut rng = StdRng::seed_from_u64(0xFA57_1996 + di as u64);
+        let frames: Vec<TestFrame> = (0..patterns.div_ceil(64).max(1))
+            .map(|_| TestFrame {
+                pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+                ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+            })
+            .collect();
+        let mut baseline = None;
+        for (name, opts) in configs() {
+            let (summary, stats) = comb_fault_sim_opts(nl, &faults, &frames, &opts);
+            let detected = summary.detected.clone();
+            let cov = summary.coverage_percent();
+            match &baseline {
+                None => baseline = Some(detected),
+                Some(b) => assert_eq!(
+                    b,
+                    &detected,
+                    "engine config {name} changed the result on {}",
+                    g.name()
+                ),
+            }
+            runs.push(EngineRun {
+                design: g.name().to_string(),
+                config: name,
+                coverage_percent: cov,
+                stats,
+            });
+        }
+    }
+    FsimSweep { patterns, runs }
+}
+
+impl FsimSweep {
+    /// Fault-phase wall time summed over all designs for one
+    /// configuration.
+    pub fn total_wall(&self, config: &str) -> Duration {
+        self.runs
+            .iter()
+            .filter(|r| r.config == config)
+            .map(|r| r.stats.wall_fault)
+            .sum()
+    }
+
+    /// Whole-sweep speedup of `config` over the naive baseline.
+    pub fn speedup(&self, config: &str) -> f64 {
+        let base = self.total_wall("naive").as_secs_f64();
+        let ours = self.total_wall(config).as_secs_f64();
+        if ours > 0.0 {
+            base / ours
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// One row per design: coverage plus the fault-phase wall time of
+    /// each configuration and the dropped/evaluated work split.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E21  Grading engine: fault dropping + sharded workers vs naive grading",
+            &[
+                "design",
+                "faults",
+                "cov %",
+                "naive ms",
+                "drop ms",
+                "drop-2t ms",
+                "drop-4t ms",
+                "evals saved %",
+            ],
+        );
+        let designs: Vec<&str> = {
+            let mut seen = Vec::new();
+            for r in &self.runs {
+                if !seen.contains(&r.design.as_str()) {
+                    seen.push(r.design.as_str());
+                }
+            }
+            seen
+        };
+        for design in designs {
+            let of = |config: &str| {
+                self.runs
+                    .iter()
+                    .find(|r| r.design == design && r.config == config)
+                    .expect("every design ran every config")
+            };
+            let naive = of("naive");
+            let drop = of("drop");
+            let ms = |r: &EngineRun| format!("{:.2}", r.stats.wall_fault.as_secs_f64() * 1e3);
+            let saved = 100.0
+                * (1.0 - drop.stats.fault_evals as f64 / naive.stats.fault_evals.max(1) as f64);
+            t.row(vec![
+                design.to_string(),
+                naive.stats.faults.to_string(),
+                format!("{:.1}", naive.coverage_percent),
+                ms(naive),
+                ms(drop),
+                ms(of("drop-2t")),
+                ms(of("drop-4t")),
+                format!("{saved:.1}"),
+            ]);
+        }
+        t
+    }
+
+    /// The whole sweep as a JSON document (`BENCH_fsim.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"fsim_engine\",\n");
+        out.push_str(&format!("  \"patterns\": {},\n", self.patterns));
+        out.push_str(&format!(
+            "  \"speedup_drop_vs_naive\": {:.3},\n",
+            self.speedup("drop")
+        ));
+        out.push_str(&format!(
+            "  \"speedup_drop_4t_vs_naive\": {:.3},\n",
+            self.speedup("drop-4t")
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"design\": \"{}\", \"config\": \"{}\", \"coverage_percent\": {:.3}, \"stats\": {}}}{}\n",
+                r.design,
+                r.config,
+                r.coverage_percent,
+                r.stats.to_json(),
+                if i + 1 < self.runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_consistent_and_dropping_saves_work() {
+        let designs = vec![benchmarks::figure1(), benchmarks::tseng()];
+        let s = sweep_designs(&designs, 256);
+        assert_eq!(s.runs.len(), designs.len() * configs().len());
+        for d in ["figure1", "tseng"] {
+            let covs: Vec<f64> = s
+                .runs
+                .iter()
+                .filter(|r| r.design == d)
+                .map(|r| r.coverage_percent)
+                .collect();
+            assert!(covs.windows(2).all(|w| w[0] == w[1]), "{d}: {covs:?}");
+            let naive = s
+                .runs
+                .iter()
+                .find(|r| r.design == d && r.config == "naive")
+                .unwrap();
+            let drop = s
+                .runs
+                .iter()
+                .find(|r| r.design == d && r.config == "drop")
+                .unwrap();
+            assert_eq!(naive.stats.dropped, 0, "{d}");
+            assert!(drop.stats.dropped > 0, "{d}");
+            assert!(drop.stats.fault_evals < naive.stats.fault_evals, "{d}");
+        }
+    }
+
+    #[test]
+    fn json_names_every_config() {
+        let s = sweep_designs(&[benchmarks::figure1()], 64);
+        let j = s.to_json();
+        for (name, _) in configs() {
+            assert!(j.contains(&format!("\"config\": \"{name}\"")), "{j}");
+        }
+        assert!(j.contains("\"speedup_drop_4t_vs_naive\""));
+    }
+}

@@ -47,7 +47,10 @@ pub fn run(flat_fault_budget: usize) -> Table {
         let flat = seq_generate_all(
             nl,
             &faults[..budget],
-            &SeqAtpgOptions { max_frames: 4, backtrack_limit: 300 },
+            &SeqAtpgOptions {
+                max_frames: 4,
+                backtrack_limit: 300,
+            },
         );
         let hier_per_fault = if total_patterns == 0 {
             0.0

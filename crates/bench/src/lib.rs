@@ -13,11 +13,12 @@ pub mod ablation;
 pub mod atpg_complexity;
 pub mod bist_exps;
 pub mod fig1;
+pub mod fsim_bench;
 pub mod hier_exp;
 pub mod rtl_exps;
 pub mod scaling;
-pub mod scoreboard;
 pub mod scan_exps;
+pub mod scoreboard;
 pub mod table;
 
 pub use table::Table;

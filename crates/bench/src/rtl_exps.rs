@@ -17,7 +17,10 @@ use rand::SeedableRng;
 use crate::Table;
 
 fn limits() -> CycleLimits {
-    CycleLimits { max_cycles: 1024, max_len: 16 }
+    CycleLimits {
+        max_cycles: 1024,
+        max_len: 16,
+    }
 }
 
 /// E7 — controller conflicts and their repair with extra control
@@ -25,9 +28,20 @@ fn limits() -> CycleLimits {
 pub fn controller_table() -> Table {
     let mut t = Table::new(
         "E7  Controller DFT (Dey/Gangaram/Potkonjak ICCAD'95): extra control vectors",
-        &["design", "test cubes", "conflicts", "vectors added", "coverage before %", "coverage after %"],
+        &[
+            "design",
+            "test cubes",
+            "conflicts",
+            "vectors added",
+            "coverage before %",
+            "coverage after %",
+        ],
     );
-    for g in [benchmarks::figure1(), benchmarks::tseng(), benchmarks::fir(4)] {
+    for g in [
+        benchmarks::figure1(),
+        benchmarks::tseng(),
+        benchmarks::fir(4),
+    ] {
         let d = SynthesisFlow::new(g.clone()).run().unwrap();
         let (cubes, conflicts) = controller::conflict_analysis(&d.datapath, 4);
         let (aug, added) = controller::augment_controller(&d.datapath, &cubes);
@@ -51,9 +65,20 @@ pub fn controller_table() -> Table {
 pub fn rtl_dft_table() -> Table {
     let mut t = Table::new(
         "E8  RTL/non-scan DFT: transparent scan cells and k-level test points",
-        &["design", "MFVS regs", "mixed cost", "k=0 points", "k=1 points", "k=2 points"],
+        &[
+            "design",
+            "MFVS regs",
+            "mixed cost",
+            "k=0 points",
+            "k=1 points",
+            "k=2 points",
+        ],
     );
-    for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+    for g in [
+        benchmarks::diffeq(),
+        benchmarks::ewf(),
+        benchmarks::iir_biquad(),
+    ] {
         let d = SynthesisFlow::new(g.clone()).run().unwrap();
         let sg = d.datapath.register_sgraph();
         let costs = RtlScanCosts::default();
@@ -91,7 +116,14 @@ pub fn rtl_dft_table() -> Table {
 pub fn behmod_table() -> Table {
     let mut t = Table::new(
         "E15  Behavior modification (Chen/Karnik/Saab TCAD'94): test statements",
-        &["design", "statements", "cov before %", "cov after %", "gates before", "gates after"],
+        &[
+            "design",
+            "statements",
+            "cov before %",
+            "cov after %",
+            "gates before",
+            "gates after",
+        ],
     );
     for g in [benchmarks::ewf(), benchmarks::diffeq()] {
         let before = SynthesisFlow::new(g.clone()).run().unwrap();
@@ -126,12 +158,25 @@ pub fn tpi_table() -> Table {
 
     let mut t = Table::new(
         "E16  COP-guided test-point insertion",
-        &["design", "points", "control", "observe", "cov before %", "cov after %"],
+        &[
+            "design",
+            "points",
+            "control",
+            "observe",
+            "cov before %",
+            "cov after %",
+        ],
     );
     for g in [benchmarks::ewf(), benchmarks::diffeq(), benchmarks::gcd()] {
         let d = SynthesisFlow::new(g.clone()).run().unwrap();
         let nl = d.expanded.netlist.clone().with_full_scan();
-        let r = insert_test_points(&nl, &TpiOptions { target_weakness: 0.02, max_points: 6 });
+        let r = insert_test_points(
+            &nl,
+            &TpiOptions {
+                target_weakness: 0.02,
+                max_points: 6,
+            },
+        );
         let cov = |n: &hlstb::netlist::net::Netlist| {
             let faults = all_faults(n);
             random_pattern_run(n, &faults, 512, &mut StdRng::seed_from_u64(17))

@@ -15,7 +15,15 @@ use crate::Table;
 pub fn run(sizes: &[usize], states: usize, seeds: u64) -> Table {
     let mut t = Table::new(
         "E18  Scaling: behavioral partial scan on random behaviors",
-        &["ops", "designs", "avg regs", "avg scan", "max scan", "all acyclic"],
+        &[
+            "ops",
+            "designs",
+            "avg regs",
+            "avg scan",
+            "max scan",
+            "all acyclic",
+            "avg cov %",
+        ],
     );
     for &ops in sizes {
         let mut regs = 0usize;
@@ -23,20 +31,33 @@ pub fn run(sizes: &[usize], states: usize, seeds: u64) -> Table {
         let mut max_scan = 0usize;
         let mut acyclic = true;
         let mut count = 0usize;
+        let mut cov = 0.0f64;
         for seed in 0..seeds {
             let mut rng = StdRng::seed_from_u64(1000 * ops as u64 + seed);
             let g = random_cdfg(
-                RandomCdfgParams { ops, inputs: 3, states, mul_percent: 25 },
+                RandomCdfgParams {
+                    ops,
+                    inputs: 3,
+                    states,
+                    mul_percent: 25,
+                },
                 &mut rng,
             );
             let d = SynthesisFlow::new(g)
                 .strategy(DftStrategy::BehavioralPartialScan)
+                .grade_random(128)
                 .run()
                 .expect("random behaviors synthesize");
             regs += d.report.registers;
             scan += d.report.scan_registers;
             max_scan = max_scan.max(d.report.scan_registers);
             acyclic &= d.report.sgraph_acyclic_after_scan;
+            cov += d
+                .report
+                .grading
+                .as_ref()
+                .expect("flow graded")
+                .coverage_percent;
             count += 1;
         }
         t.row(vec![
@@ -46,6 +67,7 @@ pub fn run(sizes: &[usize], states: usize, seeds: u64) -> Table {
             format!("{:.1}", scan as f64 / count as f64),
             max_scan.to_string(),
             acyclic.to_string(),
+            format!("{:.1}", cov / count as f64),
         ]);
     }
     t

@@ -1,17 +1,17 @@
 //! E2–E6 — the §3.2–§3.4 partial-scan experiments.
 
 use hlstb::cdfg::benchmarks;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
 use hlstb::hls::bind::{self, Binding, RegAlgo, RegisterAssignment};
 use hlstb::hls::datapath::Datapath;
-use hlstb::sgraph::depth::sequential_depth;
-use hlstb::sgraph::NodeId;
 use hlstb::hls::fu::ResourceLimits;
 use hlstb::hls::sched::{self, ListPriority};
 use hlstb::scan::boundary;
 use hlstb::scan::deflect::{self, DeflectOptions};
 use hlstb::scan::ioreg;
 use hlstb::scan::scanvars::{self, ScanSelectOptions};
-use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::sgraph::depth::sequential_depth;
+use hlstb::sgraph::NodeId;
 use hlstb_cdfg::{Cdfg, Schedule};
 
 use crate::Table;
@@ -28,10 +28,16 @@ fn worst_depth(g: &Cdfg, s: &Schedule, regs: RegisterAssignment) -> u32 {
     let b = Binding::from_parts(g, s, fu_of, fus, regs).expect("valid assignment");
     let dp = Datapath::build(g, s, &b).expect("buildable");
     let sg = dp.register_sgraph();
-    let inputs: Vec<NodeId> =
-        dp.input_registers().iter().map(|&r| NodeId(r as u32)).collect();
-    let outputs: Vec<NodeId> =
-        dp.output_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let inputs: Vec<NodeId> = dp
+        .input_registers()
+        .iter()
+        .map(|&r| NodeId(r as u32))
+        .collect();
+    let outputs: Vec<NodeId> = dp
+        .output_registers()
+        .iter()
+        .map(|&r| NodeId(r as u32))
+        .collect();
     let d = sequential_depth(&sg, &inputs, &outputs);
     d.max_control() + d.max_observe()
 }
@@ -40,7 +46,15 @@ fn worst_depth(g: &Cdfg, s: &Schedule, regs: RegisterAssignment) -> u32 {
 pub fn ioreg_table() -> Table {
     let mut t = Table::new(
         "E2  I/O register maximization (Lee et al. ICCD'92) vs left-edge",
-        &["design", "LE regs", "LE I/O", "LE depth", "IO-max regs", "IO-max I/O", "IO-max depth"],
+        &[
+            "design",
+            "LE regs",
+            "LE I/O",
+            "LE depth",
+            "IO-max regs",
+            "IO-max I/O",
+            "IO-max depth",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -67,7 +81,14 @@ pub fn ioreg_table() -> Table {
 pub fn scanvars_table() -> Table {
     let mut t = Table::new(
         "E3  Scan-variable selection (Potkonjak/Dey/Roy TCAD'95) vs MFVS baseline",
-        &["design", "loops", "MFVS vars", "MFVS regs", "measure vars", "measure regs"],
+        &[
+            "design",
+            "loops",
+            "MFVS vars",
+            "MFVS regs",
+            "measure vars",
+            "measure regs",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -89,7 +110,14 @@ pub fn scanvars_table() -> Table {
 pub fn boundary_table() -> Table {
     let mut t = Table::new(
         "E4  Boundary-variable scan assignment (Lee/Jha/Wolf DAC'93)",
-        &["design", "loops", "boundary vars", "scan regs", "total regs", "I/O regs"],
+        &[
+            "design",
+            "loops",
+            "boundary vars",
+            "scan regs",
+            "total regs",
+            "I/O regs",
+        ],
     );
     for g in benchmarks::all() {
         let s = sched_for(&g);
@@ -136,9 +164,21 @@ pub fn simsched_table() -> Table {
 pub fn deflect_table() -> Table {
     let mut t = Table::new(
         "E6  Deflection operations (Dey & Potkonjak ITC'94)",
-        &["design", "scan regs before", "scan regs after", "deflections", "latency before", "latency after"],
+        &[
+            "design",
+            "scan regs before",
+            "scan regs after",
+            "deflections",
+            "latency before",
+            "latency after",
+        ],
     );
-    for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad(), benchmarks::ar_lattice()] {
+    for g in [
+        benchmarks::diffeq(),
+        benchmarks::ewf(),
+        benchmarks::iir_biquad(),
+        benchmarks::ar_lattice(),
+    ] {
         let limits = ResourceLimits::minimal_for(&g);
         let s0 = sched::list_schedule(&g, &limits, ListPriority::Slack).unwrap();
         let before = scanvars::select_scan_variables(&g, &s0, &ScanSelectOptions::default());

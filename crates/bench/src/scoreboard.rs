@@ -15,7 +15,13 @@ use crate::Table;
 pub fn run(sample: usize) -> Table {
     let mut t = Table::new(
         "E20  DFT scoreboard: sequential ATPG per strategy (sampled faults)",
-        &["design", "strategy", "scan regs", "coverage %", "decisions/fault"],
+        &[
+            "design",
+            "strategy",
+            "scan regs",
+            "coverage %",
+            "decisions/fault",
+        ],
     );
     for g in [benchmarks::figure1(), benchmarks::tseng()] {
         for (label, strategy) in [
@@ -42,7 +48,10 @@ pub fn run(sample: usize) -> Table {
                 label.to_string(),
                 d.report.scan_registers.to_string(),
                 format!("{:.1}", run.coverage_percent()),
-                format!("{:.1}", run.effort.decisions as f64 / faults.len().max(1) as f64),
+                format!(
+                    "{:.1}",
+                    run.effort.decisions as f64 / faults.len().max(1) as f64
+                ),
             ]);
         }
     }

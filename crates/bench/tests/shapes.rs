@@ -7,9 +7,15 @@ use hlstb_bench::{atpg_complexity, bist_exps, fig1, hier_exp, rtl_exps, scan_exp
 fn f1_loop_vs_loop_free() {
     let t = fig1::run();
     assert_eq!(t.value("(b) loop-forming", "non-self loops"), Some(1.0));
-    assert_eq!(t.value("(b) loop-forming", "scan registers needed"), Some(1.0));
+    assert_eq!(
+        t.value("(b) loop-forming", "scan registers needed"),
+        Some(1.0)
+    );
     assert_eq!(t.value("(c) loop-avoiding", "non-self loops"), Some(0.0));
-    assert_eq!(t.value("(c) loop-avoiding", "scan registers needed"), Some(0.0));
+    assert_eq!(
+        t.value("(c) loop-avoiding", "scan registers needed"),
+        Some(0.0)
+    );
 }
 
 #[test]
@@ -152,7 +158,10 @@ fn e12_sessions_bounded_and_pipelining_helps() {
             pipelined_wins += 1;
         }
     }
-    assert!(pipelined_wins >= 1, "pipelined semantics never increased concurrency");
+    assert!(
+        pipelined_wins >= 1,
+        "pipelined semantics never increased concurrency"
+    );
 }
 
 #[test]

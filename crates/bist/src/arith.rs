@@ -18,7 +18,11 @@ use hlstb_hls::fu::FuKind;
 /// Generates `n` accumulator patterns `a_{i+1} = a_i + increment`
 /// (mod 2^width). Odd increments sweep the full space.
 pub fn accumulator_patterns(seed: u64, increment: u64, n: usize, width: u32) -> Vec<u64> {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut v = Vec::with_capacity(n);
     let mut a = seed & mask;
     for _ in 0..n {
@@ -51,11 +55,7 @@ pub fn subspace_state_coverage(values: &[u64], width: u32, b: u32) -> f64 {
 
 /// The operand value streams of every operation when the behavior runs
 /// on accumulator-driven inputs.
-pub fn operand_streams(
-    cdfg: &Cdfg,
-    width: u32,
-    iterations: usize,
-) -> HashMap<OpId, Vec<Vec<u64>>> {
+pub fn operand_streams(cdfg: &Cdfg, width: u32, iterations: usize) -> HashMap<OpId, Vec<Vec<u64>>> {
     let streams: HashMap<String, Vec<u64>> = cdfg
         .inputs()
         .enumerate()
@@ -67,10 +67,8 @@ pub fn operand_streams(
         })
         .collect();
     let history = cdfg.evaluate(&streams, &HashMap::new(), width);
-    let by_var: HashMap<VarId, &Vec<u64>> = cdfg
-        .vars()
-        .map(|v| (v.id, &history[&v.name]))
-        .collect();
+    let by_var: HashMap<VarId, &Vec<u64>> =
+        cdfg.vars().map(|v| (v.id, &history[&v.name])).collect();
     cdfg.ops()
         .map(|op| {
             let per_port = op
@@ -132,14 +130,17 @@ pub fn coverage_guided_binding(
             let mut merged = fus[i].ops.clone();
             merged.push(o);
             let cov = fu_input_coverage(&merged, &streams, width, b);
-            if best.map_or(true, |(bc, _)| cov > bc + 1e-12) {
+            if best.is_none_or(|(bc, _)| cov > bc + 1e-12) {
                 best = Some((cov, i));
             }
         }
         let i = match best {
             Some((_, i)) => i,
             None => {
-                fus.push(FuInstance { kind, ops: Vec::new() });
+                fus.push(FuInstance {
+                    kind,
+                    ops: Vec::new(),
+                });
                 busy.push(Vec::new());
                 fus.len() - 1
             }

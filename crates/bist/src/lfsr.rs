@@ -1,8 +1,6 @@
 //! Linear-feedback shift registers and multiple-input signature
 //! registers — the physical substrate behind TPGRs and SRs.
 
-use serde::{Deserialize, Serialize};
-
 /// Primitive polynomial taps (the x^w term implicit) for widths
 /// 2..=11, as a bitmask of exponents below `w`; entry `w - 2` serves
 /// width `w`. Maximality is verified by the test suite.
@@ -46,7 +44,7 @@ pub fn taps(w: u32) -> u32 {
 /// assert_eq!(seen.len(), 15);
 /// ```
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lfsr {
     state: u32,
     width: u32,
@@ -57,9 +55,17 @@ impl Lfsr {
     /// Creates an LFSR with the default taps; a zero seed is coerced to 1
     /// (the all-zero state is a fixed point).
     pub fn new(width: u32, seed: u32) -> Self {
-        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         let state = if seed & mask == 0 { 1 } else { seed & mask };
-        Lfsr { state, width, taps: taps(width) }
+        Lfsr {
+            state,
+            width,
+            taps: taps(width),
+        }
     }
 
     /// Current state.
@@ -94,7 +100,7 @@ impl Lfsr {
 }
 
 /// A multiple-input signature register (MISR).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Misr {
     state: u32,
     width: u32,
@@ -104,7 +110,11 @@ pub struct Misr {
 impl Misr {
     /// Creates a zero-initialized MISR.
     pub fn new(width: u32) -> Self {
-        Misr { state: 0, width, taps: taps(width) }
+        Misr {
+            state: 0,
+            width,
+            taps: taps(width),
+        }
     }
 
     /// Absorbs one response word (right-shift form, matching the LFSR's
@@ -112,7 +122,11 @@ impl Misr {
     /// probability at the theoretical 2^-width).
     pub fn absorb(&mut self, word: u32) {
         let fb = (self.state & self.taps).count_ones() & 1;
-        let mask = if self.width == 32 { u32::MAX } else { (1 << self.width) - 1 };
+        let mask = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1 << self.width) - 1
+        };
         self.state = (((self.state >> 1) | (fb << (self.width - 1))) ^ word) & mask;
     }
 
@@ -202,7 +216,11 @@ mod tests {
             let mut m = Misr::new(w);
             for &x in &good {
                 // Flip each word with probability 1/8 (a faulty stream).
-                let e = if rng.gen_range(0..8) == 0 { rng.gen::<u32>() & 0xff } else { 0 };
+                let e = if rng.gen_range(0..8) == 0 {
+                    rng.gen::<u32>() & 0xff
+                } else {
+                    0
+                };
                 m.absorb(x ^ e);
             }
             if m.signature() == good_misr.signature() {

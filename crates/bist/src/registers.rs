@@ -2,10 +2,9 @@
 
 use hlstb_hls::datapath::Datapath;
 use hlstb_hls::estimate::RegisterCosts;
-use serde::{Deserialize, Serialize};
 
 /// How a data-path register is configured for BIST.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestRegisterKind {
     /// Plain functional register.
     Normal,
@@ -51,7 +50,7 @@ impl TestRegisterKind {
 }
 
 /// A BIST configuration: one kind per data-path register.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BistPlan {
     /// `kind_of[r]` is the configuration of register `r`.
     pub kind_of: Vec<TestRegisterKind>,
@@ -60,7 +59,9 @@ pub struct BistPlan {
 impl BistPlan {
     /// All registers plain.
     pub fn normal(dp: &Datapath) -> Self {
-        BistPlan { kind_of: vec![TestRegisterKind::Normal; dp.registers().len()] }
+        BistPlan {
+            kind_of: vec![TestRegisterKind::Normal; dp.registers().len()],
+        }
     }
 
     /// Register area of the plan at `width` bits.

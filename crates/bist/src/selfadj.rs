@@ -66,11 +66,7 @@ pub fn adjacency_pairs(cdfg: &Cdfg, fu_of: &[usize]) -> Vec<(VarId, VarId)> {
 /// Counts the registers an assignment would make self-adjacent, without
 /// building the data path: a register is self-adjacent if it hosts both
 /// an input and an output variable of one module.
-pub fn assignment_self_adjacency(
-    cdfg: &Cdfg,
-    fu_of: &[usize],
-    regs: &RegisterAssignment,
-) -> usize {
+pub fn assignment_self_adjacency(cdfg: &Cdfg, fu_of: &[usize], regs: &RegisterAssignment) -> usize {
     let pairs = adjacency_pairs(cdfg, fu_of);
     // Self-feeding variables (v both input and output of a module op)
     // make their own register self-adjacent regardless of grouping.
@@ -92,7 +88,9 @@ pub fn assignment_self_adjacency(
         .iter()
         .filter(|group| {
             group.iter().any(|v| self_feeding.contains(v))
-                || pairs.iter().any(|(u, w)| group.contains(u) && group.contains(w))
+                || pairs
+                    .iter()
+                    .any(|(u, w)| group.contains(u) && group.contains(w))
         })
         .count()
 }
@@ -102,11 +100,7 @@ pub fn assignment_self_adjacency(
 /// the fewest adjacency violations wins; a new color is only opened when
 /// no feasible color exists (so the total register count equals the
 /// conventional coloring's).
-pub fn avra_assignment(
-    cdfg: &Cdfg,
-    schedule: &Schedule,
-    fu_of: &[usize],
-) -> RegisterAssignment {
+pub fn avra_assignment(cdfg: &Cdfg, schedule: &Schedule, fu_of: &[usize]) -> RegisterAssignment {
     let lt = LifetimeMap::compute(cdfg, schedule);
     let (vars, adj) = conflict_graph(cdfg, &lt);
     let index_of = |v: VarId| vars.iter().position(|&x| x == v);
@@ -123,9 +117,7 @@ pub fn avra_assignment(
     let ncolors = base_colors.iter().copied().max().map_or(0, |m| m + 1);
     let mut order: Vec<usize> = (0..vars.len()).collect();
     // Color high-degree nodes first (classic DSATUR-ish static order).
-    order.sort_by_key(|&i| {
-        std::cmp::Reverse(adj[i].iter().filter(|&&b| b).count())
-    });
+    order.sort_by_key(|&i| std::cmp::Reverse(adj[i].iter().filter(|&&b| b).count()));
     let mut color = vec![usize::MAX; vars.len()];
     for &i in &order {
         let feasible: Vec<usize> = (0..ncolors)
@@ -140,7 +132,7 @@ pub fn avra_assignment(
                     .count();
                 (violations, c)
             })
-            .unwrap_or_else(|| {
+            .unwrap_or({
                 // Should not happen: base coloring proves ncolors suffice
                 // for the hard constraints; kept for robustness.
                 ncolors
@@ -162,7 +154,9 @@ pub fn avra_assignment(
         base_registers[base_colors[i]].push(v);
     }
     base_registers.retain(|g| !g.is_empty());
-    let base_assignment = RegisterAssignment { registers: base_registers };
+    let base_assignment = RegisterAssignment {
+        registers: base_registers,
+    };
     if assignment_self_adjacency(cdfg, fu_of, &soft_assignment)
         <= assignment_self_adjacency(cdfg, fu_of, &base_assignment)
     {
@@ -187,8 +181,13 @@ mod tests {
         (s, fu_of, fus)
     }
 
-    fn self_adj_count(g: &Cdfg, s: &Schedule, fu_of: &[usize],
-                      fus: &[hlstb_hls::bind::FuInstance], regs: RegisterAssignment) -> (usize, usize) {
+    fn self_adj_count(
+        g: &Cdfg,
+        s: &Schedule,
+        fu_of: &[usize],
+        fus: &[hlstb_hls::bind::FuInstance],
+        regs: RegisterAssignment,
+    ) -> (usize, usize) {
         let b = Binding::from_parts(g, s, fu_of.to_vec(), fus.to_vec(), regs).unwrap();
         let dp = Datapath::build(g, s, &b).unwrap();
         (self_adjacent_registers(&dp).len(), dp.registers().len())

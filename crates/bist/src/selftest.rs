@@ -11,8 +11,9 @@
 use hlstb_hls::datapath::Datapath;
 use hlstb_hls::expand::ExpandedDatapath;
 use hlstb_netlist::fault::collapsed_faults;
-use hlstb_netlist::fsim::seq_fault_sim_observed;
+use hlstb_netlist::fsim::{seq_fault_sim_observed_opts, ParallelOptions};
 use hlstb_netlist::net::NetId;
+use hlstb_netlist::stats::GradeStats;
 use rand::Rng;
 
 use crate::registers::BistPlan;
@@ -34,6 +35,19 @@ pub fn bist_coverage<R: Rng>(
     batches: usize,
     rng: &mut R,
 ) -> f64 {
+    bist_coverage_opts(exp, dp, plan, batches, rng, &ParallelOptions::default()).0
+}
+
+/// [`bist_coverage`] with grading-engine options and the aggregated run
+/// instrumentation of every batch.
+pub fn bist_coverage_opts<R: Rng>(
+    exp: &ExpandedDatapath,
+    dp: &Datapath,
+    plan: &BistPlan,
+    batches: usize,
+    rng: &mut R,
+    opts: &ParallelOptions,
+) -> (f64, GradeStats) {
     let nl = &exp.netlist;
     let (cs, ce) = exp.controller_nets;
     let faults: Vec<_> = collapsed_faults(nl)
@@ -61,16 +75,13 @@ pub fn bist_coverage<R: Rng>(
             }
         }
     }
-    let state_pos: Vec<usize> = exp
-        .state_flops
-        .iter()
-        .map(|&ffnet| pos_of(ffnet))
-        .collect();
+    let state_pos: Vec<usize> = exp.state_flops.iter().map(|&ffnet| pos_of(ffnet)).collect();
 
     let cycles = (2 * dp.period()).max(4) as usize;
     let mut detected = std::collections::BTreeSet::new();
     let total = faults.len();
     let mut remaining = faults;
+    let mut stats = GradeStats::default();
     for _ in 0..batches {
         if remaining.is_empty() {
             break;
@@ -92,17 +103,20 @@ pub fn bist_coverage<R: Rng>(
         let vectors: Vec<Vec<u64>> = (0..cycles)
             .map(|_| (0..nl.inputs().len()).map(|_| rng.gen()).collect())
             .collect();
-        let r = seq_fault_sim_observed(nl, &remaining, &vectors, &ff, &observed);
+        let (r, s) = seq_fault_sim_observed_opts(nl, &remaining, &vectors, &ff, &observed, opts);
+        stats.absorb(&s);
         for f in r.detected {
             detected.insert(f);
         }
         remaining.retain(|f| !detected.contains(f));
     }
-    if total == 0 {
+    stats.faults = total;
+    let coverage = if total == 0 {
         100.0
     } else {
         100.0 * detected.len() as f64 / total as f64
-    }
+    };
+    (coverage, stats)
 }
 
 #[cfg(test)]
@@ -123,7 +137,14 @@ mod tests {
         let s = sched::list_schedule(g, &lim, ListPriority::Slack).unwrap();
         let b = bind::bind(g, &s, &BindOptions::default()).unwrap();
         let dp = Datapath::build(g, &s, &b).unwrap();
-        let exp = expand(&dp, &ExpandOptions { width: 4, ..Default::default() }).unwrap();
+        let exp = expand(
+            &dp,
+            &ExpandOptions {
+                width: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         (dp, exp)
     }
 

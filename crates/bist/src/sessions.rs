@@ -64,11 +64,14 @@ pub fn schedule_sessions_with(dp: &Datapath, model: ConflictModel) -> Vec<Vec<us
     let nf = g.num_nodes();
     let mut session_of = vec![usize::MAX; nf];
     let mut sessions: Vec<Vec<usize>> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `m` is a module id, not just an index
     for m in 0..nf {
         let mut s = 0;
         loop {
             let clash = sessions.get(s).is_some_and(|members: &Vec<usize>| {
-                members.iter().any(|&x| g.has_edge(NodeId(m as u32), NodeId(x as u32)))
+                members
+                    .iter()
+                    .any(|&x| g.has_edge(NodeId(m as u32), NodeId(x as u32)))
             });
             if !clash {
                 break;

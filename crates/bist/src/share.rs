@@ -30,8 +30,12 @@ pub struct RegisterRoles {
 pub fn shared_roles(dp: &Datapath) -> Vec<RegisterRoles> {
     let io = module_io_registers(dp);
     let n = dp.registers().len();
-    let mut roles: Vec<RegisterRoles> =
-        (0..n).map(|_| RegisterRoles { tpgr_for: Vec::new(), sr_for: Vec::new() }).collect();
+    let mut roles: Vec<RegisterRoles> = (0..n)
+        .map(|_| RegisterRoles {
+            tpgr_for: Vec::new(),
+            sr_for: Vec::new(),
+        })
+        .collect();
     for (m, (ins, _)) in io.iter().enumerate() {
         for &r in ins {
             roles[r].tpgr_for.push(m);
@@ -66,8 +70,7 @@ pub fn shared_plan(dp: &Datapath) -> BistPlan {
     let kind_of = roles
         .iter()
         .map(|r| {
-            let concurrent =
-                r.tpgr_for.iter().any(|m| r.sr_for.contains(m));
+            let concurrent = r.tpgr_for.iter().any(|m| r.sr_for.contains(m));
             match (r.tpgr_for.is_empty(), r.sr_for.is_empty(), concurrent) {
                 (_, _, true) => TestRegisterKind::Cbilbo,
                 (false, false, _) => TestRegisterKind::Bilbo,
@@ -180,7 +183,10 @@ mod tests {
         let plan = shared_plan(&d);
         for (r, k) in plan.kind_of.iter().enumerate() {
             if *k == TestRegisterKind::Cbilbo {
-                assert!(roles[r].tpgr_for.iter().any(|m| roles[r].sr_for.contains(m)));
+                assert!(roles[r]
+                    .tpgr_for
+                    .iter()
+                    .any(|m| roles[r].sr_for.contains(m)));
             }
         }
     }

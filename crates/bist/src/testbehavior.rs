@@ -72,7 +72,7 @@ pub fn signal_metrics(cdfg: &Cdfg) -> Vec<Option<SignalMetric>> {
                 .collect::<Option<Vec<u32>>>()
                 .map(|ds| ds.into_iter().max().unwrap_or(0) + 1);
             if let Some(d) = worst {
-                if gen[op.output.index()].map_or(true, |cur| d < cur) {
+                if gen[op.output.index()].is_none_or(|cur| d < cur) {
                     gen[op.output.index()] = Some(d);
                     changed = true;
                 }
@@ -86,7 +86,7 @@ pub fn signal_metrics(cdfg: &Cdfg) -> Vec<Option<SignalMetric>> {
             if let Some(d) = obs[op.output.index()] {
                 for operand in &op.inputs {
                     let cand = d + 1 + ITER * operand.distance;
-                    if obs[operand.var.index()].map_or(true, |cur| cand < cur) {
+                    if obs[operand.var.index()].is_none_or(|cur| cand < cur) {
                         obs[operand.var.index()] = Some(cand);
                         changed = true;
                     }
@@ -96,7 +96,10 @@ pub fn signal_metrics(cdfg: &Cdfg) -> Vec<Option<SignalMetric>> {
     }
     (0..n)
         .map(|i| match (gen[i], obs[i]) {
-            (Some(g), Some(o)) => Some(SignalMetric { gen_distance: g, obs_distance: o }),
+            (Some(g), Some(o)) => Some(SignalMetric {
+                gen_distance: g,
+                obs_distance: o,
+            }),
             _ => None,
         })
         .collect()
@@ -129,7 +132,11 @@ pub fn plan(cdfg: &Cdfg, gen_max: u32, obs_max: u32) -> TestBehaviorPlan {
             }
         }
     }
-    TestBehaviorPlan { extra_tpgrs, extra_srs, sessions: 3 }
+    TestBehaviorPlan {
+        extra_tpgrs,
+        extra_srs,
+        sessions: 3,
+    }
 }
 
 #[cfg(test)]

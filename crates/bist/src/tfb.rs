@@ -50,7 +50,12 @@ impl TfbMapping {
 }
 
 fn actions_of(cdfg: &Cdfg) -> Vec<Action> {
-    cdfg.ops().map(|o| Action { var: o.output, op: o.id }).collect()
+    cdfg.ops()
+        .map(|o| Action {
+            var: o.output,
+            op: o.id,
+        })
+        .collect()
 }
 
 fn feeds(cdfg: &Cdfg, var: VarId, op: OpId) -> bool {
@@ -94,7 +99,9 @@ pub fn map_tfbs(cdfg: &Cdfg, schedule: &Schedule) -> TfbMapping {
         // full methodology — counted here as its own block.
         let slot = blocks.iter_mut().find(|b| {
             b.kind == FuKind::for_op(cdfg.op(a.op).kind)
-                && b.actions.iter().all(|&x| compatible(cdfg, schedule, &lt, x, a))
+                && b.actions
+                    .iter()
+                    .all(|&x| compatible(cdfg, schedule, &lt, x, a))
         });
         match slot {
             Some(b) => b.actions.push(a),
@@ -198,15 +205,15 @@ pub fn map_xtfbs(cdfg: &Cdfg, schedule: &Schedule) -> XtfbMapping {
                     None => registers.push((vec![a], steps)),
                 }
             }
-            let registers: Vec<Vec<Action>> =
-                registers.into_iter().map(|(g, _)| g).collect();
+            let registers: Vec<Vec<Action>> = registers.into_iter().map(|(g, _)| g).collect();
             // SR candidate: a register none of whose variables feed any
             // member op. If packing buried every clean variable among
             // fed-back ones, extract one into its own register — an SR
             // is worth the extra plain register.
             let mut registers = registers;
             let mut sr = registers.iter().position(|g| {
-                g.iter().all(|a| members.iter().all(|m| !feeds(cdfg, a.var, m.op)))
+                g.iter()
+                    .all(|a| members.iter().all(|m| !feeds(cdfg, a.var, m.op)))
             });
             if sr.is_none() {
                 let clean = registers.iter().enumerate().find_map(|(ri, g)| {
@@ -220,7 +227,11 @@ pub fn map_xtfbs(cdfg: &Cdfg, schedule: &Schedule) -> XtfbMapping {
                     sr = Some(registers.len() - 1);
                 }
             }
-            Xtfb { kind, registers, sr }
+            Xtfb {
+                kind,
+                registers,
+                sr,
+            }
         })
         .collect();
     XtfbMapping { blocks }

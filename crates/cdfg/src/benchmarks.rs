@@ -82,7 +82,9 @@ pub fn ewf() -> Cdfg {
     // structure, not the coefficients, drives synthesis).
     let k: Vec<VarId> = (0..8).map(|i| b.constant(2 + i as u64)).collect();
     // Eight delay states.
-    let sv: Vec<VarId> = (0..8).map(|i| b.forward(format!("sv{i}_prev"), 1)).collect();
+    let sv: Vec<VarId> = (0..8)
+        .map(|i| b.forward(format!("sv{i}_prev"), 1))
+        .collect();
 
     // Input section.
     let a1 = b.op(OpKind::Add, &[x, sv[0]], "a1");
@@ -266,7 +268,12 @@ pub struct RandomCdfgParams {
 
 impl Default for RandomCdfgParams {
     fn default() -> Self {
-        RandomCdfgParams { ops: 24, inputs: 4, states: 3, mul_percent: 30 }
+        RandomCdfgParams {
+            ops: 24,
+            inputs: 4,
+            states: 3,
+            mul_percent: 30,
+        }
     }
 }
 
@@ -283,14 +290,20 @@ impl Default for RandomCdfgParams {
 pub fn random_cdfg<R: Rng>(params: RandomCdfgParams, rng: &mut R) -> Cdfg {
     assert!(params.ops > 0 && params.inputs > 0);
     assert!(params.mul_percent <= 100);
-    assert!(params.states + 1 <= params.ops, "need one op per state update plus an output");
+    assert!(
+        params.states < params.ops,
+        "need one op per state update plus an output"
+    );
     let mut b = CdfgBuilder::new(format!(
         "rand_o{}_i{}_s{}",
         params.ops, params.inputs, params.states
     ));
-    let inputs: Vec<VarId> = (0..params.inputs).map(|i| b.input(format!("in{i}"))).collect();
-    let states: Vec<VarId> =
-        (0..params.states).map(|i| b.forward(format!("st{i}_prev"), 1)).collect();
+    let inputs: Vec<VarId> = (0..params.inputs)
+        .map(|i| b.input(format!("in{i}")))
+        .collect();
+    let states: Vec<VarId> = (0..params.states)
+        .map(|i| b.forward(format!("st{i}_prev"), 1))
+        .collect();
     let mut pool: Vec<VarId> = inputs.clone();
     pool.extend(&states);
     let mut results = Vec::new();
@@ -451,9 +464,14 @@ mod tests {
     #[test]
     fn random_cdfg_respects_state_count() {
         let mut rng = StdRng::seed_from_u64(3);
-        let p = RandomCdfgParams { ops: 30, inputs: 3, states: 5, mul_percent: 20 };
+        let p = RandomCdfgParams {
+            ops: 30,
+            inputs: 3,
+            states: 5,
+            mul_percent: 20,
+        };
         let g = random_cdfg(p, &mut rng);
-        assert!(g.loops(64).len() >= 1);
+        assert!(!g.loops(64).is_empty());
         assert_eq!(g.num_ops(), 30);
     }
 
@@ -476,8 +494,8 @@ mod tests {
         assert_eq!(*out["done"].last().unwrap(), 1);
         // And stays converged once done.
         let first_done = out["done"].iter().position(|&d| d == 1).unwrap();
-        for t in first_done..out["done"].len() {
-            assert_eq!(out["done"][t], 1, "lost convergence at {t}");
+        for (t, &d) in out["done"].iter().enumerate().skip(first_done) {
+            assert_eq!(d, 1, "lost convergence at {t}");
         }
     }
 
@@ -499,8 +517,10 @@ mod tests {
     fn all_benchmarks_validate_and_evaluate() {
         use std::collections::HashMap;
         for g in all() {
-            let streams: HashMap<String, Vec<u64>> =
-                g.inputs().map(|v| (v.name.clone(), vec![1, 2, 3])).collect();
+            let streams: HashMap<String, Vec<u64>> = g
+                .inputs()
+                .map(|v| (v.name.clone(), vec![1, 2, 3]))
+                .collect();
             let out = g.evaluate(&streams, &HashMap::new(), 8);
             for o in g.outputs() {
                 assert_eq!(out[&o.name].len(), 3, "{}", g.name());

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::graph::{Cdfg, CdfgError, Operand, Operation, Variable, VarKind};
+use crate::graph::{Cdfg, CdfgError, Operand, Operation, VarKind, Variable};
 use crate::ids::{OpId, VarId};
 use crate::op::OpKind;
 
@@ -60,12 +60,21 @@ struct PendingOp {
 impl CdfgBuilder {
     /// Starts a new empty CDFG with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        CdfgBuilder { name: name.into(), vars: Vec::new(), ops: Vec::new(), fresh: 0 }
+        CdfgBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            ops: Vec::new(),
+            fresh: 0,
+        }
     }
 
     fn push_var(&mut self, name: String, kind: VarKind, forward: Option<Forward>) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(PendingVar { name, kind, forward });
+        self.vars.push(PendingVar {
+            name,
+            kind,
+            forward,
+        });
         id
     }
 
@@ -87,7 +96,10 @@ impl CdfgBuilder {
         self.push_var(
             name.into(),
             VarKind::Intermediate,
-            Some(Forward { distance, target: None }),
+            Some(Forward {
+                distance,
+                target: None,
+            }),
         )
     }
 
@@ -123,7 +135,11 @@ impl CdfgBuilder {
 
     fn add_op(&mut self, kind: OpKind, inputs: &[VarId], name: String, vk: VarKind) -> VarId {
         let output = self.push_var(name, vk, None);
-        self.ops.push(PendingOp { kind, inputs: inputs.to_vec(), output });
+        self.ops.push(PendingOp {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
         output
     }
 
@@ -196,7 +212,10 @@ impl CdfgBuilder {
         let remap_operand = |raw: VarId| -> Operand {
             let (target, dist) = chase(raw, 0);
             let var = remap[target.index()].expect("forward target must be a real variable");
-            Operand { var, distance: dist }
+            Operand {
+                var,
+                distance: dist,
+            }
         };
 
         let mut ops = Vec::new();
@@ -204,7 +223,12 @@ impl CdfgBuilder {
             let id = OpId(i as u32);
             let inputs: Vec<Operand> = p.inputs.iter().map(|&v| remap_operand(v)).collect();
             let output = remap[p.output.index()].expect("op output cannot be a forward");
-            ops.push(Operation { id, kind: p.kind, inputs, output });
+            ops.push(Operation {
+                id,
+                kind: p.kind,
+                inputs,
+                output,
+            });
         }
         // Fill def/uses caches.
         for op in &ops {

@@ -14,13 +14,11 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{OpId, VarId};
 use crate::op::OpKind;
 
 /// What role a variable plays at the behavior boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VarKind {
     /// Primary input: produced by the environment each iteration.
     Input,
@@ -40,7 +38,7 @@ impl VarKind {
 }
 
 /// A variable of the behavioral description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Variable {
     /// Dense identifier.
     pub id: VarId,
@@ -67,7 +65,7 @@ impl Variable {
 
 /// One operand of an operation: which variable, and from how many
 /// iterations ago its value is read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Operand {
     /// The variable read.
     pub var: VarId,
@@ -88,7 +86,7 @@ impl Operand {
 }
 
 /// An operation node of the CDFG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     /// Dense identifier.
     pub id: OpId,
@@ -101,7 +99,7 @@ pub struct Operation {
 }
 
 /// A derived data-dependency edge between operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DataEdge {
     /// Producer operation.
     pub from: OpId,
@@ -114,7 +112,7 @@ pub struct DataEdge {
 }
 
 /// A behavioral loop: a dependency cycle through operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CdfgLoop {
     /// The operations on the cycle, in traversal order.
     pub ops: Vec<OpId>,
@@ -170,7 +168,11 @@ pub enum CdfgError {
 impl fmt::Display for CdfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CdfgError::ArityMismatch { op, expected, found } => {
+            CdfgError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => {
                 write!(f, "{op} expects {expected} operands, found {found}")
             }
             CdfgError::BadDefinition { var, defs } => {
@@ -195,7 +197,7 @@ impl Error for CdfgError {}
 /// Construct one with [`CdfgBuilder`](crate::CdfgBuilder); direct field
 /// access is read-only through accessors so the SSA and acyclicity
 /// invariants cannot be broken after validation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cdfg {
     name: String,
     vars: Vec<Variable>,
@@ -216,7 +218,11 @@ impl Cdfg {
         vars: Vec<Variable>,
         ops: Vec<Operation>,
     ) -> Result<Self, CdfgError> {
-        let cdfg = Cdfg { name: name.into(), vars, ops };
+        let cdfg = Cdfg {
+            name: name.into(),
+            vars,
+            ops,
+        };
         cdfg.validate()?;
         Ok(cdfg)
     }
@@ -225,16 +231,22 @@ impl Cdfg {
         let mut names = HashMap::new();
         for (i, v) in self.vars.iter().enumerate() {
             if v.id.index() != i {
-                return Err(CdfgError::UnknownId { what: format!("non-dense {}", v.id) });
+                return Err(CdfgError::UnknownId {
+                    what: format!("non-dense {}", v.id),
+                });
             }
             if names.insert(v.name.clone(), v.id).is_some() {
-                return Err(CdfgError::DuplicateName { name: v.name.clone() });
+                return Err(CdfgError::DuplicateName {
+                    name: v.name.clone(),
+                });
             }
         }
         let mut defs = vec![0usize; self.vars.len()];
         for (i, op) in self.ops.iter().enumerate() {
             if op.id.index() != i {
-                return Err(CdfgError::UnknownId { what: format!("non-dense {}", op.id) });
+                return Err(CdfgError::UnknownId {
+                    what: format!("non-dense {}", op.id),
+                });
             }
             if op.inputs.len() != op.kind.arity() {
                 return Err(CdfgError::ArityMismatch {
@@ -245,11 +257,15 @@ impl Cdfg {
             }
             for operand in &op.inputs {
                 if operand.var.index() >= self.vars.len() {
-                    return Err(CdfgError::UnknownId { what: format!("{}", operand.var) });
+                    return Err(CdfgError::UnknownId {
+                        what: format!("{}", operand.var),
+                    });
                 }
             }
             if op.output.index() >= self.vars.len() {
-                return Err(CdfgError::UnknownId { what: format!("{}", op.output) });
+                return Err(CdfgError::UnknownId {
+                    what: format!("{}", op.output),
+                });
             }
             defs[op.output.index()] += 1;
         }
@@ -510,7 +526,11 @@ impl Cdfg {
                     vars.push(var);
                     total += dist;
                     if total >= 1 {
-                        result.push(CdfgLoop { ops, vars, total_distance: total });
+                        result.push(CdfgLoop {
+                            ops,
+                            vars,
+                            total_distance: total,
+                        });
                     }
                     found = true;
                 } else if !blocked[w] {
@@ -576,16 +596,16 @@ impl Cdfg {
         initial: &HashMap<String, u64>,
         width: u32,
     ) -> HashMap<String, Vec<u64>> {
-        let iterations = input_streams
-            .values()
-            .map(Vec::len)
-            .next()
-            .unwrap_or(0);
+        let iterations = input_streams.values().map(Vec::len).next().unwrap_or(0);
         for s in input_streams.values() {
             assert_eq!(s.len(), iterations, "input streams must have equal length");
         }
         let order = self.topo_order();
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         // history[var][iter]
         let mut history: Vec<Vec<u64>> = vec![Vec::with_capacity(iterations); self.vars.len()];
         for it in 0..iterations {
@@ -656,8 +676,7 @@ mod tests {
     fn topo_order_respects_dependencies() {
         let g = chain();
         let order = g.topo_order();
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         for e in g.data_edges() {
             if e.distance == 0 {
                 assert!(pos[&e.from] < pos[&e.to]);
@@ -687,7 +706,10 @@ mod tests {
         let vb = b.op(OpKind::Add, &[fa, one], "b");
         let va = b.op(OpKind::Add, &[vb, one], "a");
         b.bind_forward(fa, va);
-        assert!(matches!(b.finish(), Err(CdfgError::CombinationalCycle { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(CdfgError::CombinationalCycle { .. })
+        ));
     }
 
     #[test]

@@ -5,17 +5,15 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an [`Operation`](crate::Operation) inside one [`Cdfg`](crate::Cdfg).
 ///
 /// Ids are dense indices assigned in creation order, so they can be used
 /// directly to index per-operation side tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u32);
 
 /// Identifier of a [`Variable`](crate::Variable) inside one [`Cdfg`](crate::Cdfg).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 impl OpId {

@@ -34,8 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod builder;
 pub mod benchmarks;
+pub mod builder;
 pub mod dot;
 pub mod graph;
 pub mod ids;
@@ -46,7 +46,7 @@ pub mod schedule;
 pub mod transform;
 
 pub use builder::CdfgBuilder;
-pub use graph::{Cdfg, CdfgError, CdfgLoop, DataEdge, Operand, Operation, Variable, VarKind};
+pub use graph::{Cdfg, CdfgError, CdfgLoop, DataEdge, Operand, Operation, VarKind, Variable};
 pub use ids::{OpId, VarId};
 pub use lifetime::{LifetimeMap, StepSet};
 pub use op::OpKind;

@@ -9,15 +9,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::{Cdfg, VarKind};
 use crate::ids::VarId;
 use crate::schedule::Schedule;
 
 /// A set of control steps within one iteration (at most
 /// [`MAX_STEPS`](crate::schedule::MAX_STEPS) steps), stored as a bit set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct StepSet(pub u128);
 
 impl StepSet {
@@ -101,7 +99,7 @@ impl fmt::Display for StepSet {
 }
 
 /// Per-variable lifetime information under a specific schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarLifetime {
     /// The variable.
     pub var: VarId,
@@ -119,7 +117,7 @@ pub struct VarLifetime {
 /// schedule.
 ///
 /// Constants are not register-resident and are omitted.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LifetimeMap {
     period: u32,
     lifetimes: HashMap<VarId, VarLifetime>,
@@ -152,16 +150,17 @@ impl LifetimeMap {
                 let operand = cdfg.op(user).inputs[port];
                 // A multi-cycle consumer holds its operands for its whole
                 // execution window, not just its start step.
-                let t = schedule.start(user) + schedule.latency(user) - 1
-                    + operand.distance * period;
+                let t =
+                    schedule.start(user) + schedule.latency(user) - 1 + operand.distance * period;
                 last_abs = Some(last_abs.map_or(t, |m| m.max(t)));
             }
             if v.kind == VarKind::Output {
                 // Hold the output through the end of its own iteration.
-                let end = period.max(1) - 1 + match v.def {
-                    Some(_) => 0,
-                    None => 0,
-                };
+                let end = period.max(1) - 1
+                    + match v.def {
+                        Some(_) => 0,
+                        None => 0,
+                    };
                 let t = end.max(birth_abs);
                 last_abs = Some(last_abs.map_or(t, |m| m.max(t)));
             }
@@ -179,7 +178,12 @@ impl LifetimeMap {
             }
             lifetimes.insert(
                 v.id,
-                VarLifetime { var: v.id, steps, birth: birth_abs % period, spans_all },
+                VarLifetime {
+                    var: v.id,
+                    steps,
+                    birth: birth_abs % period,
+                    spans_all,
+                },
             );
         }
         LifetimeMap { period, lifetimes }

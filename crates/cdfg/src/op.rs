@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a CDFG operation.
 ///
 /// The set covers the arithmetic/logic repertoire of the data-flow
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// element — which the deflection-operation transform (survey §3.4,
 /// Dey & Potkonjak ITC'94) relies on, and a default latency in control
 /// steps used by the schedulers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpKind {
     /// Two's-complement addition.
     Add,
@@ -137,9 +135,13 @@ impl OpKind {
     ///
     /// Panics if `inputs.len() != self.arity()` or `width` is 0 or > 64.
     pub fn eval(self, inputs: &[u64], width: u32) -> u64 {
-        assert!(width >= 1 && width <= 64, "width out of range");
+        assert!((1..=64).contains(&width), "width out of range");
         assert_eq!(inputs.len(), self.arity(), "operand count mismatch");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let v = match self {
             OpKind::Add => inputs[0].wrapping_add(inputs[1]),
             OpKind::Sub => inputs[0].wrapping_sub(inputs[1]),

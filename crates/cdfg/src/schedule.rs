@@ -7,8 +7,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::graph::Cdfg;
 use crate::ids::OpId;
 
@@ -51,7 +49,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "schedule needs {steps} steps, maximum is {MAX_STEPS}")
             }
             ScheduleError::WrongLength { expected, found } => {
-                write!(f, "start table has {found} entries, CDFG has {expected} operations")
+                write!(
+                    f,
+                    "start table has {found} entries, CDFG has {expected} operations"
+                )
             }
         }
     }
@@ -65,7 +66,7 @@ impl Error for ScheduleError {}
 /// Control steps are numbered from 0. The value of an operation is
 /// available in registers from the step *after* it finishes, i.e. from
 /// `start + latency`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     start: Vec<u32>,
     latency: Vec<u32>,
@@ -113,11 +114,18 @@ impl Schedule {
             if e.distance == 0 {
                 let fin = start[e.from.index()] + latency[e.from.index()].max(1);
                 if start[e.to.index()] < fin {
-                    return Err(ScheduleError::PrecedenceViolated { from: e.from, to: e.to });
+                    return Err(ScheduleError::PrecedenceViolated {
+                        from: e.from,
+                        to: e.to,
+                    });
                 }
             }
         }
-        Ok(Schedule { start, latency, num_steps })
+        Ok(Schedule {
+            start,
+            latency,
+            num_steps,
+        })
     }
 
     /// Start control step of an operation.

@@ -11,7 +11,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::graph::{Cdfg, CdfgError, Operand, Operation, Variable, VarKind};
+use crate::graph::{Cdfg, CdfgError, Operand, Operation, VarKind, Variable};
 use crate::ids::{OpId, VarId};
 use crate::op::OpKind;
 
@@ -100,7 +100,11 @@ pub fn insert_deflection(
     let identity = if carrier == OpKind::Pass {
         None
     } else {
-        Some(carrier.right_identity().ok_or(TransformError::NoIdentity(carrier))?)
+        Some(
+            carrier
+                .right_identity()
+                .ok_or(TransformError::NoIdentity(carrier))?,
+        )
     };
 
     let mut vars: Vec<Variable> = cdfg.vars().cloned().collect();
@@ -115,7 +119,10 @@ pub fn insert_deflection(
         def: None,
         uses: Vec::new(),
     });
-    let mut inputs = vec![Operand { var: site.var, distance: operand.distance }];
+    let mut inputs = vec![Operand {
+        var: site.var,
+        distance: operand.distance,
+    }];
     if let Some(id_val) = identity {
         let cname = fresh_name(cdfg, &format!("defl_id_{}", vars.len()));
         let cvar = VarId(vars.len() as u32);
@@ -129,7 +136,12 @@ pub fn insert_deflection(
         inputs.push(Operand::now(cvar));
     }
     let new_op = OpId(ops.len() as u32);
-    ops.push(Operation { id: new_op, kind: carrier, inputs, output: new_var });
+    ops.push(Operation {
+        id: new_op,
+        kind: carrier,
+        inputs,
+        output: new_var,
+    });
     // Redirect the targeted use.
     ops[site.user.index()].inputs[site.port] = Operand::now(new_var);
 
@@ -146,7 +158,11 @@ pub fn insert_deflection(
     }
     let name = cdfg.name().to_string();
     let cdfg = Cdfg::new(name, vars, ops).map_err(TransformError::Rebuild)?;
-    Ok(Deflected { cdfg, new_var: new_var_name, new_op })
+    Ok(Deflected {
+        cdfg,
+        new_var: new_var_name,
+        new_op,
+    })
 }
 
 /// Inserts one deflection reading `var` at `distance` and redirects
@@ -242,7 +258,10 @@ mod tests {
         cdfg.inputs()
             .map(|v| {
                 let base = v.id.0 as u64 + 1;
-                (v.name.clone(), (0..n as u64).map(|i| base * 7 + i * 3).collect())
+                (
+                    v.name.clone(),
+                    (0..n as u64).map(|i| base * 7 + i * 3).collect(),
+                )
             })
             .collect()
     }
@@ -295,7 +314,11 @@ mod tests {
     fn bad_site_is_rejected() {
         let g = benchmarks::tseng();
         let v = g.var_by_name("t1").unwrap().id;
-        let bogus = DeflectionSite { var: v, user: OpId(0), port: 9 };
+        let bogus = DeflectionSite {
+            var: v,
+            user: OpId(0),
+            port: 9,
+        };
         assert!(matches!(
             insert_deflection(&g, bogus, OpKind::Add),
             Err(TransformError::BadSite(_))

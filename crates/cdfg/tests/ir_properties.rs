@@ -10,7 +10,15 @@ use rand::SeedableRng;
 
 fn random(seed: u64, ops: usize, states: usize) -> hlstb_cdfg::Cdfg {
     let mut rng = StdRng::seed_from_u64(seed);
-    random_cdfg(RandomCdfgParams { ops, inputs: 3, states, mul_percent: 25 }, &mut rng)
+    random_cdfg(
+        RandomCdfgParams {
+            ops,
+            inputs: 3,
+            states,
+            mul_percent: 25,
+        },
+        &mut rng,
+    )
 }
 
 proptest! {

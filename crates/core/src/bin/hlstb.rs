@@ -73,6 +73,8 @@ options:
   --policy    left-edge|dsatur|io-max|boundary|loop-avoiding|avra
   --scheduler list|io-aware|asap|force-directed=<extra>
   --width     data-path width in bits (default 4)
+  --grade     (synth) grade the netlist with N pseudorandom patterns
+  --threads   (synth) worker threads for the grading engine (default 1)
   --json      (synth) print the report as JSON instead of text";
 
 fn main() -> ExitCode {
@@ -120,7 +122,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     i += 1;
                     continue;
                 }
-                let value = args.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))?;
                 flow = match key {
                     "--strategy" => flow.strategy(
                         parse_strategy(value).ok_or_else(|| format!("bad strategy {value}"))?,
@@ -131,8 +135,18 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--scheduler" => flow.scheduler(
                         parse_scheduler(value).ok_or_else(|| format!("bad scheduler {value}"))?,
                     ),
-                    "--width" => flow.width(
-                        value.parse().map_err(|_| format!("bad width {value}"))?,
+                    "--width" => {
+                        flow.width(value.parse().map_err(|_| format!("bad width {value}"))?)
+                    }
+                    "--grade" => flow.grade_random(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad pattern count {value}"))?,
+                    ),
+                    "--threads" => flow.grade_threads(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad thread count {value}"))?,
                     ),
                     other => return Err(format!("unknown option {other}\n{USAGE}")),
                 };
@@ -141,11 +155,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let design = flow.run().map_err(|e| e.to_string())?;
             if cmd == "synth" {
                 if json {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&design.report)
-                            .map_err(|e| e.to_string())?
-                    );
+                    println!("{}", design.report.to_json());
                     return Ok(());
                 }
                 println!("{}", design.report);

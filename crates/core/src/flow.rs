@@ -19,7 +19,12 @@ use hlstb_sgraph::depth::sequential_depth;
 use hlstb_sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
 use hlstb_sgraph::NodeId;
 
-use crate::report::TestabilityReport;
+use hlstb_netlist::fsim::ParallelOptions;
+use hlstb_netlist::random::random_pattern_run_opts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{GradingSummary, TestabilityReport};
 
 /// Scheduler selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +165,8 @@ pub struct SynthesisFlow {
     width: u32,
     controller: ControllerMode,
     reset_controller: bool,
+    grade_patterns: Option<usize>,
+    grade_threads: usize,
 }
 
 impl SynthesisFlow {
@@ -176,6 +183,8 @@ impl SynthesisFlow {
             width: 4,
             controller: ControllerMode::Expanded,
             reset_controller: false,
+            grade_patterns: None,
+            grade_threads: 1,
         }
     }
 
@@ -222,6 +231,22 @@ impl SynthesisFlow {
         self
     }
 
+    /// Grades the expanded netlist with `patterns` pseudorandom
+    /// full-scan patterns after synthesis and attaches the coverage and
+    /// engine statistics to the report. The run is deterministic (fixed
+    /// seed) and off by default.
+    pub fn grade_random(mut self, patterns: usize) -> Self {
+        self.grade_patterns = Some(patterns);
+        self
+    }
+
+    /// Worker threads for the grading pass (default 1 — serial; the
+    /// detected fault set is identical at any thread count).
+    pub fn grade_threads(mut self, threads: usize) -> Self {
+        self.grade_threads = threads.max(1);
+        self
+    }
+
     /// Runs the flow.
     ///
     /// # Errors
@@ -230,59 +255,60 @@ impl SynthesisFlow {
     pub fn run(self) -> Result<SynthesizedDesign, FlowError> {
         let cdfg = self.cdfg.clone();
         // 1. Schedule + bind (+ possibly integrated DFT).
-        let (schedule, binding, mut datapath, mut boundary_scan) =
-            if self.strategy == DftStrategy::SimultaneousLoopAvoidance {
-                let r = simsched::schedule_and_assign(
-                    &cdfg,
-                    &SimSchedOptions { limits: self.limits.clone(), ..Default::default() },
-                )?;
-                (r.schedule, r.binding, r.datapath, r.scan_registers)
-            } else {
-                let schedule = match self.scheduler {
-                    Scheduler::List => {
-                        sched::list_schedule(&cdfg, &self.limits, ListPriority::Slack)?
-                    }
-                    Scheduler::IoAware => {
-                        sched::list_schedule(&cdfg, &self.limits, ListPriority::IoAware)?
-                    }
-                    Scheduler::ForceDirected(extra) => {
-                        sched::force_directed(&cdfg, sched::critical_path(&cdfg) + extra)?
-                    }
-                    Scheduler::Asap => sched::asap(&cdfg)?,
-                };
-                let (fu_of, fus) = bind::bind_fus(&cdfg, &schedule);
-                let mut boundary_scan = Vec::new();
-                let regs = match self.policy {
-                    RegisterPolicy::LeftEdge => {
-                        bind::assign_registers(&cdfg, &schedule, RegAlgo::LeftEdge)
-                    }
-                    RegisterPolicy::Dsatur => {
-                        bind::assign_registers(&cdfg, &schedule, RegAlgo::Dsatur)
-                    }
-                    RegisterPolicy::IoMax => {
-                        hlstb_scan::ioreg::assign_io_max(&cdfg, &schedule).regs
-                    }
-                    RegisterPolicy::Boundary => {
-                        let a = hlstb_scan::boundary::assign_boundary(&cdfg, &schedule, 4096);
-                        boundary_scan = (0..a.scan_register_count).collect();
-                        a.regs
-                    }
-                    RegisterPolicy::LoopAvoiding => {
-                        simsched::loop_avoiding_registers(&cdfg, &schedule, &fu_of)
-                    }
-                    RegisterPolicy::Avra => {
-                        hlstb_bist::selfadj::avra_assignment(&cdfg, &schedule, &fu_of)
-                    }
-                };
-                let binding = Binding::from_parts(&cdfg, &schedule, fu_of, fus, regs)?;
-                let datapath = Datapath::build(&cdfg, &schedule, &binding)?;
-                (schedule, binding, datapath, boundary_scan)
+        let (schedule, binding, mut datapath, mut boundary_scan) = if self.strategy
+            == DftStrategy::SimultaneousLoopAvoidance
+        {
+            let r = simsched::schedule_and_assign(
+                &cdfg,
+                &SimSchedOptions {
+                    limits: self.limits.clone(),
+                    ..Default::default()
+                },
+            )?;
+            (r.schedule, r.binding, r.datapath, r.scan_registers)
+        } else {
+            let schedule = match self.scheduler {
+                Scheduler::List => sched::list_schedule(&cdfg, &self.limits, ListPriority::Slack)?,
+                Scheduler::IoAware => {
+                    sched::list_schedule(&cdfg, &self.limits, ListPriority::IoAware)?
+                }
+                Scheduler::ForceDirected(extra) => {
+                    sched::force_directed(&cdfg, sched::critical_path(&cdfg) + extra)?
+                }
+                Scheduler::Asap => sched::asap(&cdfg)?,
             };
+            let (fu_of, fus) = bind::bind_fus(&cdfg, &schedule);
+            let mut boundary_scan = Vec::new();
+            let regs = match self.policy {
+                RegisterPolicy::LeftEdge => {
+                    bind::assign_registers(&cdfg, &schedule, RegAlgo::LeftEdge)
+                }
+                RegisterPolicy::Dsatur => bind::assign_registers(&cdfg, &schedule, RegAlgo::Dsatur),
+                RegisterPolicy::IoMax => hlstb_scan::ioreg::assign_io_max(&cdfg, &schedule).regs,
+                RegisterPolicy::Boundary => {
+                    let a = hlstb_scan::boundary::assign_boundary(&cdfg, &schedule, 4096);
+                    boundary_scan = (0..a.scan_register_count).collect();
+                    a.regs
+                }
+                RegisterPolicy::LoopAvoiding => {
+                    simsched::loop_avoiding_registers(&cdfg, &schedule, &fu_of)
+                }
+                RegisterPolicy::Avra => {
+                    hlstb_bist::selfadj::avra_assignment(&cdfg, &schedule, &fu_of)
+                }
+            };
+            let binding = Binding::from_parts(&cdfg, &schedule, fu_of, fus, regs)?;
+            let datapath = Datapath::build(&cdfg, &schedule, &binding)?;
+            (schedule, binding, datapath, boundary_scan)
+        };
 
         // 2. Apply the DFT strategy.
         let mut bist_plan = None;
         let mut kcontrol_plan = None;
-        let limits = CycleLimits { max_cycles: 4096, max_len: 24 };
+        let limits = CycleLimits {
+            max_cycles: 4096,
+            max_len: 24,
+        };
         match self.strategy {
             DftStrategy::None => {}
             DftStrategy::FullScan => {
@@ -319,7 +345,7 @@ impl SynthesisFlow {
                     .iter()
                     .filter_map(|v| lookup[v.index()])
                     .collect();
-                marks.extend(boundary_scan.drain(..));
+                marks.append(&mut boundary_scan);
                 marks.sort_unstable();
                 marks.dedup();
                 datapath.mark_scan(&marks);
@@ -332,8 +358,7 @@ impl SynthesisFlow {
                     .collect();
                 let (rest, back) = sg.without_nodes(&scanned);
                 let fvs = minimum_feedback_vertex_set(&rest, MfvsOptions::default());
-                let extra: Vec<usize> =
-                    fvs.nodes.iter().map(|n| back[n.index()].index()).collect();
+                let extra: Vec<usize> = fvs.nodes.iter().map(|n| back[n.index()].index()).collect();
                 datapath.mark_scan(&extra);
             }
             DftStrategy::BistNaive => {
@@ -354,8 +379,7 @@ impl SynthesisFlow {
                     .iter()
                     .map(|&r| NodeId(r as u32))
                     .collect();
-                kcontrol_plan =
-                    Some(kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits));
+                kcontrol_plan = Some(kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits));
             }
         }
 
@@ -399,6 +423,24 @@ impl SynthesisFlow {
             }
         }
         let depth = sequential_depth(&post, &din, &dout);
+        // Optional fault-grading pass: pseudorandom full-scan coverage
+        // of the expanded netlist, fixed-seeded so reports reproduce.
+        let grading = self.grade_patterns.map(|patterns| {
+            let faults = hlstb_netlist::fault::collapsed_faults(&expanded.netlist);
+            let mut rng = StdRng::seed_from_u64(0xDAC_1996);
+            let (run, stats) = random_pattern_run_opts(
+                &expanded.netlist,
+                &faults,
+                patterns,
+                &mut rng,
+                &ParallelOptions::with_threads(self.grade_threads),
+            );
+            GradingSummary {
+                coverage_percent: run.summary.coverage_percent(),
+                patterns,
+                stats,
+            }
+        });
         let report = TestabilityReport {
             name: cdfg.name().to_string(),
             period: datapath.period(),
@@ -419,6 +461,7 @@ impl SynthesisFlow {
             max_observe_depth: depth.max_observe(),
             gates: expanded.netlist.num_gates(),
             area: estimate_area(&datapath, self.width, &RegisterCosts::default()).total(),
+            grading,
         };
         Ok(SynthesizedDesign {
             cdfg,
@@ -465,8 +508,15 @@ mod tests {
             DftStrategy::GateLevelPartialScan,
             DftStrategy::BehavioralPartialScan,
         ] {
-            for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
-                let d = SynthesisFlow::new(g.clone()).strategy(strategy).run().unwrap();
+            for g in [
+                benchmarks::diffeq(),
+                benchmarks::ewf(),
+                benchmarks::iir_biquad(),
+            ] {
+                let d = SynthesisFlow::new(g.clone())
+                    .strategy(strategy)
+                    .run()
+                    .unwrap();
                 assert!(
                     d.report.sgraph_acyclic_after_scan,
                     "{} with {strategy:?}",
@@ -508,6 +558,37 @@ mod tests {
             .run()
             .unwrap();
         assert!(d.kcontrol_plan.is_some());
+    }
+
+    #[test]
+    fn grading_pass_attaches_coverage_and_is_thread_invariant() {
+        let g = benchmarks::figure1();
+        let base = SynthesisFlow::new(g.clone())
+            .strategy(DftStrategy::FullScan)
+            .grade_random(256)
+            .run()
+            .unwrap();
+        let graded = base.report.grading.as_ref().expect("grading attached");
+        assert!(
+            graded.coverage_percent > 50.0,
+            "{}",
+            graded.coverage_percent
+        );
+        assert_eq!(graded.patterns, 256);
+        assert!(graded.stats.fault_evals > 0);
+        // Same design, 4 grading threads: identical coverage.
+        let par = SynthesisFlow::new(g)
+            .strategy(DftStrategy::FullScan)
+            .grade_random(256)
+            .grade_threads(4)
+            .run()
+            .unwrap();
+        let p = par.report.grading.as_ref().unwrap();
+        assert_eq!(p.coverage_percent, graded.coverage_percent);
+        assert_eq!(p.stats.threads, 4.min(p.stats.faults.max(1)));
+        // The default flow stays grading-free (report shape unchanged).
+        let plain = SynthesisFlow::new(benchmarks::figure1()).run().unwrap();
+        assert!(plain.report.grading.is_none());
     }
 
     #[test]

@@ -2,11 +2,25 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use hlstb_netlist::stats::GradeStats;
+
+/// Result of the optional post-synthesis fault-grading pass
+/// ([`crate::flow::SynthesisFlow::grade_random`]): pseudorandom
+/// full-scan coverage of the expanded netlist plus the engine's run
+/// instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradingSummary {
+    /// Stuck-at coverage of the collapsed fault universe, in percent.
+    pub coverage_percent: f64,
+    /// Random patterns applied.
+    pub patterns: usize,
+    /// Engine work and timing counters.
+    pub stats: GradeStats,
+}
 
 /// Structural and testability metrics of a synthesized design — the
 //  common vocabulary of all experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestabilityReport {
     /// Design name.
     pub name: String,
@@ -36,6 +50,90 @@ pub struct TestabilityReport {
     pub gates: usize,
     /// Area estimate in gate equivalents.
     pub area: f64,
+    /// Fault-grading result, when the flow was asked to grade
+    /// ([`crate::flow::SynthesisFlow::grade_random`]); `None` for the
+    /// default flow.
+    pub grading: Option<GradingSummary>,
+}
+
+impl TestabilityReport {
+    /// Renders the report as a pretty-printed JSON object (the CLI's
+    /// `--json` output). Hand-written: the workspace builds offline and
+    /// the report is a flat struct, so no serialization framework is
+    /// warranted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |key: &str, value: String| {
+            out.push_str(&format!("  \"{key}\": {value},\n"));
+        };
+        field("name", json_string(&self.name));
+        field("period", self.period.to_string());
+        field("registers", self.registers.to_string());
+        field("io_registers", self.io_registers.to_string());
+        field("fus", self.fus.to_string());
+        field("scan_registers", self.scan_registers.to_string());
+        field("sgraph_cycles", self.sgraph_cycles.to_string());
+        field(
+            "sgraph_acyclic_after_scan",
+            self.sgraph_acyclic_after_scan.to_string(),
+        );
+        field("mfvs_size", self.mfvs_size.to_string());
+        field("max_control_depth", self.max_control_depth.to_string());
+        field("max_observe_depth", self.max_observe_depth.to_string());
+        field("gates", self.gates.to_string());
+        field("area", format_json_f64(self.area));
+        match &self.grading {
+            Some(g) => field(
+                "grading",
+                format!(
+                    "{{\"coverage_percent\": {}, \"patterns\": {}, \"stats\": {}}}",
+                    format_json_f64(g.coverage_percent),
+                    g.patterns,
+                    g.stats.to_json()
+                ),
+            ),
+            None => field("grading", "null".into()),
+        }
+        out.pop(); // trailing newline
+        out.pop(); // trailing comma
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` so the output is always a valid JSON number
+/// (`NaN`/`inf` are not; the report never produces them, but degrade
+/// to `null` rather than emit unparseable text).
+pub(crate) fn format_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
 }
 
 impl fmt::Display for TestabilityReport {
@@ -58,7 +156,19 @@ impl fmt::Display for TestabilityReport {
             "  sequential depth  : control {} / observe {}",
             self.max_control_depth, self.max_observe_depth
         )?;
-        write!(f, "  gates             : {} ({:.0} GE)", self.gates, self.area)
+        write!(
+            f,
+            "  gates             : {} ({:.0} GE)",
+            self.gates, self.area
+        )?;
+        if let Some(g) = &self.grading {
+            write!(
+                f,
+                "\n  fault grading     : {:.1}% of {} faults at {} patterns ({})",
+                g.coverage_percent, g.stats.faults, g.patterns, g.stats
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -82,10 +192,55 @@ mod tests {
             max_observe_depth: 3,
             gates: 500,
             area: 1234.5,
+            grading: None,
         };
         let s = r.to_string();
         assert!(s.contains("10 total"));
         assert!(s.contains("MFVS 1"));
         assert!(s.contains("1235 GE") || s.contains("1234 GE"));
+        let json = r.to_json();
+        assert!(json.contains("\"grading\": null"), "{json}");
+    }
+
+    #[test]
+    fn grading_shows_up_in_text_and_json() {
+        let mut r = TestabilityReport {
+            name: "x".into(),
+            period: 4,
+            registers: 10,
+            io_registers: 5,
+            fus: 3,
+            scan_registers: 2,
+            sgraph_cycles: 1,
+            sgraph_acyclic_after_scan: true,
+            mfvs_size: 1,
+            max_control_depth: 2,
+            max_observe_depth: 3,
+            gates: 500,
+            area: 1234.5,
+            grading: None,
+        };
+        r.grading = Some(GradingSummary {
+            coverage_percent: 92.5,
+            patterns: 256,
+            stats: GradeStats {
+                faults: 40,
+                frames: 4,
+                ..GradeStats::default()
+            },
+        });
+        let s = r.to_string();
+        assert!(s.contains("fault grading"), "{s}");
+        assert!(s.contains("92.5%"), "{s}");
+        let json = r.to_json();
+        assert!(json.contains("\"coverage_percent\": 92.5"), "{json}");
+        assert!(json.contains("\"patterns\": 256"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(format_json_f64(2.0), "2.0");
+        assert_eq!(format_json_f64(f64::NAN), "null");
     }
 }

@@ -2,10 +2,8 @@
 //! the commercial EDA tools of 1996 — catalog data, reproduced verbatim
 //! by the `exp_table1` experiment binary.
 
-use serde::{Deserialize, Serialize};
-
 /// At which representation a tool inserts testability structures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertionLevel {
     /// Behavioral/RT-level HDL.
     Hdl,
@@ -27,7 +25,7 @@ impl InsertionLevel {
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ToolEntry {
     /// Vendor / tool name.
     pub name: &'static str,
@@ -41,7 +39,11 @@ pub struct ToolEntry {
 pub fn table1() -> Vec<ToolEntry> {
     use InsertionLevel::*;
     vec![
-        ToolEntry { name: "Sunrise", synthesis_base: "Viewlogic", levels: &[TechnologyDependent] },
+        ToolEntry {
+            name: "Sunrise",
+            synthesis_base: "Viewlogic",
+            levels: &[TechnologyDependent],
+        },
         ToolEntry {
             name: "Mentor",
             synthesis_base: "Autologic II",
@@ -102,8 +104,15 @@ mod tests {
     #[test]
     fn table_has_all_vendors() {
         let names: Vec<&str> = table1().iter().map(|t| t.name).collect();
-        for expected in ["Sunrise", "Mentor", "LogicVision", "IBM", "Synopsys", "Compass", "AT&T"]
-        {
+        for expected in [
+            "Sunrise",
+            "Mentor",
+            "LogicVision",
+            "IBM",
+            "Synopsys",
+            "Compass",
+            "AT&T",
+        ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
     }

@@ -31,13 +31,60 @@ fn synth_prints_a_report() {
     assert!(stdout.contains("registers"));
 }
 
+/// Minimal structural check on the hand-written JSON emitter: balanced
+/// braces, a quoted string field, and a positive integer field.
+fn json_u64_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 #[test]
 fn synth_json_is_parseable() {
     let (stdout, _, ok) = run(&["synth", "figure1", "--json"]);
     assert!(ok, "{stdout}");
-    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
-    assert_eq!(v["name"], "figure1");
-    assert!(v["gates"].as_u64().unwrap() > 0);
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "{stdout}"
+    );
+    assert_eq!(
+        trimmed.matches('{').count(),
+        trimmed.matches('}').count(),
+        "unbalanced braces: {stdout}"
+    );
+    assert!(trimmed.contains("\"name\": \"figure1\""), "{stdout}");
+    assert!(json_u64_field(trimmed, "gates").unwrap() > 0, "{stdout}");
+}
+
+#[test]
+fn synth_grade_reports_coverage() {
+    let (stdout, _, ok) = run(&[
+        "synth",
+        "figure1",
+        "--strategy",
+        "full-scan",
+        "--grade",
+        "128",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fault grading"), "{stdout}");
+    let (json_out, _, ok) = run(&[
+        "synth",
+        "figure1",
+        "--strategy",
+        "full-scan",
+        "--grade",
+        "128",
+        "--json",
+    ]);
+    assert!(ok, "{json_out}");
+    assert!(json_out.contains("\"coverage_percent\""), "{json_out}");
+    assert!(json_out.contains("\"fault_evals\""), "{json_out}");
 }
 
 #[test]
@@ -45,7 +92,10 @@ fn sgraph_emits_dot() {
     let (stdout, _, ok) = run(&["sgraph", "diffeq", "--strategy", "gate-partial-scan"]);
     assert!(ok);
     assert!(stdout.starts_with("digraph"));
-    assert!(stdout.contains("doublecircle"), "scan registers should be marked");
+    assert!(
+        stdout.contains("doublecircle"),
+        "scan registers should be marked"
+    );
 }
 
 #[test]

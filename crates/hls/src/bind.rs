@@ -8,17 +8,15 @@
 //! [`RegisterAssignment`] and validate it through
 //! [`Binding::from_parts`].
 
-
 use std::error::Error;
 use std::fmt;
 
 use hlstb_cdfg::{Cdfg, LifetimeMap, OpId, Schedule, VarId, VarKind};
-use serde::{Deserialize, Serialize};
 
 use crate::fu::FuKind;
 
 /// One functional-unit instance and the operations bound to it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuInstance {
     /// The class of the unit.
     pub kind: FuKind,
@@ -27,7 +25,7 @@ pub struct FuInstance {
 }
 
 /// A variable-to-register assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RegisterAssignment {
     /// `registers[r]` lists the variables sharing register `r`.
     pub registers: Vec<Vec<VarId>>,
@@ -62,7 +60,7 @@ impl RegisterAssignment {
 }
 
 /// A complete binding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// `fu_of[op]` is the index into [`Binding::fus`].
     pub fu_of: Vec<usize>,
@@ -109,7 +107,10 @@ impl fmt::Display for BindError {
             BindError::FuConflict { a, b } => write!(f, "{a} and {b} overlap on one unit"),
             BindError::WrongClass { op, fu } => write!(f, "{op} cannot run on a {fu}"),
             BindError::RegisterConflict { a, b } => {
-                write!(f, "{a} and {b} share a register but their lifetimes overlap")
+                write!(
+                    f,
+                    "{a} and {b} share a register but their lifetimes overlap"
+                )
             }
             BindError::Unassigned { var } => write!(f, "{var} has no register"),
         }
@@ -206,13 +207,15 @@ pub fn bind_fus(cdfg: &Cdfg, schedule: &Schedule) -> (Vec<usize>, Vec<FuInstance
     for o in ops {
         let kind = FuKind::for_op(cdfg.op(o).kind);
         let (s, e) = (schedule.start(o), schedule.start(o) + schedule.latency(o));
-        let slot = (0..fus.len()).find(|&i| {
-            fus[i].kind == kind && busy[i].iter().all(|&(bs, be)| e <= bs || be <= s)
-        });
+        let slot = (0..fus.len())
+            .find(|&i| fus[i].kind == kind && busy[i].iter().all(|&(bs, be)| e <= bs || be <= s));
         let i = match slot {
             Some(i) => i,
             None => {
-                fus.push(FuInstance { kind, ops: Vec::new() });
+                fus.push(FuInstance {
+                    kind,
+                    ops: Vec::new(),
+                });
                 busy.push(Vec::new());
                 fus.len() - 1
             }
@@ -250,7 +253,10 @@ pub fn conflict_graph(cdfg: &Cdfg, lt: &LifetimeMap) -> (Vec<VarId>, Vec<Vec<boo
 pub fn dsatur(adj: &[Vec<bool>]) -> Vec<usize> {
     let n = adj.len();
     let mut color = vec![usize::MAX; n];
-    let degree: Vec<usize> = adj.iter().map(|r| r.iter().filter(|&&b| b).count()).collect();
+    let degree: Vec<usize> = adj
+        .iter()
+        .map(|r| r.iter().filter(|&&b| b).count())
+        .collect();
     for _ in 0..n {
         // Pick uncolored node with max saturation, then max degree.
         let mut best: Option<(usize, usize, usize)> = None; // (sat, deg, node)
@@ -259,8 +265,10 @@ pub fn dsatur(adj: &[Vec<bool>]) -> Vec<usize> {
                 continue;
             }
             let sat = {
-                let mut used: Vec<usize> =
-                    (0..n).filter(|&u| adj[v][u] && color[u] != usize::MAX).map(|u| color[u]).collect();
+                let mut used: Vec<usize> = (0..n)
+                    .filter(|&u| adj[v][u] && color[u] != usize::MAX)
+                    .map(|u| color[u])
+                    .collect();
                 used.sort_unstable();
                 used.dedup();
                 used.len()
@@ -269,7 +277,8 @@ pub fn dsatur(adj: &[Vec<bool>]) -> Vec<usize> {
             best = match best {
                 None => Some(cand),
                 Some(b) => {
-                    if (cand.0, cand.1) > (b.0, b.1) || ((cand.0, cand.1) == (b.0, b.1) && cand.2 < b.2)
+                    if (cand.0, cand.1) > (b.0, b.1)
+                        || ((cand.0, cand.1) == (b.0, b.1) && cand.2 < b.2)
                     {
                         Some(cand)
                     } else {
@@ -398,7 +407,9 @@ mod tests {
             .filter(|v| !matches!(v.kind, VarKind::Constant(_)))
             .map(|v| v.id)
             .collect();
-        let regs = RegisterAssignment { registers: vec![all] };
+        let regs = RegisterAssignment {
+            registers: vec![all],
+        };
         let r = Binding::from_parts(&g, &s, fu_of, fus, regs);
         assert!(matches!(r, Err(BindError::RegisterConflict { .. })));
     }
@@ -408,7 +419,9 @@ mod tests {
         let g = benchmarks::figure1();
         let s = sched::asap(&g).unwrap();
         let (fu_of, fus) = bind_fus(&g, &s);
-        let regs = RegisterAssignment { registers: Vec::new() };
+        let regs = RegisterAssignment {
+            registers: Vec::new(),
+        };
         let r = Binding::from_parts(&g, &s, fu_of, fus, regs);
         assert!(matches!(r, Err(BindError::Unassigned { .. })));
     }

@@ -11,13 +11,12 @@ use std::fmt;
 
 use hlstb_cdfg::{Cdfg, LifetimeMap, OpId, OpKind, Schedule, VarId, VarKind};
 use hlstb_sgraph::{NodeId, SGraph};
-use serde::{Deserialize, Serialize};
 
 use crate::bind::Binding;
 use crate::fu::FuKind;
 
 /// A data-path register and the variables it hosts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterInfo {
     /// Display name (`R0`, `R1`, …).
     pub name: String,
@@ -28,7 +27,7 @@ pub struct RegisterInfo {
 }
 
 /// A functional-unit instance in the data path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuInfo {
     /// Unit class.
     pub kind: FuKind,
@@ -39,7 +38,7 @@ pub struct FuInfo {
 }
 
 /// What can drive a functional-unit input port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortSource {
     /// A register's output.
     Register(usize),
@@ -48,7 +47,7 @@ pub enum PortSource {
 }
 
 /// What can drive a register's data input.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegSource {
     /// A functional unit's result.
     Fu(usize),
@@ -59,7 +58,7 @@ pub enum RegSource {
 }
 
 /// Control values for one control step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepControl {
     /// Load enable per register.
     pub reg_enable: Vec<bool>,
@@ -92,7 +91,10 @@ impl fmt::Display for DatapathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatapathError::WriteCollision { register, step } => {
-                write!(f, "register R{register} written twice at the edge ending step {step}")
+                write!(
+                    f,
+                    "register R{register} written twice at the edge ending step {step}"
+                )
             }
             DatapathError::Unassigned { var } => write!(f, "{var} has no register"),
         }
@@ -102,7 +104,7 @@ impl fmt::Display for DatapathError {
 impl Error for DatapathError {}
 
 /// A structural RTL data path with its control table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Datapath {
     name: String,
     period: u32,
@@ -188,15 +190,12 @@ impl Datapath {
                 None => 0,
             }
         };
-        let stage_of = |b_abs: u32, d: u32, t: u32| -> u32 {
-            (d * period + t - b_abs) / period
-        };
+        let stage_of = |b_abs: u32, d: u32, t: u32| -> u32 { (d * period + t - b_abs) / period };
         struct Delay {
             birth_abs: u32,
             stages: Vec<usize>, // register indices of D1..Dmax
         }
-        let mut delays: std::collections::HashMap<VarId, Delay> =
-            std::collections::HashMap::new();
+        let mut delays: std::collections::HashMap<VarId, Delay> = std::collections::HashMap::new();
         for v in cdfg.vars() {
             if matches!(v.kind, VarKind::Constant(_)) {
                 continue;
@@ -223,7 +222,13 @@ impl Datapath {
                         registers.len() - 1
                     })
                     .collect();
-                delays.insert(v.id, Delay { birth_abs: b_abs, stages });
+                delays.insert(
+                    v.id,
+                    Delay {
+                        birth_abs: b_abs,
+                        stages,
+                    },
+                );
             }
         }
         // Resolves the register read for an operand at one execution step.
@@ -293,8 +298,7 @@ impl Datapath {
                     _ => {
                         for t in s..s + l {
                             let r = resolve_step(operand.var, operand.distance, t)?;
-                            let idx =
-                                intern_port(&mut port_sources[f][p], PortSource::Register(r));
+                            let idx = intern_port(&mut port_sources[f][p], PortSource::Register(r));
                             control[t as usize].port_select[f][p] = idx;
                             op_edges.push((r, rd, op.id));
                         }
@@ -308,7 +312,10 @@ impl Datapath {
             let idx = intern_reg(&mut reg_sources[rd], RegSource::Fu(f));
             let t = s + l - 1;
             if write_edge[t as usize][rd] {
-                return Err(DatapathError::WriteCollision { register: rd, step: t });
+                return Err(DatapathError::WriteCollision {
+                    register: rd,
+                    step: t,
+                });
             }
             write_edge[t as usize][rd] = true;
             control[t as usize].reg_enable[rd] = true;
@@ -325,7 +332,10 @@ impl Datapath {
             let idx = intern_reg(&mut reg_sources[r], RegSource::External(v.name.clone()));
             let t = period - 1;
             if write_edge[t as usize][r] {
-                return Err(DatapathError::WriteCollision { register: r, step: t });
+                return Err(DatapathError::WriteCollision {
+                    register: r,
+                    step: t,
+                });
             }
             write_edge[t as usize][r] = true;
             control[t as usize].reg_enable[r] = true;
@@ -343,7 +353,10 @@ impl Datapath {
             for &stage in &delay.stages {
                 let idx = intern_reg(&mut reg_sources[stage], RegSource::Register(prev));
                 if write_edge[t as usize][stage] {
-                    return Err(DatapathError::WriteCollision { register: stage, step: t });
+                    return Err(DatapathError::WriteCollision {
+                        register: stage,
+                        step: t,
+                    });
                 }
                 write_edge[t as usize][stage] = true;
                 control[t as usize].reg_enable[stage] = true;
@@ -492,7 +505,9 @@ impl Datapath {
 
     /// Registers currently marked as scan registers.
     pub fn scan_registers(&self) -> Vec<usize> {
-        (0..self.registers.len()).filter(|&r| self.registers[r].scan).collect()
+        (0..self.registers.len())
+            .filter(|&r| self.registers[r].scan)
+            .collect()
     }
 
     /// The register S-graph: edge `Ru → Rv` iff some operation reads an
@@ -575,18 +590,37 @@ mod tests {
     fn figure1_variants() -> (Datapath, Datapath) {
         let g = benchmarks::figure1();
         let ids = |name: &str| g.var_by_name(name).unwrap().id;
-        let (a, b, d, f, p, q, s) =
-            (ids("a"), ids("b"), ids("d"), ids("f"), ids("p"), ids("q"), ids("s"));
+        let (a, b, d, f, p, q, s) = (
+            ids("a"),
+            ids("b"),
+            ids("d"),
+            ids("f"),
+            ids("p"),
+            ids("q"),
+            ids("s"),
+        );
         let (c, e, r, t, gg) = (ids("c"), ids("e"), ids("r"), ids("t"), ids("g"));
         let inputs_each_own = vec![
-            vec![a], vec![b], vec![d], vec![f], vec![p], vec![q], vec![s],
+            vec![a],
+            vec![b],
+            vec![d],
+            vec![f],
+            vec![p],
+            vec![q],
+            vec![s],
         ];
 
         // Variant (b): {+1:(1,A1), +2:(2,A2), +3:(2,A1), +4:(3,A2), +5:(3,A1)}
         let sched_b = hlstb_cdfg::Schedule::new(&g, vec![0, 1, 1, 2, 2]).unwrap();
         let fus_b = vec![
-            FuInstance { kind: crate::fu::FuKind::Adder, ops: vec![OpId(0), OpId(2), OpId(4)] },
-            FuInstance { kind: crate::fu::FuKind::Adder, ops: vec![OpId(1), OpId(3)] },
+            FuInstance {
+                kind: crate::fu::FuKind::Adder,
+                ops: vec![OpId(0), OpId(2), OpId(4)],
+            },
+            FuInstance {
+                kind: crate::fu::FuKind::Adder,
+                ops: vec![OpId(1), OpId(3)],
+            },
         ];
         let fu_of_b = vec![0, 1, 0, 1, 0];
         let mut regs_b = inputs_each_own.clone();
@@ -606,8 +640,14 @@ mod tests {
         // Variant (c): {+1:(1,A1), +2:(2,A1), +3:(1,A2), +4:(2,A2), +5:(3,A1)}
         let sched_c = hlstb_cdfg::Schedule::new(&g, vec![0, 1, 0, 1, 2]).unwrap();
         let fus_c = vec![
-            FuInstance { kind: crate::fu::FuKind::Adder, ops: vec![OpId(0), OpId(1), OpId(4)] },
-            FuInstance { kind: crate::fu::FuKind::Adder, ops: vec![OpId(2), OpId(3)] },
+            FuInstance {
+                kind: crate::fu::FuKind::Adder,
+                ops: vec![OpId(0), OpId(1), OpId(4)],
+            },
+            FuInstance {
+                kind: crate::fu::FuKind::Adder,
+                ops: vec![OpId(2), OpId(3)],
+            },
         ];
         let fu_of_c = vec![0, 0, 1, 1, 0];
         let mut regs_c = inputs_each_own;
@@ -630,7 +670,10 @@ mod tests {
         let (dp_b, _) = figure1_variants();
         let sg = dp_b.register_sgraph();
         // The shared register and A2's result register form a 2-cycle.
-        assert!(!sg.is_acyclic(true), "variant (b) must contain a non-self loop");
+        assert!(
+            !sg.is_acyclic(true),
+            "variant (b) must contain a non-self loop"
+        );
         let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
         assert_eq!(fvs.nodes.len(), 1, "one scan register breaks Figure 1(b)");
     }
@@ -639,10 +682,16 @@ mod tests {
     fn figure1_variant_c_has_only_self_loops() {
         let (_, dp_c) = figure1_variants();
         let sg = dp_c.register_sgraph();
-        assert!(sg.is_acyclic(true), "variant (c) is loop-free modulo self-loops");
+        assert!(
+            sg.is_acyclic(true),
+            "variant (c) is loop-free modulo self-loops"
+        );
         assert!(!sg.is_acyclic(false), "variant (c) does keep self-loops");
         let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
-        assert!(fvs.nodes.is_empty(), "no scan register needed for Figure 1(c)");
+        assert!(
+            fvs.nodes.is_empty(),
+            "no scan register needed for Figure 1(c)"
+        );
     }
 
     #[test]
@@ -673,7 +722,10 @@ mod tests {
             .sum();
         // One write per op, one per PI register load, one per delay-line
         // shift stage.
-        assert_eq!(enables, g.num_ops() + dp.pi_regs().len() + dp.copy_edges().len());
+        assert_eq!(
+            enables,
+            g.num_ops() + dp.pi_regs().len() + dp.copy_edges().len()
+        );
     }
 
     #[test]

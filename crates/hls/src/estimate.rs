@@ -6,14 +6,12 @@
 //! accounting so every experiment reports cost on the same scale
 //! (gate equivalents, NAND2 = 1, at a given data-path width).
 
-use serde::{Deserialize, Serialize};
-
 use crate::datapath::Datapath;
 use crate::fu::FuKind;
 
 /// Per-bit register implementation costs in gate equivalents, following
 /// the BILBO literature's relative ordering [21]: scan < BILBO < CBILBO.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegisterCosts {
     /// Plain D register bit.
     pub plain: f64,
@@ -43,7 +41,7 @@ impl Default for RegisterCosts {
 }
 
 /// An area estimate for a data path, decomposed by component class.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AreaEstimate {
     /// Register area.
     pub registers: f64,
@@ -87,10 +85,18 @@ pub fn estimate_area(dp: &Datapath, width: u32, costs: &RegisterCosts) -> AreaEs
     // A k-input word mux costs (k−1) 2:1 word muxes at 2.5 GE per bit.
     let mux_inputs = (pm + rm) as f64;
     let mux_count = mux_inputs
-        - dp.port_sources().iter().flatten().filter(|s| s.len() > 1).count() as f64
+        - dp.port_sources()
+            .iter()
+            .flatten()
+            .filter(|s| s.len() > 1)
+            .count() as f64
         - dp.reg_sources().iter().filter(|s| s.len() > 1).count() as f64;
     let muxes = mux_count.max(0.0) * 2.5 * w;
-    AreaEstimate { registers, fus, muxes }
+    AreaEstimate {
+        registers,
+        fus,
+        muxes,
+    }
 }
 
 /// Convenience: area with every register plain (the pre-DFT baseline).

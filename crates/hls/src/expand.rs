@@ -246,8 +246,9 @@ pub fn expand(dp: &Datapath, options: &ExpandOptions) -> Result<ExpandedDatapath
         ControllerMode::Expanded => {
             let period = dp.period();
             let sbits = select_bits(period as usize).max(1);
-            let state: Vec<NetId> =
-                (0..sbits).map(|_| b.dff_uninit(options.scan_controller)).collect();
+            let state: Vec<NetId> = (0..sbits)
+                .map(|_| b.dff_uninit(options.scan_controller))
+                .collect();
             state_flops = state.clone();
             // next = (state == period-1) ? 0 : state + 1
             let one_bus = b.constant(1, sbits as u32);
@@ -390,7 +391,7 @@ fn build_kind(b: &mut NetlistBuilder, kind: OpKind, ports: &[Vec<NetId>], w: u32
     let pad = |b: &mut NetlistBuilder, bit: NetId| -> Vec<NetId> {
         let mut v = vec![bit];
         let z = b.zero();
-        v.extend(std::iter::repeat(z).take(w as usize - 1));
+        v.extend(std::iter::repeat_n(z, w as usize - 1));
         v
     };
     match kind {
@@ -474,7 +475,9 @@ pub fn simulate_hw(
     let mut ff = vec![0u64; nl.dffs().len()];
     // Preload the primary-input registers with iteration-0 values.
     for (name, r) in dp.pi_regs() {
-        let v = inputs.get(name).unwrap_or_else(|| panic!("missing stream {name}"))
+        let v = inputs
+            .get(name)
+            .unwrap_or_else(|| panic!("missing stream {name}"))
             .first()
             .copied()
             .unwrap_or(0);
@@ -502,7 +505,9 @@ pub fn simulate_hw(
         for name in &pi_order {
             // Port bit names are "{pi}[{bit}]".
             let (base, bit) = split_bus_name(name);
-            let stream = inputs.get(base).unwrap_or_else(|| panic!("missing stream {base}"));
+            let stream = inputs
+                .get(base)
+                .unwrap_or_else(|| panic!("missing stream {base}"));
             let v = stream.get(iter + 1).copied().unwrap_or(0);
             pi_words.push(if v >> bit & 1 == 1 { u64::MAX } else { 0 });
         }
@@ -512,7 +517,7 @@ pub fn simulate_hw(
         let edges_done = edge + 1;
         for ((name, r), &ready) in dp.po_regs().iter().zip(dp.po_ready()) {
             let ready = ready as usize;
-            if edges_done >= ready && (edges_done - ready) % period == 0 {
+            if edges_done >= ready && (edges_done - ready).is_multiple_of(period) {
                 let i = (edges_done - ready) / period;
                 if i < n {
                     let mut v = 0u64;
@@ -552,7 +557,14 @@ mod tests {
         let s = sched::list_schedule(cdfg, &lim, ListPriority::Slack).unwrap();
         let b = bind::bind(cdfg, &s, &BindOptions::default()).unwrap();
         let dp = Datapath::build(cdfg, &s, &b).unwrap();
-        let exp = expand(&dp, &ExpandOptions { width: 8, ..Default::default() }).unwrap();
+        let exp = expand(
+            &dp,
+            &ExpandOptions {
+                width: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         (dp, exp)
     }
 
@@ -562,13 +574,24 @@ mod tests {
             .inputs()
             .map(|v| {
                 let base = v.id.0 as u64 * 5 + 3;
-                (v.name.clone(), (0..iterations as u64).map(|i| (base + 13 * i) & 0xff).collect())
+                (
+                    v.name.clone(),
+                    (0..iterations as u64)
+                        .map(|i| (base + 13 * i) & 0xff)
+                        .collect(),
+                )
             })
             .collect();
         let reference = cdfg.evaluate(&streams, &HashMap::new(), 8);
         let hw = simulate_hw(&exp, &dp, &streams);
         for o in cdfg.outputs() {
-            assert_eq!(hw[&o.name], reference[&o.name], "{}:{}", cdfg.name(), o.name);
+            assert_eq!(
+                hw[&o.name],
+                reference[&o.name],
+                "{}:{}",
+                cdfg.name(),
+                o.name
+            );
         }
     }
 
@@ -611,7 +634,11 @@ mod tests {
         let dp = Datapath::build(&g, &s, &b).unwrap();
         let exp = expand(
             &dp,
-            &ExpandOptions { width: 4, controller: ControllerMode::External, ..Default::default() },
+            &ExpandOptions {
+                width: 4,
+                controller: ControllerMode::External,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!exp.control_inputs.is_empty());
@@ -628,7 +655,14 @@ mod tests {
         let b = bind::bind(&g, &s, &BindOptions::default()).unwrap();
         let mut dp = Datapath::build(&g, &s, &b).unwrap();
         dp.mark_scan(&[0]);
-        let exp = expand(&dp, &ExpandOptions { width: 4, ..Default::default() }).unwrap();
+        let exp = expand(
+            &dp,
+            &ExpandOptions {
+                width: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(exp.netlist.scan_flops().len(), 4);
     }
 

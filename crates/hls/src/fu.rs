@@ -4,14 +4,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use hlstb_cdfg::{Cdfg, OpKind};
-use serde::{Deserialize, Serialize};
 
 /// A class of functional unit in the module library.
 ///
 /// The default library mirrors the surveyed papers' data paths: adders
 /// execute additions/subtractions (and identity moves), multipliers are
 /// dedicated, and an ALU covers the logic/compare/shift repertoire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FuKind {
     /// Adder/subtractor.
     Adder,
@@ -63,7 +62,7 @@ impl fmt::Display for FuKind {
 
 /// Resource limits per functional-unit class; classes absent from the
 /// map are unlimited.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResourceLimits {
     limits: BTreeMap<FuKind, usize>,
 }

@@ -7,7 +7,7 @@
 //! mux network, which is pure area win and — because every mux input is
 //! also a fault site — a small testability win.
 
-use hlstb_cdfg::{Cdfg, Operation, Schedule, Variable, VarKind};
+use hlstb_cdfg::{Cdfg, Operation, Schedule, VarKind, Variable};
 
 use crate::bind::Binding;
 
@@ -89,8 +89,8 @@ pub fn optimize_port_assignment(
             vars[o.var.index()].uses.push((op.id, port));
         }
     }
-    let cdfg = Cdfg::new(cdfg.name().to_string(), vars, ops)
-        .expect("operand swap preserves validity");
+    let cdfg =
+        Cdfg::new(cdfg.name().to_string(), vars, ops).expect("operand swap preserves validity");
     PortSwapResult { cdfg, swapped }
 }
 

@@ -32,7 +32,10 @@ pub enum SchedError {
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::LatencyTooShort { requested, critical } => {
+            SchedError::LatencyTooShort {
+                requested,
+                critical,
+            } => {
                 write!(f, "latency {requested} below critical path {critical}")
             }
             SchedError::Overflow => write!(f, "schedule exceeds {MAX_STEPS} steps"),
@@ -90,7 +93,10 @@ pub fn critical_path(cdfg: &Cdfg) -> u32 {
 pub fn alap(cdfg: &Cdfg, latency: u32) -> Result<Schedule, SchedError> {
     let critical = critical_path(cdfg);
     if latency < critical {
-        return Err(SchedError::LatencyTooShort { requested: latency, critical });
+        return Err(SchedError::LatencyTooShort {
+            requested: latency,
+            critical,
+        });
     }
     let mut start = vec![0u32; cdfg.num_ops()];
     for &op in cdfg.topo_order().iter().rev() {
@@ -151,7 +157,6 @@ pub enum ListPriority {
 /// assert_eq!(s.num_steps(), 3); // the paper's 3-step constraint holds
 /// # Ok::<(), hlstb_hls::sched::SchedError>(())
 /// ```
-
 pub fn list_schedule(
     cdfg: &Cdfg,
     limits: &ResourceLimits,
@@ -198,9 +203,9 @@ pub fn list_schedule(
             .map(|i| OpId(i as u32))
             .filter(|&o| start[o.index()].is_none())
             .filter(|&o| {
-                cdfg.zero_distance_predecessors(o).into_iter().all(|p| {
-                    start[p.index()].is_some_and(|s| s + lat(cdfg, p) <= step)
-                })
+                cdfg.zero_distance_predecessors(o)
+                    .into_iter()
+                    .all(|p| start[p.index()].is_some_and(|s| s + lat(cdfg, p) <= step))
             })
             .collect();
         // Priority: least slack first, then the I/O bias, then id.
@@ -220,7 +225,10 @@ pub fn list_schedule(
         }
         step += 1;
     }
-    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let start: Vec<u32> = start
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     Schedule::new(cdfg, start).map_err(SchedError::Invalid)
 }
 
@@ -279,11 +287,11 @@ pub fn force_directed(cdfg: &Cdfg, latency: u32) -> Result<Schedule, SchedError>
             let succs_ok = cdfg
                 .successors(o)
                 .into_iter()
-                .all(|q| placed[q.index()].map_or(true, |qs| s + lat(cdfg, o) <= qs));
+                .all(|q| placed[q.index()].is_none_or(|qs| s + lat(cdfg, o) <= qs));
             let preds_hard = cdfg
                 .zero_distance_predecessors(o)
                 .into_iter()
-                .all(|p| placed[p.index()].map_or(true, |ps| ps + lat(cdfg, p) <= s));
+                .all(|p| placed[p.index()].is_none_or(|ps| ps + lat(cdfg, p) <= s));
             if !(preds_ok && succs_ok && preds_hard) {
                 continue;
             }
@@ -328,7 +336,10 @@ mod tests {
     #[test]
     fn alap_rejects_short_latency() {
         let g = benchmarks::figure1();
-        assert!(matches!(alap(&g, 2), Err(SchedError::LatencyTooShort { .. })));
+        assert!(matches!(
+            alap(&g, 2),
+            Err(SchedError::LatencyTooShort { .. })
+        ));
     }
 
     #[test]

@@ -118,14 +118,26 @@ fn expanded_gate_count_scales_linearly_with_width() {
     let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
     let b = bind::bind(&g, &s, &BindOptions::default()).unwrap();
     let dp = Datapath::build(&g, &s, &b).unwrap();
-    let n4 = expand(&dp, &ExpandOptions { width: 4, ..Default::default() })
-        .unwrap()
-        .netlist
-        .num_gates();
-    let n8 = expand(&dp, &ExpandOptions { width: 8, ..Default::default() })
-        .unwrap()
-        .netlist
-        .num_gates();
+    let n4 = expand(
+        &dp,
+        &ExpandOptions {
+            width: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .netlist
+    .num_gates();
+    let n8 = expand(
+        &dp,
+        &ExpandOptions {
+            width: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .netlist
+    .num_gates();
     // Between 1.5x and 3x: linear-ish (controller overhead is fixed,
     // multipliers are quadratic but tseng has none).
     let ratio = n8 as f64 / n4 as f64;

@@ -11,9 +11,10 @@
 use std::collections::HashMap;
 
 use crate::fault::Fault;
-use crate::fsim::{comb_fault_sim, TestFrame};
+use crate::fsim::{comb_fault_sim_opts, ParallelOptions, TestFrame};
 use crate::logic5::V5;
 use crate::net::{GateId, GateKind, NetId, Netlist};
+use crate::stats::GradeStats;
 
 /// Which nets the generator may assign and where it may observe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +38,10 @@ impl CombView {
             assignable.push(f.net());
             observed.push(nl.gate(f).inputs[0]);
         }
-        CombView { assignable, observed }
+        CombView {
+            assignable,
+            observed,
+        }
     }
 }
 
@@ -50,7 +54,9 @@ pub struct AtpgOptions {
 
 impl Default for AtpgOptions {
     fn default() -> Self {
-        AtpgOptions { backtrack_limit: 10_000 }
+        AtpgOptions {
+            backtrack_limit: 10_000,
+        }
     }
 }
 
@@ -199,12 +205,10 @@ impl<'a> Podem<'a> {
     fn source_value(&self, id: GateId, kind: GateKind) -> V5 {
         match kind {
             GateKind::Const(c) => V5::of_bool(c),
-            GateKind::Input | GateKind::Dff { .. } => {
-                match self.assignable.get(&id.net()) {
-                    Some(Some(v)) => V5::of_bool(*v),
-                    _ => V5::X,
-                }
-            }
+            GateKind::Input | GateKind::Dff { .. } => match self.assignable.get(&id.net()) {
+                Some(Some(v)) => V5::of_bool(*v),
+                _ => V5::X,
+            },
             _ => unreachable!("not a source"),
         }
     }
@@ -220,7 +224,10 @@ impl<'a> Podem<'a> {
     fn imply(&mut self) {
         self.effort.implications += 1;
         for (id, g) in self.nl.gates() {
-            if matches!(g.kind, GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }) {
+            if matches!(
+                g.kind,
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+            ) {
                 let v = self.source_value(id, g.kind);
                 self.values[id.index()] = self.inject(id.net(), v);
             }
@@ -245,7 +252,10 @@ impl<'a> Podem<'a> {
     }
 
     fn success(&self) -> bool {
-        self.view.observed.iter().any(|&n| self.values[n.index()].is_fault_effect())
+        self.view
+            .observed
+            .iter()
+            .any(|&n| self.values[n.index()].is_fault_effect())
     }
 
     /// The next backtraced PI decision, trying every open objective —
@@ -270,7 +280,11 @@ impl<'a> Podem<'a> {
                 continue;
             }
             let g = self.nl.gate(gid);
-            if !g.inputs.iter().any(|&n| self.values[n.index()].is_fault_effect()) {
+            if !g
+                .inputs
+                .iter()
+                .any(|&n| self.values[n.index()].is_fault_effect())
+            {
                 continue;
             }
             for (pos, &inp) in g.inputs.iter().enumerate() {
@@ -319,9 +333,10 @@ impl<'a> Podem<'a> {
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
                     let inverted = matches!(g.kind, GateKind::Nand | GateKind::Nor);
                     let eff = if inverted { !val } else { val };
-                    let ctl = matches!(g.kind, GateKind::And | GateKind::Nand);
-                    // AND: output 1 needs all 1 (pick any X); output 0 needs one 0.
-                    let want = if ctl { eff } else { eff };
+                    // AND: output 1 needs all 1 (pick any X); output 0
+                    // needs one 0 — either way the picked X gets `eff`,
+                    // and likewise for OR.
+                    let want = eff;
                     let next = g
                         .inputs
                         .iter()
@@ -382,7 +397,11 @@ impl<'a> Podem<'a> {
                     .collect();
                 return FaultStatus::Detected(TestCube { assignments });
             }
-            let step = if self.xpath_possible() { self.next_decision() } else { None };
+            let step = if self.xpath_possible() {
+                self.next_decision()
+            } else {
+                None
+            };
             match step {
                 Some((pi, v)) => {
                     self.effort.decisions += 1;
@@ -474,6 +493,17 @@ impl AtpgRun {
 /// Generates tests for every fault in the functional view, with
 /// fault-dropping simulation between generations.
 pub fn generate_all(nl: &Netlist, faults: &[Fault], options: &AtpgOptions) -> AtpgRun {
+    generate_all_opts(nl, faults, options, &ParallelOptions::default()).0
+}
+
+/// [`generate_all`] with grading-engine options and the aggregated
+/// instrumentation of every fault-dropping simulation the loop runs.
+pub fn generate_all_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    options: &AtpgOptions,
+    grade_opts: &ParallelOptions,
+) -> (AtpgRun, GradeStats) {
     let view = CombView::functional(nl);
     let mut run = AtpgRun {
         detected: 0,
@@ -483,6 +513,7 @@ pub fn generate_all(nl: &Netlist, faults: &[Fault], options: &AtpgOptions) -> At
         patterns: Vec::new(),
         effort: Effort::default(),
     };
+    let mut stats = GradeStats::default();
     let mut remaining: Vec<Fault> = faults.to_vec();
     while let Some(fault) = remaining.first().copied() {
         let (status, effort) = podem(nl, &view, &[fault.net], fault.stuck_at_one, options);
@@ -490,7 +521,9 @@ pub fn generate_all(nl: &Netlist, faults: &[Fault], options: &AtpgOptions) -> At
         match status {
             FaultStatus::Detected(cube) => {
                 let frame = cube.to_frame(nl);
-                let sim = comb_fault_sim(nl, &remaining, std::slice::from_ref(&frame));
+                let (sim, s) =
+                    comb_fault_sim_opts(nl, &remaining, std::slice::from_ref(&frame), grade_opts);
+                stats.absorb(&s);
                 let dropped = sim.detected.len().max(1);
                 run.detected += dropped;
                 remaining.retain(|f| !sim.detected.contains(f) && *f != fault);
@@ -506,7 +539,8 @@ pub fn generate_all(nl: &Netlist, faults: &[Fault], options: &AtpgOptions) -> At
             }
         }
     }
-    run
+    stats.faults = faults.len();
+    (run, stats)
 }
 
 #[cfg(test)]
@@ -531,8 +565,7 @@ mod tests {
         let nl = and_or();
         let view = CombView::functional(&nl);
         let a = nl.inputs()[0];
-        let (status, effort) =
-            podem(&nl, &view, &[a], false, &AtpgOptions::default());
+        let (status, effort) = podem(&nl, &view, &[a], false, &AtpgOptions::default());
         match status {
             FaultStatus::Detected(cube) => {
                 // Must set a=1, b=1 (propagate through AND), c=0 (through OR).

@@ -55,7 +55,6 @@ impl CopEstimates {
 /// assert!((est.c1[g.index()] - 0.25).abs() < 1e-12);
 /// # Ok::<(), hlstb_netlist::net::NetlistError>(())
 /// ```
-
 pub fn estimate(nl: &Netlist) -> CopEstimates {
     let n = nl.num_gates();
     let mut c1 = vec![0.5f64; n];

@@ -6,12 +6,10 @@
 //! structurally equivalent ones (through buffers and single-fanout
 //! inverters) so effort metrics aren't inflated by trivial duplicates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::net::{GateKind, NetId, Netlist};
 
 /// A single stuck-at fault on a net.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fault {
     /// The faulty net.
     pub net: NetId,
@@ -22,12 +20,18 @@ pub struct Fault {
 impl Fault {
     /// Stuck-at-0 on `net`.
     pub fn sa0(net: NetId) -> Self {
-        Fault { net, stuck_at_one: false }
+        Fault {
+            net,
+            stuck_at_one: false,
+        }
     }
 
     /// Stuck-at-1 on `net`.
     pub fn sa1(net: NetId) -> Self {
-        Fault { net, stuck_at_one: true }
+        Fault {
+            net,
+            stuck_at_one: true,
+        }
     }
 }
 

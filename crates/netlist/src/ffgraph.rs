@@ -43,7 +43,9 @@ pub fn ff_sgraph(nl: &Netlist) -> FfGraph {
     for (i, &f) in flops.iter().enumerate() {
         graph.set_label(
             NodeId(i as u32),
-            nl.net_name(f.net()).map(str::to_owned).unwrap_or_else(|| f.to_string()),
+            nl.net_name(f.net())
+                .map(str::to_owned)
+                .unwrap_or_else(|| f.to_string()),
         );
     }
     let fanouts = nl.fanouts();
@@ -119,7 +121,12 @@ pub fn ff_sgraph(nl: &Netlist) -> FfGraph {
         .map(|(i, _)| NodeId(i as u32))
         .collect();
 
-    FfGraph { graph, flops, input_nodes, output_nodes }
+    FfGraph {
+        graph,
+        flops,
+        input_nodes,
+        output_nodes,
+    }
 }
 
 #[cfg(test)]

@@ -6,12 +6,38 @@
 //! standard simplification for architecture-level coverage studies; the
 //! in-tree sequential ATPG ([`crate::seq`]) is the pessimistic
 //! (3-valued) instrument.
+//!
+//! # The grading engine
+//!
+//! Every entry point has an `_opts` variant taking a
+//! [`ParallelOptions`] and returning a [`GradeStats`] alongside the
+//! summary. The engine grades fault-major: per frame the good machine
+//! is evaluated once, then each fault is checked with a
+//! faulty-machine evaluation restricted to the fault's combinational
+//! fanout cone (nets outside the cone cannot differ from the good
+//! values, so they are read through). Three screens avoid work without
+//! ever changing the detected set:
+//!
+//! * **activation** — a fault whose good value equals the stuck value
+//!   on every parallel pattern is not excited in this frame;
+//! * **observability** — a fault whose cone reaches no observation
+//!   point is structurally undetectable;
+//! * **fault dropping** — once detected, a fault's remaining frames
+//!   are skipped (detection is monotone in the frame set).
+//!
+//! With `threads > 1` the fault universe is sharded contiguously
+//! across `std::thread::scope` workers. Shards are disjoint and each
+//! fault's verdict depends only on the shared good-machine trace, so
+//! the merged result is bit-identical to the serial one regardless of
+//! scheduling — the default options keep the engine serial anyway.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use crate::fault::Fault;
-use crate::net::Netlist;
-use crate::sim::{eval_comb, next_state, output_values, ForcedNet};
+use crate::net::{GateId, GateKind, NetId, Netlist};
+use crate::sim::{eval_comb, next_state, ForcedNet};
+use crate::stats::GradeStats;
 
 /// One combinational test frame: a word (64 parallel patterns) per
 /// primary input, and per flip-flop when the circuit is graded in
@@ -45,8 +71,63 @@ impl FaultSimSummary {
     }
 }
 
+/// Options for the grading engine. The default — one thread, fault
+/// dropping on — reproduces the historical serial behavior and results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker threads for the faulty-machine phase; `1` grades in place
+    /// without spawning.
+    pub threads: usize,
+    /// Skip a fault's remaining frames (combinational) or cycles
+    /// (sequential) once it is detected. Detection is monotone, so this
+    /// changes only the work done, never the detected set.
+    pub drop_detected: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 1,
+            drop_detected: true,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// The serial engine (the default).
+    pub fn serial() -> Self {
+        ParallelOptions::default()
+    }
+
+    /// An `n`-thread engine with fault dropping.
+    pub fn with_threads(n: usize) -> Self {
+        ParallelOptions {
+            threads: n.max(1),
+            ..ParallelOptions::default()
+        }
+    }
+}
+
 fn forced(fault: Fault) -> ForcedNet {
-    ForcedNet { net: fault.net, value: fault.stuck_at_one }
+    ForcedNet {
+        net: fault.net,
+        value: fault.stuck_at_one,
+    }
+}
+
+/// The default observation set: primary outputs plus every scannable
+/// flip-flop's data input (the response that would be shifted out).
+fn scan_observed(nl: &Netlist) -> Vec<NetId> {
+    let scan_obs: Vec<NetId> = nl
+        .scan_flops()
+        .iter()
+        .map(|&f| nl.gate(f).inputs[0])
+        .collect();
+    nl.outputs()
+        .iter()
+        .map(|(_, n)| *n)
+        .chain(scan_obs)
+        .collect()
 }
 
 /// Grades `faults` against combinational/full-scan frames.
@@ -56,18 +137,17 @@ fn forced(fault: Fault) -> ForcedNet {
 /// response that would be shifted out); controllability comes from the
 /// frame's `ff` words standing in for scan-in.
 pub fn comb_fault_sim(nl: &Netlist, faults: &[Fault], frames: &[TestFrame]) -> FaultSimSummary {
-    let scan_obs: Vec<crate::net::NetId> = nl
-        .scan_flops()
-        .iter()
-        .map(|&f| nl.gate(f).inputs[0])
-        .collect();
-    let observed: Vec<crate::net::NetId> = nl
-        .outputs()
-        .iter()
-        .map(|(_, n)| *n)
-        .chain(scan_obs)
-        .collect();
-    comb_fault_sim_observed(nl, faults, frames, &observed)
+    comb_fault_sim_opts(nl, faults, frames, &ParallelOptions::default()).0
+}
+
+/// [`comb_fault_sim`] with engine options and run instrumentation.
+pub fn comb_fault_sim_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    frames: &[TestFrame],
+    opts: &ParallelOptions,
+) -> (FaultSimSummary, GradeStats) {
+    comb_fault_sim_observed_opts(nl, faults, frames, &scan_observed(nl), opts)
 }
 
 /// Grades `faults` with an explicit observation set — the primitive
@@ -77,74 +157,330 @@ pub fn comb_fault_sim_observed(
     nl: &Netlist,
     faults: &[Fault],
     frames: &[TestFrame],
-    observed: &[crate::net::NetId],
+    observed: &[NetId],
 ) -> FaultSimSummary {
-    let scan_obs: Vec<usize> = observed.iter().map(|n| n.index()).collect();
+    comb_fault_sim_observed_opts(nl, faults, frames, observed, &ParallelOptions::default()).0
+}
+
+/// [`comb_fault_sim_observed`] with engine options and run
+/// instrumentation.
+pub fn comb_fault_sim_observed_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    frames: &[TestFrame],
+    observed: &[NetId],
+    opts: &ParallelOptions,
+) -> (FaultSimSummary, GradeStats) {
+    // Good-machine phase: one reference evaluation per frame, plus the
+    // engine's structural tables (fanout, topo positions, observation
+    // marks). All of it is shared read-only by the workers.
+    let good_start = Instant::now();
+    let goods: Vec<Vec<u64>> = frames
+        .iter()
+        .map(|frame| {
+            let ff = if frame.ff.is_empty() && !nl.dffs().is_empty() {
+                vec![0u64; nl.dffs().len()]
+            } else {
+                frame.ff.clone()
+            };
+            eval_comb(nl, &frame.pi, &ff, None)
+        })
+        .collect();
+    let engine = ConeEngine::new(nl, observed);
+    let wall_good = good_start.elapsed();
+
+    let fault_start = Instant::now();
+    let threads = opts.threads.max(1).min(faults.len().max(1));
+    let drop_detected = opts.drop_detected;
+    let (detected, mut stats) = if threads == 1 {
+        grade_comb_shard(nl, &engine, &goods, faults, drop_detected)
+    } else {
+        let chunk = faults.len().div_ceil(threads);
+        let mut merged = BTreeSet::new();
+        let mut counts = GradeStats::default();
+        std::thread::scope(|scope| {
+            let engine = &engine;
+            let goods = &goods;
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || grade_comb_shard(nl, engine, goods, shard, drop_detected))
+                })
+                .collect();
+            for handle in handles {
+                let (shard_detected, shard_counts) =
+                    handle.join().expect("grading worker panicked");
+                merged.extend(shard_detected);
+                counts.merge_counts(&shard_counts);
+            }
+        });
+        (merged, counts)
+    };
+    stats.faults = faults.len();
+    stats.frames = frames.len();
+    stats.threads = threads;
+    stats.wall_good = wall_good;
+    stats.wall_fault = fault_start.elapsed();
+    (
+        FaultSimSummary {
+            detected,
+            total: faults.len(),
+        },
+        stats,
+    )
+}
+
+/// Grades one contiguous fault shard against the shared good trace.
+fn grade_comb_shard(
+    nl: &Netlist,
+    engine: &ConeEngine,
+    goods: &[Vec<u64>],
+    shard: &[Fault],
+    drop_detected: bool,
+) -> (BTreeSet<Fault>, GradeStats) {
     let mut detected = BTreeSet::new();
-    for frame in frames {
-        let ff = if frame.ff.is_empty() && !nl.dffs().is_empty() {
-            vec![0u64; nl.dffs().len()]
-        } else {
-            frame.ff.clone()
-        };
-        let good = eval_comb(nl, &frame.pi, &ff, None);
-        let good_obs: Vec<u64> = scan_obs.iter().map(|&i| good[i]).collect();
-        for &fault in faults {
-            if detected.contains(&fault) {
-                continue;
+    let mut stats = GradeStats::default();
+    let mut scratch = Scratch::new(nl.num_gates());
+    // Both polarities of a net share its cone; universes list them
+    // adjacently, so caching the last cone removes half the builds.
+    let mut cached: Option<(NetId, Cone)> = None;
+    for &fault in shard {
+        if cached.as_ref().map(|(n, _)| *n) != Some(fault.net) {
+            cached = Some((fault.net, engine.cone(fault.net, &mut scratch)));
+        }
+        let cone = &cached.as_ref().expect("cone cached above").1;
+        if cone.obs.is_empty() {
+            stats.unobservable += 1;
+            continue;
+        }
+        let stuck = if fault.stuck_at_one { u64::MAX } else { 0 };
+        let mut hit = false;
+        for (fi, good) in goods.iter().enumerate() {
+            if hit && drop_detected {
+                stats.dropped += (goods.len() - fi) as u64;
+                break;
             }
             // Activation screen: if the good value already equals the
             // stuck value on every pattern, the fault is not excited.
             let gv = good[fault.net.index()];
-            let excited = if fault.stuck_at_one { gv != u64::MAX } else { gv != 0 };
+            let excited = if fault.stuck_at_one {
+                gv != u64::MAX
+            } else {
+                gv != 0
+            };
             if !excited {
+                stats.screened += 1;
                 continue;
             }
-            let bad = eval_comb(nl, &frame.pi, &ff, Some(forced(fault)));
-            let differs = scan_obs
-                .iter()
-                .map(|&i| bad[i])
-                .zip(&good_obs)
-                .any(|(b, &g)| b != g);
-            if differs {
-                detected.insert(fault);
+            stats.fault_evals += 1;
+            if engine.cone_differs(nl, cone, good, stuck, &mut scratch) {
+                hit = true;
             }
         }
+        if hit {
+            detected.insert(fault);
+        }
     }
-    FaultSimSummary { detected, total: faults.len() }
+    (detected, stats)
+}
+
+/// Structural tables shared by all grading workers.
+struct ConeEngine {
+    /// Net index → combinational gates reading it.
+    fanout: Vec<Vec<u32>>,
+    /// Gate index → position in topological order.
+    topo_pos: Vec<u32>,
+    /// Net index → is an observation point.
+    obs_mark: Vec<bool>,
+}
+
+/// The combinational fanout cone of one fault site.
+struct Cone {
+    /// The faulty net's index.
+    source: usize,
+    /// Downstream combinational gates, topologically sorted.
+    members: Vec<u32>,
+    /// Observation points among `{source} ∪ members`.
+    obs: Vec<u32>,
+}
+
+/// Per-worker reusable buffers: an epoch-stamped value overlay for the
+/// faulty machine (nets outside the stamp read through to the good
+/// values) and a visited stamp for cone construction.
+struct Scratch {
+    val: Vec<u64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    visited: Vec<u64>,
+    visit_epoch: u64,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            val: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            visited: vec![0; n],
+            visit_epoch: 0,
+        }
+    }
+}
+
+impl ConeEngine {
+    fn new(nl: &Netlist, observed: &[NetId]) -> Self {
+        let n = nl.num_gates();
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (gid, gate) in nl.gates() {
+            // Flip-flops break combinational propagation within a
+            // frame; inputs/consts have no operands.
+            if matches!(
+                gate.kind,
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+            ) {
+                continue;
+            }
+            for input in &gate.inputs {
+                fanout[input.index()].push(gid.0);
+            }
+        }
+        let mut topo_pos = vec![0u32; n];
+        for (pos, gid) in nl.topo().iter().enumerate() {
+            topo_pos[gid.index()] = pos as u32;
+        }
+        let mut obs_mark = vec![false; n];
+        for net in observed {
+            obs_mark[net.index()] = true;
+        }
+        ConeEngine {
+            fanout,
+            topo_pos,
+            obs_mark,
+        }
+    }
+
+    fn cone(&self, net: NetId, scratch: &mut Scratch) -> Cone {
+        scratch.visit_epoch += 1;
+        let epoch = scratch.visit_epoch;
+        let source = net.index();
+        scratch.visited[source] = epoch;
+        let mut stack = vec![source];
+        let mut members: Vec<u32> = Vec::new();
+        while let Some(n) = stack.pop() {
+            for &g in &self.fanout[n] {
+                if scratch.visited[g as usize] != epoch {
+                    scratch.visited[g as usize] = epoch;
+                    members.push(g);
+                    stack.push(g as usize);
+                }
+            }
+        }
+        members.sort_unstable_by_key(|&g| self.topo_pos[g as usize]);
+        let mut obs: Vec<u32> = Vec::new();
+        if self.obs_mark[source] {
+            obs.push(source as u32);
+        }
+        obs.extend(
+            members
+                .iter()
+                .copied()
+                .filter(|&g| self.obs_mark[g as usize]),
+        );
+        Cone {
+            source,
+            members,
+            obs,
+        }
+    }
+
+    /// Evaluates the faulty machine on one frame, restricted to the
+    /// cone, and reports whether any observation point differs from the
+    /// good machine. Bit-identical to a full `eval_comb` with the fault
+    /// forced: nets outside the cone cannot change, so they read
+    /// through to `good`.
+    fn cone_differs(
+        &self,
+        nl: &Netlist,
+        cone: &Cone,
+        good: &[u64],
+        stuck: u64,
+        scratch: &mut Scratch,
+    ) -> bool {
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.stamp[cone.source] = epoch;
+        scratch.val[cone.source] = stuck;
+        #[inline]
+        fn rd(scratch: &Scratch, good: &[u64], epoch: u64, i: usize) -> u64 {
+            if scratch.stamp[i] == epoch {
+                scratch.val[i]
+            } else {
+                good[i]
+            }
+        }
+        for &g in &cone.members {
+            let gate = nl.gate(GateId(g));
+            let ins = &gate.inputs;
+            let v = match gate.kind {
+                GateKind::Buf => rd(scratch, good, epoch, ins[0].index()),
+                GateKind::Not => !rd(scratch, good, epoch, ins[0].index()),
+                GateKind::And => {
+                    rd(scratch, good, epoch, ins[0].index())
+                        & rd(scratch, good, epoch, ins[1].index())
+                }
+                GateKind::Or => {
+                    rd(scratch, good, epoch, ins[0].index())
+                        | rd(scratch, good, epoch, ins[1].index())
+                }
+                GateKind::Nand => {
+                    !(rd(scratch, good, epoch, ins[0].index())
+                        & rd(scratch, good, epoch, ins[1].index()))
+                }
+                GateKind::Nor => {
+                    !(rd(scratch, good, epoch, ins[0].index())
+                        | rd(scratch, good, epoch, ins[1].index()))
+                }
+                GateKind::Xor => {
+                    rd(scratch, good, epoch, ins[0].index())
+                        ^ rd(scratch, good, epoch, ins[1].index())
+                }
+                GateKind::Xnor => {
+                    !(rd(scratch, good, epoch, ins[0].index())
+                        ^ rd(scratch, good, epoch, ins[1].index()))
+                }
+                GateKind::Mux => {
+                    let s = rd(scratch, good, epoch, ins[0].index());
+                    (s & rd(scratch, good, epoch, ins[1].index()))
+                        | (!s & rd(scratch, good, epoch, ins[2].index()))
+                }
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. } => continue,
+            };
+            let i = g as usize;
+            scratch.stamp[i] = epoch;
+            scratch.val[i] = v;
+        }
+        cone.obs
+            .iter()
+            .any(|&o| rd(scratch, good, epoch, o as usize) != good[o as usize])
+    }
 }
 
 /// Grades `faults` against an input sequence (64 parallel sequences per
 /// word). Detection = any primary output differs in any cycle.
-pub fn seq_fault_sim(
+pub fn seq_fault_sim(nl: &Netlist, faults: &[Fault], vectors: &[Vec<u64>]) -> FaultSimSummary {
+    seq_fault_sim_opts(nl, faults, vectors, &ParallelOptions::default()).0
+}
+
+/// [`seq_fault_sim`] with engine options and run instrumentation.
+pub fn seq_fault_sim_opts(
     nl: &Netlist,
     faults: &[Fault],
     vectors: &[Vec<u64>],
-) -> FaultSimSummary {
-    // Good-machine trace.
-    let mut good_outs = Vec::with_capacity(vectors.len());
-    let mut ff = vec![0u64; nl.dffs().len()];
-    for v in vectors {
-        let values = eval_comb(nl, v, &ff, None);
-        good_outs.push(output_values(nl, &values));
-        ff = next_state(nl, &values);
-    }
-    let mut detected = BTreeSet::new();
-    for &fault in faults {
-        let mut ff = vec![0u64; nl.dffs().len()];
-        pin_state(nl, fault, &mut ff);
-        'run: for (t, v) in vectors.iter().enumerate() {
-            let values = eval_comb(nl, v, &ff, Some(forced(fault)));
-            let outs = output_values(nl, &values);
-            if outs != good_outs[t] {
-                detected.insert(fault);
-                break 'run;
-            }
-            ff = next_state(nl, &values);
-            pin_state(nl, fault, &mut ff);
-        }
-    }
-    FaultSimSummary { detected, total: faults.len() }
+    opts: &ParallelOptions,
+) -> (FaultSimSummary, GradeStats) {
+    let observed: Vec<NetId> = nl.outputs().iter().map(|(_, n)| *n).collect();
+    let initial = vec![0u64; nl.dffs().len()];
+    seq_fault_sim_observed_opts(nl, faults, vectors, &initial, &observed, opts)
 }
 
 /// Sequence-based grading with an explicit observation set and initial
@@ -155,8 +491,34 @@ pub fn seq_fault_sim_observed(
     faults: &[Fault],
     vectors: &[Vec<u64>],
     initial: &[u64],
-    observed: &[crate::net::NetId],
+    observed: &[NetId],
 ) -> FaultSimSummary {
+    seq_fault_sim_observed_opts(
+        nl,
+        faults,
+        vectors,
+        initial,
+        observed,
+        &ParallelOptions::default(),
+    )
+    .0
+}
+
+/// [`seq_fault_sim_observed`] with engine options and run
+/// instrumentation.
+///
+/// The faulty machine replays the whole sequence per fault (state
+/// feedback defeats per-frame cone restriction), but the fault universe
+/// shards across threads exactly like the combinational engine.
+pub fn seq_fault_sim_observed_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    vectors: &[Vec<u64>],
+    initial: &[u64],
+    observed: &[NetId],
+    opts: &ParallelOptions,
+) -> (FaultSimSummary, GradeStats) {
+    let good_start = Instant::now();
     let obs: Vec<usize> = observed.iter().map(|n| n.index()).collect();
     let mut good_trace = Vec::with_capacity(vectors.len());
     let mut ff = initial.to_vec();
@@ -165,22 +527,76 @@ pub fn seq_fault_sim_observed(
         good_trace.push(obs.iter().map(|&i| values[i]).collect::<Vec<u64>>());
         ff = next_state(nl, &values);
     }
-    let mut detected = BTreeSet::new();
-    for &fault in faults {
-        let mut ff = initial.to_vec();
-        pin_state(nl, fault, &mut ff);
-        'run: for (t, v) in vectors.iter().enumerate() {
-            let values = eval_comb(nl, v, &ff, Some(forced(fault)));
-            let bad: Vec<u64> = obs.iter().map(|&i| values[i]).collect();
-            if bad != good_trace[t] {
-                detected.insert(fault);
-                break 'run;
-            }
-            ff = next_state(nl, &values);
+    let wall_good = good_start.elapsed();
+
+    let fault_start = Instant::now();
+    let threads = opts.threads.max(1).min(faults.len().max(1));
+    let drop_detected = opts.drop_detected;
+    let run_shard = |shard: &[Fault]| -> (BTreeSet<Fault>, GradeStats) {
+        let mut detected = BTreeSet::new();
+        let mut stats = GradeStats::default();
+        for &fault in shard {
+            let mut ff = initial.to_vec();
             pin_state(nl, fault, &mut ff);
+            let mut hit = false;
+            for (t, v) in vectors.iter().enumerate() {
+                if hit && drop_detected {
+                    stats.dropped += (vectors.len() - t) as u64;
+                    break;
+                }
+                stats.fault_evals += 1;
+                let values = eval_comb(nl, v, &ff, Some(forced(fault)));
+                if !hit {
+                    let differs = obs
+                        .iter()
+                        .zip(&good_trace[t])
+                        .any(|(&i, &g)| values[i] != g);
+                    if differs {
+                        hit = true;
+                    }
+                }
+                ff = next_state(nl, &values);
+                pin_state(nl, fault, &mut ff);
+            }
+            if hit {
+                detected.insert(fault);
+            }
         }
-    }
-    FaultSimSummary { detected, total: faults.len() }
+        (detected, stats)
+    };
+    let (detected, mut stats) = if threads == 1 {
+        run_shard(faults)
+    } else {
+        let chunk = faults.len().div_ceil(threads);
+        let mut merged = BTreeSet::new();
+        let mut counts = GradeStats::default();
+        std::thread::scope(|scope| {
+            let run_shard = &run_shard;
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || run_shard(shard)))
+                .collect();
+            for handle in handles {
+                let (shard_detected, shard_counts) =
+                    handle.join().expect("grading worker panicked");
+                merged.extend(shard_detected);
+                counts.merge_counts(&shard_counts);
+            }
+        });
+        (merged, counts)
+    };
+    stats.faults = faults.len();
+    stats.frames = vectors.len();
+    stats.threads = threads;
+    stats.wall_good = wall_good;
+    stats.wall_fault = fault_start.elapsed();
+    (
+        FaultSimSummary {
+            detected,
+            total: faults.len(),
+        },
+        stats,
+    )
 }
 
 /// A stuck flip-flop output keeps its sampled state pinned as well.
@@ -216,9 +632,9 @@ mod tests {
         // 8 patterns packed into one frame.
         let mut pi = vec![0u64; 3];
         for k in 0..8u64 {
-            for i in 0..3 {
+            for (i, word) in pi.iter_mut().enumerate() {
                 if k >> i & 1 == 1 {
-                    pi[i] |= 1 << k;
+                    *word |= 1 << k;
                 }
             }
         }
@@ -276,8 +692,14 @@ mod tests {
         let nl = b.finish().unwrap();
         let faults = vec![Fault::sa0(n), Fault::sa1(n)];
         let frames = [
-            TestFrame { pi: vec![0], ff: vec![0] },
-            TestFrame { pi: vec![u64::MAX], ff: vec![0] },
+            TestFrame {
+                pi: vec![0],
+                ff: vec![0],
+            },
+            TestFrame {
+                pi: vec![u64::MAX],
+                ff: vec![0],
+            },
         ];
         let r = comb_fault_sim(&nl, &faults, &frames);
         assert_eq!(r.detected.len(), 2);
@@ -296,5 +718,117 @@ mod tests {
         let vectors = vec![vec![0u64], vec![0u64]];
         let r = seq_fault_sim(&nl, &faults, &vectors);
         assert_eq!(r.detected.len(), 1);
+    }
+
+    /// A multi-level circuit with reconvergence, flops, and a mux, used
+    /// to cross-check the cone engine against every option combination.
+    fn mixed_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.inputs("a", 3);
+        let c = b.inputs("b", 3);
+        let (s, co) = b.ripple_add(&a, &c);
+        let n = b.not(s[0]);
+        let m = b.gate(GateKind::Mux, &[co, n, s[1]]);
+        let q = b.register(&[m, s[2]], None, true);
+        b.output("o", q[0]);
+        b.output("p", m);
+        b.finish().unwrap()
+    }
+
+    fn some_frames() -> Vec<TestFrame> {
+        (0..4u64)
+            .map(|k| TestFrame {
+                pi: (0..6)
+                    .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left((k * 7 + i) as u32))
+                    .collect(),
+                ff: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_options_never_change_the_result() {
+        let nl = mixed_circuit();
+        let faults = all_faults(&nl);
+        let frames = some_frames();
+        let baseline = comb_fault_sim(&nl, &faults, &frames);
+        for threads in [1, 2, 4] {
+            for drop_detected in [false, true] {
+                let opts = ParallelOptions {
+                    threads,
+                    drop_detected,
+                };
+                let (r, stats) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
+                assert_eq!(r, baseline, "threads={threads} drop={drop_detected}");
+                assert_eq!(stats.faults, faults.len());
+                assert_eq!(stats.frames, frames.len());
+            }
+        }
+    }
+
+    #[test]
+    fn seq_engine_options_never_change_the_result() {
+        let nl = mixed_circuit();
+        let faults = all_faults(&nl);
+        let vectors: Vec<Vec<u64>> = (0..5u64)
+            .map(|k| {
+                (0..6)
+                    .map(|i| (k * 6 + i).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                    .collect()
+            })
+            .collect();
+        let baseline = seq_fault_sim(&nl, &faults, &vectors);
+        for threads in [1, 3] {
+            let opts = ParallelOptions {
+                threads,
+                drop_detected: true,
+            };
+            let (r, _) = seq_fault_sim_opts(&nl, &faults, &vectors, &opts);
+            assert_eq!(r, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dropping_skips_work_but_not_detections() {
+        let nl = mixed_circuit();
+        let faults = all_faults(&nl);
+        let frames = some_frames();
+        let (kept, s_keep) = comb_fault_sim_opts(
+            &nl,
+            &faults,
+            &frames,
+            &ParallelOptions {
+                threads: 1,
+                drop_detected: false,
+            },
+        );
+        let (dropped, s_drop) =
+            comb_fault_sim_opts(&nl, &faults, &frames, &ParallelOptions::default());
+        assert_eq!(kept, dropped);
+        assert!(s_drop.dropped > 0, "some fault should be dropped: {s_drop}");
+        assert!(
+            s_drop.fault_evals < s_keep.fault_evals,
+            "dropping must save evaluations ({} vs {})",
+            s_drop.fault_evals,
+            s_keep.fault_evals
+        );
+    }
+
+    #[test]
+    fn stats_account_for_every_fault_frame_pair() {
+        let nl = mixed_circuit();
+        let faults = all_faults(&nl);
+        let frames = some_frames();
+        let (_, s) = comb_fault_sim_opts(
+            &nl,
+            &faults,
+            &frames,
+            &ParallelOptions {
+                threads: 1,
+                drop_detected: true,
+            },
+        );
+        let pairs = (s.faults as u64 - s.unobservable) * s.frames as u64;
+        assert_eq!(s.fault_evals + s.screened + s.dropped, pairs);
     }
 }

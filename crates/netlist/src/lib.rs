@@ -60,7 +60,10 @@ pub mod random;
 pub mod scanchain;
 pub mod seq;
 pub mod sim;
+pub mod stats;
 pub mod verilog;
 
 pub use fault::Fault;
+pub use fsim::ParallelOptions;
 pub use net::{GateId, GateKind, NetId, Netlist, NetlistBuilder, NetlistError};
+pub use stats::GradeStats;

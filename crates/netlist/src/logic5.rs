@@ -5,10 +5,8 @@
 //! keeps the calculus sound (a found test is a real test) at the price of
 //! possibly exploring more decisions.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the five composite values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum V5 {
     /// 0 in both machines.
     Zero,
@@ -68,6 +66,7 @@ impl V5 {
     }
 
     /// Logical complement.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> V5 {
         match self {
             V5::Zero => V5::One,
@@ -80,17 +79,26 @@ impl V5 {
 
     /// 5-valued AND.
     pub fn and(self, other: V5) -> V5 {
-        V5::from_pair(and3(self.good(), other.good()), and3(self.faulty(), other.faulty()))
+        V5::from_pair(
+            and3(self.good(), other.good()),
+            and3(self.faulty(), other.faulty()),
+        )
     }
 
     /// 5-valued OR.
     pub fn or(self, other: V5) -> V5 {
-        V5::from_pair(or3(self.good(), other.good()), or3(self.faulty(), other.faulty()))
+        V5::from_pair(
+            or3(self.good(), other.good()),
+            or3(self.faulty(), other.faulty()),
+        )
     }
 
     /// 5-valued XOR.
     pub fn xor(self, other: V5) -> V5 {
-        V5::from_pair(xor3(self.good(), other.good()), xor3(self.faulty(), other.faulty()))
+        V5::from_pair(
+            xor3(self.good(), other.good()),
+            xor3(self.faulty(), other.faulty()),
+        )
     }
 
     /// 5-valued 2:1 mux (`sel ? a : b`).

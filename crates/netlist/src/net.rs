@@ -11,14 +11,12 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a net — equal to the id of the gate driving it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
 
 /// Identifier of a gate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GateId(pub u32);
 
 impl NetId {
@@ -57,7 +55,7 @@ impl fmt::Display for GateId {
 
 /// Gate kinds. `Mux` has operands `[sel, a, b]` and computes
 /// `sel ? a : b`; `Dff` has operand `[d]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GateKind {
     /// Primary input (no operands).
     Input,
@@ -120,7 +118,7 @@ impl GateKind {
 }
 
 /// A gate instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gate {
     /// The kind.
     pub kind: GateKind,
@@ -160,7 +158,11 @@ pub enum NetlistError {
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NetlistError::Arity { gate, expected, found } => {
+            NetlistError::Arity {
+                gate,
+                expected,
+                found,
+            } => {
                 write!(f, "{gate} expects {expected} operands, found {found}")
             }
             NetlistError::CombinationalCycle { gate } => {
@@ -175,7 +177,7 @@ impl fmt::Display for NetlistError {
 impl Error for NetlistError {}
 
 /// A validated gate-level netlist.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Netlist {
     name: String,
     gates: Vec<Gate>,
@@ -209,7 +211,10 @@ impl Netlist {
 
     /// Iterates all gates in id order.
     pub fn gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
-        self.gates.iter().enumerate().map(|(i, g)| (GateId(i as u32), g))
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
     }
 
     /// Primary input nets in declaration order.
@@ -328,7 +333,9 @@ impl NetlistBuilder {
     /// Adds a `width`-bit primary input bus named `name[0..width)`,
     /// least significant bit first.
     pub fn inputs(&mut self, name: &str, width: u32) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// The constant-0 net (shared).
@@ -354,7 +361,13 @@ impl NetlistBuilder {
     /// A `width`-bit constant bus, LSB first.
     pub fn constant(&mut self, value: u64, width: u32) -> Vec<NetId> {
         (0..width)
-            .map(|i| if value >> i & 1 == 1 { self.one() } else { self.zero() })
+            .map(|i| {
+                if value >> i & 1 == 1 {
+                    self.one()
+                } else {
+                    self.zero()
+                }
+            })
             .collect()
     }
 
@@ -376,12 +389,7 @@ impl NetlistBuilder {
     /// # Panics
     ///
     /// Panics if the operand count does not match the kind's arity.
-    pub fn push_gate(
-        &mut self,
-        kind: GateKind,
-        inputs: &[NetId],
-        name: Option<String>,
-    ) -> NetId {
+    pub fn push_gate(&mut self, kind: GateKind, inputs: &[NetId], name: Option<String>) -> NetId {
         assert_eq!(inputs.len(), kind.arity(), "{kind:?} arity mismatch");
         self.push(kind, inputs.to_vec(), name)
     }
@@ -418,7 +426,10 @@ impl NetlistBuilder {
     /// Panics if the buses have different widths.
     pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
         assert_eq!(a.len(), b.len(), "mux operand width mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.mux2(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux2(sel, x, y))
+            .collect()
     }
 
     /// N-way word mux with binary select `sel_bits` (LSB first):
@@ -587,9 +598,9 @@ impl NetlistBuilder {
             // Add the shifted row into acc[i..w), dropping the final
             // carry (truncated product).
             let mut carry: Option<NetId> = None;
-            for j in 0..w - i {
+            for (j, &aj) in a.iter().enumerate().take(w - i) {
                 let pos = i + j;
-                let r = self.and2(a[j], bi);
+                let r = self.and2(aj, bi);
                 let last = pos == w - 1;
                 match carry.take() {
                     None => {
@@ -621,7 +632,10 @@ impl NetlistBuilder {
     pub fn bitwise(&mut self, kind: GateKind, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
         assert_eq!(a.len(), b.len());
         assert_eq!(kind.arity(), 2);
-        a.iter().zip(b).map(|(&x, &y)| self.gate(kind, &[x, y])).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.gate(kind, &[x, y]))
+            .collect()
     }
 
     /// Equality comparator: 1 iff `a == b`.
@@ -657,7 +671,11 @@ impl NetlistBuilder {
         let zero = self.zero();
         (0..w)
             .map(|i| {
-                let src = if left { i.checked_sub(amount) } else { i.checked_add(amount) };
+                let src = if left {
+                    i.checked_sub(amount)
+                } else {
+                    i.checked_add(amount)
+                };
                 match src {
                     Some(j) if j < w => a[j],
                     _ => zero,
@@ -738,7 +756,10 @@ impl NetlistBuilder {
         let mut indeg = vec![0usize; n];
         let mut fan: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, g) in self.gates.iter().enumerate() {
-            if matches!(g.kind, GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }) {
+            if matches!(
+                g.kind,
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+            ) {
                 continue;
             }
             for &inp in &g.inputs {
@@ -778,7 +799,10 @@ impl NetlistBuilder {
             .gates
             .iter()
             .filter(|g| {
-                !matches!(g.kind, GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. })
+                !matches!(
+                    g.kind,
+                    GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+                )
             })
             .count();
         if topo.len() != comb_count {
@@ -791,7 +815,9 @@ impl NetlistBuilder {
                         )
                 })
                 .expect("some gate is on the cycle");
-            return Err(NetlistError::CombinationalCycle { gate: GateId(stuck as u32) });
+            return Err(NetlistError::CombinationalCycle {
+                gate: GateId(stuck as u32),
+            });
         }
         Ok(Netlist {
             name: self.name,
@@ -803,6 +829,45 @@ impl NetlistBuilder {
             topo,
         })
     }
+}
+
+/// Generates a seeded random combinational netlist: `inputs` primary
+/// inputs, `gates` random two-input gates over earlier nets, the last
+/// few nets exported as outputs. Used by the property-based tests that
+/// cross-validate ATPG against fault simulation.
+pub fn random_combinational<R: rand::Rng>(
+    inputs: usize,
+    gates: usize,
+    outputs: usize,
+    rng: &mut R,
+) -> Netlist {
+    assert!(inputs > 0 && gates > 0 && outputs > 0);
+    let mut b = NetlistBuilder::new("rand");
+    let mut nets: Vec<NetId> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
+    const KINDS: [GateKind; 7] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+    ];
+    for _ in 0..gates {
+        let kind = KINDS[rng.gen_range(0..KINDS.len())];
+        let a = nets[rng.gen_range(0..nets.len())];
+        let out = if kind.arity() == 1 {
+            b.gate(kind, &[a])
+        } else {
+            let c = nets[rng.gen_range(0..nets.len())];
+            b.gate(kind, &[a, c])
+        };
+        nets.push(out);
+    }
+    for (k, &net) in nets.iter().rev().take(outputs).enumerate() {
+        b.output(format!("o{k}"), net);
+    }
+    b.finish().expect("random combinational netlists are valid")
 }
 
 #[cfg(test)]
@@ -849,7 +914,10 @@ mod tests {
         let g0 = b.gate(GateKind::And, &[x, g1]);
         let _g1_real = b.gate(GateKind::Not, &[g0]);
         b.output("o", g0);
-        assert!(matches!(b.finish(), Err(NetlistError::CombinationalCycle { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
     }
 
     #[test]
@@ -871,7 +939,10 @@ mod tests {
         let x = b.input("x");
         b.output("o", x);
         b.output("o", x);
-        assert!(matches!(b.finish(), Err(NetlistError::DuplicateOutput { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateOutput { .. })
+        ));
     }
 
     #[test]
@@ -894,43 +965,4 @@ mod tests {
         assert_eq!(z1, z2);
         assert_eq!(o1, o2);
     }
-}
-
-/// Generates a seeded random combinational netlist: `inputs` primary
-/// inputs, `gates` random two-input gates over earlier nets, the last
-/// few nets exported as outputs. Used by the property-based tests that
-/// cross-validate ATPG against fault simulation.
-pub fn random_combinational<R: rand::Rng>(
-    inputs: usize,
-    gates: usize,
-    outputs: usize,
-    rng: &mut R,
-) -> Netlist {
-    assert!(inputs > 0 && gates > 0 && outputs > 0);
-    let mut b = NetlistBuilder::new("rand");
-    let mut nets: Vec<NetId> = (0..inputs).map(|i| b.input(format!("i{i}"))).collect();
-    const KINDS: [GateKind; 7] = [
-        GateKind::And,
-        GateKind::Or,
-        GateKind::Nand,
-        GateKind::Nor,
-        GateKind::Xor,
-        GateKind::Xnor,
-        GateKind::Not,
-    ];
-    for _ in 0..gates {
-        let kind = KINDS[rng.gen_range(0..KINDS.len())];
-        let a = nets[rng.gen_range(0..nets.len())];
-        let out = if kind.arity() == 1 {
-            b.gate(kind, &[a])
-        } else {
-            let c = nets[rng.gen_range(0..nets.len())];
-            b.gate(kind, &[a, c])
-        };
-        nets.push(out);
-    }
-    for (k, &net) in nets.iter().rev().take(outputs).enumerate() {
-        b.output(format!("o{k}"), net);
-    }
-    b.finish().expect("random combinational netlists are valid")
 }

@@ -9,8 +9,9 @@
 use rand::Rng;
 
 use crate::fault::Fault;
-use crate::fsim::{comb_fault_sim, FaultSimSummary, TestFrame};
+use crate::fsim::{comb_fault_sim_opts, FaultSimSummary, ParallelOptions, TestFrame};
 use crate::net::Netlist;
+use crate::stats::GradeStats;
 
 /// A point on a coverage curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +35,10 @@ impl RandomRun {
     /// The number of patterns needed to reach `target` percent coverage,
     /// if the run got there.
     pub fn patterns_to_reach(&self, target: f64) -> Option<usize> {
-        self.curve.iter().find(|p| p.coverage_percent >= target).map(|p| p.patterns)
+        self.curve
+            .iter()
+            .find(|p| p.coverage_percent >= target)
+            .map(|p| p.patterns)
     }
 }
 
@@ -46,32 +50,61 @@ pub fn random_pattern_run<R: Rng>(
     max_patterns: usize,
     rng: &mut R,
 ) -> RandomRun {
+    random_pattern_run_opts(nl, faults, max_patterns, rng, &ParallelOptions::default()).0
+}
+
+/// [`random_pattern_run`] with engine options and aggregated run
+/// instrumentation. The batch loop already drops detected faults from
+/// the graded universe between batches; `opts` additionally controls
+/// sharding and in-batch dropping.
+pub fn random_pattern_run_opts<R: Rng>(
+    nl: &Netlist,
+    faults: &[Fault],
+    max_patterns: usize,
+    rng: &mut R,
+    opts: &ParallelOptions,
+) -> (RandomRun, GradeStats) {
     let batches = max_patterns.div_ceil(64).max(1);
     let mut detected = std::collections::BTreeSet::new();
     let mut curve = Vec::with_capacity(batches);
     let mut remaining: Vec<Fault> = faults.to_vec();
+    let mut stats = GradeStats::default();
     for bi in 0..batches {
         let frame = TestFrame {
             pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
             ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
         };
-        let r = comb_fault_sim(nl, &remaining, std::slice::from_ref(&frame));
+        let (r, s) = comb_fault_sim_opts(nl, &remaining, std::slice::from_ref(&frame), opts);
+        stats.absorb(&s);
         for f in r.detected {
             detected.insert(f);
         }
         remaining.retain(|f| !detected.contains(f));
+        // The final batch is padded to a full 64-pattern word; label the
+        // point with the patterns actually requested, not the padding.
+        // A zero request still grades one whole word and says so.
+        let applied = if max_patterns == 0 {
+            64
+        } else {
+            ((bi + 1) * 64).min(max_patterns)
+        };
         curve.push(CoveragePoint {
-            patterns: (bi + 1) * 64,
+            patterns: applied,
             coverage_percent: 100.0 * detected.len() as f64 / faults.len().max(1) as f64,
         });
         if remaining.is_empty() {
             break;
         }
     }
-    RandomRun {
+    stats.faults = faults.len();
+    let run = RandomRun {
         curve,
-        summary: FaultSimSummary { detected, total: faults.len() },
-    }
+        summary: FaultSimSummary {
+            detected,
+            total: faults.len(),
+        },
+    };
+    (run, stats)
 }
 
 /// Grades a caller-supplied pattern source (e.g. an arithmetic/
@@ -81,12 +114,32 @@ pub fn pattern_source_run(
     nl: &Netlist,
     faults: &[Fault],
     max_patterns: usize,
-    mut source: impl FnMut(usize) -> (Vec<bool>, Vec<bool>),
+    source: impl FnMut(usize) -> (Vec<bool>, Vec<bool>),
 ) -> RandomRun {
+    pattern_source_run_opts(
+        nl,
+        faults,
+        max_patterns,
+        source,
+        &ParallelOptions::default(),
+    )
+    .0
+}
+
+/// [`pattern_source_run`] with engine options and aggregated run
+/// instrumentation.
+pub fn pattern_source_run_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    max_patterns: usize,
+    mut source: impl FnMut(usize) -> (Vec<bool>, Vec<bool>),
+    opts: &ParallelOptions,
+) -> (RandomRun, GradeStats) {
     let mut detected = std::collections::BTreeSet::new();
     let mut curve = Vec::new();
     let mut remaining: Vec<Fault> = faults.to_vec();
     let mut applied = 0usize;
+    let mut stats = GradeStats::default();
     while applied < max_patterns && !remaining.is_empty() {
         // Pack up to 64 patterns into one frame.
         let count = 64.min(max_patterns - applied);
@@ -109,7 +162,8 @@ pub fn pattern_source_run(
         }
         applied += count;
         let frame = TestFrame { pi, ff };
-        let r = comb_fault_sim(nl, &remaining, std::slice::from_ref(&frame));
+        let (r, s) = comb_fault_sim_opts(nl, &remaining, std::slice::from_ref(&frame), opts);
+        stats.absorb(&s);
         for f in r.detected {
             detected.insert(f);
         }
@@ -119,10 +173,15 @@ pub fn pattern_source_run(
             coverage_percent: 100.0 * detected.len() as f64 / faults.len().max(1) as f64,
         });
     }
-    RandomRun {
+    stats.faults = faults.len();
+    let run = RandomRun {
         curve,
-        summary: FaultSimSummary { detected, total: faults.len() },
-    }
+        summary: FaultSimSummary {
+            detected,
+            total: faults.len(),
+        },
+    };
+    (run, stats)
 }
 
 #[cfg(test)]
@@ -186,5 +245,43 @@ mod tests {
         let r1 = random_pattern_run(&nl, &faults, 128, &mut StdRng::seed_from_u64(9));
         let r2 = random_pattern_run(&nl, &faults, 128, &mut StdRng::seed_from_u64(9));
         assert_eq!(r1.curve, r2.curve);
+    }
+
+    #[test]
+    fn curve_tail_is_clamped_to_max_patterns() {
+        let nl = adder();
+        let faults = all_faults(&nl);
+        // 100 is not a multiple of 64: the last point must say 100, not
+        // 128 (the padded batch size).
+        let run = random_pattern_run(&nl, &faults, 100, &mut StdRng::seed_from_u64(3));
+        assert!(run.curve.iter().all(|p| p.patterns <= 100));
+        let last = run.curve.last().unwrap();
+        assert!(
+            last.patterns == 100 || run.curve.len() < 2,
+            "{:?}",
+            run.curve
+        );
+        // Requests below one batch still grade (and label) a full word.
+        let tiny = random_pattern_run(&nl, &faults, 0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(tiny.curve.first().unwrap().patterns, 64);
+    }
+
+    #[test]
+    fn opts_variant_matches_and_reports_work() {
+        let nl = adder();
+        let faults = all_faults(&nl);
+        let plain = random_pattern_run(&nl, &faults, 256, &mut StdRng::seed_from_u64(5));
+        let (opted, stats) = random_pattern_run_opts(
+            &nl,
+            &faults,
+            256,
+            &mut StdRng::seed_from_u64(5),
+            &ParallelOptions::with_threads(2),
+        );
+        assert_eq!(plain.curve, opted.curve);
+        assert_eq!(plain.summary, opted.summary);
+        assert_eq!(stats.faults, faults.len());
+        assert!(stats.fault_evals > 0);
+        assert!(stats.wall() > std::time::Duration::ZERO);
     }
 }

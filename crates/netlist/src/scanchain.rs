@@ -59,7 +59,11 @@ pub fn stitch(nl: &Netlist) -> ScanDesign {
     }
     b.output("scan_out", prev);
     let netlist = b.finish().expect("stitching preserves validity");
-    ScanDesign { netlist, chain, chain_of_scan_flop }
+    ScanDesign {
+        netlist,
+        chain,
+        chain_of_scan_flop,
+    }
 }
 
 /// Serially applies one abstract test frame (single pattern, lane 0):
@@ -76,13 +80,20 @@ pub fn apply_serial(
     let n_chain = sd.chain.len();
     let npi = nl.inputs().len();
     // Input order: original PIs … then scan_en, scan_in (appended last).
-    let force = fault.map(|f| ForcedNet { net: f.net, value: f.stuck_at_one });
+    let force = fault.map(|f| ForcedNet {
+        net: f.net,
+        value: f.stuck_at_one,
+    });
     let mut ff = vec![0u64; nl.dffs().len()];
     let drive = |pi_bits: &[bool]| -> Vec<u64> {
-        pi_bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect()
+        pi_bits
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect()
     };
-    let functional_pi: Vec<bool> =
-        (0..npi - 2).map(|i| frame.pi.get(i).copied().unwrap_or(0) & 1 == 1).collect();
+    let functional_pi: Vec<bool> = (0..npi - 2)
+        .map(|i| frame.pi.get(i).copied().unwrap_or(0) & 1 == 1)
+        .collect();
     // Shift in: chain order is scan_in → chain[0] → …; after k shifts the
     // bit injected first sits in chain[k-1]. To land frame.ff[flop] into
     // its flop we shift the *last* chain element's value first.
@@ -182,7 +193,10 @@ mod tests {
         // With scan_en held high the chain is a plain shift register.
         let nl = design();
         let sd = stitch(&nl);
-        let frame = TestFrame { pi: vec![0, 0], ff: vec![u64::MAX, 0] };
+        let frame = TestFrame {
+            pi: vec![0, 0],
+            ff: vec![u64::MAX, 0],
+        };
         // After shifting in [chain1, chain0] and shifting out again we
         // must read back what we wrote (no capture disturbance means we
         // compare against the captured state instead — exercised by the
@@ -226,7 +240,10 @@ mod tests {
         let nl = design();
         let sd = stitch(&nl);
         // Shift in a 1 into the deepest flop; it must come back out.
-        let frame = TestFrame { pi: vec![0, 0], ff: vec![u64::MAX, u64::MAX] };
+        let frame = TestFrame {
+            pi: vec![0, 0],
+            ff: vec![u64::MAX, u64::MAX],
+        };
         let (_, out) = apply_serial(&sd, &frame, None, 2);
         assert_eq!(out.len(), 2);
     }

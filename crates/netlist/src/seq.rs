@@ -34,7 +34,9 @@ pub struct Unrolled {
 impl Unrolled {
     /// Maps an original fault to its injection sites, one per frame.
     pub fn fault_sites(&self, fault: Fault) -> Vec<NetId> {
-        (0..self.frames).map(|t| self.net_map[t][fault.net.index()]).collect()
+        (0..self.frames)
+            .map(|t| self.net_map[t][fault.net.index()])
+            .collect()
     }
 }
 
@@ -98,8 +100,18 @@ pub fn unroll(nl: &Netlist, frames: usize) -> Unrolled {
         let d = nl.gate(f).inputs[0];
         observed.push(net_map[last][d.index()]);
     }
-    let netlist = b.finish().expect("unrolled netlist is combinational by construction");
-    Unrolled { netlist, frames, net_map, view: CombView { assignable, observed } }
+    let netlist = b
+        .finish()
+        .expect("unrolled netlist is combinational by construction");
+    Unrolled {
+        netlist,
+        frames,
+        net_map,
+        view: CombView {
+            assignable,
+            observed,
+        },
+    }
 }
 
 /// Options for sequential test generation.
@@ -113,7 +125,10 @@ pub struct SeqAtpgOptions {
 
 impl Default for SeqAtpgOptions {
     fn default() -> Self {
-        SeqAtpgOptions { max_frames: 8, backtrack_limit: 2_000 }
+        SeqAtpgOptions {
+            max_frames: 8,
+            backtrack_limit: 2_000,
+        }
     }
 }
 
@@ -149,7 +164,9 @@ pub fn seq_podem(nl: &Netlist, fault: Fault, options: &SeqAtpgOptions) -> (SeqSt
             &unrolled.view,
             &sites,
             fault.stuck_at_one,
-            &AtpgOptions { backtrack_limit: options.backtrack_limit },
+            &AtpgOptions {
+                backtrack_limit: options.backtrack_limit,
+            },
         );
         effort.absorb(e);
         match status {
@@ -173,7 +190,14 @@ pub fn seq_podem(nl: &Netlist, fault: Fault, options: &SeqAtpgOptions) -> (SeqSt
                         *cube.assignments.get(&un).unwrap_or(&false)
                     })
                     .collect();
-                return (SeqStatus::Detected { sequence, scan_load, frames: k }, effort);
+                return (
+                    SeqStatus::Detected {
+                        sequence,
+                        scan_load,
+                        frames: k,
+                    },
+                    effort,
+                );
             }
             FaultStatus::Untestable => continue,
             FaultStatus::Aborted => {
@@ -182,7 +206,14 @@ pub fn seq_podem(nl: &Netlist, fault: Fault, options: &SeqAtpgOptions) -> (SeqSt
             }
         }
     }
-    (if any_abort { SeqStatus::Aborted } else { SeqStatus::Untestable }, effort)
+    (
+        if any_abort {
+            SeqStatus::Aborted
+        } else {
+            SeqStatus::Untestable
+        },
+        effort,
+    )
 }
 
 /// Aggregate sequential-ATPG result over a fault list.
@@ -216,7 +247,10 @@ impl SeqRun {
 /// Runs sequential ATPG over a whole fault list (no fault dropping; each
 /// fault is targeted so the effort metric is comparable across designs).
 pub fn seq_generate_all(nl: &Netlist, faults: &[Fault], options: &SeqAtpgOptions) -> SeqRun {
-    let mut run = SeqRun { total: faults.len(), ..Default::default() };
+    let mut run = SeqRun {
+        total: faults.len(),
+        ..Default::default()
+    };
     for &f in faults {
         let (status, effort) = seq_podem(nl, f, options);
         run.effort.absorb(effort);
@@ -266,7 +300,9 @@ mod tests {
         let x = nl.inputs()[0];
         let (status, _) = seq_podem(&nl, Fault::sa0(x), &SeqAtpgOptions::default());
         match status {
-            SeqStatus::Detected { frames, sequence, .. } => {
+            SeqStatus::Detected {
+                frames, sequence, ..
+            } => {
                 // Needs 4 frames: drive 1, then 3 shifts to reach the PO.
                 assert_eq!(frames, 4);
                 assert!(sequence[0][0]);
@@ -279,7 +315,10 @@ mod tests {
     fn frame_limit_blocks_deep_faults() {
         let nl = pipeline(6);
         let x = nl.inputs()[0];
-        let opts = SeqAtpgOptions { max_frames: 3, backtrack_limit: 2_000 };
+        let opts = SeqAtpgOptions {
+            max_frames: 3,
+            backtrack_limit: 2_000,
+        };
         let (status, _) = seq_podem(&nl, Fault::sa0(x), &opts);
         assert_eq!(status, SeqStatus::Untestable);
     }
@@ -309,8 +348,7 @@ mod tests {
         assert_eq!(ff, ff_real);
         b.output("o", ff_real);
         let nl = b.finish().unwrap();
-        let (status, effort) =
-            seq_podem(&nl, Fault::sa1(xr), &SeqAtpgOptions::default());
+        let (status, effort) = seq_podem(&nl, Fault::sa1(xr), &SeqAtpgOptions::default());
         // Unknown initial state makes XOR outputs X forever; the fault is
         // not detectable under 3-valued pessimism without initialization
         // hardware — exactly the phenomenon that motivates loop-breaking.

@@ -50,7 +50,10 @@ pub fn eval_comb(nl: &Netlist, pi: &[u64], ff: &[u64], force: Option<ForcedNet>)
     // Sources may themselves be the faulty net.
     if let Some(fr) = force {
         let g = nl.gate(crate::net::GateId(fr.net.0));
-        if matches!(g.kind, GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }) {
+        if matches!(
+            g.kind,
+            GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+        ) {
             values[fr.net.index()] = if fr.value { u64::MAX } else { 0 };
         }
     }
@@ -88,7 +91,10 @@ pub fn next_state(nl: &Netlist, values: &[u64]) -> Vec<u64> {
 /// Primary output words from an evaluation frame, in
 /// [`Netlist::outputs`] order.
 pub fn output_values(nl: &Netlist, values: &[u64]) -> Vec<u64> {
-    nl.outputs().iter().map(|(_, net)| values[net.index()]).collect()
+    nl.outputs()
+        .iter()
+        .map(|(_, net)| values[net.index()])
+        .collect()
 }
 
 /// Runs a vector sequence from the all-zero state (or a given initial
@@ -240,8 +246,8 @@ mod tests {
             let a = k & 3;
             let b = (k >> 2) & 3;
             let mut sum = 0u64;
-            for i in 0..2 {
-                if outs[i] >> k & 1 == 1 {
+            for (i, &word) in outs.iter().enumerate().take(2) {
+                if word >> k & 1 == 1 {
                     sum |= 1 << i;
                 }
             }
@@ -275,7 +281,15 @@ mod tests {
         let mut pi = vec![0u64; 4];
         pi[0] = u64::MAX; // a = 1
         let co_net = nl.outputs().iter().find(|(n, _)| n == "co").unwrap().1;
-        let values = eval_comb(&nl, &pi, &[], Some(ForcedNet { net: co_net, value: true }));
+        let values = eval_comb(
+            &nl,
+            &pi,
+            &[],
+            Some(ForcedNet {
+                net: co_net,
+                value: true,
+            }),
+        );
         assert_eq!(values[co_net.index()], u64::MAX);
     }
 }

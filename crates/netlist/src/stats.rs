@@ -1,0 +1,168 @@
+//! Run instrumentation for the grading engines.
+//!
+//! Every `_opts` entry point in [`crate::fsim`], [`crate::random`], and
+//! [`crate::atpg`] reports a [`GradeStats`]: how much work the engine
+//! actually did (faulty-machine evaluations), how much it avoided
+//! (activation screening, fault dropping, unobservable cones), and the
+//! wall time of the good-machine and faulty-machine phases. The bench
+//! binaries serialize these into `BENCH_fsim.json` so engine-performance
+//! regressions are visible across commits.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Work and timing counters from one grading run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GradeStats {
+    /// Size of the graded fault universe.
+    pub faults: usize,
+    /// Test frames (combinational) or cycles (sequential) supplied.
+    pub frames: usize,
+    /// Faulty-machine frame evaluations actually run.
+    pub fault_evals: u64,
+    /// (fault, frame) pairs skipped by the activation screen: the good
+    /// value already equaled the stuck value on every parallel pattern.
+    pub screened: u64,
+    /// (fault, frame) pairs skipped because the fault was already
+    /// detected (fault dropping).
+    pub dropped: u64,
+    /// Faults whose combinational fanout cone reaches no observation
+    /// point — structurally undetectable for this observation set.
+    pub unobservable: u64,
+    /// Worker threads the faulty-machine phase ran on.
+    pub threads: usize,
+    /// Wall time of the good-machine phase (reference evaluations).
+    pub wall_good: Duration,
+    /// Wall time of the faulty-machine phase (sharded grading).
+    pub wall_fault: Duration,
+}
+
+impl GradeStats {
+    /// Total wall time across both phases.
+    pub fn wall(&self) -> Duration {
+        self.wall_good + self.wall_fault
+    }
+
+    /// Folds another run's counters and phase times into this one —
+    /// used when a curve or ATPG loop grades in many small calls and
+    /// reports one aggregate.
+    pub fn absorb(&mut self, other: &GradeStats) {
+        self.faults = self.faults.max(other.faults);
+        self.frames += other.frames;
+        self.merge_counts(other);
+        self.threads = self.threads.max(other.threads);
+        self.wall_good += other.wall_good;
+        self.wall_fault += other.wall_fault;
+    }
+
+    /// Sums the per-shard work counters only; phase walls and shape
+    /// fields stay as the orchestrator measured them (shards run
+    /// concurrently, so their elapsed times must not be added).
+    pub(crate) fn merge_counts(&mut self, other: &GradeStats) {
+        self.fault_evals += other.fault_evals;
+        self.screened += other.screened;
+        self.dropped += other.dropped;
+        self.unobservable += other.unobservable;
+    }
+
+    /// Renders the stats as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"faults\": {}, \"frames\": {}, \"fault_evals\": {}, \
+             \"screened\": {}, \"dropped\": {}, \"unobservable\": {}, \
+             \"threads\": {}, \"wall_good_ms\": {:.3}, \"wall_fault_ms\": {:.3}}}",
+            self.faults,
+            self.frames,
+            self.fault_evals,
+            self.screened,
+            self.dropped,
+            self.unobservable,
+            self.threads,
+            self.wall_good.as_secs_f64() * 1e3,
+            self.wall_fault.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+impl fmt::Display for GradeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults x {} frames: {} evals ({} screened, {} dropped, \
+             {} unobservable) on {} thread(s) in {:.1} ms good + {:.1} ms fault",
+            self.faults,
+            self.frames,
+            self.fault_evals,
+            self.screened,
+            self.dropped,
+            self.unobservable,
+            self.threads.max(1),
+            self.wall_good.as_secs_f64() * 1e3,
+            self.wall_fault.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_work_and_time() {
+        let mut a = GradeStats {
+            faults: 10,
+            frames: 2,
+            fault_evals: 5,
+            screened: 1,
+            dropped: 0,
+            unobservable: 1,
+            threads: 2,
+            wall_good: Duration::from_millis(1),
+            wall_fault: Duration::from_millis(2),
+        };
+        let b = GradeStats {
+            faults: 10,
+            frames: 3,
+            fault_evals: 7,
+            screened: 2,
+            dropped: 4,
+            unobservable: 0,
+            threads: 1,
+            wall_good: Duration::from_millis(3),
+            wall_fault: Duration::from_millis(4),
+        };
+        a.absorb(&b);
+        assert_eq!(a.faults, 10);
+        assert_eq!(a.frames, 5);
+        assert_eq!(a.fault_evals, 12);
+        assert_eq!(a.screened, 3);
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.wall(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn json_has_every_field() {
+        let s = GradeStats::default().to_json();
+        for key in [
+            "faults",
+            "frames",
+            "fault_evals",
+            "screened",
+            "dropped",
+            "unobservable",
+            "threads",
+            "wall_good_ms",
+            "wall_fault_ms",
+        ] {
+            assert!(s.contains(&format!("\"{key}\"")), "{key} missing: {s}");
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GradeStats::default().to_string();
+        assert!(s.contains("faults"));
+        assert!(s.contains("thread"));
+    }
+}

@@ -50,9 +50,9 @@ proptest! {
         // Exhaustive frame: all 8 input combinations packed in one word.
         let mut pi = vec![0u64; 3];
         for k in 0..8u64 {
-            for i in 0..3 {
+            for (i, word) in pi.iter_mut().enumerate() {
                 if k >> i & 1 == 1 {
-                    pi[i] |= 1 << k;
+                    *word |= 1 << k;
                 }
             }
         }

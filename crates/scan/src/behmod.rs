@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use hlstb_cdfg::{Cdfg, CdfgError, Operand, Operation, OpId, OpKind, Variable, VarId, VarKind};
+use hlstb_cdfg::{Cdfg, CdfgError, OpId, OpKind, Operand, Operation, VarId, VarKind, Variable};
 
 /// Testability class of one variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,7 +91,7 @@ pub fn analyze(cdfg: &Cdfg) -> BehavioralAnalysis {
                 .map(|ds| ds.into_iter().max().unwrap_or(0) + 1);
             if let Some(d) = worst {
                 let slot = &mut control[op.output.index()];
-                if slot.map_or(true, |cur| d < cur) {
+                if slot.is_none_or(|cur| d < cur) {
                     *slot = Some(d);
                     changed = true;
                 }
@@ -108,7 +108,7 @@ pub fn analyze(cdfg: &Cdfg) -> BehavioralAnalysis {
                 for operand in &op.inputs {
                     let cand = d + 1 + ITERATION_COST * operand.distance;
                     let slot = &mut observe[operand.var.index()];
-                    if slot.map_or(true, |cur| cand < cur) {
+                    if slot.is_none_or(|cur| cand < cur) {
                         *slot = Some(cand);
                         changed = true;
                     }
@@ -116,7 +116,10 @@ pub fn analyze(cdfg: &Cdfg) -> BehavioralAnalysis {
             }
         }
     }
-    BehavioralAnalysis { control_depth: control, observe_depth: observe }
+    BehavioralAnalysis {
+        control_depth: control,
+        observe_depth: observe,
+    }
 }
 
 /// The modified behavior plus bookkeeping.
@@ -162,7 +165,13 @@ pub fn add_test_statements(
 
     let fresh_var = |vars: &mut Vec<Variable>, name: String, kind: VarKind| -> VarId {
         let id = VarId(vars.len() as u32);
-        vars.push(Variable { id, name, kind, def: None, uses: Vec::new() });
+        vars.push(Variable {
+            id,
+            name,
+            kind,
+            def: None,
+            uses: Vec::new(),
+        });
         id
     };
 
@@ -177,8 +186,7 @@ pub fn add_test_statements(
             class => {
                 let base = cdfg.var(v).name.clone();
                 if matches!(class, TestClass::HardToObserve | TestClass::Hard) {
-                    let out =
-                        fresh_var(&mut vars, format!("{base}_obs"), VarKind::Output);
+                    let out = fresh_var(&mut vars, format!("{base}_obs"), VarKind::Output);
                     ops.push(Operation {
                         id: OpId(ops.len() as u32),
                         kind: OpKind::Pass,
@@ -191,10 +199,8 @@ pub fn add_test_statements(
                     let tm = *test_mode.get_or_insert_with(|| {
                         fresh_var(&mut vars, "test_mode".into(), VarKind::Input)
                     });
-                    let inj =
-                        fresh_var(&mut vars, format!("{base}_inj"), VarKind::Input);
-                    let muxed =
-                        fresh_var(&mut vars, format!("{base}_tc"), VarKind::Intermediate);
+                    let inj = fresh_var(&mut vars, format!("{base}_inj"), VarKind::Input);
+                    let muxed = fresh_var(&mut vars, format!("{base}_tc"), VarKind::Intermediate);
                     let sel_op = OpId(ops.len() as u32);
                     ops.push(Operation {
                         id: sel_op,
@@ -323,10 +329,8 @@ mod tests {
         if m.added_inputs.is_empty() {
             return;
         }
-        let mut streams: HashMap<String, Vec<u64>> = g
-            .inputs()
-            .map(|v| (v.name.clone(), vec![1, 2]))
-            .collect();
+        let mut streams: HashMap<String, Vec<u64>> =
+            g.inputs().map(|v| (v.name.clone(), vec![1, 2])).collect();
         streams.insert("test_mode".into(), vec![1, 1]);
         for name in &m.added_inputs {
             streams.insert(name.clone(), vec![42, 42]);

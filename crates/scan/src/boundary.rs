@@ -62,7 +62,10 @@ pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> Bo
     let mut scan_groups: Vec<(Vec<VarId>, StepSet)> = Vec::new();
     for &v in &boundary_vars {
         let steps = steps_of(v);
-        match scan_groups.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+        match scan_groups
+            .iter_mut()
+            .find(|(_, occ)| !occ.intersects(steps))
+        {
             Some((g, occ)) => {
                 g.push(v);
                 *occ = occ.union(steps);
@@ -74,9 +77,7 @@ pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> Bo
     // Let other intermediates share the scan registers first.
     let mut rest: Vec<VarId> = cdfg
         .vars()
-        .filter(|v| {
-            !matches!(v.kind, VarKind::Constant(_)) && !boundary_vars.contains(&v.id)
-        })
+        .filter(|v| !matches!(v.kind, VarKind::Constant(_)) && !boundary_vars.contains(&v.id))
         .map(|v| v.id)
         .collect();
     rest.sort_by_key(|&v| (steps_of(v).len(), v.0));
@@ -87,7 +88,10 @@ pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> Bo
             continue; // I/O variables go through the I/O-max phases
         }
         let steps = steps_of(v);
-        match scan_groups.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+        match scan_groups
+            .iter_mut()
+            .find(|(_, occ)| !occ.intersects(steps))
+        {
             Some((g, occ)) => {
                 g.push(v);
                 *occ = occ.union(steps);
@@ -105,7 +109,10 @@ pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> Bo
         let steps = steps_of(v);
         let is_io = matches!(cdfg.var(v).kind, VarKind::Input | VarKind::Output);
         if is_io {
-            match io_buckets.iter_mut().find(|(_, occ)| !occ.intersects(steps)) {
+            match io_buckets
+                .iter_mut()
+                .find(|(_, occ)| !occ.intersects(steps))
+            {
                 Some((g, occ)) => {
                     g.push(v);
                     *occ = occ.union(steps);
@@ -128,8 +135,7 @@ pub fn assign_boundary(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> Bo
     }
 
     let scan_register_count = scan_groups.len();
-    let mut registers: Vec<Vec<VarId>> =
-        scan_groups.into_iter().map(|(g, _)| g).collect();
+    let mut registers: Vec<Vec<VarId>> = scan_groups.into_iter().map(|(g, _)| g).collect();
     registers.extend(io_buckets.into_iter().map(|(g, _)| g));
     registers.extend(extra.into_iter().map(|(g, _)| g));
     BoundaryAssignment {
@@ -160,7 +166,11 @@ mod tests {
 
     #[test]
     fn every_loop_gets_a_boundary_variable() {
-        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::ar_lattice()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::ewf(),
+            benchmarks::ar_lattice(),
+        ] {
             let s = schedule_for(&g);
             let a = assign_boundary(&g, &s, 4096);
             for l in g.loops(4096) {

@@ -42,18 +42,23 @@ pub fn profile(dp: &Datapath) -> Vec<RegisterProfile> {
         }
     }
     let sg = dp.register_sgraph();
-    let inputs: Vec<NodeId> =
-        dp.input_registers().iter().map(|&r| NodeId(r as u32)).collect();
-    let outputs: Vec<NodeId> =
-        dp.output_registers().iter().map(|&r| NodeId(r as u32)).collect();
+    let inputs: Vec<NodeId> = dp
+        .input_registers()
+        .iter()
+        .map(|&r| NodeId(r as u32))
+        .collect();
+    let outputs: Vec<NodeId> = dp
+        .output_registers()
+        .iter()
+        .map(|&r| NodeId(r as u32))
+        .collect();
     let depth = sequential_depth(&sg, &inputs, &outputs);
     (0..n)
         .map(|r| {
             let load_ease = (loads[r] as f64 / period).max(1.0 / (2.0 * period));
             let c = depth.control[r];
             let o = depth.observe[r];
-            let depth_cost = c.map_or(2.0 * period, f64::from)
-                + o.map_or(2.0 * period, f64::from);
+            let depth_cost = c.map_or(2.0 * period, f64::from) + o.map_or(2.0 * period, f64::from);
             RegisterProfile {
                 load_ease,
                 control_depth: c,
@@ -88,9 +93,8 @@ pub fn control_aware_scan(dp: &Datapath) -> Vec<usize> {
                 let orig = map[n.index()];
                 let ind = rest.predecessors(n).filter(|&p| p != n).count();
                 let outd = rest.successors(n).filter(|&s| s != n).count();
-                let score =
-                    (ind * outd) as f64 * profiles[orig.index()].hardness.max(1e-6);
-                if best.map_or(true, |(bs, bn)| score > bs || (score == bs && orig < bn)) {
+                let score = (ind * outd) as f64 * profiles[orig.index()].hardness.max(1e-6);
+                if best.is_none_or(|(bs, bn)| score > bs || (score == bs && orig < bn)) {
                     best = Some((score, orig));
                 }
             }
@@ -127,11 +131,7 @@ mod tests {
         let p = profile(&d);
         let period = d.period() as f64;
         for (r, prof) in p.iter().enumerate() {
-            let loads = d
-                .control()
-                .iter()
-                .filter(|st| st.reg_enable[r])
-                .count() as f64;
+            let loads = d.control().iter().filter(|st| st.reg_enable[r]).count() as f64;
             if loads > 0.0 {
                 assert!((prof.load_ease - loads / period).abs() < 1e-9, "R{r}");
             }
@@ -157,12 +157,15 @@ mod tests {
 
     #[test]
     fn control_aware_scan_is_a_minimal_fvs() {
-        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::ewf(),
+            benchmarks::iir_biquad(),
+        ] {
             let d = dp(&g);
             let sg = d.register_sgraph();
             let marks = control_aware_scan(&d);
-            let set: BTreeSet<NodeId> =
-                marks.iter().map(|&r| NodeId(r as u32)).collect();
+            let set: BTreeSet<NodeId> = marks.iter().map(|&r| NodeId(r as u32)).collect();
             assert!(is_feedback_vertex_set(&sg, &set, true), "{}", g.name());
             let baseline = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
             assert!(marks.len() <= baseline.nodes.len(), "{}", g.name());

@@ -78,8 +78,7 @@ pub fn optimize(cdfg: &Cdfg, options: &DeflectOptions) -> DeflectResult {
                 sched::list_schedule(&candidate, &options.limits, ListPriority::Slack)
             {
                 if new_sched.num_steps() <= budget {
-                    let new_sel =
-                        select_scan_variables(&candidate, &new_sched, &options.select);
+                    let new_sel = select_scan_variables(&candidate, &new_sched, &options.select);
                     if new_sel.register_count() < selection.register_count() {
                         current = candidate;
                         schedule = new_sched;
@@ -129,7 +128,12 @@ pub fn optimize(cdfg: &Cdfg, options: &DeflectOptions) -> DeflectResult {
             break;
         }
     }
-    DeflectResult { cdfg: current, schedule, selection, inserted }
+    DeflectResult {
+        cdfg: current,
+        schedule,
+        selection,
+        inserted,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +153,11 @@ mod tests {
 
     #[test]
     fn never_increases_scan_registers() {
-        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::ewf(),
+            benchmarks::iir_biquad(),
+        ] {
             let opts = options_for(&g);
             let sched0 = sched::list_schedule(&g, &opts.limits, ListPriority::Slack).unwrap();
             let before = select_scan_variables(&g, &sched0, &opts.select);

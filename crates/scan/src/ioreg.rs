@@ -143,11 +143,20 @@ pub fn assign_io_max(cdfg: &Cdfg, schedule: &Schedule) -> IoRegAssignment {
         }
     }
 
-    let io = merged.iter().filter(|b| b.has_input || b.has_output).count();
+    let io = merged
+        .iter()
+        .filter(|b| b.has_input || b.has_output)
+        .count();
     let total = merged.len();
     IoRegAssignment {
-        regs: RegisterAssignment { registers: merged.into_iter().map(|b| b.vars).collect() },
-        stats: IoRegStats { total, io, internal: total - io },
+        regs: RegisterAssignment {
+            registers: merged.into_iter().map(|b| b.vars).collect(),
+        },
+        stats: IoRegStats {
+            total,
+            io,
+            internal: total - io,
+        },
     }
 }
 
@@ -156,14 +165,18 @@ pub fn assign_io_max(cdfg: &Cdfg, schedule: &Schedule) -> IoRegAssignment {
 pub fn io_stats(cdfg: &Cdfg, regs: &RegisterAssignment) -> IoRegStats {
     let mut io = 0;
     for group in &regs.registers {
-        let has_io = group.iter().any(|&v| {
-            matches!(cdfg.var(v).kind, VarKind::Input | VarKind::Output)
-        });
+        let has_io = group
+            .iter()
+            .any(|&v| matches!(cdfg.var(v).kind, VarKind::Input | VarKind::Output));
         if has_io {
             io += 1;
         }
     }
-    IoRegStats { total: regs.len(), io, internal: regs.len() - io }
+    IoRegStats {
+        total: regs.len(),
+        io,
+        internal: regs.len() - io,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +236,10 @@ mod tests {
             comparable_total += 1;
         }
         // The paper's claim: more I/O registers in (nearly) all cases.
-        assert!(wins * 10 >= comparable_total * 8, "{wins}/{comparable_total}");
+        assert!(
+            wins * 10 >= comparable_total * 8,
+            "{wins}/{comparable_total}"
+        );
     }
 
     #[test]

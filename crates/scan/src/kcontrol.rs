@@ -72,7 +72,11 @@ pub fn plan_k_control(
         .filter(|c| !c.is_self_loop())
         .map(|c| c.nodes)
         .collect();
-    let mut plan = KControlPlan { k, control_points: Vec::new(), observe_points: Vec::new() };
+    let mut plan = KControlPlan {
+        k,
+        control_points: Vec::new(),
+        observe_points: Vec::new(),
+    };
     loop {
         let mut c_sources = inputs.to_vec();
         c_sources.extend(&plan.control_points);
@@ -118,7 +122,7 @@ pub fn plan_k_control(
                 }
                 let points = usize::from(add_c) + usize::from(add_o);
                 let ratio = covered as f64 / points as f64;
-                if best.map_or(true, |(r, bn, ..)| {
+                if best.is_none_or(|(r, bn, ..)| {
                     ratio > r + 1e-12 || ((ratio - r).abs() <= 1e-12 && n < bn)
                 }) {
                     best = Some((ratio, n, add_c, add_o));
@@ -159,20 +163,23 @@ mod tests {
     use super::*;
 
     fn limits() -> CycleLimits {
-        CycleLimits { max_cycles: 512, max_len: 16 }
+        CycleLimits {
+            max_cycles: 512,
+            max_len: 16,
+        }
     }
 
     #[test]
     fn plans_satisfy_their_own_requirement() {
-        let g = SGraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)],
-        );
+        let g = SGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)]);
         let inputs = [NodeId(0)];
         let outputs = [NodeId(5)];
         for k in 0..3 {
             let plan = plan_k_control(&g, k, &inputs, &outputs, limits());
-            assert!(satisfied(&g, k, &inputs, &outputs, &plan, limits()), "k={k}");
+            assert!(
+                satisfied(&g, k, &inputs, &outputs, &plan, limits()),
+                "k={k}"
+            );
         }
     }
 
@@ -181,9 +188,16 @@ mod tests {
         let g = SGraph::from_edges(
             8,
             [
-                (0, 1), (1, 2), (2, 3), (3, 0),
-                (2, 4), (4, 5), (5, 2),
-                (5, 6), (6, 7), (7, 5),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 2),
+                (5, 6),
+                (6, 7),
+                (7, 5),
             ],
         );
         let inputs = [NodeId(0)];
@@ -192,10 +206,16 @@ mod tests {
             .map(|k| plan_k_control(&g, k, &inputs, &outputs, limits()).point_count())
             .collect();
         for w in counts.windows(2) {
-            assert!(w[1] <= w[0], "point count must be monotone in k: {counts:?}");
+            assert!(
+                w[1] <= w[0],
+                "point count must be monotone in k: {counts:?}"
+            );
         }
         // And strictly fewer somewhere — the paper's headline effect.
-        assert!(counts.last().unwrap() < counts.first().unwrap(), "{counts:?}");
+        assert!(
+            counts.last().unwrap() < counts.first().unwrap(),
+            "{counts:?}"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct RtlScanCosts {
 
 impl Default for RtlScanCosts {
     fn default() -> Self {
-        RtlScanCosts { scan_register: 1.0, transparent: 0.6 }
+        RtlScanCosts {
+            scan_register: 1.0,
+            transparent: 0.6,
+        }
     }
 }
 
@@ -87,7 +90,7 @@ pub fn plan_rtl_scan(g: &SGraph, costs: &RtlScanCosts, limits: CycleLimits) -> R
         // Candidate scores.
         let mut best: Option<(f64, Choice)> = None;
         let consider = |ratio: f64, choice: Choice, best: &mut Option<(f64, Choice)>| {
-            if best.as_ref().map_or(true, |(r, c)| {
+            if best.as_ref().is_none_or(|(r, c)| {
                 ratio > *r + 1e-12 || ((ratio - *r).abs() <= 1e-12 && choice < *c)
             }) {
                 *best = Some((ratio, choice));
@@ -104,7 +107,11 @@ pub fn plan_rtl_scan(g: &SGraph, costs: &RtlScanCosts, limits: CycleLimits) -> R
             }
         }
         for (&n, &hits) in &node_hits {
-            consider(hits as f64 / costs.scan_register, Choice::Node(n), &mut best);
+            consider(
+                hits as f64 / costs.scan_register,
+                Choice::Node(n),
+                &mut best,
+            );
         }
         for (&e, &hits) in &edge_hits {
             consider(hits as f64 / costs.transparent, Choice::Edge(e), &mut best);
@@ -149,7 +156,10 @@ enum Choice {
 /// The register-only baseline: MFVS cost under the same cost model.
 pub fn register_only_cost(g: &SGraph, costs: &RtlScanCosts) -> (usize, f64) {
     let fvs = minimum_feedback_vertex_set(g, MfvsOptions::default());
-    (fvs.nodes.len(), fvs.nodes.len() as f64 * costs.scan_register)
+    (
+        fvs.nodes.len(),
+        fvs.nodes.len() as f64 * costs.scan_register,
+    )
 }
 
 #[cfg(test)]
@@ -157,7 +167,10 @@ mod tests {
     use super::*;
 
     fn limits() -> CycleLimits {
-        CycleLimits { max_cycles: 512, max_len: 16 }
+        CycleLimits {
+            max_cycles: 512,
+            max_len: 16,
+        }
     }
 
     #[test]
@@ -191,7 +204,12 @@ mod tests {
             let costs = RtlScanCosts::default();
             let plan = plan_rtl_scan(&g, &costs, limits());
             let (_, reg_cost) = register_only_cost(&g, &costs);
-            assert!(plan.cost <= reg_cost + 1e-9, "{} vs {}", plan.cost, reg_cost);
+            assert!(
+                plan.cost <= reg_cost + 1e-9,
+                "{} vs {}",
+                plan.cost,
+                reg_cost
+            );
         }
     }
 
@@ -208,10 +226,7 @@ mod tests {
     fn hub_node_beats_many_edges() {
         // Node 0 sits on three rings; breaking it once is cheaper than
         // three transparent cells.
-        let g = SGraph::from_edges(
-            4,
-            [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
-        );
+        let g = SGraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]);
         let plan = plan_rtl_scan(&g, &RtlScanCosts::default(), limits());
         assert!(plan.cost <= 1.0 + 1e-9);
         assert_eq!(plan.scan_registers, vec![NodeId(0)]);

@@ -26,7 +26,11 @@ pub struct ScanSelectOptions {
 
 impl Default for ScanSelectOptions {
     fn default() -> Self {
-        ScanSelectOptions { w_loop: 1.0, w_share: 0.75, max_loops: 4_096 }
+        ScanSelectOptions {
+            w_loop: 1.0,
+            w_share: 0.75,
+            max_loops: 4_096,
+        }
     }
 }
 
@@ -50,10 +54,7 @@ impl ScanSelection {
 
 /// Groups variables into the minimum first-fit number of shared
 /// registers by lifetime compatibility (shortest lifetimes first).
-pub fn group_into_registers(
-    vars: &[VarId],
-    lt: &LifetimeMap,
-) -> Vec<Vec<VarId>> {
+pub fn group_into_registers(vars: &[VarId], lt: &LifetimeMap) -> Vec<Vec<VarId>> {
     let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);
     let mut sorted = vars.to_vec();
     sorted.sort_by_key(|&v| (steps_of(v).len(), v.0));
@@ -88,7 +89,6 @@ pub fn group_into_registers(
 /// assert!(cdfg.loops(64).iter().all(|l| l.vars.iter().any(|v| sel.scan_vars.contains(v))));
 /// # Ok::<(), hlstb_hls::sched::SchedError>(())
 /// ```
-
 pub fn select_scan_variables(
     cdfg: &Cdfg,
     schedule: &Schedule,
@@ -114,7 +114,10 @@ pub fn select_scan_variables(
     let mut uncut: Vec<usize> = (0..loops.len()).collect();
     let mut selected: Vec<VarId> = Vec::new();
     while !uncut.is_empty() {
-        let mut best: Option<((f64, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>), VarId)> = None;
+        // Highest score wins; `Reverse` fields break ties toward the
+        // earlier birth and smaller id.
+        type Score = (f64, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>);
+        let mut best: Option<(Score, VarId)> = None;
         for &v in &all_candidates {
             if selected.contains(&v) {
                 continue;
@@ -147,7 +150,11 @@ pub fn select_scan_variables(
             let score = options.w_loop * lce + options.w_share * hse;
             // Ties break toward shorter lifetimes (they share registers
             // best), then lower ids for determinism.
-            let key = (score, std::cmp::Reverse(vsteps.len()), std::cmp::Reverse(v.0));
+            let key = (
+                score,
+                std::cmp::Reverse(vsteps.len()),
+                std::cmp::Reverse(v.0),
+            );
             let better = match &best {
                 None => true,
                 Some((bk, _)) => {
@@ -164,7 +171,11 @@ pub fn select_scan_variables(
         uncut.retain(|&li| !loop_vars[li].contains(&v));
     }
     let scan_registers = group_into_registers(&selected, &lt);
-    ScanSelection { scan_vars: selected, scan_registers, loops_total: loops.len() }
+    ScanSelection {
+        scan_vars: selected,
+        scan_registers,
+        loops_total: loops.len(),
+    }
 }
 
 /// Baseline: a minimum *cardinality* set of variables hitting all loops
@@ -172,11 +183,7 @@ pub fn select_scan_variables(
 /// counts by iterative deepening and greedily otherwise; variables are
 /// then grouped into registers the same way, so the comparison isolates
 /// the selection policy.
-pub fn mfvs_baseline(
-    cdfg: &Cdfg,
-    schedule: &Schedule,
-    max_loops: usize,
-) -> ScanSelection {
+pub fn mfvs_baseline(cdfg: &Cdfg, schedule: &Schedule, max_loops: usize) -> ScanSelection {
     let loops = cdfg.loops(max_loops);
     let lt = LifetimeMap::compute(cdfg, schedule);
     let loop_vars: Vec<Vec<VarId>> = loops
@@ -190,7 +197,11 @@ pub fn mfvs_baseline(
         .collect();
     let selected = minimum_hitting_set(&loop_vars);
     let scan_registers = group_into_registers(&selected, &lt);
-    ScanSelection { scan_vars: selected, scan_registers, loops_total: loops.len() }
+    ScanSelection {
+        scan_vars: selected,
+        scan_registers,
+        loops_total: loops.len(),
+    }
 }
 
 /// Exact minimum hitting set by iterative deepening for ≤ 24 sets;
@@ -268,7 +279,11 @@ mod tests {
 
     #[test]
     fn cuts_all_loops_on_loopy_benchmarks() {
-        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::ewf(),
+            benchmarks::iir_biquad(),
+        ] {
             let s = schedule_for(&g);
             let sel = select_scan_variables(&g, &s, &ScanSelectOptions::default());
             assert!(sel.loops_total > 0, "{}", g.name());
@@ -295,7 +310,11 @@ mod tests {
 
     #[test]
     fn measure_driven_needs_no_more_registers_than_baseline() {
-        for g in [benchmarks::diffeq(), benchmarks::ewf(), benchmarks::iir_biquad()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::ewf(),
+            benchmarks::iir_biquad(),
+        ] {
             let s = schedule_for(&g);
             let ours = select_scan_variables(&g, &s, &ScanSelectOptions::default());
             let base = mfvs_baseline(&g, &s, 4096);
@@ -340,7 +359,10 @@ mod tests {
         let without = select_scan_variables(
             &g,
             &s,
-            &ScanSelectOptions { w_share: 0.0, ..Default::default() },
+            &ScanSelectOptions {
+                w_share: 0.0,
+                ..Default::default()
+            },
         );
         assert!(with.register_count() <= without.register_count() + 1);
     }

@@ -82,8 +82,7 @@ pub fn schedule_and_assign(
     // Baseline latency: what plain list scheduling needs under the same
     // resource limits (the critical path alone is unreachable when the
     // allocation is tight).
-    let base = sched::list_schedule(cdfg, &options.limits, ListPriority::Slack)?
-        .num_steps();
+    let base = sched::list_schedule(cdfg, &options.limits, ListPriority::Slack)?.num_steps();
     let mut last_err = SchedError::Overflow;
     let mut best: Option<SimSchedResult> = None;
     let cost_of = |r: &SimSchedResult| -> (usize, usize) {
@@ -112,7 +111,7 @@ pub fn schedule_and_assign(
     if let Ok(conv_sched) = sched::list_schedule(cdfg, &options.limits, ListPriority::Slack) {
         let (fu_of, fus) = hlstb_hls::bind::bind_fus(cdfg, &conv_sched);
         if let Ok(conv) = assign_registers_best(cdfg, conv_sched, fu_of, fus) {
-            if best.as_ref().map_or(true, |b| cost_of(&conv) < cost_of(b)) {
+            if best.as_ref().is_none_or(|b| cost_of(&conv) < cost_of(b)) {
                 best = Some(conv);
             }
         }
@@ -162,12 +161,17 @@ fn assign_registers_best_with(
             hlstb_sgraph::mfvs::MfvsOptions::default(),
         );
         let cost = (fvs.nodes.len(), datapath.registers().len());
-        if best.as_ref().map_or(true, |(c, r, ..)| cost < (*c, *r)) {
+        if best.as_ref().is_none_or(|(c, r, ..)| cost < (*c, *r)) {
             best = Some((cost.0, cost.1, binding, datapath, scan_hint));
         }
     }
     let (_, _, binding, datapath, scan_registers) = best.ok_or(SchedError::Overflow)?;
-    Ok(SimSchedResult { schedule, binding, datapath, scan_registers })
+    Ok(SimSchedResult {
+        schedule,
+        binding,
+        datapath,
+        scan_registers,
+    })
 }
 
 fn attempt(
@@ -182,7 +186,9 @@ fn attempt(
 
     let mut start: Vec<Option<u32>> = vec![None; n];
     let mut module_of: Vec<Option<usize>> = vec![None; n];
-    let mut modules: Vec<(FuKind, Vec<(u32, u32)>, Vec<OpId>)> = Vec::new(); // kind, busy, ops
+    // One functional module: its kind, busy intervals, and bound ops.
+    type Module = (FuKind, Vec<(u32, u32)>, Vec<OpId>);
+    let mut modules: Vec<Module> = Vec::new();
     // Module adjacency for the testability term.
     let mut madj: Vec<Vec<usize>> = Vec::new();
 
@@ -190,7 +196,7 @@ fn attempt(
         // Count distinct non-self cycles through `from` after adding the
         // extra edges, bounded depth 6.
         let succs = |u: usize| -> Vec<usize> {
-            let mut v: Vec<usize> = madj.get(u).map(|s| s.clone()).unwrap_or_default();
+            let mut v: Vec<usize> = madj.get(u).cloned().unwrap_or_default();
             v.extend(extra.iter().filter(|(a, _)| *a == u).map(|(_, b)| *b));
             v.sort_unstable();
             v.dedup();
@@ -257,7 +263,10 @@ fn attempt(
         // Enumerate candidate (module, step) pairs.
         let mut best: Option<(f64, usize, u32, bool)> = None; // cost, module, step, is_new
         let existing_count = modules.iter().filter(|(k, _, _)| *k == kind).count();
-        let may_new = options.limits.limit(kind).map_or(true, |l| existing_count < l);
+        let may_new = options
+            .limits
+            .limit(kind)
+            .is_none_or(|l| existing_count < l);
         let mut c = earliest;
         while c <= horizon {
             if best.is_some() && c > deadline {
@@ -270,20 +279,38 @@ fn attempt(
                     continue;
                 }
                 let cost = candidate_cost(
-                    cdfg, op, mi, &module_of, &madj, &creates_cycle, options, false, &ready,
-                    c, &start,
+                    cdfg,
+                    op,
+                    mi,
+                    &module_of,
+                    &madj,
+                    &creates_cycle,
+                    options,
+                    false,
+                    &ready,
+                    c,
+                    &start,
                 );
-                if best.map_or(true, |(bc, ..)| cost < bc - 1e-12) {
+                if best.is_none_or(|(bc, ..)| cost < bc - 1e-12) {
                     best = Some((cost, mi, c, false));
                 }
             }
             if may_new {
                 let mi = modules.len();
                 let cost = candidate_cost(
-                    cdfg, op, mi, &module_of, &madj, &creates_cycle, options, true, &ready, c,
+                    cdfg,
+                    op,
+                    mi,
+                    &module_of,
+                    &madj,
+                    &creates_cycle,
+                    options,
+                    true,
+                    &ready,
+                    c,
                     &start,
                 );
-                if best.map_or(true, |(bc, ..)| cost < bc - 1e-12) {
+                if best.is_none_or(|(bc, ..)| cost < bc - 1e-12) {
                     best = Some((cost, mi, c, true));
                 }
             }
@@ -308,9 +335,15 @@ fn attempt(
         remaining.retain(|&o| o != op);
     }
 
-    let start: Vec<u32> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
+    let start: Vec<u32> = start
+        .into_iter()
+        .map(|s| s.expect("all scheduled"))
+        .collect();
     let schedule = Schedule::new(cdfg, start).map_err(SchedError::Invalid)?;
-    let fu_of: Vec<usize> = module_of.into_iter().map(|m| m.expect("all bound")).collect();
+    let fu_of: Vec<usize> = module_of
+        .into_iter()
+        .map(|m| m.expect("all bound"))
+        .collect();
     let fus: Vec<FuInstance> = modules
         .into_iter()
         .map(|(kind, _, ops)| FuInstance { kind, ops })
@@ -527,7 +560,9 @@ pub fn loop_avoiding_registers_with_scan(
         }
     }
     (
-        RegisterAssignment { registers: groups.into_iter().map(|(g, _)| g).collect() },
+        RegisterAssignment {
+            registers: groups.into_iter().map(|(g, _)| g).collect(),
+        },
         (0..scan_count).collect(),
     )
 }
@@ -542,7 +577,9 @@ mod tests {
 
     fn scan_count(dp: &Datapath) -> usize {
         let sg = dp.register_sgraph();
-        minimum_feedback_vertex_set(&sg, MfvsOptions::default()).nodes.len()
+        minimum_feedback_vertex_set(&sg, MfvsOptions::default())
+            .nodes
+            .len()
     }
 
     #[test]
@@ -555,14 +592,25 @@ mod tests {
         let r = schedule_and_assign(&g, &opts).unwrap();
         // Three steps, two adders — the paper's constraint — and no scan
         // registers needed (Figure 1(c)'s outcome).
-        assert_eq!(scan_count(&r.datapath), 0, "figure 1 should come out loop-free");
+        assert_eq!(
+            scan_count(&r.datapath),
+            0,
+            "figure 1 should come out loop-free"
+        );
     }
 
     #[test]
     fn never_worse_than_oblivious_flow_on_loop_free_behaviors() {
-        for g in [benchmarks::figure1(), benchmarks::fir(8), benchmarks::tseng()] {
+        for g in [
+            benchmarks::figure1(),
+            benchmarks::fir(8),
+            benchmarks::tseng(),
+        ] {
             let lim = ResourceLimits::minimal_for(&g);
-            let opts = SimSchedOptions { limits: lim.clone(), ..Default::default() };
+            let opts = SimSchedOptions {
+                limits: lim.clone(),
+                ..Default::default()
+            };
             let ours = schedule_and_assign(&g, &opts).unwrap();
             let s = sched::list_schedule(&g, &lim, ListPriority::Slack).unwrap();
             let b = bind::bind(&g, &s, &BindOptions::default()).unwrap();
@@ -579,7 +627,11 @@ mod tests {
 
     #[test]
     fn loopy_behaviors_still_schedule_and_build() {
-        for g in [benchmarks::diffeq(), benchmarks::iir_biquad(), benchmarks::ar_lattice()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::iir_biquad(),
+            benchmarks::ar_lattice(),
+        ] {
             let opts = SimSchedOptions::default();
             let r = schedule_and_assign(&g, &opts).unwrap();
             assert!(r.datapath.consistent_with(&g, &r.schedule), "{}", g.name());

@@ -47,7 +47,10 @@ pub struct TpiOptions {
 
 impl Default for TpiOptions {
     fn default() -> Self {
-        TpiOptions { target_weakness: 0.01, max_points: 8 }
+        TpiOptions {
+            target_weakness: 0.01,
+            max_points: 8,
+        }
     }
 }
 
@@ -94,15 +97,17 @@ pub fn insert_test_points(nl: &Netlist, options: &TpiOptions) -> TpiResult {
         };
         points.push(point);
     }
-    TpiResult { netlist: current, points }
+    TpiResult {
+        netlist: current,
+        points,
+    }
 }
 
 /// Inserts `fixed = net ⊕ (test_en ∧ tp<i>)` and rewires every reader
 /// of `net` (and the primary-output table) to the fixed value.
 pub fn add_control_point(nl: &Netlist, net: NetId, index: usize) -> Netlist {
     let mut b = replay(nl);
-    let test_en = existing_input(nl, "test_en")
-        .unwrap_or_else(|| b.input("test_en"));
+    let test_en = existing_input(nl, "test_en").unwrap_or_else(|| b.input("test_en"));
     let tp = b.input(format!("tp{index}"));
     let inject = b.and2(test_en, tp);
     let muxed = b.xor2(net, inject);
@@ -191,7 +196,13 @@ mod tests {
     #[test]
     fn points_raise_random_pattern_coverage() {
         let nl = resistant();
-        let r = insert_test_points(&nl, &TpiOptions { target_weakness: 0.05, max_points: 4 });
+        let r = insert_test_points(
+            &nl,
+            &TpiOptions {
+                target_weakness: 0.05,
+                max_points: 4,
+            },
+        );
         assert!(!r.points.is_empty());
         let seed = 7;
         let before = {
@@ -215,7 +226,13 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let nl = resistant();
-        let r = insert_test_points(&nl, &TpiOptions { target_weakness: 0.5, max_points: 2 });
+        let r = insert_test_points(
+            &nl,
+            &TpiOptions {
+                target_weakness: 0.5,
+                max_points: 2,
+            },
+        );
         assert!(r.points.len() <= 2);
     }
 

@@ -32,7 +32,10 @@ impl Default for CostWeights {
             cycle_base: 2.0,
             depth_weight: 1.0,
             self_loop_cost: 0.0,
-            limits: CycleLimits { max_cycles: 2_000, max_len: 24 },
+            limits: CycleLimits {
+                max_cycles: 2_000,
+                max_len: 24,
+            },
         }
     }
 }
@@ -75,7 +78,6 @@ impl AtpgComplexity {
 /// let po = [NodeId(3)];
 /// assert!(estimate(&ring, &io, &po, &w).total() > estimate(&chain, &io, &po, &w).total());
 /// ```
-
 pub fn estimate(
     g: &SGraph,
     inputs: &[NodeId],
@@ -127,7 +129,12 @@ mod tests {
         let w = CostWeights::default();
         let c3 = estimate(&ring(3), &[NodeId(0)], &[NodeId(0)], &w);
         let c6 = estimate(&ring(6), &[NodeId(0)], &[NodeId(0)], &w);
-        assert!(c6.cycle_cost >= c3.cycle_cost * 7.9, "{} vs {}", c6.cycle_cost, c3.cycle_cost);
+        assert!(
+            c6.cycle_cost >= c3.cycle_cost * 7.9,
+            "{} vs {}",
+            c6.cycle_cost,
+            c3.cycle_cost
+        );
     }
 
     #[test]
@@ -169,7 +176,10 @@ mod tests {
         }
         let g = SGraph::from_edges(4, edges);
         let w = CostWeights {
-            limits: CycleLimits { max_cycles: 3, max_len: 24 },
+            limits: CycleLimits {
+                max_cycles: 3,
+                max_len: 24,
+            },
             ..Default::default()
         };
         let e = estimate(&g, &[NodeId(0)], &[NodeId(0)], &w);

@@ -17,6 +17,11 @@ impl Cycle {
         self.nodes.len()
     }
 
+    /// Whether the cycle has no nodes (never true for a found cycle).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
     /// Whether the cycle is a self-loop.
     pub fn is_self_loop(&self) -> bool {
         self.nodes.len() == 1
@@ -40,7 +45,10 @@ pub struct CycleLimits {
 
 impl Default for CycleLimits {
     fn default() -> Self {
-        CycleLimits { max_cycles: 10_000, max_len: 64 }
+        CycleLimits {
+            max_cycles: 10_000,
+            max_len: 64,
+        }
     }
 }
 
@@ -91,10 +99,11 @@ pub fn enumerate_cycles(g: &SGraph, limits: CycleLimits) -> Vec<Cycle> {
                     });
                 }
                 found = true;
-            } else if !blocked[w] && path.len() < limits.max_len {
-                if circuit(w, start, g, blocked, block_map, path, result, limits) {
-                    found = true;
-                }
+            } else if !blocked[w]
+                && path.len() < limits.max_len
+                && circuit(w, start, g, blocked, block_map, path, result, limits)
+            {
+                found = true;
             }
         }
         if found {
@@ -121,7 +130,16 @@ pub fn enumerate_cycles(g: &SGraph, limits: CycleLimits) -> Vec<Cycle> {
             m.clear();
         }
         path.clear();
-        circuit(start, start, g, &mut blocked, &mut block_map, &mut path, &mut result, limits);
+        circuit(
+            start,
+            start,
+            g,
+            &mut blocked,
+            &mut block_map,
+            &mut path,
+            &mut result,
+            limits,
+        );
     }
     result
 }
@@ -132,6 +150,7 @@ pub fn enumerate_cycles(g: &SGraph, limits: CycleLimits) -> Vec<Cycle> {
 pub fn shortest_cycle_lengths(g: &SGraph) -> Vec<Option<usize>> {
     let n = g.num_nodes();
     let mut out = vec![None; n];
+    #[allow(clippy::needless_range_loop)] // `s` also seeds the BFS below
     for s in 0..n {
         // BFS from s; shortest path back to s of length >= 2, or 1 if
         // a self-loop exists — here self-loops are ignored by contract.
@@ -193,9 +212,21 @@ mod tests {
     #[test]
     fn limits_are_respected() {
         let g = SGraph::from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
-        let cycles = enumerate_cycles(&g, CycleLimits { max_cycles: 2, max_len: 64 });
+        let cycles = enumerate_cycles(
+            &g,
+            CycleLimits {
+                max_cycles: 2,
+                max_len: 64,
+            },
+        );
         assert_eq!(cycles.len(), 2);
-        let short = enumerate_cycles(&g, CycleLimits { max_cycles: 100, max_len: 2 });
+        let short = enumerate_cycles(
+            &g,
+            CycleLimits {
+                max_cycles: 100,
+                max_len: 2,
+            },
+        );
         assert!(short.iter().all(|c| c.len() <= 2));
         assert_eq!(short.len(), 3);
     }

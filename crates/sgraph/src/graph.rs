@@ -3,10 +3,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A node of an [`SGraph`] — one flip-flop or register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -28,7 +26,7 @@ impl fmt::Display for NodeId {
 ///
 /// Parallel edges are collapsed; self-loops are kept (they matter:
 /// partial scan tolerates them, BILBO self-adjacency does not).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SGraph {
     /// Sorted successor sets, indexed by node.
     succs: Vec<BTreeSet<u32>>,
@@ -162,8 +160,7 @@ impl SGraph {
     /// registers" operation: a scanned register's node is removed from
     /// the S-graph along with all incident edges).
     pub fn without_nodes(&self, removed: &BTreeSet<NodeId>) -> (SGraph, Vec<NodeId>) {
-        let keep: BTreeSet<NodeId> =
-            self.nodes().filter(|n| !removed.contains(n)).collect();
+        let keep: BTreeSet<NodeId> = self.nodes().filter(|n| !removed.contains(n)).collect();
         self.induced_subgraph(&keep)
     }
 

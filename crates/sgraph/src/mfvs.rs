@@ -29,7 +29,10 @@ pub struct MfvsOptions {
 
 impl Default for MfvsOptions {
     fn default() -> Self {
-        MfvsOptions { tolerate_self_loops: true, exact_threshold: 16 }
+        MfvsOptions {
+            tolerate_self_loops: true,
+            exact_threshold: 16,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ pub struct FeedbackVertexSet {
 
 /// Checks that removing `set` leaves the graph acyclic (under the given
 /// self-loop tolerance).
-pub fn is_feedback_vertex_set(g: &SGraph, set: &BTreeSet<NodeId>, tolerate_self_loops: bool) -> bool {
+pub fn is_feedback_vertex_set(
+    g: &SGraph,
+    set: &BTreeSet<NodeId>,
+    tolerate_self_loops: bool,
+) -> bool {
     let (rest, _) = g.without_nodes(set);
     rest.is_acyclic(tolerate_self_loops)
 }
@@ -64,7 +71,6 @@ pub fn is_feedback_vertex_set(g: &SGraph, set: &BTreeSet<NodeId>, tolerate_self_
 /// let fvs = minimum_feedback_vertex_set(&g, MfvsOptions::default());
 /// assert_eq!(fvs.nodes.len(), 1);
 /// ```
-
 pub fn minimum_feedback_vertex_set(g: &SGraph, options: MfvsOptions) -> FeedbackVertexSet {
     let mut selected: BTreeSet<NodeId> = BTreeSet::new();
     let mut optimal = true;
@@ -74,8 +80,7 @@ pub fn minimum_feedback_vertex_set(g: &SGraph, options: MfvsOptions) -> Feedback
 
     if !options.tolerate_self_loops {
         // Self-loop nodes are unavoidable members.
-        let forced: BTreeSet<NodeId> =
-            work.nodes().filter(|&n| work.has_self_loop(n)).collect();
+        let forced: BTreeSet<NodeId> = work.nodes().filter(|&n| work.has_self_loop(n)).collect();
         for n in &forced {
             selected.insert(names[n.index()]);
         }
@@ -99,12 +104,21 @@ pub fn minimum_feedback_vertex_set(g: &SGraph, options: MfvsOptions) -> Feedback
             selected.insert(names[map[n.index()].index()]);
         }
     }
-    debug_assert!(is_feedback_vertex_set(g, &selected, options.tolerate_self_loops || selected_covers_self_loops(g, &selected)));
-    FeedbackVertexSet { nodes: selected, optimal }
+    debug_assert!(is_feedback_vertex_set(
+        g,
+        &selected,
+        options.tolerate_self_loops || selected_covers_self_loops(g, &selected)
+    ));
+    FeedbackVertexSet {
+        nodes: selected,
+        optimal,
+    }
 }
 
 fn selected_covers_self_loops(g: &SGraph, set: &BTreeSet<NodeId>) -> bool {
-    g.nodes().filter(|&n| g.has_self_loop(n)).all(|n| set.contains(&n))
+    g.nodes()
+        .filter(|&n| g.has_self_loop(n))
+        .all(|n| set.contains(&n))
 }
 
 /// Exact minimum FVS (self-loops already handled by the caller; they are
@@ -173,7 +187,7 @@ fn find_short_cycle(g: &SGraph) -> Option<Vec<NodeId>> {
                     }
                     path.push(NodeId(s as u32));
                     path.reverse();
-                    if best.as_ref().map_or(true, |b| path.len() < b.len()) {
+                    if best.as_ref().is_none_or(|b| path.len() < b.len()) {
                         best = Some(path);
                     }
                     break 'bfs;
@@ -209,7 +223,7 @@ fn greedy_fvs(g: &SGraph) -> Vec<NodeId> {
                 let outd = rest.successors(n).filter(|&s| s != n).count();
                 let score = ind * outd;
                 let orig = map[n.index()];
-                if best.map_or(true, |(bs, bn)| score > bs || (score == bs && orig < bn)) {
+                if best.is_none_or(|(bs, bn)| score > bs || (score == bs && orig < bn)) {
                     best = Some((score, orig));
                 }
             }
@@ -239,11 +253,17 @@ mod tests {
     }
 
     #[test]
-    fn self_loops_forced_when_not_tolerated(){
+    fn self_loops_forced_when_not_tolerated() {
         let g = SGraph::from_edges(2, [(0, 0), (0, 1)]);
-        let opts = MfvsOptions { tolerate_self_loops: false, ..Default::default() };
+        let opts = MfvsOptions {
+            tolerate_self_loops: false,
+            ..Default::default()
+        };
         let fvs = minimum_feedback_vertex_set(&g, opts);
-        assert_eq!(fvs.nodes.iter().copied().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(
+            fvs.nodes.iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
         assert!(is_feedback_vertex_set(&g, &fvs.nodes, false));
     }
 
@@ -271,11 +291,17 @@ mod tests {
         let g = SGraph::from_edges(4, edges);
         let exact = minimum_feedback_vertex_set(
             &g,
-            MfvsOptions { exact_threshold: 16, ..Default::default() },
+            MfvsOptions {
+                exact_threshold: 16,
+                ..Default::default()
+            },
         );
         let greedy = minimum_feedback_vertex_set(
             &g,
-            MfvsOptions { exact_threshold: 0, ..Default::default() },
+            MfvsOptions {
+                exact_threshold: 0,
+                ..Default::default()
+            },
         );
         assert!(is_feedback_vertex_set(&g, &greedy.nodes, true));
         // Node 1 or 2 alone breaks both cycles.

@@ -31,10 +31,7 @@ pub fn strongly_connected_components(g: &SGraph) -> Vec<Vec<NodeId>> {
                 stack.push(v);
                 on_stack[v] = true;
             }
-            let succs: Vec<usize> = g
-                .successors(NodeId(v as u32))
-                .map(|s| s.index())
-                .collect();
+            let succs: Vec<usize> = g.successors(NodeId(v as u32)).map(|s| s.index()).collect();
             if *cursor < succs.len() {
                 let w = succs[*cursor];
                 *cursor += 1;

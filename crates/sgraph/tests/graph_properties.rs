@@ -8,14 +8,16 @@ use hlstb_sgraph::{NodeId, SGraph};
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = SGraph> {
-    (2usize..14, proptest::collection::vec((0u32..14, 0u32..14), 0..50)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..14,
+        proptest::collection::vec((0u32..14, 0u32..14), 0..50),
+    )
+        .prop_map(|(n, edges)| {
             SGraph::from_edges(
                 n,
                 edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)),
             )
-        },
-    )
+        })
 }
 
 proptest! {

@@ -9,7 +9,7 @@
 //! the behavior — add test-mode injection and observation statements —
 //! until every module has an environment.
 
-use hlstb_cdfg::{Cdfg, CdfgError, Operand, Operation, OpId, OpKind, Variable, VarId, VarKind};
+use hlstb_cdfg::{Cdfg, CdfgError, OpId, OpKind, Operand, Operation, VarId, VarKind, Variable};
 
 use crate::environment::has_environment;
 
@@ -52,7 +52,13 @@ pub fn repair(cdfg: &Cdfg, width: u32) -> Result<Repaired, CdfgError> {
 
     let fresh = |vars: &mut Vec<Variable>, name: String, kind: VarKind| -> VarId {
         let id = VarId(vars.len() as u32);
-        vars.push(Variable { id, name, kind, def: None, uses: Vec::new() });
+        vars.push(Variable {
+            id,
+            name,
+            kind,
+            def: None,
+            uses: Vec::new(),
+        });
         id
     };
 
@@ -67,9 +73,8 @@ pub fn repair(cdfg: &Cdfg, width: u32) -> Result<Repaired, CdfgError> {
             if needs && !patched.contains(&(operand.var, operand.distance)) {
                 patched.push((operand.var, operand.distance));
                 let base = format!("{}_d{}", cdfg.var(operand.var).name, operand.distance);
-                let tm = *test_mode.get_or_insert_with(|| {
-                    fresh(&mut vars, "test_mode".into(), VarKind::Input)
-                });
+                let tm = *test_mode
+                    .get_or_insert_with(|| fresh(&mut vars, "test_mode".into(), VarKind::Input));
                 let inj = fresh(&mut vars, format!("{base}_inj"), VarKind::Input);
                 let muxed = fresh(&mut vars, format!("{base}_tc"), VarKind::Intermediate);
                 let sel = OpId(ops.len() as u32);
@@ -79,7 +84,10 @@ pub fn repair(cdfg: &Cdfg, width: u32) -> Result<Repaired, CdfgError> {
                     inputs: vec![
                         Operand::now(tm),
                         Operand::now(inj),
-                        Operand { var: operand.var, distance: operand.distance },
+                        Operand {
+                            var: operand.var,
+                            distance: operand.distance,
+                        },
                     ],
                     output: muxed,
                 });
@@ -125,7 +133,11 @@ pub fn repair(cdfg: &Cdfg, width: u32) -> Result<Repaired, CdfgError> {
         }
     }
     let cdfg = Cdfg::new(format!("{}_rep", cdfg.name()), vars, ops)?;
-    Ok(Repaired { cdfg, added_inputs, added_outputs })
+    Ok(Repaired {
+        cdfg,
+        added_inputs,
+        added_outputs,
+    })
 }
 
 #[cfg(test)]
@@ -143,7 +155,11 @@ mod tests {
 
     #[test]
     fn repair_gives_every_op_an_environment() {
-        for g in [benchmarks::diffeq(), benchmarks::iir_biquad(), benchmarks::ar_lattice()] {
+        for g in [
+            benchmarks::diffeq(),
+            benchmarks::iir_biquad(),
+            benchmarks::ar_lattice(),
+        ] {
             let r = repair(&g, 8).unwrap();
             // The inserted Select/Pass test statements themselves read
             // loop-carried values and are not expected to have

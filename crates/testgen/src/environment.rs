@@ -19,10 +19,13 @@ fn mask(width: u32) -> u64 {
     }
 }
 
-/// The transparent "modes" of an operation: for each carrying port, the
-/// constants required on the other ports and the inverse mapping from
+/// One transparent "mode" of an operation: the carrying port, the
+/// constants required on the other ports, and the inverse mapping from
 /// the desired output value to the carried value.
-fn modes(kind: OpKind, width: u32) -> Vec<(usize, Vec<(usize, u64)>, fn(u64, u64) -> u64)> {
+type Mode = (usize, Vec<(usize, u64)>, fn(u64, u64) -> u64);
+
+/// The transparent modes of an operation.
+fn modes(kind: OpKind, width: u32) -> Vec<Mode> {
     fn ident(v: u64, _m: u64) -> u64 {
         v
     }
@@ -162,13 +165,7 @@ pub fn has_environment(cdfg: &Cdfg, op: OpId, width: u32) -> bool {
 /// let assignment = justify(&cdfg, e, 9, 4).expect("figure 1 is transparent");
 /// assert!(!assignment.is_empty());
 /// ```
-
-pub fn justify(
-    cdfg: &Cdfg,
-    var: VarId,
-    value: u64,
-    width: u32,
-) -> Option<HashMap<String, u64>> {
+pub fn justify(cdfg: &Cdfg, var: VarId, value: u64, width: u32) -> Option<HashMap<String, u64>> {
     let value = value & mask(width);
     let v = cdfg.var(var);
     match v.kind {
@@ -310,10 +307,7 @@ mod tests {
     use hlstb_cdfg::benchmarks;
     use hlstb_cdfg::CdfgBuilder;
 
-    fn streams_from(
-        cdfg: &Cdfg,
-        assign: &HashMap<String, u64>,
-    ) -> HashMap<String, Vec<u64>> {
+    fn streams_from(cdfg: &Cdfg, assign: &HashMap<String, u64>) -> HashMap<String, Vec<u64>> {
         cdfg.inputs()
             .map(|v| (v.name.clone(), vec![*assign.get(&v.name).unwrap_or(&0)]))
             .collect()
@@ -394,7 +388,11 @@ mod tests {
     fn environment_exists_for_simple_dataflow_ops() {
         let g = benchmarks::figure1();
         for op in g.ops() {
-            assert!(has_environment(&g, op.id, 8), "{} lacks an environment", op.id);
+            assert!(
+                has_environment(&g, op.id, 8),
+                "{} lacks an environment",
+                op.id
+            );
         }
     }
 

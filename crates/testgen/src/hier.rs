@@ -169,7 +169,11 @@ pub fn hierarchical_tests(cdfg: &Cdfg, binding: &Binding, width: u32) -> HierRes
         tests,
         untranslated,
         module_effort,
-        module_coverage: if cov_n == 0 { 100.0 } else { cov_sum / cov_n as f64 },
+        module_coverage: if cov_n == 0 {
+            100.0
+        } else {
+            cov_sum / cov_n as f64
+        },
     }
 }
 

@@ -26,19 +26,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let naive = naive_plan(&d.datapath);
     let shared = shared_plan(&d.datapath);
-    println!("diffeq data path: {} registers, {} modules", d.report.registers, d.report.fus);
+    println!(
+        "diffeq data path: {} registers, {} modules",
+        d.report.registers, d.report.fus
+    );
     let (t, s, b, c) = naive.counts();
-    println!("naive plan : {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
-        naive.overhead_percent(8, &costs));
+    println!(
+        "naive plan : {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
+        naive.overhead_percent(8, &costs)
+    );
     let (t, s, b, c) = shared.counts();
-    println!("shared plan: {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
-        shared.overhead_percent(8, &costs));
+    println!(
+        "shared plan: {t} TPGR, {s} SR, {b} BILBO, {c} CBILBO — overhead {:.1} %",
+        shared.overhead_percent(8, &costs)
+    );
 
     let schedule = d.schedule.clone();
     let tfb = map_tfbs(&cdfg, &schedule);
     let xtfb = map_xtfbs(&cdfg, &schedule);
     println!("TFB mapping : {} blocks", tfb.block_count());
-    println!("XTFB mapping: {} blocks, {} CBILBOs", xtfb.block_count(), xtfb.cbilbo_count());
+    println!(
+        "XTFB mapping: {} blocks, {} CBILBOs",
+        xtfb.block_count(),
+        xtfb.cbilbo_count()
+    );
 
     let sessions = schedule_sessions(&d.datapath);
     println!("test sessions: {} → {:?}", sessions.len(), sessions);

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {} ({}): {}",
             op.id,
             op.kind,
-            if has_environment(&cdfg, op.id, 4) { "yes" } else { "NO" }
+            if has_environment(&cdfg, op.id, 4) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 
@@ -32,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.untranslated,
         r.module_coverage
     );
-    let valid = r.tests.iter().filter(|t| validate_test(&cdfg, t, 4)).count();
+    let valid = r
+        .tests
+        .iter()
+        .filter(|t| validate_test(&cdfg, t, 4))
+        .count();
     println!("behaviorally validated: {valid}/{}", r.tests.len());
     if let Some(t) = r.tests.first() {
         println!(

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("none", DftStrategy::None),
         ("full scan", DftStrategy::FullScan),
         ("gate-level partial scan", DftStrategy::GateLevelPartialScan),
-        ("behavioral partial scan", DftStrategy::BehavioralPartialScan),
+        (
+            "behavioral partial scan",
+            DftStrategy::BehavioralPartialScan,
+        ),
         ("loop avoidance", DftStrategy::SimultaneousLoopAvoidance),
     ] {
         let d = SynthesisFlow::new(cdfg.clone()).strategy(strategy).run()?;

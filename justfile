@@ -1,0 +1,28 @@
+# `just ci` = the full tier-1 gate; individual recipes for local loops.
+
+# Everything CI checks, in order.
+ci: build test fmt clippy
+
+# Release build (the tier-1 compile gate).
+build:
+    cargo build --release
+
+# The whole test suite, quietly.
+test:
+    cargo test -q --workspace
+
+# Formatting is enforced, not suggested.
+fmt:
+    cargo fmt --check
+
+# Lints are errors.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every experiment table (EXPERIMENTS.md source of truth).
+exp-all:
+    cargo run --release -p hlstb-bench --bin exp_all
+
+# Time the grading engine and refresh BENCH_fsim.json.
+bench-fsim patterns="1024":
+    cargo run --release -p hlstb-bench --bin exp_fsim -- {{patterns}}

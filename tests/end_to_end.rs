@@ -13,7 +13,10 @@ fn streams_for(cdfg: &hlstb::cdfg::Cdfg, n: usize) -> HashMap<String, Vec<u64>> 
     cdfg.inputs()
         .map(|v| {
             let base = v.id.0 as u64 * 11 + 5;
-            (v.name.clone(), (0..n as u64).map(|i| (base + 7 * i) & 0xf).collect())
+            (
+                v.name.clone(),
+                (0..n as u64).map(|i| (base + 7 * i) & 0xf).collect(),
+            )
         })
         .collect()
 }
@@ -71,7 +74,10 @@ fn gate_level_equals_behavior_for_every_scheduler() {
         Scheduler::ForceDirected(2),
         Scheduler::Asap,
     ] {
-        let d = SynthesisFlow::new(g.clone()).scheduler(scheduler).run().unwrap();
+        let d = SynthesisFlow::new(g.clone())
+            .scheduler(scheduler)
+            .run()
+            .unwrap();
         let hw = simulate_hw(&d.expanded, &d.datapath, &streams);
         for o in g.outputs() {
             assert_eq!(hw[&o.name], reference[&o.name], "{scheduler:?}:{}", o.name);
@@ -100,17 +106,30 @@ fn full_scan_restores_combinational_atpg_coverage() {
     // The central DFT promise: with every register scannable, plain
     // combinational ATPG tests the whole data path.
     let g = benchmarks::tseng();
-    let d = SynthesisFlow::new(g).strategy(DftStrategy::FullScan).run().unwrap();
+    let d = SynthesisFlow::new(g)
+        .strategy(DftStrategy::FullScan)
+        .run()
+        .unwrap();
     let nl = d.expanded.netlist.clone().with_full_scan(); // controller too
     let faults = collapsed_faults(&nl);
-    let run = generate_all(&nl, &faults, &AtpgOptions { backtrack_limit: 5_000 });
+    let run = generate_all(
+        &nl,
+        &faults,
+        &AtpgOptions {
+            backtrack_limit: 5_000,
+        },
+    );
     assert!(run.aborted == 0, "aborted {}", run.aborted);
     assert!(
         run.efficiency_percent() > 99.9,
         "efficiency {:.2}",
         run.efficiency_percent()
     );
-    assert!(run.coverage_percent() > 90.0, "coverage {:.2}", run.coverage_percent());
+    assert!(
+        run.coverage_percent() > 90.0,
+        "coverage {:.2}",
+        run.coverage_percent()
+    );
 }
 
 #[test]
@@ -122,12 +141,19 @@ fn behavioral_scan_beats_no_scan_on_sequential_atpg() {
         .strategy(DftStrategy::BehavioralPartialScan)
         .run()
         .unwrap();
-    let opts = SeqAtpgOptions { max_frames: 4, backtrack_limit: 200 };
+    let opts = SeqAtpgOptions {
+        max_frames: 4,
+        backtrack_limit: 200,
+    };
     let sample = 30;
     let f1 = collapsed_faults(&plain.expanded.netlist);
     let r1 = seq_generate_all(&plain.expanded.netlist, &f1[..sample.min(f1.len())], &opts);
     let f2 = collapsed_faults(&scanned.expanded.netlist);
-    let r2 = seq_generate_all(&scanned.expanded.netlist, &f2[..sample.min(f2.len())], &opts);
+    let r2 = seq_generate_all(
+        &scanned.expanded.netlist,
+        &f2[..sample.min(f2.len())],
+        &opts,
+    );
     assert!(
         r2.coverage_percent() >= r1.coverage_percent(),
         "scan {:.1} vs plain {:.1}",

@@ -38,7 +38,7 @@ fn diffeq_shapes() {
     assert_eq!(period, 13);
     assert_eq!(regs, 10);
     assert!(acyclic);
-    assert!(scan >= 1 && scan <= 4, "{scan}");
+    assert!((1..=4).contains(&scan), "{scan}");
 }
 
 #[test]
@@ -46,7 +46,7 @@ fn ewf_shapes() {
     let (period, regs, _, _) = shape("ewf", DftStrategy::None);
     // 34 ops on minimal resources: one multiplier serializes the 8 muls.
     assert_eq!(period, 35);
-    assert!(regs >= 11 && regs <= 16, "{regs}");
+    assert!((11..=16).contains(&regs), "{regs}");
 }
 
 #[test]
@@ -81,7 +81,10 @@ fn gate_counts_are_stable_within_bounds() {
         ("ewf", 600, 1500),
         ("gcd", 250, 800),
     ] {
-        let g = benchmarks::all().into_iter().find(|g| g.name() == name).unwrap();
+        let g = benchmarks::all()
+            .into_iter()
+            .find(|g| g.name() == name)
+            .unwrap();
         let d = SynthesisFlow::new(g).run().unwrap();
         assert!(
             d.report.gates >= lo && d.report.gates <= hi,
