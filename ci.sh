@@ -4,7 +4,18 @@
 # network access is needed for any step.
 set -eux
 
-cargo build --release
+# --workspace so every member's binaries build too (the root package's
+# plain `cargo build` would only link its own lib and deps).
+cargo build --release --workspace
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Trace smoke: one traced synthesis must produce a loadable Chrome trace
+# with every pipeline stage span present (trace-check exits nonzero on a
+# missing, empty, or invalid trace).
+./target/release/hlstb synth diffeq --strategy behavioral-partial-scan \
+    --grade 128 --atpg --trace trace_smoke.json --trace-summary
+./target/release/hlstb trace-check trace_smoke.json \
+    sched bind expand netlist.build scan.select bist.plan atpg fsim.grade
+rm -f trace_smoke.json

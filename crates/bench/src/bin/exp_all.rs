@@ -1,5 +1,6 @@
 //! Runs every experiment in sequence — the full reproduction sweep.
 fn main() {
+    hlstb_bench::tracehook::init();
     print!("{}", hlstb::tools::render_table1());
     println!();
     for t in [
@@ -29,4 +30,5 @@ fn main() {
     ] {
         println!("{t}");
     }
+    hlstb_bench::tracehook::finish();
 }

@@ -3,6 +3,7 @@
 //! `BENCH_fsim.json` next to the working directory for perf tracking.
 
 fn main() {
+    hlstb_bench::tracehook::init();
     let patterns: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -18,4 +19,5 @@ fn main() {
     let path = "BENCH_fsim.json";
     std::fs::write(path, sweep.to_json()).expect("write BENCH_fsim.json");
     println!("wrote {path}");
+    hlstb_bench::tracehook::finish();
 }

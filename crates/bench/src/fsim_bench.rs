@@ -192,8 +192,13 @@ impl FsimSweep {
         t
     }
 
-    /// The whole sweep as a JSON document (`BENCH_fsim.json`).
+    /// The whole sweep as a JSON document (`BENCH_fsim.json`), built on
+    /// the shared [`hlstb::trace::json`] writers. Each run carries an
+    /// explicit `phase_ms` object so perf tracking can diff the
+    /// good-machine and faulty-machine phases directly.
     pub fn to_json(&self) -> String {
+        use hlstb::trace::json::Obj;
+        let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"fsim_engine\",\n");
         out.push_str(&format!("  \"patterns\": {},\n", self.patterns));
@@ -207,12 +212,20 @@ impl FsimSweep {
         ));
         out.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
+            let mut phases = Obj::new();
+            phases
+                .raw("good", &ms(r.stats.wall_good))
+                .raw("fault", &ms(r.stats.wall_fault))
+                .raw("total", &ms(r.stats.wall()));
+            let mut o = Obj::new();
+            o.string("design", &r.design)
+                .string("config", r.config)
+                .raw("coverage_percent", &format!("{:.3}", r.coverage_percent))
+                .raw("phase_ms", &phases.finish())
+                .raw("stats", &r.stats.to_json());
             out.push_str(&format!(
-                "    {{\"design\": \"{}\", \"config\": \"{}\", \"coverage_percent\": {:.3}, \"stats\": {}}}{}\n",
-                r.design,
-                r.config,
-                r.coverage_percent,
-                r.stats.to_json(),
+                "    {}{}\n",
+                o.finish(),
                 if i + 1 < self.runs.len() { "," } else { "" }
             ));
         }
@@ -262,5 +275,19 @@ mod tests {
             assert!(j.contains(&format!("\"config\": \"{name}\"")), "{j}");
         }
         assert!(j.contains("\"speedup_drop_4t_vs_naive\""));
+    }
+
+    #[test]
+    fn json_parses_and_carries_phase_ms() {
+        let s = sweep_designs(&[benchmarks::figure1()], 64);
+        let v = hlstb::trace::json::parse(&s.to_json()).expect("sweep JSON parses");
+        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+        assert_eq!(runs.len(), configs().len());
+        for r in runs {
+            let p = r.get("phase_ms").expect("phase_ms present");
+            for key in ["good", "fault", "total"] {
+                assert!(p.get(key).and_then(|x| x.as_f64()).is_some(), "{key}");
+            }
+        }
     }
 }

@@ -22,3 +22,42 @@ pub mod scoreboard;
 pub mod table;
 
 pub use table::Table;
+
+/// Opt-in tracing for the experiment binaries, driven by environment
+/// variables so the default runs stay untraced and allocation-free on
+/// the hot paths:
+///
+/// * `HLSTB_TRACE=<file>` — enable tracing and write a Chrome trace
+///   (chrome://tracing, Perfetto) to `<file>` on [`tracehook::finish`].
+/// * `HLSTB_TRACE_SUMMARY=1` — enable tracing and print the per-phase
+///   timing summary to stderr on finish.
+pub mod tracehook {
+    /// Reads the environment and enables the global collector when
+    /// either hook variable is set. Call once at the top of `main`.
+    pub fn init() {
+        if std::env::var_os("HLSTB_TRACE").is_some()
+            || std::env::var_os("HLSTB_TRACE_SUMMARY").is_some()
+        {
+            hlstb::trace::reset();
+            hlstb::trace::set_enabled(true);
+        }
+    }
+
+    /// Exports whatever the run recorded. Call once at the end of
+    /// `main`; a no-op when [`init`] did not enable tracing.
+    pub fn finish() {
+        if !hlstb::trace::enabled() {
+            return;
+        }
+        let snap = hlstb::trace::snapshot();
+        if let Some(path) = std::env::var_os("HLSTB_TRACE") {
+            match std::fs::write(&path, snap.chrome_trace_json()) {
+                Ok(()) => eprintln!("wrote trace to {}", path.to_string_lossy()),
+                Err(e) => eprintln!("trace export to {} failed: {e}", path.to_string_lossy()),
+            }
+        }
+        if std::env::var_os("HLSTB_TRACE_SUMMARY").is_some() {
+            eprint!("{}", snap.text_summary());
+        }
+    }
+}

@@ -131,6 +131,7 @@ pub fn module_io_registers(dp: &Datapath) -> Vec<(Vec<usize>, Vec<usize>)> {
 /// registers become CBILBOs. This is the §5 baseline the optimizations
 /// improve on.
 pub fn naive_plan(dp: &Datapath) -> BistPlan {
+    let _span = hlstb_trace::span("bist.naive");
     let io = module_io_registers(dp);
     let n = dp.registers().len();
     let mut gen = vec![false; n];

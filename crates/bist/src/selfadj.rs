@@ -101,6 +101,7 @@ pub fn assignment_self_adjacency(cdfg: &Cdfg, fu_of: &[usize], regs: &RegisterAs
 /// no feasible color exists (so the total register count equals the
 /// conventional coloring's).
 pub fn avra_assignment(cdfg: &Cdfg, schedule: &Schedule, fu_of: &[usize]) -> RegisterAssignment {
+    let _span = hlstb_trace::span("bist.selfadj");
     let lt = LifetimeMap::compute(cdfg, schedule);
     let (vars, adj) = conflict_graph(cdfg, &lt);
     let index_of = |v: VarId| vars.iter().position(|&x| x == v);

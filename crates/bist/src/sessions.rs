@@ -60,6 +60,7 @@ pub fn session_conflict_graph(dp: &Datapath) -> SGraph {
 
 /// Greedy session scheduling under a conflict model.
 pub fn schedule_sessions_with(dp: &Datapath, model: ConflictModel) -> Vec<Vec<usize>> {
+    let _span = hlstb_trace::span("bist.sessions");
     let g = session_conflict_graph_with(dp, model);
     let nf = g.num_nodes();
     let mut session_of = vec![usize::MAX; nf];

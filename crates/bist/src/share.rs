@@ -66,6 +66,7 @@ pub fn shared_roles(dp: &Datapath) -> Vec<RegisterRoles> {
 /// condition: CBILBO only when a register generates for and captures
 /// from the *same* module.
 pub fn shared_plan(dp: &Datapath) -> BistPlan {
+    let _span = hlstb_trace::span("bist.share");
     let roles = shared_roles(dp);
     let kind_of = roles
         .iter()

@@ -6,6 +6,7 @@
 //! hlstb synth <design> [--strategy S] [--policy P] [--scheduler X] [--width N]
 //! hlstb sgraph <design> [--strategy S]      # DOT on stdout
 //! hlstb cdfg <design>                       # DOT on stdout
+//! hlstb trace-check <file> [span...]        # validate a Chrome trace
 //! ```
 
 use std::process::ExitCode;
@@ -19,6 +20,14 @@ fn designs() -> Vec<Cdfg> {
 
 fn find_design(name: &str) -> Option<Cdfg> {
     designs().into_iter().find(|g| g.name() == name)
+}
+
+fn unknown_design(name: &str) -> String {
+    let names: Vec<String> = designs().iter().map(|g| g.name().to_string()).collect();
+    format!(
+        "unknown design `{name}`; valid designs: {}",
+        names.join(", ")
+    )
 }
 
 fn parse_strategy(s: &str) -> Option<DftStrategy> {
@@ -61,12 +70,14 @@ fn parse_scheduler(s: &str) -> Option<Scheduler> {
     })
 }
 
-const USAGE: &str = "usage: hlstb <list|table1|synth|sgraph|cdfg> [args]
+const USAGE: &str = "usage: hlstb <list|table1|synth|sgraph|cdfg|trace-check> [args]
   list                          available benchmark designs
   table1                        the survey's Table 1
   synth <design> [options]      run the synthesis flow, print the report
   sgraph <design> [options]     register S-graph as Graphviz DOT
   cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
+  trace-check <file> [span...]  validate a Chrome trace file, requiring
+                                each named span to be present
 options:
   --strategy  none|full-scan|gate-partial-scan|behavioral-partial-scan|
               loop-avoidance|bist-naive|bist-shared|k-level=<k>
@@ -74,8 +85,12 @@ options:
   --scheduler list|io-aware|asap|force-directed=<extra>
   --width     data-path width in bits (default 4)
   --grade     (synth) grade the netlist with N pseudorandom patterns
+  --atpg      (synth) deterministic ATPG top-up on the residual faults
   --threads   (synth) worker threads for the grading engine (default 1)
-  --json      (synth) print the report as JSON instead of text";
+  --json      (synth) print the report as JSON instead of text
+  --trace <file>          write a Chrome trace (chrome://tracing, Perfetto)
+  --trace-metrics <file>  write flat span/counter metrics as JSON
+  --trace-summary         print a per-phase timing summary to stderr";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,15 +125,27 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "synth" | "sgraph" => {
             let name = args.get(1).ok_or(USAGE)?;
-            let cdfg = find_design(name)
-                .ok_or_else(|| format!("unknown design `{name}` (try `hlstb list`)"))?;
+            let cdfg = find_design(name).ok_or_else(|| unknown_design(name))?;
             let mut flow = SynthesisFlow::new(cdfg);
             let mut json = false;
+            let mut trace_path: Option<String> = None;
+            let mut metrics_path: Option<String> = None;
+            let mut trace_summary = false;
             let mut i = 2;
             while i < args.len() {
                 let key = args[i].as_str();
                 if key == "--json" {
                     json = true;
+                    i += 1;
+                    continue;
+                }
+                if key == "--atpg" {
+                    flow = flow.grade_atpg(true);
+                    i += 1;
+                    continue;
+                }
+                if key == "--trace-summary" {
+                    trace_summary = true;
                     i += 1;
                     continue;
                 }
@@ -148,11 +175,38 @@ fn run(args: &[String]) -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("bad thread count {value}"))?,
                     ),
+                    "--trace" => {
+                        trace_path = Some(value.clone());
+                        flow
+                    }
+                    "--trace-metrics" => {
+                        metrics_path = Some(value.clone());
+                        flow
+                    }
                     other => return Err(format!("unknown option {other}\n{USAGE}")),
                 };
                 i += 2;
             }
+            let tracing = trace_path.is_some() || metrics_path.is_some() || trace_summary;
+            if tracing {
+                hlstb::trace::reset();
+                hlstb::trace::set_enabled(true);
+            }
             let design = flow.run().map_err(|e| e.to_string())?;
+            if tracing {
+                let snap = hlstb::trace::snapshot();
+                if let Some(p) = &trace_path {
+                    std::fs::write(p, snap.chrome_trace_json())
+                        .map_err(|e| format!("writing {p}: {e}"))?;
+                }
+                if let Some(p) = &metrics_path {
+                    std::fs::write(p, snap.metrics_json())
+                        .map_err(|e| format!("writing {p}: {e}"))?;
+                }
+                if trace_summary {
+                    eprint!("{}", snap.text_summary());
+                }
+            }
             if cmd == "synth" {
                 if json {
                     println!("{}", design.report.to_json());
@@ -188,13 +242,49 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "cdfg" => {
             let name = args.get(1).ok_or(USAGE)?;
-            let cdfg = find_design(name)
-                .ok_or_else(|| format!("unknown design `{name}` (try `hlstb list`)"))?;
+            let cdfg = find_design(name).ok_or_else(|| unknown_design(name))?;
             if args.iter().any(|a| a == "--text") {
                 print!("{}", hlstb::cdfg::pretty::to_pseudocode(&cdfg));
             } else {
                 print!("{}", hlstb::cdfg::dot::to_dot(&cdfg));
             }
+            Ok(())
+        }
+        "trace-check" => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let required: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("trace-check: {path}: {e}"))?;
+            let v = hlstb::trace::json::parse(&text)
+                .map_err(|e| format!("trace-check: {path}: invalid JSON: {e}"))?;
+            let events = v
+                .get("traceEvents")
+                .and_then(|e| e.as_array())
+                .ok_or_else(|| format!("trace-check: {path}: no traceEvents array"))?;
+            let spans: std::collections::BTreeSet<&str> = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+                .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+                .collect();
+            if spans.is_empty() {
+                return Err(format!("trace-check: {path}: no span events"));
+            }
+            let missing: Vec<&str> = required
+                .iter()
+                .copied()
+                .filter(|r| !spans.contains(r))
+                .collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "trace-check: {path}: missing spans: {}",
+                    missing.join(", ")
+                ));
+            }
+            println!(
+                "trace-check: {path}: {} events, {} distinct spans, ok",
+                events.len(),
+                spans.len()
+            );
             Ok(())
         }
         _ => Err(USAGE.to_string()),

@@ -19,12 +19,13 @@ use hlstb_sgraph::depth::sequential_depth;
 use hlstb_sgraph::mfvs::{minimum_feedback_vertex_set, MfvsOptions};
 use hlstb_sgraph::NodeId;
 
+use hlstb_netlist::atpg::{generate_all_opts, AtpgOptions};
 use hlstb_netlist::fsim::ParallelOptions;
 use hlstb_netlist::random::random_pattern_run_opts;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::report::{GradingSummary, TestabilityReport};
+use crate::report::{AtpgSummary, GradingSummary, TestabilityReport};
 
 /// Scheduler selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,6 +168,7 @@ pub struct SynthesisFlow {
     reset_controller: bool,
     grade_patterns: Option<usize>,
     grade_threads: usize,
+    run_atpg: bool,
 }
 
 impl SynthesisFlow {
@@ -185,6 +187,7 @@ impl SynthesisFlow {
             reset_controller: false,
             grade_patterns: None,
             grade_threads: 1,
+            run_atpg: false,
         }
     }
 
@@ -240,6 +243,16 @@ impl SynthesisFlow {
         self
     }
 
+    /// Runs deterministic test generation (PODEM with fault-dropping
+    /// simulation) after synthesis, targeting the faults the
+    /// pseudorandom pass left undetected — or the whole collapsed
+    /// universe when [`Self::grade_random`] was not requested — and
+    /// attaches an [`AtpgSummary`] to the report.
+    pub fn grade_atpg(mut self, on: bool) -> Self {
+        self.run_atpg = on;
+        self
+    }
+
     /// Worker threads for the grading pass (default 1 — serial; the
     /// detected fault set is identical at any thread count).
     pub fn grade_threads(mut self, threads: usize) -> Self {
@@ -267,6 +280,7 @@ impl SynthesisFlow {
             )?;
             (r.schedule, r.binding, r.datapath, r.scan_registers)
         } else {
+            let sched_span = hlstb_trace::span("sched");
             let schedule = match self.scheduler {
                 Scheduler::List => sched::list_schedule(&cdfg, &self.limits, ListPriority::Slack)?,
                 Scheduler::IoAware => {
@@ -277,6 +291,8 @@ impl SynthesisFlow {
                 }
                 Scheduler::Asap => sched::asap(&cdfg)?,
             };
+            sched_span.end();
+            let bind_span = hlstb_trace::span("bind");
             let (fu_of, fus) = bind::bind_fus(&cdfg, &schedule);
             let mut boundary_scan = Vec::new();
             let regs = match self.policy {
@@ -298,11 +314,13 @@ impl SynthesisFlow {
                 }
             };
             let binding = Binding::from_parts(&cdfg, &schedule, fu_of, fus, regs)?;
+            bind_span.end();
             let datapath = Datapath::build(&cdfg, &schedule, &binding)?;
             (schedule, binding, datapath, boundary_scan)
         };
 
         // 2. Apply the DFT strategy.
+        let dft_span = hlstb_trace::span("dft.apply");
         let mut bist_plan = None;
         let mut kcontrol_plan = None;
         let limits = CycleLimits {
@@ -382,6 +400,7 @@ impl SynthesisFlow {
                 kcontrol_plan = Some(kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits));
             }
         }
+        dft_span.end();
 
         // 3. Expand to gates.
         let expanded = expand::expand(
@@ -395,6 +414,7 @@ impl SynthesisFlow {
         )?;
 
         // 4. Report.
+        let report_span = hlstb_trace::span("report");
         let sg = datapath.register_sgraph();
         let cycles = enumerate_cycles(&sg, limits)
             .into_iter()
@@ -423,22 +443,66 @@ impl SynthesisFlow {
             }
         }
         let depth = sequential_depth(&post, &din, &dout);
+        // Register-area cost of a shared BIST configuration: reported
+        // for every run so the §5 cost axis is visible without
+        // re-synthesizing under a BIST strategy. Reuses the attached
+        // plan when one was built.
+        let bist_overhead_percent = {
+            let _span = hlstb_trace::span("bist.plan");
+            let plan = bist_plan
+                .clone()
+                .unwrap_or_else(|| hlstb_bist::share::shared_plan(&datapath));
+            plan.overhead_percent(self.width, &RegisterCosts::default())
+        };
         // Optional fault-grading pass: pseudorandom full-scan coverage
         // of the expanded netlist, fixed-seeded so reports reproduce.
+        let faults = (self.grade_patterns.is_some() || self.run_atpg)
+            .then(|| hlstb_netlist::fault::collapsed_faults(&expanded.netlist));
+        let mut random_detected = std::collections::BTreeSet::new();
         let grading = self.grade_patterns.map(|patterns| {
-            let faults = hlstb_netlist::fault::collapsed_faults(&expanded.netlist);
+            let faults = faults.as_deref().unwrap_or(&[]);
             let mut rng = StdRng::seed_from_u64(0xDAC_1996);
             let (run, stats) = random_pattern_run_opts(
                 &expanded.netlist,
-                &faults,
+                faults,
                 patterns,
                 &mut rng,
                 &ParallelOptions::with_threads(self.grade_threads),
             );
+            let coverage_percent = run.summary.coverage_percent();
+            random_detected = run.summary.detected;
             GradingSummary {
-                coverage_percent: run.summary.coverage_percent(),
+                coverage_percent,
                 patterns,
                 stats,
+            }
+        });
+        // Optional deterministic top-up: PODEM over what the random
+        // pass missed (or everything, when it never ran).
+        let atpg = self.run_atpg.then(|| {
+            let faults = faults.as_deref().unwrap_or(&[]);
+            let residual: Vec<_> = faults
+                .iter()
+                .filter(|f| !random_detected.contains(f))
+                .copied()
+                .collect();
+            let (run, stats) = generate_all_opts(
+                &expanded.netlist,
+                &residual,
+                &AtpgOptions::default(),
+                &ParallelOptions::with_threads(self.grade_threads),
+            );
+            stats.trace_bridge();
+            let combined = random_detected.len() + run.detected;
+            AtpgSummary {
+                targeted: residual.len(),
+                detected: run.detected,
+                untestable: run.untestable,
+                aborted: run.aborted,
+                patterns: run.patterns.len(),
+                decisions: run.effort.decisions,
+                backtracks: run.effort.backtracks,
+                combined_coverage_percent: 100.0 * combined as f64 / faults.len().max(1) as f64,
             }
         });
         let report = TestabilityReport {
@@ -461,8 +525,14 @@ impl SynthesisFlow {
             max_observe_depth: depth.max_observe(),
             gates: expanded.netlist.num_gates(),
             area: estimate_area(&datapath, self.width, &RegisterCosts::default()).total(),
+            bist_overhead_percent,
             grading,
+            atpg,
         };
+        report_span.end();
+        hlstb_trace::gauge("flow.gates", report.gates as u64);
+        hlstb_trace::gauge("flow.registers", report.registers as u64);
+        hlstb_trace::gauge("flow.scan_registers", report.scan_registers as u64);
         Ok(SynthesizedDesign {
             cdfg,
             schedule,
@@ -589,6 +659,30 @@ mod tests {
         // The default flow stays grading-free (report shape unchanged).
         let plain = SynthesisFlow::new(benchmarks::figure1()).run().unwrap();
         assert!(plain.report.grading.is_none());
+    }
+
+    #[test]
+    fn atpg_topup_attaches_summary_and_never_lowers_coverage() {
+        let d = SynthesisFlow::new(benchmarks::figure1())
+            .strategy(DftStrategy::FullScan)
+            .grade_random(64)
+            .grade_atpg(true)
+            .run()
+            .unwrap();
+        let g = d.report.grading.as_ref().expect("grading attached");
+        let a = d.report.atpg.as_ref().expect("atpg attached");
+        assert!(a.combined_coverage_percent >= g.coverage_percent);
+        assert!(a.targeted <= g.stats.faults);
+        // ATPG alone targets the whole collapsed universe.
+        let d2 = SynthesisFlow::new(benchmarks::figure1())
+            .strategy(DftStrategy::FullScan)
+            .grade_atpg(true)
+            .run()
+            .unwrap();
+        assert!(d2.report.grading.is_none());
+        let a2 = d2.report.atpg.as_ref().expect("atpg attached");
+        assert!(a2.targeted > 0);
+        assert!(a2.detected + a2.untestable + a2.aborted <= a2.targeted + a2.detected);
     }
 
     #[test]

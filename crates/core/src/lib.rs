@@ -19,6 +19,7 @@
 //! | [`bist`] | BIST synthesis (§5) |
 //! | [`testgen`] | hierarchical test generation (§6) |
 //! | [`netlist`] | the gate-level substrate: simulation, faults, ATPG |
+//! | [`trace`] | structured observability: spans, counters, Chrome trace |
 //!
 //! # Quickstart
 //!
@@ -48,3 +49,4 @@ pub use hlstb_netlist as netlist;
 pub use hlstb_scan as scan;
 pub use hlstb_sgraph as sgraph;
 pub use hlstb_testgen as testgen;
+pub use hlstb_trace as trace;

@@ -103,6 +103,124 @@ fn unknown_design_fails_cleanly() {
     let (_, stderr, ok) = run(&["synth", "nonexistent"]);
     assert!(!ok);
     assert!(stderr.contains("unknown design"));
+    // The error names the valid designs so the fix is one retype away.
+    for name in ["figure1", "diffeq", "ewf"] {
+        assert!(stderr.contains(name), "{name} missing from: {stderr}");
+    }
+}
+
+#[test]
+fn synth_atpg_reports_topup() {
+    let (stdout, _, ok) = run(&[
+        "synth",
+        "figure1",
+        "--strategy",
+        "full-scan",
+        "--grade",
+        "64",
+        "--atpg",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("atpg top-up"), "{stdout}");
+    let (json_out, _, ok) = run(&[
+        "synth",
+        "figure1",
+        "--strategy",
+        "full-scan",
+        "--grade",
+        "64",
+        "--atpg",
+        "--json",
+    ]);
+    assert!(ok, "{json_out}");
+    assert!(json_out.contains("\"targeted\""), "{json_out}");
+    assert!(
+        json_out.contains("\"combined_coverage_percent\""),
+        "{json_out}"
+    );
+}
+
+/// The required span names of the ISSUE's acceptance criteria, all from
+/// one traced run: scheduling, binding, expansion, scan selection, BIST
+/// planning, netlist build, ATPG, fault grading.
+const REQUIRED_SPANS: &[&str] = &[
+    "sched",
+    "bind",
+    "expand",
+    "scan.select",
+    "bist.plan",
+    "netlist.build",
+    "atpg",
+    "fsim.grade",
+];
+
+fn traced_synth(path: &std::path::Path) -> (String, String, bool) {
+    run(&[
+        "synth",
+        "diffeq",
+        "--strategy",
+        "behavioral-partial-scan",
+        "--grade",
+        "64",
+        "--atpg",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-summary",
+    ])
+}
+
+#[test]
+fn synth_trace_writes_a_loadable_chrome_trace() {
+    let path = std::env::temp_dir().join(format!("hlstb_cli_trace_{}.json", std::process::id()));
+    let (stdout, stderr, ok) = traced_synth(&path);
+    assert!(ok, "{stdout}{stderr}");
+    // --trace-summary goes to stderr so --json stdout stays clean.
+    assert!(stderr.contains("counters:"), "{stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let v = hlstb::trace::json::parse(&text).expect("chrome trace parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for required in REQUIRED_SPANS {
+        assert!(
+            names.contains(required),
+            "span {required} missing: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_check_validates_and_rejects() {
+    let path = std::env::temp_dir().join(format!("hlstb_cli_check_{}.json", std::process::id()));
+    let (stdout, stderr, ok) = traced_synth(&path);
+    assert!(ok, "{stdout}{stderr}");
+    let path_s = path.to_str().unwrap();
+    let mut check = vec!["trace-check", path_s];
+    check.extend_from_slice(REQUIRED_SPANS);
+    let (stdout, _, ok) = run(&check);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("ok"), "{stdout}");
+    // A span that never ran must fail the check.
+    let (_, stderr, ok) = run(&["trace-check", path_s, "definitely.not.a.span"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing spans"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+    // Garbage input must fail cleanly, not panic.
+    let garbage =
+        std::env::temp_dir().join(format!("hlstb_cli_garbage_{}.json", std::process::id()));
+    std::fs::write(&garbage, "not json at all").unwrap();
+    let (_, stderr, ok) = run(&["trace-check", garbage.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid JSON"), "{stderr}");
+    std::fs::remove_file(&garbage).ok();
 }
 
 #[test]

@@ -199,6 +199,7 @@ impl Binding {
 /// Greedy minimum-instance FU binding: operations of each class in start
 /// order, first instance whose occupancy is free.
 pub fn bind_fus(cdfg: &Cdfg, schedule: &Schedule) -> (Vec<usize>, Vec<FuInstance>) {
+    let _span = hlstb_trace::span("hls.bind.fus");
     let mut fus: Vec<FuInstance> = Vec::new();
     let mut busy: Vec<Vec<(u32, u32)>> = Vec::new(); // per fu: (start,end)
     let mut fu_of = vec![usize::MAX; cdfg.num_ops()];
@@ -330,6 +331,7 @@ pub fn left_edge(cdfg: &Cdfg, lt: &LifetimeMap) -> RegisterAssignment {
 
 /// Register assignment via the chosen algorithm.
 pub fn assign_registers(cdfg: &Cdfg, schedule: &Schedule, algo: RegAlgo) -> RegisterAssignment {
+    let _span = hlstb_trace::span("hls.bind.regs");
     let lt = LifetimeMap::compute(cdfg, schedule);
     match algo {
         RegAlgo::LeftEdge => left_edge(cdfg, &lt),

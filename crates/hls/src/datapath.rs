@@ -144,6 +144,7 @@ impl Datapath {
         schedule: &Schedule,
         binding: &Binding,
     ) -> Result<Datapath, DatapathError> {
+        let _span = hlstb_trace::span("datapath");
         let period = schedule.num_steps();
         let lookup = binding.regs.lookup(cdfg);
         let reg_of = |v: VarId| -> Result<usize, DatapathError> {

@@ -70,6 +70,7 @@ impl AreaEstimate {
 /// Estimates the area of a data path at `width` bits, costing scan
 /// registers at the scan rate and everything else at the plain rate.
 pub fn estimate_area(dp: &Datapath, width: u32, costs: &RegisterCosts) -> AreaEstimate {
+    let _span = hlstb_trace::span("hls.estimate");
     let w = width as f64;
     let registers = dp
         .registers()

@@ -206,6 +206,7 @@ fn select_bits(n: usize) -> usize {
 /// [`ExpandError::Netlist`] if the generated structure fails netlist
 /// validation (indicates an internal bug; surfaced, not panicked).
 pub fn expand(dp: &Datapath, options: &ExpandOptions) -> Result<ExpandedDatapath, ExpandError> {
+    let _span = hlstb_trace::span("expand");
     let w = options.width;
     let mut b = NetlistBuilder::new(format!("{}_rtl", dp.name()));
 
@@ -373,7 +374,9 @@ pub fn expand(dp: &Datapath, options: &ExpandOptions) -> Result<ExpandedDatapath
         b.outputs(name, &reg_flops[*r]);
     }
 
+    let build_span = hlstb_trace::span("netlist.build");
     let netlist = b.finish().map_err(ExpandError::Netlist)?;
+    build_span.end();
     Ok(ExpandedDatapath {
         netlist,
         pi_ports,

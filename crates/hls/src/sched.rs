@@ -63,6 +63,7 @@ fn lat(cdfg: &Cdfg, op: OpId) -> u32 {
 ///
 /// [`SchedError::Overflow`] if the critical path exceeds the step cap.
 pub fn asap(cdfg: &Cdfg) -> Result<Schedule, SchedError> {
+    let _span = hlstb_trace::span("hls.sched.asap");
     let mut start = vec![0u32; cdfg.num_ops()];
     for &op in &cdfg.topo_order() {
         let s = cdfg
@@ -162,6 +163,7 @@ pub fn list_schedule(
     limits: &ResourceLimits,
     priority: ListPriority,
 ) -> Result<Schedule, SchedError> {
+    let _span = hlstb_trace::span("hls.sched.list");
     let n = cdfg.num_ops();
     let asap_len = critical_path(cdfg);
     // Generous ALAP bound for slack computation; ops may slip past it,
@@ -240,6 +242,7 @@ pub fn list_schedule(
 ///
 /// Same conditions as [`alap`].
 pub fn force_directed(cdfg: &Cdfg, latency: u32) -> Result<Schedule, SchedError> {
+    let _span = hlstb_trace::span("hls.sched.force_directed");
     let asap_s = asap(cdfg)?;
     let alap_s = alap(cdfg, latency)?;
     let n = cdfg.num_ops();

@@ -504,6 +504,7 @@ pub fn generate_all_opts(
     options: &AtpgOptions,
     grade_opts: &ParallelOptions,
 ) -> (AtpgRun, GradeStats) {
+    let _span = hlstb_trace::span("atpg");
     let view = CombView::functional(nl);
     let mut run = AtpgRun {
         detected: 0,
@@ -540,6 +541,10 @@ pub fn generate_all_opts(
         }
     }
     stats.faults = faults.len();
+    hlstb_trace::counter("atpg.decisions", run.effort.decisions);
+    hlstb_trace::counter("atpg.backtracks", run.effort.backtracks);
+    hlstb_trace::counter("atpg.implications", run.effort.implications);
+    hlstb_trace::counter("atpg.patterns", run.patterns.len() as u64);
     (run, stats)
 }
 

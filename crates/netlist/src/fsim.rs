@@ -174,6 +174,7 @@ pub fn comb_fault_sim_observed_opts(
     // Good-machine phase: one reference evaluation per frame, plus the
     // engine's structural tables (fanout, topo positions, observation
     // marks). All of it is shared read-only by the workers.
+    let good_span = hlstb_trace::span("fsim.good");
     let good_start = Instant::now();
     let goods: Vec<Vec<u64>> = frames
         .iter()
@@ -188,7 +189,9 @@ pub fn comb_fault_sim_observed_opts(
         .collect();
     let engine = ConeEngine::new(nl, observed);
     let wall_good = good_start.elapsed();
+    good_span.end();
 
+    let fault_span = hlstb_trace::span("fsim.fault");
     let fault_start = Instant::now();
     let threads = opts.threads.max(1).min(faults.len().max(1));
     let drop_detected = opts.drop_detected;
@@ -221,6 +224,8 @@ pub fn comb_fault_sim_observed_opts(
     stats.threads = threads;
     stats.wall_good = wall_good;
     stats.wall_fault = fault_start.elapsed();
+    fault_span.end();
+    stats.trace_bridge();
     (
         FaultSimSummary {
             detected,
@@ -518,6 +523,7 @@ pub fn seq_fault_sim_observed_opts(
     observed: &[NetId],
     opts: &ParallelOptions,
 ) -> (FaultSimSummary, GradeStats) {
+    let good_span = hlstb_trace::span("fsim.good");
     let good_start = Instant::now();
     let obs: Vec<usize> = observed.iter().map(|n| n.index()).collect();
     let mut good_trace = Vec::with_capacity(vectors.len());
@@ -528,7 +534,9 @@ pub fn seq_fault_sim_observed_opts(
         ff = next_state(nl, &values);
     }
     let wall_good = good_start.elapsed();
+    good_span.end();
 
+    let fault_span = hlstb_trace::span("fsim.fault");
     let fault_start = Instant::now();
     let threads = opts.threads.max(1).min(faults.len().max(1));
     let drop_detected = opts.drop_detected;
@@ -590,6 +598,8 @@ pub fn seq_fault_sim_observed_opts(
     stats.threads = threads;
     stats.wall_good = wall_good;
     stats.wall_fault = fault_start.elapsed();
+    fault_span.end();
+    stats.trace_bridge();
     (
         FaultSimSummary {
             detected,

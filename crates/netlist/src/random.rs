@@ -64,6 +64,7 @@ pub fn random_pattern_run_opts<R: Rng>(
     rng: &mut R,
     opts: &ParallelOptions,
 ) -> (RandomRun, GradeStats) {
+    let _span = hlstb_trace::span("fsim.grade");
     let batches = max_patterns.div_ceil(64).max(1);
     let mut detected = std::collections::BTreeSet::new();
     let mut curve = Vec::with_capacity(batches);
@@ -135,6 +136,7 @@ pub fn pattern_source_run_opts(
     mut source: impl FnMut(usize) -> (Vec<bool>, Vec<bool>),
     opts: &ParallelOptions,
 ) -> (RandomRun, GradeStats) {
+    let _span = hlstb_trace::span("fsim.grade");
     let mut detected = std::collections::BTreeSet::new();
     let mut curve = Vec::new();
     let mut remaining: Vec<Fault> = faults.to_vec();

@@ -247,6 +247,7 @@ impl SeqRun {
 /// Runs sequential ATPG over a whole fault list (no fault dropping; each
 /// fault is targeted so the effort metric is comparable across designs).
 pub fn seq_generate_all(nl: &Netlist, faults: &[Fault], options: &SeqAtpgOptions) -> SeqRun {
+    let _span = hlstb_trace::span("atpg.seq");
     let mut run = SeqRun {
         total: faults.len(),
         ..Default::default()

@@ -67,20 +67,41 @@ impl GradeStats {
 
     /// Renders the stats as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"faults\": {}, \"frames\": {}, \"fault_evals\": {}, \
-             \"screened\": {}, \"dropped\": {}, \"unobservable\": {}, \
-             \"threads\": {}, \"wall_good_ms\": {:.3}, \"wall_fault_ms\": {:.3}}}",
-            self.faults,
-            self.frames,
-            self.fault_evals,
-            self.screened,
-            self.dropped,
-            self.unobservable,
-            self.threads,
-            self.wall_good.as_secs_f64() * 1e3,
-            self.wall_fault.as_secs_f64() * 1e3,
-        )
+        let mut o = hlstb_trace::json::Obj::new();
+        o.number_u64("faults", self.faults as u64)
+            .number_u64("frames", self.frames as u64)
+            .number_u64("fault_evals", self.fault_evals)
+            .number_u64("screened", self.screened)
+            .number_u64("dropped", self.dropped)
+            .number_u64("unobservable", self.unobservable)
+            .number_u64("threads", self.threads as u64)
+            .raw(
+                "wall_good_ms",
+                &format!("{:.3}", self.wall_good.as_secs_f64() * 1e3),
+            )
+            .raw(
+                "wall_fault_ms",
+                &format!("{:.3}", self.wall_fault.as_secs_f64() * 1e3),
+            );
+        o.finish()
+    }
+
+    /// Bridges this run's counters into the global trace collector
+    /// (`fsim.*` counters, thread/universe gauges). The engines call it
+    /// on exit so `GradeStats` stays the per-run record while the trace
+    /// layer accumulates whole-process totals. No-op when tracing is
+    /// disabled.
+    pub fn trace_bridge(&self) {
+        if !hlstb_trace::enabled() {
+            return;
+        }
+        hlstb_trace::counter("fsim.fault_evals", self.fault_evals);
+        hlstb_trace::counter("fsim.screened", self.screened);
+        hlstb_trace::counter("fsim.dropped", self.dropped);
+        hlstb_trace::counter("fsim.unobservable", self.unobservable);
+        hlstb_trace::counter("fsim.frames", self.frames as u64);
+        hlstb_trace::gauge("fsim.threads", self.threads as u64);
+        hlstb_trace::gauge("fsim.faults", self.faults as u64);
     }
 }
 

@@ -67,6 +67,7 @@ pub fn plan_k_control(
     outputs: &[NodeId],
     limits: CycleLimits,
 ) -> KControlPlan {
+    let _span = hlstb_trace::span("scan.kcontrol");
     let cycles: Vec<Vec<NodeId>> = enumerate_cycles(g, limits)
         .into_iter()
         .filter(|c| !c.is_self_loop())

@@ -94,6 +94,7 @@ pub fn select_scan_variables(
     schedule: &Schedule,
     options: &ScanSelectOptions,
 ) -> ScanSelection {
+    let _span = hlstb_trace::span("scan.select");
     let loops = cdfg.loops(options.max_loops);
     let lt = LifetimeMap::compute(cdfg, schedule);
     let steps_of = |v: VarId| lt.get(v).map_or(StepSet::EMPTY, |l| l.steps);

@@ -79,6 +79,7 @@ pub fn schedule_and_assign(
     cdfg: &Cdfg,
     options: &SimSchedOptions,
 ) -> Result<SimSchedResult, SchedError> {
+    let _span = hlstb_trace::span("scan.simsched");
     // Baseline latency: what plain list scheduling needs under the same
     // resource limits (the critical path alone is unreachable when the
     // allocation is tight).

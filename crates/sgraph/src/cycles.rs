@@ -58,6 +58,7 @@ impl Default for CycleLimits {
 /// (Johnson's start-vertex order), so truncation by `max_cycles` is
 /// deterministic.
 pub fn enumerate_cycles(g: &SGraph, limits: CycleLimits) -> Vec<Cycle> {
+    let _span = hlstb_trace::span("sgraph.cycles");
     let n = g.num_nodes();
     let mut result = Vec::new();
     let mut blocked = vec![false; n];

@@ -60,6 +60,7 @@ impl DepthReport {
 /// Computes sequential depths by BFS from the input registers (forward)
 /// and from the output registers (backward).
 pub fn sequential_depth(g: &SGraph, inputs: &[NodeId], outputs: &[NodeId]) -> DepthReport {
+    let _span = hlstb_trace::span("sgraph.depth");
     DepthReport {
         control: bfs(g, inputs, false),
         observe: bfs(g, outputs, true),

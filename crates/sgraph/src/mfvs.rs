@@ -72,6 +72,7 @@ pub fn is_feedback_vertex_set(
 /// assert_eq!(fvs.nodes.len(), 1);
 /// ```
 pub fn minimum_feedback_vertex_set(g: &SGraph, options: MfvsOptions) -> FeedbackVertexSet {
+    let _span = hlstb_trace::span("sgraph.mfvs");
     let mut selected: BTreeSet<NodeId> = BTreeSet::new();
     let mut optimal = true;
 

@@ -110,6 +110,7 @@ pub struct HierResult {
 /// Generates module tests for every unit and translates them through the
 /// test environment of one of the unit's operations.
 pub fn hierarchical_tests(cdfg: &Cdfg, binding: &Binding, width: u32) -> HierResult {
+    let _span = hlstb_trace::span("testgen.hier");
     let mut tests = Vec::new();
     let mut untranslated = 0;
     let mut module_effort = Effort::default();

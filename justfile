@@ -1,11 +1,11 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy
+ci: build test fmt clippy trace-smoke
 
-# Release build (the tier-1 compile gate).
+# Release build (the tier-1 compile gate), all members and binaries.
 build:
-    cargo build --release
+    cargo build --release --workspace
 
 # The whole test suite, quietly.
 test:
@@ -18,6 +18,14 @@ fmt:
 # Lints are errors.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# One traced synthesis; fails if the Chrome trace is missing a stage span.
+trace-smoke: build
+    ./target/release/hlstb synth diffeq --strategy behavioral-partial-scan \
+        --grade 128 --atpg --trace trace_smoke.json --trace-summary
+    ./target/release/hlstb trace-check trace_smoke.json \
+        sched bind expand netlist.build scan.select bist.plan atpg fsim.grade
+    rm -f trace_smoke.json
 
 # Regenerate every experiment table (EXPERIMENTS.md source of truth).
 exp-all:
