@@ -19,3 +19,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./target/release/hlstb trace-check trace_smoke.json \
     sched bind expand netlist.build scan.select bist.plan atpg fsim.grade
 rm -f trace_smoke.json
+
+# Sweep smoke: a tiny two-design sweep must be byte-identical between
+# the serial uncached and parallel cached paths, and the cached run
+# must actually hit the cache (nonzero hits in the stderr summary).
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 128 \
+    --threads 1 --no-cache --json >sweep_serial.json
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 128 \
+    --threads 4 --cache --json >sweep_parallel.json 2>sweep_summary.txt
+cmp sweep_serial.json sweep_parallel.json
+grep "cache hits:" sweep_summary.txt
+! grep -q "cache hits: 0," sweep_summary.txt
+rm -f sweep_serial.json sweep_parallel.json sweep_summary.txt

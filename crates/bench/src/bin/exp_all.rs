@@ -27,6 +27,7 @@ fn main() {
         hlstb_bench::ablation::share_weight_sweep(),
         hlstb_bench::ablation::test_weight_sweep(),
         hlstb_bench::scoreboard::run(40),
+        hlstb_bench::dse_exp::coverage_matrix(512),
     ] {
         println!("{t}");
     }

@@ -1,0 +1,24 @@
+//! E22 — DSE engine benchmark: the full scoreboard sweep timed
+//! serial-uncached vs serial-cached vs threaded-cached, asserting all
+//! three produce byte-identical canonical reports. Prints the table
+//! and writes `BENCH_dse.json` in the working directory.
+
+fn main() {
+    hlstb_bench::tracehook::init();
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let bench = hlstb_bench::dse_exp::bench_spec(&hlstb_bench::dse_exp::full_spec(), threads);
+    print!("{}", bench.table());
+    println!(
+        "canonical reports identical across configs: {}; speedups vs serial-nocache: cache {:.2}x, {threads}-thread cache {:.2}x",
+        bench.identical,
+        bench.speedup("serial-cache"),
+        bench.speedup("threaded-cache")
+    );
+    let path = "BENCH_dse.json";
+    std::fs::write(path, bench.to_json()).expect("write BENCH_dse.json");
+    println!("wrote {path}");
+    hlstb_bench::tracehook::finish();
+}

@@ -12,6 +12,7 @@
 pub mod ablation;
 pub mod atpg_complexity;
 pub mod bist_exps;
+pub mod dse_exp;
 pub mod fig1;
 pub mod fsim_bench;
 pub mod hier_exp;

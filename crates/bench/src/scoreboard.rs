@@ -1,12 +1,32 @@
 //! E20 — the survey's bottom line as one scoreboard: sequential-ATPG
 //! coverage and effort for the same behavior under each DFT strategy.
+//!
+//! Synthesis runs through the DSE engine ([`hlstb_dse::run_sweep`]
+//! with `keep_designs`), so the three strategies of a design share
+//! their scheduled/bound front end; sequential ATPG is the
+//! post-processing pass over the kept designs.
 
 use hlstb::cdfg::benchmarks;
-use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::flow::DftStrategy;
 use hlstb::netlist::fault::collapsed_faults;
 use hlstb::netlist::seq::{seq_generate_all, SeqAtpgOptions};
+use hlstb_dse::{run_sweep, SweepOptions, SweepSpec};
 
 use crate::Table;
+
+/// The E20 sweep: two behaviors under no DFT, behavioral partial scan,
+/// and full scan, with reset-capable controllers so the non-scan
+/// configurations are sequentially testable at all.
+pub fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::tseng()]);
+    spec.strategies = vec![
+        DftStrategy::None,
+        DftStrategy::BehavioralPartialScan,
+        DftStrategy::FullScan,
+    ];
+    spec.reset_controller = true;
+    spec
+}
 
 /// Runs sequential ATPG on a fault sample for each strategy.
 ///
@@ -23,37 +43,34 @@ pub fn run(sample: usize) -> Table {
             "decisions/fault",
         ],
     );
-    for g in [benchmarks::figure1(), benchmarks::tseng()] {
-        for (label, strategy) in [
-            ("none", DftStrategy::None),
-            ("behavioral scan", DftStrategy::BehavioralPartialScan),
-            ("full scan", DftStrategy::FullScan),
-        ] {
-            let d = SynthesisFlow::new(g.clone())
-                .strategy(strategy)
-                .reset_controller(true)
-                .run()
-                .unwrap();
-            let opts = SeqAtpgOptions {
-                max_frames: d.report.period as usize + 2,
-                backtrack_limit: 1_500,
-            };
-            let nl = &d.expanded.netlist;
-            let all = collapsed_faults(nl);
-            let step = (all.len() / sample).max(1);
-            let faults: Vec<_> = all.iter().step_by(step).copied().take(sample).collect();
-            let run = seq_generate_all(nl, &faults, &opts);
-            t.row(vec![
-                g.name().to_string(),
-                label.to_string(),
-                d.report.scan_registers.to_string(),
-                format!("{:.1}", run.coverage_percent()),
-                format!(
-                    "{:.1}",
-                    run.effort.decisions as f64 / faults.len().max(1) as f64
-                ),
-            ]);
-        }
+    let outcome = run_sweep(
+        &spec(),
+        &SweepOptions {
+            keep_designs: true,
+            ..SweepOptions::default()
+        },
+    );
+    for (point, design) in outcome.report.points.iter().zip(&outcome.designs) {
+        let d = design.as_ref().expect("scoreboard sweep point failed");
+        let opts = SeqAtpgOptions {
+            max_frames: d.report.period as usize + 2,
+            backtrack_limit: 1_500,
+        };
+        let nl = &d.expanded.netlist;
+        let all = collapsed_faults(nl);
+        let step = (all.len() / sample).max(1);
+        let faults: Vec<_> = all.iter().step_by(step).copied().take(sample).collect();
+        let run = seq_generate_all(nl, &faults, &opts);
+        t.row(vec![
+            point.design.clone(),
+            point.strategy.clone(),
+            d.report.scan_registers.to_string(),
+            format!("{:.1}", run.coverage_percent()),
+            format!(
+                "{:.1}",
+                run.effort.decisions as f64 / faults.len().max(1) as f64
+            ),
+        ]);
     }
     t
 }

@@ -155,6 +155,50 @@ pub struct SynthesizedDesign {
     pub kcontrol_plan: Option<KControlPlan>,
 }
 
+/// Output of the front-end stage ([`SynthesisFlow::front_end`]):
+/// schedule, binding, and data path, *before* DFT insertion. The DSE
+/// engine memoizes this artifact — every DFT strategy except the
+/// integrated loop-avoidance flow shares it.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The binding.
+    pub binding: Binding,
+    /// The data path; scan marks are applied later by
+    /// [`SynthesisFlow::apply_dft`].
+    pub datapath: Datapath,
+    /// Registers pre-selected for scan by the `Boundary` register
+    /// policy (or seeded by the integrated loop-avoidance scheduler);
+    /// read — never drained — by the DFT stage, so one `FrontEnd` can
+    /// be cloned and re-processed under many strategies.
+    pub boundary_scan: Vec<usize>,
+}
+
+/// Plans attached by the DFT stage ([`SynthesisFlow::apply_dft`]); the
+/// scan marks themselves land in the data path.
+#[derive(Debug, Clone, Default)]
+pub struct DftPlans {
+    /// BIST configuration, for the BIST strategies.
+    pub bist: Option<BistPlan>,
+    /// k-level test-point plan, for that strategy.
+    pub kcontrol: Option<KControlPlan>,
+}
+
+/// Structural facts of the pre-scan register S-graph that no DFT
+/// strategy can change (scan marks flag registers; they do not add or
+/// remove S-graph edges). Split out of the report stage so a sweep can
+/// compute them once per front end — cycle enumeration plus MFVS is
+/// the dominant non-grading cost on loop-heavy designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgraphFacts {
+    /// Non-self-loop cycles in the register S-graph.
+    pub cycles: usize,
+    /// Size of a minimum feedback vertex set (the gate-level
+    /// partial-scan baseline).
+    pub mfvs_size: usize,
+}
+
 /// Builder for one synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisFlow {
@@ -260,92 +304,107 @@ impl SynthesisFlow {
         self
     }
 
-    /// Runs the flow.
+    /// The cycle-enumeration budget shared by the DFT and report
+    /// stages.
+    fn cycle_limits() -> CycleLimits {
+        CycleLimits {
+            max_cycles: 4096,
+            max_len: 24,
+        }
+    }
+
+    /// Stage 1 — the front end: schedule, bind, and build the data
+    /// path, with no DFT applied yet. For
+    /// [`DftStrategy::SimultaneousLoopAvoidance`] the integrated
+    /// scheduler/assigner runs instead and seeds `boundary_scan` with
+    /// its loop-concentrating registers.
+    ///
+    /// The result depends only on the behavior, resource limits,
+    /// scheduler, register policy, and — for the integrated strategy —
+    /// the strategy itself; the DSE engine memoizes it on exactly that
+    /// key.
     ///
     /// # Errors
     ///
-    /// Returns the first pipeline stage failure as a [`FlowError`].
-    pub fn run(self) -> Result<SynthesizedDesign, FlowError> {
-        let cdfg = self.cdfg.clone();
-        // 1. Schedule + bind (+ possibly integrated DFT).
-        let (schedule, binding, mut datapath, mut boundary_scan) = if self.strategy
-            == DftStrategy::SimultaneousLoopAvoidance
-        {
+    /// Returns scheduling, binding, or data-path failures as a
+    /// [`FlowError`].
+    pub fn front_end(&self) -> Result<FrontEnd, FlowError> {
+        if self.strategy == DftStrategy::SimultaneousLoopAvoidance {
             let r = simsched::schedule_and_assign(
-                &cdfg,
+                &self.cdfg,
                 &SimSchedOptions {
                     limits: self.limits.clone(),
                     ..Default::default()
                 },
             )?;
-            (r.schedule, r.binding, r.datapath, r.scan_registers)
-        } else {
-            let sched_span = hlstb_trace::span("sched");
-            let schedule = match self.scheduler {
-                Scheduler::List => sched::list_schedule(&cdfg, &self.limits, ListPriority::Slack)?,
-                Scheduler::IoAware => {
-                    sched::list_schedule(&cdfg, &self.limits, ListPriority::IoAware)?
-                }
-                Scheduler::ForceDirected(extra) => {
-                    sched::force_directed(&cdfg, sched::critical_path(&cdfg) + extra)?
-                }
-                Scheduler::Asap => sched::asap(&cdfg)?,
-            };
-            sched_span.end();
-            let bind_span = hlstb_trace::span("bind");
-            let (fu_of, fus) = bind::bind_fus(&cdfg, &schedule);
-            let mut boundary_scan = Vec::new();
-            let regs = match self.policy {
-                RegisterPolicy::LeftEdge => {
-                    bind::assign_registers(&cdfg, &schedule, RegAlgo::LeftEdge)
-                }
-                RegisterPolicy::Dsatur => bind::assign_registers(&cdfg, &schedule, RegAlgo::Dsatur),
-                RegisterPolicy::IoMax => hlstb_scan::ioreg::assign_io_max(&cdfg, &schedule).regs,
-                RegisterPolicy::Boundary => {
-                    let a = hlstb_scan::boundary::assign_boundary(&cdfg, &schedule, 4096);
-                    boundary_scan = (0..a.scan_register_count).collect();
-                    a.regs
-                }
-                RegisterPolicy::LoopAvoiding => {
-                    simsched::loop_avoiding_registers(&cdfg, &schedule, &fu_of)
-                }
-                RegisterPolicy::Avra => {
-                    hlstb_bist::selfadj::avra_assignment(&cdfg, &schedule, &fu_of)
-                }
-            };
-            let binding = Binding::from_parts(&cdfg, &schedule, fu_of, fus, regs)?;
-            bind_span.end();
-            let datapath = Datapath::build(&cdfg, &schedule, &binding)?;
-            (schedule, binding, datapath, boundary_scan)
+            return Ok(FrontEnd {
+                schedule: r.schedule,
+                binding: r.binding,
+                datapath: r.datapath,
+                boundary_scan: r.scan_registers,
+            });
+        }
+        let cdfg = &self.cdfg;
+        let sched_span = hlstb_trace::span("sched");
+        let schedule = match self.scheduler {
+            Scheduler::List => sched::list_schedule(cdfg, &self.limits, ListPriority::Slack)?,
+            Scheduler::IoAware => sched::list_schedule(cdfg, &self.limits, ListPriority::IoAware)?,
+            Scheduler::ForceDirected(extra) => {
+                sched::force_directed(cdfg, sched::critical_path(cdfg) + extra)?
+            }
+            Scheduler::Asap => sched::asap(cdfg)?,
         };
+        sched_span.end();
+        let bind_span = hlstb_trace::span("bind");
+        let (fu_of, fus) = bind::bind_fus(cdfg, &schedule);
+        let mut boundary_scan = Vec::new();
+        let regs = match self.policy {
+            RegisterPolicy::LeftEdge => bind::assign_registers(cdfg, &schedule, RegAlgo::LeftEdge),
+            RegisterPolicy::Dsatur => bind::assign_registers(cdfg, &schedule, RegAlgo::Dsatur),
+            RegisterPolicy::IoMax => hlstb_scan::ioreg::assign_io_max(cdfg, &schedule).regs,
+            RegisterPolicy::Boundary => {
+                let a = hlstb_scan::boundary::assign_boundary(cdfg, &schedule, 4096);
+                boundary_scan = (0..a.scan_register_count).collect();
+                a.regs
+            }
+            RegisterPolicy::LoopAvoiding => {
+                simsched::loop_avoiding_registers(cdfg, &schedule, &fu_of)
+            }
+            RegisterPolicy::Avra => hlstb_bist::selfadj::avra_assignment(cdfg, &schedule, &fu_of),
+        };
+        let binding = Binding::from_parts(cdfg, &schedule, fu_of, fus, regs)?;
+        bind_span.end();
+        let datapath = Datapath::build(cdfg, &schedule, &binding)?;
+        Ok(FrontEnd {
+            schedule,
+            binding,
+            datapath,
+            boundary_scan,
+        })
+    }
 
-        // 2. Apply the DFT strategy.
+    /// Stage 2 — apply the DFT strategy: mark scan registers on the
+    /// front end's data path and attach BIST / test-point plans.
+    /// `boundary_scan` is read, never drained, so a cached [`FrontEnd`]
+    /// clone can be re-processed under every strategy of a sweep.
+    pub fn apply_dft(&self, fe: &mut FrontEnd) -> DftPlans {
         let dft_span = hlstb_trace::span("dft.apply");
-        let mut bist_plan = None;
-        let mut kcontrol_plan = None;
-        let limits = CycleLimits {
-            max_cycles: 4096,
-            max_len: 24,
-        };
+        let mut plans = DftPlans::default();
+        let datapath = &mut fe.datapath;
         match self.strategy {
             DftStrategy::None => {}
             DftStrategy::FullScan => {
                 let all: Vec<usize> = (0..datapath.registers().len()).collect();
                 datapath.mark_scan(&all);
             }
-            DftStrategy::GateLevelPartialScan => {
-                let sg = datapath.register_sgraph();
-                let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
-                let marks: Vec<usize> = fvs.nodes.iter().map(|n| n.index()).collect();
-                datapath.mark_scan(&marks);
-            }
-            DftStrategy::SimultaneousLoopAvoidance => {
-                // The integrated flow concentrated all feedback into the
-                // scan-seeded registers; a minimum feedback vertex set on
-                // the resulting S-graph (often a subset of the seeds, or
+            DftStrategy::GateLevelPartialScan | DftStrategy::SimultaneousLoopAvoidance => {
+                // For the integrated flow, scheduling already
+                // concentrated all feedback into the scan-seeded
+                // registers; a minimum feedback vertex set on the
+                // resulting S-graph (often a subset of the seeds, or
                 // empty when loops became tolerated self-loops) is the
-                // final scan set.
-                boundary_scan.clear();
+                // final scan set. For the gate-level-style strategy the
+                // MFVS on the oblivious data path is the whole point.
                 let sg = datapath.register_sgraph();
                 let fvs = minimum_feedback_vertex_set(&sg, MfvsOptions::default());
                 let marks: Vec<usize> = fvs.nodes.iter().map(|n| n.index()).collect();
@@ -353,17 +412,17 @@ impl SynthesisFlow {
             }
             DftStrategy::BehavioralPartialScan => {
                 let sel = scanvars::select_scan_variables(
-                    &cdfg,
-                    &schedule,
+                    &self.cdfg,
+                    &fe.schedule,
                     &ScanSelectOptions::default(),
                 );
-                let lookup = binding.regs.lookup(&cdfg);
+                let lookup = fe.binding.regs.lookup(&self.cdfg);
                 let mut marks: Vec<usize> = sel
                     .scan_vars
                     .iter()
                     .filter_map(|v| lookup[v.index()])
                     .collect();
-                marks.append(&mut boundary_scan);
+                marks.extend_from_slice(&fe.boundary_scan);
                 marks.sort_unstable();
                 marks.dedup();
                 datapath.mark_scan(&marks);
@@ -380,10 +439,10 @@ impl SynthesisFlow {
                 datapath.mark_scan(&extra);
             }
             DftStrategy::BistNaive => {
-                bist_plan = Some(hlstb_bist::registers::naive_plan(&datapath));
+                plans.bist = Some(hlstb_bist::registers::naive_plan(datapath));
             }
             DftStrategy::BistShared => {
-                bist_plan = Some(hlstb_bist::share::shared_plan(&datapath));
+                plans.bist = Some(hlstb_bist::share::shared_plan(datapath));
             }
             DftStrategy::KLevelTestPoints(k) => {
                 let sg = datapath.register_sgraph();
@@ -397,32 +456,67 @@ impl SynthesisFlow {
                     .iter()
                     .map(|&r| NodeId(r as u32))
                     .collect();
-                kcontrol_plan = Some(kcontrol::plan_k_control(&sg, k, &inputs, &outputs, limits));
+                plans.kcontrol = Some(kcontrol::plan_k_control(
+                    &sg,
+                    k,
+                    &inputs,
+                    &outputs,
+                    Self::cycle_limits(),
+                ));
             }
         }
         dft_span.end();
+        plans
+    }
 
-        // 3. Expand to gates.
-        let expanded = expand::expand(
-            &datapath,
+    /// Stage 3 — gate-level expansion of the (possibly scan-marked)
+    /// data path.
+    ///
+    /// # Errors
+    ///
+    /// Returns expansion failures as a [`FlowError`].
+    pub fn expand_netlist(&self, datapath: &Datapath) -> Result<ExpandedDatapath, FlowError> {
+        Ok(expand::expand(
+            datapath,
             &ExpandOptions {
                 width: self.width,
                 controller: self.controller,
                 scan_controller: false,
                 reset_controller: self.reset_controller,
             },
-        )?;
+        )?)
+    }
 
-        // 4. Report.
-        let report_span = hlstb_trace::span("report");
+    /// Computes the strategy-independent [`SgraphFacts`] of a data
+    /// path. Scan marks flag registers without touching S-graph edges,
+    /// so the result is identical before and after
+    /// [`Self::apply_dft`].
+    pub fn sgraph_facts(datapath: &Datapath) -> SgraphFacts {
+        let _span = hlstb_trace::span("sgraph.facts");
         let sg = datapath.register_sgraph();
-        let cycles = enumerate_cycles(&sg, limits)
+        let cycles = enumerate_cycles(&sg, Self::cycle_limits())
             .into_iter()
             .filter(|c| !c.is_self_loop())
             .count();
         let mfvs_size = minimum_feedback_vertex_set(&sg, MfvsOptions::default())
             .nodes
             .len();
+        SgraphFacts { cycles, mfvs_size }
+    }
+
+    /// Stage 4 — the testability report: post-scan S-graph structure,
+    /// area, BIST overhead, and the optional grading / ATPG passes.
+    pub fn build_report(
+        &self,
+        datapath: &Datapath,
+        expanded: &ExpandedDatapath,
+        bist_plan: Option<&BistPlan>,
+        facts: &SgraphFacts,
+    ) -> TestabilityReport {
+        let report_span = hlstb_trace::span("report");
+        let cycles = facts.cycles;
+        let mfvs_size = facts.mfvs_size;
+        let sg = datapath.register_sgraph();
         let scanned: std::collections::BTreeSet<NodeId> = datapath
             .scan_registers()
             .iter()
@@ -449,10 +543,11 @@ impl SynthesisFlow {
         // plan when one was built.
         let bist_overhead_percent = {
             let _span = hlstb_trace::span("bist.plan");
-            let plan = bist_plan
-                .clone()
-                .unwrap_or_else(|| hlstb_bist::share::shared_plan(&datapath));
-            plan.overhead_percent(self.width, &RegisterCosts::default())
+            match bist_plan {
+                Some(plan) => plan.overhead_percent(self.width, &RegisterCosts::default()),
+                None => hlstb_bist::share::shared_plan(datapath)
+                    .overhead_percent(self.width, &RegisterCosts::default()),
+            }
         };
         // Optional fault-grading pass: pseudorandom full-scan coverage
         // of the expanded netlist, fixed-seeded so reports reproduce.
@@ -506,7 +601,7 @@ impl SynthesisFlow {
             }
         });
         let report = TestabilityReport {
-            name: cdfg.name().to_string(),
+            name: self.cdfg.name().to_string(),
             period: datapath.period(),
             registers: datapath.registers().len(),
             io_registers: {
@@ -524,7 +619,7 @@ impl SynthesisFlow {
             max_control_depth: depth.max_control(),
             max_observe_depth: depth.max_observe(),
             gates: expanded.netlist.num_gates(),
-            area: estimate_area(&datapath, self.width, &RegisterCosts::default()).total(),
+            area: estimate_area(datapath, self.width, &RegisterCosts::default()).total(),
             bist_overhead_percent,
             grading,
             atpg,
@@ -533,16 +628,45 @@ impl SynthesisFlow {
         hlstb_trace::gauge("flow.gates", report.gates as u64);
         hlstb_trace::gauge("flow.registers", report.registers as u64);
         hlstb_trace::gauge("flow.scan_registers", report.scan_registers as u64);
+        report
+    }
+
+    /// Runs the flow without consuming the builder: the DSE engine fans
+    /// one configured flow out across many points, so the builder must
+    /// survive the call. Composes the public stages —
+    /// [`Self::front_end`] → [`Self::apply_dft`] →
+    /// [`Self::expand_netlist`] → [`Self::sgraph_facts`] →
+    /// [`Self::build_report`] — exactly as [`Self::run`] always has.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline stage failure as a [`FlowError`].
+    pub fn run_ref(&self) -> Result<SynthesizedDesign, FlowError> {
+        let mut fe = self.front_end()?;
+        let plans = self.apply_dft(&mut fe);
+        let expanded = self.expand_netlist(&fe.datapath)?;
+        let facts = Self::sgraph_facts(&fe.datapath);
+        let report = self.build_report(&fe.datapath, &expanded, plans.bist.as_ref(), &facts);
         Ok(SynthesizedDesign {
-            cdfg,
-            schedule,
-            binding,
-            datapath,
+            cdfg: self.cdfg.clone(),
+            schedule: fe.schedule,
+            binding: fe.binding,
+            datapath: fe.datapath,
             expanded,
             report,
-            bist_plan,
-            kcontrol_plan,
+            bist_plan: plans.bist,
+            kcontrol_plan: plans.kcontrol,
         })
+    }
+
+    /// Runs the flow, consuming the builder — a thin wrapper over
+    /// [`Self::run_ref`] kept for call-site ergonomics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline stage failure as a [`FlowError`].
+    pub fn run(self) -> Result<SynthesizedDesign, FlowError> {
+        self.run_ref()
     }
 }
 
@@ -655,7 +779,12 @@ mod tests {
             .unwrap();
         let p = par.report.grading.as_ref().unwrap();
         assert_eq!(p.coverage_percent, graded.coverage_percent);
-        assert_eq!(p.stats.threads, 4.min(p.stats.faults.max(1)));
+        // The engine records the *effective* worker count: the
+        // small-universe gate may collapse the requested 4 threads.
+        assert_eq!(
+            p.stats.threads,
+            ParallelOptions::with_threads(4).effective_threads(p.stats.faults)
+        );
         // The default flow stays grading-free (report shape unchanged).
         let plain = SynthesisFlow::new(benchmarks::figure1()).run().unwrap();
         assert!(plain.report.grading.is_none());
@@ -683,6 +812,62 @@ mod tests {
         let a2 = d2.report.atpg.as_ref().expect("atpg attached");
         assert!(a2.targeted > 0);
         assert!(a2.detected + a2.untestable + a2.aborted <= a2.targeted + a2.detected);
+    }
+
+    /// Strips the wall-clock component of a report so two runs of the
+    /// same flow compare equal (every other field is deterministic).
+    fn detimed(mut r: TestabilityReport) -> TestabilityReport {
+        if let Some(g) = r.grading.as_mut() {
+            g.stats.wall_good = std::time::Duration::ZERO;
+            g.stats.wall_fault = std::time::Duration::ZERO;
+        }
+        r
+    }
+
+    #[test]
+    fn run_ref_matches_run_and_keeps_the_builder() {
+        for strategy in [
+            DftStrategy::None,
+            DftStrategy::FullScan,
+            DftStrategy::BehavioralPartialScan,
+            DftStrategy::SimultaneousLoopAvoidance,
+            DftStrategy::BistShared,
+            DftStrategy::KLevelTestPoints(2),
+        ] {
+            let flow = SynthesisFlow::new(benchmarks::figure1())
+                .strategy(strategy)
+                .grade_random(64);
+            let by_ref = flow.run_ref().unwrap();
+            // The builder survives run_ref: run it again, and consume it.
+            let again = flow.run_ref().unwrap();
+            assert_eq!(
+                detimed(by_ref.report.clone()),
+                detimed(again.report),
+                "{strategy:?}"
+            );
+            let consumed = flow.run().unwrap();
+            assert_eq!(
+                detimed(by_ref.report),
+                detimed(consumed.report),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_pipeline_composes_to_the_monolithic_result() {
+        let flow =
+            SynthesisFlow::new(benchmarks::diffeq()).strategy(DftStrategy::BehavioralPartialScan);
+        let mut fe = flow.front_end().unwrap();
+        // Facts are strategy-independent: identical before and after DFT.
+        let before = SynthesisFlow::sgraph_facts(&fe.datapath);
+        let plans = flow.apply_dft(&mut fe);
+        let after = SynthesisFlow::sgraph_facts(&fe.datapath);
+        assert_eq!(before, after);
+        let expanded = flow.expand_netlist(&fe.datapath).unwrap();
+        let report = flow.build_report(&fe.datapath, &expanded, plans.bist.as_ref(), &after);
+        let whole = flow.run_ref().unwrap();
+        assert_eq!(report, whole.report);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The content-keyed artifact cache.
+//!
+//! One [`ArtifactCache`] lives for the duration of one sweep. Each
+//! stage has its own store keyed by the FNV-1a hash of the stage's
+//! inputs (see [`crate::key`]); values are `Arc`s, so a hit is a
+//! pointer clone and workers share artifacts without copying.
+//!
+//! Lock discipline: a store's mutex is held only for the lookup and
+//! the insert, never across a compute. Two workers racing on the same
+//! miss may both compute the value; the first insert wins and the
+//! duplicate is dropped. Every stage is deterministic, so the race is
+//! benign — and on sweep workloads misses are rare after warm-up.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hlstb::flow::{DftPlans, FrontEnd, SgraphFacts};
+use hlstb::hls::datapath::Datapath;
+use hlstb::hls::expand::ExpandedDatapath;
+use hlstb::netlist::random::RandomRun;
+use hlstb_trace::json::Obj;
+
+/// Hit/miss counters of one stage store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+/// A snapshot of every stage's hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Front-end artifacts (schedule + binding + data path).
+    pub front: StageCounts,
+    /// Strategy-independent S-graph facts.
+    pub facts: StageCounts,
+    /// DFT-processed data paths and plans.
+    pub dft: StageCounts,
+    /// Gate-level expansions.
+    pub netlist: StageCounts,
+    /// Pseudorandom grading runs.
+    pub grading: StageCounts,
+}
+
+impl CacheStats {
+    /// Total hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.front.hits + self.facts.hits + self.dft.hits + self.netlist.hits + self.grading.hits
+    }
+
+    /// Total misses across all stages.
+    pub fn misses(&self) -> u64 {
+        self.front.misses
+            + self.facts.misses
+            + self.dft.misses
+            + self.netlist.misses
+            + self.grading.misses
+    }
+
+    /// The stats as a JSON object (per stage plus totals).
+    pub fn to_json(&self) -> String {
+        let stage = |c: StageCounts| {
+            let mut o = Obj::new();
+            o.number_u64("hits", c.hits).number_u64("misses", c.misses);
+            o.finish()
+        };
+        let mut o = Obj::new();
+        o.number_u64("hits", self.hits())
+            .number_u64("misses", self.misses())
+            .raw("front", &stage(self.front))
+            .raw("facts", &stage(self.facts))
+            .raw("dft", &stage(self.dft))
+            .raw("netlist", &stage(self.netlist))
+            .raw("grading", &stage(self.grading));
+        o.finish()
+    }
+}
+
+/// One stage's store: keyed `Arc` values plus hit/miss instrumentation
+/// bridged to the trace layer under static counter names.
+pub(crate) struct Store<T> {
+    map: Mutex<HashMap<u64, Arc<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_counter: &'static str,
+    miss_counter: &'static str,
+}
+
+impl<T> Store<T> {
+    fn new(hit_counter: &'static str, miss_counter: &'static str) -> Self {
+        Store {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_counter,
+            miss_counter,
+        }
+    }
+
+    /// Returns the cached value for `key`, computing (outside the
+    /// lock) and inserting it on a miss. On a racing double-compute
+    /// the first insert wins so every caller sees one artifact.
+    pub(crate) fn get_or_try<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        if let Some(v) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            hlstb_trace::counter(self.hit_counter, 1);
+            return Ok(Arc::clone(v));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        hlstb_trace::counter(self.miss_counter, 1);
+        let v = Arc::new(compute()?);
+        Ok(Arc::clone(
+            self.map.lock().expect("cache lock").entry(key).or_insert(v),
+        ))
+    }
+
+    fn counts(&self) -> StageCounts {
+        StageCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The DFT stage's cached output: the scan-marked data path plus the
+/// plans the strategy attached.
+#[derive(Debug, Clone)]
+pub struct DftOutput {
+    /// The data path with the strategy's scan marks applied.
+    pub datapath: Datapath,
+    /// BIST / test-point plans.
+    pub plans: DftPlans,
+}
+
+/// Per-stage artifact stores for one sweep.
+pub struct ArtifactCache {
+    pub(crate) front: Store<FrontEnd>,
+    pub(crate) facts: Store<SgraphFacts>,
+    pub(crate) dft: Store<DftOutput>,
+    pub(crate) netlist: Store<ExpandedDatapath>,
+    pub(crate) grading: Store<RandomRun>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache {
+            front: Store::new("dse.cache.front.hit", "dse.cache.front.miss"),
+            facts: Store::new("dse.cache.facts.hit", "dse.cache.facts.miss"),
+            dft: Store::new("dse.cache.dft.hit", "dse.cache.dft.miss"),
+            netlist: Store::new("dse.cache.netlist.hit", "dse.cache.netlist.miss"),
+            grading: Store::new("dse.cache.grading.hit", "dse.cache.grading.miss"),
+        }
+    }
+
+    /// A snapshot of every stage's hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            front: self.front.counts(),
+            facts: self.facts.counts(),
+            dft: self.dft.counts(),
+            netlist: self.netlist.counts(),
+            grading: self.grading.counts(),
+        }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_hits_after_first_compute() {
+        let cache = ArtifactCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let v = cache
+                .facts
+                .get_or_try(42, || {
+                    computed += 1;
+                    Ok::<_, String>(SgraphFacts {
+                        cycles: 7,
+                        mfvs_size: 2,
+                    })
+                })
+                .unwrap();
+            assert_eq!(v.cycles, 7);
+        }
+        assert_eq!(computed, 1);
+        let s = cache.stats();
+        assert_eq!(s.facts, StageCounts { hits: 2, misses: 1 });
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let r = cache
+            .facts
+            .get_or_try(1, || Err::<SgraphFacts, _>("boom".to_string()));
+        assert!(r.is_err());
+        // The failed compute left nothing behind; the next call computes.
+        let v = cache
+            .facts
+            .get_or_try(1, || {
+                Ok::<_, String>(SgraphFacts {
+                    cycles: 1,
+                    mfvs_size: 1,
+                })
+            })
+            .unwrap();
+        assert_eq!(v.mfvs_size, 1);
+    }
+
+    #[test]
+    fn stats_json_names_every_stage() {
+        let j = ArtifactCache::new().stats().to_json();
+        for key in ["front", "facts", "dft", "netlist", "grading", "hits"] {
+            assert!(j.contains(&format!("\"{key}\"")), "{j}");
+        }
+        assert!(hlstb_trace::json::parse(&j).is_ok(), "{j}");
+    }
+}

@@ -1,0 +1,509 @@
+//! The sweep executor: a work-stealing pool over the point list with
+//! optional artifact memoization.
+//!
+//! # Determinism
+//!
+//! Every pipeline stage is a pure function of its inputs (grading is
+//! fixed-seeded), results land in per-point slots indexed by the
+//! spec's enumeration order, and the cache changes only *where* an
+//! artifact is computed, never *what* it is:
+//!
+//! * a cached grading run is evaluated once at the sweep's deepest
+//!   pattern budget and shallower budgets read a curve prefix — the
+//!   batch loop of `random_pattern_run_opts` draws frames and drops
+//!   faults identically whether or not later batches follow, so the
+//!   prefix equals a direct run at the shallow budget;
+//! * every other stage returns the same artifact for the same key by
+//!   construction (content-derived keys over deterministic stages).
+//!
+//! Hence [`run_sweep`] produces the same
+//! [`SweepReport::canonical_json`] bytes for any thread count and
+//! either cache setting — property-tested in
+//! `tests/sweep_determinism.rs` and smoke-checked in CI.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hlstb::cdfg::Cdfg;
+use hlstb::flow::{DftStrategy, SynthesisFlow, SynthesizedDesign};
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::fsim::ParallelOptions;
+use hlstb::netlist::random::{random_pattern_run_opts, CoveragePoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::{ArtifactCache, DftOutput};
+use crate::key;
+use crate::report::{PointMetrics, PointRecord, SweepReport};
+use crate::spec::{self, Point, SweepSpec};
+
+/// The fixed grading seed — the same one `SynthesisFlow::grade_random`
+/// uses, so sweep coverage matches a standalone graded run.
+pub const SWEEP_SEED: u64 = 0xDAC_1996;
+
+/// Reads a coverage curve at a pattern budget: the curve point of the
+/// budget's last 64-pattern batch, clamped to where the run saturated
+/// (a run that detects everything stops early; its final point is the
+/// value every deeper budget would report).
+pub fn coverage_at(curve: &[CoveragePoint], patterns: usize) -> f64 {
+    let batches = patterns.div_ceil(64).max(1);
+    let idx = batches.min(curve.len()).saturating_sub(1);
+    curve.get(idx).map_or(0.0, |c| c.coverage_percent)
+}
+
+/// How a sweep executes (never *what* it computes).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads (1 = run inline on the caller's thread).
+    pub threads: usize,
+    /// Memoize stage artifacts across points.
+    pub cache: bool,
+    /// Keep every point's full [`SynthesizedDesign`] in the outcome
+    /// (memory-heavy; for post-processing passes like sequential ATPG).
+    pub keep_designs: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 1,
+            cache: true,
+            keep_designs: false,
+        }
+    }
+}
+
+/// What [`run_sweep`] returns: the report, plus the synthesized
+/// designs (point-indexed) when [`SweepOptions::keep_designs`] asked
+/// for them.
+pub struct SweepOutcome {
+    /// The deterministic per-point report.
+    pub report: SweepReport,
+    /// One entry per point: `Some` when the point succeeded and
+    /// `keep_designs` was set, `None` otherwise.
+    pub designs: Vec<Option<SynthesizedDesign>>,
+}
+
+struct Evaluated {
+    outcome: Result<PointMetrics, String>,
+    design: Option<SynthesizedDesign>,
+    wall: Duration,
+}
+
+/// Runs every point of `spec` and collects a [`SweepReport`] ordered
+/// by point index regardless of completion order.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    let sweep_span = hlstb_trace::span("dse.sweep");
+    let t0 = Instant::now();
+    let points = spec.points();
+    let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
+    let cache = opts.cache.then(ArtifactCache::new);
+    let max_patterns = spec.max_patterns();
+    let slots: Vec<Mutex<Option<Evaluated>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Work stealing via a shared injector: each worker claims the next
+    // unclaimed index until the list is drained, so a slow point never
+    // stalls the remaining work.
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= points.len() {
+            break;
+        }
+        let p = points[i];
+        let point_span = hlstb_trace::span("dse.point");
+        let t = Instant::now();
+        let (outcome, design) = match eval_point(
+            spec,
+            &design_keys,
+            p,
+            cache.as_ref(),
+            max_patterns,
+            opts.keep_designs,
+        ) {
+            Ok((m, d)) => (Ok(m), d),
+            Err(e) => (Err(e), None),
+        };
+        point_span.end();
+        *slots[i].lock().expect("slot lock") = Some(Evaluated {
+            outcome,
+            design,
+            wall: t.elapsed(),
+        });
+    };
+    let threads = opts.threads.max(1).min(points.len().max(1));
+    if threads <= 1 {
+        worker();
+    } else {
+        // `&worker` is Copy, so every spawn can share the one closure.
+        let worker = &worker;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(worker);
+            }
+        });
+    }
+    let mut records = Vec::with_capacity(points.len());
+    let mut designs = Vec::with_capacity(points.len());
+    let mut cpu = Duration::ZERO;
+    for (p, slot) in points.iter().zip(slots) {
+        let ev = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("every point evaluated");
+        cpu += ev.wall;
+        records.push(PointRecord {
+            index: p.index,
+            design: spec.designs[p.design].name().to_string(),
+            scheduler: spec::scheduler_name(p.scheduler),
+            policy: spec::policy_name(p.policy).to_string(),
+            strategy: spec::strategy_name(p.strategy),
+            width: p.width,
+            patterns: p.patterns,
+            outcome: ev.outcome,
+            wall: ev.wall,
+        });
+        designs.push(ev.design);
+    }
+    hlstb_trace::counter("dse.points", records.len() as u64);
+    sweep_span.end();
+    SweepOutcome {
+        report: SweepReport {
+            points: records,
+            threads,
+            cache: cache.map(|c| c.stats()),
+            wall: t0.elapsed(),
+            cpu,
+        },
+        designs,
+    }
+}
+
+/// The flow for one point; stage composition happens in the caller.
+fn base_flow(spec: &SweepSpec, design: &Cdfg, p: Point) -> SynthesisFlow {
+    SynthesisFlow::new(design.clone())
+        .scheduler(p.scheduler)
+        .register_policy(p.policy)
+        .strategy(p.strategy)
+        .width(p.width)
+        .reset_controller(spec.reset_controller)
+}
+
+type PointOutput = (PointMetrics, Option<SynthesizedDesign>);
+
+fn eval_point(
+    spec: &SweepSpec,
+    design_keys: &[u64],
+    p: Point,
+    cache: Option<&ArtifactCache>,
+    max_patterns: usize,
+    keep: bool,
+) -> Result<PointOutput, String> {
+    match cache {
+        Some(c) => eval_cached(spec, design_keys, p, c, max_patterns, keep),
+        None => eval_direct(spec, p, keep),
+    }
+}
+
+/// The memoized pipeline. Stage keys, in dependency order:
+///
+/// * front end — design content + scheduler + policy (the integrated
+///   loop-avoidance strategy replaces the scheduler/policy pair, so it
+///   keys on the design + a marker instead);
+/// * S-graph facts — same key as the front end (strategy-independent);
+/// * DFT output — front-end key + strategy;
+/// * netlist — *content* of the marked data path + width (+ reset
+///   flag), so every strategy that leaves identical marks (all four
+///   no-scan strategies: none, both BISTs, k-level points) shares one
+///   expansion;
+/// * grading run — the netlist key; evaluated once at the sweep's
+///   deepest budget, read as a prefix for shallower ones.
+fn eval_cached(
+    spec: &SweepSpec,
+    design_keys: &[u64],
+    p: Point,
+    cache: &ArtifactCache,
+    max_patterns: usize,
+    keep: bool,
+) -> Result<PointOutput, String> {
+    let design = &spec.designs[p.design];
+    let flow = base_flow(spec, design, p);
+    let front_key = if p.strategy == DftStrategy::SimultaneousLoopAvoidance {
+        key::combine(&[design_keys[p.design], key::hash_debug("simsched")])
+    } else {
+        key::combine(&[
+            design_keys[p.design],
+            key::hash_debug(&p.scheduler),
+            key::hash_debug(&p.policy),
+        ])
+    };
+    let fe = cache
+        .front
+        .get_or_try(front_key, || flow.front_end().map_err(|e| e.to_string()))?;
+    let facts = cache.facts.get_or_try(front_key, || {
+        Ok::<_, String>(SynthesisFlow::sgraph_facts(&fe.datapath))
+    })?;
+    let dft_key = key::combine(&[front_key, key::hash_debug(&p.strategy)]);
+    let dft = cache.dft.get_or_try(dft_key, || {
+        let mut fe = (*fe).clone();
+        let plans = flow.apply_dft(&mut fe);
+        Ok::<_, String>(DftOutput {
+            datapath: fe.datapath,
+            plans,
+        })
+    })?;
+    let nl_key = key::combine(&[
+        key::hash_debug(&dft.datapath),
+        u64::from(p.width),
+        u64::from(spec.reset_controller),
+    ]);
+    let expanded = cache.netlist.get_or_try(nl_key, || {
+        flow.expand_netlist(&dft.datapath)
+            .map_err(|e| e.to_string())
+    })?;
+    let coverage_percent = if p.patterns > 0 {
+        let run = cache.grading.get_or_try(nl_key, || {
+            let faults = collapsed_faults(&expanded.netlist);
+            let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
+            Ok::<_, String>(
+                random_pattern_run_opts(
+                    &expanded.netlist,
+                    &faults,
+                    max_patterns,
+                    &mut rng,
+                    &ParallelOptions::default(),
+                )
+                .0,
+            )
+        })?;
+        Some(coverage_at(&run.curve, p.patterns))
+    } else {
+        None
+    };
+    let report = flow.build_report(&dft.datapath, &expanded, dft.plans.bist.as_ref(), &facts);
+    let design_out = keep.then(|| SynthesizedDesign {
+        cdfg: design.clone(),
+        schedule: fe.schedule.clone(),
+        binding: fe.binding.clone(),
+        datapath: dft.datapath.clone(),
+        expanded: (*expanded).clone(),
+        report: report.clone(),
+        bist_plan: dft.plans.bist.clone(),
+        kcontrol_plan: dft.plans.kcontrol.clone(),
+    });
+    Ok((
+        PointMetrics {
+            report,
+            coverage_percent,
+        },
+        design_out,
+    ))
+}
+
+/// The uncached pipeline — the same stages, computed from scratch.
+/// Grading runs at the point's own budget; [`coverage_at`] reads both
+/// this curve and the cached deep curve identically (prefix property).
+fn eval_direct(spec: &SweepSpec, p: Point, keep: bool) -> Result<PointOutput, String> {
+    let design = &spec.designs[p.design];
+    let flow = base_flow(spec, design, p);
+    let mut fe = flow.front_end().map_err(|e| e.to_string())?;
+    let plans = flow.apply_dft(&mut fe);
+    let facts = SynthesisFlow::sgraph_facts(&fe.datapath);
+    let expanded = flow
+        .expand_netlist(&fe.datapath)
+        .map_err(|e| e.to_string())?;
+    let coverage_percent = if p.patterns > 0 {
+        let faults = collapsed_faults(&expanded.netlist);
+        let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
+        let (run, _) = random_pattern_run_opts(
+            &expanded.netlist,
+            &faults,
+            p.patterns,
+            &mut rng,
+            &ParallelOptions::default(),
+        );
+        Some(coverage_at(&run.curve, p.patterns))
+    } else {
+        None
+    };
+    let report = flow.build_report(&fe.datapath, &expanded, plans.bist.as_ref(), &facts);
+    let design_out = keep.then(|| SynthesizedDesign {
+        cdfg: design.clone(),
+        schedule: fe.schedule.clone(),
+        binding: fe.binding.clone(),
+        datapath: fe.datapath.clone(),
+        expanded: expanded.clone(),
+        report: report.clone(),
+        bist_plan: plans.bist.clone(),
+        kcontrol_plan: plans.kcontrol.clone(),
+    });
+    Ok((
+        PointMetrics {
+            report,
+            coverage_percent,
+        },
+        design_out,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb::cdfg::benchmarks;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![
+            DftStrategy::None,
+            DftStrategy::FullScan,
+            DftStrategy::BistShared,
+        ];
+        spec.patterns = vec![64, 128];
+        spec
+    }
+
+    #[test]
+    fn coverage_at_reads_prefixes_and_clamps() {
+        let curve = vec![
+            CoveragePoint {
+                patterns: 64,
+                coverage_percent: 40.0,
+            },
+            CoveragePoint {
+                patterns: 128,
+                coverage_percent: 70.0,
+            },
+            CoveragePoint {
+                patterns: 192,
+                coverage_percent: 100.0,
+            },
+        ];
+        assert_eq!(coverage_at(&curve, 0), 40.0);
+        assert_eq!(coverage_at(&curve, 64), 40.0);
+        assert_eq!(coverage_at(&curve, 100), 70.0);
+        assert_eq!(coverage_at(&curve, 128), 70.0);
+        assert_eq!(coverage_at(&curve, 192), 100.0);
+        // Budgets past saturation clamp to the final point.
+        assert_eq!(coverage_at(&curve, 10_000), 100.0);
+        assert_eq!(coverage_at(&[], 64), 0.0);
+    }
+
+    #[test]
+    fn cache_hits_never_change_a_points_report() {
+        let spec = tiny_spec();
+        let cached = run_sweep(
+            &spec,
+            &SweepOptions {
+                cache: true,
+                ..SweepOptions::default()
+            },
+        );
+        let direct = run_sweep(
+            &spec,
+            &SweepOptions {
+                cache: false,
+                ..SweepOptions::default()
+            },
+        );
+        let stats = cached.report.cache.expect("cache enabled");
+        assert!(stats.hits() > 0, "{stats:?}");
+        assert!(direct.report.cache.is_none());
+        assert_eq!(
+            cached.report.canonical_json(),
+            direct.report.canonical_json()
+        );
+    }
+
+    #[test]
+    fn threaded_sweep_is_byte_identical_to_serial() {
+        let spec = tiny_spec();
+        let serial = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads: 1,
+                cache: false,
+                keep_designs: false,
+            },
+        );
+        let threaded = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads: 4,
+                cache: true,
+                keep_designs: false,
+            },
+        );
+        assert_eq!(
+            serial.report.canonical_json(),
+            threaded.report.canonical_json()
+        );
+        assert!(threaded.report.threads > 1);
+    }
+
+    #[test]
+    fn sweep_coverage_matches_a_standalone_graded_flow() {
+        // The cached prefix read must agree with SynthesisFlow's own
+        // grading (same seed, same engine) at the same budget.
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![DftStrategy::FullScan];
+        spec.patterns = vec![128, 256];
+        let out = run_sweep(&spec, &SweepOptions::default());
+        let standalone = SynthesisFlow::new(benchmarks::figure1())
+            .strategy(DftStrategy::FullScan)
+            .grade_random(128)
+            .run()
+            .unwrap();
+        let got = out.report.points[0]
+            .outcome
+            .as_ref()
+            .unwrap()
+            .coverage_percent
+            .unwrap();
+        assert_eq!(
+            got,
+            standalone.report.grading.as_ref().unwrap().coverage_percent
+        );
+    }
+
+    #[test]
+    fn keep_designs_returns_point_indexed_designs() {
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![DftStrategy::None, DftStrategy::FullScan];
+        let out = run_sweep(
+            &spec,
+            &SweepOptions {
+                keep_designs: true,
+                ..SweepOptions::default()
+            },
+        );
+        assert_eq!(out.designs.len(), 2);
+        let none = out.designs[0].as_ref().expect("kept");
+        let full = out.designs[1].as_ref().expect("kept");
+        assert_eq!(none.report.scan_registers, 0);
+        assert_eq!(full.report.scan_registers, full.report.registers);
+        // Dropping the request drops the payloads.
+        let without = run_sweep(&spec, &SweepOptions::default());
+        assert!(without.designs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn no_scan_strategies_share_one_netlist_and_grading_run() {
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![
+            DftStrategy::None,
+            DftStrategy::BistNaive,
+            DftStrategy::BistShared,
+            DftStrategy::KLevelTestPoints(2),
+        ];
+        spec.patterns = vec![128];
+        let out = run_sweep(&spec, &SweepOptions::default());
+        let stats = out.report.cache.unwrap();
+        // One expansion and one grading run serve all four strategies.
+        assert_eq!(stats.netlist.misses, 1, "{stats:?}");
+        assert_eq!(stats.netlist.hits, 3, "{stats:?}");
+        assert_eq!(stats.grading.misses, 1, "{stats:?}");
+        assert_eq!(stats.grading.hits, 3, "{stats:?}");
+        // ... and one front end serves everything.
+        assert_eq!(stats.front.misses, 1, "{stats:?}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Content-derived cache keys.
+//!
+//! Every artifact the workspace synthesizes derives `Debug`, and the
+//! cache lives only for the duration of one in-process sweep, so a
+//! stage key is the FNV-1a hash of the `Debug` rendering of the stage's
+//! inputs: stable within a run, sensitive to any content change, and
+//! free of serialization machinery. The hasher implements
+//! [`std::fmt::Write`], so hashing never materializes the formatted
+//! string.
+
+use std::fmt::{self, Write};
+
+/// 64-bit FNV-1a running hash.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Hashes a value's `Debug` rendering without allocating it.
+pub fn hash_debug<T: fmt::Debug + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv1a::new();
+    // Formatting into an FNV sink cannot fail.
+    let _ = write!(h, "{value:?}");
+    h.finish()
+}
+
+/// Folds several stage keys into one (order-sensitive).
+pub fn combine(parts: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for p in parts {
+        h.write_bytes(&p.to_le_bytes());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_content_equal_key() {
+        assert_eq!(hash_debug(&(1u32, "x")), hash_debug(&(1u32, "x")));
+        assert_ne!(hash_debug(&(1u32, "x")), hash_debug(&(2u32, "x")));
+        assert_ne!(hash_debug(&"ab"), hash_debug(&"ba"));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(&[1, 2]), combine(&[2, 1]));
+        assert_eq!(combine(&[1, 2]), combine(&[1, 2]));
+        assert_ne!(combine(&[]), combine(&[0]));
+    }
+
+    #[test]
+    fn sink_matches_byte_hashing() {
+        let via_debug = hash_debug(&"abc");
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"\"abc\"");
+        assert_eq!(via_debug, h.finish());
+    }
+}

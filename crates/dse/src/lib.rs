@@ -1,0 +1,42 @@
+//! `hlstb-dse` — batched, parallel design-space exploration over the
+//! synthesis-for-testability flow.
+//!
+//! The survey's whole point is comparative: its results are tables of
+//! many (benchmark × DFT strategy) synthesis points. Evaluating such a
+//! sweep one [`hlstb::flow::SynthesisFlow::run`] at a time re-runs
+//! scheduling, binding, data-path construction, and gate-level
+//! expansion from scratch for strategies that share an identical front
+//! end. This crate removes that redundancy:
+//!
+//! * [`spec::SweepSpec`] enumerates points over designs × schedulers ×
+//!   register policies × DFT strategies × widths × grading depths;
+//! * [`engine::run_sweep`] executes the points on a work-stealing pool
+//!   (`std::thread::scope` workers pulling from a shared atomic
+//!   injector — no new dependencies);
+//! * [`cache::ArtifactCache`] memoizes stage outputs under
+//!   content-derived keys so points differing only in DFT strategy
+//!   reuse everything up to DFT insertion, points whose marked data
+//!   paths coincide (every no-scan strategy) share one gate-level
+//!   netlist, and one maximal-depth pseudorandom grading run serves
+//!   every pattern budget of a netlist;
+//! * [`report::SweepReport`] collects per-point metrics *ordered by
+//!   point index* regardless of completion order, so the parallel
+//!   sweep's canonical output is byte-identical to the serial one.
+//!
+//! Cache hits and misses surface as `hlstb-trace` counters
+//! (`dse.cache.<stage>.hit` / `.miss`) and every point runs under a
+//! `dse.point` span.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod key;
+pub mod report;
+pub mod spec;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use engine::{run_sweep, SweepOptions, SweepOutcome};
+pub use report::{PointMetrics, PointRecord, SweepReport};
+pub use spec::{Point, SweepSpec};

@@ -1,0 +1,322 @@
+//! Deterministic sweep reports.
+//!
+//! [`SweepReport::canonical_json`] renders only run-invariant content —
+//! point coordinates and synthesis/coverage metrics, in point-index
+//! order — so a parallel cached sweep and a serial uncached sweep of
+//! the same spec produce byte-identical documents (enforced by tests
+//! and the CI smoke step). [`SweepReport::to_json`] adds the
+//! run-varying envelope: wall/CPU time, worker count, cache counters.
+
+use std::time::Duration;
+
+use hlstb::report::TestabilityReport;
+use hlstb_trace::json::{escape, number_f64, Obj};
+
+use crate::cache::CacheStats;
+
+/// Run-invariant metrics of one successfully synthesized point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMetrics {
+    /// The flow's testability report (never carries grading/ATPG
+    /// payloads — sweep grading is recorded in `coverage_percent` so
+    /// cached and uncached runs stay comparable).
+    pub report: TestabilityReport,
+    /// Stuck-at coverage at the point's pattern budget, when the point
+    /// asked for grading.
+    pub coverage_percent: Option<f64>,
+}
+
+/// One sweep point's result, in enumeration order.
+#[derive(Debug, Clone)]
+pub struct PointRecord {
+    /// Point index (slot in the spec's enumeration).
+    pub index: usize,
+    /// Design name.
+    pub design: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Register-policy name.
+    pub policy: String,
+    /// DFT-strategy name.
+    pub strategy: String,
+    /// Data-path width in bits.
+    pub width: u32,
+    /// Pattern budget (0 = ungraded).
+    pub patterns: usize,
+    /// Metrics, or the first pipeline failure rendered as a string.
+    pub outcome: Result<PointMetrics, String>,
+    /// Wall time this point took to evaluate (excluded from canonical
+    /// output).
+    pub wall: Duration,
+}
+
+impl PointRecord {
+    /// The point's JSON object; timing only when `with_timing`.
+    fn to_json(&self, with_timing: bool) -> String {
+        let mut o = Obj::new();
+        o.number_u64("index", self.index as u64)
+            .string("design", &self.design)
+            .string("scheduler", &self.scheduler)
+            .string("policy", &self.policy)
+            .string("strategy", &self.strategy)
+            .number_u64("width", u64::from(self.width))
+            .number_u64("patterns", self.patterns as u64);
+        match &self.outcome {
+            Ok(m) => {
+                o.raw(
+                    "coverage_percent",
+                    &m.coverage_percent.map_or("null".into(), number_f64),
+                );
+                o.raw("error", "null");
+                o.raw("report", &m.report.to_json());
+            }
+            Err(e) => {
+                o.raw("coverage_percent", "null");
+                o.raw("error", &escape(e));
+                o.raw("report", "null");
+            }
+        }
+        if with_timing {
+            o.raw("wall_ms", &format!("{:.3}", self.wall.as_secs_f64() * 1e3));
+        }
+        o.finish()
+    }
+}
+
+/// The full result of one sweep, points ordered by index.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-point records, index order.
+    pub points: Vec<PointRecord>,
+    /// Worker threads the sweep ran on.
+    pub threads: usize,
+    /// Whether the artifact cache was enabled, and its counters.
+    pub cache: Option<CacheStats>,
+    /// End-to-end wall time of the sweep.
+    pub wall: Duration,
+    /// Summed per-point wall time (the work the pool executed).
+    pub cpu: Duration,
+}
+
+impl SweepReport {
+    /// Points that failed, as `(index, error)` pairs.
+    pub fn errors(&self) -> Vec<(usize, &str)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.outcome.as_ref().err().map(|e| (p.index, e.as_str())))
+            .collect()
+    }
+
+    fn points_json(&self, with_timing: bool) -> String {
+        let mut out = String::from("[\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&p.to_json(with_timing));
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+        out
+    }
+
+    /// The run-invariant document: identical bytes for any thread
+    /// count and cache setting, because every field depends only on
+    /// the spec.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"dse_sweep\",\n");
+        out.push_str(&format!("  \"points\": {}\n", self.points_json(false)));
+        out.push('}');
+        out
+    }
+
+    /// The full document: canonical content plus the run envelope
+    /// (threads, wall/CPU time, per-point wall, cache counters).
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"dse_sweep\",\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall)));
+        out.push_str(&format!("  \"cpu_ms\": {},\n", ms(self.cpu)));
+        match &self.cache {
+            Some(c) => out.push_str(&format!("  \"cache\": {},\n", c.to_json())),
+            None => out.push_str("  \"cache\": null,\n"),
+        }
+        out.push_str(&format!("  \"points\": {}\n", self.points_json(true)));
+        out.push('}');
+        out
+    }
+
+    /// A fixed-width text table of the sweep (the CLI's default
+    /// rendering).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} {:>6} {:>8} {:>7} {:>7}\n",
+            "#",
+            "design",
+            "strategy",
+            "policy",
+            "width",
+            "patterns",
+            "scan",
+            "gates",
+            "area",
+            "cov %"
+        ));
+        for p in &self.points {
+            match &p.outcome {
+                Ok(m) => {
+                    let cov = m
+                        .coverage_percent
+                        .map_or("-".to_string(), |c| format!("{c:.1}"));
+                    out.push_str(&format!(
+                        "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} {:>6} {:>8} {:>7.0} {:>7}\n",
+                        p.index,
+                        p.design,
+                        p.strategy,
+                        p.policy,
+                        p.width,
+                        p.patterns,
+                        m.report.scan_registers,
+                        m.report.gates,
+                        m.report.area,
+                        cov
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} error: {e}\n",
+                        p.index, p.design, p.strategy, p.policy, p.width, p.patterns
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// One-line run summary (the CLI's stderr footer): point and error
+    /// counts, threads, cache hit/miss totals, wall time.
+    pub fn summary(&self) -> String {
+        let (hits, misses) = self.cache.map_or((0, 0), |c| (c.hits(), c.misses()));
+        format!(
+            "sweep: {} points ({} errors), {} threads, cache hits: {hits}, misses: {misses}, wall: {:.1} ms, cpu: {:.1} ms",
+            self.points.len(),
+            self.errors().len(),
+            self.threads,
+            self.wall.as_secs_f64() * 1e3,
+            self.cpu.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlstb_trace::json;
+
+    fn record(index: usize, ok: bool) -> PointRecord {
+        let report = TestabilityReport {
+            name: "x".into(),
+            period: 4,
+            registers: 10,
+            io_registers: 5,
+            fus: 3,
+            scan_registers: 2,
+            sgraph_cycles: 1,
+            sgraph_acyclic_after_scan: true,
+            mfvs_size: 1,
+            max_control_depth: 2,
+            max_observe_depth: 3,
+            gates: 500,
+            area: 1234.5,
+            bist_overhead_percent: 12.5,
+            grading: None,
+            atpg: None,
+        };
+        PointRecord {
+            index,
+            design: "x".into(),
+            scheduler: "list".into(),
+            policy: "left-edge".into(),
+            strategy: "none".into(),
+            width: 4,
+            patterns: 128,
+            outcome: if ok {
+                Ok(PointMetrics {
+                    report,
+                    coverage_percent: Some(92.5),
+                })
+            } else {
+                Err("scheduling: no feasible schedule".into())
+            },
+            wall: Duration::from_millis(3),
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            points: vec![record(0, true), record(1, false)],
+            threads: 4,
+            cache: Some(CacheStats::default()),
+            wall: Duration::from_millis(10),
+            cpu: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn canonical_json_excludes_the_run_envelope() {
+        let r = report();
+        let c = r.canonical_json();
+        assert!(!c.contains("wall_ms"), "{c}");
+        assert!(!c.contains("threads"), "{c}");
+        assert!(!c.contains("cache"), "{c}");
+        let v = json::parse(&c).expect("canonical parses");
+        let pts = v.get("points").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(
+            pts[0].get("coverage_percent").and_then(|x| x.as_f64()),
+            Some(92.5)
+        );
+        assert!(pts[1].get("error").and_then(|e| e.as_str()).is_some());
+    }
+
+    #[test]
+    fn full_json_carries_the_envelope_and_parses() {
+        let r = report();
+        let j = r.to_json();
+        let v = json::parse(&j).expect("full parses");
+        assert_eq!(v.get("threads").and_then(|t| t.as_f64()), Some(4.0));
+        assert!(v.get("wall_ms").and_then(|w| w.as_f64()).is_some());
+        assert!(v.get("cache").is_some());
+        let pts = v.get("points").and_then(|p| p.as_array()).unwrap();
+        assert!(pts[0].get("wall_ms").and_then(|w| w.as_f64()).is_some());
+    }
+
+    #[test]
+    fn canonical_json_is_identical_across_run_envelopes() {
+        let a = report();
+        let mut b = report();
+        b.threads = 1;
+        b.cache = None;
+        b.wall = Duration::from_millis(99);
+        b.points[0].wall = Duration::from_millis(77);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn table_and_summary_render() {
+        let r = report();
+        let t = r.table();
+        assert!(t.contains("design"), "{t}");
+        assert!(t.contains("error: scheduling"), "{t}");
+        let s = r.summary();
+        assert!(s.contains("2 points (1 errors)"), "{s}");
+        assert!(s.contains("cache hits: 0"), "{s}");
+        assert_eq!(r.errors().len(), 1);
+    }
+}

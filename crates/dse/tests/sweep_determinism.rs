@@ -1,0 +1,113 @@
+//! Property tests for the sweep engine's bit-identity contract: for an
+//! arbitrary `SweepSpec`, a 4-thread cached sweep must produce the
+//! same canonical report bytes as a serial uncached sweep, and cache
+//! hits must never change any point's metrics.
+
+use hlstb::cdfg::{benchmarks, Cdfg};
+use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler};
+use hlstb_dse::{run_sweep, SweepOptions, SweepSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a random nonempty subset of `pool`, preserving order.
+fn subset<T: Clone>(pool: &[T], rng: &mut StdRng) -> Vec<T> {
+    loop {
+        let picked: Vec<T> = pool.iter().filter(|_| rng.gen_bool(0.4)).cloned().collect();
+        if !picked.is_empty() {
+            return picked;
+        }
+    }
+}
+
+/// A random sweep spec derived from one seed: 1-2 small designs and a
+/// random subset of every axis. Small designs keep a proptest case
+/// affordable; the full design set is exercised by `exp_dse`.
+fn arb_spec(seed: u64) -> SweepSpec {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let pool: Vec<Cdfg> = vec![
+        benchmarks::figure1(),
+        benchmarks::tseng(),
+        benchmarks::gcd(),
+    ];
+    let mut designs = subset(&pool, rng);
+    designs.truncate(2);
+    let mut spec = SweepSpec::new(designs);
+    spec.schedulers = subset(&[Scheduler::List, Scheduler::IoAware, Scheduler::Asap], rng);
+    spec.policies = subset(
+        &[
+            RegisterPolicy::LeftEdge,
+            RegisterPolicy::Dsatur,
+            RegisterPolicy::Boundary,
+        ],
+        rng,
+    );
+    spec.strategies = subset(
+        &[
+            DftStrategy::None,
+            DftStrategy::FullScan,
+            DftStrategy::BehavioralPartialScan,
+            DftStrategy::SimultaneousLoopAvoidance,
+            DftStrategy::BistShared,
+            DftStrategy::KLevelTestPoints(2),
+        ],
+        rng,
+    );
+    spec.strategies.truncate(3);
+    spec.patterns = subset(&[0usize, 64, 128, 256], rng);
+    spec.patterns.truncate(2);
+    spec.reset_controller = rng.gen_bool(0.5);
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_cached_sweep_is_byte_identical_to_serial_uncached(seed in 0u64..10_000) {
+        let spec = arb_spec(seed);
+        let serial = run_sweep(&spec, &SweepOptions {
+            threads: 1,
+            cache: false,
+            keep_designs: false,
+        });
+        let parallel = run_sweep(&spec, &SweepOptions {
+            threads: 4,
+            cache: true,
+            keep_designs: false,
+        });
+        prop_assert!(serial.report.cache.is_none());
+        prop_assert!(parallel.report.cache.is_some());
+        prop_assert_eq!(
+            serial.report.canonical_json(),
+            parallel.report.canonical_json()
+        );
+    }
+}
+
+/// Cache hits never change a point's record: sweep a spec whose points
+/// share artifacts heavily, then cold-evaluate each point in isolation
+/// (fresh cache, every stage misses) and require identical metrics.
+#[test]
+fn cache_hits_never_change_a_points_report() {
+    let mut spec = SweepSpec::new(vec![benchmarks::diffeq()]);
+    spec.patterns = vec![0, 128, 512];
+    let cached = run_sweep(&spec, &SweepOptions::default());
+    let stats = cached.report.cache.expect("cache on");
+    assert!(stats.hits() > 0, "sweep too small to share artifacts");
+    for point in &cached.report.points {
+        let mut solo = spec.clone();
+        solo.strategies = vec![hlstb_dse::spec::parse_strategy(&point.strategy).unwrap()];
+        solo.patterns = vec![point.patterns];
+        let cold = run_sweep(&solo, &SweepOptions::default());
+        let cold_point = &cold.report.points[0];
+        let warm = point.outcome.as_ref().expect("point ok");
+        let cold_m = cold_point.outcome.as_ref().expect("solo point ok");
+        assert_eq!(warm.report, cold_m.report, "strategy {}", point.strategy);
+        assert_eq!(
+            warm.coverage_percent, cold_m.coverage_percent,
+            "strategy {} at {} patterns",
+            point.strategy, point.patterns
+        );
+    }
+}

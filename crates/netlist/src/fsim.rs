@@ -30,6 +30,22 @@
 //! fault's verdict depends only on the shared good-machine trace, so
 //! the merged result is bit-identical to the serial one regardless of
 //! scheduling — the default options keep the engine serial anyway.
+//!
+//! ## The small-universe gate
+//!
+//! Spawning workers is not free: each worker pays the thread-spawn
+//! cost and rebuilds its own cone cache, so for small fault universes
+//! the sharded engine is *slower* than the serial one (the original
+//! `BENCH_fsim.json` showed drop-2t/drop-4t behind serial drop on
+//! every benchmark design, all of which collapse to under ~2k faults).
+//! [`ParallelOptions::min_faults_per_thread`] gates the shard count:
+//! the engine uses at most `faults / min_faults_per_thread` workers
+//! (never fewer than one), falling back to the serial path when the
+//! universe cannot feed every worker at least that many faults. The
+//! gate changes only the schedule, never the detected set, and the
+//! *effective* worker count is what [`GradeStats::threads`] records.
+//! Set the field to `0` to disable the gate (tests and measurements
+//! that must exercise the sharded path do this).
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -82,13 +98,25 @@ pub struct ParallelOptions {
     /// (sequential) once it is detected. Detection is monotone, so this
     /// changes only the work done, never the detected set.
     pub drop_detected: bool,
+    /// Minimum faults each worker shard must receive before the engine
+    /// spawns threads at all (see the module-level *small-universe
+    /// gate*). `0` disables the gate. The default,
+    /// [`DEFAULT_MIN_FAULTS_PER_THREAD`], keeps every benchmark-sized
+    /// universe on the serial path, where it is measurably faster.
+    pub min_faults_per_thread: usize,
 }
+
+/// Default for [`ParallelOptions::min_faults_per_thread`]: below ~4k
+/// faults per worker, thread-spawn cost and per-worker cone-cache
+/// duplication outweigh the parallel win on every design we measure.
+pub const DEFAULT_MIN_FAULTS_PER_THREAD: usize = 4096;
 
 impl Default for ParallelOptions {
     fn default() -> Self {
         ParallelOptions {
             threads: 1,
             drop_detected: true,
+            min_faults_per_thread: DEFAULT_MIN_FAULTS_PER_THREAD,
         }
     }
 }
@@ -99,12 +127,36 @@ impl ParallelOptions {
         ParallelOptions::default()
     }
 
-    /// An `n`-thread engine with fault dropping.
+    /// An `n`-thread engine with fault dropping and the default
+    /// small-universe gate.
     pub fn with_threads(n: usize) -> Self {
         ParallelOptions {
             threads: n.max(1),
             ..ParallelOptions::default()
         }
+    }
+
+    /// An `n`-thread engine with the small-universe gate disabled —
+    /// for tests and measurements that must exercise the sharded path
+    /// regardless of universe size.
+    pub fn with_threads_ungated(n: usize) -> Self {
+        ParallelOptions {
+            threads: n.max(1),
+            min_faults_per_thread: 0,
+            ..ParallelOptions::default()
+        }
+    }
+
+    /// Worker threads the engine will actually use for a universe of
+    /// `faults` faults: the requested count, capped by the universe
+    /// size and by the small-universe gate. This is the value recorded
+    /// in [`GradeStats::threads`].
+    pub fn effective_threads(&self, faults: usize) -> usize {
+        let mut t = self.threads.max(1).min(faults.max(1));
+        if let Some(full_shards) = faults.checked_div(self.min_faults_per_thread) {
+            t = t.min(full_shards.max(1));
+        }
+        t
     }
 }
 
@@ -193,7 +245,7 @@ pub fn comb_fault_sim_observed_opts(
 
     let fault_span = hlstb_trace::span("fsim.fault");
     let fault_start = Instant::now();
-    let threads = opts.threads.max(1).min(faults.len().max(1));
+    let threads = opts.effective_threads(faults.len());
     let drop_detected = opts.drop_detected;
     let (detected, mut stats) = if threads == 1 {
         grade_comb_shard(nl, &engine, &goods, faults, drop_detected)
@@ -538,7 +590,7 @@ pub fn seq_fault_sim_observed_opts(
 
     let fault_span = hlstb_trace::span("fsim.fault");
     let fault_start = Instant::now();
-    let threads = opts.threads.max(1).min(faults.len().max(1));
+    let threads = opts.effective_threads(faults.len());
     let drop_detected = opts.drop_detected;
     let run_shard = |shard: &[Fault]| -> (BTreeSet<Fault>, GradeStats) {
         let mut detected = BTreeSet::new();
@@ -764,9 +816,12 @@ mod tests {
         let baseline = comb_fault_sim(&nl, &faults, &frames);
         for threads in [1, 2, 4] {
             for drop_detected in [false, true] {
+                // Gate disabled: the point is to exercise the sharded
+                // path even on this tiny universe.
                 let opts = ParallelOptions {
                     threads,
                     drop_detected,
+                    min_faults_per_thread: 0,
                 };
                 let (r, stats) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
                 assert_eq!(r, baseline, "threads={threads} drop={drop_detected}");
@@ -792,6 +847,7 @@ mod tests {
             let opts = ParallelOptions {
                 threads,
                 drop_detected: true,
+                min_faults_per_thread: 0,
             };
             let (r, _) = seq_fault_sim_opts(&nl, &faults, &vectors, &opts);
             assert_eq!(r, baseline, "threads={threads}");
@@ -808,8 +864,8 @@ mod tests {
             &faults,
             &frames,
             &ParallelOptions {
-                threads: 1,
                 drop_detected: false,
+                ..ParallelOptions::default()
             },
         );
         let (dropped, s_drop) =
@@ -829,15 +885,7 @@ mod tests {
         let nl = mixed_circuit();
         let faults = all_faults(&nl);
         let frames = some_frames();
-        let (_, s) = comb_fault_sim_opts(
-            &nl,
-            &faults,
-            &frames,
-            &ParallelOptions {
-                threads: 1,
-                drop_detected: true,
-            },
-        );
+        let (_, s) = comb_fault_sim_opts(&nl, &faults, &frames, &ParallelOptions::default());
         let pairs = (s.faults as u64 - s.unobservable) * s.frames as u64;
         assert_eq!(s.fault_evals + s.screened + s.dropped, pairs);
     }

@@ -29,7 +29,10 @@ pub struct GradeStats {
     /// Faults whose combinational fanout cone reaches no observation
     /// point — structurally undetectable for this observation set.
     pub unobservable: u64,
-    /// Worker threads the faulty-machine phase ran on.
+    /// Worker threads the faulty-machine phase actually ran on — the
+    /// *effective* count after the small-universe gate
+    /// ([`crate::fsim::ParallelOptions::min_faults_per_thread`]) may
+    /// have reduced the requested `threads`.
     pub threads: usize,
     /// Wall time of the good-machine phase (reference evaluations).
     pub wall_good: Duration,

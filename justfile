@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke
+ci: build test fmt clippy trace-smoke sweep-smoke
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -27,6 +27,20 @@ trace-smoke: build
         sched bind expand netlist.build scan.select bist.plan atpg fsim.grade
     rm -f trace_smoke.json
 
+# Tiny two-design sweep: serial/parallel outputs must be byte-identical
+# and the cached run must post nonzero cache hits.
+sweep-smoke: build
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 128 \
+        --threads 1 --no-cache --json >sweep_serial.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 128 \
+        --threads 4 --cache --json >sweep_parallel.json 2>sweep_summary.txt
+    cmp sweep_serial.json sweep_parallel.json
+    grep "cache hits:" sweep_summary.txt
+    ! grep -q "cache hits: 0," sweep_summary.txt
+    rm -f sweep_serial.json sweep_parallel.json sweep_summary.txt
+
 # Regenerate every experiment table (EXPERIMENTS.md source of truth).
 exp-all:
     cargo run --release -p hlstb-bench --bin exp_all
@@ -34,3 +48,10 @@ exp-all:
 # Time the grading engine and refresh BENCH_fsim.json.
 bench-fsim patterns="1024":
     cargo run --release -p hlstb-bench --bin exp_fsim -- {{patterns}}
+
+# Time the DSE engine on the full scoreboard sweep; refresh BENCH_dse.json.
+bench-dse threads="4":
+    cargo run --release -p hlstb-bench --bin exp_dse -- {{threads}}
+
+# Refresh every tracked benchmark artifact.
+bench: bench-fsim bench-dse

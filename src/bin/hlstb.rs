@@ -4,6 +4,7 @@
 //! hlstb list
 //! hlstb table1
 //! hlstb synth <design> [--strategy S] [--policy P] [--scheduler X] [--width N]
+//! hlstb sweep [--designs a,b] [--strategies s,...] [--threads N] [--no-cache]
 //! hlstb sgraph <design> [--strategy S]      # DOT on stdout
 //! hlstb cdfg <design>                       # DOT on stdout
 //! hlstb trace-check <file> [span...]        # validate a Chrome trace
@@ -12,7 +13,9 @@
 use std::process::ExitCode;
 
 use hlstb::cdfg::{benchmarks, Cdfg};
-use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler, SynthesisFlow};
+use hlstb::flow::SynthesisFlow;
+use hlstb_dse::spec::{parse_policy, parse_scheduler, parse_strategy};
+use hlstb_dse::{run_sweep, SweepOptions, SweepSpec};
 
 fn designs() -> Vec<Cdfg> {
     benchmarks::all()
@@ -30,50 +33,23 @@ fn unknown_design(name: &str) -> String {
     )
 }
 
-fn parse_strategy(s: &str) -> Option<DftStrategy> {
-    Some(match s {
-        "none" => DftStrategy::None,
-        "full-scan" => DftStrategy::FullScan,
-        "gate-partial-scan" => DftStrategy::GateLevelPartialScan,
-        "behavioral-partial-scan" => DftStrategy::BehavioralPartialScan,
-        "loop-avoidance" => DftStrategy::SimultaneousLoopAvoidance,
-        "bist-naive" => DftStrategy::BistNaive,
-        "bist-shared" => DftStrategy::BistShared,
-        _ => {
-            let k = s.strip_prefix("k-level=")?;
-            DftStrategy::KLevelTestPoints(k.parse().ok()?)
-        }
-    })
+/// Parses a comma-separated axis list with a per-item vocabulary.
+fn parse_list<T>(
+    value: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    what: &str,
+) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(|s| parse(s.trim()).ok_or_else(|| format!("bad {what} {s}")))
+        .collect()
 }
 
-fn parse_policy(s: &str) -> Option<RegisterPolicy> {
-    Some(match s {
-        "left-edge" => RegisterPolicy::LeftEdge,
-        "dsatur" => RegisterPolicy::Dsatur,
-        "io-max" => RegisterPolicy::IoMax,
-        "boundary" => RegisterPolicy::Boundary,
-        "loop-avoiding" => RegisterPolicy::LoopAvoiding,
-        "avra" => RegisterPolicy::Avra,
-        _ => return None,
-    })
-}
-
-fn parse_scheduler(s: &str) -> Option<Scheduler> {
-    Some(match s {
-        "list" => Scheduler::List,
-        "io-aware" => Scheduler::IoAware,
-        "asap" => Scheduler::Asap,
-        _ => {
-            let extra = s.strip_prefix("force-directed=")?;
-            Scheduler::ForceDirected(extra.parse().ok()?)
-        }
-    })
-}
-
-const USAGE: &str = "usage: hlstb <list|table1|synth|sgraph|cdfg|trace-check> [args]
+const USAGE: &str = "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-check> [args]
   list                          available benchmark designs
   table1                        the survey's Table 1
   synth <design> [options]      run the synthesis flow, print the report
+  sweep [options]               explore a design space (see sweep options)
   sgraph <design> [options]     register S-graph as Graphviz DOT
   cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
   trace-check <file> [span...]  validate a Chrome trace file, requiring
@@ -90,7 +66,20 @@ options:
   --json      (synth) print the report as JSON instead of text
   --trace <file>          write a Chrome trace (chrome://tracing, Perfetto)
   --trace-metrics <file>  write flat span/counter metrics as JSON
-  --trace-summary         print a per-phase timing summary to stderr";
+  --trace-summary         print a per-phase timing summary to stderr
+sweep options (axes are comma-separated lists; defaults in parentheses):
+  --designs    designs to sweep (all benchmarks)
+  --schedulers scheduler axis (list)
+  --policies   register-policy axis (left-edge)
+  --strategies DFT-strategy axis (the full catalogue)
+  --widths     width axis in bits (4)
+  --grade      grading-budget axis in patterns, 0 = ungraded (0)
+  --threads    worker threads (1)
+  --cache | --no-cache    memoize stage artifacts across points (on)
+  --reset-controller      expand controllers with a synchronous reset
+  --json       print the canonical (run-invariant) report as JSON
+  --full-json  print the full report (adds timing, threads, cache stats)
+  plus --trace / --trace-metrics / --trace-summary as above";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -100,6 +89,44 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Tracing sinks shared by `synth` and `sweep`.
+#[derive(Default)]
+struct TraceArgs {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    summary: bool,
+}
+
+impl TraceArgs {
+    fn enabled(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some() || self.summary
+    }
+
+    fn start(&self) {
+        if self.enabled() {
+            hlstb::trace::reset();
+            hlstb::trace::set_enabled(true);
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let snap = hlstb::trace::snapshot();
+        if let Some(p) = &self.trace_path {
+            std::fs::write(p, snap.chrome_trace_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        }
+        if let Some(p) = &self.metrics_path {
+            std::fs::write(p, snap.metrics_json()).map_err(|e| format!("writing {p}: {e}"))?;
+        }
+        if self.summary {
+            eprint!("{}", snap.text_summary());
+        }
+        Ok(())
     }
 }
 
@@ -128,9 +155,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let cdfg = find_design(name).ok_or_else(|| unknown_design(name))?;
             let mut flow = SynthesisFlow::new(cdfg);
             let mut json = false;
-            let mut trace_path: Option<String> = None;
-            let mut metrics_path: Option<String> = None;
-            let mut trace_summary = false;
+            let mut trace = TraceArgs::default();
             let mut i = 2;
             while i < args.len() {
                 let key = args[i].as_str();
@@ -145,7 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     continue;
                 }
                 if key == "--trace-summary" {
-                    trace_summary = true;
+                    trace.summary = true;
                     i += 1;
                     continue;
                 }
@@ -176,37 +201,20 @@ fn run(args: &[String]) -> Result<(), String> {
                             .map_err(|_| format!("bad thread count {value}"))?,
                     ),
                     "--trace" => {
-                        trace_path = Some(value.clone());
+                        trace.trace_path = Some(value.clone());
                         flow
                     }
                     "--trace-metrics" => {
-                        metrics_path = Some(value.clone());
+                        trace.metrics_path = Some(value.clone());
                         flow
                     }
                     other => return Err(format!("unknown option {other}\n{USAGE}")),
                 };
                 i += 2;
             }
-            let tracing = trace_path.is_some() || metrics_path.is_some() || trace_summary;
-            if tracing {
-                hlstb::trace::reset();
-                hlstb::trace::set_enabled(true);
-            }
+            trace.start();
             let design = flow.run().map_err(|e| e.to_string())?;
-            if tracing {
-                let snap = hlstb::trace::snapshot();
-                if let Some(p) = &trace_path {
-                    std::fs::write(p, snap.chrome_trace_json())
-                        .map_err(|e| format!("writing {p}: {e}"))?;
-                }
-                if let Some(p) = &metrics_path {
-                    std::fs::write(p, snap.metrics_json())
-                        .map_err(|e| format!("writing {p}: {e}"))?;
-                }
-                if trace_summary {
-                    eprint!("{}", snap.text_summary());
-                }
-            }
+            trace.finish()?;
             if cmd == "synth" {
                 if json {
                     println!("{}", design.report.to_json());
@@ -238,6 +246,95 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 println!("}}");
             }
+            Ok(())
+        }
+        "sweep" => {
+            let mut spec = SweepSpec::all_benchmarks();
+            let mut opts = SweepOptions::default();
+            let mut json = false;
+            let mut full_json = false;
+            let mut trace = TraceArgs::default();
+            let mut i = 1;
+            while i < args.len() {
+                let key = args[i].as_str();
+                match key {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--full-json" => {
+                        full_json = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--cache" => {
+                        opts.cache = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--no-cache" => {
+                        opts.cache = false;
+                        i += 1;
+                        continue;
+                    }
+                    "--reset-controller" => {
+                        spec.reset_controller = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--trace-summary" => {
+                        trace.summary = true;
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))?;
+                match key {
+                    "--designs" => {
+                        spec.designs = value
+                            .split(',')
+                            .map(|n| find_design(n.trim()).ok_or_else(|| unknown_design(n.trim())))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--schedulers" => {
+                        spec.schedulers = parse_list(value, parse_scheduler, "scheduler")?;
+                    }
+                    "--policies" => spec.policies = parse_list(value, parse_policy, "policy")?,
+                    "--strategies" => {
+                        spec.strategies = parse_list(value, parse_strategy, "strategy")?;
+                    }
+                    "--widths" => {
+                        spec.widths = parse_list(value, |w| w.parse().ok(), "width")?;
+                    }
+                    "--grade" => {
+                        spec.patterns = parse_list(value, |p| p.parse().ok(), "pattern count")?;
+                    }
+                    "--threads" => {
+                        opts.threads = value
+                            .parse()
+                            .map_err(|_| format!("bad thread count {value}"))?;
+                    }
+                    "--trace" => trace.trace_path = Some(value.clone()),
+                    "--trace-metrics" => trace.metrics_path = Some(value.clone()),
+                    other => return Err(format!("unknown option {other}\n{USAGE}")),
+                }
+                i += 2;
+            }
+            trace.start();
+            let outcome = run_sweep(&spec, &opts);
+            trace.finish()?;
+            if json {
+                println!("{}", outcome.report.canonical_json());
+            } else if full_json {
+                println!("{}", outcome.report.to_json());
+            } else {
+                print!("{}", outcome.report.table());
+            }
+            eprintln!("{}", outcome.report.summary());
             Ok(())
         }
         "cdfg" => {

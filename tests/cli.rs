@@ -229,3 +229,65 @@ fn table1_prints() {
     assert!(ok);
     assert!(stdout.contains("LogicVision"));
 }
+
+const SWEEP_SMOKE: &[&str] = &[
+    "sweep",
+    "--designs",
+    "figure1,tseng",
+    "--strategies",
+    "none,full-scan,bist-shared",
+    "--grade",
+    "64",
+];
+
+#[test]
+fn sweep_renders_a_table_and_summary() {
+    let (stdout, stderr, ok) = run(SWEEP_SMOKE);
+    assert!(ok, "{stdout}{stderr}");
+    // 2 designs x 3 strategies, one row each, plus the header.
+    assert_eq!(stdout.lines().count(), 7, "{stdout}");
+    assert!(stdout.contains("figure1"), "{stdout}");
+    assert!(stdout.contains("tseng"), "{stdout}");
+    assert!(stdout.contains("bist-shared"), "{stdout}");
+    assert!(stderr.contains("sweep: 6 points (0 errors)"), "{stderr}");
+    assert!(stderr.contains("cache hits:"), "{stderr}");
+}
+
+#[test]
+fn sweep_json_is_identical_across_threads_and_cache() {
+    let mut serial = SWEEP_SMOKE.to_vec();
+    serial.extend_from_slice(&["--json", "--threads", "1", "--no-cache"]);
+    let mut parallel = SWEEP_SMOKE.to_vec();
+    parallel.extend_from_slice(&["--json", "--threads", "4", "--cache"]);
+    let (a, _, ok_a) = run(&serial);
+    let (b, stderr_b, ok_b) = run(&parallel);
+    assert!(ok_a && ok_b, "{a}{b}");
+    assert_eq!(a, b, "canonical sweep output must be run-invariant");
+    assert!(hlstb::trace::json::parse(&a).is_ok(), "{a}");
+    // The cached run actually hit the cache.
+    assert!(!stderr_b.contains("cache hits: 0,"), "{stderr_b}");
+}
+
+#[test]
+fn sweep_full_json_carries_the_run_envelope() {
+    let mut args = SWEEP_SMOKE.to_vec();
+    args.extend_from_slice(&["--full-json", "--threads", "2"]);
+    let (stdout, _, ok) = run(&args);
+    assert!(ok, "{stdout}");
+    let v = hlstb::trace::json::parse(&stdout).expect("full json parses");
+    assert_eq!(v.get("threads").and_then(|t| t.as_f64()), Some(2.0));
+    assert!(v.get("cache").and_then(|c| c.get("hits")).is_some());
+    let pts = v.get("points").and_then(|p| p.as_array()).unwrap();
+    assert_eq!(pts.len(), 6);
+    assert!(pts[0].get("wall_ms").is_some());
+}
+
+#[test]
+fn sweep_rejects_bad_axis_values() {
+    let (_, stderr, ok) = run(&["sweep", "--designs", "figure1,bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown design"), "{stderr}");
+    let (_, stderr, ok) = run(&["sweep", "--strategies", "none,bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad strategy"), "{stderr}");
+}
