@@ -33,3 +33,40 @@ cmp sweep_serial.json sweep_parallel.json
 grep "cache hits:" sweep_summary.txt
 ! grep -q "cache hits: 0," sweep_summary.txt
 rm -f sweep_serial.json sweep_parallel.json sweep_summary.txt
+
+# Fault smoke: inject failures into 2 of 6 points. The other 4 must
+# complete, the failures must surface as typed records (panic/timeout),
+# and the report must stay byte-identical between the serial uncached
+# and parallel cached paths even with the injected failures.
+HLSTB_FAIL_POINT="panic:1;stall:3" ./target/release/hlstb sweep \
+    --designs figure1,tseng --strategies none,full-scan,bist-shared \
+    --grade 64 --threads 1 --no-cache --json \
+    >fault_serial.json 2>fault_summary.txt
+HLSTB_FAIL_POINT="panic:1;stall:3" ./target/release/hlstb sweep \
+    --designs figure1,tseng --strategies none,full-scan,bist-shared \
+    --grade 64 --threads 4 --cache --json >fault_parallel.json
+cmp fault_serial.json fault_parallel.json
+grep "sweep: 6 points (2 errors)" fault_summary.txt
+grep -q '"kind": "panic"' fault_serial.json
+grep -q '"kind": "timeout"' fault_serial.json
+rm -f fault_serial.json fault_parallel.json fault_summary.txt
+
+# Checkpoint/resume smoke: checkpoint a sweep, truncate the checkpoint
+# to its first 3 lines (simulating a kill after 3 of 6 points), resume,
+# and require the resumed report byte-identical to an uninterrupted run
+# with a nonzero restored count in the summary.
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --json >resume_baseline.json
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --checkpoint resume_ckpt.jsonl --json >/dev/null
+head -3 resume_ckpt.jsonl >resume_ckpt_cut.jsonl
+mv resume_ckpt_cut.jsonl resume_ckpt.jsonl
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --checkpoint resume_ckpt.jsonl --resume --json \
+    >resume_resumed.json 2>resume_summary.txt
+cmp resume_baseline.json resume_resumed.json
+grep "3 restored" resume_summary.txt
+rm -f resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt

@@ -38,6 +38,14 @@ pub struct ConfigRun {
     pub wall: Duration,
     /// Cache counters, when the cache was on.
     pub cache_stats: Option<CacheStats>,
+    /// Points that ended in a typed error (expected: 0 — kept as data
+    /// so `BENCH_dse.json` proves the sweep ran clean).
+    pub failures: usize,
+    /// Transient-failure retries the engine performed (expected: 0).
+    pub retries: u64,
+    /// Points whose grading was truncated by a deadline (expected: 0 —
+    /// the bench runs without a point budget).
+    pub timeouts: usize,
 }
 
 /// Result of [`bench`]: the same sweep under every configuration.
@@ -76,7 +84,7 @@ pub fn bench_spec(spec: &SweepSpec, threads: usize) -> DseBench {
             &SweepOptions {
                 threads,
                 cache,
-                keep_designs: false,
+                ..SweepOptions::default()
             },
         );
         points = out.report.points.len();
@@ -91,6 +99,9 @@ pub fn bench_spec(spec: &SweepSpec, threads: usize) -> DseBench {
             cache,
             wall: out.report.wall,
             cache_stats: out.report.cache,
+            failures: out.report.errors().len(),
+            retries: out.report.retries,
+            timeouts: out.report.timeouts(),
         });
     }
     assert!(identical, "sweep configurations diverged");
@@ -169,7 +180,10 @@ impl DseBench {
             o.string("config", r.name)
                 .number_u64("threads", r.threads as u64)
                 .boolean("cache", r.cache)
-                .raw("wall_ms", &ms(r.wall));
+                .raw("wall_ms", &ms(r.wall))
+                .number_u64("failures", r.failures as u64)
+                .number_u64("retries", r.retries)
+                .number_u64("timeouts", r.timeouts as u64);
             match &r.cache_stats {
                 Some(c) => o.raw("cache_stats", &c.to_json()),
                 None => o.raw("cache_stats", "null"),
@@ -232,8 +246,15 @@ mod tests {
         assert!(b.identical);
         assert!(b.run("serial-cache").cache_stats.unwrap().hits() > 0);
         assert!(b.run("serial-nocache").cache_stats.is_none());
+        assert!(
+            b.runs
+                .iter()
+                .all(|r| r.failures == 0 && r.retries == 0 && r.timeouts == 0),
+            "a clean bench sweep must report zero unexpected failures"
+        );
         let json = b.to_json();
         assert!(hlstb::trace::json::parse(&json).is_ok(), "{json}");
+        assert!(json.contains("\"failures\": 0"), "{json}");
         let table = format!("{}", b.table());
         assert!(table.contains("serial-nocache"), "{table}");
     }

@@ -34,6 +34,10 @@ pub struct CdfgBuilder {
     vars: Vec<PendingVar>,
     ops: Vec<PendingOp>,
     fresh: u32,
+    /// Misuse detected mid-construction (bad bind, bad promotion).
+    /// Reported by [`finish`](Self::finish) instead of panicking, so a
+    /// malformed program is an `Err` the caller can handle.
+    deferred: Vec<CdfgError>,
 }
 
 #[derive(Debug, Clone)]
@@ -65,6 +69,7 @@ impl CdfgBuilder {
             vars: Vec::new(),
             ops: Vec::new(),
             fresh: 0,
+            deferred: Vec::new(),
         }
     }
 
@@ -105,17 +110,32 @@ impl CdfgBuilder {
 
     /// Resolves a forward reference to the variable that defines it.
     ///
-    /// # Panics
-    ///
-    /// Panics if `fwd` was not created by [`forward`](Self::forward) or is
-    /// already bound.
+    /// Binding a variable that is not a forward reference, binding one
+    /// twice, or binding to a variable this builder never created is
+    /// not a panic: the misuse is recorded and reported as an `Err`
+    /// from [`finish`](Self::finish).
     pub fn bind_forward(&mut self, fwd: VarId, target: VarId) {
-        let slot = self.vars[fwd.index()]
-            .forward
-            .as_mut()
-            .expect("bind_forward on a non-forward variable");
-        assert!(slot.target.is_none(), "forward reference bound twice");
-        slot.target = Some(target);
+        if target.index() >= self.vars.len() {
+            self.deferred.push(CdfgError::UnknownId {
+                what: format!("bind_forward target {target} does not exist"),
+            });
+            return;
+        }
+        let Some(slot) = self.vars.get_mut(fwd.index()).map(|v| &mut v.forward) else {
+            self.deferred.push(CdfgError::UnknownId {
+                what: format!("bind_forward on nonexistent {fwd}"),
+            });
+            return;
+        };
+        match slot {
+            None => self.deferred.push(CdfgError::UnknownId {
+                what: format!("bind_forward on non-forward {fwd}"),
+            }),
+            Some(f) if f.target.is_some() => self.deferred.push(CdfgError::UnknownId {
+                what: format!("forward {fwd} bound twice"),
+            }),
+            Some(f) => f.target = Some(target),
+        }
     }
 
     /// Adds an operation producing a fresh intermediate variable.
@@ -146,16 +166,19 @@ impl CdfgBuilder {
     /// Re-marks an intermediate variable as a primary output (useful when
     /// a transformation decides late that a value must stay observable).
     ///
-    /// # Panics
-    ///
-    /// Panics if `var` is an input, constant, or forward reference.
+    /// Promoting anything other than a real intermediate (an input, a
+    /// constant, a forward reference, or an id from another builder) is
+    /// recorded and reported as an `Err` from [`finish`](Self::finish).
     pub fn mark_output(&mut self, var: VarId) {
-        let v = &mut self.vars[var.index()];
-        assert!(
-            v.kind == VarKind::Intermediate && v.forward.is_none(),
-            "only intermediates can be promoted to outputs"
-        );
-        v.kind = VarKind::Output;
+        match self.vars.get_mut(var.index()) {
+            Some(v) if v.kind == VarKind::Intermediate && v.forward.is_none() => {
+                v.kind = VarKind::Output;
+            }
+            Some(_) => self.deferred.push(CdfgError::DefinedBoundary { var }),
+            None => self.deferred.push(CdfgError::UnknownId {
+                what: format!("mark_output on nonexistent {var}"),
+            }),
+        }
     }
 
     /// Number of operations added so far.
@@ -167,9 +190,15 @@ impl CdfgBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`CdfgError`] if a forward reference is unbound or any
-    /// graph invariant fails (see [`Cdfg::new`]).
+    /// Returns [`CdfgError`] if construction was misused (see
+    /// [`bind_forward`](Self::bind_forward) /
+    /// [`mark_output`](Self::mark_output)), a forward reference is
+    /// unbound or forms a pure-forward cycle, or any graph invariant
+    /// fails (see [`Cdfg::new`]).
     pub fn finish(self) -> Result<Cdfg, CdfgError> {
+        if let Some(e) = self.deferred.into_iter().next() {
+            return Err(e);
+        }
         // Resolve forwards: map placeholder id -> (target id, distance).
         let mut resolve: HashMap<VarId, (VarId, u32)> = HashMap::new();
         for (i, v) in self.vars.iter().enumerate() {
@@ -180,16 +209,22 @@ impl CdfgBuilder {
                 resolve.insert(VarId(i as u32), (target, f.distance));
             }
         }
-        // Chase chains of forwards (a forward bound to a forward).
-        let chase = |mut id: VarId, mut dist: u32| -> (VarId, u32) {
+        // Chase chains of forwards (a forward bound to a forward). A
+        // chain longer than the forward count is a cycle of forwards
+        // bound to each other — user-constructible, so an error.
+        let chase = |mut id: VarId, mut dist: u32| -> Result<(VarId, u32), CdfgError> {
             let mut hops = 0;
             while let Some(&(t, d)) = resolve.get(&id) {
                 id = t;
                 dist += d;
                 hops += 1;
-                assert!(hops <= resolve.len(), "forward reference cycle");
+                if hops > resolve.len() {
+                    return Err(CdfgError::UnknownId {
+                        what: format!("forward reference cycle through {id}"),
+                    });
+                }
             }
-            (id, dist)
+            Ok((id, dist))
         };
 
         // Compact ids, dropping placeholders.
@@ -209,20 +244,32 @@ impl CdfgBuilder {
                 uses: Vec::new(),
             });
         }
-        let remap_operand = |raw: VarId| -> Operand {
-            let (target, dist) = chase(raw, 0);
-            let var = remap[target.index()].expect("forward target must be a real variable");
-            Operand {
+        let remap_operand = |raw: VarId| -> Result<Operand, CdfgError> {
+            let (target, dist) = chase(raw, 0)?;
+            let var = remap
+                .get(target.index())
+                .copied()
+                .flatten()
+                .ok_or_else(|| CdfgError::UnknownId {
+                    what: format!("operand {target} is not a variable of this builder"),
+                })?;
+            Ok(Operand {
                 var,
                 distance: dist,
-            }
+            })
         };
 
         let mut ops = Vec::new();
         for (i, p) in self.ops.iter().enumerate() {
             let id = OpId(i as u32);
-            let inputs: Vec<Operand> = p.inputs.iter().map(|&v| remap_operand(v)).collect();
-            let output = remap[p.output.index()].expect("op output cannot be a forward");
+            let inputs: Vec<Operand> = p
+                .inputs
+                .iter()
+                .map(|&v| remap_operand(v))
+                .collect::<Result<_, _>>()?;
+            // Outputs are always fresh non-forward variables (add_op
+            // creates them), so the remap entry is present.
+            let output = remap[p.output.index()].expect("op output is never a forward");
             ops.push(Operation {
                 id,
                 kind: p.kind,
@@ -277,6 +324,73 @@ mod tests {
         b.mark_output(t);
         let g = b.finish().unwrap();
         assert_eq!(g.outputs().count(), 1);
+    }
+
+    #[test]
+    fn binding_a_non_forward_is_an_error_not_a_panic() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.bind_forward(x, y); // x is a plain input
+        b.op_output(OpKind::Add, &[x, y], "o");
+        assert!(matches!(b.finish(), Err(CdfgError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn double_binding_a_forward_is_an_error() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let f = b.forward("f", 1);
+        let s = b.op_output(OpKind::Add, &[x, f], "s");
+        b.bind_forward(f, s);
+        b.bind_forward(f, x);
+        assert!(matches!(b.finish(), Err(CdfgError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn binding_to_a_foreign_id_is_an_error() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let f = b.forward("f", 1);
+        b.op_output(OpKind::Add, &[x, f], "s");
+        b.bind_forward(f, crate::ids::VarId(999));
+        assert!(matches!(b.finish(), Err(CdfgError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn mark_output_on_an_input_is_an_error() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        b.mark_output(x);
+        b.op_output(OpKind::Pass, &[x], "o");
+        assert!(matches!(b.finish(), Err(CdfgError::DefinedBoundary { .. })));
+    }
+
+    #[test]
+    fn mutually_bound_forwards_are_a_cycle_error() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let f1 = b.forward("f1", 1);
+        let f2 = b.forward("f2", 1);
+        b.bind_forward(f1, f2);
+        b.bind_forward(f2, f1);
+        b.op_output(OpKind::Add, &[x, f1], "o");
+        assert!(matches!(b.finish(), Err(CdfgError::UnknownId { .. })));
+    }
+
+    #[test]
+    fn a_forward_bound_to_a_forward_still_resolves() {
+        let mut b = CdfgBuilder::new("chain");
+        let x = b.input("x");
+        let f1 = b.forward("f1", 1);
+        let f2 = b.forward("f2", 1);
+        let s = b.op_output(OpKind::Add, &[x, f1], "s");
+        b.bind_forward(f1, f2);
+        b.bind_forward(f2, s);
+        let g = b.finish().unwrap();
+        let op = g.ops().next().unwrap();
+        // Distances accumulate along the chain: 1 + 1.
+        assert_eq!(op.inputs[1].distance, 2);
     }
 
     #[test]

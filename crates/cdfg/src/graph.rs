@@ -163,6 +163,11 @@ pub enum CdfgError {
         /// Description of the dangling reference.
         what: String,
     },
+    /// The reference interpreter was given inconsistent input streams.
+    BadInputStream {
+        /// Description of the problem.
+        what: String,
+    },
 }
 
 impl fmt::Display for CdfgError {
@@ -186,6 +191,7 @@ impl fmt::Display for CdfgError {
             }
             CdfgError::DuplicateName { name } => write!(f, "duplicate variable name `{name}`"),
             CdfgError::UnknownId { what } => write!(f, "unknown id: {what}"),
+            CdfgError::BadInputStream { what } => write!(f, "bad input stream: {what}"),
         }
     }
 }
@@ -589,16 +595,47 @@ impl Cdfg {
     /// # Panics
     ///
     /// Panics if a primary input is missing from `input_streams` or the
-    /// streams have unequal lengths.
+    /// streams have unequal lengths; use
+    /// [`try_evaluate`](Self::try_evaluate) to get those as errors.
     pub fn evaluate(
         &self,
         input_streams: &HashMap<String, Vec<u64>>,
         initial: &HashMap<String, u64>,
         width: u32,
     ) -> HashMap<String, Vec<u64>> {
+        self.try_evaluate(input_streams, initial, width)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`evaluate`](Self::evaluate), but malformed stimuli are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::BadInputStream`] when a primary input has no
+    /// stream or the streams have unequal lengths.
+    pub fn try_evaluate(
+        &self,
+        input_streams: &HashMap<String, Vec<u64>>,
+        initial: &HashMap<String, u64>,
+        width: u32,
+    ) -> Result<HashMap<String, Vec<u64>>, CdfgError> {
         let iterations = input_streams.values().map(Vec::len).next().unwrap_or(0);
-        for s in input_streams.values() {
-            assert_eq!(s.len(), iterations, "input streams must have equal length");
+        for (name, s) in input_streams {
+            if s.len() != iterations {
+                return Err(CdfgError::BadInputStream {
+                    what: format!(
+                        "stream `{name}` has {} values, expected {iterations}",
+                        s.len()
+                    ),
+                });
+            }
+        }
+        for v in self.inputs() {
+            if !input_streams.contains_key(&v.name) {
+                return Err(CdfgError::BadInputStream {
+                    what: format!("missing stream for input `{}`", v.name),
+                });
+            }
         }
         let order = self.topo_order();
         let mask = if width == 64 {
@@ -614,9 +651,8 @@ impl Cdfg {
             for v in &self.vars {
                 match &v.kind {
                     VarKind::Input => {
-                        let stream = input_streams
-                            .get(&v.name)
-                            .unwrap_or_else(|| panic!("missing input stream for {}", v.name));
+                        // Presence and length were checked above.
+                        let stream = &input_streams[&v.name];
                         history[v.id.index()].push(stream[it] & mask);
                     }
                     VarKind::Constant(c) => history[v.id.index()].push(*c & mask),
@@ -642,10 +678,11 @@ impl Cdfg {
                 history[op.output.index()][it] = value;
             }
         }
-        self.vars
+        Ok(self
+            .vars
             .iter()
             .map(|v| (v.name.clone(), history[v.id.index()].clone()))
-            .collect()
+            .collect())
     }
 }
 
@@ -742,6 +779,27 @@ mod tests {
         init.insert("sum".to_string(), 100);
         let out = g.evaluate(&streams, &init, 16);
         assert_eq!(out["sum"], vec![101, 102]);
+    }
+
+    #[test]
+    fn try_evaluate_rejects_malformed_stimuli() {
+        let g = chain();
+        // Missing input stream for `c`.
+        let mut streams = HashMap::new();
+        streams.insert("a".to_string(), vec![1, 2]);
+        assert!(matches!(
+            g.try_evaluate(&streams, &HashMap::new(), 8),
+            Err(CdfgError::BadInputStream { .. })
+        ));
+        // Unequal stream lengths.
+        streams.insert("c".to_string(), vec![1]);
+        assert!(matches!(
+            g.try_evaluate(&streams, &HashMap::new(), 8),
+            Err(CdfgError::BadInputStream { .. })
+        ));
+        // Well-formed stimuli succeed.
+        streams.insert("c".to_string(), vec![3, 4]);
+        assert!(g.try_evaluate(&streams, &HashMap::new(), 8).is_ok());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The sweep executor: a work-stealing pool over the point list with
-//! optional artifact memoization.
+//! optional artifact memoization, panic isolation, per-point deadlines,
+//! bounded retries, and checkpoint/resume.
 //!
 //! # Determinism
 //!
@@ -20,20 +21,47 @@
 //! [`SweepReport::canonical_json`] bytes for any thread count and
 //! either cache setting — property-tested in
 //! `tests/sweep_determinism.rs` and smoke-checked in CI.
+//!
+//! # Fault tolerance
+//!
+//! A panicking point is caught ([`std::panic::catch_unwind`]) and
+//! recorded as a typed [`PointError::Panic`]; the injector is a plain
+//! atomic and the cache computes outside its locks, so neither can be
+//! poisoned and the remaining points complete. Injected failures
+//! ([`FailPlan`]) are deterministic, so reports with failures stay
+//! byte-identical across thread counts and cache settings.
+//!
+//! # Deadlines
+//!
+//! [`SweepOptions::point_budget`] arms a cooperative
+//! [`Deadline`](hlstb::netlist::deadline::Deadline) that the netlist
+//! grading loops poll: a point that overruns reports *partial* coverage
+//! flagged `timed_out` rather than hanging the pool. Note that real
+//! (non-injected) timeouts depend on wall-clock behavior and therefore
+//! trade away byte-determinism — a cached deep grading run truncated
+//! under one point's budget serves its prefix to sibling points. A
+//! zero budget is deterministic (every poll fires on first check) and
+//! is what the tests pin down.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hlstb::cdfg::Cdfg;
 use hlstb::flow::{DftStrategy, SynthesisFlow, SynthesizedDesign};
+use hlstb::netlist::deadline::Deadline;
 use hlstb::netlist::fault::collapsed_faults;
 use hlstb::netlist::fsim::ParallelOptions;
-use hlstb::netlist::random::{random_pattern_run_opts, CoveragePoint};
+use hlstb::netlist::random::{random_pattern_run_opts, CoveragePoint, RandomRun};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::{ArtifactCache, DftOutput};
+use crate::checkpoint::{self, Checkpoint, RestoredSet};
+use crate::error::PointError;
+use crate::failpoint::{FailMode, FailPlan};
 use crate::key;
 use crate::report::{PointMetrics, PointRecord, SweepReport};
 use crate::spec::{self, Point, SweepSpec};
@@ -52,7 +80,15 @@ pub fn coverage_at(curve: &[CoveragePoint], patterns: usize) -> f64 {
     curve.get(idx).map_or(0.0, |c| c.coverage_percent)
 }
 
-/// How a sweep executes (never *what* it computes).
+/// Whether a grading run's deadline truncation actually short-changed
+/// a point's own budget (a curve cut past the point's budget still
+/// serves a complete prefix).
+fn grading_truncated(run: &RandomRun, budget: usize) -> bool {
+    run.timed_out && run.curve.last().is_none_or(|c| c.patterns < budget)
+}
+
+/// How a sweep executes (never *what* it computes — except that a
+/// nonzero `point_budget` may truncate grading, see the module docs).
 #[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
     /// Worker threads (1 = run inline on the caller's thread).
@@ -62,6 +98,14 @@ pub struct SweepOptions {
     /// Keep every point's full [`SynthesizedDesign`] in the outcome
     /// (memory-heavy; for post-processing passes like sequential ATPG).
     pub keep_designs: bool,
+    /// Wall-clock budget per point. `None` (the default) never times
+    /// out; `Some` arms the cooperative deadline the grading loops
+    /// poll, and each bounded retry halves the remaining budget.
+    pub point_budget: Option<Duration>,
+    /// How many times a transiently failing point (panic, timeout) is
+    /// retried before its typed error lands in the report. Flow errors
+    /// are deterministic verdicts and are never retried.
+    pub retries: u32,
 }
 
 impl Default for SweepOptions {
@@ -70,66 +114,151 @@ impl Default for SweepOptions {
             threads: 1,
             cache: true,
             keep_designs: false,
+            point_budget: None,
+            retries: 1,
         }
     }
+}
+
+/// Fault-tolerance inputs that don't fit in `Copy` options: the
+/// injected fail plan (tests/CI) and the checkpoint configuration.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Deterministic injected failures (see [`FailPlan`]).
+    pub fail_plan: Option<FailPlan>,
+    /// Stream each completed point to this JSONL file.
+    pub checkpoint: Option<PathBuf>,
+    /// Serve points already present in `checkpoint` instead of
+    /// re-evaluating them. Restored points carry no
+    /// [`SynthesizedDesign`] even under
+    /// [`SweepOptions::keep_designs`].
+    pub resume: bool,
 }
 
 /// What [`run_sweep`] returns: the report, plus the synthesized
 /// designs (point-indexed) when [`SweepOptions::keep_designs`] asked
 /// for them.
+#[derive(Debug)]
 pub struct SweepOutcome {
     /// The deterministic per-point report.
     pub report: SweepReport,
     /// One entry per point: `Some` when the point succeeded and
     /// `keep_designs` was set, `None` otherwise.
     pub designs: Vec<Option<SynthesizedDesign>>,
+    /// Checkpoint lines that failed to write (the sweep itself keeps
+    /// going; nonzero means the checkpoint is incomplete).
+    pub checkpoint_write_errors: usize,
 }
 
-struct Evaluated {
-    outcome: Result<PointMetrics, String>,
-    design: Option<SynthesizedDesign>,
-    wall: Duration,
+/// The content key identifying one point across sweep runs: the
+/// design's content plus every axis coordinate. Spec edits between an
+/// interrupted run and its resume change the key, so stale checkpoint
+/// entries miss and the point is recomputed.
+pub fn point_key(spec: &SweepSpec, design_keys: &[u64], p: Point) -> u64 {
+    key::combine(&[
+        design_keys[p.design],
+        key::hash_debug(&p.scheduler),
+        key::hash_debug(&p.policy),
+        key::hash_debug(&p.strategy),
+        u64::from(p.width),
+        p.patterns as u64,
+        u64::from(spec.reset_controller),
+    ])
 }
 
 /// Runs every point of `spec` and collects a [`SweepReport`] ordered
 /// by point index regardless of completion order.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    run_sweep_with(spec, opts, &Recovery::default())
+        .expect("a sweep without checkpoint I/O cannot fail to start")
+}
+
+/// [`run_sweep`] with fault-tolerance inputs: fail-point injection and
+/// checkpoint/resume.
+///
+/// # Errors
+///
+/// Returns [`PointError::Io`] when the checkpoint cannot be opened or
+/// the resume file cannot be read. Per-point failures never fail the
+/// sweep — they land as typed errors in the report.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    recovery: &Recovery,
+) -> Result<SweepOutcome, PointError> {
     let sweep_span = hlstb_trace::span("dse.sweep");
     let t0 = Instant::now();
     let points = spec.points();
     let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
+    let point_keys: Vec<u64> = points
+        .iter()
+        .map(|p| point_key(spec, &design_keys, *p))
+        .collect();
+    let restored_set = match (&recovery.checkpoint, recovery.resume) {
+        (Some(path), true) => Some(RestoredSet::load(path)?),
+        (None, true) => {
+            return Err(PointError::Io {
+                message: "resume requested without a checkpoint path".into(),
+            })
+        }
+        _ => None,
+    };
+    let writer = match &recovery.checkpoint {
+        Some(path) => Some(Checkpoint::open_append(path)?),
+        None => None,
+    };
     let cache = opts.cache.then(ArtifactCache::new);
     let max_patterns = spec.max_patterns();
-    let slots: Vec<Mutex<Option<Evaluated>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    type Slot = Mutex<Option<(PointRecord, Option<SynthesizedDesign>)>>;
+    let slots: Vec<Slot> = points.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let restored_count = AtomicUsize::new(0);
+    let retry_count = AtomicU64::new(0);
+    let checkpoint_errors = AtomicUsize::new(0);
     // Work stealing via a shared injector: each worker claims the next
     // unclaimed index until the list is drained, so a slow point never
-    // stalls the remaining work.
+    // stalls the remaining work. The injector is a plain atomic and
+    // each slot lock is only held for the final store, so a panicking
+    // point (caught below) can poison neither.
     let worker = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= points.len() {
             break;
         }
         let p = points[i];
+        if let Some(set) = &restored_set {
+            let hit = set
+                .lookup(point_keys[i], p.index)
+                .and_then(checkpoint::record_from_canonical);
+            if let Some(record) = hit {
+                restored_count.fetch_add(1, Ordering::Relaxed);
+                *slots[i].lock().expect("slot lock") = Some((record, None));
+                continue;
+            }
+        }
         let point_span = hlstb_trace::span("dse.point");
         let t = Instant::now();
-        let (outcome, design) = match eval_point(
+        let (outcome, design) = eval_with_retry(
             spec,
             &design_keys,
             p,
             cache.as_ref(),
             max_patterns,
-            opts.keep_designs,
-        ) {
-            Ok((m, d)) => (Ok(m), d),
-            Err(e) => (Err(e), None),
-        };
+            opts,
+            recovery,
+            &retry_count,
+        );
         point_span.end();
-        *slots[i].lock().expect("slot lock") = Some(Evaluated {
-            outcome,
-            design,
-            wall: t.elapsed(),
-        });
+        let record = make_record(spec, p, outcome, t.elapsed());
+        if let Some(ck) = &writer {
+            if ck
+                .record(point_keys[i], p.index, &record.canonical_point_json())
+                .is_err()
+            {
+                checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *slots[i].lock().expect("slot lock") = Some((record, design));
     };
     let threads = opts.threads.max(1).min(points.len().max(1));
     if threads <= 1 {
@@ -146,36 +275,111 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
     let mut records = Vec::with_capacity(points.len());
     let mut designs = Vec::with_capacity(points.len());
     let mut cpu = Duration::ZERO;
-    for (p, slot) in points.iter().zip(slots) {
-        let ev = slot
+    for slot in slots {
+        let (record, design) = slot
             .into_inner()
             .expect("slot lock")
             .expect("every point evaluated");
-        cpu += ev.wall;
-        records.push(PointRecord {
-            index: p.index,
-            design: spec.designs[p.design].name().to_string(),
-            scheduler: spec::scheduler_name(p.scheduler),
-            policy: spec::policy_name(p.policy).to_string(),
-            strategy: spec::strategy_name(p.strategy),
-            width: p.width,
-            patterns: p.patterns,
-            outcome: ev.outcome,
-            wall: ev.wall,
-        });
-        designs.push(ev.design);
+        cpu += record.wall;
+        records.push(record);
+        designs.push(design);
     }
     hlstb_trace::counter("dse.points", records.len() as u64);
     sweep_span.end();
-    SweepOutcome {
+    Ok(SweepOutcome {
         report: SweepReport {
             points: records,
             threads,
             cache: cache.map(|c| c.stats()),
             wall: t0.elapsed(),
             cpu,
+            restored: restored_count.into_inner(),
+            retries: retry_count.into_inner(),
         },
         designs,
+        checkpoint_write_errors: checkpoint_errors.into_inner(),
+    })
+}
+
+fn make_record(
+    spec: &SweepSpec,
+    p: Point,
+    outcome: Result<PointMetrics, PointError>,
+    wall: Duration,
+) -> PointRecord {
+    PointRecord {
+        index: p.index,
+        design: spec.designs[p.design].name().to_string(),
+        scheduler: spec::scheduler_name(p.scheduler),
+        policy: spec::policy_name(p.policy).to_string(),
+        strategy: spec::strategy_name(p.strategy),
+        width: p.width,
+        patterns: p.patterns,
+        outcome,
+        wall,
+        restored: None,
+    }
+}
+
+/// Renders a caught panic payload (the two shapes `panic!` produces,
+/// plus a fallback for exotic payloads).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Panic-isolated, deadline-armed, bounded-retry evaluation of one
+/// point. Panics and timeouts retry up to `opts.retries` times with a
+/// halved budget each attempt; flow errors are final on first sight.
+#[allow(clippy::too_many_arguments)]
+fn eval_with_retry(
+    spec: &SweepSpec,
+    design_keys: &[u64],
+    p: Point,
+    cache: Option<&ArtifactCache>,
+    max_patterns: usize,
+    opts: &SweepOptions,
+    recovery: &Recovery,
+    retry_count: &AtomicU64,
+) -> (Result<PointMetrics, PointError>, Option<SynthesizedDesign>) {
+    let injected = recovery.fail_plan.as_ref().and_then(|f| f.mode(p.index));
+    let mut attempt: u32 = 0;
+    loop {
+        let deadline = match opts.point_budget {
+            Some(b) => Deadline::after(b / 2u32.saturating_pow(attempt.min(20))),
+            None => Deadline::none(),
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            eval_point(
+                spec,
+                design_keys,
+                p,
+                cache,
+                max_patterns,
+                opts.keep_designs,
+                deadline,
+                injected,
+                attempt,
+            )
+        }));
+        let error = match caught {
+            Ok(Ok((metrics, design))) => return (Ok(metrics), design),
+            Ok(Err(e)) => e,
+            Err(payload) => PointError::Panic {
+                message: panic_message(payload),
+            },
+        };
+        if error.retryable() && attempt < opts.retries {
+            attempt += 1;
+            retry_count.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        return (Err(error), None);
     }
 }
 
@@ -191,6 +395,7 @@ fn base_flow(spec: &SweepSpec, design: &Cdfg, p: Point) -> SynthesisFlow {
 
 type PointOutput = (PointMetrics, Option<SynthesizedDesign>);
 
+#[allow(clippy::too_many_arguments)]
 fn eval_point(
     spec: &SweepSpec,
     design_keys: &[u64],
@@ -198,10 +403,38 @@ fn eval_point(
     cache: Option<&ArtifactCache>,
     max_patterns: usize,
     keep: bool,
-) -> Result<PointOutput, String> {
+    deadline: Deadline,
+    injected: Option<FailMode>,
+    attempt: u32,
+) -> Result<PointOutput, PointError> {
+    match injected {
+        Some(FailMode::Panic) => panic!("injected panic at point {}", p.index),
+        Some(FailMode::Flaky) if attempt == 0 => {
+            panic!("injected flaky panic at point {} (attempt 0)", p.index)
+        }
+        Some(FailMode::Stall) => {
+            // A stall burns its whole budget (really sleeping it off
+            // when one is set) and yields nothing — the deterministic
+            // stand-in for a pathological runaway point.
+            if let Some(remaining) = deadline.remaining() {
+                std::thread::sleep(remaining);
+            }
+            return Err(PointError::Timeout {
+                message: format!("injected stall at point {}: budget exhausted", p.index),
+            });
+        }
+        _ => {}
+    }
     match cache {
-        Some(c) => eval_cached(spec, design_keys, p, c, max_patterns, keep),
-        None => eval_direct(spec, p, keep),
+        Some(c) => eval_cached(spec, design_keys, p, c, max_patterns, keep, deadline),
+        None => eval_direct(spec, p, keep, deadline),
+    }
+}
+
+fn grade_opts(deadline: Deadline) -> ParallelOptions {
+    ParallelOptions {
+        deadline,
+        ..ParallelOptions::default()
     }
 }
 
@@ -225,7 +458,8 @@ fn eval_cached(
     cache: &ArtifactCache,
     max_patterns: usize,
     keep: bool,
-) -> Result<PointOutput, String> {
+    deadline: Deadline,
+) -> Result<PointOutput, PointError> {
     let design = &spec.designs[p.design];
     let flow = base_flow(spec, design, p);
     let front_key = if p.strategy == DftStrategy::SimultaneousLoopAvoidance {
@@ -239,15 +473,15 @@ fn eval_cached(
     };
     let fe = cache
         .front
-        .get_or_try(front_key, || flow.front_end().map_err(|e| e.to_string()))?;
+        .get_or_try(front_key, || flow.front_end().map_err(PointError::from))?;
     let facts = cache.facts.get_or_try(front_key, || {
-        Ok::<_, String>(SynthesisFlow::sgraph_facts(&fe.datapath))
+        Ok::<_, PointError>(SynthesisFlow::sgraph_facts(&fe.datapath))
     })?;
     let dft_key = key::combine(&[front_key, key::hash_debug(&p.strategy)]);
     let dft = cache.dft.get_or_try(dft_key, || {
         let mut fe = (*fe).clone();
         let plans = flow.apply_dft(&mut fe);
-        Ok::<_, String>(DftOutput {
+        Ok::<_, PointError>(DftOutput {
             datapath: fe.datapath,
             plans,
         })
@@ -258,27 +492,29 @@ fn eval_cached(
         u64::from(spec.reset_controller),
     ]);
     let expanded = cache.netlist.get_or_try(nl_key, || {
-        flow.expand_netlist(&dft.datapath)
-            .map_err(|e| e.to_string())
+        flow.expand_netlist(&dft.datapath).map_err(PointError::from)
     })?;
-    let coverage_percent = if p.patterns > 0 {
+    let (coverage_percent, timed_out) = if p.patterns > 0 {
         let run = cache.grading.get_or_try(nl_key, || {
             let faults = collapsed_faults(&expanded.netlist);
             let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
-            Ok::<_, String>(
+            Ok::<_, PointError>(
                 random_pattern_run_opts(
                     &expanded.netlist,
                     &faults,
                     max_patterns,
                     &mut rng,
-                    &ParallelOptions::default(),
+                    &grade_opts(deadline),
                 )
                 .0,
             )
         })?;
-        Some(coverage_at(&run.curve, p.patterns))
+        (
+            Some(coverage_at(&run.curve, p.patterns)),
+            grading_truncated(&run, p.patterns),
+        )
     } else {
-        None
+        (None, false)
     };
     let report = flow.build_report(&dft.datapath, &expanded, dft.plans.bist.as_ref(), &facts);
     let design_out = keep.then(|| SynthesizedDesign {
@@ -295,6 +531,7 @@ fn eval_cached(
         PointMetrics {
             report,
             coverage_percent,
+            timed_out,
         },
         design_out,
     ))
@@ -303,16 +540,21 @@ fn eval_cached(
 /// The uncached pipeline — the same stages, computed from scratch.
 /// Grading runs at the point's own budget; [`coverage_at`] reads both
 /// this curve and the cached deep curve identically (prefix property).
-fn eval_direct(spec: &SweepSpec, p: Point, keep: bool) -> Result<PointOutput, String> {
+fn eval_direct(
+    spec: &SweepSpec,
+    p: Point,
+    keep: bool,
+    deadline: Deadline,
+) -> Result<PointOutput, PointError> {
     let design = &spec.designs[p.design];
     let flow = base_flow(spec, design, p);
-    let mut fe = flow.front_end().map_err(|e| e.to_string())?;
+    let mut fe = flow.front_end().map_err(PointError::from)?;
     let plans = flow.apply_dft(&mut fe);
     let facts = SynthesisFlow::sgraph_facts(&fe.datapath);
     let expanded = flow
         .expand_netlist(&fe.datapath)
-        .map_err(|e| e.to_string())?;
-    let coverage_percent = if p.patterns > 0 {
+        .map_err(PointError::from)?;
+    let (coverage_percent, timed_out) = if p.patterns > 0 {
         let faults = collapsed_faults(&expanded.netlist);
         let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
         let (run, _) = random_pattern_run_opts(
@@ -320,11 +562,14 @@ fn eval_direct(spec: &SweepSpec, p: Point, keep: bool) -> Result<PointOutput, St
             &faults,
             p.patterns,
             &mut rng,
-            &ParallelOptions::default(),
+            &grade_opts(deadline),
         );
-        Some(coverage_at(&run.curve, p.patterns))
+        (
+            Some(coverage_at(&run.curve, p.patterns)),
+            grading_truncated(&run, p.patterns),
+        )
     } else {
-        None
+        (None, false)
     };
     let report = flow.build_report(&fe.datapath, &expanded, plans.bist.as_ref(), &facts);
     let design_out = keep.then(|| SynthesizedDesign {
@@ -341,6 +586,7 @@ fn eval_direct(spec: &SweepSpec, p: Point, keep: bool) -> Result<PointOutput, St
         PointMetrics {
             report,
             coverage_percent,
+            timed_out,
         },
         design_out,
     ))
@@ -422,7 +668,7 @@ mod tests {
             &SweepOptions {
                 threads: 1,
                 cache: false,
-                keep_designs: false,
+                ..SweepOptions::default()
             },
         );
         let threaded = run_sweep(
@@ -430,7 +676,7 @@ mod tests {
             &SweepOptions {
                 threads: 4,
                 cache: true,
-                keep_designs: false,
+                ..SweepOptions::default()
             },
         );
         assert_eq!(
@@ -505,5 +751,112 @@ mod tests {
         assert_eq!(stats.grading.hits, 3, "{stats:?}");
         // ... and one front end serves everything.
         assert_eq!(stats.front.misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_typed() {
+        let spec = tiny_spec();
+        let mut plan = FailPlan::default();
+        plan.insert(1, FailMode::Panic);
+        let recovery = Recovery {
+            fail_plan: Some(plan),
+            ..Recovery::default()
+        };
+        let out = run_sweep_with(&spec, &SweepOptions::default(), &recovery).unwrap();
+        assert_eq!(out.report.points.len(), 6);
+        assert_eq!(out.report.errors().len(), 1);
+        let (idx, err) = out.report.errors()[0];
+        assert_eq!(idx, 1);
+        assert_eq!(err.kind(), "panic");
+        assert!(err.message().contains("injected panic at point 1"));
+        // The cache survived the panic and kept serving other points.
+        assert!(out.report.cache.unwrap().hits() > 0);
+        // The default policy retried the panic once before giving up.
+        assert_eq!(out.report.retries, 1);
+    }
+
+    #[test]
+    fn flaky_point_succeeds_via_retry_and_fails_without() {
+        let spec = tiny_spec();
+        let mut plan = FailPlan::default();
+        plan.insert(2, FailMode::Flaky);
+        let recovery = Recovery {
+            fail_plan: Some(plan),
+            ..Recovery::default()
+        };
+        let with_retry = run_sweep_with(&spec, &SweepOptions::default(), &recovery).unwrap();
+        assert!(with_retry.report.errors().is_empty());
+        assert_eq!(with_retry.report.retries, 1);
+        let no_retry = run_sweep_with(
+            &spec,
+            &SweepOptions {
+                retries: 0,
+                ..SweepOptions::default()
+            },
+            &recovery,
+        )
+        .unwrap();
+        assert_eq!(no_retry.report.errors().len(), 1);
+        assert_eq!(no_retry.report.errors()[0].1.kind(), "panic");
+    }
+
+    #[test]
+    fn injected_stall_reports_a_timeout() {
+        let spec = tiny_spec();
+        let mut plan = FailPlan::default();
+        plan.insert(0, FailMode::Stall);
+        let recovery = Recovery {
+            fail_plan: Some(plan),
+            ..Recovery::default()
+        };
+        let out = run_sweep_with(&spec, &SweepOptions::default(), &recovery).unwrap();
+        assert_eq!(out.report.errors().len(), 1);
+        assert_eq!(out.report.errors()[0].1.kind(), "timeout");
+        assert_eq!(out.report.timeouts(), 1);
+        // Stalls are transient by taxonomy, so the policy retried once.
+        assert_eq!(out.report.retries, 1);
+    }
+
+    #[test]
+    fn zero_point_budget_truncates_grading_deterministically() {
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![DftStrategy::FullScan];
+        spec.patterns = vec![256];
+        let opts = SweepOptions {
+            point_budget: Some(Duration::ZERO),
+            ..SweepOptions::default()
+        };
+        let a = run_sweep(&spec, &opts);
+        let m = a.report.points[0].outcome.as_ref().unwrap();
+        assert!(m.timed_out, "zero budget must truncate a 256-pattern run");
+        assert!(m.coverage_percent.is_some(), "partial coverage reported");
+        assert_eq!(a.report.timeouts(), 1);
+        // Expired-from-the-start deadlines are deterministic: cache and
+        // thread settings still agree byte-for-byte.
+        let b = run_sweep(
+            &spec,
+            &SweepOptions {
+                threads: 4,
+                cache: false,
+                ..opts
+            },
+        );
+        assert_eq!(a.report.canonical_json(), b.report.canonical_json());
+        // Without a budget the same point grades the full 256 patterns.
+        let full = run_sweep(&spec, &SweepOptions::default());
+        let fm = full.report.points[0].outcome.as_ref().unwrap();
+        assert!(!fm.timed_out);
+        assert!(fm.coverage_percent.unwrap() >= m.coverage_percent.unwrap());
+    }
+
+    #[test]
+    fn resume_without_checkpoint_path_is_an_io_error() {
+        let spec = tiny_spec();
+        let recovery = Recovery {
+            resume: true,
+            ..Recovery::default()
+        };
+        let err = run_sweep_with(&spec, &SweepOptions::default(), &recovery).unwrap_err();
+        assert_eq!(err.kind(), "io");
     }
 }

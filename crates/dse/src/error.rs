@@ -1,0 +1,168 @@
+//! The typed per-point failure taxonomy.
+//!
+//! Every way a sweep point can fail maps onto one [`PointError`]
+//! variant, so callers (the report renderer, the CLI table, the retry
+//! policy) can branch on *kind* instead of scraping strings:
+//!
+//! * `Panic` — the point's evaluation panicked; the worker caught the
+//!   unwind and rendered the payload. Retryable (the panic may be a
+//!   transient environmental failure; a deterministic bug fails again
+//!   and is reported after the bounded retries).
+//! * `Timeout` — the point exceeded its wall-clock budget before
+//!   producing any gradable result. Retryable with a shrunken budget.
+//!   (A point whose *grading* is merely truncated by the deadline is
+//!   not an error: it reports partial coverage flagged `timed_out`.)
+//! * `Flow` — a synthesis stage rejected the point
+//!   ([`hlstb::flow::FlowError`], rendered). Deterministic, never
+//!   retried.
+//! * `Io` — checkpoint or report I/O failed. Deterministic for a given
+//!   environment, never retried.
+//!
+//! The enum stores rendered messages rather than source errors so it
+//! stays `Clone + Eq` (sweep reports are cloned and diffed by tests)
+//! and round-trips losslessly through the JSONL checkpoint.
+
+use std::fmt;
+
+use hlstb::flow::FlowError;
+use hlstb_trace::json::Obj;
+
+/// Why one sweep point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// The evaluation panicked; the message is the rendered payload.
+    Panic {
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The point's wall-clock budget expired before any result existed.
+    Timeout {
+        /// What ran out of time.
+        message: String,
+    },
+    /// A synthesis stage failed (scheduling, binding, data path,
+    /// expansion) — the rendered [`FlowError`], stage prefix included.
+    Flow {
+        /// Rendered flow error.
+        message: String,
+    },
+    /// Checkpoint or report I/O failed.
+    Io {
+        /// Rendered I/O error.
+        message: String,
+    },
+}
+
+impl PointError {
+    /// The canonical kind tag (`"panic"`, `"timeout"`, `"flow"`,
+    /// `"io"`) used in JSON output and the checkpoint format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PointError::Panic { .. } => "panic",
+            PointError::Timeout { .. } => "timeout",
+            PointError::Flow { .. } => "flow",
+            PointError::Io { .. } => "io",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            PointError::Panic { message }
+            | PointError::Timeout { message }
+            | PointError::Flow { message }
+            | PointError::Io { message } => message,
+        }
+    }
+
+    /// Whether the sweep's bounded retry policy should try the point
+    /// again: panics and timeouts may be transient, flow and I/O
+    /// failures are deterministic verdicts.
+    pub fn retryable(&self) -> bool {
+        matches!(self, PointError::Panic { .. } | PointError::Timeout { .. })
+    }
+
+    /// Rebuilds an error from its serialized `(kind, message)` pair —
+    /// the inverse of [`kind`](Self::kind)/[`message`](Self::message),
+    /// used when restoring checkpointed failures.
+    pub fn from_parts(kind: &str, message: &str) -> Option<PointError> {
+        let message = message.to_string();
+        Some(match kind {
+            "panic" => PointError::Panic { message },
+            "timeout" => PointError::Timeout { message },
+            "flow" => PointError::Flow { message },
+            "io" => PointError::Io { message },
+            _ => return None,
+        })
+    }
+
+    /// The error as a canonical JSON object: `{"kind": …, "message": …}`.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.string("kind", self.kind())
+            .string("message", self.message());
+        o.finish()
+    }
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for PointError {}
+
+impl From<FlowError> for PointError {
+    fn from(e: FlowError) -> Self {
+        PointError::Flow {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<PointError> {
+        vec![
+            PointError::Panic {
+                message: "boom".into(),
+            },
+            PointError::Timeout {
+                message: "budget".into(),
+            },
+            PointError::Flow {
+                message: "scheduling: infeasible".into(),
+            },
+            PointError::Io {
+                message: "disk full".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn kinds_round_trip_through_parts() {
+        for e in samples() {
+            let back = PointError::from_parts(e.kind(), e.message()).unwrap();
+            assert_eq!(back, e);
+        }
+        assert!(PointError::from_parts("gremlin", "x").is_none());
+    }
+
+    #[test]
+    fn only_panic_and_timeout_are_retryable() {
+        let r: Vec<bool> = samples().iter().map(PointError::retryable).collect();
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn json_and_display_carry_kind_and_message() {
+        let e = PointError::Timeout {
+            message: "point 3".into(),
+        };
+        assert_eq!(e.to_json(), r#"{"kind": "timeout", "message": "point 3"}"#);
+        assert_eq!(e.to_string(), "timeout: point 3");
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic fault injection for sweep robustness tests.
+//!
+//! A [`FailPlan`] makes chosen sweep points fail on purpose, so the
+//! panic-isolation, deadline, and retry machinery can be exercised
+//! deterministically (the proptests byte-compare reports across thread
+//! counts, so injected failures must not depend on timing):
+//!
+//! * `panic` — the point panics on every attempt; after the bounded
+//!   retries it is reported as a [`crate::PointError::Panic`].
+//! * `stall` — the point consumes its whole budget (sleeping it off
+//!   when one is set) and reports a [`crate::PointError::Timeout`] on
+//!   every attempt.
+//! * `flaky` — the point panics on its first attempt and succeeds on
+//!   any retry: with `retries >= 1` it lands in the report as a normal
+//!   success, proving the retry path.
+//!
+//! The CLI builds a plan from the `HLSTB_FAIL_POINT` environment
+//! variable (see [`FailPlan::ENV`]); the library itself never reads the
+//! environment, so programmatic sweeps stay pure.
+
+use std::collections::BTreeMap;
+
+/// How an injected point fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Panic on every attempt.
+    Panic,
+    /// Exhaust the point budget and report a timeout on every attempt.
+    Stall,
+    /// Panic on the first attempt only; succeed on retries.
+    Flaky,
+}
+
+impl FailMode {
+    fn parse(s: &str) -> Option<FailMode> {
+        match s {
+            "panic" => Some(FailMode::Panic),
+            "stall" => Some(FailMode::Stall),
+            "flaky" => Some(FailMode::Flaky),
+            _ => None,
+        }
+    }
+}
+
+/// Point index → injected failure mode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailPlan {
+    modes: BTreeMap<usize, FailMode>,
+}
+
+impl FailPlan {
+    /// The environment variable the CLI reads:
+    /// `HLSTB_FAIL_POINT="panic:1,4;stall:2;flaky:3"`.
+    pub const ENV: &'static str = "HLSTB_FAIL_POINT";
+
+    /// Parses the spec syntax: `;`-separated groups of
+    /// `<mode>:<index>[,<index>…]` with modes `panic`, `stall`,
+    /// `flaky`. Empty input yields an empty plan.
+    pub fn parse(s: &str) -> Result<FailPlan, String> {
+        let mut plan = FailPlan::default();
+        for group in s.split(';').filter(|g| !g.trim().is_empty()) {
+            let (mode_s, idx_s) = group
+                .split_once(':')
+                .ok_or_else(|| format!("bad fail-point group `{group}`: expected mode:indices"))?;
+            let mode = FailMode::parse(mode_s.trim()).ok_or_else(|| {
+                format!("bad fail-point mode `{mode_s}`: expected panic, stall, or flaky")
+            })?;
+            for idx in idx_s.split(',') {
+                let index: usize = idx
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad fail-point index `{idx}`"))?;
+                if plan.modes.insert(index, mode).is_some() {
+                    return Err(format!("fail-point index {index} listed twice"));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses [`ENV`](Self::ENV); `Ok(None)` when unset or
+    /// empty.
+    pub fn from_env() -> Result<Option<FailPlan>, String> {
+        match std::env::var(Self::ENV) {
+            Ok(s) if !s.trim().is_empty() => Self::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Injects one point (test convenience).
+    pub fn insert(&mut self, index: usize, mode: FailMode) {
+        self.modes.insert(index, mode);
+    }
+
+    /// The injected mode for a point index, if any.
+    pub fn mode(&self, index: usize) -> Option<FailMode> {
+        self.modes.get(&index).copied()
+    }
+
+    /// Number of injected points.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether no point is injected.
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Indices that fail on every attempt (panic + stall) — the
+    /// expected error count of a sweep run with `retries >= 1`.
+    pub fn hard_failures(&self) -> usize {
+        self.modes
+            .values()
+            .filter(|m| !matches!(m, FailMode::Flaky))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_syntax() {
+        let p = FailPlan::parse("panic:1,4;stall:2;flaky:3").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.mode(1), Some(FailMode::Panic));
+        assert_eq!(p.mode(4), Some(FailMode::Panic));
+        assert_eq!(p.mode(2), Some(FailMode::Stall));
+        assert_eq!(p.mode(3), Some(FailMode::Flaky));
+        assert_eq!(p.mode(0), None);
+        assert_eq!(p.hard_failures(), 3);
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_groups() {
+        let p = FailPlan::parse(" panic : 0 ; ").unwrap();
+        assert_eq!(p.mode(0), Some(FailMode::Panic));
+        assert!(FailPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(FailPlan::parse("explode:1").is_err());
+        assert!(FailPlan::parse("panic").is_err());
+        assert!(FailPlan::parse("panic:x").is_err());
+        assert!(FailPlan::parse("panic:1;stall:1").is_err());
+    }
+}

@@ -26,17 +26,40 @@
 //! Cache hits and misses surface as `hlstb-trace` counters
 //! (`dse.cache.<stage>.hit` / `.miss`) and every point runs under a
 //! `dse.point` span.
+//!
+//! # Fault tolerance
+//!
+//! The sweep is robust against individual points failing:
+//!
+//! * a panicking point is isolated ([`std::panic::catch_unwind`]) and
+//!   reported as a typed [`error::PointError`] while the rest of the
+//!   sweep completes;
+//! * [`engine::SweepOptions::point_budget`] arms a cooperative
+//!   per-point deadline, so a runaway point reports partial coverage
+//!   (`timed_out`) instead of hanging the pool, with bounded retries
+//!   at a shrinking budget for transient failures;
+//! * [`engine::Recovery`] streams completed points to a JSONL
+//!   [`checkpoint`] and resumes a killed sweep byte-identically;
+//! * [`failpoint::FailPlan`] injects deterministic failures so all of
+//!   the above is testable without timing races.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod engine;
+pub mod error;
+pub mod failpoint;
 pub mod key;
 pub mod report;
 pub mod spec;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use engine::{run_sweep, SweepOptions, SweepOutcome};
+pub use checkpoint::{Checkpoint, RestoredSet};
+pub use engine::{run_sweep, run_sweep_with, Recovery, SweepOptions, SweepOutcome};
+pub use error::PointError;
+pub use failpoint::{FailMode, FailPlan};
 pub use report::{PointMetrics, PointRecord, SweepReport};
 pub use spec::{Point, SweepSpec};

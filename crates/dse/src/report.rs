@@ -1,18 +1,25 @@
 //! Deterministic sweep reports.
 //!
 //! [`SweepReport::canonical_json`] renders only run-invariant content —
-//! point coordinates and synthesis/coverage metrics, in point-index
-//! order — so a parallel cached sweep and a serial uncached sweep of
-//! the same spec produce byte-identical documents (enforced by tests
-//! and the CI smoke step). [`SweepReport::to_json`] adds the
-//! run-varying envelope: wall/CPU time, worker count, cache counters.
+//! point coordinates, synthesis/coverage metrics, and typed failure
+//! records, in point-index order — so a parallel cached sweep and a
+//! serial uncached sweep of the same spec produce byte-identical
+//! documents (enforced by tests and the CI smoke step).
+//! [`SweepReport::to_json`] adds the run-varying envelope: wall/CPU
+//! time, worker count, retry/restore counters, cache counters.
+//!
+//! A point restored from a checkpoint carries its original canonical
+//! JSON verbatim ([`PointRecord::restored`]) and re-emits those exact
+//! bytes, which is what makes a resumed sweep byte-identical to an
+//! uninterrupted one without re-deriving float formatting.
 
 use std::time::Duration;
 
 use hlstb::report::TestabilityReport;
-use hlstb_trace::json::{escape, number_f64, Obj};
+use hlstb_trace::json::{number_f64, Obj};
 
 use crate::cache::CacheStats;
+use crate::error::PointError;
 
 /// Run-invariant metrics of one successfully synthesized point.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +31,10 @@ pub struct PointMetrics {
     /// Stuck-at coverage at the point's pattern budget, when the point
     /// asked for grading.
     pub coverage_percent: Option<f64>,
+    /// Whether the point's wall-clock budget expired mid-grading:
+    /// `coverage_percent` is then a truncated lower bound, not the
+    /// coverage at the requested budget.
+    pub timed_out: bool,
 }
 
 /// One sweep point's result, in enumeration order.
@@ -43,16 +54,38 @@ pub struct PointRecord {
     pub width: u32,
     /// Pattern budget (0 = ungraded).
     pub patterns: usize,
-    /// Metrics, or the first pipeline failure rendered as a string.
-    pub outcome: Result<PointMetrics, String>,
+    /// Metrics, or the typed failure that ended the point.
+    pub outcome: Result<PointMetrics, PointError>,
     /// Wall time this point took to evaluate (excluded from canonical
-    /// output).
+    /// output; ~zero for restored points).
     pub wall: Duration,
+    /// When the point was served from a checkpoint: its original
+    /// canonical JSON object, re-emitted verbatim so a resumed sweep's
+    /// canonical document stays byte-identical.
+    pub restored: Option<String>,
 }
 
 impl PointRecord {
+    /// The point's canonical (run-invariant) JSON object — also the
+    /// payload the checkpoint stores.
+    pub(crate) fn canonical_point_json(&self) -> String {
+        self.to_json(false)
+    }
+
     /// The point's JSON object; timing only when `with_timing`.
     fn to_json(&self, with_timing: bool) -> String {
+        if let Some(raw) = &self.restored {
+            if !with_timing {
+                return raw.clone();
+            }
+            // Splice the timing field into the verbatim object rather
+            // than re-rendering, so full and canonical outputs agree.
+            let body = raw.trim_end().strip_suffix('}').unwrap_or(raw);
+            return format!(
+                "{body}, \"wall_ms\": {:.3}}}",
+                self.wall.as_secs_f64() * 1e3
+            );
+        }
         let mut o = Obj::new();
         o.number_u64("index", self.index as u64)
             .string("design", &self.design)
@@ -67,12 +100,14 @@ impl PointRecord {
                     "coverage_percent",
                     &m.coverage_percent.map_or("null".into(), number_f64),
                 );
+                o.boolean("timed_out", m.timed_out);
                 o.raw("error", "null");
                 o.raw("report", &m.report.to_json());
             }
             Err(e) => {
                 o.raw("coverage_percent", "null");
-                o.raw("error", &escape(e));
+                o.boolean("timed_out", false);
+                o.raw("error", &e.to_json());
                 o.raw("report", "null");
             }
         }
@@ -96,15 +131,31 @@ pub struct SweepReport {
     pub wall: Duration,
     /// Summed per-point wall time (the work the pool executed).
     pub cpu: Duration,
+    /// Points served from the resume checkpoint instead of evaluated.
+    pub restored: usize,
+    /// Retry attempts the bounded-retry policy performed.
+    pub retries: u64,
 }
 
 impl SweepReport {
     /// Points that failed, as `(index, error)` pairs.
-    pub fn errors(&self) -> Vec<(usize, &str)> {
+    pub fn errors(&self) -> Vec<(usize, &PointError)> {
         self.points
             .iter()
-            .filter_map(|p| p.outcome.as_ref().err().map(|e| (p.index, e.as_str())))
+            .filter_map(|p| p.outcome.as_ref().err().map(|e| (p.index, e)))
             .collect()
+    }
+
+    /// Points whose wall-clock budget expired: timeout failures plus
+    /// successes with truncated (timed-out) coverage.
+    pub fn timeouts(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| match &p.outcome {
+                Ok(m) => m.timed_out,
+                Err(e) => matches!(e, PointError::Timeout { .. }),
+            })
+            .count()
     }
 
     fn points_json(&self, with_timing: bool) -> String {
@@ -123,7 +174,7 @@ impl SweepReport {
 
     /// The run-invariant document: identical bytes for any thread
     /// count and cache setting, because every field depends only on
-    /// the spec.
+    /// the spec (and any injected fail plan).
     pub fn canonical_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"dse_sweep\",\n");
@@ -133,7 +184,8 @@ impl SweepReport {
     }
 
     /// The full document: canonical content plus the run envelope
-    /// (threads, wall/CPU time, per-point wall, cache counters).
+    /// (threads, wall/CPU time, per-point wall, retry/restore counts,
+    /// cache counters).
     pub fn to_json(&self) -> String {
         let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
         let mut out = String::from("{\n");
@@ -141,6 +193,10 @@ impl SweepReport {
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall)));
         out.push_str(&format!("  \"cpu_ms\": {},\n", ms(self.cpu)));
+        out.push_str(&format!("  \"failures\": {},\n", self.errors().len()));
+        out.push_str(&format!("  \"retries\": {},\n", self.retries));
+        out.push_str(&format!("  \"timeouts\": {},\n", self.timeouts()));
+        out.push_str(&format!("  \"restored\": {},\n", self.restored));
         match &self.cache {
             Some(c) => out.push_str(&format!("  \"cache\": {},\n", c.to_json())),
             None => out.push_str("  \"cache\": null,\n"),
@@ -173,6 +229,7 @@ impl SweepReport {
                     let cov = m
                         .coverage_percent
                         .map_or("-".to_string(), |c| format!("{c:.1}"));
+                    let cov = if m.timed_out { format!("{cov}*") } else { cov };
                     out.push_str(&format!(
                         "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} {:>6} {:>8} {:>7.0} {:>7}\n",
                         p.index,
@@ -189,8 +246,15 @@ impl SweepReport {
                 }
                 Err(e) => {
                     out.push_str(&format!(
-                        "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} error: {e}\n",
-                        p.index, p.design, p.strategy, p.policy, p.width, p.patterns
+                        "{:>4}  {:<12} {:<24} {:<13} {:>5} {:>8} {}: {}\n",
+                        p.index,
+                        p.design,
+                        p.strategy,
+                        p.policy,
+                        p.width,
+                        p.patterns,
+                        e.kind(),
+                        e.message()
                     ));
                 }
             }
@@ -198,15 +262,19 @@ impl SweepReport {
         out
     }
 
-    /// One-line run summary (the CLI's stderr footer): point and error
-    /// counts, threads, cache hit/miss totals, wall time.
+    /// One-line run summary (the CLI's stderr footer): point, error,
+    /// retry, timeout, and restore counts, threads, cache hit/miss
+    /// totals, wall time.
     pub fn summary(&self) -> String {
         let (hits, misses) = self.cache.map_or((0, 0), |c| (c.hits(), c.misses()));
         format!(
-            "sweep: {} points ({} errors), {} threads, cache hits: {hits}, misses: {misses}, wall: {:.1} ms, cpu: {:.1} ms",
+            "sweep: {} points ({} errors), {} threads, {} retries, {} timeouts, {} restored, cache hits: {hits}, misses: {misses}, wall: {:.1} ms, cpu: {:.1} ms",
             self.points.len(),
             self.errors().len(),
             self.threads,
+            self.retries,
+            self.timeouts(),
+            self.restored,
             self.wall.as_secs_f64() * 1e3,
             self.cpu.as_secs_f64() * 1e3,
         )
@@ -249,11 +317,15 @@ mod tests {
                 Ok(PointMetrics {
                     report,
                     coverage_percent: Some(92.5),
+                    timed_out: false,
                 })
             } else {
-                Err("scheduling: no feasible schedule".into())
+                Err(PointError::Flow {
+                    message: "scheduling: no feasible schedule".into(),
+                })
             },
             wall: Duration::from_millis(3),
+            restored: None,
         }
     }
 
@@ -264,6 +336,8 @@ mod tests {
             cache: Some(CacheStats::default()),
             wall: Duration::from_millis(10),
             cpu: Duration::from_millis(30),
+            restored: 0,
+            retries: 0,
         }
     }
 
@@ -281,7 +355,14 @@ mod tests {
             pts[0].get("coverage_percent").and_then(|x| x.as_f64()),
             Some(92.5)
         );
-        assert!(pts[1].get("error").and_then(|e| e.as_str()).is_some());
+        // Failures are typed objects, not bare strings.
+        let err = pts[1].get("error").expect("error field");
+        assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("flow"));
+        assert!(err
+            .get("message")
+            .and_then(|m| m.as_str())
+            .unwrap()
+            .contains("scheduling"));
     }
 
     #[test]
@@ -292,6 +373,9 @@ mod tests {
         assert_eq!(v.get("threads").and_then(|t| t.as_f64()), Some(4.0));
         assert!(v.get("wall_ms").and_then(|w| w.as_f64()).is_some());
         assert!(v.get("cache").is_some());
+        assert_eq!(v.get("failures").and_then(|f| f.as_f64()), Some(1.0));
+        assert_eq!(v.get("retries").and_then(|f| f.as_f64()), Some(0.0));
+        assert_eq!(v.get("restored").and_then(|f| f.as_f64()), Some(0.0));
         let pts = v.get("points").and_then(|p| p.as_array()).unwrap();
         assert!(pts[0].get("wall_ms").and_then(|w| w.as_f64()).is_some());
     }
@@ -304,8 +388,24 @@ mod tests {
         b.cache = None;
         b.wall = Duration::from_millis(99);
         b.points[0].wall = Duration::from_millis(77);
+        b.retries = 5;
+        b.restored = 1;
         assert_eq!(a.canonical_json(), b.canonical_json());
         assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn restored_points_reemit_their_bytes_verbatim() {
+        let original = record(0, true);
+        let canonical = original.canonical_point_json();
+        let mut restored = original.clone();
+        restored.restored = Some(canonical.clone());
+        restored.wall = Duration::ZERO;
+        assert_eq!(restored.to_json(false), canonical);
+        // The timed variant splices wall_ms into the same object.
+        let timed = restored.to_json(true);
+        assert!(timed.ends_with("\"wall_ms\": 0.000}"), "{timed}");
+        assert!(json::parse(&timed).is_ok(), "{timed}");
     }
 
     #[test]
@@ -313,10 +413,24 @@ mod tests {
         let r = report();
         let t = r.table();
         assert!(t.contains("design"), "{t}");
-        assert!(t.contains("error: scheduling"), "{t}");
+        assert!(t.contains("flow: scheduling"), "{t}");
         let s = r.summary();
         assert!(s.contains("2 points (1 errors)"), "{s}");
+        assert!(s.contains("0 retries"), "{s}");
+        assert!(s.contains("0 restored"), "{s}");
         assert!(s.contains("cache hits: 0"), "{s}");
         assert_eq!(r.errors().len(), 1);
+        assert_eq!(r.timeouts(), 0);
+    }
+
+    #[test]
+    fn timed_out_successes_are_counted_and_starred() {
+        let mut r = report();
+        if let Ok(m) = &mut r.points[0].outcome {
+            m.timed_out = true;
+        }
+        assert_eq!(r.timeouts(), 1);
+        assert!(r.table().contains("92.5*"), "{}", r.table());
+        assert!(r.canonical_json().contains("\"timed_out\": true"));
     }
 }

@@ -1,11 +1,12 @@
 //! Property tests for the sweep engine's bit-identity contract: for an
 //! arbitrary `SweepSpec`, a 4-thread cached sweep must produce the
-//! same canonical report bytes as a serial uncached sweep, and cache
-//! hits must never change any point's metrics.
+//! same canonical report bytes as a serial uncached sweep — including
+//! under injected failures — and cache hits must never change any
+//! point's metrics.
 
 use hlstb::cdfg::{benchmarks, Cdfg};
 use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler};
-use hlstb_dse::{run_sweep, SweepOptions, SweepSpec};
+use hlstb_dse::{run_sweep, run_sweep_with, FailMode, FailPlan, Recovery, SweepOptions, SweepSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,15 +70,59 @@ proptest! {
         let serial = run_sweep(&spec, &SweepOptions {
             threads: 1,
             cache: false,
-            keep_designs: false,
+            ..SweepOptions::default()
         });
         let parallel = run_sweep(&spec, &SweepOptions {
             threads: 4,
             cache: true,
-            keep_designs: false,
+            ..SweepOptions::default()
         });
         prop_assert!(serial.report.cache.is_none());
         prop_assert!(parallel.report.cache.is_some());
+        prop_assert_eq!(
+            serial.report.canonical_json(),
+            parallel.report.canonical_json()
+        );
+    }
+
+    #[test]
+    fn injected_failures_stay_byte_identical_and_typed(seed in 0u64..10_000) {
+        let spec = arb_spec(seed);
+        let n = spec.points().len();
+        // A random failure subset over a random spec: each point may be
+        // injected with a random mode. All three modes are deterministic
+        // by construction, so thread count and cache must not matter.
+        let rng = &mut StdRng::seed_from_u64(seed ^ 0xFA11);
+        let mut plan = FailPlan::default();
+        for index in 0..n {
+            if rng.gen_bool(0.3) {
+                let mode = match rng.gen_range(0..3u8) {
+                    0 => FailMode::Panic,
+                    1 => FailMode::Stall,
+                    _ => FailMode::Flaky,
+                };
+                plan.insert(index, mode);
+            }
+        }
+        let hard = plan.hard_failures();
+        let recovery = Recovery { fail_plan: Some(plan), ..Recovery::default() };
+        let serial = run_sweep_with(&spec, &SweepOptions {
+            threads: 1,
+            cache: false,
+            ..SweepOptions::default()
+        }, &recovery).unwrap();
+        let parallel = run_sweep_with(&spec, &SweepOptions {
+            threads: 4,
+            cache: true,
+            ..SweepOptions::default()
+        }, &recovery).unwrap();
+        // Exactly the hard-injected points fail; flaky points recover
+        // via the default single retry. Every failure is typed.
+        prop_assert_eq!(serial.report.points.len(), n);
+        prop_assert_eq!(serial.report.errors().len(), hard);
+        for (_, e) in serial.report.errors() {
+            prop_assert!(e.kind() == "panic" || e.kind() == "timeout");
+        }
         prop_assert_eq!(
             serial.report.canonical_json(),
             parallel.report.canonical_json()

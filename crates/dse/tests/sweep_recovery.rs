@@ -1,0 +1,222 @@
+//! Checkpoint/resume integration tests: a sweep interrupted after k
+//! points and resumed from its checkpoint must reproduce the
+//! uninterrupted report byte-for-byte, restoring rather than
+//! recomputing the completed points.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::DftStrategy;
+use hlstb_dse::{run_sweep, run_sweep_with, FailMode, FailPlan, Recovery, SweepOptions, SweepSpec};
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hlstb_recovery_{}_{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::tseng()]);
+    spec.strategies = vec![
+        DftStrategy::None,
+        DftStrategy::FullScan,
+        DftStrategy::BistShared,
+    ];
+    spec.patterns = vec![64];
+    spec
+}
+
+/// Keep the first `k` lines of the checkpoint — the file-level shape of
+/// a sweep killed partway through.
+fn truncate_checkpoint(path: &PathBuf, k: usize) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let kept: String = text.lines().take(k).map(|l| format!("{l}\n")).collect();
+    std::fs::write(path, kept).unwrap();
+}
+
+#[test]
+fn resumed_sweep_is_byte_identical_to_uninterrupted() {
+    let spec = spec();
+    let baseline = run_sweep(&spec, &SweepOptions::default());
+    assert_eq!(baseline.report.points.len(), 6);
+
+    let path = temp("byte_identity");
+    std::fs::remove_file(&path).ok();
+    let full = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(full.checkpoint_write_errors, 0);
+    assert_eq!(
+        full.report.canonical_json(),
+        baseline.report.canonical_json(),
+        "writing a checkpoint must not perturb the report"
+    );
+
+    // "Kill" the run after 4 of 6 points, then resume.
+    truncate_checkpoint(&path, 4);
+    let resumed = run_sweep_with(
+        &spec,
+        &SweepOptions {
+            threads: 4,
+            ..SweepOptions::default()
+        },
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.report.restored, 4);
+    assert_eq!(
+        resumed.report.canonical_json(),
+        baseline.report.canonical_json(),
+        "resume must splice checkpointed bytes verbatim"
+    );
+    // The recomputed points were re-appended, so a second resume
+    // restores everything.
+    let again = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(again.report.restored, 6);
+    assert_eq!(
+        again.report.canonical_json(),
+        baseline.report.canonical_json()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpointed_failures_resume_as_typed_errors() {
+    let spec = spec();
+    let mut plan = FailPlan::default();
+    plan.insert(2, FailMode::Panic);
+    let path = temp("typed_errors");
+    std::fs::remove_file(&path).ok();
+    let first = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            fail_plan: Some(plan),
+            checkpoint: Some(path.clone()),
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(first.report.errors().len(), 1);
+    // Resume WITHOUT the fail plan: the recorded failure is restored
+    // as-is (a checkpoint preserves what happened, including errors).
+    let resumed = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.report.restored, 6);
+    assert_eq!(resumed.report.errors().len(), 1);
+    assert_eq!(resumed.report.errors()[0].1.kind(), "panic");
+    assert_eq!(
+        resumed.report.canonical_json(),
+        first.report.canonical_json()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn spec_edits_invalidate_checkpoint_entries() {
+    let spec_a = spec();
+    let path = temp("spec_edit");
+    std::fs::remove_file(&path).ok();
+    run_sweep_with(
+        &spec_a,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    // Change the grading budget: every point's content key changes, so
+    // nothing from the stale checkpoint may be served.
+    let mut spec_b = spec();
+    spec_b.patterns = vec![128];
+    let resumed = run_sweep_with(
+        &spec_b,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.report.restored, 0);
+    assert_eq!(
+        resumed.report.canonical_json(),
+        run_sweep(&spec_b, &SweepOptions::default())
+            .report
+            .canonical_json()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn zero_budget_timeouts_checkpoint_and_resume_byte_identically() {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    spec.strategies = vec![DftStrategy::FullScan, DftStrategy::None];
+    spec.patterns = vec![256];
+    let opts = SweepOptions {
+        point_budget: Some(Duration::ZERO),
+        ..SweepOptions::default()
+    };
+    let baseline = run_sweep(&spec, &opts);
+    assert!(baseline.report.timeouts() > 0, "zero budget must truncate");
+    let path = temp("timeout_ckpt");
+    std::fs::remove_file(&path).ok();
+    run_sweep_with(
+        &spec,
+        &opts,
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    truncate_checkpoint(&path, 1);
+    let resumed = run_sweep_with(
+        &spec,
+        &opts,
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.report.restored, 1);
+    assert_eq!(
+        resumed.report.canonical_json(),
+        baseline.report.canonical_json(),
+        "timed-out partial coverage must round-trip through the checkpoint"
+    );
+    std::fs::remove_file(&path).ok();
+}

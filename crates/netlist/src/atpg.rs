@@ -468,6 +468,10 @@ pub struct AtpgRun {
     pub patterns: Vec<TestFrame>,
     /// Total search effort.
     pub effort: Effort,
+    /// Whether the run stopped early on an expired
+    /// [`crate::deadline::Deadline`]: undetected faults past the cutoff
+    /// were never targeted, so coverage is a lower bound.
+    pub timed_out: bool,
 }
 
 impl AtpgRun {
@@ -513,10 +517,20 @@ pub fn generate_all_opts(
         total: faults.len(),
         patterns: Vec::new(),
         effort: Effort::default(),
+        timed_out: false,
     };
     let mut stats = GradeStats::default();
     let mut remaining: Vec<Fault> = faults.to_vec();
+    let mut targeted = 0usize;
     while let Some(fault) = remaining.first().copied() {
+        // Cooperative cutoff between targets: the first fault is always
+        // attempted, so a zero-budget run still makes deterministic
+        // progress and the partial tallies stay consistent.
+        if targeted > 0 && grade_opts.deadline.expired() {
+            run.timed_out = true;
+            break;
+        }
+        targeted += 1;
         let (status, effort) = podem(nl, &view, &[fault.net], fault.stuck_at_one, options);
         run.effort.absorb(effort);
         match status {
@@ -541,6 +555,9 @@ pub fn generate_all_opts(
         }
     }
     stats.faults = faults.len();
+    // The fault-dropping sims poll the same deadline; a truncated drop
+    // pass also leaves the run short of its full universe.
+    run.timed_out |= stats.timed_out;
     hlstb_trace::counter("atpg.decisions", run.effort.decisions);
     hlstb_trace::counter("atpg.backtracks", run.effort.backtracks);
     hlstb_trace::counter("atpg.implications", run.effort.implications);
@@ -612,6 +629,31 @@ mod tests {
         assert_eq!(run.untestable, 0);
         assert_eq!(run.coverage_percent(), 100.0);
         assert!(!run.patterns.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_stops_generation_after_one_target() {
+        use crate::deadline::Deadline;
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.inputs("a", 3);
+        let c = b.inputs("b", 3);
+        let (s, co) = b.ripple_add(&a, &c);
+        b.outputs("s", &s);
+        b.output("co", co);
+        let nl = b.finish().unwrap();
+        let faults = collapsed_faults(&nl);
+        let opts = ParallelOptions {
+            deadline: Deadline::after(std::time::Duration::ZERO),
+            ..ParallelOptions::default()
+        };
+        let (run, _) = generate_all_opts(&nl, &faults, &AtpgOptions::default(), &opts);
+        assert!(run.timed_out);
+        // One target was attempted; its drop pass may detect several.
+        assert!(run.detected + run.untestable + run.aborted < faults.len());
+        assert!(run.coverage_percent() < 100.0);
+        // The partial run is reproducible.
+        let (again, _) = generate_all_opts(&nl, &faults, &AtpgOptions::default(), &opts);
+        assert_eq!(run, again);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+use crate::deadline::Deadline;
 use crate::fault::Fault;
 use crate::net::{GateId, GateKind, NetId, Netlist};
 use crate::sim::{eval_comb, next_state, ForcedNet};
@@ -104,7 +105,16 @@ pub struct ParallelOptions {
     /// [`DEFAULT_MIN_FAULTS_PER_THREAD`], keeps every benchmark-sized
     /// universe on the serial path, where it is measurably faster.
     pub min_faults_per_thread: usize,
+    /// Cooperative wall-clock cutoff. Shard loops poll it every
+    /// [`DEADLINE_POLL_STRIDE`] faults and stop early with
+    /// [`GradeStats::timed_out`] set; the default never expires.
+    pub deadline: Deadline,
 }
+
+/// How many faults a shard grades between deadline polls: often enough
+/// that an expired budget stops work promptly, rarely enough that the
+/// `Instant::now` syscall is invisible in the profile.
+pub const DEADLINE_POLL_STRIDE: usize = 64;
 
 /// Default for [`ParallelOptions::min_faults_per_thread`]: below ~4k
 /// faults per worker, thread-spawn cost and per-worker cone-cache
@@ -117,6 +127,7 @@ impl Default for ParallelOptions {
             threads: 1,
             drop_detected: true,
             min_faults_per_thread: DEFAULT_MIN_FAULTS_PER_THREAD,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -247,8 +258,9 @@ pub fn comb_fault_sim_observed_opts(
     let fault_start = Instant::now();
     let threads = opts.effective_threads(faults.len());
     let drop_detected = opts.drop_detected;
+    let deadline = opts.deadline;
     let (detected, mut stats) = if threads == 1 {
-        grade_comb_shard(nl, &engine, &goods, faults, drop_detected)
+        grade_comb_shard(nl, &engine, &goods, faults, drop_detected, deadline)
     } else {
         let chunk = faults.len().div_ceil(threads);
         let mut merged = BTreeSet::new();
@@ -259,7 +271,9 @@ pub fn comb_fault_sim_observed_opts(
             let handles: Vec<_> = faults
                 .chunks(chunk)
                 .map(|shard| {
-                    scope.spawn(move || grade_comb_shard(nl, engine, goods, shard, drop_detected))
+                    scope.spawn(move || {
+                        grade_comb_shard(nl, engine, goods, shard, drop_detected, deadline)
+                    })
                 })
                 .collect();
             for handle in handles {
@@ -294,6 +308,7 @@ fn grade_comb_shard(
     goods: &[Vec<u64>],
     shard: &[Fault],
     drop_detected: bool,
+    deadline: Deadline,
 ) -> (BTreeSet<Fault>, GradeStats) {
     let mut detected = BTreeSet::new();
     let mut stats = GradeStats::default();
@@ -301,7 +316,14 @@ fn grade_comb_shard(
     // Both polarities of a net share its cone; universes list them
     // adjacently, so caching the last cone removes half the builds.
     let mut cached: Option<(NetId, Cone)> = None;
-    for &fault in shard {
+    for (fault_idx, &fault) in shard.iter().enumerate() {
+        // Cooperative cutoff: stop between faults, so every counter and
+        // the detected set stay consistent. At least one fault is
+        // always graded, which keeps zero-budget runs deterministic.
+        if fault_idx > 0 && fault_idx % DEADLINE_POLL_STRIDE == 0 && deadline.expired() {
+            stats.timed_out = true;
+            break;
+        }
         if cached.as_ref().map(|(n, _)| *n) != Some(fault.net) {
             cached = Some((fault.net, engine.cone(fault.net, &mut scratch)));
         }
@@ -592,10 +614,15 @@ pub fn seq_fault_sim_observed_opts(
     let fault_start = Instant::now();
     let threads = opts.effective_threads(faults.len());
     let drop_detected = opts.drop_detected;
+    let deadline = opts.deadline;
     let run_shard = |shard: &[Fault]| -> (BTreeSet<Fault>, GradeStats) {
         let mut detected = BTreeSet::new();
         let mut stats = GradeStats::default();
-        for &fault in shard {
+        for (fault_idx, &fault) in shard.iter().enumerate() {
+            if fault_idx > 0 && fault_idx % DEADLINE_POLL_STRIDE == 0 && deadline.expired() {
+                stats.timed_out = true;
+                break;
+            }
             let mut ff = initial.to_vec();
             pin_state(nl, fault, &mut ff);
             let mut hit = false;
@@ -821,7 +848,7 @@ mod tests {
                 let opts = ParallelOptions {
                     threads,
                     drop_detected,
-                    min_faults_per_thread: 0,
+                    ..ParallelOptions::with_threads_ungated(1)
                 };
                 let (r, stats) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
                 assert_eq!(r, baseline, "threads={threads} drop={drop_detected}");
@@ -829,6 +856,35 @@ mod tests {
                 assert_eq!(stats.frames, frames.len());
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_truncates_large_universes_but_stays_deterministic() {
+        use crate::deadline::Deadline;
+        let nl = mixed_circuit();
+        // Inflate the universe past one poll stride by repeating the
+        // collapsed list; detection is idempotent so only the work
+        // changes.
+        let base = all_faults(&nl);
+        let faults: Vec<Fault> = base
+            .iter()
+            .cycle()
+            .take(DEADLINE_POLL_STRIDE * 3)
+            .copied()
+            .collect();
+        let frames = some_frames();
+        let opts = ParallelOptions {
+            deadline: Deadline::after(std::time::Duration::ZERO),
+            ..ParallelOptions::default()
+        };
+        let (r1, s1) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
+        let (r2, s2) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
+        assert!(s1.timed_out);
+        assert_eq!(r1, r2);
+        assert_eq!(s1.fault_evals, s2.fault_evals);
+        // Only the first poll stride was graded.
+        let full = comb_fault_sim(&nl, &faults, &frames);
+        assert!(r1.detected.len() <= full.detected.len());
     }
 
     #[test]
@@ -847,7 +903,7 @@ mod tests {
             let opts = ParallelOptions {
                 threads,
                 drop_detected: true,
-                min_faults_per_thread: 0,
+                ..ParallelOptions::with_threads_ungated(1)
             };
             let (r, _) = seq_fault_sim_opts(&nl, &faults, &vectors, &opts);
             assert_eq!(r, baseline, "threads={threads}");

@@ -51,6 +51,7 @@
 pub mod atpg;
 pub mod boundary;
 pub mod cop;
+pub mod deadline;
 pub mod fault;
 pub mod ffgraph;
 pub mod fsim;
@@ -63,6 +64,7 @@ pub mod sim;
 pub mod stats;
 pub mod verilog;
 
+pub use deadline::Deadline;
 pub use fault::Fault;
 pub use fsim::ParallelOptions;
 pub use net::{GateId, GateKind, NetId, Netlist, NetlistBuilder, NetlistError};

@@ -29,6 +29,10 @@ pub struct RandomRun {
     pub curve: Vec<CoveragePoint>,
     /// Final summary.
     pub summary: FaultSimSummary,
+    /// Whether the run stopped early because the engine's
+    /// [`crate::deadline::Deadline`] expired: the curve is then a
+    /// truncated prefix of the requested budget, not a saturated run.
+    pub timed_out: bool,
 }
 
 impl RandomRun {
@@ -70,7 +74,15 @@ pub fn random_pattern_run_opts<R: Rng>(
     let mut curve = Vec::with_capacity(batches);
     let mut remaining: Vec<Fault> = faults.to_vec();
     let mut stats = GradeStats::default();
+    let mut timed_out = false;
     for bi in 0..batches {
+        // Cooperative cutoff between batches. The first batch always
+        // runs, so an expired-from-the-start deadline still yields one
+        // deterministic curve point (partial coverage, flagged below).
+        if bi > 0 && opts.deadline.expired() {
+            timed_out = true;
+            break;
+        }
         let frame = TestFrame {
             pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
             ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
@@ -104,6 +116,9 @@ pub fn random_pattern_run_opts<R: Rng>(
             detected,
             total: faults.len(),
         },
+        // An in-batch truncation (the fsim shards poll the same
+        // deadline) also makes the curve partial.
+        timed_out: timed_out || stats.timed_out,
     };
     (run, stats)
 }
@@ -142,7 +157,12 @@ pub fn pattern_source_run_opts(
     let mut remaining: Vec<Fault> = faults.to_vec();
     let mut applied = 0usize;
     let mut stats = GradeStats::default();
+    let mut timed_out = false;
     while applied < max_patterns && !remaining.is_empty() {
+        if applied > 0 && opts.deadline.expired() {
+            timed_out = true;
+            break;
+        }
         // Pack up to 64 patterns into one frame.
         let count = 64.min(max_patterns - applied);
         let mut pi = vec![0u64; nl.inputs().len()];
@@ -182,6 +202,7 @@ pub fn pattern_source_run_opts(
             detected,
             total: faults.len(),
         },
+        timed_out: timed_out || stats.timed_out,
     };
     (run, stats)
 }
@@ -266,6 +287,46 @@ mod tests {
         // Requests below one batch still grade (and label) a full word.
         let tiny = random_pattern_run(&nl, &faults, 0, &mut StdRng::seed_from_u64(3));
         assert_eq!(tiny.curve.first().unwrap().patterns, 64);
+    }
+
+    /// A 16-input AND chain: the output stuck-at-0 fault needs the
+    /// all-ones pattern, so 64 random patterns essentially never
+    /// saturate the universe and the batch loop keeps running.
+    fn and_chain() -> Netlist {
+        let mut b = NetlistBuilder::new("ac");
+        let ins: Vec<_> = (0..16).map(|i| b.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = b.and2(acc, x);
+        }
+        b.output("o", acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn expired_deadline_truncates_the_curve_deterministically() {
+        use crate::deadline::Deadline;
+        use std::time::Duration;
+        let nl = and_chain();
+        let faults = all_faults(&nl);
+        let opts = ParallelOptions {
+            deadline: Deadline::after(Duration::ZERO),
+            ..ParallelOptions::default()
+        };
+        let (a, _) =
+            random_pattern_run_opts(&nl, &faults, 512, &mut StdRng::seed_from_u64(7), &opts);
+        let (b, _) =
+            random_pattern_run_opts(&nl, &faults, 512, &mut StdRng::seed_from_u64(7), &opts);
+        // Exactly one batch runs before the (pre-expired) cutoff fires,
+        // so the partial result is reproducible.
+        assert!(a.timed_out);
+        assert_eq!(a.curve.len(), 1);
+        assert_eq!(a.curve, b.curve);
+        assert_eq!(a.summary, b.summary);
+        // Without a deadline the same seed grades the full budget.
+        let full = random_pattern_run(&nl, &faults, 512, &mut StdRng::seed_from_u64(7));
+        assert!(!full.timed_out);
+        assert_eq!(full.curve[0], a.curve[0]);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct GradeStats {
     pub wall_good: Duration,
     /// Wall time of the faulty-machine phase (sharded grading).
     pub wall_fault: Duration,
+    /// Whether any shard stopped early because its
+    /// [`crate::deadline::Deadline`] expired — the counters above then
+    /// describe a truncated (but internally consistent) run.
+    pub timed_out: bool,
 }
 
 impl GradeStats {
@@ -66,6 +70,7 @@ impl GradeStats {
         self.screened += other.screened;
         self.dropped += other.dropped;
         self.unobservable += other.unobservable;
+        self.timed_out |= other.timed_out;
     }
 
     /// Renders the stats as one JSON object (no trailing newline).
@@ -85,7 +90,8 @@ impl GradeStats {
             .raw(
                 "wall_fault_ms",
                 &format!("{:.3}", self.wall_fault.as_secs_f64() * 1e3),
-            );
+            )
+            .boolean("timed_out", self.timed_out);
         o.finish()
     }
 
@@ -143,6 +149,7 @@ mod tests {
             threads: 2,
             wall_good: Duration::from_millis(1),
             wall_fault: Duration::from_millis(2),
+            timed_out: false,
         };
         let b = GradeStats {
             faults: 10,
@@ -154,6 +161,7 @@ mod tests {
             threads: 1,
             wall_good: Duration::from_millis(3),
             wall_fault: Duration::from_millis(4),
+            timed_out: true,
         };
         a.absorb(&b);
         assert_eq!(a.faults, 10);
@@ -163,6 +171,8 @@ mod tests {
         assert_eq!(a.dropped, 4);
         assert_eq!(a.threads, 2);
         assert_eq!(a.wall(), Duration::from_millis(10));
+        // A truncated sub-run marks the aggregate as truncated.
+        assert!(a.timed_out);
     }
 
     #[test]
@@ -178,6 +188,7 @@ mod tests {
             "threads",
             "wall_good_ms",
             "wall_fault_ms",
+            "timed_out",
         ] {
             assert!(s.contains(&format!("\"{key}\"")), "{key} missing: {s}");
         }

@@ -37,14 +37,14 @@ proptest! {
         let nl = random_combinational(inputs, gates, outputs, &mut rng);
         let faults = collapsed_faults(&nl);
         let frames = frames_for(&nl, nframes, &mut rng);
-        let serial = ParallelOptions { threads: 1, drop_detected: false, min_faults_per_thread: 0 };
+        let serial = ParallelOptions { threads: 1, drop_detected: false, ..ParallelOptions::with_threads_ungated(1) };
         let (base, _) = comb_fault_sim_opts(&nl, &faults, &frames, &serial);
         for threads in [1usize, 2, 4] {
             for drop_detected in [false, true] {
                 // `min_faults_per_thread: 0` disables the small-universe
                 // gate so the sharded path is actually exercised on these
                 // tiny random netlists.
-                let opts = ParallelOptions { threads, drop_detected, min_faults_per_thread: 0 };
+                let opts = ParallelOptions { threads, drop_detected, ..ParallelOptions::with_threads_ungated(1) };
                 let (got, stats) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
                 prop_assert_eq!(&got.detected, &base.detected, "t={} d={}", threads, drop_detected);
                 prop_assert_eq!(got.coverage_percent(), base.coverage_percent());
@@ -68,7 +68,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let nl = random_combinational(inputs, gates, outputs, &mut rng);
         let faults = collapsed_faults(&nl);
-        let serial = ParallelOptions { threads: 1, drop_detected: false, min_faults_per_thread: 0 };
+        let serial = ParallelOptions { threads: 1, drop_detected: false, ..ParallelOptions::with_threads_ungated(1) };
         let mut r1 = StdRng::seed_from_u64(seed ^ 0xABCD);
         let (base, _) = random_pattern_run_opts(&nl, &faults, max_patterns, &mut r1, &serial);
         for threads in [2usize, 4] {
@@ -104,11 +104,11 @@ proptest! {
         let vectors: Vec<Vec<u64>> = (0..cycles)
             .map(|_| (0..nl.inputs().len()).map(|_| rng.gen()).collect())
             .collect();
-        let serial = ParallelOptions { threads: 1, drop_detected: false, min_faults_per_thread: 0 };
+        let serial = ParallelOptions { threads: 1, drop_detected: false, ..ParallelOptions::with_threads_ungated(1) };
         let (base, _) = seq_fault_sim_opts(&nl, &faults, &vectors, &serial);
         for threads in [1usize, 2, 4] {
             for drop_detected in [false, true] {
-                let opts = ParallelOptions { threads, drop_detected, min_faults_per_thread: 0 };
+                let opts = ParallelOptions { threads, drop_detected, ..ParallelOptions::with_threads_ungated(1) };
                 let (got, _) = seq_fault_sim_opts(&nl, &faults, &vectors, &opts);
                 prop_assert_eq!(&got.detected, &base.detected, "t={} d={}", threads, drop_detected);
             }

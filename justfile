@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -40,6 +40,39 @@ sweep-smoke: build
     grep "cache hits:" sweep_summary.txt
     ! grep -q "cache hits: 0," sweep_summary.txt
     rm -f sweep_serial.json sweep_parallel.json sweep_summary.txt
+
+# Robustness smoke: inject failures into 2 of 6 points (the other 4
+# must complete with typed error records, byte-identically across
+# serial/parallel), then kill a checkpointed sweep after 3 points and
+# resume it — the resumed report must match the uninterrupted one.
+sweep-fault-smoke: build
+    HLSTB_FAIL_POINT="panic:1;stall:3" ./target/release/hlstb sweep \
+        --designs figure1,tseng --strategies none,full-scan,bist-shared \
+        --grade 64 --threads 1 --no-cache --json \
+        >fault_serial.json 2>fault_summary.txt
+    HLSTB_FAIL_POINT="panic:1;stall:3" ./target/release/hlstb sweep \
+        --designs figure1,tseng --strategies none,full-scan,bist-shared \
+        --grade 64 --threads 4 --cache --json >fault_parallel.json
+    cmp fault_serial.json fault_parallel.json
+    grep "sweep: 6 points (2 errors)" fault_summary.txt
+    grep -q '"kind": "panic"' fault_serial.json
+    grep -q '"kind": "timeout"' fault_serial.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --json >resume_baseline.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --checkpoint resume_ckpt.jsonl --json >/dev/null
+    head -3 resume_ckpt.jsonl >resume_ckpt_cut.jsonl
+    mv resume_ckpt_cut.jsonl resume_ckpt.jsonl
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --checkpoint resume_ckpt.jsonl --resume --json \
+        >resume_resumed.json 2>resume_summary.txt
+    cmp resume_baseline.json resume_resumed.json
+    grep "3 restored" resume_summary.txt
+    rm -f fault_serial.json fault_parallel.json fault_summary.txt \
+        resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
 
 # Regenerate every experiment table (EXPERIMENTS.md source of truth).
 exp-all:

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use hlstb::cdfg::{benchmarks, Cdfg};
 use hlstb::flow::SynthesisFlow;
 use hlstb_dse::spec::{parse_policy, parse_scheduler, parse_strategy};
-use hlstb_dse::{run_sweep, SweepOptions, SweepSpec};
+use hlstb_dse::{run_sweep_with, FailPlan, Recovery, SweepOptions, SweepSpec};
 
 fn designs() -> Vec<Cdfg> {
     benchmarks::all()
@@ -77,9 +77,19 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
   --threads    worker threads (1)
   --cache | --no-cache    memoize stage artifacts across points (on)
   --reset-controller      expand controllers with a synchronous reset
+  --point-budget-ms <N>   wall-clock budget per point; overruns report
+                          partial coverage flagged timed_out
+  --retries <N>           retries for transient (panic/timeout) point
+                          failures, each with a halved budget (1)
+  --checkpoint <file>     stream completed points to a JSONL checkpoint
+  --resume     skip points already in the checkpoint (needs --checkpoint);
+               the resumed report is byte-identical to an uninterrupted run
   --json       print the canonical (run-invariant) report as JSON
   --full-json  print the full report (adds timing, threads, cache stats)
-  plus --trace / --trace-metrics / --trace-summary as above";
+  plus --trace / --trace-metrics / --trace-summary as above
+environment:
+  HLSTB_FAIL_POINT   inject deterministic point failures, e.g.
+                     \"panic:1,4;stall:2;flaky:3\" (testing/CI)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -251,6 +261,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => {
             let mut spec = SweepSpec::all_benchmarks();
             let mut opts = SweepOptions::default();
+            let mut recovery = Recovery {
+                fail_plan: FailPlan::from_env()?,
+                ..Recovery::default()
+            };
             let mut json = false;
             let mut full_json = false;
             let mut trace = TraceArgs::default();
@@ -280,6 +294,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     "--reset-controller" => {
                         spec.reset_controller = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--resume" => {
+                        recovery.resume = true;
                         i += 1;
                         continue;
                     }
@@ -318,15 +337,38 @@ fn run(args: &[String]) -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("bad thread count {value}"))?;
                     }
+                    "--point-budget-ms" => {
+                        let ms: u64 = value
+                            .parse()
+                            .map_err(|_| format!("bad point budget {value}"))?;
+                        opts.point_budget = Some(std::time::Duration::from_millis(ms));
+                    }
+                    "--retries" => {
+                        opts.retries = value
+                            .parse()
+                            .map_err(|_| format!("bad retry count {value}"))?;
+                    }
+                    "--checkpoint" => {
+                        recovery.checkpoint = Some(std::path::PathBuf::from(value));
+                    }
                     "--trace" => trace.trace_path = Some(value.clone()),
                     "--trace-metrics" => trace.metrics_path = Some(value.clone()),
                     other => return Err(format!("unknown option {other}\n{USAGE}")),
                 }
                 i += 2;
             }
+            if recovery.resume && recovery.checkpoint.is_none() {
+                return Err("--resume needs --checkpoint <file>".to_string());
+            }
             trace.start();
-            let outcome = run_sweep(&spec, &opts);
+            let outcome = run_sweep_with(&spec, &opts, &recovery).map_err(|e| e.to_string())?;
             trace.finish()?;
+            if outcome.checkpoint_write_errors > 0 {
+                eprintln!(
+                    "warning: {} checkpoint writes failed; the checkpoint is incomplete",
+                    outcome.checkpoint_write_errors
+                );
+            }
             if json {
                 println!("{}", outcome.report.canonical_json());
             } else if full_json {

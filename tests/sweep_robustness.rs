@@ -1,0 +1,138 @@
+//! End-to-end robustness tests of `hlstb sweep`: fail-point injection
+//! via `HLSTB_FAIL_POINT`, per-point budgets, and checkpoint/resume.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SWEEP: &[&str] = &[
+    "sweep",
+    "--designs",
+    "figure1,tseng",
+    "--strategies",
+    "none,full-scan,bist-shared",
+    "--grade",
+    "64",
+];
+
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hlstb"));
+    cmd.args(args).env_remove("HLSTB_FAIL_POINT");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hlstb_cli_{}_{name}.jsonl", std::process::id()))
+}
+
+#[test]
+fn injected_failures_are_typed_isolated_and_deterministic() {
+    let inject = [("HLSTB_FAIL_POINT", "panic:1;stall:3")];
+    let (table, stderr, ok) = run_env(SWEEP, &inject);
+    assert!(ok, "{stderr}");
+    // 6 points, 2 injected hard failures, 4 completions.
+    assert!(stderr.contains("sweep: 6 points (2 errors)"), "{stderr}");
+    assert!(table.contains("panic:"), "{table}");
+    assert!(table.contains("timeout:"), "{table}");
+    // The canonical JSON carries the typed records and stays
+    // byte-identical across thread counts and cache settings.
+    let mut serial = SWEEP.to_vec();
+    serial.extend(["--json", "--threads", "1", "--no-cache"]);
+    let mut parallel = SWEEP.to_vec();
+    parallel.extend(["--json", "--threads", "4", "--cache"]);
+    let (json_a, _, ok_a) = run_env(&serial, &inject);
+    let (json_b, _, ok_b) = run_env(&parallel, &inject);
+    assert!(ok_a && ok_b);
+    assert_eq!(json_a, json_b, "injected failures broke determinism");
+    assert!(json_a.contains("\"kind\": \"panic\""), "{json_a}");
+    assert!(json_a.contains("\"kind\": \"timeout\""), "{json_a}");
+}
+
+#[test]
+fn flaky_points_recover_via_retry() {
+    let (_, stderr, ok) = run_env(SWEEP, &[("HLSTB_FAIL_POINT", "flaky:2")]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("sweep: 6 points (0 errors)"), "{stderr}");
+    assert!(stderr.contains("1 retries"), "{stderr}");
+}
+
+#[test]
+fn bad_fail_point_spec_is_rejected() {
+    let (_, stderr, ok) = run_env(SWEEP, &[("HLSTB_FAIL_POINT", "explode:1")]);
+    assert!(!ok);
+    assert!(stderr.contains("bad fail-point mode"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_report_byte_for_byte() {
+    let path = temp("resume");
+    std::fs::remove_file(&path).ok();
+    let path_s = path.to_str().unwrap();
+
+    let mut baseline_args = SWEEP.to_vec();
+    baseline_args.push("--json");
+    let (baseline, _, ok) = run_env(&baseline_args, &[]);
+    assert!(ok);
+
+    let mut ckpt_args = baseline_args.clone();
+    ckpt_args.extend(["--checkpoint", path_s]);
+    let (full, _, ok) = run_env(&ckpt_args, &[]);
+    assert!(ok);
+    assert_eq!(full, baseline, "checkpointing must not perturb the report");
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap().lines().count(),
+        6,
+        "one checkpoint line per point"
+    );
+
+    // "Kill" the sweep after 3 points: truncate the checkpoint, resume.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let kept: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, kept).unwrap();
+    let mut resume_args = ckpt_args.clone();
+    resume_args.push("--resume");
+    let (resumed, stderr, ok) = run_env(&resume_args, &[]);
+    assert!(ok, "{stderr}");
+    assert_eq!(resumed, baseline, "resumed report must be byte-identical");
+    assert!(stderr.contains("3 restored"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_without_checkpoint_is_an_error() {
+    let (_, stderr, ok) = run_env(&["sweep", "--resume"], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("--resume needs --checkpoint"), "{stderr}");
+}
+
+#[test]
+fn point_budget_flag_reports_timeouts_without_hanging() {
+    // A zero budget deterministically truncates a multi-batch grading
+    // run after its first 64-pattern batch (the first batch always
+    // runs, so the partial result is reproducible), leaving every
+    // graded point with partial coverage flagged timed_out.
+    let args = [
+        "sweep",
+        "--designs",
+        "figure1,tseng",
+        "--strategies",
+        "full-scan",
+        "--grade",
+        "256",
+        "--point-budget-ms",
+        "0",
+    ];
+    let (table, stderr, ok) = run_env(&args, &[]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("sweep: 2 points (0 errors)"), "{stderr}");
+    assert!(stderr.contains("2 timeouts"), "{stderr}");
+    // Timed-out coverage is starred in the table.
+    assert!(table.contains('*'), "{table}");
+}
