@@ -70,3 +70,15 @@ mv resume_ckpt_cut.jsonl resume_ckpt.jsonl
 cmp resume_baseline.json resume_resumed.json
 grep "3 restored" resume_summary.txt
 rm -f resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
+
+# SoA differential smoke: the reference engine and the SoA engine must
+# produce identical detected fault sets at every word width (64/256/512)
+# on two designs; `soa-check` exits nonzero on any difference.
+./target/release/hlstb soa-check figure1 tseng
+
+# SoA perf guard: the committed BENCH_fsim.json headline (whole-sweep
+# fault-phase wall clock, soa-512 vs drop) must stay at or above the
+# 4.0x floor committed with the engine. The guard reads the checked-in
+# JSON instead of re-timing, so it cannot flake on loaded CI machines;
+# refresh the artifact with `just bench-fsim` when the engine changes.
+awk -F': ' '/"speedup_soa512_vs_drop"/ { found = 1; if ($2 + 0 < 4.0) { print "BENCH_fsim.json: soa-512 vs drop headline " $2 " is below the 4.0x floor"; exit 1 } } END { if (!found) { print "BENCH_fsim.json: missing speedup_soa512_vs_drop"; exit 1 } }' BENCH_fsim.json

@@ -45,9 +45,11 @@ fn bench_fault_sim(c: &mut Criterion) {
     let faults = all_faults(&nl);
     let mut rng = StdRng::seed_from_u64(2);
     let frames: Vec<TestFrame> = (0..4)
-        .map(|_| TestFrame {
-            pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
-            ff: Vec::new(),
+        .map(|_| {
+            TestFrame::new(
+                (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+                Vec::new(),
+            )
         })
         .collect();
     group.bench_function("adder16_256patterns", |b| {

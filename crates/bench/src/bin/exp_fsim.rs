@@ -11,10 +11,18 @@ fn main() {
     let sweep = hlstb_bench::fsim_bench::sweep(patterns);
     print!("{}", sweep.table());
     println!(
-        "whole-sweep fault-phase speedup vs naive: drop {:.2}x, drop-2t {:.2}x, drop-4t {:.2}x",
+        "whole-sweep fault-phase speedup vs naive: drop {:.2}x, drop-2t {:.2}x, drop-4t {:.2}x, \
+         soa {:.2}x, soa-256 {:.2}x, soa-512 {:.2}x",
         sweep.speedup("drop"),
         sweep.speedup("drop-2t"),
-        sweep.speedup("drop-4t")
+        sweep.speedup("drop-4t"),
+        sweep.speedup("soa"),
+        sweep.speedup("soa-256"),
+        sweep.speedup("soa-512")
+    );
+    println!(
+        "soa-512 vs drop (the committed headline): {:.2}x",
+        sweep.speedup_over("drop", "soa-512")
     );
     let path = "BENCH_fsim.json";
     std::fs::write(path, sweep.to_json()).expect("write BENCH_fsim.json");

@@ -18,6 +18,7 @@ use hlstb::flow::{DftStrategy, SynthesisFlow};
 use hlstb::netlist::fault::collapsed_faults;
 use hlstb::netlist::fsim::{comb_fault_sim_opts, ParallelOptions, TestFrame};
 use hlstb::netlist::stats::GradeStats;
+use hlstb::netlist::word::WordWidth;
 use hlstb_cdfg::Cdfg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,13 @@ pub fn configs() -> Vec<(&'static str, ParallelOptions)> {
         // small universes used to *lose* to serial dropping.
         ("drop-2t", ParallelOptions::with_threads(2)),
         ("drop-4t", ParallelOptions::with_threads(4)),
+        // The levelized structure-of-arrays engine at each pattern-word
+        // width (64, 256, 512 patterns per frame chunk). Same universe,
+        // same frames, same detected set — the sweep's assertion below
+        // is the committed differential check between engines.
+        ("soa", ParallelOptions::soa(WordWidth::W64)),
+        ("soa-256", ParallelOptions::soa(WordWidth::W256)),
+        ("soa-512", ParallelOptions::soa(WordWidth::W512)),
     ]
 }
 
@@ -96,9 +104,11 @@ pub fn sweep_designs(designs: &[Cdfg], patterns: usize) -> FsimSweep {
         // engine, not the pattern source.
         let mut rng = StdRng::seed_from_u64(0xFA57_1996 + di as u64);
         let frames: Vec<TestFrame> = (0..patterns.div_ceil(64).max(1))
-            .map(|_| TestFrame {
-                pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
-                ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+            .map(|_| {
+                TestFrame::new(
+                    (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+                    (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+                )
             })
             .collect();
         let mut baseline = None;
@@ -139,7 +149,14 @@ impl FsimSweep {
 
     /// Whole-sweep speedup of `config` over the naive baseline.
     pub fn speedup(&self, config: &str) -> f64 {
-        let base = self.total_wall("naive").as_secs_f64();
+        self.speedup_over("naive", config)
+    }
+
+    /// Whole-sweep fault-phase speedup of `config` over `base` — the
+    /// `soa-512` headline is quoted against `drop`, the strongest
+    /// serial configuration of the reference engine.
+    pub fn speedup_over(&self, base: &str, config: &str) -> f64 {
+        let base = self.total_wall(base).as_secs_f64();
         let ours = self.total_wall(config).as_secs_f64();
         if ours > 0.0 {
             base / ours
@@ -152,15 +169,17 @@ impl FsimSweep {
     /// each configuration and the dropped/evaluated work split.
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            "E21  Grading engine: fault dropping + sharded workers vs naive grading",
+            "E21  Grading engine: dropping, sharding, and the SoA event engine vs naive grading",
             &[
                 "design",
                 "faults",
                 "cov %",
                 "naive ms",
                 "drop ms",
-                "drop-2t ms",
                 "drop-4t ms",
+                "soa ms",
+                "soa-256 ms",
+                "soa-512 ms",
                 "evals saved %",
             ],
         );
@@ -191,8 +210,10 @@ impl FsimSweep {
                 format!("{:.1}", naive.coverage_percent),
                 ms(naive),
                 ms(drop),
-                ms(of("drop-2t")),
                 ms(of("drop-4t")),
+                ms(of("soa")),
+                ms(of("soa-256")),
+                ms(of("soa-512")),
                 format!("{saved:.1}"),
             ]);
         }
@@ -216,6 +237,14 @@ impl FsimSweep {
         out.push_str(&format!(
             "  \"speedup_drop_4t_vs_naive\": {:.3},\n",
             self.speedup("drop-4t")
+        ));
+        out.push_str(&format!(
+            "  \"speedup_soa_vs_naive\": {:.3},\n",
+            self.speedup("soa")
+        ));
+        out.push_str(&format!(
+            "  \"speedup_soa512_vs_drop\": {:.3},\n",
+            self.speedup_over("drop", "soa-512")
         ));
         out.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {

@@ -77,10 +77,9 @@ impl TestCube {
                 _ => 0,
             }
         };
-        TestFrame {
-            pi: nl.inputs().iter().map(|&n| word(n)).collect(),
-            ff: nl
-                .dffs()
+        TestFrame::new(
+            nl.inputs().iter().map(|&n| word(n)).collect(),
+            nl.dffs()
                 .iter()
                 .map(|&f| {
                     if matches!(nl.gate(f).kind, GateKind::Dff { scan: true }) {
@@ -90,7 +89,7 @@ impl TestCube {
                     }
                 })
                 .collect(),
-        }
+        )
     }
 }
 

@@ -55,6 +55,7 @@ use crate::fault::Fault;
 use crate::net::{GateId, GateKind, NetId, Netlist};
 use crate::sim::{eval_comb, next_state, ForcedNet};
 use crate::stats::GradeStats;
+use crate::word::WordWidth;
 
 /// One combinational test frame: a word (64 parallel patterns) per
 /// primary input, and per flip-flop when the circuit is graded in
@@ -66,6 +67,42 @@ pub struct TestFrame {
     /// One word per flip-flop (scan-loaded state); empty for pure
     /// combinational circuits or non-scan grading.
     pub ff: Vec<u64>,
+    /// Which of the 64 lanes carry real patterns. A frame holding only
+    /// `k < 64` patterns must clear the unused high lanes
+    /// (`mask = (1 << k) - 1`) or padding lanes would contribute
+    /// phantom detections. [`TestFrame::new`] sets all lanes live.
+    pub mask: u64,
+}
+
+impl TestFrame {
+    /// A frame with all 64 lanes live — the historical behavior.
+    pub fn new(pi: Vec<u64>, ff: Vec<u64>) -> TestFrame {
+        TestFrame {
+            pi,
+            ff,
+            mask: u64::MAX,
+        }
+    }
+
+    /// A frame carrying only the `count` low lanes (`count` is clamped
+    /// to 64); the rest are padding and can never detect a fault.
+    pub fn with_lanes(pi: Vec<u64>, ff: Vec<u64>, count: usize) -> TestFrame {
+        TestFrame {
+            pi,
+            ff,
+            mask: lane_mask(count),
+        }
+    }
+}
+
+/// The mask selecting the `count` low lanes of a word (`count >= 64`
+/// selects all of them).
+pub fn lane_mask(count: usize) -> u64 {
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
 }
 
 /// Summary of a grading run.
@@ -88,8 +125,24 @@ impl FaultSimSummary {
     }
 }
 
+/// Which combinational grading engine runs the faulty-machine phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimEngine {
+    /// The retained reference engine: per-fault structural cone cache
+    /// over the per-gate netlist view, one 64-pattern word per frame.
+    /// Default, and the correctness anchor the SoA engine is
+    /// differential-tested against.
+    #[default]
+    Reference,
+    /// The levelized structure-of-arrays engine ([`crate::soa`]):
+    /// event-driven propagation over flat index arrays, with frames
+    /// packed [`ParallelOptions::word_width`] lanes per pattern word.
+    Soa,
+}
+
 /// Options for the grading engine. The default — one thread, fault
-/// dropping on — reproduces the historical serial behavior and results.
+/// dropping on, the reference engine at 64-pattern words — reproduces
+/// the historical serial behavior and results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelOptions {
     /// Worker threads for the faulty-machine phase; `1` grades in place
@@ -106,15 +159,40 @@ pub struct ParallelOptions {
     /// universe on the serial path, where it is measurably faster.
     pub min_faults_per_thread: usize,
     /// Cooperative wall-clock cutoff. Shard loops poll it every
-    /// [`DEADLINE_POLL_STRIDE`] faults and stop early with
+    /// [`deadline_poll_stride`] faults and stop early with
     /// [`GradeStats::timed_out`] set; the default never expires.
     pub deadline: Deadline,
+    /// Which faulty-machine engine grades combinational frames.
+    pub engine: SimEngine,
+    /// Pattern-word width of the SoA engine: how many frames are packed
+    /// into one [`crate::word::PatternWord`]. Ignored by the reference
+    /// engine, whose frames are inherently one 64-bit word wide.
+    pub word_width: WordWidth,
 }
 
-/// How many faults a shard grades between deadline polls: often enough
-/// that an expired budget stops work promptly, rarely enough that the
-/// `Instant::now` syscall is invisible in the profile.
+/// How many faults a shard grades between deadline polls at the
+/// historical one-lane width: often enough that an expired budget stops
+/// work promptly, rarely enough that the `Instant::now` syscall is
+/// invisible in the profile. Wider words poll at the scaled
+/// [`deadline_poll_stride`] instead.
 pub const DEADLINE_POLL_STRIDE: usize = 64;
+
+/// Faults between deadline polls for an engine whose pattern words
+/// carry `lanes` 64-bit lanes.
+///
+/// [`DEADLINE_POLL_STRIDE`] was calibrated as a *fault-eval* budget at
+/// the historical one-lane width: 64 faults, each paying one frame-eval
+/// per 64-pattern word between polls. An `L`-lane word does `L` lanes'
+/// worth of evaluation per fault chunk, so the fault stride shrinks by
+/// `L` to keep the work between polls — and therefore the worst-case
+/// overshoot past an expired deadline — roughly constant across widths.
+/// The stride never drops below one fault, and shard loops still skip
+/// the poll before the first stride, so a zero-budget run always grades
+/// exactly one stride's worth of faults: deterministic at every width,
+/// with [`GradeStats::timed_out`] set the same way.
+pub fn deadline_poll_stride(lanes: usize) -> usize {
+    (DEADLINE_POLL_STRIDE / lanes.max(1)).max(1)
+}
 
 /// Default for [`ParallelOptions::min_faults_per_thread`]: below ~4k
 /// faults per worker, thread-spawn cost and per-worker cone-cache
@@ -128,6 +206,8 @@ impl Default for ParallelOptions {
             drop_detected: true,
             min_faults_per_thread: DEFAULT_MIN_FAULTS_PER_THREAD,
             deadline: Deadline::none(),
+            engine: SimEngine::Reference,
+            word_width: WordWidth::W64,
         }
     }
 }
@@ -136,6 +216,15 @@ impl ParallelOptions {
     /// The serial engine (the default).
     pub fn serial() -> Self {
         ParallelOptions::default()
+    }
+
+    /// The serial SoA engine at the given pattern-word width.
+    pub fn soa(width: WordWidth) -> Self {
+        ParallelOptions {
+            engine: SimEngine::Soa,
+            word_width: width,
+            ..ParallelOptions::default()
+        }
     }
 
     /// An `n`-thread engine with fault dropping and the default
@@ -234,11 +323,15 @@ pub fn comb_fault_sim_observed_opts(
     observed: &[NetId],
     opts: &ParallelOptions,
 ) -> (FaultSimSummary, GradeStats) {
+    if opts.engine == SimEngine::Soa {
+        return crate::soa::grade_observed_opts(nl, faults, frames, observed, opts);
+    }
     // Good-machine phase: one reference evaluation per frame, plus the
     // engine's structural tables (fanout, topo positions, observation
     // marks). All of it is shared read-only by the workers.
     let good_span = hlstb_trace::span("fsim.good");
     let good_start = Instant::now();
+    let masks: Vec<u64> = frames.iter().map(|f| f.mask).collect();
     let goods: Vec<Vec<u64>> = frames
         .iter()
         .map(|frame| {
@@ -260,7 +353,7 @@ pub fn comb_fault_sim_observed_opts(
     let drop_detected = opts.drop_detected;
     let deadline = opts.deadline;
     let (detected, mut stats) = if threads == 1 {
-        grade_comb_shard(nl, &engine, &goods, faults, drop_detected, deadline)
+        grade_comb_shard(nl, &engine, &goods, &masks, faults, drop_detected, deadline)
     } else {
         let chunk = faults.len().div_ceil(threads);
         let mut merged = BTreeSet::new();
@@ -268,11 +361,12 @@ pub fn comb_fault_sim_observed_opts(
         std::thread::scope(|scope| {
             let engine = &engine;
             let goods = &goods;
+            let masks = &masks;
             let handles: Vec<_> = faults
                 .chunks(chunk)
                 .map(|shard| {
                     scope.spawn(move || {
-                        grade_comb_shard(nl, engine, goods, shard, drop_detected, deadline)
+                        grade_comb_shard(nl, engine, goods, masks, shard, drop_detected, deadline)
                     })
                 })
                 .collect();
@@ -302,10 +396,12 @@ pub fn comb_fault_sim_observed_opts(
 }
 
 /// Grades one contiguous fault shard against the shared good trace.
+#[allow(clippy::too_many_arguments)]
 fn grade_comb_shard(
     nl: &Netlist,
     engine: &ConeEngine,
     goods: &[Vec<u64>],
+    masks: &[u64],
     shard: &[Fault],
     drop_detected: bool,
     deadline: Deadline,
@@ -340,19 +436,15 @@ fn grade_comb_shard(
                 break;
             }
             // Activation screen: if the good value already equals the
-            // stuck value on every pattern, the fault is not excited.
+            // stuck value on every live pattern lane, the fault is not
+            // excited in this frame.
             let gv = good[fault.net.index()];
-            let excited = if fault.stuck_at_one {
-                gv != u64::MAX
-            } else {
-                gv != 0
-            };
-            if !excited {
+            if (gv ^ stuck) & masks[fi] == 0 {
                 stats.screened += 1;
                 continue;
             }
             stats.fault_evals += 1;
-            if engine.cone_differs(nl, cone, good, stuck, &mut scratch) {
+            if engine.cone_differs(nl, cone, good, stuck, masks[fi], &mut scratch) {
                 hit = true;
             }
         }
@@ -483,6 +575,7 @@ impl ConeEngine {
         cone: &Cone,
         good: &[u64],
         stuck: u64,
+        mask: u64,
         scratch: &mut Scratch,
     ) -> bool {
         scratch.epoch += 1;
@@ -538,9 +631,11 @@ impl ConeEngine {
             scratch.stamp[i] = epoch;
             scratch.val[i] = v;
         }
+        // Only live pattern lanes may witness a detection: padding
+        // lanes in a partially filled frame are masked out.
         cone.obs
             .iter()
-            .any(|&o| rd(scratch, good, epoch, o as usize) != good[o as usize])
+            .any(|&o| (rd(scratch, good, epoch, o as usize) ^ good[o as usize]) & mask != 0)
     }
 }
 
@@ -597,6 +692,24 @@ pub fn seq_fault_sim_observed_opts(
     observed: &[NetId],
     opts: &ParallelOptions,
 ) -> (FaultSimSummary, GradeStats) {
+    seq_fault_sim_observed_masked_opts(nl, faults, vectors, initial, observed, u64::MAX, opts)
+}
+
+/// [`seq_fault_sim_observed_opts`] with an explicit lane mask: only the
+/// lanes set in `lane_mask` carry real sequences. A caller packing
+/// `k < 64` parallel sequences into the vector words must pass
+/// [`lane_mask`]`(k)` so the zero-filled padding lanes cannot produce
+/// phantom detections.
+#[allow(clippy::too_many_arguments)]
+pub fn seq_fault_sim_observed_masked_opts(
+    nl: &Netlist,
+    faults: &[Fault],
+    vectors: &[Vec<u64>],
+    initial: &[u64],
+    observed: &[NetId],
+    lane_mask: u64,
+    opts: &ParallelOptions,
+) -> (FaultSimSummary, GradeStats) {
     let good_span = hlstb_trace::span("fsim.good");
     let good_start = Instant::now();
     let obs: Vec<usize> = observed.iter().map(|n| n.index()).collect();
@@ -637,7 +750,7 @@ pub fn seq_fault_sim_observed_opts(
                     let differs = obs
                         .iter()
                         .zip(&good_trace[t])
-                        .any(|(&i, &g)| values[i] != g);
+                        .any(|(&i, &g)| (values[i] ^ g) & lane_mask != 0);
                     if differs {
                         hit = true;
                     }
@@ -727,7 +840,7 @@ mod tests {
                 }
             }
         }
-        let r = comb_fault_sim(&nl, &faults, &[TestFrame { pi, ff: Vec::new() }]);
+        let r = comb_fault_sim(&nl, &faults, &[TestFrame::new(pi, Vec::new())]);
         assert_eq!(r.detected.len(), r.total);
         assert_eq!(r.coverage_percent(), 100.0);
     }
@@ -752,7 +865,7 @@ mod tests {
         let nl = b.finish().unwrap();
         let faults = vec![Fault::sa0(x), Fault::sa1(x)];
         let pi = vec![0b01u64];
-        let r = comb_fault_sim(&nl, &faults, &[TestFrame { pi, ff: Vec::new() }]);
+        let r = comb_fault_sim(&nl, &faults, &[TestFrame::new(pi, Vec::new())]);
         assert!(r.detected.is_empty());
     }
 
@@ -781,14 +894,8 @@ mod tests {
         let nl = b.finish().unwrap();
         let faults = vec![Fault::sa0(n), Fault::sa1(n)];
         let frames = [
-            TestFrame {
-                pi: vec![0],
-                ff: vec![0],
-            },
-            TestFrame {
-                pi: vec![u64::MAX],
-                ff: vec![0],
-            },
+            TestFrame::new(vec![0], vec![0]),
+            TestFrame::new(vec![u64::MAX], vec![0]),
         ];
         let r = comb_fault_sim(&nl, &faults, &frames);
         assert_eq!(r.detected.len(), 2);
@@ -826,11 +933,13 @@ mod tests {
 
     fn some_frames() -> Vec<TestFrame> {
         (0..4u64)
-            .map(|k| TestFrame {
-                pi: (0..6)
-                    .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left((k * 7 + i) as u32))
-                    .collect(),
-                ff: Vec::new(),
+            .map(|k| {
+                TestFrame::new(
+                    (0..6)
+                        .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left((k * 7 + i) as u32))
+                        .collect(),
+                    Vec::new(),
+                )
             })
             .collect()
     }
@@ -934,6 +1043,134 @@ mod tests {
             s_drop.fault_evals,
             s_keep.fault_evals
         );
+    }
+
+    /// Satellite regression: 65 real patterns graded with a tail-lane
+    /// mask must detect exactly what 128 patterns detect when the 63
+    /// padding lanes replicate a real pattern (explicit don't-cares).
+    /// Before the mask existed, whatever garbage sat in the padding
+    /// lanes contributed phantom detections.
+    #[test]
+    fn tail_lane_masking_matches_explicit_truncation() {
+        let nl = mixed_circuit();
+        let faults = all_faults(&nl);
+        let full: Vec<u64> = (0..6)
+            .map(|i| 0xdead_beef_1996_0d0cu64.rotate_left(i * 9))
+            .collect();
+        let tail: Vec<u64> = (0..6)
+            .map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i * 5))
+            .collect();
+        // 65 patterns: one full frame plus a frame with one live lane.
+        let masked = vec![
+            TestFrame::new(full.clone(), Vec::new()),
+            TestFrame::with_lanes(tail.clone(), Vec::new(), 1),
+        ];
+        // 128 patterns whose last 63 are don't-cares: the tail frame's
+        // lane 0 broadcast across the whole word. Duplicate patterns
+        // cannot add detections, so the two runs must agree.
+        let broadcast: Vec<u64> = tail
+            .iter()
+            .map(|w| if w & 1 == 1 { u64::MAX } else { 0 })
+            .collect();
+        let padded = vec![
+            TestFrame::new(full, Vec::new()),
+            TestFrame::new(broadcast, Vec::new()),
+        ];
+        let want = comb_fault_sim(&nl, &faults, &padded);
+        let got = comb_fault_sim(&nl, &faults, &masked);
+        assert_eq!(got.detected, want.detected, "reference engine");
+        for width in crate::word::WordWidth::ALL {
+            let opts = ParallelOptions::soa(width);
+            let (got_soa, _) = comb_fault_sim_opts(&nl, &faults, &masked, &opts);
+            assert_eq!(got_soa.detected, want.detected, "soa width {width}");
+        }
+    }
+
+    /// Satellite regression: the deadline poll stride is re-derived in
+    /// fault-eval units per word width, so a zero-budget run grades
+    /// exactly one stride's worth of faults — deterministically — at
+    /// 64, 256, and 512-wide words.
+    #[test]
+    fn zero_budget_grades_one_stride_at_every_width() {
+        use crate::deadline::Deadline;
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 8);
+        let c = b.inputs("b", 8);
+        let (s, co) = b.ripple_add(&a, &c);
+        b.outputs("s", &s);
+        b.output("co", co);
+        let nl = b.finish().unwrap();
+        let faults = all_faults(&nl);
+        let frames = some_frames_for(&nl, 16);
+        for width in crate::word::WordWidth::ALL {
+            let lanes = width.lanes();
+            let stride = deadline_poll_stride(lanes);
+            assert!(faults.len() > stride, "universe must overflow a stride");
+            let opts = ParallelOptions {
+                deadline: Deadline::after(std::time::Duration::ZERO),
+                ..ParallelOptions::soa(width)
+            };
+            let (r1, s1) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
+            let (r2, s2) = comb_fault_sim_opts(&nl, &faults, &frames, &opts);
+            assert!(s1.timed_out, "width {width}");
+            assert_eq!(r1, r2, "width {width}");
+            assert_eq!(s1.fault_evals, s2.fault_evals, "width {width}");
+            // The work ledger identifies exactly how many faults were
+            // graded before the cutoff: one poll stride.
+            let graded =
+                s1.unobservable + (s1.fault_evals + s1.screened + s1.dropped) / frames.len() as u64;
+            assert_eq!(graded, stride as u64, "width {width}");
+        }
+    }
+
+    fn some_frames_for(nl: &Netlist, count: usize) -> Vec<TestFrame> {
+        (0..count as u64)
+            .map(|k| {
+                TestFrame::new(
+                    (0..nl.inputs().len() as u64)
+                        .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left((k * 13 + i) as u32))
+                        .collect(),
+                    Vec::new(),
+                )
+            })
+            .collect()
+    }
+
+    /// A lane-masked sequential run must ignore detections that only
+    /// occur in padding lanes.
+    #[test]
+    fn seq_lane_mask_suppresses_padding_detections() {
+        let mut b = NetlistBuilder::new("seqmask");
+        let x = b.input("x");
+        let q = b.register(&[x], None, false);
+        b.output("o", q[0]);
+        let nl = b.finish().unwrap();
+        let faults = vec![Fault::sa0(x)];
+        let observed: Vec<NetId> = nl.outputs().iter().map(|(_, n)| *n).collect();
+        let initial = vec![0u64; nl.dffs().len()];
+        // Only lane 1 excites the fault; with lane 0 alone live the
+        // fault must stay undetected.
+        let vectors = vec![vec![0b10u64], vec![0]];
+        let (one_lane, _) = seq_fault_sim_observed_masked_opts(
+            &nl,
+            &faults,
+            &vectors,
+            &initial,
+            &observed,
+            lane_mask(1),
+            &ParallelOptions::default(),
+        );
+        assert!(one_lane.detected.is_empty());
+        let (two_lanes, _) = seq_fault_sim_observed_masked_opts(
+            &nl,
+            &faults,
+            &vectors,
+            &initial,
+            &observed,
+            lane_mask(2),
+            &ParallelOptions::default(),
+        );
+        assert_eq!(two_lanes.detected.len(), 1);
     }
 
     #[test]

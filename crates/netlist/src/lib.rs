@@ -61,11 +61,14 @@ pub mod random;
 pub mod scanchain;
 pub mod seq;
 pub mod sim;
+pub mod soa;
 pub mod stats;
 pub mod verilog;
+pub mod word;
 
 pub use deadline::Deadline;
 pub use fault::Fault;
-pub use fsim::ParallelOptions;
+pub use fsim::{ParallelOptions, SimEngine};
 pub use net::{GateId, GateKind, NetId, Netlist, NetlistBuilder, NetlistError};
 pub use stats::GradeStats;
+pub use word::WordWidth;

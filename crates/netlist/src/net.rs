@@ -176,6 +176,183 @@ impl fmt::Display for NetlistError {
 
 impl Error for NetlistError {}
 
+/// Index-based structure-of-arrays view of a netlist, built once by
+/// [`NetlistBuilder::finish`] and shared read-only by the evaluators.
+///
+/// The per-gate [`Gate`] records are the convenient API view; the hot
+/// simulation loops instead walk these flat `u32` arrays: gate kinds,
+/// fixed three-slot operand ids, a levelized topological order with
+/// contiguous per-level ranges, and a CSR fanout table. Unused operand
+/// slots hold the gate's own id so every slot is always a valid index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaIr {
+    kinds: Vec<GateKind>,
+    ops: Vec<[u32; 3]>,
+    level_of: Vec<u32>,
+    level_order: Vec<u32>,
+    level_starts: Vec<u32>,
+    fanout_starts: Vec<u32>,
+    fanout_edges: Vec<u32>,
+}
+
+impl SoaIr {
+    /// Builds the flat arrays from the validated AoS gate list and its
+    /// topological order.
+    fn build(gates: &[Gate], topo: &[GateId]) -> SoaIr {
+        let n = gates.len();
+        let is_source = |g: &Gate| {
+            matches!(
+                g.kind,
+                GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+            )
+        };
+        let mut kinds = Vec::with_capacity(n);
+        let mut ops = Vec::with_capacity(n);
+        for (i, g) in gates.iter().enumerate() {
+            kinds.push(g.kind);
+            let mut slots = [i as u32; 3];
+            for (k, inp) in g.inputs.iter().enumerate() {
+                slots[k] = inp.0;
+            }
+            ops.push(slots);
+        }
+        // Levels: sources sit at 0; a combinational gate is one past its
+        // deepest operand. `topo` is topologically sorted, so operand
+        // levels are final when a gate is reached.
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        for &gid in topo {
+            let g = &gates[gid.index()];
+            let lvl = 1 + g
+                .inputs
+                .iter()
+                .map(|inp| level_of[inp.index()])
+                .max()
+                .unwrap_or(0);
+            level_of[gid.index()] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        let num_levels = if topo.is_empty() {
+            0
+        } else {
+            max_level as usize + 1
+        };
+        // Bucket the combinational gates by (level, id): counting sort
+        // keeps the order deterministic and the per-level runs
+        // contiguous.
+        let mut counts = vec![0u32; num_levels + 1];
+        for &gid in topo {
+            counts[level_of[gid.index()] as usize] += 1;
+        }
+        let mut level_starts = vec![0u32; num_levels + 1];
+        let mut acc = 0u32;
+        for (l, c) in counts.iter().enumerate().take(num_levels) {
+            level_starts[l] = acc;
+            acc += c;
+        }
+        level_starts[num_levels] = acc;
+        let mut cursor = level_starts.clone();
+        let mut level_order = vec![0u32; topo.len()];
+        for (i, g) in gates.iter().enumerate() {
+            if is_source(g) {
+                continue;
+            }
+            let l = level_of[i] as usize;
+            level_order[cursor[l] as usize] = i as u32;
+            cursor[l] += 1;
+        }
+        // CSR fanout: per net, the combinational gates reading it, in
+        // gate-id order.
+        let mut fan_counts = vec![0u32; n + 1];
+        for g in gates {
+            if is_source(g) {
+                continue;
+            }
+            for inp in &g.inputs {
+                fan_counts[inp.index()] += 1;
+            }
+        }
+        let mut fanout_starts = vec![0u32; n + 1];
+        let mut acc = 0u32;
+        for (i, c) in fan_counts.iter().enumerate().take(n) {
+            fanout_starts[i] = acc;
+            acc += c;
+        }
+        fanout_starts[n] = acc;
+        let mut fan_cursor: Vec<u32> = fanout_starts.clone();
+        let mut fanout_edges = vec![0u32; acc as usize];
+        for (i, g) in gates.iter().enumerate() {
+            if is_source(g) {
+                continue;
+            }
+            for inp in &g.inputs {
+                fanout_edges[fan_cursor[inp.index()] as usize] = i as u32;
+                fan_cursor[inp.index()] += 1;
+            }
+        }
+        SoaIr {
+            kinds,
+            ops,
+            level_of,
+            level_order,
+            level_starts,
+            fanout_starts,
+            fanout_edges,
+        }
+    }
+
+    /// The kind of gate `g`.
+    #[inline]
+    pub fn kind(&self, g: u32) -> GateKind {
+        self.kinds[g as usize]
+    }
+
+    /// The three operand slots of gate `g`; unused slots hold `g`
+    /// itself, so every slot indexes a valid net.
+    #[inline]
+    pub fn operands(&self, g: u32) -> [u32; 3] {
+        self.ops[g as usize]
+    }
+
+    /// The level of gate `g`: 0 for sources, `1 + max(operand levels)`
+    /// for combinational gates.
+    #[inline]
+    pub fn level_of(&self, g: u32) -> u32 {
+        self.level_of[g as usize]
+    }
+
+    /// Number of combinational levels (0 for a source-only netlist).
+    /// Level 0 itself holds only sources, so the per-level slices start
+    /// at level 1.
+    pub fn level_count(&self) -> usize {
+        self.level_starts.len() - 1
+    }
+
+    /// The combinational gates at `level`, in id order. Empty for level
+    /// 0 (sources are not scheduled).
+    #[inline]
+    pub fn level(&self, level: usize) -> &[u32] {
+        let lo = self.level_starts[level] as usize;
+        let hi = self.level_starts[level + 1] as usize;
+        &self.level_order[lo..hi]
+    }
+
+    /// Every combinational gate, level-major then id order — a valid
+    /// topological order with contiguous per-level runs.
+    #[inline]
+    pub fn comb_order(&self) -> &[u32] {
+        &self.level_order
+    }
+
+    /// The combinational gates reading net `net`, in id order.
+    #[inline]
+    pub fn fanout(&self, net: u32) -> &[u32] {
+        let lo = self.fanout_starts[net as usize] as usize;
+        let hi = self.fanout_starts[net as usize + 1] as usize;
+        &self.fanout_edges[lo..hi]
+    }
+}
+
 /// A validated gate-level netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Netlist {
@@ -187,6 +364,8 @@ pub struct Netlist {
     dffs: Vec<GateId>,
     /// Combinational gates in topological order (sources excluded).
     topo: Vec<GateId>,
+    /// Structure-of-arrays mirror of `gates` + levelization, built once.
+    soa: SoaIr,
 }
 
 impl Netlist {
@@ -198,6 +377,24 @@ impl Netlist {
     /// Number of gates (including inputs, constants and flops).
     pub fn num_gates(&self) -> usize {
         self.gates.len()
+    }
+
+    /// Number of nets.
+    ///
+    /// Every gate drives exactly one net and every net is driven by
+    /// exactly one gate, so [`NetId`] and [`GateId`] share the same
+    /// index space and `num_nets() == num_gates()` by construction.
+    /// Value buffers in [`crate::sim`] and [`crate::soa`] are sized by
+    /// this and indexed by `NetId`.
+    pub fn num_nets(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The structure-of-arrays view: flat kind/operand arrays, gate
+    /// levels, and a CSR fanout table, built once at
+    /// [`NetlistBuilder::finish`] time.
+    pub fn soa(&self) -> &SoaIr {
+        &self.soa
     }
 
     /// The gate with the given id.
@@ -260,9 +457,10 @@ impl Netlist {
 
     /// Marks every flip-flop scannable (full scan).
     pub fn with_full_scan(mut self) -> Netlist {
-        for g in &mut self.gates {
+        for (i, g) in self.gates.iter_mut().enumerate() {
             if let GateKind::Dff { scan } = &mut g.kind {
                 *scan = true;
+                self.soa.kinds[i] = g.kind;
             }
         }
         self
@@ -279,6 +477,7 @@ impl Netlist {
                 GateKind::Dff { scan } => *scan = true,
                 _ => panic!("{f} is not a flip-flop"),
             }
+            self.soa.kinds[f.index()] = self.gates[f.index()].kind;
         }
         self
     }
@@ -819,6 +1018,7 @@ impl NetlistBuilder {
                 gate: GateId(stuck as u32),
             });
         }
+        let soa = SoaIr::build(&self.gates, &topo);
         Ok(Netlist {
             name: self.name,
             gates: self.gates,
@@ -827,6 +1027,7 @@ impl NetlistBuilder {
             inputs,
             dffs,
             topo,
+            soa,
         })
     }
 }

@@ -83,10 +83,20 @@ pub fn random_pattern_run_opts<R: Rng>(
             timed_out = true;
             break;
         }
-        let frame = TestFrame {
-            pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
-            ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+        // The final batch may be asked for fewer than 64 patterns; mask
+        // the unused high lanes so the random padding in them cannot
+        // contribute phantom detections. A zero request still grades
+        // one whole live word (see the curve labeling below).
+        let live = if max_patterns == 0 {
+            64
+        } else {
+            (max_patterns - bi * 64).min(64)
         };
+        let frame = TestFrame::with_lanes(
+            (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+            (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+            live,
+        );
         let (r, s) = comb_fault_sim_opts(nl, &remaining, std::slice::from_ref(&frame), opts);
         stats.absorb(&s);
         for f in r.detected {
@@ -183,7 +193,9 @@ pub fn pattern_source_run_opts(
             }
         }
         applied += count;
-        let frame = TestFrame { pi, ff };
+        // A partial word's high lanes are zero-filled, not real
+        // patterns; mask them out of detection.
+        let frame = TestFrame::with_lanes(pi, ff, count);
         let (r, s) = comb_fault_sim_opts(nl, &remaining, std::slice::from_ref(&frame), opts);
         stats.absorb(&s);
         for f in r.detected {
@@ -287,6 +299,37 @@ mod tests {
         // Requests below one batch still grade (and label) a full word.
         let tiny = random_pattern_run(&nl, &faults, 0, &mut StdRng::seed_from_u64(3));
         assert_eq!(tiny.curve.first().unwrap().patterns, 64);
+    }
+
+    /// Satellite regression: a partial final word must not let its
+    /// padding lanes detect anything. One all-ones pattern graded
+    /// through the source runner must match a full word of all-ones
+    /// duplicates — and differ from a run that really applies the
+    /// all-zero pattern the padding used to smuggle in.
+    #[test]
+    fn tail_padding_lanes_never_detect() {
+        use crate::fsim::{comb_fault_sim, TestFrame};
+        let nl = adder();
+        let faults = all_faults(&nl);
+        let run = pattern_source_run(&nl, &faults, 1, |_| (vec![true; 8], Vec::new()));
+        // Ground truth: 64 duplicates of the all-ones pattern.
+        let want = comb_fault_sim(
+            &nl,
+            &faults,
+            &[TestFrame::new(vec![u64::MAX; 8], Vec::new())],
+        );
+        assert_eq!(run.summary.detected, want.detected);
+        // The buggy padding behaved like an extra all-zero pattern,
+        // which detects strictly more on an adder (e.g. input sa1s).
+        let with_zero = comb_fault_sim(
+            &nl,
+            &faults,
+            &[
+                TestFrame::new(vec![u64::MAX; 8], Vec::new()),
+                TestFrame::new(vec![0u64; 8], Vec::new()),
+            ],
+        );
+        assert!(want.detected.len() < with_zero.detected.len());
     }
 
     /// A 16-input AND chain: the output stuck-at-0 fault needs the

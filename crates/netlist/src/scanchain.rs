@@ -193,10 +193,7 @@ mod tests {
         // With scan_en held high the chain is a plain shift register.
         let nl = design();
         let sd = stitch(&nl);
-        let frame = TestFrame {
-            pi: vec![0, 0],
-            ff: vec![u64::MAX, 0],
-        };
+        let frame = TestFrame::new(vec![0, 0], vec![u64::MAX, 0]);
         // After shifting in [chain1, chain0] and shifting out again we
         // must read back what we wrote (no capture disturbance means we
         // compare against the captured state instead — exercised by the
@@ -240,10 +237,7 @@ mod tests {
         let nl = design();
         let sd = stitch(&nl);
         // Shift in a 1 into the deepest flop; it must come back out.
-        let frame = TestFrame {
-            pi: vec![0, 0],
-            ff: vec![u64::MAX, u64::MAX],
-        };
+        let frame = TestFrame::new(vec![0, 0], vec![u64::MAX, u64::MAX]);
         let (_, out) = apply_serial(&sd, &frame, None, 2);
         assert_eq!(out.len(), 2);
     }

@@ -5,6 +5,7 @@
 //! circuits fast enough to run in unit tests.
 
 use crate::net::{GateKind, NetId, Netlist};
+use crate::word::{self, PatternWord};
 
 /// A forced net value used for stuck-at fault injection: the net is
 /// pinned to all-zeros or all-ones across every parallel pattern.
@@ -28,7 +29,11 @@ pub struct ForcedNet {
 pub fn eval_comb(nl: &Netlist, pi: &[u64], ff: &[u64], force: Option<ForcedNet>) -> Vec<u64> {
     assert_eq!(pi.len(), nl.inputs().len(), "primary input count mismatch");
     assert_eq!(ff.len(), nl.dffs().len(), "flip-flop count mismatch");
-    let mut values = vec![0u64; nl.num_gates()];
+    // The buffer is indexed by net, not gate; `Netlist::num_nets`
+    // documents the one-driver-per-net invariant that makes the two
+    // counts equal by construction.
+    debug_assert_eq!(nl.num_nets(), nl.num_gates());
+    let mut values = vec![0u64; nl.num_nets()];
     for (i, &net) in nl.inputs().iter().enumerate() {
         values[net.index()] = pi[i];
     }
@@ -78,6 +83,82 @@ pub fn eval_comb(nl: &Netlist, pi: &[u64], ff: &[u64], force: Option<ForcedNet>)
         apply(&mut values, gid.net());
     }
     values
+}
+
+/// Wide-word variant of [`eval_comb`]: each net carries a
+/// [`PatternWord`] of `64·N` parallel patterns. The walk runs over the
+/// netlist's structure-of-arrays view ([`Netlist::soa`]) — flat kind,
+/// operand, and level arrays — so it is also the good-machine
+/// evaluator of the SoA grading engine.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the netlist.
+pub fn eval_comb_wide<const N: usize>(
+    nl: &Netlist,
+    pi: &[PatternWord<N>],
+    ff: &[PatternWord<N>],
+    force: Option<ForcedNet>,
+) -> Vec<PatternWord<N>> {
+    assert_eq!(pi.len(), nl.inputs().len(), "primary input count mismatch");
+    assert_eq!(ff.len(), nl.dffs().len(), "flip-flop count mismatch");
+    let soa = nl.soa();
+    let mut values: Vec<PatternWord<N>> = vec![word::zeros(); nl.num_nets()];
+    for (i, &net) in nl.inputs().iter().enumerate() {
+        values[net.index()] = pi[i];
+    }
+    for (i, &f) in nl.dffs().iter().enumerate() {
+        values[f.net().index()] = ff[i];
+    }
+    for (id, g) in nl.gates() {
+        if let GateKind::Const(c) = g.kind {
+            values[id.net().index()] = word::splat(c);
+        }
+    }
+    if let Some(fr) = force {
+        let g = nl.gate(crate::net::GateId(fr.net.0));
+        if matches!(
+            g.kind,
+            GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. }
+        ) {
+            values[fr.net.index()] = word::splat(fr.value);
+        }
+    }
+    for &g in soa.comb_order() {
+        let gi = g as usize;
+        let ops = soa.operands(g);
+        let a = values[ops[0] as usize];
+        let v = match soa.kind(g) {
+            GateKind::Buf => a,
+            GateKind::Not => word::not(a),
+            GateKind::And => word::and(a, values[ops[1] as usize]),
+            GateKind::Or => word::or(a, values[ops[1] as usize]),
+            GateKind::Nand => word::not(word::and(a, values[ops[1] as usize])),
+            GateKind::Nor => word::not(word::or(a, values[ops[1] as usize])),
+            GateKind::Xor => word::xor(a, values[ops[1] as usize]),
+            GateKind::Xnor => word::not(word::xor(a, values[ops[1] as usize])),
+            GateKind::Mux => word::mux(a, values[ops[1] as usize], values[ops[2] as usize]),
+            GateKind::Input | GateKind::Const(_) | GateKind::Dff { .. } => continue,
+        };
+        values[gi] = v;
+        if let Some(fr) = force {
+            if fr.net.index() == gi {
+                values[gi] = word::splat(fr.value);
+            }
+        }
+    }
+    values
+}
+
+/// Wide-word variant of [`next_state`].
+pub fn next_state_wide<const N: usize>(
+    nl: &Netlist,
+    values: &[PatternWord<N>],
+) -> Vec<PatternWord<N>> {
+    nl.dffs()
+        .iter()
+        .map(|&f| values[nl.gate(f).inputs[0].index()])
+        .collect()
 }
 
 /// Samples the next flip-flop state from a completed evaluation frame.

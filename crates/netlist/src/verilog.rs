@@ -5,9 +5,68 @@
 //! any synthesized data path can be handed to external simulators or
 //! commercial test tools for cross-checking.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use crate::net::{GateKind, NetId, Netlist};
+
+/// Verilog-2001 reserved words (the subset that could plausibly appear
+/// as a net or port name). A sanitized identifier matching one of these
+/// is renamed, never emitted bare.
+const KEYWORDS: &[&str] = &[
+    "always",
+    "and",
+    "assign",
+    "begin",
+    "buf",
+    "case",
+    "casex",
+    "casez",
+    "default",
+    "defparam",
+    "disable",
+    "edge",
+    "else",
+    "end",
+    "endcase",
+    "endfunction",
+    "endgenerate",
+    "endmodule",
+    "endtask",
+    "for",
+    "force",
+    "forever",
+    "function",
+    "generate",
+    "genvar",
+    "if",
+    "initial",
+    "inout",
+    "input",
+    "integer",
+    "localparam",
+    "module",
+    "nand",
+    "negedge",
+    "nor",
+    "not",
+    "or",
+    "output",
+    "parameter",
+    "posedge",
+    "real",
+    "reg",
+    "repeat",
+    "signed",
+    "task",
+    "time",
+    "tri",
+    "wait",
+    "while",
+    "wire",
+    "xnor",
+    "xor",
+];
 
 fn sanitize(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
@@ -21,13 +80,78 @@ fn sanitize(name: &str) -> String {
     if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, 'n');
     }
+    if out.is_empty() {
+        out.push('n');
+    }
+    if KEYWORDS.contains(&out.as_str()) {
+        out.push('_');
+    }
     out
 }
 
-fn wire(nl: &Netlist, net: NetId) -> String {
-    match nl.net_name(net) {
-        Some(n) => sanitize(n),
-        None => format!("w{}", net.0),
+/// The per-module identifier table: sanitization maps distinct source
+/// names onto one string (`a[3]` and `a_3_` both sanitize to `a_3_`),
+/// and a sanitized name can shadow the `w{id}` fallback of an unnamed
+/// net, so identifiers are uniqued per netlist. First claimant keeps
+/// the clean name; later collisions get a `__{n}` suffix, which is
+/// stable because nets are visited in id order.
+struct NameTable {
+    by_net: Vec<String>,
+    outputs: Vec<String>,
+}
+
+impl NameTable {
+    fn new(nl: &Netlist) -> NameTable {
+        let mut taken: HashSet<String> = HashSet::new();
+        // Fixed ports are claimed first so no net can shadow them.
+        taken.insert("clk".into());
+        taken.insert("rst".into());
+        let unique = |want: String, taken: &mut HashSet<String>| -> String {
+            if taken.insert(want.clone()) {
+                return want;
+            }
+            for n in 2usize.. {
+                let candidate = format!("{want}__{n}");
+                if taken.insert(candidate.clone()) {
+                    return candidate;
+                }
+            }
+            unreachable!("some suffix is always free");
+        };
+        let by_net: Vec<String> = nl
+            .gates()
+            .map(|(id, _)| {
+                let want = match nl.net_name(id.net()) {
+                    Some(n) => sanitize(n),
+                    None => format!("w{}", id.net().0),
+                };
+                unique(want, &mut taken)
+            })
+            .collect();
+        // Output ports are identifiers of their own. A port whose
+        // sanitized name is exactly its source net's identifier shares
+        // it (the historical "same name, no assign" form) — but only
+        // once; any further clash is renamed like everything else.
+        let mut port_taken: HashSet<String> = HashSet::new();
+        let outputs: Vec<String> = nl
+            .outputs()
+            .iter()
+            .map(|(name, net)| {
+                let want = sanitize(name);
+                if by_net[net.index()] == want && port_taken.insert(want.clone()) {
+                    want
+                } else {
+                    let n = unique(want, &mut taken);
+                    port_taken.insert(n.clone());
+                    n
+                }
+            })
+            .collect();
+        NameTable { by_net, outputs }
+    }
+
+    fn wire(&self, net: NetId) -> &str {
+        &self.by_net[net.index()]
     }
 }
 
@@ -41,40 +165,41 @@ fn wire(nl: &Netlist, net: NetId) -> String {
 /// model, as documented on [`GateKind::Dff`].
 pub fn to_verilog(nl: &Netlist) -> String {
     let mut v = String::new();
+    let names = NameTable::new(nl);
     let module = sanitize(nl.name());
     let mut ports: Vec<String> = vec!["clk".into(), "rst".into()];
-    ports.extend(nl.inputs().iter().map(|&n| wire(nl, n)));
-    ports.extend(nl.outputs().iter().map(|(name, _)| sanitize(name)));
+    ports.extend(nl.inputs().iter().map(|&n| names.wire(n).to_string()));
+    ports.extend(names.outputs.iter().cloned());
     let _ = writeln!(v, "module {module}(");
     let _ = writeln!(v, "  {}", ports.join(",\n  "));
     let _ = writeln!(v, ");");
     let _ = writeln!(v, "  input clk, rst;");
     for &n in nl.inputs() {
-        let _ = writeln!(v, "  input {};", wire(nl, n));
+        let _ = writeln!(v, "  input {};", names.wire(n));
     }
-    for (name, _) in nl.outputs() {
-        let _ = writeln!(v, "  output {};", sanitize(name));
+    for name in &names.outputs {
+        let _ = writeln!(v, "  output {name};");
     }
     // Wire declarations for every internal net.
     for (id, g) in nl.gates() {
         match g.kind {
             GateKind::Input => {}
             GateKind::Dff { .. } => {
-                let _ = writeln!(v, "  reg {};", wire(nl, id.net()));
+                let _ = writeln!(v, "  reg {};", names.wire(id.net()));
             }
             _ => {
-                let _ = writeln!(v, "  wire {};", wire(nl, id.net()));
+                let _ = writeln!(v, "  wire {};", names.wire(id.net()));
             }
         }
     }
     // Combinational gates.
     for (id, g) in nl.gates() {
-        let o = wire(nl, id.net());
-        let i = |k: usize| wire(nl, g.inputs[k]);
+        let o = names.wire(id.net());
+        let i = |k: usize| names.wire(g.inputs[k]);
         let rhs = match g.kind {
             GateKind::Input | GateKind::Dff { .. } => continue,
             GateKind::Const(c) => format!("1'b{}", u8::from(c)),
-            GateKind::Buf => i(0),
+            GateKind::Buf => i(0).to_string(),
             GateKind::Not => format!("~{}", i(0)),
             GateKind::And => format!("{} & {}", i(0), i(1)),
             GateKind::Or => format!("{} | {}", i(0), i(1)),
@@ -89,8 +214,8 @@ pub fn to_verilog(nl: &Netlist) -> String {
     // Flops.
     for &f in nl.dffs() {
         let g = nl.gate(f);
-        let q = wire(nl, f.net());
-        let d = wire(nl, g.inputs[0]);
+        let q = names.wire(f.net());
+        let d = names.wire(g.inputs[0]);
         let scan = matches!(g.kind, GateKind::Dff { scan: true });
         let marker = if scan { " // scan" } else { "" };
         let _ = writeln!(
@@ -99,9 +224,8 @@ pub fn to_verilog(nl: &Netlist) -> String {
         );
     }
     // Output connections.
-    for (name, net) in nl.outputs() {
-        let o = sanitize(name);
-        let src = wire(nl, *net);
+    for (o, (_, net)) in names.outputs.iter().zip(nl.outputs()) {
+        let src = names.wire(*net);
         if o != src {
             let _ = writeln!(v, "  assign {o} = {src};");
         }
@@ -139,11 +263,12 @@ mod tests {
     fn every_gate_output_is_driven_once() {
         let nl = sample();
         let v = to_verilog(&nl);
+        let names = NameTable::new(&nl);
         for (id, g) in nl.gates() {
             if matches!(g.kind, GateKind::Input) {
                 continue;
             }
-            let w = wire(&nl, id.net());
+            let w = names.wire(id.net());
             let drives = v
                 .lines()
                 .filter(|l| {
@@ -160,6 +285,61 @@ mod tests {
         assert_eq!(sanitize("a[3]"), "a_3_");
         assert_eq!(sanitize("9lives"), "n9lives");
         assert_eq!(sanitize("ok_name"), "ok_name");
+        // Keywords are escaped with a trailing underscore; an empty
+        // name still yields an identifier.
+        assert_eq!(sanitize("reg"), "reg_");
+        assert_eq!(sanitize("module"), "module_");
+        assert_eq!(sanitize(""), "n");
+    }
+
+    /// Collects every declared identifier in the emitted module and
+    /// fails on duplicates or keywords — the re-parsing check of the
+    /// sanitization satellite.
+    fn declared_identifiers(v: &str) -> Vec<String> {
+        let mut ids = Vec::new();
+        for line in v.lines() {
+            let line = line.trim();
+            for prefix in ["wire ", "reg ", "input ", "output "] {
+                if let Some(rest) = line.strip_prefix(prefix) {
+                    for id in rest.trim_end_matches(';').split(',') {
+                        ids.push(id.trim().to_string());
+                    }
+                }
+            }
+        }
+        ids
+    }
+
+    /// Satellite regression: hostile source names — Verilog keywords,
+    /// names that collide after sanitization, and names shadowing the
+    /// unnamed-net fallback — must export as unique non-keyword
+    /// identifiers.
+    #[test]
+    fn hostile_names_export_without_duplicates() {
+        let mut b = NetlistBuilder::new("module");
+        let kw = b.input("reg"); // keyword
+        let br = b.input("a[3]"); // sanitizes to a_3_
+        let us = b.input("a_3_"); // collides with the sanitized form
+        let sh = b.input("w4"); // shadows the w{id} fallback name
+        let x = b.and2(kw, br); // unnamed: wants "w4"
+        let y = b.or2(us, sh);
+        let z = b.xor2(x, y);
+        b.output("output", z); // keyword as output port
+        b.output("wire", x); // another keyword port
+        let nl = b.finish().unwrap();
+        let v = to_verilog(&nl);
+        let ids = declared_identifiers(&v);
+        let mut seen = std::collections::HashSet::new();
+        for id in &ids {
+            assert!(!id.is_empty());
+            assert!(
+                !KEYWORDS.contains(&id.as_str()),
+                "keyword {id} leaked into declarations:\n{v}"
+            );
+            assert!(seen.insert(id.clone()), "duplicate identifier {id}:\n{v}");
+        }
+        // Every source net got an identifier ("clk"/"rst" are extra).
+        assert_eq!(ids.len(), nl.num_nets() + nl.outputs().len() + 2);
     }
 
     #[test]

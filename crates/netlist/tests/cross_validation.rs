@@ -56,7 +56,7 @@ proptest! {
                 }
             }
         }
-        let frame = TestFrame { pi, ff: Vec::new() };
+        let frame = TestFrame::new(pi, Vec::new());
         for fault in all_faults(&nl).into_iter().take(10) {
             let (status, _) = podem(&nl, &view, &[fault.net], fault.stuck_at_one,
                                     &AtpgOptions::default());

@@ -15,9 +15,11 @@ use rand::{Rng, SeedableRng};
 
 fn frames_for(nl: &hlstb_netlist::net::Netlist, count: usize, rng: &mut StdRng) -> Vec<TestFrame> {
     (0..count)
-        .map(|_| TestFrame {
-            pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
-            ff: (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+        .map(|_| {
+            TestFrame::new(
+                (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+                (0..nl.dffs().len()).map(|_| rng.gen()).collect(),
+            )
         })
         .collect()
 }

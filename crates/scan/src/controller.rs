@@ -235,10 +235,10 @@ pub fn composite_coverage_opts<R: Rng>(
             }
         }
         let _ = state_count;
-        frames.push(TestFrame {
-            pi: (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
+        frames.push(TestFrame::new(
+            (0..nl.inputs().len()).map(|_| rng.gen()).collect(),
             ff,
-        });
+        ));
     }
     let (summary, stats) = comb_fault_sim_opts(&nl, &faults, &frames, opts);
     (summary.coverage_percent(), stats)

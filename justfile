@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke soa-equiv
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -73,6 +73,15 @@ sweep-fault-smoke: build
     grep "3 restored" resume_summary.txt
     rm -f fault_serial.json fault_parallel.json fault_summary.txt \
         resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
+
+# SoA engine differential smoke (identical detected sets vs the
+# reference engine at every word width on two designs) plus the
+# committed BENCH_fsim.json headline guard: soa-512 vs drop must stay
+# at or above the 4.0x floor. The guard reads the checked-in JSON, not
+# a fresh timing run; refresh with `just bench-fsim` after engine work.
+soa-equiv: build
+    ./target/release/hlstb soa-check figure1 tseng
+    awk -F': ' '/"speedup_soa512_vs_drop"/ { found = 1; if ($2 + 0 < 4.0) { print "BENCH_fsim.json: soa-512 vs drop headline " $2 " is below the 4.0x floor"; exit 1 } } END { if (!found) { print "BENCH_fsim.json: missing speedup_soa512_vs_drop"; exit 1 } }' BENCH_fsim.json
 
 # Regenerate every experiment table (EXPERIMENTS.md source of truth).
 exp-all:

@@ -8,12 +8,16 @@
 //! hlstb sgraph <design> [--strategy S]      # DOT on stdout
 //! hlstb cdfg <design>                       # DOT on stdout
 //! hlstb trace-check <file> [span...]        # validate a Chrome trace
+//! hlstb soa-check [design...] [--grade N]   # SoA vs reference engines
 //! ```
 
 use std::process::ExitCode;
 
 use hlstb::cdfg::{benchmarks, Cdfg};
-use hlstb::flow::SynthesisFlow;
+use hlstb::flow::{DftStrategy, SynthesisFlow};
+use hlstb::netlist::fault::collapsed_faults;
+use hlstb::netlist::fsim::{comb_fault_sim_opts, ParallelOptions, SimEngine, TestFrame};
+use hlstb::netlist::word::WordWidth;
 use hlstb_dse::spec::{parse_policy, parse_scheduler, parse_strategy};
 use hlstb_dse::{run_sweep_with, FailPlan, Recovery, SweepOptions, SweepSpec};
 
@@ -54,6 +58,10 @@ const USAGE: &str = "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-che
   cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
   trace-check <file> [span...]  validate a Chrome trace file, requiring
                                 each named span to be present
+  soa-check [design...]         grade each design (default: all) with the
+                                reference engine and the SoA engine at
+                                every word width; fail on any detected-set
+                                difference (--grade N patterns, default 256)
 options:
   --strategy  none|full-scan|gate-partial-scan|behavioral-partial-scan|
               loop-avoidance|bist-naive|bist-shared|k-level=<k>
@@ -426,6 +434,86 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "soa-check" => {
+            let mut patterns = 256usize;
+            let mut picked: Vec<Cdfg> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                if args[i] == "--grade" {
+                    let value = args.get(i + 1).ok_or("--grade needs a value")?;
+                    patterns = value
+                        .parse()
+                        .map_err(|_| format!("bad pattern count {value}"))?;
+                    i += 2;
+                } else {
+                    let name = args[i].as_str();
+                    picked.push(find_design(name).ok_or_else(|| unknown_design(name))?);
+                    i += 1;
+                }
+            }
+            if picked.is_empty() {
+                picked = designs();
+            }
+            for g in picked {
+                soa_check(g, patterns)?;
+            }
+            Ok(())
+        }
         _ => Err(USAGE.to_string()),
     }
+}
+
+/// Grades one full-scan design with the reference engine, then with the
+/// SoA engine at every word width, and requires identical detected
+/// fault sets — the differential smoke behind `just soa-equiv`.
+fn soa_check(g: Cdfg, patterns: usize) -> Result<(), String> {
+    let name = g.name().to_string();
+    let d = SynthesisFlow::new(g)
+        .strategy(DftStrategy::FullScan)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let nl = &d.expanded.netlist;
+    let faults = collapsed_faults(nl);
+    // Deterministic pseudorandom frames (splitmix64), independent of
+    // any library RNG so the smoke pins its own inputs.
+    let mut state = 0x5345_4544_0000_0000u64 ^ name.len() as u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let frames: Vec<TestFrame> = (0..patterns.div_ceil(64).max(1))
+        .map(|_| {
+            TestFrame::new(
+                (0..nl.inputs().len()).map(|_| next()).collect(),
+                (0..nl.dffs().len()).map(|_| next()).collect(),
+            )
+        })
+        .collect();
+    let reference = ParallelOptions {
+        drop_detected: true,
+        ..ParallelOptions::default()
+    };
+    let (base, _) = comb_fault_sim_opts(nl, &faults, &frames, &reference);
+    for width in WordWidth::ALL {
+        let opts = ParallelOptions::soa(width);
+        debug_assert!(matches!(opts.engine, SimEngine::Soa));
+        let (got, _) = comb_fault_sim_opts(nl, &faults, &frames, &opts);
+        if got != base {
+            return Err(format!(
+                "soa-check: {name}: width {width} detected {} faults, reference {}",
+                got.detected.len(),
+                base.detected.len()
+            ));
+        }
+    }
+    println!(
+        "soa-check: {name}: {} faults, {} detected ({:.1}%), widths 64/256/512 match",
+        base.total,
+        base.detected.len(),
+        base.coverage_percent()
+    );
+    Ok(())
 }
