@@ -46,7 +46,7 @@ HLSTB_FAIL_POINT="panic:1;stall:3" ./target/release/hlstb sweep \
     --designs figure1,tseng --strategies none,full-scan,bist-shared \
     --grade 64 --threads 4 --cache --json >fault_parallel.json
 cmp fault_serial.json fault_parallel.json
-grep "sweep: 6 points (2 errors)" fault_summary.txt
+grep "sweep: 6 points (2 errors \[panic: 1, timeout: 1\])" fault_summary.txt
 grep -q '"kind": "panic"' fault_serial.json
 grep -q '"kind": "timeout"' fault_serial.json
 rm -f fault_serial.json fault_parallel.json fault_summary.txt
@@ -76,9 +76,30 @@ rm -f resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.
 # on two designs; `soa-check` exits nonzero on any difference.
 ./target/release/hlstb soa-check figure1 tseng
 
-# SoA perf guard: the committed BENCH_fsim.json headline (whole-sweep
-# fault-phase wall clock, soa-512 vs drop) must stay at or above the
-# 4.0x floor committed with the engine. The guard reads the checked-in
-# JSON instead of re-timing, so it cannot flake on loaded CI machines;
-# refresh the artifact with `just bench-fsim` when the engine changes.
-awk -F': ' '/"speedup_soa512_vs_drop"/ { found = 1; if ($2 + 0 < 4.0) { print "BENCH_fsim.json: soa-512 vs drop headline " $2 " is below the 4.0x floor"; exit 1 } } END { if (!found) { print "BENCH_fsim.json: missing speedup_soa512_vs_drop"; exit 1 } }' BENCH_fsim.json
+# Events smoke: the same tiny sweep journaled at 1 thread uncached and
+# 4 threads cached must produce byte-identical canonical journals, and
+# the full journal must roll up through trace-view (which exits nonzero
+# on unparseable lines or a journal without point records).
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 128 \
+    --threads 1 --no-cache \
+    --events events_t1.jsonl --events-canonical events_t1_canon.jsonl \
+    >/dev/null
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 128 \
+    --threads 4 --cache \
+    --events events_t4.jsonl --events-canonical events_t4_canon.jsonl \
+    >/dev/null
+cmp events_t1_canon.jsonl events_t4_canon.jsonl
+./target/release/hlstb trace-view events_t4.jsonl >events_view.txt
+grep "6 points" events_view.txt
+grep "point.completed" events_view.txt
+rm -f events_t1.jsonl events_t1_canon.jsonl events_t4.jsonl \
+    events_t4_canon.jsonl events_view.txt
+
+# Perf guard: every committed BENCH artifact carries a `floors` object
+# naming the headline metrics it gates; perf-diff re-reads the
+# checked-in JSON instead of re-timing, so the gate cannot flake on
+# loaded CI machines. Refresh the artifacts with `just bench-fsim` /
+# `just bench-dse` when an engine deliberately changes speed class.
+./target/release/hlstb perf-diff --floor BENCH_fsim.json BENCH_dse.json

@@ -173,6 +173,8 @@ impl DseBench {
             "  \"speedup_threaded_cache_vs_nocache\": {:.3},\n",
             self.speedup("threaded-cache")
         ));
+        // The committed perf gate (see `hlstb perf-diff --floor`).
+        out.push_str("  \"floors\": {\"speedup_cache_vs_nocache\": 3.0},\n");
         out.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             use hlstb::trace::json::Obj;

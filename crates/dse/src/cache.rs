@@ -60,6 +60,17 @@ impl CacheStats {
             + self.grading.misses
     }
 
+    /// Hits as a percentage of all lookups (0.0 when nothing was
+    /// looked up — a `--no-cache` or empty sweep).
+    pub fn hit_rate_percent(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 * 100.0 / total as f64
+        }
+    }
+
     /// The stats as a JSON object (per stage plus totals).
     pub fn to_json(&self) -> String {
         let stage = |c: StageCounts| {
@@ -100,24 +111,26 @@ impl<T> Store<T> {
         }
     }
 
-    /// Returns the cached value for `key`, computing (outside the
-    /// lock) and inserting it on a miss. On a racing double-compute
-    /// the first insert wins so every caller sees one artifact.
+    /// Returns the cached value for `key` plus whether the lookup was
+    /// a hit, computing (outside the lock) and inserting on a miss. On
+    /// a racing double-compute the first insert wins so every caller
+    /// sees one artifact (each racer still reports its own miss).
     pub(crate) fn get_or_try<E>(
         &self,
         key: u64,
         compute: impl FnOnce() -> Result<T, E>,
-    ) -> Result<Arc<T>, E> {
+    ) -> Result<(Arc<T>, bool), E> {
         if let Some(v) = self.map.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             hlstb_trace::counter(self.hit_counter, 1);
-            return Ok(Arc::clone(v));
+            return Ok((Arc::clone(v), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         hlstb_trace::counter(self.miss_counter, 1);
         let v = Arc::new(compute()?);
-        Ok(Arc::clone(
-            self.map.lock().expect("cache lock").entry(key).or_insert(v),
+        Ok((
+            Arc::clone(self.map.lock().expect("cache lock").entry(key).or_insert(v)),
+            false,
         ))
     }
 
@@ -186,8 +199,8 @@ mod tests {
     fn store_hits_after_first_compute() {
         let cache = ArtifactCache::new();
         let mut computed = 0;
-        for _ in 0..3 {
-            let v = cache
+        for round in 0..3 {
+            let (v, hit) = cache
                 .facts
                 .get_or_try(42, || {
                     computed += 1;
@@ -198,6 +211,7 @@ mod tests {
                 })
                 .unwrap();
             assert_eq!(v.cycles, 7);
+            assert_eq!(hit, round > 0);
         }
         assert_eq!(computed, 1);
         let s = cache.stats();
@@ -214,7 +228,7 @@ mod tests {
             .get_or_try(1, || Err::<SgraphFacts, _>("boom".to_string()));
         assert!(r.is_err());
         // The failed compute left nothing behind; the next call computes.
-        let v = cache
+        let (v, hit) = cache
             .facts
             .get_or_try(1, || {
                 Ok::<_, String>(SgraphFacts {
@@ -224,6 +238,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(v.mfvs_size, 1);
+        assert!(!hit);
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct SweepOptions {
     /// retried before its typed error lands in the report. Flow errors
     /// are deterministic verdicts and are never retried.
     pub retries: u32,
+    /// Print a live one-line progress meter to stderr (done/total,
+    /// throughput, ETA, cache hit rate, retries/timeouts). Purely
+    /// cosmetic: results and reports are unaffected.
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -116,6 +120,67 @@ impl Default for SweepOptions {
             keep_designs: false,
             point_budget: None,
             retries: 1,
+            progress: false,
+        }
+    }
+}
+
+/// Live progress shared by the workers: one `\r`-rewritten stderr line
+/// per finished point.
+struct ProgressMeter {
+    total: usize,
+    t0: Instant,
+    done: AtomicUsize,
+    failures: AtomicUsize,
+    timeouts: AtomicUsize,
+}
+
+impl ProgressMeter {
+    fn new(total: usize, t0: Instant) -> Self {
+        ProgressMeter {
+            total,
+            t0,
+            done: AtomicUsize::new(0),
+            failures: AtomicUsize::new(0),
+            timeouts: AtomicUsize::new(0),
+        }
+    }
+
+    fn tick(&self, record: &PointRecord, retries: u64, cache: Option<&ArtifactCache>) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        match &record.outcome {
+            Err(_) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(m) if m.timed_out => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
+        }
+        let elapsed = self.t0.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        let mut line = format!(
+            "\rsweep: {done}/{} pts  {rate:.1} pts/s  eta {eta:.0}s",
+            self.total
+        );
+        if let Some(c) = cache {
+            line.push_str(&format!("  cache {:.0}% hit", c.stats().hit_rate_percent()));
+        }
+        let failures = self.failures.load(Ordering::Relaxed);
+        let timeouts = self.timeouts.load(Ordering::Relaxed);
+        if retries + failures as u64 + timeouts as u64 > 0 {
+            line.push_str(&format!(
+                "  retries {retries}  failures {failures}  timeouts {timeouts}"
+            ));
+        }
+        eprint!("{line}");
+    }
+
+    /// Terminates the `\r` line so the next stderr write starts clean.
+    fn finish(&self) {
+        if self.done.load(Ordering::Relaxed) > 0 {
+            eprintln!();
         }
     }
 }
@@ -215,6 +280,12 @@ pub fn run_sweep_with(
     let restored_count = AtomicUsize::new(0);
     let retry_count = AtomicU64::new(0);
     let checkpoint_errors = AtomicUsize::new(0);
+    let meter = opts.progress.then(|| ProgressMeter::new(points.len(), t0));
+    hlstb_trace::events::emit("sweep.begin", None, |e| {
+        e.u64("points", points.len() as u64)
+            .volatile_u64("threads", opts.threads as u64)
+            .volatile_bool("cache", opts.cache);
+    });
     // Work stealing via a shared injector: each worker claims the next
     // unclaimed index until the list is drained, so a slow point never
     // stalls the remaining work. The injector is a plain atomic and
@@ -226,12 +297,21 @@ pub fn run_sweep_with(
             break;
         }
         let p = points[i];
+        let idx = p.index as u64;
+        hlstb_trace::events::emit("point.scheduled", Some(idx), |e| {
+            e.str("design", spec.designs[p.design].name())
+                .str("strategy", &spec::strategy_name(p.strategy));
+        });
         if let Some(set) = &restored_set {
             let hit = set
                 .lookup(point_keys[i], p.index)
                 .and_then(checkpoint::record_from_canonical);
             if let Some(record) = hit {
                 restored_count.fetch_add(1, Ordering::Relaxed);
+                hlstb_trace::events::emit("point.restored", Some(idx), |_| {});
+                if let Some(m) = &meter {
+                    m.tick(&record, retry_count.load(Ordering::Relaxed), cache.as_ref());
+                }
                 *slots[i].lock().expect("slot lock") = Some((record, None));
                 continue;
             }
@@ -250,6 +330,23 @@ pub fn run_sweep_with(
         );
         point_span.end();
         let record = make_record(spec, p, outcome, t.elapsed());
+        match &record.outcome {
+            Ok(m) => hlstb_trace::events::emit("point.completed", Some(idx), |e| {
+                if let Some(cov) = m.coverage_percent {
+                    e.f64("coverage_percent", cov);
+                }
+                e.bool("timed_out", m.timed_out)
+                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
+            }),
+            Err(err) => hlstb_trace::events::emit("point.failed", Some(idx), |e| {
+                e.str("error", err.kind())
+                    .volatile_str("message", err.message())
+                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
+            }),
+        }
+        if let Some(m) = &meter {
+            m.tick(&record, retry_count.load(Ordering::Relaxed), cache.as_ref());
+        }
         if let Some(ck) = &writer {
             if ck
                 .record(point_keys[i], p.index, &record.canonical_point_json())
@@ -272,6 +369,9 @@ pub fn run_sweep_with(
             }
         });
     }
+    if let Some(m) = &meter {
+        m.finish();
+    }
     let mut records = Vec::with_capacity(points.len());
     let mut designs = Vec::with_capacity(points.len());
     let mut cpu = Duration::ZERO;
@@ -285,6 +385,15 @@ pub fn run_sweep_with(
         designs.push(design);
     }
     hlstb_trace::counter("dse.points", records.len() as u64);
+    hlstb_trace::events::emit("sweep.end", None, |e| {
+        e.u64("points", records.len() as u64)
+            .u64(
+                "failures",
+                records.iter().filter(|r| r.outcome.is_err()).count() as u64,
+            )
+            .volatile_u64("wall_ms", t0.elapsed().as_millis() as u64)
+            .volatile_u64("retries", retry_count.load(Ordering::Relaxed));
+    });
     sweep_span.end();
     Ok(SweepOutcome {
         report: SweepReport {
@@ -377,6 +486,10 @@ fn eval_with_retry(
         if error.retryable() && attempt < opts.retries {
             attempt += 1;
             retry_count.fetch_add(1, Ordering::Relaxed);
+            hlstb_trace::events::emit("point.retry", Some(p.index as u64), |e| {
+                e.u64("attempt", u64::from(attempt))
+                    .str("error", error.kind());
+            });
             continue;
         }
         return (Err(error), None);
@@ -438,6 +551,44 @@ fn grade_opts(deadline: Deadline) -> ParallelOptions {
     }
 }
 
+/// Journals one pipeline-stage completion for a point. The stage name
+/// is a stable coordinate; the cache outcome and wall time ride
+/// volatile (racing workers flip hit/miss, and the canonical
+/// projection must stay byte-identical across cache settings).
+fn stage_event(p: Point, stage: &'static str, hit: Option<bool>, wall: Duration) {
+    hlstb_trace::events::emit("point.stage", Some(p.index as u64), |e| {
+        e.str("stage", stage)
+            .volatile_str(
+                "cache",
+                match hit {
+                    Some(true) => "hit",
+                    Some(false) => "miss",
+                    None => "off",
+                },
+            )
+            .volatile_u64("wall_us", wall.as_micros() as u64);
+    });
+}
+
+/// Journals a grading run's work counters against the point whose
+/// compute produced them. Entirely volatile: under a warm cache only
+/// the one point that computed the shared run emits this, and which
+/// point that is races under threading.
+fn grading_event(p: Point, stats: &hlstb::netlist::stats::GradeStats) {
+    hlstb_trace::events::emit_volatile("point.grading", Some(p.index as u64), |e| {
+        e.volatile_u64("faults", stats.faults as u64)
+            .volatile_u64("frames", stats.frames as u64)
+            .volatile_u64("fault_evals", stats.fault_evals)
+            .volatile_u64("screened", stats.screened)
+            .volatile_u64("dropped", stats.dropped)
+            .volatile_u64("unobservable", stats.unobservable)
+            .volatile_u64("stem_memo_hits", stats.stem_memo_hits)
+            .volatile_u64("stem_memo_misses", stats.stem_memo_misses)
+            .volatile_u64("flip_events", stats.flip_events)
+            .volatile_u64("early_exits", stats.early_exits);
+    });
+}
+
 /// The memoized pipeline. Stage keys, in dependency order:
 ///
 /// * front end — design content + scheduler + policy (the integrated
@@ -471,14 +622,19 @@ fn eval_cached(
             key::hash_debug(&p.policy),
         ])
     };
-    let fe = cache
+    let t = Instant::now();
+    let (fe, fe_hit) = cache
         .front
         .get_or_try(front_key, || flow.front_end().map_err(PointError::from))?;
-    let facts = cache.facts.get_or_try(front_key, || {
+    stage_event(p, "front", Some(fe_hit), t.elapsed());
+    let t = Instant::now();
+    let (facts, facts_hit) = cache.facts.get_or_try(front_key, || {
         Ok::<_, PointError>(SynthesisFlow::sgraph_facts(&fe.datapath))
     })?;
+    stage_event(p, "facts", Some(facts_hit), t.elapsed());
     let dft_key = key::combine(&[front_key, key::hash_debug(&p.strategy)]);
-    let dft = cache.dft.get_or_try(dft_key, || {
+    let t = Instant::now();
+    let (dft, dft_hit) = cache.dft.get_or_try(dft_key, || {
         let mut fe = (*fe).clone();
         let plans = flow.apply_dft(&mut fe);
         Ok::<_, PointError>(DftOutput {
@@ -486,29 +642,33 @@ fn eval_cached(
             plans,
         })
     })?;
+    stage_event(p, "dft", Some(dft_hit), t.elapsed());
     let nl_key = key::combine(&[
         key::hash_debug(&dft.datapath),
         u64::from(p.width),
         u64::from(spec.reset_controller),
     ]);
-    let expanded = cache.netlist.get_or_try(nl_key, || {
+    let t = Instant::now();
+    let (expanded, nl_hit) = cache.netlist.get_or_try(nl_key, || {
         flow.expand_netlist(&dft.datapath).map_err(PointError::from)
     })?;
+    stage_event(p, "netlist", Some(nl_hit), t.elapsed());
     let (coverage_percent, timed_out) = if p.patterns > 0 {
-        let run = cache.grading.get_or_try(nl_key, || {
+        let t = Instant::now();
+        let (run, grading_hit) = cache.grading.get_or_try(nl_key, || {
             let faults = collapsed_faults(&expanded.netlist);
             let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
-            Ok::<_, PointError>(
-                random_pattern_run_opts(
-                    &expanded.netlist,
-                    &faults,
-                    max_patterns,
-                    &mut rng,
-                    &grade_opts(deadline),
-                )
-                .0,
-            )
+            let (run, gstats) = random_pattern_run_opts(
+                &expanded.netlist,
+                &faults,
+                max_patterns,
+                &mut rng,
+                &grade_opts(deadline),
+            );
+            grading_event(p, &gstats);
+            Ok::<_, PointError>(run)
         })?;
+        stage_event(p, "grading", Some(grading_hit), t.elapsed());
         (
             Some(coverage_at(&run.curve, p.patterns)),
             grading_truncated(&run, p.patterns),
@@ -548,22 +708,37 @@ fn eval_direct(
 ) -> Result<PointOutput, PointError> {
     let design = &spec.designs[p.design];
     let flow = base_flow(spec, design, p);
+    let t = Instant::now();
     let mut fe = flow.front_end().map_err(PointError::from)?;
+    stage_event(p, "front", None, t.elapsed());
+    // Compute order matches the cached path's artifacts; stage events
+    // are emitted in the same fixed front → facts → dft → netlist →
+    // grading order so canonical journals agree across cache settings.
+    let t_dft = Instant::now();
     let plans = flow.apply_dft(&mut fe);
+    let dft_wall = t_dft.elapsed();
+    let t = Instant::now();
     let facts = SynthesisFlow::sgraph_facts(&fe.datapath);
+    stage_event(p, "facts", None, t.elapsed());
+    stage_event(p, "dft", None, dft_wall);
+    let t = Instant::now();
     let expanded = flow
         .expand_netlist(&fe.datapath)
         .map_err(PointError::from)?;
+    stage_event(p, "netlist", None, t.elapsed());
     let (coverage_percent, timed_out) = if p.patterns > 0 {
+        let t = Instant::now();
         let faults = collapsed_faults(&expanded.netlist);
         let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
-        let (run, _) = random_pattern_run_opts(
+        let (run, gstats) = random_pattern_run_opts(
             &expanded.netlist,
             &faults,
             p.patterns,
             &mut rng,
             &grade_opts(deadline),
         );
+        grading_event(p, &gstats);
+        stage_event(p, "grading", None, t.elapsed());
         (
             Some(coverage_at(&run.curve, p.patterns)),
             grading_truncated(&run, p.patterns),

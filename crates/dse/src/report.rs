@@ -146,6 +146,18 @@ impl SweepReport {
             .collect()
     }
 
+    /// Failure totals grouped by [`PointError::kind`], name-sorted.
+    /// Empty when every point succeeded.
+    pub fn error_kinds(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut kinds = std::collections::BTreeMap::new();
+        for p in &self.points {
+            if let Err(e) = &p.outcome {
+                *kinds.entry(e.kind()).or_insert(0) += 1;
+            }
+        }
+        kinds
+    }
+
     /// Points whose wall-clock budget expired: timeout failures plus
     /// successes with truncated (timed-out) coverage.
     pub fn timeouts(&self) -> usize {
@@ -194,12 +206,28 @@ impl SweepReport {
         out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall)));
         out.push_str(&format!("  \"cpu_ms\": {},\n", ms(self.cpu)));
         out.push_str(&format!("  \"failures\": {},\n", self.errors().len()));
+        let kinds = self
+            .error_kinds()
+            .iter()
+            .map(|(k, n)| format!("\"{k}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  \"error_kinds\": {{{kinds}}},\n"));
         out.push_str(&format!("  \"retries\": {},\n", self.retries));
         out.push_str(&format!("  \"timeouts\": {},\n", self.timeouts()));
         out.push_str(&format!("  \"restored\": {},\n", self.restored));
         match &self.cache {
-            Some(c) => out.push_str(&format!("  \"cache\": {},\n", c.to_json())),
-            None => out.push_str("  \"cache\": null,\n"),
+            Some(c) => {
+                out.push_str(&format!(
+                    "  \"cache_hit_rate_percent\": {},\n",
+                    number_f64(c.hit_rate_percent())
+                ));
+                out.push_str(&format!("  \"cache\": {},\n", c.to_json()));
+            }
+            None => {
+                out.push_str("  \"cache_hit_rate_percent\": null,\n");
+                out.push_str("  \"cache\": null,\n");
+            }
         }
         out.push_str(&format!("  \"points\": {}\n", self.points_json(true)));
         out.push('}');
@@ -262,15 +290,35 @@ impl SweepReport {
         out
     }
 
-    /// One-line run summary (the CLI's stderr footer): point, error,
-    /// retry, timeout, and restore counts, threads, cache hit/miss
-    /// totals, wall time.
+    /// One-line run summary (the CLI's stderr footer): point, error
+    /// (with a per-kind breakdown), retry, timeout, and restore counts,
+    /// threads, cache hit/miss totals with hit rate, wall time.
     pub fn summary(&self) -> String {
-        let (hits, misses) = self.cache.map_or((0, 0), |c| (c.hits(), c.misses()));
+        let errors = {
+            let kinds = self.error_kinds();
+            if kinds.is_empty() {
+                "0 errors".to_string()
+            } else {
+                let detail = kinds
+                    .iter()
+                    .map(|(k, n)| format!("{k}: {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("{} errors [{detail}]", self.errors().len())
+            }
+        };
+        let cache = match &self.cache {
+            Some(c) => format!(
+                "cache hits: {}, misses: {} ({:.1}% hit)",
+                c.hits(),
+                c.misses(),
+                c.hit_rate_percent()
+            ),
+            None => "cache off".to_string(),
+        };
         format!(
-            "sweep: {} points ({} errors), {} threads, {} retries, {} timeouts, {} restored, cache hits: {hits}, misses: {misses}, wall: {:.1} ms, cpu: {:.1} ms",
+            "sweep: {} points ({errors}), {} threads, {} retries, {} timeouts, {} restored, {cache}, wall: {:.1} ms, cpu: {:.1} ms",
             self.points.len(),
-            self.errors().len(),
             self.threads,
             self.retries,
             self.timeouts(),
@@ -415,12 +463,45 @@ mod tests {
         assert!(t.contains("design"), "{t}");
         assert!(t.contains("flow: scheduling"), "{t}");
         let s = r.summary();
-        assert!(s.contains("2 points (1 errors)"), "{s}");
+        assert!(s.contains("2 points (1 errors [flow: 1])"), "{s}");
         assert!(s.contains("0 retries"), "{s}");
         assert!(s.contains("0 restored"), "{s}");
-        assert!(s.contains("cache hits: 0"), "{s}");
+        assert!(s.contains("cache hits: 0, misses: 0 (0.0% hit)"), "{s}");
         assert_eq!(r.errors().len(), 1);
         assert_eq!(r.timeouts(), 0);
+        // Without a cache the summary says so instead of zero counters.
+        let mut nc = report();
+        nc.cache = None;
+        nc.points.truncate(1);
+        let s = nc.summary();
+        assert!(s.contains("cache off"), "{s}");
+        assert!(s.contains("(0 errors)"), "{s}");
+    }
+
+    #[test]
+    fn error_kinds_group_failures_and_reach_the_envelope() {
+        let mut r = report();
+        r.points.push(record(2, false));
+        r.points.push({
+            let mut p = record(3, false);
+            p.outcome = Err(PointError::Timeout {
+                message: "budget expired".into(),
+            });
+            p
+        });
+        let kinds = r.error_kinds();
+        assert_eq!(kinds.get("flow"), Some(&2));
+        assert_eq!(kinds.get("timeout"), Some(&1));
+        let v = json::parse(&r.to_json()).expect("full parses");
+        let ek = v.get("error_kinds").expect("error_kinds object");
+        assert_eq!(ek.get("flow").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(ek.get("timeout").and_then(|x| x.as_f64()), Some(1.0));
+        assert!(v.get("cache_hit_rate_percent").is_some());
+        assert!(
+            r.summary().contains("[flow: 2, timeout: 1]"),
+            "{}",
+            r.summary()
+        );
     }
 
     #[test]

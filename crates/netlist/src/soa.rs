@@ -226,6 +226,7 @@ fn stem_flip_obs<const N: usize>(
     mask: &PatternWord<N>,
     stem: u32,
     scratch: &mut EventScratch<N>,
+    stats: &mut GradeStats,
 ) -> PatternWord<N> {
     // A directly observed stem is its own observation point.
     if obs.mark[stem as usize] {
@@ -263,6 +264,7 @@ fn stem_flip_obs<const N: usize>(
         let mut bucket = std::mem::take(&mut scratch.buckets[lvl]);
         for &g in &bucket {
             let gi = g as usize;
+            stats.flip_events += 1;
             let ops = soa.operands(g);
             let a = rd(&scratch.mark, &scratch.val, good, stamped, ops[0] as usize);
             let v = match soa.kind(g) {
@@ -312,6 +314,7 @@ fn stem_flip_obs<const N: usize>(
                     // Every live pattern already observes the flip;
                     // drop the stale entries so the next pass starts
                     // from empty buckets.
+                    stats.early_exits += 1;
                     for b in &mut scratch.buckets[lvl..=hi] {
                         b.clear();
                     }
@@ -473,9 +476,11 @@ fn grade_shard<const N: usize>(
             // The stem observability word is shared by every fault of
             // this region, for either polarity; memoized per chunk.
             let ow = if scratch.stem_stamp[n as usize] == c as u64 + 1 {
+                stats.stem_memo_hits += 1;
                 scratch.stem_obs[n as usize]
             } else {
-                let w = stem_flip_obs(soa, obs, good, mask, n, &mut scratch);
+                stats.stem_memo_misses += 1;
+                let w = stem_flip_obs(soa, obs, good, mask, n, &mut scratch, &mut stats);
                 scratch.stem_stamp[n as usize] = c as u64 + 1;
                 scratch.stem_obs[n as usize] = w;
                 w

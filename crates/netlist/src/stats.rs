@@ -29,6 +29,20 @@ pub struct GradeStats {
     /// Faults whose combinational fanout cone reaches no observation
     /// point — structurally undetectable for this observation set.
     pub unobservable: u64,
+    /// SoA engine only: stem-observability lookups answered by the
+    /// per-chunk memo (the fault's FFR stem was already resolved this
+    /// chunk).
+    pub stem_memo_hits: u64,
+    /// SoA engine only: stem lookups that had to run the event-driven
+    /// flip propagation.
+    pub stem_memo_misses: u64,
+    /// SoA engine only: gate evaluations performed by the event-driven
+    /// flip propagation (the engine's true unit of hot-loop work).
+    pub flip_events: u64,
+    /// SoA engine only: flip propagations cut short because the
+    /// observability word saturated (every parallel pattern already
+    /// differed at an observation point).
+    pub early_exits: u64,
     /// Worker threads the faulty-machine phase actually ran on — the
     /// *effective* count after the small-universe gate
     /// ([`crate::fsim::ParallelOptions::min_faults_per_thread`]) may
@@ -70,6 +84,10 @@ impl GradeStats {
         self.screened += other.screened;
         self.dropped += other.dropped;
         self.unobservable += other.unobservable;
+        self.stem_memo_hits += other.stem_memo_hits;
+        self.stem_memo_misses += other.stem_memo_misses;
+        self.flip_events += other.flip_events;
+        self.early_exits += other.early_exits;
         self.timed_out |= other.timed_out;
     }
 
@@ -82,6 +100,10 @@ impl GradeStats {
             .number_u64("screened", self.screened)
             .number_u64("dropped", self.dropped)
             .number_u64("unobservable", self.unobservable)
+            .number_u64("stem_memo_hits", self.stem_memo_hits)
+            .number_u64("stem_memo_misses", self.stem_memo_misses)
+            .number_u64("flip_events", self.flip_events)
+            .number_u64("early_exits", self.early_exits)
             .number_u64("threads", self.threads as u64)
             .raw(
                 "wall_good_ms",
@@ -108,6 +130,10 @@ impl GradeStats {
         hlstb_trace::counter("fsim.screened", self.screened);
         hlstb_trace::counter("fsim.dropped", self.dropped);
         hlstb_trace::counter("fsim.unobservable", self.unobservable);
+        hlstb_trace::counter("fsim.stem_memo_hits", self.stem_memo_hits);
+        hlstb_trace::counter("fsim.stem_memo_misses", self.stem_memo_misses);
+        hlstb_trace::counter("fsim.flip_events", self.flip_events);
+        hlstb_trace::counter("fsim.early_exits", self.early_exits);
         hlstb_trace::counter("fsim.frames", self.frames as u64);
         hlstb_trace::gauge("fsim.threads", self.threads as u64);
         hlstb_trace::gauge("fsim.faults", self.faults as u64);
@@ -150,6 +176,7 @@ mod tests {
             wall_good: Duration::from_millis(1),
             wall_fault: Duration::from_millis(2),
             timed_out: false,
+            ..Default::default()
         };
         let b = GradeStats {
             faults: 10,
@@ -162,6 +189,10 @@ mod tests {
             wall_good: Duration::from_millis(3),
             wall_fault: Duration::from_millis(4),
             timed_out: true,
+            stem_memo_hits: 6,
+            stem_memo_misses: 2,
+            flip_events: 40,
+            early_exits: 1,
         };
         a.absorb(&b);
         assert_eq!(a.faults, 10);
@@ -171,6 +202,10 @@ mod tests {
         assert_eq!(a.dropped, 4);
         assert_eq!(a.threads, 2);
         assert_eq!(a.wall(), Duration::from_millis(10));
+        assert_eq!(a.stem_memo_hits, 6);
+        assert_eq!(a.stem_memo_misses, 2);
+        assert_eq!(a.flip_events, 40);
+        assert_eq!(a.early_exits, 1);
         // A truncated sub-run marks the aggregate as truncated.
         assert!(a.timed_out);
     }
@@ -185,6 +220,10 @@ mod tests {
             "screened",
             "dropped",
             "unobservable",
+            "stem_memo_hits",
+            "stem_memo_misses",
+            "flip_events",
+            "early_exits",
             "threads",
             "wall_good_ms",
             "wall_fault_ms",

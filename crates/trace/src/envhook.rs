@@ -1,0 +1,130 @@
+//! One parser for the `HLSTB_TRACE*` environment hooks, shared by the
+//! `hlstb` CLI and the `exp_*` experiment binaries so the two agree on
+//! semantics.
+//!
+//! Every hook selects by **value**, never by mere presence:
+//!
+//! * unset, empty, or `"0"` → off;
+//! * `HLSTB_TRACE=<file>` → write a Chrome trace (chrome://tracing,
+//!   Perfetto) to `<file>` on finish;
+//! * `HLSTB_TRACE_METRICS=<file>` → write the flat metrics JSON to
+//!   `<file>`;
+//! * `HLSTB_TRACE_EVENTS=<file>` → enable the [`crate::events`]
+//!   journal and write it as JSONL to `<file>`;
+//! * `HLSTB_TRACE_SUMMARY=<anything else, e.g. 1>` → print the
+//!   per-phase text summary to stderr.
+//!
+//! Historically `HLSTB_TRACE_SUMMARY` was tested by presence (so
+//! `HLSTB_TRACE_SUMMARY=0` still enabled it) while `HLSTB_TRACE` used
+//! its value as a path — this module is the single source of truth
+//! that resolves that inconsistency.
+
+/// The resolved hook configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnvHooks {
+    /// Chrome-trace output path (`HLSTB_TRACE`).
+    pub chrome: Option<String>,
+    /// Flat metrics JSON output path (`HLSTB_TRACE_METRICS`).
+    pub metrics: Option<String>,
+    /// Event-journal JSONL output path (`HLSTB_TRACE_EVENTS`).
+    pub events: Option<String>,
+    /// Whether to print the text summary to stderr
+    /// (`HLSTB_TRACE_SUMMARY`).
+    pub summary: bool,
+}
+
+impl EnvHooks {
+    /// Whether any hook asks for the aggregate collector (spans,
+    /// counters, gauges).
+    pub fn wants_trace(&self) -> bool {
+        self.chrome.is_some() || self.metrics.is_some() || self.summary
+    }
+
+    /// Whether any hook asks for the event journal.
+    pub fn wants_events(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Whether every hook is off.
+    pub fn is_off(&self) -> bool {
+        !self.wants_trace() && !self.wants_events()
+    }
+}
+
+/// Off when unset, empty, or `"0"`; otherwise the value.
+fn value_hook(v: Option<String>) -> Option<String> {
+    v.filter(|s| !s.is_empty() && s != "0")
+}
+
+/// Resolves hooks from a lookup function — the pure core, unit-tested
+/// without touching the process environment.
+pub fn parse(get: impl Fn(&str) -> Option<String>) -> EnvHooks {
+    EnvHooks {
+        chrome: value_hook(get("HLSTB_TRACE")),
+        metrics: value_hook(get("HLSTB_TRACE_METRICS")),
+        events: value_hook(get("HLSTB_TRACE_EVENTS")),
+        summary: value_hook(get("HLSTB_TRACE_SUMMARY")).is_some(),
+    }
+}
+
+/// Resolves hooks from the process environment.
+pub fn from_env() -> EnvHooks {
+    parse(|k| std::env::var(k).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(name, _)| *name == k)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn unset_empty_and_zero_are_all_off() {
+        assert!(parse(env_of(&[])).is_off());
+        assert!(parse(env_of(&[
+            ("HLSTB_TRACE", ""),
+            ("HLSTB_TRACE_METRICS", "0"),
+            ("HLSTB_TRACE_EVENTS", ""),
+            ("HLSTB_TRACE_SUMMARY", "0"),
+        ]))
+        .is_off());
+    }
+
+    #[test]
+    fn paths_come_from_values_and_summary_is_truthy() {
+        let hooks = parse(env_of(&[
+            ("HLSTB_TRACE", "out.trace.json"),
+            ("HLSTB_TRACE_EVENTS", "out.events.jsonl"),
+            ("HLSTB_TRACE_SUMMARY", "1"),
+        ]));
+        assert_eq!(hooks.chrome.as_deref(), Some("out.trace.json"));
+        assert_eq!(hooks.metrics, None);
+        assert_eq!(hooks.events.as_deref(), Some("out.events.jsonl"));
+        assert!(hooks.summary);
+        assert!(hooks.wants_trace());
+        assert!(hooks.wants_events());
+    }
+
+    #[test]
+    fn summary_zero_no_longer_counts_as_presence() {
+        // The historical by-presence bug: SUMMARY=0 used to enable it.
+        let hooks = parse(env_of(&[("HLSTB_TRACE_SUMMARY", "0")]));
+        assert!(!hooks.summary);
+        assert!(hooks.is_off());
+    }
+
+    #[test]
+    fn events_alone_wants_journal_but_not_collector() {
+        let hooks = parse(env_of(&[("HLSTB_TRACE_EVENTS", "j.jsonl")]));
+        assert!(!hooks.wants_trace());
+        assert!(hooks.wants_events());
+        assert!(!hooks.is_off());
+    }
+}

@@ -197,6 +197,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value's fields in source order, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document (trailing whitespace allowed,

@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envhook;
+pub mod events;
 pub mod json;
 
 use std::cell::Cell;
@@ -60,8 +62,19 @@ thread_local! {
     static TID: Cell<u32> = const { Cell::new(0) };
 }
 
+/// Pins the trace epoch (timestamp zero) if not already pinned, so the
+/// span collector and the event journal share one time base.
+pub(crate) fn pin_epoch() {
+    EPOCH.get_or_init(Instant::now);
+}
+
+/// Microseconds elapsed since the trace epoch (pinning it on first use).
+pub(crate) fn epoch_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
 /// Small dense id of the calling thread (assigned on first traced use).
-fn thread_tid() -> u32 {
+pub(crate) fn thread_tid() -> u32 {
     TID.with(|c| {
         let v = c.get();
         if v != 0 {
@@ -183,19 +196,36 @@ pub struct Span {
 struct ActiveSpan {
     name: &'static str,
     start: Instant,
+    /// Whether to record into the aggregate collector on drop.
+    collect: bool,
+    /// Seq of the journal's `span.open` record, when the event journal
+    /// is on (see [`events`]).
+    journal_open: Option<u64>,
 }
 
 /// Opens a span named `name`. Close it by dropping the guard (or
-/// explicitly via [`Span::end`]).
+/// explicitly via [`Span::end`]). Records into the aggregate collector
+/// when tracing is enabled and additionally journals open/close
+/// records (with parent attribution) when the [`events`] journal is
+/// enabled; inert when both are off.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
+    let collect = enabled();
+    let journal = events::enabled();
+    if !collect && !journal {
         return Span { inner: None };
     }
+    let journal_open = if journal {
+        Some(events::span_open(name))
+    } else {
+        None
+    };
     Span {
         inner: Some(ActiveSpan {
             name,
             start: Instant::now(),
+            collect,
+            journal_open,
         }),
     }
 }
@@ -209,6 +239,12 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(s) = self.inner.take() {
             let dur = s.start.elapsed();
+            if let Some(open_seq) = s.journal_open {
+                events::span_close(s.name, open_seq, dur.as_micros() as u64);
+            }
+            if !s.collect {
+                return;
+            }
             let epoch = *EPOCH.get_or_init(Instant::now);
             let start_us = s.start.saturating_duration_since(epoch).as_micros() as u64;
             let event = SpanEvent {
@@ -231,10 +267,14 @@ impl Drop for Span {
     }
 }
 
-/// Adds `delta` to the counter `name` (created at zero). No-op when
-/// tracing is disabled.
+/// Adds `delta` to the counter `name` (created at zero). Also journals
+/// a volatile `counter` record when the [`events`] journal is on.
+/// No-op when both are disabled.
 #[inline]
 pub fn counter(name: &'static str, delta: u64) {
+    if events::enabled() {
+        events::counter_event(name, delta);
+    }
     if !enabled() {
         return;
     }
@@ -291,7 +331,9 @@ pub struct PhaseSummary {
 /// clear collection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
-    /// Completed span events, in completion order.
+    /// Completed span events, sorted by `(start_us, dur_us, tid,
+    /// name)` — a deterministic order regardless of which worker's
+    /// span happened to reach the collector first.
     pub events: Vec<Event>,
     /// Events discarded past the retention cap.
     pub dropped_events: u64,
@@ -303,20 +345,26 @@ pub struct Snapshot {
     pub gauges: Vec<(&'static str, u64)>,
 }
 
-/// Copies the collector's current contents.
+/// Copies the collector's current contents. Span events are re-sorted
+/// into a completion-order-independent order so the exporters emit the
+/// same bytes no matter how concurrent workers raced to the collector
+/// (timestamps still vary run to run, of course; the point is that a
+/// single run's snapshot renders one way).
 pub fn snapshot() -> Snapshot {
     let c = lock_collector();
+    let mut events: Vec<Event> = c
+        .events
+        .iter()
+        .map(|e| Event {
+            name: e.name,
+            tid: e.tid,
+            start_us: e.start_us,
+            dur_us: e.dur_us,
+        })
+        .collect();
+    events.sort_by_key(|e| (e.start_us, e.dur_us, e.tid, e.name));
     Snapshot {
-        events: c
-            .events
-            .iter()
-            .map(|e| Event {
-                name: e.name,
-                tid: e.tid,
-                start_us: e.start_us,
-                dur_us: e.dur_us,
-            })
-            .collect(),
+        events,
         dropped_events: c.dropped_events,
         phases: c
             .phases
@@ -550,6 +598,41 @@ mod tests {
         tids.dedup();
         assert_eq!(tids.len(), 3, "{:?}", snap.events);
         reset();
+    }
+
+    #[test]
+    fn exporters_render_name_sorted_regardless_of_insertion_order() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        // Insert counters and spans in reverse-alphabetical order; the
+        // exporters must still render them name-sorted.
+        counter("zeta", 1);
+        counter("alpha", 1);
+        span("zz_last").end();
+        span("aa_first").end();
+        set_enabled(false);
+        let snap = snapshot();
+        reset();
+        let names: Vec<&str> = snap.counters.iter().map(|&(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        let phases: Vec<&str> = snap.phases.iter().map(|p| p.name).collect();
+        assert_eq!(phases, vec!["aa_first", "zz_last"]);
+        let metrics = snap.metrics_json();
+        assert!(
+            metrics.find("\"alpha\"").unwrap() < metrics.find("\"zeta\"").unwrap(),
+            "{metrics}"
+        );
+        assert!(
+            metrics.find("\"aa_first\"").unwrap() < metrics.find("\"zz_last\"").unwrap(),
+            "{metrics}"
+        );
+        // Event order in exporters follows the deterministic sort key,
+        // not collector insertion order.
+        let starts: Vec<u64> = snap.events.iter().map(|e| e.start_us).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
     }
 
     #[test]

@@ -33,21 +33,33 @@ static ALLOC: CountingAlloc = CountingAlloc;
 #[test]
 fn disabled_tracing_allocates_nothing_on_the_hot_path() {
     hlstb_trace::set_enabled(false);
+    hlstb_trace::events::set_enabled(false);
     // Warm up thread-locals and lazy statics outside the window.
     for _ in 0..8 {
         let _span = hlstb_trace::span("fsim.fault");
         hlstb_trace::counter("fsim.fault_evals", 1);
         hlstb_trace::gauge("fsim.threads", 1);
+        hlstb_trace::events::emit("point.probe", Some(0), |e| {
+            e.u64("n", 1);
+        });
     }
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..10_000 {
         // The exact primitive mix of one faulty-machine evaluation in
-        // the grading engine's inner loop.
+        // the grading engine's inner loop, plus the journal entry
+        // points the sweep path calls unconditionally.
         let span = hlstb_trace::span("fsim.fault");
         hlstb_trace::counter("fsim.fault_evals", 1);
         hlstb_trace::counter("fsim.screened", 1);
         hlstb_trace::gauge("fsim.threads", 4);
+        hlstb_trace::events::emit("point.probe", Some(0), |e| {
+            e.u64("n", 1).str("stage", "grading");
+        });
+        hlstb_trace::events::emit_volatile("point.timing", Some(0), |e| {
+            e.volatile_u64("wall_us", 3);
+        });
         assert!(!hlstb_trace::enabled());
+        assert!(!hlstb_trace::events::enabled());
         span.end();
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);

@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke soa-equiv
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke events-smoke soa-equiv perf-floor
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -54,7 +54,7 @@ sweep-fault-smoke: build
         --designs figure1,tseng --strategies none,full-scan,bist-shared \
         --grade 64 --threads 4 --cache --json >fault_parallel.json
     cmp fault_serial.json fault_parallel.json
-    grep "sweep: 6 points (2 errors)" fault_summary.txt
+    grep "sweep: 6 points (2 errors \[panic: 1, timeout: 1\])" fault_summary.txt
     grep -q '"kind": "panic"' fault_serial.json
     grep -q '"kind": "timeout"' fault_serial.json
     ./target/release/hlstb sweep --designs figure1,tseng \
@@ -74,14 +74,37 @@ sweep-fault-smoke: build
     rm -f fault_serial.json fault_parallel.json fault_summary.txt \
         resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
 
-# SoA engine differential smoke (identical detected sets vs the
-# reference engine at every word width on two designs) plus the
-# committed BENCH_fsim.json headline guard: soa-512 vs drop must stay
-# at or above the 4.0x floor. The guard reads the checked-in JSON, not
-# a fresh timing run; refresh with `just bench-fsim` after engine work.
+# Events smoke: journal the tiny sweep at 1 thread uncached and 4
+# threads cached; the canonical projections must be byte-identical and
+# the full journal must roll up through trace-view.
+events-smoke: build
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 128 \
+        --threads 1 --no-cache \
+        --events events_t1.jsonl --events-canonical events_t1_canon.jsonl \
+        >/dev/null
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 128 \
+        --threads 4 --cache \
+        --events events_t4.jsonl --events-canonical events_t4_canon.jsonl \
+        >/dev/null
+    cmp events_t1_canon.jsonl events_t4_canon.jsonl
+    ./target/release/hlstb trace-view events_t4.jsonl >events_view.txt
+    grep "6 points" events_view.txt
+    grep "point.completed" events_view.txt
+    rm -f events_t1.jsonl events_t1_canon.jsonl events_t4.jsonl \
+        events_t4_canon.jsonl events_view.txt
+
+# SoA engine differential smoke: identical detected sets vs the
+# reference engine at every word width on two designs.
 soa-equiv: build
     ./target/release/hlstb soa-check figure1 tseng
-    awk -F': ' '/"speedup_soa512_vs_drop"/ { found = 1; if ($2 + 0 < 4.0) { print "BENCH_fsim.json: soa-512 vs drop headline " $2 " is below the 4.0x floor"; exit 1 } } END { if (!found) { print "BENCH_fsim.json: missing speedup_soa512_vs_drop"; exit 1 } }' BENCH_fsim.json
+
+# The committed BENCH artifacts' headline metrics must stay at or above
+# their own `floors` objects. Reads the checked-in JSON, not a fresh
+# timing run; refresh with `just bench` after deliberate engine work.
+perf-floor: build
+    ./target/release/hlstb perf-diff --floor BENCH_fsim.json BENCH_dse.json
 
 # Regenerate every experiment table (EXPERIMENTS.md source of truth).
 exp-all:

@@ -49,7 +49,8 @@ fn parse_list<T>(
         .collect()
 }
 
-const USAGE: &str = "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-check> [args]
+const USAGE: &str =
+    "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-check|trace-view|perf-diff> [args]
   list                          available benchmark designs
   table1                        the survey's Table 1
   synth <design> [options]      run the synthesis flow, print the report
@@ -58,6 +59,20 @@ const USAGE: &str = "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-che
   cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
   trace-check <file> [span...]  validate a Chrome trace file, requiring
                                 each named span to be present
+  trace-view <journal> [--top N]
+                                roll an event journal (sweep --events) up
+                                into lifecycle totals, a per-stage cache/
+                                latency table, and the N slowest points
+                                (default 10); fails on unparseable lines
+                                or a journal without point records
+  perf-diff <old> <new> [--tolerance P]
+                                compare two BENCH JSON files metric by
+                                metric; exit nonzero when a speedup drops
+                                (or a wall time grows) by more than P%
+                                (default 10)
+  perf-diff --floor <file>...   check each BENCH file's headline metrics
+                                against its own committed `floors` object;
+                                the CI perf gate
   soa-check [design...]         grade each design (default: all) with the
                                 reference engine and the SoA engine at
                                 every word width; fail on any detected-set
@@ -94,10 +109,19 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
                the resumed report is byte-identical to an uninterrupted run
   --json       print the canonical (run-invariant) report as JSON
   --full-json  print the full report (adds timing, threads, cache stats)
+  --events <file>           write the per-point event journal as JSONL
+                            (point lifecycle, stage timings, cache
+                            outcomes; roll up with `hlstb trace-view`)
+  --events-canonical <file> write the journal's canonical projection:
+                            stable records/fields only, byte-identical
+                            across thread counts and cache settings
+  --progress   live progress meter on stderr (points/s, ETA, cache rate)
   plus --trace / --trace-metrics / --trace-summary as above
 environment:
   HLSTB_FAIL_POINT   inject deterministic point failures, e.g.
-                     \"panic:1,4;stall:2;flaky:3\" (testing/CI)";
+                     \"panic:1,4;stall:2;flaky:3\" (testing/CI)
+  HLSTB_TRACE / HLSTB_TRACE_METRICS / HLSTB_TRACE_EVENTS /
+  HLSTB_TRACE_SUMMARY   equivalent sinks for the bench binaries";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,12 +134,14 @@ fn main() -> ExitCode {
     }
 }
 
-/// Tracing sinks shared by `synth` and `sweep`.
+/// Tracing and journal sinks shared by `synth` and `sweep`.
 #[derive(Default)]
 struct TraceArgs {
     trace_path: Option<String>,
     metrics_path: Option<String>,
     summary: bool,
+    events_path: Option<String>,
+    events_canonical_path: Option<String>,
 }
 
 impl TraceArgs {
@@ -123,14 +149,40 @@ impl TraceArgs {
         self.trace_path.is_some() || self.metrics_path.is_some() || self.summary
     }
 
+    fn events_enabled(&self) -> bool {
+        self.events_path.is_some() || self.events_canonical_path.is_some()
+    }
+
     fn start(&self) {
         if self.enabled() {
             hlstb::trace::reset();
             hlstb::trace::set_enabled(true);
         }
+        if self.events_enabled() {
+            hlstb::trace::events::reset();
+            hlstb::trace::events::set_enabled(true);
+        }
     }
 
     fn finish(&self) -> Result<(), String> {
+        if self.events_enabled() {
+            hlstb::trace::events::set_enabled(false);
+            let journal = hlstb::trace::events::drain();
+            if journal.dropped > 0 {
+                eprintln!(
+                    "warning: event journal dropped {} records past the {}-record cap",
+                    journal.dropped,
+                    hlstb::trace::events::MAX_RECORDS
+                );
+            }
+            if let Some(p) = &self.events_path {
+                std::fs::write(p, journal.to_jsonl()).map_err(|e| format!("writing {p}: {e}"))?;
+            }
+            if let Some(p) = &self.events_canonical_path {
+                std::fs::write(p, journal.to_canonical_jsonl())
+                    .map_err(|e| format!("writing {p}: {e}"))?;
+            }
+        }
         if !self.enabled() {
             return Ok(());
         }
@@ -315,6 +367,11 @@ fn run(args: &[String]) -> Result<(), String> {
                         i += 1;
                         continue;
                     }
+                    "--progress" => {
+                        opts.progress = true;
+                        i += 1;
+                        continue;
+                    }
                     _ => {}
                 }
                 let value = args
@@ -361,6 +418,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                     "--trace" => trace.trace_path = Some(value.clone()),
                     "--trace-metrics" => trace.metrics_path = Some(value.clone()),
+                    "--events" => trace.events_path = Some(value.clone()),
+                    "--events-canonical" => trace.events_canonical_path = Some(value.clone()),
                     other => return Err(format!("unknown option {other}\n{USAGE}")),
                 }
                 i += 2;
@@ -434,6 +493,65 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "trace-view" => {
+            let path = args.get(1).filter(|p| !p.starts_with("--")).ok_or(USAGE)?;
+            let mut top = 10usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--top" => {
+                        let value = args.get(i + 1).ok_or("--top needs a value")?;
+                        top = value
+                            .parse()
+                            .map_err(|_| format!("bad top count {value}"))?;
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown option {other}\n{USAGE}")),
+                }
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("trace-view: {path}: {e}"))?;
+            print!("{}", trace_view(path, &text, top)?);
+            Ok(())
+        }
+        "perf-diff" => {
+            let mut tolerance = 10.0f64;
+            let mut floor_mode = false;
+            let mut files: Vec<&str> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--floor" => {
+                        floor_mode = true;
+                        i += 1;
+                    }
+                    "--tolerance" => {
+                        let value = args.get(i + 1).ok_or("--tolerance needs a value")?;
+                        tolerance = value
+                            .parse()
+                            .map_err(|_| format!("bad tolerance {value}"))?;
+                        i += 2;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option {other}\n{USAGE}"))
+                    }
+                    file => {
+                        files.push(file);
+                        i += 1;
+                    }
+                }
+            }
+            if floor_mode {
+                if files.is_empty() {
+                    return Err("perf-diff --floor needs at least one file".to_string());
+                }
+                perf_floor(&files)
+            } else if files.len() == 2 {
+                perf_diff(files[0], files[1], tolerance)
+            } else {
+                Err("perf-diff needs exactly <old> <new> (or --floor <file>...)".to_string())
+            }
+        }
         "soa-check" => {
             let mut patterns = 256usize;
             let mut picked: Vec<Cdfg> = Vec::new();
@@ -460,6 +578,267 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err(USAGE.to_string()),
+    }
+}
+
+/// Rolls one event journal (the JSONL `sweep --events` writes) up into
+/// lifecycle totals, a per-stage cache/latency table, and the `top`
+/// slowest points. Errors on any unparseable line and on a journal
+/// with no point-attributed records, so CI can use it as a journal
+/// validity gate.
+fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[derive(Default)]
+    struct StageRollup {
+        calls: u64,
+        hits: u64,
+        misses: u64,
+        wall_us: u64,
+    }
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stages: BTreeMap<String, StageRollup> = BTreeMap::new();
+    // point -> (design, strategy), joined from point.scheduled.
+    let mut names: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    // (wall_us, point, outcome label) of finished points.
+    let mut finished: Vec<(u64, u64, String)> = Vec::new();
+    let mut points: BTreeSet<u64> = BTreeSet::new();
+    let mut records = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = hlstb::trace::json::parse(line)
+            .map_err(|e| format!("trace-view: {path}:{}: unparseable record: {e}", lineno + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| format!("trace-view: {path}:{}: record has no kind", lineno + 1))?;
+        records += 1;
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        let point = v.get("point").and_then(|p| p.as_f64()).map(|p| p as u64);
+        if let Some(p) = point {
+            points.insert(p);
+        }
+        let wall_us = || v.get("wall_us").and_then(|w| w.as_f64()).unwrap_or(0.0) as u64;
+        match kind {
+            "point.scheduled" => {
+                if let (Some(p), Some(d), Some(s)) = (
+                    point,
+                    v.get("design").and_then(|x| x.as_str()),
+                    v.get("strategy").and_then(|x| x.as_str()),
+                ) {
+                    names.insert(p, (d.to_string(), s.to_string()));
+                }
+            }
+            "point.stage" => {
+                let stage = v.get("stage").and_then(|s| s.as_str()).unwrap_or("?");
+                let roll = stages.entry(stage.to_string()).or_default();
+                roll.calls += 1;
+                roll.wall_us += wall_us();
+                match v.get("cache").and_then(|c| c.as_str()) {
+                    Some("hit") => roll.hits += 1,
+                    Some("miss") => roll.misses += 1,
+                    _ => {}
+                }
+            }
+            "point.completed" => {
+                if let Some(p) = point {
+                    let label = match v.get("coverage_percent").and_then(|c| c.as_f64()) {
+                        Some(c) => format!("completed, {c:.1}% cov"),
+                        None => "completed".to_string(),
+                    };
+                    finished.push((wall_us(), p, label));
+                }
+            }
+            "point.failed" => {
+                if let Some(p) = point {
+                    let err = v.get("error").and_then(|e| e.as_str()).unwrap_or("?");
+                    finished.push((wall_us(), p, format!("failed ({err})")));
+                }
+            }
+            _ => {}
+        }
+    }
+    if points.is_empty() {
+        return Err(format!(
+            "trace-view: {path}: no point records (was the journal captured with `sweep --events`?)"
+        ));
+    }
+    let mut out = format!(
+        "trace-view: {path}: {records} records, {} points\n\nlifecycle:\n",
+        points.len()
+    );
+    for (kind, n) in &kinds {
+        out.push_str(&format!("  {kind:<18} {n:>8}\n"));
+    }
+    if !stages.is_empty() {
+        out.push_str(&format!(
+            "\nstages:\n  {:<10} {:>7} {:>7} {:>7} {:>7} {:>11} {:>9}\n",
+            "stage", "calls", "hits", "misses", "hit %", "total ms", "avg us"
+        ));
+        for (stage, roll) in &stages {
+            let looked = roll.hits + roll.misses;
+            let rate = if looked == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", roll.hits as f64 * 100.0 / looked as f64)
+            };
+            out.push_str(&format!(
+                "  {stage:<10} {:>7} {:>7} {:>7} {rate:>7} {:>11.3} {:>9}\n",
+                roll.calls,
+                roll.hits,
+                roll.misses,
+                roll.wall_us as f64 / 1e3,
+                roll.wall_us / roll.calls.max(1),
+            ));
+        }
+    }
+    if !finished.is_empty() {
+        finished.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.push_str(&format!(
+            "\nslowest points (top {}):\n",
+            top.min(finished.len())
+        ));
+        for (wall, p, label) in finished.iter().take(top) {
+            let (design, strategy) = names
+                .get(p)
+                .cloned()
+                .unwrap_or_else(|| ("?".to_string(), "?".to_string()));
+            out.push_str(&format!(
+                "  #{p:<5} {design:<12} {strategy:<24} {:>9.3} ms  {label}\n",
+                *wall as f64 / 1e3
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn load_json(path: &str) -> Result<hlstb::trace::json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("perf-diff: {path}: {e}"))?;
+    hlstb::trace::json::parse(&text).map_err(|e| format!("perf-diff: {path}: invalid JSON: {e}"))
+}
+
+/// How a metric name should be compared across runs.
+enum MetricDir {
+    /// Bigger is better (speedups, coverage): regress on decrease.
+    HigherBetter,
+    /// Smaller is better (wall times): regress on increase.
+    LowerBetter,
+    /// Shape/config fields (point counts, pattern budgets): report only.
+    Neutral,
+}
+
+fn metric_dir(key: &str) -> MetricDir {
+    if key.starts_with("speedup") || key.contains("coverage") {
+        MetricDir::HigherBetter
+    } else if key.ends_with("_ms") || key.ends_with("_us") || key.starts_with("wall") {
+        MetricDir::LowerBetter
+    } else {
+        MetricDir::Neutral
+    }
+}
+
+/// Compares the shared top-level numeric metrics of two BENCH
+/// documents and errors when a directional metric regresses by more
+/// than `tolerance` percent.
+fn perf_diff(old_path: &str, new_path: &str, tolerance: f64) -> Result<(), String> {
+    let old = load_json(old_path)?;
+    let new = load_json(new_path)?;
+    let fields = old
+        .as_object()
+        .ok_or_else(|| format!("perf-diff: {old_path}: not a JSON object"))?;
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for (key, ov) in fields {
+        let (Some(o), Some(n)) = (ov.as_f64(), new.get(key).and_then(|v| v.as_f64())) else {
+            continue;
+        };
+        let delta = if o != 0.0 { (n - o) / o * 100.0 } else { 0.0 };
+        let status = match metric_dir(key) {
+            MetricDir::HigherBetter if n < o * (1.0 - tolerance / 100.0) => {
+                regressions.push(format!("{key} fell {o:.3} -> {n:.3} ({delta:+.1}%)"));
+                "REGRESSED"
+            }
+            MetricDir::LowerBetter if n > o * (1.0 + tolerance / 100.0) => {
+                regressions.push(format!("{key} grew {o:.3} -> {n:.3} ({delta:+.1}%)"));
+                "REGRESSED"
+            }
+            MetricDir::Neutral => "info",
+            _ => "ok",
+        };
+        rows.push(format!(
+            "  {key:<36} {o:>12.3} {n:>12.3} {delta:>+8.1}%  {status}"
+        ));
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "perf-diff: no shared numeric metrics between {old_path} and {new_path}"
+        ));
+    }
+    println!("perf-diff: {old_path} -> {new_path} (tolerance {tolerance}%)");
+    println!(
+        "  {:<36} {:>12} {:>12} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+    for row in rows {
+        println!("{row}");
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf-diff: {} regression(s) beyond {tolerance}%:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+/// Checks each committed BENCH file's headline metrics against the
+/// file's own `floors` object (`{"metric": minimum}`). Reading the
+/// checked-in artifact instead of re-timing keeps the gate flake-free
+/// on loaded CI machines; refresh the artifact (and its floors) with
+/// the bench binaries when an engine genuinely changes speed class.
+fn perf_floor(files: &[&str]) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for path in files {
+        let v = load_json(path)?;
+        let floors = v.get("floors").and_then(|f| f.as_object()).ok_or_else(|| {
+            format!(
+                "perf-diff: {path}: no floors object; add \
+                     \"floors\": {{\"metric\": minimum}} to gate it"
+            )
+        })?;
+        if floors.is_empty() {
+            return Err(format!("perf-diff: {path}: empty floors object"));
+        }
+        for (metric, min) in floors {
+            let min = min
+                .as_f64()
+                .ok_or_else(|| format!("perf-diff: {path}: floor {metric} is not a number"))?;
+            match v.get(metric).and_then(|m| m.as_f64()) {
+                Some(actual) if actual >= min => {
+                    println!("perf-diff: {path}: {metric} = {actual} >= floor {min}, ok");
+                }
+                Some(actual) => {
+                    failures.push(format!(
+                        "{path}: {metric} = {actual} is below the floor {min}"
+                    ));
+                }
+                None => {
+                    failures.push(format!("{path}: floor metric {metric} missing"));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf-diff: floor violations:\n  {}",
+            failures.join("\n  ")
+        ))
     }
 }
 

@@ -37,8 +37,12 @@ fn injected_failures_are_typed_isolated_and_deterministic() {
     let inject = [("HLSTB_FAIL_POINT", "panic:1;stall:3")];
     let (table, stderr, ok) = run_env(SWEEP, &inject);
     assert!(ok, "{stderr}");
-    // 6 points, 2 injected hard failures, 4 completions.
-    assert!(stderr.contains("sweep: 6 points (2 errors)"), "{stderr}");
+    // 6 points, 2 injected hard failures (broken down by kind), 4
+    // completions.
+    assert!(
+        stderr.contains("sweep: 6 points (2 errors [panic: 1, timeout: 1])"),
+        "{stderr}"
+    );
     assert!(table.contains("panic:"), "{table}");
     assert!(table.contains("timeout:"), "{table}");
     // The canonical JSON carries the typed records and stays
