@@ -71,6 +71,45 @@ cmp resume_baseline.json resume_resumed.json
 grep "3 restored" resume_summary.txt
 rm -f resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
 
+# Scale-out smoke: the same sweep sharded over 4 worker processes must
+# splice byte-identically to the serial uncached run, and killing the
+# only worker after one point (HLSTB_WORKER_FAIL) must re-issue its
+# lease and still reproduce the bytes via the inline fallback.
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --threads 1 --no-cache --json >workers_serial.json
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --workers 4 --json >workers_sharded.json 2>workers_summary.txt
+cmp workers_serial.json workers_sharded.json
+grep "4 workers" workers_summary.txt
+HLSTB_WORKER_FAIL="0:1" ./target/release/hlstb sweep \
+    --designs figure1,tseng --strategies none,full-scan,bist-shared \
+    --grade 64 --workers 1 --json \
+    >workers_killed.json 2>workers_killed_summary.txt
+cmp workers_serial.json workers_killed.json
+grep "re-issuing" workers_killed_summary.txt
+rm -f workers_serial.json workers_sharded.json workers_summary.txt \
+    workers_killed.json workers_killed_summary.txt
+
+# Single-flight smoke: a contended threaded cached sweep (consecutive
+# points share grading keys) must coalesce duplicate in-flight misses
+# rather than recompute them. Coalescing needs two workers to collide
+# on a key, so allow a few attempts before calling it a regression.
+coalesced_ok=0
+for attempt in 1 2 3; do
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --grade 128,512,1024 --threads 8 --cache \
+        >/dev/null 2>coalesce_summary.txt
+    grep "coalesced:" coalesce_summary.txt
+    if ! grep -q "coalesced: 0 (" coalesce_summary.txt; then
+        coalesced_ok=1
+        break
+    fi
+done
+test "$coalesced_ok" -eq 1
+rm -f coalesce_summary.txt
+
 # SoA differential smoke: the reference engine and the SoA engine must
 # produce identical detected fault sets at every word width (64/256/512)
 # on two designs; `soa-check` exits nonzero on any difference.

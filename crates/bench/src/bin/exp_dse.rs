@@ -1,15 +1,37 @@
 //! E22 — DSE engine benchmark: the full scoreboard sweep timed
-//! serial-uncached vs serial-cached vs threaded-cached, asserting all
-//! three produce byte-identical canonical reports. Prints the table
-//! and writes `BENCH_dse.json` in the working directory.
+//! serial-uncached vs serial-cached vs threaded-cached vs sharded over
+//! worker processes, asserting all four produce byte-identical
+//! canonical reports. Prints the table and writes `BENCH_dse.json` in
+//! the working directory.
+//!
+//! `exp_dse [threads] [workers]` (defaults 4 and 4; workers 0 skips
+//! the sharded configuration). `exp_dse sweep-worker` is the hidden
+//! child end of the sharded run — protocol frames on stdout, not for
+//! humans.
 
 fn main() {
+    // The worker mode must not initialize trace sinks: its stdout is
+    // the wire.
+    if std::env::args().nth(1).as_deref() == Some("sweep-worker") {
+        std::process::exit(hlstb_dse::worker::worker_main());
+    }
     hlstb_bench::tracehook::init();
     let threads: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4);
-    let bench = hlstb_bench::dse_exp::bench_spec(&hlstb_bench::dse_exp::full_spec(), threads);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let spec = hlstb_bench::dse_exp::full_spec();
+    let bench = if workers > 0 {
+        let exe = std::env::current_exe().expect("own binary path");
+        let mut spawn = hlstb_dse::worker::process_spawner(exe, "sweep-worker");
+        hlstb_bench::dse_exp::bench_with_workers(&spec, threads, workers, &mut spawn)
+    } else {
+        hlstb_bench::dse_exp::bench_spec(&spec, threads)
+    };
     print!("{}", bench.table());
     println!(
         "canonical reports identical across configs: {}; speedups vs serial-nocache: cache {:.2}x, {threads}-thread cache {:.2}x",

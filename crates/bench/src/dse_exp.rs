@@ -13,7 +13,8 @@
 
 use std::time::Duration;
 
-use hlstb_dse::{run_sweep, CacheStats, SweepOptions, SweepSpec};
+use hlstb_dse::worker::SpawnFn;
+use hlstb_dse::{run_sweep, run_sweep_workers, CacheStats, Recovery, SweepOptions, SweepSpec};
 
 use crate::Table;
 
@@ -32,6 +33,8 @@ pub struct ConfigRun {
     pub name: &'static str,
     /// Worker threads the sweep ran on.
     pub threads: usize,
+    /// Worker processes the sweep was sharded over (0 = in-process).
+    pub workers: usize,
     /// Whether the artifact cache was enabled.
     pub cache: bool,
     /// End-to-end wall time.
@@ -69,6 +72,26 @@ pub fn bench() -> DseBench {
 /// [`bench`] over a caller-chosen spec and thread count (tests use a
 /// small spec).
 pub fn bench_spec(spec: &SweepSpec, threads: usize) -> DseBench {
+    bench_impl(spec, threads, None)
+}
+
+/// [`bench_spec`] plus a fourth configuration: the same sweep sharded
+/// over `workers` worker lanes built by `spawn` (process pipes from
+/// `exp_dse`, loopback lanes in tests) and spliced byte-identically.
+pub fn bench_with_workers(
+    spec: &SweepSpec,
+    threads: usize,
+    workers: usize,
+    spawn: &mut SpawnFn<'_>,
+) -> DseBench {
+    bench_impl(spec, threads, Some((workers, spawn)))
+}
+
+fn bench_impl(
+    spec: &SweepSpec,
+    threads: usize,
+    workers: Option<(usize, &mut SpawnFn<'_>)>,
+) -> DseBench {
     let configs = [
         ("serial-nocache", 1usize, false),
         ("serial-cache", 1, true),
@@ -96,7 +119,35 @@ pub fn bench_spec(spec: &SweepSpec, threads: usize) -> DseBench {
         runs.push(ConfigRun {
             name,
             threads: out.report.threads,
+            workers: 0,
             cache,
+            wall: out.report.wall,
+            cache_stats: out.report.cache,
+            failures: out.report.errors().len(),
+            retries: out.report.retries,
+            timeouts: out.report.timeouts(),
+        });
+    }
+    if let Some((lanes, spawn)) = workers {
+        let out = run_sweep_workers(
+            spec,
+            &SweepOptions {
+                threads: 1,
+                cache: true,
+                ..SweepOptions::default()
+            },
+            &Recovery::default(),
+            lanes,
+            spawn,
+        )
+        .expect("workers sweep completes");
+        let c = out.report.canonical_json();
+        identical &= canon.as_deref() == Some(c.as_str());
+        runs.push(ConfigRun {
+            name: "workers-cache",
+            threads: out.report.threads,
+            workers: out.report.workers,
+            cache: true,
             wall: out.report.wall,
             cache_stats: out.report.cache,
             failures: out.report.errors().len(),
@@ -136,23 +187,30 @@ impl DseBench {
         let mut t = Table::new(
             "E22  DSE engine: memoized artifacts + worker pool vs point-at-a-time",
             &[
-                "config", "threads", "cache", "wall ms", "speedup", "hits", "misses",
+                "config", "threads", "workers", "cache", "wall ms", "speedup", "hits", "misses",
+                "coal",
             ],
         );
         for r in &self.runs {
-            let (hits, misses) = r
-                .cache_stats
-                .map_or(("-".into(), "-".into()), |c: CacheStats| {
-                    (c.hits().to_string(), c.misses().to_string())
-                });
+            let (hits, misses, coal) =
+                r.cache_stats
+                    .map_or(("-".into(), "-".into(), "-".into()), |c: CacheStats| {
+                        (
+                            c.hits().to_string(),
+                            c.misses().to_string(),
+                            c.coalesced().to_string(),
+                        )
+                    });
             t.row(vec![
                 r.name.to_string(),
                 r.threads.to_string(),
+                r.workers.to_string(),
                 if r.cache { "on" } else { "off" }.to_string(),
                 format!("{:.2}", r.wall.as_secs_f64() * 1e3),
                 format!("{:.2}", self.speedup(r.name)),
                 hits,
                 misses,
+                coal,
             ]);
         }
         t
@@ -173,14 +231,33 @@ impl DseBench {
             "  \"speedup_threaded_cache_vs_nocache\": {:.3},\n",
             self.speedup("threaded-cache")
         ));
+        let sharded = self.runs.iter().any(|r| r.name == "workers-cache");
+        if sharded {
+            out.push_str(&format!(
+                "  \"speedup_workers_vs_nocache\": {:.3},\n",
+                self.speedup("workers-cache")
+            ));
+        }
         // The committed perf gate (see `hlstb perf-diff --floor`).
-        out.push_str("  \"floors\": {\"speedup_cache_vs_nocache\": 3.0},\n");
+        // Single-flight coalescing makes the threaded cached sweep a
+        // strict improvement over the serial cached one, so it shares
+        // the serial floor; worker processes pay spawn + framing, so
+        // their floor is looser.
+        out.push_str(
+            "  \"floors\": {\"speedup_cache_vs_nocache\": 3.0, \
+             \"speedup_threaded_cache_vs_nocache\": 3.0",
+        );
+        if sharded {
+            out.push_str(", \"speedup_workers_vs_nocache\": 1.5");
+        }
+        out.push_str("},\n");
         out.push_str("  \"runs\": [\n");
         for (i, r) in self.runs.iter().enumerate() {
             use hlstb::trace::json::Obj;
             let mut o = Obj::new();
             o.string("config", r.name)
                 .number_u64("threads", r.threads as u64)
+                .number_u64("workers", r.workers as u64)
                 .boolean("cache", r.cache)
                 .raw("wall_ms", &ms(r.wall))
                 .number_u64("failures", r.failures as u64)
@@ -259,6 +336,27 @@ mod tests {
         assert!(json.contains("\"failures\": 0"), "{json}");
         let table = format!("{}", b.table());
         assert!(table.contains("serial-nocache"), "{table}");
+    }
+
+    #[test]
+    fn workers_config_joins_the_bench_and_stays_identical() {
+        let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+        spec.strategies = vec![DftStrategy::None, DftStrategy::FullScan];
+        spec.patterns = vec![64, 128];
+        let mut spawn = hlstb_dse::worker::thread_spawner(None);
+        let b = bench_with_workers(&spec, 2, 2, &mut spawn);
+        assert_eq!(b.runs.len(), 4);
+        assert!(b.identical);
+        let w = b.run("workers-cache");
+        assert_eq!(w.workers, 2);
+        assert_eq!(w.failures, 0);
+        let json = b.to_json();
+        assert!(hlstb::trace::json::parse(&json).is_ok(), "{json}");
+        assert!(json.contains("\"speedup_workers_vs_nocache\""), "{json}");
+        assert!(
+            json.contains("\"speedup_threaded_cache_vs_nocache\": "),
+            "{json}"
+        );
     }
 
     #[test]

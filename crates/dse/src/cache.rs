@@ -1,19 +1,24 @@
-//! The content-keyed artifact cache.
+//! The content-keyed, single-flight artifact cache.
 //!
 //! One [`ArtifactCache`] lives for the duration of one sweep. Each
 //! stage has its own store keyed by the FNV-1a hash of the stage's
 //! inputs (see [`crate::key`]); values are `Arc`s, so a hit is a
 //! pointer clone and workers share artifacts without copying.
 //!
-//! Lock discipline: a store's mutex is held only for the lookup and
-//! the insert, never across a compute. Two workers racing on the same
-//! miss may both compute the value; the first insert wins and the
-//! duplicate is dropped. Every stage is deterministic, so the race is
-//! benign — and on sweep workloads misses are rare after warm-up.
+//! Misses are *single-flight*: the first worker to miss a key installs
+//! an in-flight slot and computes outside the lock; any worker that
+//! arrives while the compute is running blocks on the slot's condvar
+//! instead of duplicating the (often expensive) stage work, and is
+//! counted as a *coalesced* lookup when the leader's value lands. If
+//! the leader's compute fails or panics, a drop guard removes the slot
+//! and wakes the waiters, so exactly one of them retakes the lead —
+//! errors are never cached and no waiter can deadlock on a dead
+//! flight. Lock discipline is unchanged: a store's mutex is held only
+//! for the lookup and the insert, never across a compute or a wait.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use hlstb::flow::{DftPlans, FrontEnd, SgraphFacts};
 use hlstb::hls::datapath::Datapath;
@@ -21,16 +26,41 @@ use hlstb::hls::expand::ExpandedDatapath;
 use hlstb::netlist::random::RandomRun;
 use hlstb_trace::json::Obj;
 
-/// Hit/miss counters of one stage store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageCounts {
-    /// Lookups served from the store.
-    pub hits: u64,
-    /// Lookups that had to compute.
-    pub misses: u64,
+/// How one lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a ready slot without waiting.
+    Hit,
+    /// This caller computed the value.
+    Miss,
+    /// This caller waited on another worker's in-flight compute and
+    /// took its result — a miss that would have been duplicated work.
+    Coalesced,
 }
 
-/// A snapshot of every stage's hit/miss counters.
+impl CacheOutcome {
+    /// The outcome's journal/table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Lookup counters of one stage store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Lookups served from a ready slot.
+    pub hits: u64,
+    /// Lookups that computed the value.
+    pub misses: u64,
+    /// Lookups that waited out another worker's in-flight compute.
+    pub coalesced: u64,
+}
+
+/// A snapshot of every stage's lookup counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Front-end artifacts (schedule + binding + data path).
@@ -60,14 +90,25 @@ impl CacheStats {
             + self.grading.misses
     }
 
-    /// Hits as a percentage of all lookups (0.0 when nothing was
-    /// looked up — a `--no-cache` or empty sweep).
+    /// Total coalesced lookups across all stages.
+    pub fn coalesced(&self) -> u64 {
+        self.front.coalesced
+            + self.facts.coalesced
+            + self.dft.coalesced
+            + self.netlist.coalesced
+            + self.grading.coalesced
+    }
+
+    /// Lookups served without computing (hits plus coalesced waits) as
+    /// a percentage of all lookups (0.0 when nothing was looked up — a
+    /// `--no-cache` or empty sweep).
     pub fn hit_rate_percent(&self) -> f64 {
-        let total = self.hits() + self.misses();
+        let served = self.hits() + self.coalesced();
+        let total = served + self.misses();
         if total == 0 {
             0.0
         } else {
-            self.hits() as f64 * 100.0 / total as f64
+            served as f64 * 100.0 / total as f64
         }
     }
 
@@ -75,12 +116,15 @@ impl CacheStats {
     pub fn to_json(&self) -> String {
         let stage = |c: StageCounts| {
             let mut o = Obj::new();
-            o.number_u64("hits", c.hits).number_u64("misses", c.misses);
+            o.number_u64("hits", c.hits)
+                .number_u64("misses", c.misses)
+                .number_u64("coalesced", c.coalesced);
             o.finish()
         };
         let mut o = Obj::new();
         o.number_u64("hits", self.hits())
             .number_u64("misses", self.misses())
+            .number_u64("coalesced", self.coalesced())
             .raw("front", &stage(self.front))
             .raw("facts", &stage(self.facts))
             .raw("dft", &stage(self.dft))
@@ -90,54 +134,168 @@ impl CacheStats {
     }
 }
 
-/// One stage's store: keyed `Arc` values plus hit/miss instrumentation
-/// bridged to the trace layer under static counter names.
+/// A slot an in-flight leader settles when its compute finishes (or
+/// dies). Waiters block on the condvar and re-check the store map.
+struct Flight {
+    settled: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            settled: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut settled = self.settled.lock().expect("flight lock");
+        while !*settled {
+            settled = self.cv.wait(settled).expect("flight lock");
+        }
+    }
+
+    fn settle(&self) {
+        *self.settled.lock().expect("flight lock") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A slot in a store's map: either the finished artifact or a flight
+/// the current leader is still computing.
+enum Slot<T> {
+    Ready(Arc<T>),
+    InFlight(Arc<Flight>),
+}
+
+/// One stage's store: keyed `Arc` values with single-flight misses,
+/// plus lookup instrumentation bridged to the trace layer under static
+/// counter names.
 pub(crate) struct Store<T> {
-    map: Mutex<HashMap<u64, Arc<T>>>,
+    map: Mutex<HashMap<u64, Slot<T>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     hit_counter: &'static str,
     miss_counter: &'static str,
+    coalesced_counter: &'static str,
+}
+
+/// Removes a leader's in-flight slot and wakes its waiters unless the
+/// leader disarmed it after publishing a ready value. Runs on the
+/// error return *and* during unwinding, so a panicking compute (the
+/// engine catches point panics) can never strand waiters on a flight
+/// nobody is working on.
+struct FlightGuard<'a, T> {
+    store: &'a Store<T>,
+    key: u64,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl<T> Drop for FlightGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut map = self.store.map.lock().expect("cache lock");
+        if let Some(Slot::InFlight(f)) = map.get(&self.key) {
+            if Arc::ptr_eq(f, &self.flight) {
+                map.remove(&self.key);
+            }
+        }
+        drop(map);
+        self.flight.settle();
+    }
 }
 
 impl<T> Store<T> {
-    fn new(hit_counter: &'static str, miss_counter: &'static str) -> Self {
+    fn new(
+        hit_counter: &'static str,
+        miss_counter: &'static str,
+        coalesced_counter: &'static str,
+    ) -> Self {
         Store {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             hit_counter,
             miss_counter,
+            coalesced_counter,
         }
     }
 
-    /// Returns the cached value for `key` plus whether the lookup was
-    /// a hit, computing (outside the lock) and inserting on a miss. On
-    /// a racing double-compute the first insert wins so every caller
-    /// sees one artifact (each racer still reports its own miss).
+    /// Returns the cached value for `key` plus how the lookup was
+    /// served, computing (outside the lock) and inserting on a miss.
+    /// Concurrent callers of the same key coalesce onto the first
+    /// caller's in-flight compute instead of duplicating it; if that
+    /// compute errors or panics, one waiter retakes the lead, so an
+    /// `Err` is only ever this caller's own compute failing.
     pub(crate) fn get_or_try<E>(
         &self,
         key: u64,
         compute: impl FnOnce() -> Result<T, E>,
-    ) -> Result<(Arc<T>, bool), E> {
-        if let Some(v) = self.map.lock().expect("cache lock").get(&key) {
+    ) -> Result<(Arc<T>, CacheOutcome), E> {
+        let mut waited = false;
+        loop {
+            let flight = {
+                let mut map = self.map.lock().expect("cache lock");
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        let v = Arc::clone(v);
+                        drop(map);
+                        return Ok((v, self.record_served(waited)));
+                    }
+                    Some(Slot::InFlight(f)) => Arc::clone(f),
+                    None => {
+                        let f = Arc::new(Flight::new());
+                        map.insert(key, Slot::InFlight(Arc::clone(&f)));
+                        drop(map);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        hlstb_trace::counter(self.miss_counter, 1);
+                        let mut guard = FlightGuard {
+                            store: self,
+                            key,
+                            flight: f,
+                            armed: true,
+                        };
+                        // An Err (or a panic) drops the armed guard,
+                        // which evicts the flight and wakes waiters.
+                        let v = Arc::new(compute()?);
+                        self.map
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key, Slot::Ready(Arc::clone(&v)));
+                        guard.armed = false;
+                        guard.flight.settle();
+                        return Ok((v, CacheOutcome::Miss));
+                    }
+                }
+            };
+            flight.wait();
+            waited = true;
+        }
+    }
+
+    fn record_served(&self, waited: bool) -> CacheOutcome {
+        if waited {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            hlstb_trace::counter(self.coalesced_counter, 1);
+            CacheOutcome::Coalesced
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             hlstb_trace::counter(self.hit_counter, 1);
-            return Ok((Arc::clone(v), true));
+            CacheOutcome::Hit
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        hlstb_trace::counter(self.miss_counter, 1);
-        let v = Arc::new(compute()?);
-        Ok((
-            Arc::clone(self.map.lock().expect("cache lock").entry(key).or_insert(v)),
-            false,
-        ))
     }
 
     fn counts(&self) -> StageCounts {
         StageCounts {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -165,15 +323,35 @@ impl ArtifactCache {
     /// An empty cache.
     pub fn new() -> Self {
         ArtifactCache {
-            front: Store::new("dse.cache.front.hit", "dse.cache.front.miss"),
-            facts: Store::new("dse.cache.facts.hit", "dse.cache.facts.miss"),
-            dft: Store::new("dse.cache.dft.hit", "dse.cache.dft.miss"),
-            netlist: Store::new("dse.cache.netlist.hit", "dse.cache.netlist.miss"),
-            grading: Store::new("dse.cache.grading.hit", "dse.cache.grading.miss"),
+            front: Store::new(
+                "dse.cache.front.hit",
+                "dse.cache.front.miss",
+                "dse.cache.front.coalesced",
+            ),
+            facts: Store::new(
+                "dse.cache.facts.hit",
+                "dse.cache.facts.miss",
+                "dse.cache.facts.coalesced",
+            ),
+            dft: Store::new(
+                "dse.cache.dft.hit",
+                "dse.cache.dft.miss",
+                "dse.cache.dft.coalesced",
+            ),
+            netlist: Store::new(
+                "dse.cache.netlist.hit",
+                "dse.cache.netlist.miss",
+                "dse.cache.netlist.coalesced",
+            ),
+            grading: Store::new(
+                "dse.cache.grading.hit",
+                "dse.cache.grading.miss",
+                "dse.cache.grading.coalesced",
+            ),
         }
     }
 
-    /// A snapshot of every stage's hit/miss counters.
+    /// A snapshot of every stage's lookup counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             front: self.front.counts(),
@@ -194,13 +372,14 @@ impl Default for ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn store_hits_after_first_compute() {
         let cache = ArtifactCache::new();
         let mut computed = 0;
         for round in 0..3 {
-            let (v, hit) = cache
+            let (v, outcome) = cache
                 .facts
                 .get_or_try(42, || {
                     computed += 1;
@@ -211,13 +390,26 @@ mod tests {
                 })
                 .unwrap();
             assert_eq!(v.cycles, 7);
-            assert_eq!(hit, round > 0);
+            let expect = if round > 0 {
+                CacheOutcome::Hit
+            } else {
+                CacheOutcome::Miss
+            };
+            assert_eq!(outcome, expect);
         }
         assert_eq!(computed, 1);
         let s = cache.stats();
-        assert_eq!(s.facts, StageCounts { hits: 2, misses: 1 });
+        assert_eq!(
+            s.facts,
+            StageCounts {
+                hits: 2,
+                misses: 1,
+                coalesced: 0
+            }
+        );
         assert_eq!(s.hits(), 2);
         assert_eq!(s.misses(), 1);
+        assert_eq!(s.coalesced(), 0);
     }
 
     #[test]
@@ -228,7 +420,7 @@ mod tests {
             .get_or_try(1, || Err::<SgraphFacts, _>("boom".to_string()));
         assert!(r.is_err());
         // The failed compute left nothing behind; the next call computes.
-        let (v, hit) = cache
+        let (v, outcome) = cache
             .facts
             .get_or_try(1, || {
                 Ok::<_, String>(SgraphFacts {
@@ -238,15 +430,163 @@ mod tests {
             })
             .unwrap();
         assert_eq!(v.mfvs_size, 1);
-        assert!(!hit);
+        assert_eq!(outcome, CacheOutcome::Miss);
     }
 
     #[test]
     fn stats_json_names_every_stage() {
         let j = ArtifactCache::new().stats().to_json();
-        for key in ["front", "facts", "dft", "netlist", "grading", "hits"] {
+        for key in [
+            "front",
+            "facts",
+            "dft",
+            "netlist",
+            "grading",
+            "hits",
+            "coalesced",
+        ] {
             assert!(j.contains(&format!("\"{key}\"")), "{j}");
         }
         assert!(hlstb_trace::json::parse(&j).is_ok(), "{j}");
+    }
+
+    /// Racing lookups of one key must run the compute exactly once:
+    /// the leader blocks inside its compute on a barrier the main
+    /// thread releases only after the waiters have had time to queue
+    /// up on the flight.
+    #[test]
+    fn racing_misses_coalesce_onto_one_compute() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = ArtifactCache::new();
+        let computed = AtomicUsize::new(0);
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let (v, outcome) = cache
+                    .facts
+                    .get_or_try(9, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        release.wait();
+                        Ok::<_, String>(SgraphFacts {
+                            cycles: 3,
+                            mfvs_size: 1,
+                        })
+                    })
+                    .unwrap();
+                assert_eq!(v.cycles, 3);
+                assert_eq!(outcome, CacheOutcome::Miss);
+            });
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        let (v, outcome) = cache
+                            .facts
+                            .get_or_try(9, || {
+                                computed.fetch_add(1, Ordering::SeqCst);
+                                Ok::<_, String>(SgraphFacts {
+                                    cycles: 3,
+                                    mfvs_size: 1,
+                                })
+                            })
+                            .unwrap();
+                        assert_eq!(v.cycles, 3);
+                        assert_ne!(outcome, CacheOutcome::Miss);
+                        outcome
+                    })
+                })
+                .collect();
+            // Give the waiters time to block on the flight, then let
+            // the leader finish. (The sleep only biases hit vs
+            // coalesced; single-flight itself is asserted exactly.)
+            std::thread::sleep(Duration::from_millis(50));
+            release.wait();
+            let outcomes: Vec<_> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+            assert_eq!(computed.load(Ordering::SeqCst), 1);
+            let s = cache.stats();
+            assert_eq!(s.facts.misses, 1);
+            assert_eq!(
+                s.facts.hits + s.facts.coalesced,
+                outcomes.len() as u64,
+                "{s:?}"
+            );
+        });
+    }
+
+    /// A leader whose compute fails must hand the lead to a waiter
+    /// instead of caching the error or stranding the flight.
+    #[test]
+    fn failed_leader_hands_lead_to_waiter() {
+        use std::sync::Barrier;
+
+        let cache = ArtifactCache::new();
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let r = cache.facts.get_or_try(5, || {
+                    release.wait();
+                    Err::<SgraphFacts, _>("boom".to_string())
+                });
+                assert!(r.is_err());
+            });
+            let waiter = s.spawn(|| {
+                cache
+                    .facts
+                    .get_or_try(5, || {
+                        Ok::<_, String>(SgraphFacts {
+                            cycles: 2,
+                            mfvs_size: 2,
+                        })
+                    })
+                    .unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            release.wait();
+            let (v, _) = waiter.join().unwrap();
+            assert_eq!(v.cycles, 2);
+        });
+        let s = cache.stats();
+        // Both the failed and the succeeding compute count as misses.
+        assert_eq!(s.facts.misses, 2);
+    }
+
+    /// A panicking leader (the engine catches point panics) must not
+    /// strand waiters: the drop guard evicts the flight and a waiter
+    /// recomputes.
+    #[test]
+    fn panicking_leader_does_not_strand_waiters() {
+        use std::sync::Barrier;
+
+        let cache = ArtifactCache::new();
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache
+                        .facts
+                        .get_or_try(6, || -> Result<SgraphFacts, String> {
+                            release.wait();
+                            panic!("injected")
+                        })
+                }));
+                assert!(r.is_err());
+            });
+            let waiter = s.spawn(|| {
+                cache
+                    .facts
+                    .get_or_try(6, || {
+                        Ok::<_, String>(SgraphFacts {
+                            cycles: 4,
+                            mfvs_size: 4,
+                        })
+                    })
+                    .unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            release.wait();
+            let (v, _) = waiter.join().unwrap();
+            assert_eq!(v.cycles, 4);
+        });
     }
 }

@@ -63,21 +63,50 @@ impl Checkpoint {
     }
 
     /// Appends one completed point. The record is written and flushed
-    /// atomically with respect to other workers.
+    /// atomically with respect to other workers — and, because the
+    /// whole line (newline included) goes down in **one** `write_all`
+    /// on an `O_APPEND` descriptor, also with respect to *other
+    /// processes* appending to the same file (a coordinator and a
+    /// resumed run never interleave partial lines).
     pub fn record(&self, key: u64, index: usize, canonical: &str) -> Result<(), PointError> {
-        let mut o = Obj::new();
-        o.number_u64("v", 1)
-            .string("key", &format!("{key:016x}"))
-            .number_u64("index", index as u64)
-            .string("canonical", canonical);
-        let line = o.finish();
+        let mut line = encode_line(key, index, canonical);
+        line.push('\n');
         let io_err = |e: std::io::Error| PointError::Io {
             message: format!("checkpoint write: {e}"),
         };
         let mut f = self.file.lock().expect("checkpoint lock");
-        writeln!(f, "{line}").map_err(io_err)?;
+        f.write_all(line.as_bytes()).map_err(io_err)?;
         f.flush().map_err(io_err)
     }
+}
+
+/// Renders one checkpoint record line (no trailing newline). This is
+/// also the wire frame a sweep worker streams back per completed point
+/// — the formats are identical by construction, not by convention.
+pub(crate) fn encode_line(key: u64, index: usize, canonical: &str) -> String {
+    let mut o = Obj::new();
+    o.number_u64("v", 1)
+        .string("key", &format!("{key:016x}"))
+        .number_u64("index", index as u64)
+        .string("canonical", canonical);
+    o.finish()
+}
+
+/// Parses one checkpoint/wire record line back into `(key, index,
+/// canonical)`. `None` on anything malformed — a torn tail line, a
+/// wrong version, a missing field.
+pub(crate) fn parse_line(line: &str) -> Option<(u64, usize, String)> {
+    let v = json::parse(line).ok()?;
+    if v.get("v").and_then(Value::as_f64) != Some(1.0) {
+        return None;
+    }
+    let key = v
+        .get("key")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())?;
+    let index = v.get("index").and_then(Value::as_f64)?;
+    let canonical = v.get("canonical").and_then(Value::as_str)?;
+    Some((key, index as usize, canonical.to_string()))
 }
 
 /// Completed points loaded from a checkpoint, keyed by content key and
@@ -98,26 +127,12 @@ impl RestoredSet {
         })?;
         let mut set = RestoredSet::default();
         for line in text.lines() {
-            let Ok(v) = json::parse(line) else { continue };
-            if v.get("v").and_then(Value::as_f64) != Some(1.0) {
-                continue;
-            }
-            let Some(key) = v
-                .get("key")
-                .and_then(Value::as_str)
-                .and_then(|s| u64::from_str_radix(s, 16).ok())
-            else {
-                continue;
-            };
-            let Some(index) = v.get("index").and_then(Value::as_f64) else {
-                continue;
-            };
-            let Some(canonical) = v.get("canonical").and_then(Value::as_str) else {
+            let Some((key, index, canonical)) = parse_line(line) else {
                 continue;
             };
             // Later lines win: a re-run after an interrupted resume may
             // append the same point again with identical content.
-            set.map.insert((key, index as usize), canonical.to_string());
+            set.map.insert((key, index), canonical);
         }
         Ok(set)
     }

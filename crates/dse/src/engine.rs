@@ -58,7 +58,7 @@ use hlstb::netlist::random::{random_pattern_run_opts, CoveragePoint, RandomRun};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{ArtifactCache, DftOutput};
+use crate::cache::{ArtifactCache, CacheOutcome, DftOutput};
 use crate::checkpoint::{self, Checkpoint, RestoredSet};
 use crate::error::PointError;
 use crate::failpoint::{FailMode, FailPlan};
@@ -127,7 +127,7 @@ impl Default for SweepOptions {
 
 /// Live progress shared by the workers: one `\r`-rewritten stderr line
 /// per finished point.
-struct ProgressMeter {
+pub(crate) struct ProgressMeter {
     total: usize,
     t0: Instant,
     done: AtomicUsize,
@@ -136,7 +136,7 @@ struct ProgressMeter {
 }
 
 impl ProgressMeter {
-    fn new(total: usize, t0: Instant) -> Self {
+    pub(crate) fn new(total: usize, t0: Instant) -> Self {
         ProgressMeter {
             total,
             t0,
@@ -146,7 +146,7 @@ impl ProgressMeter {
         }
     }
 
-    fn tick(&self, record: &PointRecord, retries: u64, cache: Option<&ArtifactCache>) {
+    pub(crate) fn tick(&self, record: &PointRecord, retries: u64, cache: Option<&ArtifactCache>) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         match &record.outcome {
             Err(_) => {
@@ -178,7 +178,7 @@ impl ProgressMeter {
     }
 
     /// Terminates the `\r` line so the next stderr write starts clean.
-    fn finish(&self) {
+    pub(crate) fn finish(&self) {
         if self.done.load(Ordering::Relaxed) > 0 {
             eprintln!();
         }
@@ -231,6 +231,124 @@ pub fn point_key(spec: &SweepSpec, design_keys: &[u64], p: Point) -> u64 {
     ])
 }
 
+/// The shared per-point evaluator: the spec's enumerated points, their
+/// content keys, the stage cache, and the panic-isolated retry loop,
+/// bundled so the in-process pool ([`run_sweep_with`]) and the
+/// process-worker loop ([`crate::worker::worker_loop`]) evaluate
+/// points through literally the same code — which is what makes the
+/// multi-process splice byte-identical to a serial run by
+/// construction.
+pub struct PointRunner<'a> {
+    spec: &'a SweepSpec,
+    opts: SweepOptions,
+    fail_plan: Option<FailPlan>,
+    design_keys: Vec<u64>,
+    points: Vec<Point>,
+    point_keys: Vec<u64>,
+    cache: Option<ArtifactCache>,
+    max_patterns: usize,
+    retry_count: AtomicU64,
+}
+
+impl<'a> PointRunner<'a> {
+    /// Builds a runner for `spec`: enumerates the points, derives the
+    /// content keys, and allocates the stage cache when
+    /// [`SweepOptions::cache`] asks for one. `progress` and `threads`
+    /// are the caller's business — the runner only evaluates.
+    pub fn new(spec: &'a SweepSpec, opts: &SweepOptions, fail_plan: Option<FailPlan>) -> Self {
+        let points = spec.points();
+        let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
+        let point_keys: Vec<u64> = points
+            .iter()
+            .map(|p| point_key(spec, &design_keys, *p))
+            .collect();
+        PointRunner {
+            spec,
+            opts: *opts,
+            fail_plan,
+            design_keys,
+            points,
+            point_keys,
+            cache: opts.cache.then(ArtifactCache::new),
+            max_patterns: spec.max_patterns(),
+            retry_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of points in the sweep.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the spec enumerates no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The content key of point `i` (checkpoint/wire identity).
+    pub fn key(&self, i: usize) -> u64 {
+        self.point_keys[i]
+    }
+
+    /// The stage cache, when enabled.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Retry attempts so far across all evaluated points.
+    pub fn retries(&self) -> u64 {
+        self.retry_count.load(Ordering::Relaxed)
+    }
+
+    /// Journals point `i` entering the pipeline. Callers emit this
+    /// before deciding whether the point restores from a checkpoint or
+    /// evaluates, so the canonical journal shape is the same either
+    /// way.
+    pub fn scheduled(&self, i: usize) {
+        let p = self.points[i];
+        hlstb_trace::events::emit("point.scheduled", Some(p.index as u64), |e| {
+            e.str("design", self.spec.designs[p.design].name())
+                .str("strategy", &spec::strategy_name(p.strategy));
+        });
+    }
+
+    /// Evaluates point `i` — panic-isolated, deadline-armed, retried —
+    /// and journals its completion or typed failure.
+    pub fn eval(&self, i: usize) -> (PointRecord, Option<SynthesizedDesign>) {
+        let p = self.points[i];
+        let idx = p.index as u64;
+        let point_span = hlstb_trace::span("dse.point");
+        let t = Instant::now();
+        let (outcome, design) = eval_with_retry(
+            self.spec,
+            &self.design_keys,
+            p,
+            self.cache.as_ref(),
+            self.max_patterns,
+            &self.opts,
+            self.fail_plan.as_ref(),
+            &self.retry_count,
+        );
+        point_span.end();
+        let record = make_record(self.spec, p, outcome, t.elapsed());
+        match &record.outcome {
+            Ok(m) => hlstb_trace::events::emit("point.completed", Some(idx), |e| {
+                if let Some(cov) = m.coverage_percent {
+                    e.f64("coverage_percent", cov);
+                }
+                e.bool("timed_out", m.timed_out)
+                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
+            }),
+            Err(err) => hlstb_trace::events::emit("point.failed", Some(idx), |e| {
+                e.str("error", err.kind())
+                    .volatile_str("message", err.message())
+                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
+            }),
+        }
+        (record, design)
+    }
+}
+
 /// Runs every point of `spec` and collects a [`SweepReport`] ordered
 /// by point index regardless of completion order.
 pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
@@ -253,12 +371,8 @@ pub fn run_sweep_with(
 ) -> Result<SweepOutcome, PointError> {
     let sweep_span = hlstb_trace::span("dse.sweep");
     let t0 = Instant::now();
-    let points = spec.points();
-    let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
-    let point_keys: Vec<u64> = points
-        .iter()
-        .map(|p| point_key(spec, &design_keys, *p))
-        .collect();
+    let runner = PointRunner::new(spec, opts, recovery.fail_plan.clone());
+    let points = &runner.points;
     let restored_set = match (&recovery.checkpoint, recovery.resume) {
         (Some(path), true) => Some(RestoredSet::load(path)?),
         (None, true) => {
@@ -272,13 +386,10 @@ pub fn run_sweep_with(
         Some(path) => Some(Checkpoint::open_append(path)?),
         None => None,
     };
-    let cache = opts.cache.then(ArtifactCache::new);
-    let max_patterns = spec.max_patterns();
     type Slot = Mutex<Option<(PointRecord, Option<SynthesizedDesign>)>>;
     let slots: Vec<Slot> = points.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let restored_count = AtomicUsize::new(0);
-    let retry_count = AtomicU64::new(0);
     let checkpoint_errors = AtomicUsize::new(0);
     let meter = opts.progress.then(|| ProgressMeter::new(points.len(), t0));
     hlstb_trace::events::emit("sweep.begin", None, |e| {
@@ -291,81 +402,54 @@ pub fn run_sweep_with(
     // stalls the remaining work. The injector is a plain atomic and
     // each slot lock is only held for the final store, so a panicking
     // point (caught below) can poison neither.
-    let worker = || loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= points.len() {
-            break;
-        }
-        let p = points[i];
-        let idx = p.index as u64;
-        hlstb_trace::events::emit("point.scheduled", Some(idx), |e| {
-            e.str("design", spec.designs[p.design].name())
-                .str("strategy", &spec::strategy_name(p.strategy));
-        });
-        if let Some(set) = &restored_set {
-            let hit = set
-                .lookup(point_keys[i], p.index)
-                .and_then(checkpoint::record_from_canonical);
-            if let Some(record) = hit {
-                restored_count.fetch_add(1, Ordering::Relaxed);
-                hlstb_trace::events::emit("point.restored", Some(idx), |_| {});
-                if let Some(m) = &meter {
-                    m.tick(&record, retry_count.load(Ordering::Relaxed), cache.as_ref());
-                }
-                *slots[i].lock().expect("slot lock") = Some((record, None));
-                continue;
+    let worker = |lane: u32| {
+        hlstb_trace::events::set_worker(lane);
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= points.len() {
+                break;
             }
-        }
-        let point_span = hlstb_trace::span("dse.point");
-        let t = Instant::now();
-        let (outcome, design) = eval_with_retry(
-            spec,
-            &design_keys,
-            p,
-            cache.as_ref(),
-            max_patterns,
-            opts,
-            recovery,
-            &retry_count,
-        );
-        point_span.end();
-        let record = make_record(spec, p, outcome, t.elapsed());
-        match &record.outcome {
-            Ok(m) => hlstb_trace::events::emit("point.completed", Some(idx), |e| {
-                if let Some(cov) = m.coverage_percent {
-                    e.f64("coverage_percent", cov);
+            let p = points[i];
+            runner.scheduled(i);
+            if let Some(set) = &restored_set {
+                let hit = set
+                    .lookup(runner.key(i), p.index)
+                    .and_then(checkpoint::record_from_canonical);
+                if let Some(record) = hit {
+                    restored_count.fetch_add(1, Ordering::Relaxed);
+                    hlstb_trace::events::emit("point.restored", Some(p.index as u64), |_| {});
+                    if let Some(m) = &meter {
+                        m.tick(&record, runner.retries(), runner.cache());
+                    }
+                    *slots[i].lock().expect("slot lock") = Some((record, None));
+                    continue;
                 }
-                e.bool("timed_out", m.timed_out)
-                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
-            }),
-            Err(err) => hlstb_trace::events::emit("point.failed", Some(idx), |e| {
-                e.str("error", err.kind())
-                    .volatile_str("message", err.message())
-                    .volatile_u64("wall_us", record.wall.as_micros() as u64);
-            }),
-        }
-        if let Some(m) = &meter {
-            m.tick(&record, retry_count.load(Ordering::Relaxed), cache.as_ref());
-        }
-        if let Some(ck) = &writer {
-            if ck
-                .record(point_keys[i], p.index, &record.canonical_point_json())
-                .is_err()
-            {
-                checkpoint_errors.fetch_add(1, Ordering::Relaxed);
             }
+            let (record, design) = runner.eval(i);
+            if let Some(m) = &meter {
+                m.tick(&record, runner.retries(), runner.cache());
+            }
+            if let Some(ck) = &writer {
+                if ck
+                    .record(runner.key(i), p.index, &record.canonical_point_json())
+                    .is_err()
+                {
+                    checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            *slots[i].lock().expect("slot lock") = Some((record, design));
         }
-        *slots[i].lock().expect("slot lock") = Some((record, design));
     };
     let threads = opts.threads.max(1).min(points.len().max(1));
     if threads <= 1 {
-        worker();
+        worker(0);
     } else {
-        // `&worker` is Copy, so every spawn can share the one closure.
+        // `&worker` is Copy, so every spawn can share the one closure;
+        // each thread gets a lane id for the journal's worker column.
         let worker = &worker;
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(worker);
+            for lane in 0..threads {
+                s.spawn(move || worker(lane as u32));
             }
         });
     }
@@ -392,18 +476,19 @@ pub fn run_sweep_with(
                 records.iter().filter(|r| r.outcome.is_err()).count() as u64,
             )
             .volatile_u64("wall_ms", t0.elapsed().as_millis() as u64)
-            .volatile_u64("retries", retry_count.load(Ordering::Relaxed));
+            .volatile_u64("retries", runner.retries());
     });
     sweep_span.end();
     Ok(SweepOutcome {
         report: SweepReport {
             points: records,
             threads,
-            cache: cache.map(|c| c.stats()),
+            workers: 0,
+            cache: runner.cache.as_ref().map(ArtifactCache::stats),
             wall: t0.elapsed(),
             cpu,
             restored: restored_count.into_inner(),
-            retries: retry_count.into_inner(),
+            retries: runner.retries(),
         },
         designs,
         checkpoint_write_errors: checkpoint_errors.into_inner(),
@@ -453,10 +538,10 @@ fn eval_with_retry(
     cache: Option<&ArtifactCache>,
     max_patterns: usize,
     opts: &SweepOptions,
-    recovery: &Recovery,
+    fail_plan: Option<&FailPlan>,
     retry_count: &AtomicU64,
 ) -> (Result<PointMetrics, PointError>, Option<SynthesizedDesign>) {
-    let injected = recovery.fail_plan.as_ref().and_then(|f| f.mode(p.index));
+    let injected = fail_plan.and_then(|f| f.mode(p.index));
     let mut attempt: u32 = 0;
     loop {
         let deadline = match opts.point_budget {
@@ -553,19 +638,12 @@ fn grade_opts(deadline: Deadline) -> ParallelOptions {
 
 /// Journals one pipeline-stage completion for a point. The stage name
 /// is a stable coordinate; the cache outcome and wall time ride
-/// volatile (racing workers flip hit/miss, and the canonical
+/// volatile (racing workers flip hit/miss/coalesced, and the canonical
 /// projection must stay byte-identical across cache settings).
-fn stage_event(p: Point, stage: &'static str, hit: Option<bool>, wall: Duration) {
+fn stage_event(p: Point, stage: &'static str, outcome: Option<CacheOutcome>, wall: Duration) {
     hlstb_trace::events::emit("point.stage", Some(p.index as u64), |e| {
         e.str("stage", stage)
-            .volatile_str(
-                "cache",
-                match hit {
-                    Some(true) => "hit",
-                    Some(false) => "miss",
-                    None => "off",
-                },
-            )
+            .volatile_str("cache", outcome.map_or("off", CacheOutcome::label))
             .volatile_u64("wall_us", wall.as_micros() as u64);
     });
 }

@@ -87,6 +87,29 @@ impl FailPlan {
         }
     }
 
+    /// Renders the plan back into the [`parse`](Self::parse) syntax
+    /// (`parse(to_spec()) == self`), so a sweep coordinator can ship
+    /// its plan to worker processes over the wire protocol verbatim.
+    pub fn to_spec(&self) -> String {
+        let mut groups: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+        for (&index, mode) in &self.modes {
+            let name = match mode {
+                FailMode::Panic => "panic",
+                FailMode::Stall => "stall",
+                FailMode::Flaky => "flaky",
+            };
+            groups.entry(name).or_default().push(index);
+        }
+        groups
+            .iter()
+            .map(|(mode, indices)| {
+                let list: Vec<String> = indices.iter().map(ToString::to_string).collect();
+                format!("{mode}:{}", list.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
     /// Injects one point (test convenience).
     pub fn insert(&mut self, index: usize, mode: FailMode) {
         self.modes.insert(index, mode);
@@ -138,6 +161,15 @@ mod tests {
         let p = FailPlan::parse(" panic : 0 ; ").unwrap();
         assert_eq!(p.mode(0), Some(FailMode::Panic));
         assert!(FailPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn to_spec_round_trips() {
+        for s in ["panic:1,4;stall:2;flaky:3", "", "stall:0"] {
+            let p = FailPlan::parse(s).unwrap();
+            assert_eq!(FailPlan::parse(&p.to_spec()).unwrap(), p, "{s}");
+        }
+        assert!(FailPlan::default().to_spec().is_empty());
     }
 
     #[test]

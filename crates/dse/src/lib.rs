@@ -23,9 +23,21 @@
 //!   point index* regardless of completion order, so the parallel
 //!   sweep's canonical output is byte-identical to the serial one.
 //!
-//! Cache hits and misses surface as `hlstb-trace` counters
-//! (`dse.cache.<stage>.hit` / `.miss`) and every point runs under a
-//! `dse.point` span.
+//! The cache is *single-flight*: when several workers miss the same
+//! key at once, one computes while the rest block on the in-flight
+//! slot and are served the shared result (counted as `coalesced`), so
+//! a threaded cached sweep never duplicates a stage computation.
+//! Cache hits, misses, and coalesced waits surface as `hlstb-trace`
+//! counters (`dse.cache.<stage>.hit` / `.miss` / `.coalesced`) and
+//! every point runs under a `dse.point` span.
+//!
+//! # Scale-out
+//!
+//! [`worker::run_sweep_workers`] shards a sweep over worker
+//! *processes* (`hlstb sweep --workers N`) speaking the newline-framed
+//! [`proto`] wire protocol over stdin/stdout pipes, with leases
+//! re-issued when a worker dies and results spliced byte-identically
+//! from checkpoint-format frames.
 //!
 //! # Fault tolerance
 //!
@@ -53,13 +65,16 @@ pub mod engine;
 pub mod error;
 pub mod failpoint;
 pub mod key;
+pub mod proto;
 pub mod report;
 pub mod spec;
+pub mod worker;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{ArtifactCache, CacheOutcome, CacheStats};
 pub use checkpoint::{Checkpoint, RestoredSet};
 pub use engine::{run_sweep, run_sweep_with, Recovery, SweepOptions, SweepOutcome};
 pub use error::PointError;
 pub use failpoint::{FailMode, FailPlan};
 pub use report::{PointMetrics, PointRecord, SweepReport};
 pub use spec::{Point, SweepSpec};
+pub use worker::{run_sweep_workers, WorkerFail};

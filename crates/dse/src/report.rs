@@ -125,6 +125,9 @@ pub struct SweepReport {
     pub points: Vec<PointRecord>,
     /// Worker threads the sweep ran on.
     pub threads: usize,
+    /// Worker *processes* a scale-out sweep sharded over (0 = the
+    /// in-process pool).
+    pub workers: usize,
     /// Whether the artifact cache was enabled, and its counters.
     pub cache: Option<CacheStats>,
     /// End-to-end wall time of the sweep.
@@ -203,6 +206,7 @@ impl SweepReport {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"dse_sweep\",\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"wall_ms\": {},\n", ms(self.wall)));
         out.push_str(&format!("  \"cpu_ms\": {},\n", ms(self.cpu)));
         out.push_str(&format!("  \"failures\": {},\n", self.errors().len()));
@@ -309,15 +313,21 @@ impl SweepReport {
         };
         let cache = match &self.cache {
             Some(c) => format!(
-                "cache hits: {}, misses: {} ({:.1}% hit)",
+                "cache hits: {}, misses: {}, coalesced: {} ({:.1}% hit)",
                 c.hits(),
                 c.misses(),
+                c.coalesced(),
                 c.hit_rate_percent()
             ),
             None => "cache off".to_string(),
         };
+        let workers = if self.workers > 0 {
+            format!(", {} workers", self.workers)
+        } else {
+            String::new()
+        };
         format!(
-            "sweep: {} points ({errors}), {} threads, {} retries, {} timeouts, {} restored, {cache}, wall: {:.1} ms, cpu: {:.1} ms",
+            "sweep: {} points ({errors}), {} threads{workers}, {} retries, {} timeouts, {} restored, {cache}, wall: {:.1} ms, cpu: {:.1} ms",
             self.points.len(),
             self.threads,
             self.retries,
@@ -381,6 +391,7 @@ mod tests {
         SweepReport {
             points: vec![record(0, true), record(1, false)],
             threads: 4,
+            workers: 0,
             cache: Some(CacheStats::default()),
             wall: Duration::from_millis(10),
             cpu: Duration::from_millis(30),
@@ -466,9 +477,22 @@ mod tests {
         assert!(s.contains("2 points (1 errors [flow: 1])"), "{s}");
         assert!(s.contains("0 retries"), "{s}");
         assert!(s.contains("0 restored"), "{s}");
-        assert!(s.contains("cache hits: 0, misses: 0 (0.0% hit)"), "{s}");
+        assert!(
+            s.contains("cache hits: 0, misses: 0, coalesced: 0 (0.0% hit)"),
+            "{s}"
+        );
+        assert!(!s.contains("workers"), "{s}");
         assert_eq!(r.errors().len(), 1);
         assert_eq!(r.timeouts(), 0);
+        // A scale-out run names its worker-process count.
+        let mut w = report();
+        w.workers = 4;
+        assert!(
+            w.summary().contains("4 threads, 4 workers"),
+            "{}",
+            w.summary()
+        );
+        assert!(w.to_json().contains("\"workers\": 4"));
         // Without a cache the summary says so instead of zero counters.
         let mut nc = report();
         nc.cache = None;

@@ -1,0 +1,307 @@
+//! Property and fault-injection tests for scale-out sweeps: sharding a
+//! sweep over worker lanes (loopback transport — real wire protocol,
+//! no processes) must splice a report byte-identical to a serial
+//! uncached run, for any worker count, under injected point failures,
+//! under worker death mid-lease, and through checkpoint resume. The
+//! process transport itself is exercised end-to-end by
+//! `tests/sweep_workers_cli.rs` at the workspace root.
+
+use hlstb::cdfg::{benchmarks, Cdfg};
+use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler};
+use hlstb_dse::worker::{run_sweep_workers, thread_spawner, WorkerFail, WorkerLink};
+use hlstb_dse::{proto, run_sweep_with, FailMode, FailPlan, Recovery, SweepOptions, SweepSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn subset<T: Clone>(pool: &[T], rng: &mut StdRng) -> Vec<T> {
+    loop {
+        let picked: Vec<T> = pool.iter().filter(|_| rng.gen_bool(0.4)).cloned().collect();
+        if !picked.is_empty() {
+            return picked;
+        }
+    }
+}
+
+/// A random small spec, as in `sweep_determinism.rs`.
+fn arb_spec(seed: u64) -> SweepSpec {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let pool: Vec<Cdfg> = vec![
+        benchmarks::figure1(),
+        benchmarks::tseng(),
+        benchmarks::gcd(),
+    ];
+    let mut designs = subset(&pool, rng);
+    designs.truncate(2);
+    let mut spec = SweepSpec::new(designs);
+    spec.schedulers = subset(&[Scheduler::List, Scheduler::IoAware], rng);
+    spec.policies = subset(&[RegisterPolicy::LeftEdge, RegisterPolicy::Boundary], rng);
+    spec.strategies = subset(
+        &[
+            DftStrategy::None,
+            DftStrategy::FullScan,
+            DftStrategy::BistShared,
+            DftStrategy::KLevelTestPoints(2),
+        ],
+        rng,
+    );
+    spec.strategies.truncate(3);
+    spec.patterns = subset(&[0usize, 64, 128], rng);
+    spec.patterns.truncate(2);
+    spec.reset_controller = rng.gen_bool(0.5);
+    spec
+}
+
+fn serial_canonical(spec: &SweepSpec, recovery: &Recovery) -> String {
+    run_sweep_with(
+        spec,
+        &SweepOptions {
+            threads: 1,
+            cache: false,
+            ..SweepOptions::default()
+        },
+        recovery,
+    )
+    .unwrap()
+    .report
+    .canonical_json()
+}
+
+fn workers_canonical(
+    spec: &SweepSpec,
+    recovery: &Recovery,
+    workers: usize,
+    fail: Option<WorkerFail>,
+) -> (String, u64) {
+    let mut spawn = thread_spawner(fail);
+    let outcome = run_sweep_workers(
+        spec,
+        &SweepOptions::default(),
+        recovery,
+        workers,
+        &mut spawn,
+    )
+    .unwrap();
+    assert_eq!(outcome.report.workers, workers.max(1));
+    assert!(outcome.report.cache.is_none());
+    assert!(outcome.designs.iter().all(Option::is_none));
+    (outcome.report.canonical_json(), outcome.report.retries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn worker_sharded_sweep_is_byte_identical_for_1_and_8_lanes(seed in 0u64..10_000) {
+        let spec = arb_spec(seed);
+        let recovery = Recovery::default();
+        let serial = serial_canonical(&spec, &recovery);
+        let (one, _) = workers_canonical(&spec, &recovery, 1, None);
+        let (eight, _) = workers_canonical(&spec, &recovery, 8, None);
+        prop_assert_eq!(&serial, &one);
+        prop_assert_eq!(&serial, &eight);
+    }
+
+    #[test]
+    fn injected_point_failures_splice_identically_across_lanes(seed in 0u64..10_000) {
+        let spec = arb_spec(seed);
+        let n = spec.points().len();
+        let rng = &mut StdRng::seed_from_u64(seed ^ 0xFA11);
+        let mut plan = FailPlan::default();
+        for index in 0..n {
+            if rng.gen_bool(0.3) {
+                let mode = match rng.gen_range(0..3u8) {
+                    0 => FailMode::Panic,
+                    1 => FailMode::Stall,
+                    _ => FailMode::Flaky,
+                };
+                plan.insert(index, mode);
+            }
+        }
+        // The plan crosses the wire in the hello frame, so the workers
+        // inject the exact same deterministic failures the in-process
+        // engine would.
+        let recovery = Recovery { fail_plan: Some(plan), ..Recovery::default() };
+        let serial = serial_canonical(&spec, &recovery);
+        let (sharded, _) = workers_canonical(&spec, &recovery, 4, None);
+        prop_assert_eq!(&serial, &sharded);
+    }
+
+    #[test]
+    fn a_worker_killed_mid_lease_reissues_and_stays_byte_identical(seed in 0u64..5_000) {
+        let spec = arb_spec(seed);
+        let recovery = Recovery::default();
+        let serial = serial_canonical(&spec, &recovery);
+        // Worker 1 dies with a torn frame after emitting one point.
+        // (With 3 lanes it always receives a lease on nontrivial specs,
+        // but byte-identity must hold either way.)
+        let fail = Some(WorkerFail { worker: 1, after: 1 });
+        let (sharded, _) = workers_canonical(&spec, &recovery, 3, fail);
+        prop_assert_eq!(&serial, &sharded);
+    }
+}
+
+/// A killed worker's leased-but-unreceived points are re-issued and
+/// counted in `retries` (the sweep-level recovery taxonomy).
+#[test]
+fn killed_worker_lease_reissue_is_counted() {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::tseng()]);
+    spec.patterns = vec![0, 64];
+    let n = spec.points().len();
+    assert!(n >= 8, "spec too small to guarantee the dying lane works");
+    let recovery = Recovery::default();
+    let serial = serial_canonical(&spec, &recovery);
+    // Die immediately after the lease arrives: everything leased to
+    // worker 0 is torn away and must be re-issued.
+    let fail = Some(WorkerFail {
+        worker: 0,
+        after: 0,
+    });
+    let (sharded, retries) = workers_canonical(&spec, &recovery, 2, fail);
+    assert_eq!(serial, sharded);
+    assert!(retries > 0, "the killed lease was never re-issued");
+}
+
+/// A lane that streams garbage instead of protocol frames is detected
+/// as a typed decode failure and abandoned; the sweep still completes
+/// byte-identically (here via the inline fallback, since the garbage
+/// lane is the only one).
+#[test]
+fn garbage_speaking_worker_is_abandoned_not_trusted() {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    spec.strategies = vec![DftStrategy::None, DftStrategy::FullScan];
+    let recovery = Recovery::default();
+    let serial = serial_canonical(&spec, &recovery);
+    let mut spawn = |_w: u32| -> Result<WorkerLink, hlstb_dse::PointError> {
+        let garbage = b"{\"v\":1,\"key\":\"nope\nnot json at all\n".to_vec();
+        Ok(WorkerLink {
+            to: Box::new(std::io::sink()),
+            from: Box::new(std::io::BufReader::new(std::io::Cursor::new(garbage))),
+            child: None,
+        })
+    };
+    let outcome = run_sweep_workers(&spec, &SweepOptions::default(), &recovery, 1, &mut spawn)
+        .expect("sweep completes despite the garbage lane");
+    assert_eq!(serial, outcome.report.canonical_json());
+}
+
+/// Workers resume from a checkpoint exactly like the in-process
+/// engine: restored points splice from the file, the rest are leased
+/// out, and the final report is byte-identical.
+#[test]
+fn workers_resume_from_a_checkpoint_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("hlstb-workers-ck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::gcd()]);
+    spec.patterns = vec![0, 64];
+    let serial = serial_canonical(&spec, &Recovery::default());
+
+    // First pass: only figure1's points, streamed to the checkpoint.
+    let mut first = spec.clone();
+    first.designs = vec![benchmarks::figure1()];
+    let recovery = Recovery {
+        checkpoint: Some(path.clone()),
+        ..Recovery::default()
+    };
+    let mut spawn = thread_spawner(None);
+    let partial =
+        run_sweep_workers(&first, &SweepOptions::default(), &recovery, 2, &mut spawn).unwrap();
+    assert!(partial.report.points.len() < spec.points().len());
+
+    // Second pass: the full spec with --resume; figure1's points come
+    // back from the file (their keys match), gcd's are evaluated.
+    let resume = Recovery {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Recovery::default()
+    };
+    let mut spawn = thread_spawner(None);
+    let full = run_sweep_workers(&spec, &SweepOptions::default(), &resume, 2, &mut spawn).unwrap();
+    assert_eq!(full.report.restored, partial.report.points.len());
+    assert_eq!(serial, full.report.canonical_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `keep_designs` cannot cross a process boundary; asking for it is a
+/// typed error, not a silent drop.
+#[test]
+fn keep_designs_is_rejected_for_worker_sweeps() {
+    let spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    let opts = SweepOptions {
+        keep_designs: true,
+        ..SweepOptions::default()
+    };
+    let mut spawn = thread_spawner(None);
+    let err = run_sweep_workers(&spec, &opts, &Recovery::default(), 2, &mut spawn).unwrap_err();
+    assert_eq!(err.kind(), "io");
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol robustness: no frame mutation may panic a decoder, and
+// every rejection is a typed `PointError::Io`-family error (which the
+// coordinator answers by re-issuing the lane's leases).
+
+/// A pool of valid frames to mutate.
+fn valid_frames() -> Vec<String> {
+    let spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    let mut plan = FailPlan::default();
+    plan.insert(1, FailMode::Panic);
+    vec![
+        proto::encode_hello(3, &spec, &SweepOptions::default(), Some(&plan)),
+        proto::encode_lease(0, 7),
+        proto::encode_shutdown(),
+        proto::encode_ready(3, 7),
+        proto::encode_point(0xdead_beef, 4, "{\"index\": 4}"),
+        proto::encode_done(0, 7),
+        proto::encode_error("boom"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn truncated_frames_decode_to_typed_errors_not_panics(
+        which in 0usize..7,
+        cut in 0usize..200,
+    ) {
+        let frame = &valid_frames()[which];
+        // Truncate at an arbitrary char boundary strictly inside the
+        // frame, as a torn pipe would.
+        let cut = cut % frame.len().max(1);
+        let torn: String = frame.chars().take(cut).collect();
+        for result in [proto::decode_to_worker(&torn), proto::decode_to_worker(frame)] {
+            if let Err(e) = result {
+                prop_assert_eq!(e.kind(), "io");
+            }
+        }
+        if let Err(e) = proto::decode_from_worker(&torn) {
+            prop_assert_eq!(e.kind(), "io");
+        }
+    }
+
+    #[test]
+    fn mutated_frames_decode_to_typed_errors_not_panics(
+        which in 0usize..7,
+        pos in 0usize..500,
+        byte in 0u8..=255,
+    ) {
+        let frame = &valid_frames()[which];
+        let mut bytes = frame.clone().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        // Mutations may yield invalid UTF-8; the reader layer hands
+        // decoders strings, so exercise only the valid-UTF-8 subset
+        // (invalid UTF-8 already fails in `read_line` as io::Error).
+        if let Ok(s) = String::from_utf8(bytes) {
+            if let Err(e) = proto::decode_to_worker(&s) {
+                prop_assert_eq!(e.kind(), "io");
+            }
+            if let Err(e) = proto::decode_from_worker(&s) {
+                prop_assert_eq!(e.kind(), "io");
+            }
+        }
+    }
+}

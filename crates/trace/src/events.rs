@@ -74,6 +74,7 @@ thread_local! {
             next_seq: 0,
             open_spans: Vec::new(),
             buf: None,
+            worker: None,
         })
     };
 }
@@ -88,6 +89,8 @@ struct Local {
     open_spans: Vec<u64>,
     /// This thread's registered buffer, created on first emission.
     buf: Option<Arc<Mutex<Vec<Record>>>>,
+    /// The executor lane this thread serves (see [`set_worker`]).
+    worker: Option<u32>,
 }
 
 impl Local {
@@ -139,6 +142,10 @@ pub struct Record {
     pub kind: &'static str,
     /// The work unit (sweep point index) this record belongs to.
     pub point: Option<u64>,
+    /// The executor lane (pool thread or sweep worker process) that
+    /// recorded this — volatile identity like `tid`, kept only by the
+    /// full export (which lane evaluates which point races run to run).
+    pub worker: Option<u32>,
     /// Whether the record survives the canonical projection.
     pub stable: bool,
     /// Typed payload fields, in emission order.
@@ -154,6 +161,9 @@ impl Record {
             o.number_u64("seq", self.seq)
                 .number_u64("tid", u64::from(self.tid))
                 .number_u64("t_us", self.t_us);
+            if let Some(w) = self.worker {
+                o.number_u64("worker", u64::from(w));
+            }
         }
         o.string("kind", self.kind);
         if let Some(p) = self.point {
@@ -243,6 +253,15 @@ pub fn enabled() -> bool {
     JOURNAL_ON.load(Ordering::Relaxed)
 }
 
+/// Tags the calling thread with an executor lane id (a sweep pool
+/// thread or worker process). Every record the thread emits from here
+/// on carries the id in the full export — `trace-view` rolls these up
+/// into per-worker lanes. Like `tid`, the tag is volatile identity and
+/// never appears in the canonical projection.
+pub fn set_worker(id: u32) {
+    LOCAL.with(|l| l.borrow_mut().worker = Some(id));
+}
+
 /// Discards every record in every registered buffer and zeroes the
 /// dropped count. Call between runs (concurrent emitters racing a
 /// reset keep whatever they emit after it, as expected).
@@ -273,6 +292,7 @@ fn record(kind: &'static str, point: Option<u64>, stable: bool, fields: Vec<Fiel
         let mut l = l.borrow_mut();
         let seq = l.next_seq;
         l.next_seq += 1;
+        let worker = l.worker;
         let buf = l.buffer();
         lock(&buf).push(Record {
             seq,
@@ -280,6 +300,7 @@ fn record(kind: &'static str, point: Option<u64>, stable: bool, fields: Vec<Fiel
             t_us,
             kind,
             point,
+            worker,
             stable,
             fields,
         });
@@ -526,6 +547,26 @@ mod tests {
         assert!(!canon.contains("seq"), "{canon}");
         assert!(canon.contains("\"coverage_percent\": 92.5"), "{canon}");
         assert!(!j.records[1].stable);
+    }
+
+    #[test]
+    fn worker_tag_rides_full_export_only() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        let h = std::thread::spawn(|| {
+            set_worker(7);
+            emit("point.completed", Some(0), |e| {
+                e.bool("timed_out", false);
+            });
+        });
+        h.join().expect("worker thread");
+        set_enabled(false);
+        let j = drain();
+        let r = &j.records[0];
+        assert_eq!(r.worker, Some(7));
+        assert!(r.to_json(false).contains("\"worker\": 7"));
+        assert!(!r.to_json(true).contains("worker"));
     }
 
     #[test]

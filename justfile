@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke events-smoke soa-equiv perf-floor
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke sweep-workers-smoke events-smoke soa-equiv perf-floor
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -74,6 +74,33 @@ sweep-fault-smoke: build
     rm -f fault_serial.json fault_parallel.json fault_summary.txt \
         resume_baseline.json resume_ckpt.jsonl resume_resumed.json resume_summary.txt
 
+# Scale-out smoke: `--workers 4` must splice byte-identically to the
+# serial uncached run; a worker killed mid-lease (HLSTB_WORKER_FAIL)
+# must re-issue and still reproduce the bytes; and a contended threaded
+# cached sweep must post nonzero coalesced (single-flight) waits.
+sweep-workers-smoke: build
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --threads 1 --no-cache --json >workers_serial.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --workers 4 --json >workers_sharded.json 2>workers_summary.txt
+    cmp workers_serial.json workers_sharded.json
+    grep "4 workers" workers_summary.txt
+    HLSTB_WORKER_FAIL="0:1" ./target/release/hlstb sweep \
+        --designs figure1,tseng --strategies none,full-scan,bist-shared \
+        --grade 64 --workers 1 --json \
+        >workers_killed.json 2>workers_killed_summary.txt
+    cmp workers_serial.json workers_killed.json
+    grep "re-issuing" workers_killed_summary.txt
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --grade 128,512,1024 --threads 8 --cache \
+        >/dev/null 2>coalesce_summary.txt
+    grep "coalesced:" coalesce_summary.txt
+    ! grep -q "coalesced: 0 (" coalesce_summary.txt
+    rm -f workers_serial.json workers_sharded.json workers_summary.txt \
+        workers_killed.json workers_killed_summary.txt coalesce_summary.txt
+
 # Events smoke: journal the tiny sweep at 1 thread uncached and 4
 # threads cached; the canonical projections must be byte-identical and
 # the full journal must roll up through trace-view.
@@ -114,9 +141,10 @@ exp-all:
 bench-fsim patterns="1024":
     cargo run --release -p hlstb-bench --bin exp_fsim -- {{patterns}}
 
-# Time the DSE engine on the full scoreboard sweep; refresh BENCH_dse.json.
-bench-dse threads="4":
-    cargo run --release -p hlstb-bench --bin exp_dse -- {{threads}}
+# Time the DSE engine on the full scoreboard sweep (in-process configs
+# plus one sharded over worker processes); refresh BENCH_dse.json.
+bench-dse threads="4" workers="4":
+    cargo run --release -p hlstb-bench --bin exp_dse -- {{threads}} {{workers}}
 
 # Refresh every tracked benchmark artifact.
 bench: bench-fsim bench-dse

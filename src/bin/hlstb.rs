@@ -19,7 +19,7 @@ use hlstb::netlist::fault::collapsed_faults;
 use hlstb::netlist::fsim::{comb_fault_sim_opts, ParallelOptions, SimEngine, TestFrame};
 use hlstb::netlist::word::WordWidth;
 use hlstb_dse::spec::{parse_policy, parse_scheduler, parse_strategy};
-use hlstb_dse::{run_sweep_with, FailPlan, Recovery, SweepOptions, SweepSpec};
+use hlstb_dse::{run_sweep_with, run_sweep_workers, FailPlan, Recovery, SweepOptions, SweepSpec};
 
 fn designs() -> Vec<Cdfg> {
     benchmarks::all()
@@ -62,9 +62,11 @@ const USAGE: &str =
   trace-view <journal> [--top N]
                                 roll an event journal (sweep --events) up
                                 into lifecycle totals, a per-stage cache/
-                                latency table, and the N slowest points
-                                (default 10); fails on unparseable lines
-                                or a journal without point records
+                                latency table, per-worker lanes (when the
+                                journal carries worker ids), and the N
+                                slowest points (default 10); fails on
+                                unparseable lines or a journal without
+                                point records
   perf-diff <old> <new> [--tolerance P]
                                 compare two BENCH JSON files metric by
                                 metric; exit nonzero when a speedup drops
@@ -98,6 +100,9 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
   --widths     width axis in bits (4)
   --grade      grading-budget axis in patterns, 0 = ungraded (0)
   --threads    worker threads (1)
+  --workers    shard the sweep over N `sweep-worker` child processes
+               (0 = in-process); results splice byte-identically and a
+               killed worker's leased points are re-issued
   --cache | --no-cache    memoize stage artifacts across points (on)
   --reset-controller      expand controllers with a synchronous reset
   --point-budget-ms <N>   wall-clock budget per point; overruns report
@@ -120,6 +125,9 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
 environment:
   HLSTB_FAIL_POINT   inject deterministic point failures, e.g.
                      \"panic:1,4;stall:2;flaky:3\" (testing/CI)
+  HLSTB_WORKER_FAIL  kill sweep worker W after it emits K points, e.g.
+                     \"1:2\"; the coordinator re-issues its leases
+                     (testing/CI)
   HLSTB_TRACE / HLSTB_TRACE_METRICS / HLSTB_TRACE_EVENTS /
   HLSTB_TRACE_SUMMARY   equivalent sinks for the bench binaries";
 
@@ -327,6 +335,7 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let mut json = false;
             let mut full_json = false;
+            let mut workers = 0usize;
             let mut trace = TraceArgs::default();
             let mut i = 1;
             while i < args.len() {
@@ -402,6 +411,11 @@ fn run(args: &[String]) -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("bad thread count {value}"))?;
                     }
+                    "--workers" => {
+                        workers = value
+                            .parse()
+                            .map_err(|_| format!("bad worker count {value}"))?;
+                    }
                     "--point-budget-ms" => {
                         let ms: u64 = value
                             .parse()
@@ -428,7 +442,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("--resume needs --checkpoint <file>".to_string());
             }
             trace.start();
-            let outcome = run_sweep_with(&spec, &opts, &recovery).map_err(|e| e.to_string())?;
+            let outcome = if workers > 0 {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("sweep --workers: resolving own binary: {e}"))?;
+                let mut spawn = hlstb_dse::worker::process_spawner(exe, "sweep-worker");
+                run_sweep_workers(&spec, &opts, &recovery, workers, &mut spawn)
+                    .map_err(|e| e.to_string())?
+            } else {
+                run_sweep_with(&spec, &opts, &recovery).map_err(|e| e.to_string())?
+            };
             trace.finish()?;
             if outcome.checkpoint_write_errors > 0 {
                 eprintln!(
@@ -445,6 +467,11 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             eprintln!("{}", outcome.report.summary());
             Ok(())
+        }
+        // Hidden: the child end of `sweep --workers N`. Speaks the
+        // hlstb-dse wire protocol over stdin/stdout; not for humans.
+        "sweep-worker" => {
+            std::process::exit(hlstb_dse::worker::worker_main());
         }
         "cdfg" => {
             let name = args.get(1).ok_or(USAGE)?;
@@ -594,10 +621,22 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
         calls: u64,
         hits: u64,
         misses: u64,
+        coalesced: u64,
         wall_us: u64,
+    }
+    /// Per-worker lane (threads of an in-process pool or loopback
+    /// workers), keyed by the journal's full-export `worker` field.
+    #[derive(Default)]
+    struct LaneRollup {
+        points: u64,
+        wall_us: u64,
+        hits: u64,
+        misses: u64,
+        coalesced: u64,
     }
     let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
     let mut stages: BTreeMap<String, StageRollup> = BTreeMap::new();
+    let mut lanes: BTreeMap<u64, LaneRollup> = BTreeMap::new();
     // point -> (design, strategy), joined from point.scheduled.
     let mut names: BTreeMap<u64, (String, String)> = BTreeMap::new();
     // (wall_us, point, outcome label) of finished points.
@@ -621,6 +660,7 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
             points.insert(p);
         }
         let wall_us = || v.get("wall_us").and_then(|w| w.as_f64()).unwrap_or(0.0) as u64;
+        let worker = v.get("worker").and_then(|w| w.as_f64()).map(|w| w as u64);
         match kind {
             "point.scheduled" => {
                 if let (Some(p), Some(d), Some(s)) = (
@@ -636,10 +676,21 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
                 let roll = stages.entry(stage.to_string()).or_default();
                 roll.calls += 1;
                 roll.wall_us += wall_us();
-                match v.get("cache").and_then(|c| c.as_str()) {
+                let cache = v.get("cache").and_then(|c| c.as_str());
+                match cache {
                     Some("hit") => roll.hits += 1,
                     Some("miss") => roll.misses += 1,
+                    Some("coalesced") => roll.coalesced += 1,
                     _ => {}
+                }
+                if let Some(w) = worker {
+                    let lane = lanes.entry(w).or_default();
+                    match cache {
+                        Some("hit") => lane.hits += 1,
+                        Some("miss") => lane.misses += 1,
+                        Some("coalesced") => lane.coalesced += 1,
+                        _ => {}
+                    }
                 }
             }
             "point.completed" => {
@@ -648,12 +699,22 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
                         Some(c) => format!("completed, {c:.1}% cov"),
                         None => "completed".to_string(),
                     };
+                    if let Some(w) = worker {
+                        let lane = lanes.entry(w).or_default();
+                        lane.points += 1;
+                        lane.wall_us += wall_us();
+                    }
                     finished.push((wall_us(), p, label));
                 }
             }
             "point.failed" => {
                 if let Some(p) = point {
                     let err = v.get("error").and_then(|e| e.as_str()).unwrap_or("?");
+                    if let Some(w) = worker {
+                        let lane = lanes.entry(w).or_default();
+                        lane.points += 1;
+                        lane.wall_us += wall_us();
+                    }
                     finished.push((wall_us(), p, format!("failed ({err})")));
                 }
             }
@@ -674,23 +735,50 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
     }
     if !stages.is_empty() {
         out.push_str(&format!(
-            "\nstages:\n  {:<10} {:>7} {:>7} {:>7} {:>7} {:>11} {:>9}\n",
-            "stage", "calls", "hits", "misses", "hit %", "total ms", "avg us"
+            "\nstages:\n  {:<10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>11} {:>9}\n",
+            "stage", "calls", "hits", "misses", "coal", "hit %", "total ms", "avg us"
         ));
         for (stage, roll) in &stages {
-            let looked = roll.hits + roll.misses;
+            let looked = roll.hits + roll.misses + roll.coalesced;
             let rate = if looked == 0 {
                 "-".to_string()
             } else {
-                format!("{:.1}", roll.hits as f64 * 100.0 / looked as f64)
+                format!(
+                    "{:.1}",
+                    (roll.hits + roll.coalesced) as f64 * 100.0 / looked as f64
+                )
             };
             out.push_str(&format!(
-                "  {stage:<10} {:>7} {:>7} {:>7} {rate:>7} {:>11.3} {:>9}\n",
+                "  {stage:<10} {:>7} {:>7} {:>7} {:>7} {rate:>7} {:>11.3} {:>9}\n",
                 roll.calls,
                 roll.hits,
                 roll.misses,
+                roll.coalesced,
                 roll.wall_us as f64 / 1e3,
                 roll.wall_us / roll.calls.max(1),
+            ));
+        }
+    }
+    if !lanes.is_empty() {
+        out.push_str(&format!(
+            "\nworkers:\n  {:<8} {:>7} {:>11} {:>7} {:>10}\n",
+            "worker", "points", "wall ms", "hit %", "coalesced"
+        ));
+        for (w, lane) in &lanes {
+            let looked = lane.hits + lane.misses + lane.coalesced;
+            let rate = if looked == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}",
+                    (lane.hits + lane.coalesced) as f64 * 100.0 / looked as f64
+                )
+            };
+            out.push_str(&format!(
+                "  {w:<8} {:>7} {:>11.3} {rate:>7} {:>10}\n",
+                lane.points,
+                lane.wall_us as f64 / 1e3,
+                lane.coalesced,
             ));
         }
     }

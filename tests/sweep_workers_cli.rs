@@ -1,0 +1,132 @@
+//! End-to-end tests of `hlstb sweep --workers N`: real `sweep-worker`
+//! child processes over stdin/stdout pipes, spliced byte-identically
+//! to a serial in-process run, surviving an injected worker kill
+//! (`HLSTB_WORKER_FAIL`) and composing with `HLSTB_FAIL_POINT`.
+
+use std::process::Command;
+
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hlstb"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const SMALL: &[&str] = &[
+    "sweep",
+    "--designs",
+    "figure1,tseng",
+    "--strategies",
+    "none,full-scan,bist-shared",
+    "--grade",
+    "64",
+    "--json",
+];
+
+fn with<'a>(extra: &'a [&'a str]) -> Vec<&'a str> {
+    SMALL.iter().chain(extra).copied().collect()
+}
+
+#[test]
+fn workers_sweep_is_byte_identical_to_serial_uncached() {
+    let (serial, _, ok) = run_env(&with(&["--no-cache"]), &[]);
+    assert!(ok);
+    let (sharded, stderr, ok) = run_env(&with(&["--workers", "4"]), &[]);
+    assert!(ok, "{stderr}");
+    assert_eq!(serial, sharded, "worker splice diverged from serial run");
+    assert!(
+        stderr.contains("4 workers"),
+        "summary lacks worker count: {stderr}"
+    );
+}
+
+#[test]
+fn a_killed_worker_process_is_reissued_byte_identically() {
+    let (serial, _, ok) = run_env(&with(&["--no-cache"]), &[]);
+    assert!(ok);
+    // The only worker tears its stream after one point, which is
+    // deterministic (a multi-lane kill depends on lease timing): its
+    // outstanding lease re-issues, and with no lanes left the
+    // coordinator finishes inline — still byte-identical.
+    let (sharded, stderr, ok) =
+        run_env(&with(&["--workers", "1"]), &[("HLSTB_WORKER_FAIL", "0:1")]);
+    assert!(ok, "{stderr}");
+    assert_eq!(serial, sharded, "splice diverged after worker kill");
+    assert!(
+        stderr.contains("re-issuing"),
+        "no lease re-issue reported: {stderr}"
+    );
+    assert!(
+        stderr.contains("no live workers"),
+        "inline fallback not reported: {stderr}"
+    );
+}
+
+#[test]
+fn a_kill_among_surviving_workers_stays_byte_identical() {
+    let (serial, _, ok) = run_env(&with(&["--no-cache"]), &[]);
+    assert!(ok);
+    // Whether worker 1 ever receives a second lease (and hence dies)
+    // is timing-dependent; byte-identity must hold either way.
+    let (sharded, stderr, ok) =
+        run_env(&with(&["--workers", "3"]), &[("HLSTB_WORKER_FAIL", "1:1")]);
+    assert!(ok, "{stderr}");
+    assert_eq!(serial, sharded, "splice diverged after worker kill");
+}
+
+#[test]
+fn fail_point_injection_composes_with_workers() {
+    let env = [("HLSTB_FAIL_POINT", "panic:1;stall:3")];
+    let (serial, serial_err, ok) = run_env(&with(&["--no-cache"]), &env);
+    assert!(ok, "{serial_err}");
+    let (sharded, stderr, ok) = run_env(&with(&["--workers", "2"]), &env);
+    assert!(ok, "{stderr}");
+    assert_eq!(serial, sharded);
+    // The injected failures survive the wire as typed errors.
+    assert!(stderr.contains("2 errors"), "summary: {stderr}");
+    assert!(stderr.contains("panic: 1"), "summary: {stderr}");
+    assert!(stderr.contains("timeout: 1"), "summary: {stderr}");
+}
+
+#[test]
+fn sweep_worker_without_a_coordinator_exits_cleanly_on_eof() {
+    // Closing stdin before the hello is a vanished coordinator: the
+    // worker exits 0 without writing anything.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hlstb"));
+    let out = cmd
+        .arg("sweep-worker")
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn sweep_worker_rejects_garbage_with_a_typed_error() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hlstb"))
+        .arg("sweep-worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"this is not a frame\n")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("worker exits");
+    assert!(!out.status.success(), "garbage must not be accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sweep-worker: io:"), "stderr: {stderr}");
+}
