@@ -89,8 +89,56 @@ HLSTB_WORKER_FAIL="0:1" ./target/release/hlstb sweep \
     >workers_killed.json 2>workers_killed_summary.txt
 cmp workers_serial.json workers_killed.json
 grep "re-issuing" workers_killed_summary.txt
+grep "1 reissued" workers_killed_summary.txt
+
+# TCP transport smoke: the same sweep served over `--listen` to four
+# dialed-in `sweep-worker --connect` processes must splice
+# byte-identically to the serial uncached run, and a worker killed
+# mid-lease (HLSTB_WORKER_FAIL) must have its lease re-issued to a
+# later-dialing replacement with the bytes still identical.
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --listen 127.0.0.1:0 --json >tcp_sharded.json 2>tcp_summary.txt &
+tcp_coord=$!
+tcp_addr=""
+for _ in $(seq 50); do
+    tcp_addr=$(sed -n 's/^sweep: listening on //p' tcp_summary.txt | head -1)
+    if [ -n "$tcp_addr" ]; then break; fi
+    sleep 0.1
+done
+test -n "$tcp_addr"
+for _ in 1 2 3 4; do
+    ./target/release/hlstb sweep-worker --connect "$tcp_addr" &
+done
+wait $tcp_coord
+cmp workers_serial.json tcp_sharded.json
+grep "4 workers" tcp_summary.txt
+wait || true
+
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --listen 127.0.0.1:0 --json >tcp_killed.json 2>tcp_killed_summary.txt &
+tcp_coord=$!
+tcp_addr=""
+for _ in $(seq 50); do
+    tcp_addr=$(sed -n 's/^sweep: listening on //p' tcp_killed_summary.txt | head -1)
+    if [ -n "$tcp_addr" ]; then break; fi
+    sleep 0.1
+done
+test -n "$tcp_addr"
+# The dying worker dials first (lane 0) and is dead before the
+# replacement dials, so the kill and the re-issue are deterministic.
+HLSTB_WORKER_FAIL="0:1" ./target/release/hlstb sweep-worker \
+    --connect "$tcp_addr" || true
+./target/release/hlstb sweep-worker --connect "$tcp_addr"
+wait $tcp_coord
+cmp workers_serial.json tcp_killed.json
+grep "re-issuing" tcp_killed_summary.txt
+! grep -q " 0 reissued," tcp_killed_summary.txt
+
 rm -f workers_serial.json workers_sharded.json workers_summary.txt \
-    workers_killed.json workers_killed_summary.txt
+    workers_killed.json workers_killed_summary.txt \
+    tcp_sharded.json tcp_summary.txt tcp_killed.json tcp_killed_summary.txt
 
 # Single-flight smoke: a contended threaded cached sweep (consecutive
 # points share grading keys) must coalesce duplicate in-flight misses

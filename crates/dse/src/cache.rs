@@ -24,7 +24,7 @@ use hlstb::flow::{DftPlans, FrontEnd, SgraphFacts};
 use hlstb::hls::datapath::Datapath;
 use hlstb::hls::expand::ExpandedDatapath;
 use hlstb::netlist::random::RandomRun;
-use hlstb_trace::json::Obj;
+use hlstb_trace::json::{Obj, Value};
 
 /// How one lookup was served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,24 @@ pub struct StageCounts {
     pub misses: u64,
     /// Lookups that waited out another worker's in-flight compute.
     pub coalesced: u64,
+}
+
+impl StageCounts {
+    /// Adds another snapshot's counters into this one.
+    pub fn merge(&mut self, other: StageCounts) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+    }
+
+    fn from_json(v: &Value) -> Option<StageCounts> {
+        let n = |k: &str| v.get(k).and_then(Value::as_f64).map(|x| x as u64);
+        Some(StageCounts {
+            hits: n("hits")?,
+            misses: n("misses")?,
+            coalesced: n("coalesced")?,
+        })
+    }
 }
 
 /// A snapshot of every stage's lookup counters.
@@ -131,6 +149,30 @@ impl CacheStats {
             .raw("netlist", &stage(self.netlist))
             .raw("grading", &stage(self.grading));
         o.finish()
+    }
+
+    /// Parses the object [`to_json`](Self::to_json) renders (the
+    /// per-worker payload of the wire protocol's `done` frame). `None`
+    /// when any per-stage object is missing or malformed — the totals
+    /// are derived, so only the stages are read back.
+    pub fn from_json(v: &Value) -> Option<CacheStats> {
+        Some(CacheStats {
+            front: StageCounts::from_json(v.get("front")?)?,
+            facts: StageCounts::from_json(v.get("facts")?)?,
+            dft: StageCounts::from_json(v.get("dft")?)?,
+            netlist: StageCounts::from_json(v.get("netlist")?)?,
+            grading: StageCounts::from_json(v.get("grading")?)?,
+        })
+    }
+
+    /// Adds another snapshot's counters into this one, stage by stage
+    /// (fleet-wide aggregation across worker lanes).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.front.merge(other.front);
+        self.facts.merge(other.facts);
+        self.dft.merge(other.dft);
+        self.netlist.merge(other.netlist);
+        self.grading.merge(other.grading);
     }
 }
 
@@ -588,5 +630,37 @@ mod tests {
             let (v, _) = waiter.join().unwrap();
             assert_eq!(v.cycles, 4);
         });
+    }
+
+    #[test]
+    fn stats_round_trip_json_and_merge() {
+        let a = CacheStats {
+            front: StageCounts {
+                hits: 3,
+                misses: 2,
+                coalesced: 1,
+            },
+            grading: StageCounts {
+                hits: 0,
+                misses: 7,
+                coalesced: 0,
+            },
+            ..CacheStats::default()
+        };
+        let v = hlstb_trace::json::parse(&a.to_json()).expect("stats render as JSON");
+        let back = CacheStats::from_json(&v).expect("stats parse back");
+        assert_eq!(back, a);
+        // Totals are derived from the parsed stages.
+        assert_eq!(back.hits(), 3);
+        assert_eq!(back.misses(), 9);
+        // Merge is per-stage addition.
+        let mut sum = back;
+        sum.merge(&a);
+        assert_eq!(sum.front.hits, 6);
+        assert_eq!(sum.grading.misses, 14);
+        assert_eq!(sum.coalesced(), 2);
+        // A non-stats object is rejected, not zero-filled.
+        let bogus = hlstb_trace::json::parse("{\"hits\": 1}").unwrap();
+        assert!(CacheStats::from_json(&bogus).is_none());
     }
 }

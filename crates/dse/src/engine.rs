@@ -146,7 +146,13 @@ impl ProgressMeter {
         }
     }
 
-    pub(crate) fn tick(&self, record: &PointRecord, retries: u64, cache: Option<&ArtifactCache>) {
+    pub(crate) fn tick(
+        &self,
+        record: &PointRecord,
+        retries: u64,
+        reissued: u64,
+        cache: Option<&ArtifactCache>,
+    ) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         match &record.outcome {
             Err(_) => {
@@ -159,7 +165,10 @@ impl ProgressMeter {
         }
         let elapsed = self.t0.elapsed().as_secs_f64().max(1e-9);
         let rate = done as f64 / elapsed;
-        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        // Restored/spliced points can push `done` past `total` (e.g. a
+        // checkpoint holding duplicates of every point), so saturate
+        // instead of underflowing the unsigned subtraction.
+        let eta = self.total.saturating_sub(done) as f64 / rate.max(1e-9);
         let mut line = format!(
             "\rsweep: {done}/{} pts  {rate:.1} pts/s  eta {eta:.0}s",
             self.total
@@ -169,10 +178,13 @@ impl ProgressMeter {
         }
         let failures = self.failures.load(Ordering::Relaxed);
         let timeouts = self.timeouts.load(Ordering::Relaxed);
-        if retries + failures as u64 + timeouts as u64 > 0 {
+        if retries + reissued + failures as u64 + timeouts as u64 > 0 {
             line.push_str(&format!(
                 "  retries {retries}  failures {failures}  timeouts {timeouts}"
             ));
+            if reissued > 0 {
+                line.push_str(&format!("  reissued {reissued}"));
+            }
         }
         eprint!("{line}");
     }
@@ -419,7 +431,7 @@ pub fn run_sweep_with(
                     restored_count.fetch_add(1, Ordering::Relaxed);
                     hlstb_trace::events::emit("point.restored", Some(p.index as u64), |_| {});
                     if let Some(m) = &meter {
-                        m.tick(&record, runner.retries(), runner.cache());
+                        m.tick(&record, runner.retries(), 0, runner.cache());
                     }
                     *slots[i].lock().expect("slot lock") = Some((record, None));
                     continue;
@@ -427,7 +439,7 @@ pub fn run_sweep_with(
             }
             let (record, design) = runner.eval(i);
             if let Some(m) = &meter {
-                m.tick(&record, runner.retries(), runner.cache());
+                m.tick(&record, runner.retries(), 0, runner.cache());
             }
             if let Some(ck) = &writer {
                 if ck
@@ -489,6 +501,7 @@ pub fn run_sweep_with(
             cpu,
             restored: restored_count.into_inner(),
             retries: runner.retries(),
+            reissued: 0,
         },
         designs,
         checkpoint_write_errors: checkpoint_errors.into_inner(),
@@ -1100,6 +1113,31 @@ mod tests {
         let fm = full.report.points[0].outcome.as_ref().unwrap();
         assert!(!fm.timed_out);
         assert!(fm.coverage_percent.unwrap() >= m.coverage_percent.unwrap());
+    }
+
+    /// Regression: ticking the meter past `total` (restored/spliced
+    /// points can outnumber the planned set) must saturate the ETA
+    /// subtraction, not underflow and panic in debug builds.
+    #[test]
+    fn progress_meter_ticking_past_total_does_not_underflow() {
+        let meter = ProgressMeter::new(1, Instant::now());
+        let record = PointRecord {
+            index: 0,
+            design: "figure1".to_string(),
+            scheduler: "list".to_string(),
+            policy: "left_edge".to_string(),
+            strategy: "none".to_string(),
+            width: 8,
+            patterns: 0,
+            outcome: Err(PointError::Io {
+                message: "injected".into(),
+            }),
+            wall: Duration::ZERO,
+            restored: None,
+        };
+        meter.tick(&record, 0, 0, None);
+        meter.tick(&record, 1, 2, None); // done=2 > total=1
+        meter.finish();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Coordinator → worker ([`ToWorker`]):
 //!
 //! ```text
-//! {"type": "hello", "v": 1, "worker": 0, "spec": {…}, "opts": {…}}
+//! {"type": "hello", "v": 2, "worker": 0, "spec": {…}, "opts": {…}}
 //! {"type": "lease", "start": 0, "end": 4}
 //! {"type": "shutdown"}
 //! ```
@@ -24,9 +24,15 @@
 //! ```text
 //! {"type": "ready", "worker": 0, "points": 297}
 //! {"v": 1, "key": "<16-hex>", "index": 3, "canonical": "<escaped JSON>"}
-//! {"type": "done", "start": 0, "end": 4}
+//! {"type": "done", "start": 0, "end": 4, "points": 4, "retries": 0, "cache": {…}}
 //! {"type": "error", "message": "…"}
 //! ```
+//!
+//! The `done` frame's trailing counters are cumulative over the
+//! worker's session ([`DoneStats`]); the coordinator keeps the latest
+//! snapshot per lane and sums them fleet-wide into the report
+//! envelope. (The point frame's `"v"` is the checkpoint format
+//! version, unrelated to [`PROTO_VERSION`].)
 //!
 //! The point frame is **exactly** the checkpoint record line of
 //! [`crate::checkpoint`] — same encoder, same parser — so a worker's
@@ -55,8 +61,9 @@ use crate::key;
 use crate::spec::{self, SweepSpec};
 use hlstb_trace::json::{self, Arr, Obj, Value};
 
-/// Protocol version; bumped on any frame-layout change.
-pub const PROTO_VERSION: u64 = 1;
+/// Protocol version; bumped on any frame-layout change (v2: the `done`
+/// frame grew cumulative per-worker counters and cache stats).
+pub const PROTO_VERSION: u64 = 2;
 
 /// A frame the coordinator sends to a worker.
 #[derive(Debug, Clone)]
@@ -108,18 +115,38 @@ pub enum FromWorker {
         /// The point's canonical JSON, verbatim.
         canonical: String,
     },
-    /// A lease fully evaluated and streamed.
+    /// A lease fully evaluated and streamed, with the worker's
+    /// cumulative session counters.
     Done {
         /// Echoed lease start.
         start: usize,
         /// Echoed lease end.
         end: usize,
+        /// Cumulative counters for the worker's whole session (not
+        /// just this lease), so the coordinator keeps only the latest
+        /// snapshot per lane.
+        stats: DoneStats,
     },
     /// The worker is giving up (spec mismatch, internal failure).
     Error {
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// Cumulative per-worker counters carried by every `done` frame, so
+/// the coordinator can aggregate evaluation effort fleet-wide without
+/// a separate stats round-trip. Counters are monotone over a worker's
+/// session; the coordinator keeps the latest snapshot per lane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DoneStats {
+    /// Points the worker has streamed back so far (all leases).
+    pub points: u64,
+    /// Transient-failure retries the worker's bounded-retry policy
+    /// performed so far.
+    pub retries: u64,
+    /// The worker's stage-cache counters, when its cache is enabled.
+    pub cache: Option<crate::cache::CacheStats>,
 }
 
 fn io_err(what: impl std::fmt::Display) -> PointError {
@@ -340,12 +367,19 @@ pub fn encode_point(key: u64, index: usize, canonical: &str) -> String {
     checkpoint::encode_line(key, index, canonical)
 }
 
-/// Encodes a lease-complete frame.
-pub fn encode_done(start: usize, end: usize) -> String {
+/// Encodes a lease-complete frame carrying the worker's cumulative
+/// session counters.
+pub fn encode_done(start: usize, end: usize, stats: &DoneStats) -> String {
     let mut o = Obj::new();
     o.string("type", "done")
         .number_u64("start", start as u64)
-        .number_u64("end", end as u64);
+        .number_u64("end", end as u64)
+        .number_u64("points", stats.points)
+        .number_u64("retries", stats.retries);
+    match &stats.cache {
+        Some(c) => o.raw("cache", &c.to_json()),
+        None => o.raw("cache", "null"),
+    };
     o.finish()
 }
 
@@ -444,6 +478,11 @@ pub fn decode_from_worker(line: &str) -> Result<FromWorker, PointError> {
         Some("done") => Ok(FromWorker::Done {
             start: field_usize(&v, "start")?,
             end: field_usize(&v, "end")?,
+            stats: DoneStats {
+                points: field_usize(&v, "points")? as u64,
+                retries: field_usize(&v, "retries")? as u64,
+                cache: v.get("cache").and_then(crate::cache::CacheStats::from_json),
+            },
         }),
         Some("error") => Ok(FromWorker::Error {
             message: v
@@ -522,9 +561,31 @@ mod tests {
                 points: 297
             }
         );
+        let stats = DoneStats {
+            points: 4,
+            retries: 1,
+            cache: Some(crate::cache::CacheStats::default()),
+        };
         assert_eq!(
-            decode_from_worker(&encode_done(0, 4)).unwrap(),
-            FromWorker::Done { start: 0, end: 4 }
+            decode_from_worker(&encode_done(0, 4, &stats)).unwrap(),
+            FromWorker::Done {
+                start: 0,
+                end: 4,
+                stats: stats.clone()
+            }
+        );
+        // A cache-off worker reports a null cache, decoded as None.
+        let no_cache = DoneStats {
+            cache: None,
+            ..stats
+        };
+        assert_eq!(
+            decode_from_worker(&encode_done(0, 4, &no_cache)).unwrap(),
+            FromWorker::Done {
+                start: 0,
+                end: 4,
+                stats: no_cache
+            }
         );
         assert_eq!(
             decode_from_worker(&encode_error("boom")).unwrap(),
@@ -573,7 +634,7 @@ mod tests {
     fn version_skew_and_unknown_designs_are_rejected() {
         let spec = sample_spec();
         let line = encode_hello(0, &spec, &SweepOptions::default(), None);
-        let skewed = line.replace("\"v\": 1", "\"v\": 99");
+        let skewed = line.replace(&format!("\"v\": {PROTO_VERSION}"), "\"v\": 99");
         assert!(decode_to_worker(&skewed)
             .unwrap_err()
             .message()

@@ -136,8 +136,14 @@ pub struct SweepReport {
     pub cpu: Duration,
     /// Points served from the resume checkpoint instead of evaluated.
     pub restored: usize,
-    /// Retry attempts the bounded-retry policy performed.
+    /// Per-point retry attempts the bounded-retry policy performed
+    /// (transient point failures: panics, timeouts). In a scale-out
+    /// sweep this is the fleet-wide sum the workers reported.
     pub retries: u64,
+    /// Leased points re-issued to another lane because their worker
+    /// died mid-lease (transport recovery, not point failures; always
+    /// 0 for in-process sweeps).
+    pub reissued: u64,
 }
 
 impl SweepReport {
@@ -218,6 +224,7 @@ impl SweepReport {
             .join(", ");
         out.push_str(&format!("  \"error_kinds\": {{{kinds}}},\n"));
         out.push_str(&format!("  \"retries\": {},\n", self.retries));
+        out.push_str(&format!("  \"reissued\": {},\n", self.reissued));
         out.push_str(&format!("  \"timeouts\": {},\n", self.timeouts()));
         out.push_str(&format!("  \"restored\": {},\n", self.restored));
         match &self.cache {
@@ -295,8 +302,9 @@ impl SweepReport {
     }
 
     /// One-line run summary (the CLI's stderr footer): point, error
-    /// (with a per-kind breakdown), retry, timeout, and restore counts,
-    /// threads, cache hit/miss totals with hit rate, wall time.
+    /// (with a per-kind breakdown), retry, lease-reissue, timeout, and
+    /// restore counts, threads, cache hit/miss totals with hit rate,
+    /// wall time.
     pub fn summary(&self) -> String {
         let errors = {
             let kinds = self.error_kinds();
@@ -327,10 +335,11 @@ impl SweepReport {
             String::new()
         };
         format!(
-            "sweep: {} points ({errors}), {} threads{workers}, {} retries, {} timeouts, {} restored, {cache}, wall: {:.1} ms, cpu: {:.1} ms",
+            "sweep: {} points ({errors}), {} threads{workers}, {} retries, {} reissued, {} timeouts, {} restored, {cache}, wall: {:.1} ms, cpu: {:.1} ms",
             self.points.len(),
             self.threads,
             self.retries,
+            self.reissued,
             self.timeouts(),
             self.restored,
             self.wall.as_secs_f64() * 1e3,
@@ -397,6 +406,7 @@ mod tests {
             cpu: Duration::from_millis(30),
             restored: 0,
             retries: 0,
+            reissued: 0,
         }
     }
 
@@ -434,6 +444,7 @@ mod tests {
         assert!(v.get("cache").is_some());
         assert_eq!(v.get("failures").and_then(|f| f.as_f64()), Some(1.0));
         assert_eq!(v.get("retries").and_then(|f| f.as_f64()), Some(0.0));
+        assert_eq!(v.get("reissued").and_then(|f| f.as_f64()), Some(0.0));
         assert_eq!(v.get("restored").and_then(|f| f.as_f64()), Some(0.0));
         let pts = v.get("points").and_then(|p| p.as_array()).unwrap();
         assert!(pts[0].get("wall_ms").and_then(|w| w.as_f64()).is_some());
@@ -448,6 +459,7 @@ mod tests {
         b.wall = Duration::from_millis(99);
         b.points[0].wall = Duration::from_millis(77);
         b.retries = 5;
+        b.reissued = 2;
         b.restored = 1;
         assert_eq!(a.canonical_json(), b.canonical_json());
         assert_ne!(a.to_json(), b.to_json());
@@ -476,6 +488,7 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("2 points (1 errors [flow: 1])"), "{s}");
         assert!(s.contains("0 retries"), "{s}");
+        assert!(s.contains("0 reissued"), "{s}");
         assert!(s.contains("0 restored"), "{s}");
         assert!(
             s.contains("cache hits: 0, misses: 0, coalesced: 0 (0.0% hit)"),

@@ -46,6 +46,7 @@
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -155,14 +156,23 @@ impl Drop for PipeWriter {
 impl Read for PipeReader {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
         let mut st = pipe_lock(&self.0);
-        while st.buf.is_empty() && !st.closed {
+        loop {
+            // Drain strictly from what the buffer holds *now*: a
+            // writer that closed between the wakeup and this check
+            // must surface as EOF (n == 0), never as fabricated
+            // bytes, so re-test emptiness on every wakeup.
+            if !st.buf.is_empty() {
+                let n = st.buf.len().min(out.len());
+                for (slot, byte) in out.iter_mut().zip(st.buf.drain(..n)) {
+                    *slot = byte;
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0);
+            }
             st = self.0 .1.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let n = st.buf.len().min(out.len());
-        for slot in out.iter_mut().take(n) {
-            *slot = st.buf.pop_front().unwrap_or(0);
-        }
-        Ok(n)
     }
 }
 
@@ -186,6 +196,10 @@ pub struct WorkerLink {
     pub from: Box<dyn BufRead + Send>,
     /// The child process, when the transport is a process pipe.
     pub child: Option<std::process::Child>,
+    /// The raw socket, when the transport is TCP: kept so an abandoned
+    /// lane can be hard-shut (both directions), which is what tells a
+    /// still-alive worker on the far end to give up or redial.
+    pub sock: Option<std::net::TcpStream>,
 }
 
 /// A transport factory: called once per worker lane id.
@@ -211,6 +225,7 @@ pub fn thread_spawner(
             to: Box::new(coord_to_worker),
             from: Box::new(BufReader::new(coord_from_worker)),
             child: None,
+            sock: None,
         })
     }
 }
@@ -240,8 +255,26 @@ pub fn process_spawner(
             to: Box::new(to),
             from: Box::new(BufReader::new(from)),
             child: Some(child),
+            sock: None,
         })
     }
+}
+
+/// Wraps one accepted TCP connection as a coordinator-side lane: the
+/// two stream halves are clones of the same socket, and the socket
+/// itself rides along for hard shutdown on lane abandonment.
+fn tcp_link(sock: std::net::TcpStream) -> Result<WorkerLink, PointError> {
+    let _ = sock.set_nodelay(true);
+    let clone = |what| {
+        sock.try_clone()
+            .map_err(|e| io_err(format!("clone accepted socket ({what}): {e}")))
+    };
+    Ok(WorkerLink {
+        to: Box::new(clone("write half")?),
+        from: Box::new(BufReader::new(clone("read half")?)),
+        child: None,
+        sock: Some(sock),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -254,6 +287,17 @@ fn write_frame(out: &mut dyn Write, frame: &str) -> Result<(), PointError> {
     out.write_all(line.as_bytes())
         .and_then(|()| out.flush())
         .map_err(|e| io_err(format!("write frame: {e}")))
+}
+
+/// How a worker session ended without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The coordinator sent `shutdown`: the sweep is over.
+    Shutdown,
+    /// The stream ended without a shutdown frame — the coordinator
+    /// vanished or dropped the connection. A connect-mode worker
+    /// answers this by redialing; a pipe-mode worker just exits.
+    Eof,
 }
 
 /// The worker half of the protocol, generic over the transport's byte
@@ -269,10 +313,24 @@ fn write_frame(out: &mut dyn Write, frame: &str) -> Result<(), PointError> {
 /// death. Either way the error is for the *caller's* exit code — the
 /// coordinator learns of it from the stream going quiet or torn.
 pub fn worker_loop(
+    input: impl BufRead,
+    output: impl Write,
+    fail: Option<WorkerFail>,
+) -> Result<SessionEnd, PointError> {
+    worker_session(input, output, fail, &mut false)
+}
+
+/// [`worker_loop`] plus a handshake flag for the connect-mode redial
+/// policy: `handshaken` is set once the hello was accepted and `ready`
+/// went out, so the caller can tell a broken session (redial) from a
+/// rejected handshake (fatal — a version-skewed or garbage coordinator
+/// will not improve on the next dial).
+fn worker_session(
     mut input: impl BufRead,
     mut output: impl Write,
     fail: Option<WorkerFail>,
-) -> Result<(), PointError> {
+    handshaken: &mut bool,
+) -> Result<SessionEnd, PointError> {
     let mut line = String::new();
     let read_line = |input: &mut dyn BufRead, line: &mut String| -> Result<bool, PointError> {
         line.clear();
@@ -282,11 +340,21 @@ pub fn worker_loop(
         Ok(n > 0)
     };
     if !read_line(&mut input, &mut line)? {
-        return Ok(()); // coordinator vanished before hello
+        return Ok(SessionEnd::Eof); // coordinator vanished before hello
     }
-    let hello = match proto::decode_to_worker(&line)? {
-        ToWorker::Hello(h) => *h,
-        _ => return Err(io_err("expected hello as the first frame")),
+    let hello = match proto::decode_to_worker(&line) {
+        Ok(ToWorker::Hello(h)) => *h,
+        Ok(_) => {
+            let e = io_err("expected hello as the first frame");
+            let _ = write_frame(&mut output, &proto::encode_error(e.message()));
+            return Err(e);
+        }
+        Err(e) => {
+            // Best-effort rejection report (version skew, unresolvable
+            // spec) so the coordinator logs *why* before the lane dies.
+            let _ = write_frame(&mut output, &proto::encode_error(e.message()));
+            return Err(e);
+        }
     };
     hlstb_trace::events::set_worker(hello.worker);
     let death = fail.filter(|f| f.worker == hello.worker).map(|f| f.after);
@@ -295,14 +363,15 @@ pub fn worker_loop(
         &mut output,
         &proto::encode_ready(hello.worker, runner.len()),
     )?;
+    *handshaken = true;
     let mut emitted = 0usize;
     loop {
         if !read_line(&mut input, &mut line)? {
-            return Ok(()); // coordinator closed the stream: clean exit
+            return Ok(SessionEnd::Eof); // coordinator closed the stream
         }
         match proto::decode_to_worker(&line)? {
             ToWorker::Hello(_) => return Err(io_err("unexpected second hello")),
-            ToWorker::Shutdown => return Ok(()),
+            ToWorker::Shutdown => return Ok(SessionEnd::Shutdown),
             ToWorker::Lease { start, end } => {
                 if start > end || end > runner.len() {
                     write_frame(
@@ -336,7 +405,12 @@ pub fn worker_loop(
                     write_frame(&mut output, &frame)?;
                     emitted += 1;
                 }
-                write_frame(&mut output, &proto::encode_done(start, end))?;
+                let stats = proto::DoneStats {
+                    points: emitted as u64,
+                    retries: runner.retries(),
+                    cache: runner.cache().map(crate::cache::ArtifactCache::stats),
+                };
+                write_frame(&mut output, &proto::encode_done(start, end, &stats))?;
             }
         }
     }
@@ -350,6 +424,86 @@ pub fn worker_main() -> i32 {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     match worker_loop(stdin.lock(), stdout.lock(), WorkerFail::from_env()) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("sweep-worker: {}: {}", e.kind(), e.message());
+            3
+        }
+    }
+}
+
+/// Capped exponential redial delay for [`worker_connect`].
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis((50u64 << attempt.min(4)).min(500))
+}
+
+/// Dials `addr` and serves sweep sessions until the coordinator sends
+/// `shutdown`. The connection attempt and any post-handshake stream
+/// drop redial with bounded exponential backoff (a sweep coordinator
+/// that is still listening treats the new connection as a fresh lane
+/// and re-issues whatever the dead lane had leased — results already
+/// streamed are kept, so nothing completed is recomputed). Fatal
+/// conditions never redial: a rejected handshake (version skew,
+/// unknown designs) or an injected [`WorkerFail`] death, which
+/// simulates a real process kill.
+///
+/// # Errors
+///
+/// [`PointError::Io`] once `MAX_DIALS` consecutive dial failures
+/// accumulate (the counter resets on every completed handshake), or
+/// the fatal conditions above.
+pub fn worker_connect(addr: &str, fail: Option<WorkerFail>) -> Result<(), PointError> {
+    /// Consecutive failed dial/handshake attempts before giving up.
+    const MAX_DIALS: u32 = 6;
+    let mut failures = 0u32;
+    loop {
+        let sock = match std::net::TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                failures += 1;
+                if failures >= MAX_DIALS {
+                    return Err(io_err(format!(
+                        "connect {addr}: {e} (gave up after {failures} attempts)"
+                    )));
+                }
+                std::thread::sleep(backoff(failures));
+                continue;
+            }
+        };
+        let _ = sock.set_nodelay(true);
+        let reader = sock
+            .try_clone()
+            .map_err(|e| io_err(format!("clone socket: {e}")))?;
+        let mut handshaken = false;
+        let result = worker_session(BufReader::new(reader), &sock, fail, &mut handshaken);
+        if handshaken {
+            failures = 0;
+        }
+        match result {
+            Ok(SessionEnd::Shutdown) => return Ok(()),
+            Ok(SessionEnd::Eof) => {
+                eprintln!("sweep-worker: {addr} closed without shutdown; redialing");
+            }
+            Err(e) if handshaken && e.kind() == "io" => {
+                eprintln!("sweep-worker: session error: {}; redialing", e.message());
+            }
+            Err(e) => return Err(e),
+        }
+        failures += 1;
+        if failures >= MAX_DIALS {
+            return Err(io_err(format!(
+                "gave up on {addr} after {failures} consecutive broken sessions"
+            )));
+        }
+        std::thread::sleep(backoff(failures));
+    }
+}
+
+/// The entry point behind `sweep-worker --connect <addr>`: like
+/// [`worker_main`] but over a dialed TCP stream with redial. Returns
+/// the process exit code (0 clean, 3 on error or injected death).
+pub fn worker_connect_main(addr: &str) -> i32 {
+    match worker_connect(addr, WorkerFail::from_env()) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("sweep-worker: {}: {}", e.kind(), e.message());
@@ -367,13 +521,124 @@ enum LaneEvent {
     Eof,
 }
 
+/// Everything the coordinator's event loop can be woken by: a frame
+/// (or death) on an existing lane, or — in listen mode — a newly
+/// accepted connection to attach as a fresh lane.
+enum CoordEvent {
+    Lane(usize, LaneEvent),
+    Link(Box<WorkerLink>),
+}
+
 struct Lane {
     to: Option<Box<dyn Write + Send>>,
     child: Option<std::process::Child>,
+    sock: Option<std::net::TcpStream>,
     /// Leased indices not yet received back.
     outstanding: Vec<usize>,
     live: bool,
     ready: bool,
+    /// Latest cumulative session counters from the lane's `done`
+    /// frames (fleet aggregation sums these at sweep end).
+    stats: proto::DoneStats,
+    /// The lane's reader thread has signed off (sent `Eof` or
+    /// `Corrupt`); the wind-down drain waits on this so the final
+    /// `done` frame of every lane is counted.
+    reader_done: bool,
+}
+
+impl Lane {
+    fn dead() -> Lane {
+        Lane {
+            to: None,
+            child: None,
+            sock: None,
+            outstanding: Vec::new(),
+            live: false,
+            ready: false,
+            stats: proto::DoneStats::default(),
+            reader_done: true,
+        }
+    }
+}
+
+/// Where the coordinator's lanes come from: a fixed set built up front
+/// by a transport factory (processes, loopback threads), or a TCP
+/// listener that keeps accepting workers — including replacements for
+/// dead lanes — for as long as work remains.
+enum LaneSource<'s, 'f> {
+    Fixed {
+        workers: usize,
+        spawn: &'s mut SpawnFn<'f>,
+    },
+    Listen {
+        listener: std::net::TcpListener,
+    },
+}
+
+/// Writes the hello and starts the reader thread for one new lane,
+/// whose id is its slot in `lanes` (listen-mode reconnects therefore
+/// get fresh ids — a returning worker is indistinguishable from a new
+/// one, by design).
+fn attach_lane(
+    lanes: &mut Vec<Lane>,
+    link: WorkerLink,
+    hello_for: &dyn Fn(u32) -> String,
+    tx: &mpsc::Sender<CoordEvent>,
+) {
+    let w = lanes.len();
+    let mut to = link.to;
+    let hello_ok = write_frame(to.as_mut(), &hello_for(w as u32)).is_ok();
+    let mut from = link.from;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match from.read_line(&mut line) {
+                Ok(0) => {
+                    let _ = tx.send(CoordEvent::Lane(w, LaneEvent::Eof));
+                    break;
+                }
+                Ok(_) if !line.ends_with('\n') => {
+                    // A final line with no newline is a peer killed
+                    // mid-record.
+                    let _ = tx.send(CoordEvent::Lane(
+                        w,
+                        LaneEvent::Corrupt(io_err("torn frame at stream end")),
+                    ));
+                    break;
+                }
+                Ok(_) => match proto::decode_from_worker(&line) {
+                    Ok(f) => {
+                        if tx.send(CoordEvent::Lane(w, LaneEvent::Frame(f))).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(CoordEvent::Lane(w, LaneEvent::Corrupt(e)));
+                        break;
+                    }
+                },
+                Err(e) => {
+                    let _ = tx.send(CoordEvent::Lane(
+                        w,
+                        LaneEvent::Corrupt(io_err(format!("read: {e}"))),
+                    ));
+                    break;
+                }
+            }
+        }
+    });
+    lanes.push(Lane {
+        to: Some(to),
+        child: link.child,
+        sock: link.sock,
+        outstanding: Vec::new(),
+        live: hello_ok,
+        ready: false,
+        stats: proto::DoneStats::default(),
+        reader_done: false,
+    });
 }
 
 /// Splits `indices` (sorted, unique) into contiguous `[start, end)`
@@ -413,6 +678,46 @@ pub fn run_sweep_workers(
     workers: usize,
     spawn: &mut SpawnFn<'_>,
 ) -> Result<SweepOutcome, PointError> {
+    coordinate(
+        spec,
+        opts,
+        recovery,
+        LaneSource::Fixed {
+            workers: workers.max(1),
+            spawn,
+        },
+    )
+}
+
+/// Runs `spec` sharded over TCP workers that dial into `listener`
+/// (`hlstb sweep --listen` + `hlstb sweep-worker --connect`): every
+/// accepted connection becomes a fresh lane, a dropped connection's
+/// leases are re-issued, and the coordinator keeps accepting
+/// replacement workers until the sweep completes — a worker killed
+/// mid-lease plus a redial still splices byte-identically, exactly the
+/// fixed-transport dead-worker path. The listener closes when the
+/// sweep finishes; stragglers see refused connections and give up on
+/// their own bounded redial budget. No authentication: LAN semantics,
+/// with the `hello` design content hash as the integrity check.
+///
+/// # Errors
+///
+/// As [`run_sweep_workers`], plus listener address failures.
+pub fn run_sweep_listen(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    recovery: &Recovery,
+    listener: std::net::TcpListener,
+) -> Result<SweepOutcome, PointError> {
+    coordinate(spec, opts, recovery, LaneSource::Listen { listener })
+}
+
+fn coordinate(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    recovery: &Recovery,
+    source: LaneSource<'_, '_>,
+) -> Result<SweepOutcome, PointError> {
     let sweep_span = hlstb_trace::span("dse.sweep");
     let t0 = Instant::now();
     if opts.keep_designs {
@@ -420,7 +725,10 @@ pub fn run_sweep_workers(
             "scale-out sweeps cannot keep designs (they cannot cross a process boundary)",
         ));
     }
-    let workers = workers.max(1);
+    let expected_workers = match &source {
+        LaneSource::Fixed { workers, .. } => *workers,
+        LaneSource::Listen { .. } => 0,
+    };
     let points = spec.points();
     let n = points.len();
     let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
@@ -445,14 +753,20 @@ pub fn run_sweep_workers(
     hlstb_trace::events::emit("sweep.begin", None, |e| {
         e.u64("points", n as u64)
             .volatile_u64("threads", opts.threads as u64)
-            .volatile_u64("workers", workers as u64)
+            .volatile_u64("workers", expected_workers as u64)
             .volatile_bool("cache", opts.cache);
     });
 
     let mut results: Vec<Option<PointRecord>> = (0..n).map(|_| None).collect();
     let mut restored_count = 0usize;
     let mut checkpoint_errors = 0usize;
+    // Dead-lane lease re-issues (transport recovery) — reported
+    // separately from `fleet_retries` (per-point transient retries the
+    // workers themselves performed, summed from their `done` frames).
     let mut reissued: u64 = 0;
+    let mut fleet_retries: u64 = 0;
+    let mut fleet_cache = crate::cache::CacheStats::default();
+    let mut lanes_seen = expected_workers;
     if let Some(set) = &restored_set {
         for (i, p) in points.iter().enumerate() {
             let hit = set
@@ -465,7 +779,7 @@ pub fn run_sweep_workers(
                 });
                 hlstb_trace::events::emit("point.restored", Some(p.index as u64), |_| {});
                 if let Some(m) = &meter {
-                    m.tick(&record, reissued, None);
+                    m.tick(&record, 0, reissued, None);
                 }
                 results[i] = Some(record);
                 restored_count += 1;
@@ -476,80 +790,75 @@ pub fn run_sweep_workers(
     let mut remaining = needed.len();
 
     if remaining > 0 {
-        let chunk = (needed.len() / (workers * 4)).clamp(1, 32);
+        // Listen mode has no fixed lane count; size leases as if a
+        // small fleet will dial in (re-issue handles the rest).
+        let fanout = if expected_workers > 0 {
+            expected_workers
+        } else {
+            4
+        };
+        let chunk = (needed.len() / (fanout * 4)).clamp(1, 32);
         let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
         enqueue_leases(&mut queue, &needed, chunk);
 
-        // Spawn the lanes; each gets a reader thread forwarding decoded
-        // frames (or its death) onto one mpsc channel.
-        let (tx, rx) = mpsc::channel::<(usize, LaneEvent)>();
+        // Build the lanes; each gets a reader thread forwarding
+        // decoded frames (or its death) onto one mpsc channel. In
+        // listen mode, an accept thread feeds new links into the same
+        // channel for as long as the sweep runs.
+        let (tx, rx) = mpsc::channel::<CoordEvent>();
         let mut lanes: Vec<Lane> = Vec::new();
-        for w in 0..workers {
-            match spawn(w as u32) {
-                Ok(link) => {
-                    let mut to = link.to;
-                    let hello =
-                        proto::encode_hello(w as u32, spec, opts, recovery.fail_plan.as_ref());
-                    let hello_ok = write_frame(to.as_mut(), &hello).is_ok();
-                    let mut from = link.from;
-                    let tx = tx.clone();
-                    std::thread::spawn(move || {
-                        let mut line = String::new();
-                        loop {
-                            line.clear();
-                            match from.read_line(&mut line) {
-                                Ok(0) => {
-                                    let _ = tx.send((w, LaneEvent::Eof));
-                                    break;
-                                }
-                                Ok(_) if !line.ends_with('\n') => {
-                                    // A final line with no newline is a
-                                    // peer killed mid-record.
-                                    let _ = tx.send((
-                                        w,
-                                        LaneEvent::Corrupt(io_err("torn frame at stream end")),
-                                    ));
-                                    break;
-                                }
-                                Ok(_) => match proto::decode_from_worker(&line) {
-                                    Ok(f) => {
-                                        if tx.send((w, LaneEvent::Frame(f))).is_err() {
-                                            break;
-                                        }
-                                    }
-                                    Err(e) => {
-                                        let _ = tx.send((w, LaneEvent::Corrupt(e)));
+        let hello_for = |w: u32| proto::encode_hello(w, spec, opts, recovery.fail_plan.as_ref());
+        let wait_for_lanes = matches!(source, LaneSource::Listen { .. });
+        let mut accept_stop: Option<(
+            Arc<AtomicBool>,
+            std::net::SocketAddr,
+            std::thread::JoinHandle<()>,
+        )> = None;
+        match source {
+            LaneSource::Fixed { workers, spawn } => {
+                for w in 0..workers {
+                    match spawn(w as u32) {
+                        Ok(link) => attach_lane(&mut lanes, link, &hello_for, &tx),
+                        Err(e) => {
+                            eprintln!("sweep: spawning worker {w} failed: {}", e.message());
+                            lanes.push(Lane::dead());
+                        }
+                    }
+                }
+            }
+            LaneSource::Listen { listener } => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| io_err(format!("listener address: {e}")))?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let thread_stop = Arc::clone(&stop);
+                let thread_tx = tx.clone();
+                let handle = std::thread::spawn(move || loop {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            // The wind-down self-connect lands here;
+                            // the flag tells it apart from a worker.
+                            if thread_stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            match tcp_link(sock) {
+                                Ok(link) => {
+                                    if thread_tx.send(CoordEvent::Link(Box::new(link))).is_err() {
                                         break;
                                     }
-                                },
+                                }
                                 Err(e) => {
-                                    let _ = tx.send((
-                                        w,
-                                        LaneEvent::Corrupt(io_err(format!("read: {e}"))),
-                                    ));
-                                    break;
+                                    eprintln!("sweep: accepting worker: {}", e.message());
                                 }
                             }
                         }
-                    });
-                    lanes.push(Lane {
-                        to: Some(to),
-                        child: link.child,
-                        outstanding: Vec::new(),
-                        live: hello_ok,
-                        ready: false,
-                    });
-                }
-                Err(e) => {
-                    eprintln!("sweep: spawning worker {w} failed: {}", e.message());
-                    lanes.push(Lane {
-                        to: None,
-                        child: None,
-                        outstanding: Vec::new(),
-                        live: false,
-                        ready: false,
-                    });
-                }
+                        Err(e) => {
+                            eprintln!("sweep: listener: {e}");
+                            break;
+                        }
+                    }
+                });
+                accept_stop = Some((stop, addr, handle));
             }
         }
 
@@ -569,6 +878,13 @@ pub fn run_sweep_workers(
             lanes[w].to = None;
             if let Some(child) = &mut lanes[w].child {
                 let _ = child.kill();
+            }
+            if let Some(sock) = lanes[w].sock.take() {
+                // Hard shutdown both directions: an abandoned-but-
+                // alive TCP worker must see its stream die (its next
+                // write fails, prompting a redial as a fresh lane)
+                // rather than keep streaming into an untrusted lane.
+                let _ = sock.shutdown(std::net::Shutdown::Both);
             }
             let pending = std::mem::take(&mut lanes[w].outstanding);
             *reissued += pending.len() as u64;
@@ -624,12 +940,22 @@ pub fn run_sweep_workers(
             }
         }
 
-        while remaining > 0 && lanes.iter().any(|l| l.live) {
+        // Fixed mode ends when the work or the lanes run out; listen
+        // mode never gives up on lanes — it waits for (re)connects
+        // until the work is done.
+        while remaining > 0 && (wait_for_lanes || lanes.iter().any(|l| l.live)) {
             pump(&mut lanes, &mut queue, chunk, &mut reissued);
-            if remaining == 0 || !lanes.iter().any(|l| l.live) {
+            if remaining == 0 || !(wait_for_lanes || lanes.iter().any(|l| l.live)) {
                 break;
             }
-            let Ok((w, event)) = rx.recv() else { break };
+            let Ok(coord_event) = rx.recv() else { break };
+            let (w, event) = match coord_event {
+                CoordEvent::Link(link) => {
+                    attach_lane(&mut lanes, *link, &hello_for, &tx);
+                    continue;
+                }
+                CoordEvent::Lane(w, event) => (w, event),
+            };
             match event {
                 LaneEvent::Frame(FromWorker::Ready {
                     points: worker_points,
@@ -673,7 +999,8 @@ pub fn run_sweep_workers(
                             }
                         }
                         if let Some(m) = &meter {
-                            m.tick(&record, reissued, None);
+                            let retries = lanes.iter().map(|l| l.stats.retries).sum();
+                            m.tick(&record, retries, reissued, None);
                         }
                         results[index] = Some(record);
                         lanes[w].outstanding.retain(|&x| x != index);
@@ -689,14 +1016,30 @@ pub fn run_sweep_workers(
                         );
                     }
                 }
-                LaneEvent::Frame(FromWorker::Done { .. }) => {}
+                LaneEvent::Frame(FromWorker::Done { stats, .. }) => {
+                    // Counters are cumulative per session, so the
+                    // latest snapshot supersedes the previous one.
+                    hlstb_trace::events::emit_volatile("worker.done", None, |e| {
+                        e.volatile_u64("worker", w as u64)
+                            .volatile_u64("points", stats.points)
+                            .volatile_u64("retries", stats.retries);
+                        if let Some(c) = &stats.cache {
+                            e.volatile_u64("hits", c.hits())
+                                .volatile_u64("misses", c.misses())
+                                .volatile_u64("coalesced", c.coalesced());
+                        }
+                    });
+                    lanes[w].stats = stats;
+                }
                 LaneEvent::Frame(FromWorker::Error { message }) => {
                     fail_lane(&mut lanes, w, &message, &mut queue, chunk, &mut reissued);
                 }
                 LaneEvent::Corrupt(e) => {
+                    lanes[w].reader_done = true;
                     fail_lane(&mut lanes, w, e.message(), &mut queue, chunk, &mut reissued);
                 }
                 LaneEvent::Eof => {
+                    lanes[w].reader_done = true;
                     fail_lane(
                         &mut lanes,
                         w,
@@ -709,6 +1052,14 @@ pub fn run_sweep_workers(
             }
         }
 
+        // Stop accepting before the polite shutdowns: set the flag,
+        // then self-connect to unblock `accept()` so the thread joins.
+        if let Some((stop, addr, handle)) = accept_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+            let _ = std::net::TcpStream::connect(addr);
+            let _ = handle.join();
+        }
+
         // Wind down: polite shutdown, close streams, reap children.
         for lane in &mut lanes {
             if let Some(to) = &mut lane.to {
@@ -717,6 +1068,57 @@ pub fn run_sweep_workers(
             lane.to = None;
             if let Some(mut child) = lane.child.take() {
                 let _ = child.wait();
+            }
+        }
+
+        // Drain until every lane's reader signs off (each sends exactly
+        // one Eof/Corrupt before exiting): the final cumulative `done`
+        // frame per lane is usually still queued when the splice loop
+        // breaks at `remaining == 0`, and dropping it would undercount
+        // the fleet stats and the trace-view lane table.
+        let drain_deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while lanes.iter().any(|l| !l.reader_done) {
+            let timeout = drain_deadline.saturating_duration_since(std::time::Instant::now());
+            let Ok(coord_event) = rx.recv_timeout(timeout) else {
+                break;
+            };
+            match coord_event {
+                CoordEvent::Lane(w, LaneEvent::Frame(FromWorker::Done { stats, .. })) => {
+                    hlstb_trace::events::emit_volatile("worker.done", None, |e| {
+                        e.volatile_u64("worker", w as u64)
+                            .volatile_u64("points", stats.points)
+                            .volatile_u64("retries", stats.retries);
+                        if let Some(c) = &stats.cache {
+                            e.volatile_u64("hits", c.hits())
+                                .volatile_u64("misses", c.misses())
+                                .volatile_u64("coalesced", c.coalesced());
+                        }
+                    });
+                    lanes[w].stats = stats;
+                }
+                CoordEvent::Lane(w, LaneEvent::Eof)
+                | CoordEvent::Lane(w, LaneEvent::Corrupt(_)) => {
+                    lanes[w].reader_done = true;
+                }
+                // Late dialers and stray frames past the finish line:
+                // the work is done, drop them.
+                _ => {}
+            }
+        }
+
+        // Fleet aggregation: sum the latest per-lane session counters.
+        // A lane that died mid-lease keeps the stats of its last done
+        // frame; work it redid on another lane is counted where it
+        // actually ran.
+        lanes_seen = if wait_for_lanes {
+            lanes.len()
+        } else {
+            expected_workers
+        };
+        for lane in &lanes {
+            fleet_retries += lane.stats.retries;
+            if let Some(c) = &lane.stats.cache {
+                fleet_cache.merge(c);
             }
         }
 
@@ -740,9 +1142,18 @@ pub fn run_sweep_workers(
                     }
                 }
                 if let Some(m) = &meter {
-                    m.tick(&record, reissued, runner.cache());
+                    m.tick(
+                        &record,
+                        fleet_retries + runner.retries(),
+                        reissued,
+                        runner.cache(),
+                    );
                 }
                 results[i] = Some(record);
+            }
+            fleet_retries += runner.retries();
+            if let Some(c) = runner.cache() {
+                fleet_cache.merge(&c.stats());
             }
         }
     }
@@ -765,19 +1176,21 @@ pub fn run_sweep_workers(
                 records.iter().filter(|r| r.outcome.is_err()).count() as u64,
             )
             .volatile_u64("wall_ms", t0.elapsed().as_millis() as u64)
-            .volatile_u64("retries", reissued);
+            .volatile_u64("retries", fleet_retries)
+            .volatile_u64("reissued", reissued);
     });
     sweep_span.end();
     Ok(SweepOutcome {
         report: SweepReport {
             points: records,
             threads: opts.threads.max(1),
-            workers,
-            cache: None,
+            workers: lanes_seen,
+            cache: opts.cache.then_some(fleet_cache),
             wall: t0.elapsed(),
             cpu,
             restored: restored_count,
-            retries: reissued,
+            retries: fleet_retries,
+            reissued,
         },
         designs: (0..n).map(|_| None).collect(),
         checkpoint_write_errors: checkpoint_errors,

@@ -8,7 +8,9 @@
 
 use hlstb::cdfg::{benchmarks, Cdfg};
 use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler};
-use hlstb_dse::worker::{run_sweep_workers, thread_spawner, WorkerFail, WorkerLink};
+use hlstb_dse::worker::{
+    run_sweep_listen, run_sweep_workers, thread_spawner, worker_connect, WorkerFail, WorkerLink,
+};
 use hlstb_dse::{proto, run_sweep_with, FailMode, FailPlan, Recovery, SweepOptions, SweepSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -83,9 +85,11 @@ fn workers_canonical(
     )
     .unwrap();
     assert_eq!(outcome.report.workers, workers.max(1));
-    assert!(outcome.report.cache.is_none());
+    // Worker sweeps aggregate the fleet's cache stats from the `done`
+    // frames, so the envelope carries them even over the wire.
+    assert!(outcome.report.cache.is_some());
     assert!(outcome.designs.iter().all(Option::is_none));
-    (outcome.report.canonical_json(), outcome.report.retries)
+    (outcome.report.canonical_json(), outcome.report.reissued)
 }
 
 proptest! {
@@ -142,7 +146,8 @@ proptest! {
 }
 
 /// A killed worker's leased-but-unreceived points are re-issued and
-/// counted in `retries` (the sweep-level recovery taxonomy).
+/// counted in `reissued` (transport recovery), not conflated with the
+/// per-point `retries` taxonomy.
 #[test]
 fn killed_worker_lease_reissue_is_counted() {
     let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::tseng()]);
@@ -157,9 +162,9 @@ fn killed_worker_lease_reissue_is_counted() {
         worker: 0,
         after: 0,
     });
-    let (sharded, retries) = workers_canonical(&spec, &recovery, 2, fail);
+    let (sharded, reissued) = workers_canonical(&spec, &recovery, 2, fail);
     assert_eq!(serial, sharded);
-    assert!(retries > 0, "the killed lease was never re-issued");
+    assert!(reissued > 0, "the killed lease was never re-issued");
 }
 
 /// A lane that streams garbage instead of protocol frames is detected
@@ -178,6 +183,7 @@ fn garbage_speaking_worker_is_abandoned_not_trusted() {
             to: Box::new(std::io::sink()),
             from: Box::new(std::io::BufReader::new(std::io::Cursor::new(garbage))),
             child: None,
+            sock: None,
         })
     };
     let outcome = run_sweep_workers(&spec, &SweepOptions::default(), &recovery, 1, &mut spawn)
@@ -224,6 +230,43 @@ fn workers_resume_from_a_checkpoint_byte_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression: resuming a checkpoint that restores every point, with
+/// the progress meter on, exercises the ETA arithmetic at `done ==
+/// total` (and past it, via the meter's own saturation) without
+/// underflow, and still splices byte-identically.
+#[test]
+fn resume_with_all_points_restored_keeps_progress_sane() {
+    let dir = std::env::temp_dir().join(format!("hlstb-workers-full-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("all.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    let recovery = Recovery {
+        checkpoint: Some(path.clone()),
+        ..Recovery::default()
+    };
+    let mut spawn = thread_spawner(None);
+    let first =
+        run_sweep_workers(&spec, &SweepOptions::default(), &recovery, 2, &mut spawn).unwrap();
+    let resume = Recovery {
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..Recovery::default()
+    };
+    let opts = SweepOptions {
+        progress: true,
+        ..SweepOptions::default()
+    };
+    let mut spawn = thread_spawner(None);
+    let second = run_sweep_workers(&spec, &opts, &resume, 2, &mut spawn).unwrap();
+    assert_eq!(second.report.restored, spec.points().len());
+    assert_eq!(
+        first.report.canonical_json(),
+        second.report.canonical_json()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `keep_designs` cannot cross a process boundary; asking for it is a
 /// typed error, not a silent drop.
 #[test]
@@ -254,7 +297,7 @@ fn valid_frames() -> Vec<String> {
         proto::encode_shutdown(),
         proto::encode_ready(3, 7),
         proto::encode_point(0xdead_beef, 4, "{\"index\": 4}"),
-        proto::encode_done(0, 7),
+        proto::encode_done(0, 7, &proto::DoneStats::default()),
         proto::encode_error("boom"),
     ]
 }
@@ -304,4 +347,289 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: the same coordinator loop with lanes that are accepted
+// sockets. These tests drive `run_sweep_listen`/`worker_connect` over
+// real loopback connections — handshakes, garbage, torn frames, kills,
+// and redials all cross an actual TCP stream.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+
+fn small_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1(), benchmarks::tseng()]);
+    spec.patterns = vec![0, 64];
+    spec
+}
+
+/// Reads one newline-framed line from a test-coordinator socket.
+fn read_frame_line(reader: &mut impl std::io::BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read frame");
+    line
+}
+
+fn write_frame_line(conn: &mut TcpStream, frame: &str) {
+    conn.write_all(frame.as_bytes()).expect("write frame");
+    conn.write_all(b"\n").expect("write newline");
+}
+
+/// A TCP sweep with dialed-in workers splices byte-identically to the
+/// serial uncached run, and the fleet's cache stats reach the envelope.
+#[test]
+fn tcp_sweep_is_byte_identical_to_serial() {
+    let spec = small_spec();
+    let serial = serial_canonical(&spec, &Recovery::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            run_sweep_listen(
+                &spec,
+                &SweepOptions::default(),
+                &Recovery::default(),
+                listener,
+            )
+            .unwrap()
+        })
+    };
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || worker_connect(&addr, None))
+        })
+        .collect();
+    let outcome = coord.join().unwrap();
+    for w in workers {
+        w.join().unwrap().expect("worker exits cleanly on shutdown");
+    }
+    assert_eq!(serial, outcome.report.canonical_json());
+    assert_eq!(outcome.report.workers, 2);
+    assert_eq!(outcome.report.reissued, 0);
+    assert!(outcome.report.cache.is_some());
+}
+
+/// A worker killed mid-lease over TCP (torn frame, fatal — no redial)
+/// has its lease re-issued to a replacement that dials in later; the
+/// spliced report stays byte-identical and the re-issue is counted.
+#[test]
+fn tcp_kill_mid_lease_then_reconnect_is_byte_identical() {
+    let spec = small_spec();
+    assert!(spec.points().len() >= 8);
+    let serial = serial_canonical(&spec, &Recovery::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            run_sweep_listen(
+                &spec,
+                &SweepOptions::default(),
+                &Recovery::default(),
+                listener,
+            )
+            .unwrap()
+        })
+    };
+    // First dial becomes lane 0 and dies after one point with a torn
+    // frame — `worker_connect` treats the injected death as a real
+    // kill and must NOT redial.
+    let dying = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            worker_connect(
+                &addr,
+                Some(WorkerFail {
+                    worker: 0,
+                    after: 1,
+                }),
+            )
+        })
+    };
+    let err = dying.join().unwrap().expect_err("injected death is fatal");
+    assert_eq!(err.kind(), "panic");
+    // The replacement attaches as a fresh lane and absorbs the
+    // re-issued lease.
+    let replacement = std::thread::spawn(move || worker_connect(&addr, None));
+    let outcome = coord.join().unwrap();
+    replacement
+        .join()
+        .unwrap()
+        .expect("replacement exits cleanly");
+    assert_eq!(serial, outcome.report.canonical_json());
+    assert!(
+        outcome.report.reissued > 0,
+        "the torn lease was never re-issued"
+    );
+    assert_eq!(
+        outcome.report.workers, 2,
+        "kill + reconnect = two lanes seen"
+    );
+}
+
+/// Raw connections that write garbage instead of protocol frames are
+/// abandoned as typed decode failures; a well-behaved worker still
+/// finishes the sweep byte-identically.
+#[test]
+fn tcp_garbage_connections_are_abandoned_not_trusted() {
+    let spec = small_spec();
+    let serial = serial_canonical(&spec, &Recovery::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            run_sweep_listen(
+                &spec,
+                &SweepOptions::default(),
+                &Recovery::default(),
+                listener,
+            )
+            .unwrap()
+        })
+    };
+    // Garbage dialers: torn prefixes of real frames and outright junk.
+    for frame in valid_frames() {
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        let torn = &frame.as_bytes()[..frame.len() * 2 / 3];
+        let _ = conn.write_all(torn);
+        drop(conn);
+    }
+    let mut junk = TcpStream::connect(&addr).unwrap();
+    let _ = junk.write_all(b"{\"v\": 1, \"key\": \"nope\nnot json at all\n");
+    drop(junk);
+    let worker = std::thread::spawn(move || worker_connect(&addr, None));
+    let outcome = coord.join().unwrap();
+    worker.join().unwrap().expect("real worker exits cleanly");
+    assert_eq!(serial, outcome.report.canonical_json());
+}
+
+/// A version-skewed hello is rejected over the socket: the worker
+/// writes a typed error frame back (so the coordinator can log why)
+/// and treats the handshake rejection as fatal — no redial loop.
+#[test]
+fn tcp_version_mismatch_hello_is_rejected_with_error_frame() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let worker = std::thread::spawn(move || worker_connect(&addr, None));
+    let (mut conn, _) = listener.accept().unwrap();
+    let spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    let skewed = proto::encode_hello(0, &spec, &SweepOptions::default(), None).replacen(
+        &format!("\"v\": {}", proto::PROTO_VERSION),
+        "\"v\": 99",
+        1,
+    );
+    write_frame_line(&mut conn, &skewed);
+    let mut from = std::io::BufReader::new(conn.try_clone().unwrap());
+    let reply = read_frame_line(&mut from);
+    match proto::decode_from_worker(&reply) {
+        Ok(proto::FromWorker::Error { message }) => {
+            assert!(
+                message.contains("version"),
+                "unexpected rejection: {message}"
+            );
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    let err = worker
+        .join()
+        .unwrap()
+        .expect_err("rejected handshake is fatal");
+    assert_eq!(err.kind(), "io");
+}
+
+/// A worker whose stream drops mid-session redials with backoff and
+/// serves a fresh session; a polite shutdown on the second session
+/// ends the dial loop cleanly.
+#[test]
+fn tcp_worker_redials_after_stream_drop() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    let hello = proto::encode_hello(0, &spec, &SweepOptions::default(), None);
+    let worker = std::thread::spawn(move || worker_connect(&addr, None));
+    // Session 1: complete the handshake, then drop the stream.
+    let (mut conn, _) = listener.accept().unwrap();
+    write_frame_line(&mut conn, &hello);
+    let mut from = std::io::BufReader::new(conn.try_clone().unwrap());
+    let ready = read_frame_line(&mut from);
+    assert!(matches!(
+        proto::decode_from_worker(&ready),
+        Ok(proto::FromWorker::Ready { .. })
+    ));
+    drop(from);
+    drop(conn);
+    // Session 2: the worker redialed; hand it a clean shutdown.
+    let (mut conn, _) = listener.accept().unwrap();
+    write_frame_line(&mut conn, &hello);
+    let mut from = std::io::BufReader::new(conn.try_clone().unwrap());
+    let _ready = read_frame_line(&mut from);
+    write_frame_line(&mut conn, &proto::encode_shutdown());
+    worker
+        .join()
+        .unwrap()
+        .expect("shutdown after redial is a clean exit");
+}
+
+/// With nothing listening, the dial loop gives up after its bounded
+/// backoff budget with a typed error instead of spinning forever.
+#[test]
+fn tcp_worker_gives_up_after_bounded_redials() {
+    // Bind-then-drop reserves a port that refuses connections.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let err = worker_connect(&addr, None).expect_err("no listener to reach");
+    assert_eq!(err.kind(), "io");
+    assert!(err.message().contains("gave up"), "got: {}", err.message());
+}
+
+/// Two consecutive workers die with torn frames on their first leased
+/// point before a healthy one dials in: every abandoned lease is
+/// re-issued (listen mode never gives up on a dead lane — it waits for
+/// the next connection) and the final splice is still byte-identical.
+#[test]
+fn tcp_repeated_torn_deaths_reissue_until_a_worker_survives() {
+    let spec = small_spec();
+    let serial = serial_canonical(&spec, &Recovery::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            run_sweep_listen(
+                &spec,
+                &SweepOptions::default(),
+                &Recovery::default(),
+                listener,
+            )
+            .unwrap()
+        })
+    };
+    // Lanes 0 and 1 each tear their first point frame apart mid-bytes
+    // and die fatally; each death must be observed before the next
+    // dial so the injected lane ids line up.
+    for lane in 0..2u32 {
+        let addr = addr.clone();
+        let torn = std::thread::spawn(move || {
+            worker_connect(
+                &addr,
+                Some(WorkerFail {
+                    worker: lane,
+                    after: 0,
+                }),
+            )
+        });
+        let err = torn.join().unwrap().expect_err("torn worker dies");
+        assert_eq!(err.kind(), "panic");
+    }
+    let survivor = std::thread::spawn(move || worker_connect(&addr, None));
+    let outcome = coord.join().unwrap();
+    survivor.join().unwrap().expect("survivor exits cleanly");
+    assert_eq!(serial, outcome.report.canonical_json());
+    assert!(outcome.report.reissued >= 2, "both torn leases re-issue");
+    assert_eq!(outcome.report.workers, 3);
 }

@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke sweep-workers-smoke events-smoke soa-equiv perf-floor
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke sweep-workers-smoke sweep-tcp-smoke events-smoke soa-equiv perf-floor
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -100,6 +100,55 @@ sweep-workers-smoke: build
     ! grep -q "coalesced: 0 (" coalesce_summary.txt
     rm -f workers_serial.json workers_sharded.json workers_summary.txt \
         workers_killed.json workers_killed_summary.txt coalesce_summary.txt
+
+# TCP transport smoke: serve the tiny sweep over `--listen` to four
+# dialed-in worker processes (byte-identical to serial uncached), then
+# kill a TCP worker mid-lease and check the re-issued lease lands on a
+# later-dialing replacement with the bytes still identical.
+sweep-tcp-smoke: build
+    #!/usr/bin/env sh
+    set -eu
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --threads 1 --no-cache --json >tcp_serial.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --listen 127.0.0.1:0 --json >tcp_sharded.json 2>tcp_summary.txt &
+    tcp_coord=$!
+    tcp_addr=""
+    for _ in $(seq 50); do
+        tcp_addr=$(sed -n 's/^sweep: listening on //p' tcp_summary.txt | head -1)
+        if [ -n "$tcp_addr" ]; then break; fi
+        sleep 0.1
+    done
+    test -n "$tcp_addr"
+    for _ in 1 2 3 4; do
+        ./target/release/hlstb sweep-worker --connect "$tcp_addr" &
+    done
+    wait $tcp_coord
+    cmp tcp_serial.json tcp_sharded.json
+    grep "4 workers" tcp_summary.txt
+    wait || true
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --listen 127.0.0.1:0 --json >tcp_killed.json 2>tcp_killed_summary.txt &
+    tcp_coord=$!
+    tcp_addr=""
+    for _ in $(seq 50); do
+        tcp_addr=$(sed -n 's/^sweep: listening on //p' tcp_killed_summary.txt | head -1)
+        if [ -n "$tcp_addr" ]; then break; fi
+        sleep 0.1
+    done
+    test -n "$tcp_addr"
+    HLSTB_WORKER_FAIL="0:1" ./target/release/hlstb sweep-worker \
+        --connect "$tcp_addr" || true
+    ./target/release/hlstb sweep-worker --connect "$tcp_addr"
+    wait $tcp_coord
+    cmp tcp_serial.json tcp_killed.json
+    grep "re-issuing" tcp_killed_summary.txt
+    ! grep -q " 0 reissued," tcp_killed_summary.txt
+    rm -f tcp_serial.json tcp_sharded.json tcp_summary.txt \
+        tcp_killed.json tcp_killed_summary.txt
 
 # Events smoke: journal the tiny sweep at 1 thread uncached and 4
 # threads cached; the canonical projections must be byte-identical and

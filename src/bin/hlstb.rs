@@ -103,6 +103,10 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
   --workers    shard the sweep over N `sweep-worker` child processes
                (0 = in-process); results splice byte-identically and a
                killed worker's leased points are re-issued
+  --listen <addr>  bind a TCP listener (e.g. 0.0.0.0:7777) and shard
+               the sweep over workers that dial in with
+               `hlstb sweep-worker --connect <addr>`; dropped
+               connections re-issue exactly like killed workers
   --cache | --no-cache    memoize stage artifacts across points (on)
   --reset-controller      expand controllers with a synchronous reset
   --point-budget-ms <N>   wall-clock budget per point; overruns report
@@ -127,6 +131,10 @@ environment:
                      \"panic:1,4;stall:2;flaky:3\" (testing/CI)
   HLSTB_WORKER_FAIL  kill sweep worker W after it emits K points, e.g.
                      \"1:2\"; the coordinator re-issues its leases
+sweep-worker options:
+  --connect <addr>   dial a `sweep --listen` coordinator over TCP
+                     (redials with bounded backoff if the stream
+                     drops) instead of speaking over stdin/stdout
                      (testing/CI)
   HLSTB_TRACE / HLSTB_TRACE_METRICS / HLSTB_TRACE_EVENTS /
   HLSTB_TRACE_SUMMARY   equivalent sinks for the bench binaries";
@@ -336,6 +344,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut json = false;
             let mut full_json = false;
             let mut workers = 0usize;
+            let mut listen: Option<String> = None;
             let mut trace = TraceArgs::default();
             let mut i = 1;
             while i < args.len() {
@@ -416,6 +425,7 @@ fn run(args: &[String]) -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("bad worker count {value}"))?;
                     }
+                    "--listen" => listen = Some(value.clone()),
                     "--point-budget-ms" => {
                         let ms: u64 = value
                             .parse()
@@ -441,8 +451,20 @@ fn run(args: &[String]) -> Result<(), String> {
             if recovery.resume && recovery.checkpoint.is_none() {
                 return Err("--resume needs --checkpoint <file>".to_string());
             }
+            if listen.is_some() && workers > 0 {
+                return Err("--listen and --workers are mutually exclusive".to_string());
+            }
             trace.start();
-            let outcome = if workers > 0 {
+            let outcome = if let Some(addr) = &listen {
+                let listener = std::net::TcpListener::bind(addr)
+                    .map_err(|e| format!("sweep --listen {addr}: {e}"))?;
+                match listener.local_addr() {
+                    Ok(bound) => eprintln!("sweep: listening on {bound}"),
+                    Err(_) => eprintln!("sweep: listening on {addr}"),
+                }
+                hlstb_dse::worker::run_sweep_listen(&spec, &opts, &recovery, listener)
+                    .map_err(|e| e.to_string())?
+            } else if workers > 0 {
                 let exe = std::env::current_exe()
                     .map_err(|e| format!("sweep --workers: resolving own binary: {e}"))?;
                 let mut spawn = hlstb_dse::worker::process_spawner(exe, "sweep-worker");
@@ -468,11 +490,20 @@ fn run(args: &[String]) -> Result<(), String> {
             eprintln!("{}", outcome.report.summary());
             Ok(())
         }
-        // Hidden: the child end of `sweep --workers N`. Speaks the
-        // hlstb-dse wire protocol over stdin/stdout; not for humans.
-        "sweep-worker" => {
-            std::process::exit(hlstb_dse::worker::worker_main());
-        }
+        // The remote end of a sweep coordinator. With `--connect` it
+        // dials a `sweep --listen` coordinator over TCP; without
+        // arguments it is the hidden child end of `sweep --workers N`
+        // and speaks the hlstb-dse wire protocol over stdin/stdout.
+        "sweep-worker" => match args.get(1).map(String::as_str) {
+            Some("--connect") => {
+                let addr = args
+                    .get(2)
+                    .ok_or_else(|| "--connect needs an address".to_string())?;
+                std::process::exit(hlstb_dse::worker::worker_connect_main(addr));
+            }
+            None => std::process::exit(hlstb_dse::worker::worker_main()),
+            Some(other) => Err(format!("unknown sweep-worker option {other}\n{USAGE}")),
+        },
         "cdfg" => {
             let name = args.get(1).ok_or(USAGE)?;
             let cdfg = find_design(name).ok_or_else(|| unknown_design(name))?;
@@ -624,8 +655,11 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
         coalesced: u64,
         wall_us: u64,
     }
-    /// Per-worker lane (threads of an in-process pool or loopback
-    /// workers), keyed by the journal's full-export `worker` field.
+    /// Per-worker lane (threads of an in-process pool, loopback
+    /// workers, or TCP workers), keyed by the journal's `worker`
+    /// field. Filled from worker-tagged `point.*` records and from
+    /// the coordinator's cumulative `worker.done` snapshots; the two
+    /// sources can describe the same work, so counters merge by max.
     #[derive(Default)]
     struct LaneRollup {
         points: u64,
@@ -707,6 +741,16 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
                     finished.push((wall_us(), p, label));
                 }
             }
+            "worker.done" => {
+                if let Some(w) = worker {
+                    let field = |k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+                    let lane = lanes.entry(w).or_default();
+                    lane.points = lane.points.max(field("points"));
+                    lane.hits = lane.hits.max(field("hits"));
+                    lane.misses = lane.misses.max(field("misses"));
+                    lane.coalesced = lane.coalesced.max(field("coalesced"));
+                }
+            }
             "point.failed" => {
                 if let Some(p) = point {
                     let err = v.get("error").and_then(|e| e.as_str()).unwrap_or("?");
@@ -721,9 +765,13 @@ fn trace_view(path: &str, text: &str, top: usize) -> Result<String, String> {
             _ => {}
         }
     }
-    if points.is_empty() {
+    // A worker-sweep coordinator journal has no point-attributed
+    // records (the points ran in other processes) but still rolls up a
+    // lane table from its `worker.done` snapshots; only a journal with
+    // neither is useless.
+    if points.is_empty() && lanes.is_empty() {
         return Err(format!(
-            "trace-view: {path}: no point records (was the journal captured with `sweep --events`?)"
+            "trace-view: {path}: no point records and no worker records (was the journal captured with `sweep --events`?)"
         ));
     }
     let mut out = format!(
