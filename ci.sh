@@ -140,6 +140,81 @@ rm -f workers_serial.json workers_sharded.json workers_summary.txt \
     workers_killed.json workers_killed_summary.txt \
     tcp_sharded.json tcp_summary.txt tcp_killed.json tcp_killed_summary.txt
 
+# Serve smoke: the persistent daemon must (1) answer four concurrent
+# identical sweep requests byte-identically with the shared cache
+# actually re-serving artifacts across requests (nonzero cache_hits in
+# the metrics frame), (2) drain cleanly on SIGTERM with exit 0, and
+# (3) replay a kill-9'd (SIGABRT via HLSTB_SERVE_FAIL) mid-request
+# journal byte-identically on restart.
+rm -f serve_journal.jsonl serve_crash_journal.jsonl
+./target/release/hlstb serve --listen 127.0.0.1:0 \
+    --journal serve_journal.jsonl 2>serve_log.txt &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 50); do
+    serve_addr=$(sed -n 's/^serve: listening on //p' serve_log.txt | head -1)
+    if [ -n "$serve_addr" ]; then break; fi
+    sleep 0.1
+done
+test -n "$serve_addr"
+client_pids=""
+for i in 1 2 3 4; do
+    ./target/release/hlstb serve-client --connect "$serve_addr" \
+        --id "smoke-$i" --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        >"serve_out_$i.json" 2>/dev/null &
+    client_pids="$client_pids $!"
+done
+for p in $client_pids; do wait "$p"; done
+cmp serve_out_1.json serve_out_2.json
+cmp serve_out_1.json serve_out_3.json
+cmp serve_out_1.json serve_out_4.json
+# The daemon's answer must match a plain local sweep, bytes included.
+./target/release/hlstb sweep --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 \
+    --json >serve_local.json
+cmp serve_out_1.json serve_local.json
+# Cross-request sharing: four identical requests against one cache.
+./target/release/hlstb serve-client --connect "$serve_addr" --metrics \
+    >serve_metrics.json
+grep -q '"cache_hits"' serve_metrics.json
+! grep -q '"cache_hits": 0,' serve_metrics.json
+grep -q '"completed": 4,' serve_metrics.json
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM $serve_pid
+wait $serve_pid
+grep "drained cleanly" serve_log.txt
+# Durability: abort (kill -9 equivalent) the daemon the instant the
+# request is dequeued — accepted is journaled, nothing more — then
+# restart with --replay-only and require the journaled response
+# byte-identical to the uninterrupted daemon's for the same request.
+HLSTB_SERVE_FAIL="abort-after-accept:smoke-1" ./target/release/hlstb serve \
+    --listen 127.0.0.1:0 --journal serve_crash_journal.jsonl \
+    2>serve_crash_log.txt &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 50); do
+    serve_addr=$(sed -n 's/^serve: listening on //p' serve_crash_log.txt | head -1)
+    if [ -n "$serve_addr" ]; then break; fi
+    sleep 0.1
+done
+test -n "$serve_addr"
+! ./target/release/hlstb serve-client --connect "$serve_addr" \
+    --id smoke-1 --designs figure1,tseng \
+    --strategies none,full-scan,bist-shared --grade 64 >/dev/null 2>&1
+wait $serve_pid || true
+grep -q '"kind": "accepted"' serve_crash_journal.jsonl
+! grep -q '"kind": "completed"' serve_crash_journal.jsonl
+./target/release/hlstb serve --journal serve_crash_journal.jsonl --replay-only
+grep '"kind": "completed"' serve_crash_journal.jsonl >serve_replayed.line
+grep '"id": "smoke-1"' serve_journal.jsonl \
+    | grep '"kind": "completed"' >serve_baseline.line
+cmp serve_replayed.line serve_baseline.line
+rm -f serve_journal.jsonl serve_crash_journal.jsonl serve_log.txt \
+    serve_crash_log.txt serve_out_1.json serve_out_2.json \
+    serve_out_3.json serve_out_4.json serve_local.json \
+    serve_metrics.json serve_replayed.line serve_baseline.line
+
 # Single-flight smoke: a contended threaded cached sweep (consecutive
 # points share grading keys) must coalesce duplicate in-flight misses
 # rather than recompute them. Coalescing needs two workers to collide

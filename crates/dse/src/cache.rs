@@ -1,9 +1,11 @@
 //! The content-keyed, single-flight artifact cache.
 //!
-//! One [`ArtifactCache`] lives for the duration of one sweep. Each
-//! stage has its own store keyed by the FNV-1a hash of the stage's
-//! inputs (see [`crate::key`]); values are `Arc`s, so a hit is a
-//! pointer clone and workers share artifacts without copying.
+//! One [`ArtifactCache`] lives for the duration of one sweep — or, via
+//! [`ArtifactCache::bounded`] behind an `Arc`, for the lifetime of a
+//! `hlstb serve` daemon, shared across requests. Each stage has its
+//! own store keyed by the FNV-1a hash of the stage's inputs (see
+//! [`crate::key`]); values are `Arc`s, so a hit is a pointer clone and
+//! workers share artifacts without copying.
 //!
 //! Misses are *single-flight*: the first worker to miss a key installs
 //! an in-flight slot and computes outside the lock; any worker that
@@ -15,6 +17,16 @@
 //! errors are never cached and no waiter can deadlock on a dead
 //! flight. Lock discipline is unchanged: a store's mutex is held only
 //! for the lookup and the insert, never across a compute or a wait.
+//!
+//! A bounded cache enforces [`CacheBounds`] per stage store: every hit
+//! stamps the entry with a monotone use tick, and an insert that takes
+//! the store over its entry or (approximate) byte cap evicts
+//! least-recently-used *ready* entries until it fits. In-flight slots
+//! are never evicted — a leader always gets to publish, and eviction
+//! can only forget finished artifacts (a later lookup simply
+//! recomputes). Evictions and occupancy are surfaced through
+//! [`ArtifactCache::occupancy`] for the serve metrics snapshot;
+//! [`CacheStats`] (the wire-protocol payload) is unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -176,6 +188,104 @@ impl CacheStats {
     }
 }
 
+/// Capacity limits applied to *each* stage store of a bounded cache.
+/// `None` means unlimited on that axis. The byte cap compares against
+/// a coarse per-artifact cost estimate (gate counts, curve lengths),
+/// not exact heap usage — it bounds growth, it is not an allocator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBounds {
+    /// Maximum ready entries per stage store.
+    pub max_entries: Option<usize>,
+    /// Maximum approximate bytes of ready entries per stage store.
+    pub max_bytes: Option<u64>,
+}
+
+impl CacheBounds {
+    /// No limits — the per-sweep default.
+    pub fn unbounded() -> Self {
+        CacheBounds::default()
+    }
+}
+
+/// Occupancy and eviction counters of one stage store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOccupancy {
+    /// Ready entries currently resident.
+    pub entries: u64,
+    /// Approximate bytes of resident ready entries.
+    pub bytes: u64,
+    /// Ready entries evicted under capacity pressure so far.
+    pub evictions: u64,
+}
+
+/// A snapshot of every stage store's occupancy, for the serve metrics
+/// endpoint. Deliberately separate from [`CacheStats`]: stats travel
+/// on the wire in `done` frames and must stay byte-stable, occupancy
+/// is daemon-local and volatile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheOccupancy {
+    /// Front-end artifacts.
+    pub front: StoreOccupancy,
+    /// S-graph facts.
+    pub facts: StoreOccupancy,
+    /// DFT outputs.
+    pub dft: StoreOccupancy,
+    /// Gate-level expansions.
+    pub netlist: StoreOccupancy,
+    /// Pseudorandom grading runs.
+    pub grading: StoreOccupancy,
+}
+
+impl CacheOccupancy {
+    /// Total resident entries across all stages.
+    pub fn entries(&self) -> u64 {
+        self.front.entries
+            + self.facts.entries
+            + self.dft.entries
+            + self.netlist.entries
+            + self.grading.entries
+    }
+
+    /// Total approximate resident bytes across all stages.
+    pub fn bytes(&self) -> u64 {
+        self.front.bytes
+            + self.facts.bytes
+            + self.dft.bytes
+            + self.netlist.bytes
+            + self.grading.bytes
+    }
+
+    /// Total evictions across all stages.
+    pub fn evictions(&self) -> u64 {
+        self.front.evictions
+            + self.facts.evictions
+            + self.dft.evictions
+            + self.netlist.evictions
+            + self.grading.evictions
+    }
+
+    /// The occupancy as a JSON object (totals plus per stage).
+    pub fn to_json(&self) -> String {
+        let stage = |c: StoreOccupancy| {
+            let mut o = Obj::new();
+            o.number_u64("entries", c.entries)
+                .number_u64("bytes", c.bytes)
+                .number_u64("evictions", c.evictions);
+            o.finish()
+        };
+        let mut o = Obj::new();
+        o.number_u64("entries", self.entries())
+            .number_u64("bytes", self.bytes())
+            .number_u64("evictions", self.evictions())
+            .raw("front", &stage(self.front))
+            .raw("facts", &stage(self.facts))
+            .raw("dft", &stage(self.dft))
+            .raw("netlist", &stage(self.netlist))
+            .raw("grading", &stage(self.grading));
+        o.finish()
+    }
+}
+
 /// A slot an in-flight leader settles when its compute finishes (or
 /// dies). Waiters block on the condvar and re-check the store map.
 struct Flight {
@@ -204,21 +314,41 @@ impl Flight {
     }
 }
 
+/// A finished artifact with its LRU stamp and approximate cost.
+struct ReadyEntry<T> {
+    value: Arc<T>,
+    last_used: u64,
+    cost: u64,
+}
+
 /// A slot in a store's map: either the finished artifact or a flight
 /// the current leader is still computing.
 enum Slot<T> {
-    Ready(Arc<T>),
+    Ready(ReadyEntry<T>),
     InFlight(Arc<Flight>),
 }
 
-/// One stage's store: keyed `Arc` values with single-flight misses,
-/// plus lookup instrumentation bridged to the trace layer under static
-/// counter names.
+/// The lock-guarded half of a store: the slot map plus the LRU tick
+/// and the running byte total of ready entries (in-flight slots cost
+/// nothing until they publish).
+struct Inner<T> {
+    map: HashMap<u64, Slot<T>>,
+    tick: u64,
+    bytes: u64,
+    ready: u64,
+}
+
+/// One stage's store: keyed `Arc` values with single-flight misses and
+/// optional LRU capacity bounds, plus lookup instrumentation bridged
+/// to the trace layer under static counter names.
 pub(crate) struct Store<T> {
-    map: Mutex<HashMap<u64, Slot<T>>>,
+    inner: Mutex<Inner<T>>,
+    bounds: CacheBounds,
+    cost_fn: fn(&T) -> u64,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    evictions: AtomicU64,
     hit_counter: &'static str,
     miss_counter: &'static str,
     coalesced_counter: &'static str,
@@ -241,28 +371,38 @@ impl<T> Drop for FlightGuard<'_, T> {
         if !self.armed {
             return;
         }
-        let mut map = self.store.map.lock().expect("cache lock");
-        if let Some(Slot::InFlight(f)) = map.get(&self.key) {
+        let mut inner = self.store.inner.lock().expect("cache lock");
+        if let Some(Slot::InFlight(f)) = inner.map.get(&self.key) {
             if Arc::ptr_eq(f, &self.flight) {
-                map.remove(&self.key);
+                inner.map.remove(&self.key);
             }
         }
-        drop(map);
+        drop(inner);
         self.flight.settle();
     }
 }
 
 impl<T> Store<T> {
     fn new(
+        bounds: CacheBounds,
+        cost_fn: fn(&T) -> u64,
         hit_counter: &'static str,
         miss_counter: &'static str,
         coalesced_counter: &'static str,
     ) -> Self {
         Store {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                bytes: 0,
+                ready: 0,
+            }),
+            bounds,
+            cost_fn,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             hit_counter,
             miss_counter,
             coalesced_counter,
@@ -283,18 +423,21 @@ impl<T> Store<T> {
         let mut waited = false;
         loop {
             let flight = {
-                let mut map = self.map.lock().expect("cache lock");
-                match map.get(&key) {
-                    Some(Slot::Ready(v)) => {
-                        let v = Arc::clone(v);
-                        drop(map);
+                let mut inner = self.inner.lock().expect("cache lock");
+                inner.tick += 1;
+                let tick = inner.tick;
+                match inner.map.get_mut(&key) {
+                    Some(Slot::Ready(e)) => {
+                        e.last_used = tick;
+                        let v = Arc::clone(&e.value);
+                        drop(inner);
                         return Ok((v, self.record_served(waited)));
                     }
                     Some(Slot::InFlight(f)) => Arc::clone(f),
                     None => {
                         let f = Arc::new(Flight::new());
-                        map.insert(key, Slot::InFlight(Arc::clone(&f)));
-                        drop(map);
+                        inner.map.insert(key, Slot::InFlight(Arc::clone(&f)));
+                        drop(inner);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         hlstb_trace::counter(self.miss_counter, 1);
                         let mut guard = FlightGuard {
@@ -306,10 +449,7 @@ impl<T> Store<T> {
                         // An Err (or a panic) drops the armed guard,
                         // which evicts the flight and wakes waiters.
                         let v = Arc::new(compute()?);
-                        self.map
-                            .lock()
-                            .expect("cache lock")
-                            .insert(key, Slot::Ready(Arc::clone(&v)));
+                        self.publish(key, Arc::clone(&v));
                         guard.armed = false;
                         guard.flight.settle();
                         return Ok((v, CacheOutcome::Miss));
@@ -318,6 +458,57 @@ impl<T> Store<T> {
             };
             flight.wait();
             waited = true;
+        }
+    }
+
+    /// Installs a leader's finished value, then evicts
+    /// least-recently-used ready entries until the store is back under
+    /// its bounds. In-flight slots are untouchable: they carry waiters
+    /// and no bytes. The freshly published entry holds the newest use
+    /// tick, so LRU only claims it when it alone exceeds the byte cap
+    /// — an artifact the store cannot hold at all.
+    fn publish(&self, key: u64, value: Arc<T>) {
+        let cost = (self.cost_fn)(value.as_ref());
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let old = inner.map.insert(
+            key,
+            Slot::Ready(ReadyEntry {
+                value,
+                last_used: tick,
+                cost,
+            }),
+        );
+        inner.bytes += cost;
+        inner.ready += 1;
+        if let Some(Slot::Ready(e)) = old {
+            // A re-publish over an existing ready slot (possible when
+            // a guard-evicted leader's waiter recomputed first).
+            inner.bytes -= e.cost;
+            inner.ready -= 1;
+        }
+        let over = |inner: &Inner<T>| {
+            self.bounds
+                .max_entries
+                .is_some_and(|cap| inner.ready as usize > cap)
+                || self.bounds.max_bytes.is_some_and(|cap| inner.bytes > cap)
+        };
+        while over(&inner) {
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready(e) => Some((e.last_used, *k)),
+                    Slot::InFlight(_) => None,
+                })
+                .min();
+            let Some((_, victim_key)) = victim else { break };
+            if let Some(Slot::Ready(e)) = inner.map.remove(&victim_key) {
+                inner.bytes -= e.cost;
+                inner.ready -= 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -338,6 +529,15 @@ impl<T> Store<T> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    fn occupancy(&self) -> StoreOccupancy {
+        let inner = self.inner.lock().expect("cache lock");
+        StoreOccupancy {
+            entries: inner.ready,
+            bytes: inner.bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -361,31 +561,71 @@ pub struct ArtifactCache {
     pub(crate) grading: Store<RandomRun>,
 }
 
+/// Coarse per-artifact cost estimates for the byte cap. Exact heap
+/// accounting is not worth the coupling; these scale with the fields
+/// that dominate each artifact (gate counts, curve lengths, register
+/// counts) plus a flat overhead for the rest.
+fn front_cost(v: &FrontEnd) -> u64 {
+    1024 + 256 * v.datapath.registers().len() as u64 + 8 * v.boundary_scan.len() as u64
+}
+
+fn facts_cost(_: &SgraphFacts) -> u64 {
+    std::mem::size_of::<SgraphFacts>() as u64
+}
+
+fn dft_cost(v: &DftOutput) -> u64 {
+    1024 + 256 * v.datapath.registers().len() as u64
+}
+
+fn netlist_cost(v: &ExpandedDatapath) -> u64 {
+    1024 + 64 * v.netlist.num_gates() as u64
+}
+
+fn grading_cost(v: &RandomRun) -> u64 {
+    256 + 64 * v.curve.len() as u64
+}
+
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache — the per-sweep default.
     pub fn new() -> Self {
+        ArtifactCache::bounded(CacheBounds::unbounded())
+    }
+
+    /// An empty cache whose stage stores each enforce `bounds` with
+    /// LRU eviction — the daemon-lifetime configuration.
+    pub fn bounded(bounds: CacheBounds) -> Self {
         ArtifactCache {
             front: Store::new(
+                bounds,
+                front_cost,
                 "dse.cache.front.hit",
                 "dse.cache.front.miss",
                 "dse.cache.front.coalesced",
             ),
             facts: Store::new(
+                bounds,
+                facts_cost,
                 "dse.cache.facts.hit",
                 "dse.cache.facts.miss",
                 "dse.cache.facts.coalesced",
             ),
             dft: Store::new(
+                bounds,
+                dft_cost,
                 "dse.cache.dft.hit",
                 "dse.cache.dft.miss",
                 "dse.cache.dft.coalesced",
             ),
             netlist: Store::new(
+                bounds,
+                netlist_cost,
                 "dse.cache.netlist.hit",
                 "dse.cache.netlist.miss",
                 "dse.cache.netlist.coalesced",
             ),
             grading: Store::new(
+                bounds,
+                grading_cost,
                 "dse.cache.grading.hit",
                 "dse.cache.grading.miss",
                 "dse.cache.grading.coalesced",
@@ -401,6 +641,17 @@ impl ArtifactCache {
             dft: self.dft.counts(),
             netlist: self.netlist.counts(),
             grading: self.grading.counts(),
+        }
+    }
+
+    /// A snapshot of every stage's occupancy and eviction counters.
+    pub fn occupancy(&self) -> CacheOccupancy {
+        CacheOccupancy {
+            front: self.front.occupancy(),
+            facts: self.facts.occupancy(),
+            dft: self.dft.occupancy(),
+            netlist: self.netlist.occupancy(),
+            grading: self.grading.occupancy(),
         }
     }
 }
@@ -630,6 +881,144 @@ mod tests {
             let (v, _) = waiter.join().unwrap();
             assert_eq!(v.cycles, 4);
         });
+    }
+
+    fn facts_of(cycles: usize) -> SgraphFacts {
+        SgraphFacts {
+            cycles,
+            mfvs_size: 1,
+        }
+    }
+
+    /// An entry-capped store evicts in least-recently-used order: a
+    /// re-touched old key outlives a colder, newer one.
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let cache = ArtifactCache::bounded(CacheBounds {
+            max_entries: Some(2),
+            max_bytes: None,
+        });
+        for key in [1u64, 2] {
+            cache
+                .facts
+                .get_or_try(key, || Ok::<_, String>(facts_of(key as usize)))
+                .unwrap();
+        }
+        // Touch key 1 so key 2 becomes the LRU victim.
+        let (_, outcome) = cache
+            .facts
+            .get_or_try(1, || Ok::<_, String>(facts_of(99)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        cache
+            .facts
+            .get_or_try(3, || Ok::<_, String>(facts_of(3)))
+            .unwrap();
+        // Key 1 survived, key 2 was evicted and recomputes.
+        let (v, outcome) = cache
+            .facts
+            .get_or_try(1, || Ok::<_, String>(facts_of(99)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(v.cycles, 1);
+        let (_, outcome) = cache
+            .facts
+            .get_or_try(2, || Ok::<_, String>(facts_of(2)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let occ = cache.occupancy();
+        assert_eq!(occ.facts.entries, 2);
+        assert_eq!(occ.facts.evictions, 2, "{occ:?}");
+        assert_eq!(occ.evictions(), 2);
+    }
+
+    /// The byte cap evicts by approximate cost, and occupancy bytes
+    /// track residents exactly (insert adds, evict subtracts).
+    #[test]
+    fn byte_cap_bounds_resident_cost() {
+        let unit = std::mem::size_of::<SgraphFacts>() as u64;
+        let cache = ArtifactCache::bounded(CacheBounds {
+            max_entries: None,
+            max_bytes: Some(3 * unit),
+        });
+        for key in 0..10u64 {
+            cache
+                .facts
+                .get_or_try(key, || Ok::<_, String>(facts_of(key as usize)))
+                .unwrap();
+            let occ = cache.occupancy().facts;
+            assert!(occ.bytes <= 3 * unit, "{occ:?}");
+            assert_eq!(occ.bytes, occ.entries * unit);
+        }
+        let occ = cache.occupancy().facts;
+        assert_eq!(occ.entries, 3);
+        assert_eq!(occ.evictions, 7);
+    }
+
+    /// Unbounded caches never evict and report zero eviction pressure.
+    #[test]
+    fn unbounded_cache_reports_occupancy_without_evictions() {
+        let cache = ArtifactCache::new();
+        for key in 0..5u64 {
+            cache
+                .facts
+                .get_or_try(key, || Ok::<_, String>(facts_of(key as usize)))
+                .unwrap();
+        }
+        let occ = cache.occupancy();
+        assert_eq!(occ.facts.entries, 5);
+        assert_eq!(occ.evictions(), 0);
+        assert!(occ.bytes() > 0);
+        let j = occ.to_json();
+        for key in ["entries", "bytes", "evictions", "front", "grading"] {
+            assert!(j.contains(&format!("\"{key}\"")), "{j}");
+        }
+        assert!(hlstb_trace::json::parse(&j).is_ok(), "{j}");
+    }
+
+    /// Capacity pressure must not evict an in-flight slot: the leader
+    /// publishes and its waiters all get the value even when the store
+    /// is saturated by other inserts while the flight is open.
+    #[test]
+    fn inflight_slots_survive_capacity_pressure() {
+        use std::sync::Barrier;
+
+        let cache = ArtifactCache::bounded(CacheBounds {
+            max_entries: Some(1),
+            max_bytes: None,
+        });
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let (v, outcome) = cache
+                    .facts
+                    .get_or_try(7, || {
+                        release.wait();
+                        Ok::<_, String>(facts_of(7))
+                    })
+                    .unwrap();
+                assert_eq!(v.cycles, 7);
+                assert_eq!(outcome, CacheOutcome::Miss);
+            });
+            let waiter = s.spawn(|| {
+                cache
+                    .facts
+                    .get_or_try(7, || Ok::<_, String>(facts_of(7)))
+                    .unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            // Saturate the store while the flight is open.
+            for key in 100..105u64 {
+                cache
+                    .facts
+                    .get_or_try(key, || Ok::<_, String>(facts_of(0)))
+                    .unwrap();
+            }
+            release.wait();
+            let (v, _) = waiter.join().unwrap();
+            assert_eq!(v.cycles, 7);
+        });
+        assert!(cache.occupancy().facts.entries <= 1);
     }
 
     #[test]

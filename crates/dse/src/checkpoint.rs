@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -43,8 +44,16 @@ use crate::report::{PointMetrics, PointRecord};
 
 /// Streams completed points to a JSONL file (append mode, one flush
 /// per point). Shared by the worker pool behind a mutex.
+///
+/// A failing append (ENOSPC, a yanked volume) does not abort the
+/// sweep: callers route write errors through
+/// [`degrade`](Checkpoint::degrade), which warns on stderr exactly
+/// once and latches the checkpoint into a no-op — the sweep finishes
+/// checkpoint-less and the envelope carries a `checkpoint_degraded`
+/// flag.
 pub struct Checkpoint {
     file: Mutex<File>,
+    degraded: AtomicBool,
 }
 
 impl Checkpoint {
@@ -59,7 +68,23 @@ impl Checkpoint {
             })?;
         Ok(Checkpoint {
             file: Mutex::new(file),
+            degraded: AtomicBool::new(false),
         })
+    }
+
+    /// Whether a write failure already downgraded this checkpoint to a
+    /// no-op.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Latches the checkpoint into degraded (no-op) mode, warning on
+    /// stderr only on the first call — concurrent workers all hitting
+    /// the same dead disk produce one line, not one per point.
+    pub fn degrade(&self, why: &str) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!("warning: {why}; continuing without checkpointing");
+        }
     }
 
     /// Appends one completed point. The record is written and flushed
@@ -69,6 +94,9 @@ impl Checkpoint {
     /// processes* appending to the same file (a coordinator and a
     /// resumed run never interleave partial lines).
     pub fn record(&self, key: u64, index: usize, canonical: &str) -> Result<(), PointError> {
+        if self.degraded() {
+            return Ok(());
+        }
         let mut line = encode_line(key, index, canonical);
         line.push('\n');
         let io_err = |e: std::io::Error| PointError::Io {
@@ -114,13 +142,15 @@ pub(crate) fn parse_line(line: &str) -> Option<(u64, usize, String)> {
 #[derive(Debug, Default)]
 pub struct RestoredSet {
     map: HashMap<(u64, usize), String>,
+    skipped: usize,
 }
 
 impl RestoredSet {
-    /// Loads a checkpoint file, skipping malformed lines (a killed
-    /// sweep can tear its final line; everything before it is intact).
-    /// A missing file is an error — resuming from nothing is almost
-    /// always a typo'd path.
+    /// Loads a checkpoint file, skipping malformed lines with a single
+    /// stderr warning (a killed sweep can tear its final line;
+    /// everything before it is intact and a torn tail must not fail
+    /// the whole resume). A missing file is an error — resuming from
+    /// nothing is almost always a typo'd path.
     pub fn load(path: &Path) -> Result<RestoredSet, PointError> {
         let text = std::fs::read_to_string(path).map_err(|e| PointError::Io {
             message: format!("resume checkpoint {}: {e}", path.display()),
@@ -128,13 +158,27 @@ impl RestoredSet {
         let mut set = RestoredSet::default();
         for line in text.lines() {
             let Some((key, index, canonical)) = parse_line(line) else {
+                set.skipped += 1;
                 continue;
             };
             // Later lines win: a re-run after an interrupted resume may
             // append the same point again with identical content.
             set.map.insert((key, index), canonical);
         }
+        if set.skipped > 0 {
+            eprintln!(
+                "warning: resume checkpoint {}: skipped {} malformed line(s) \
+                 (torn tail of an interrupted run?); the affected points recompute",
+                path.display(),
+                set.skipped
+            );
+        }
         Ok(set)
+    }
+
+    /// How many malformed lines the load skipped (0 for a clean file).
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// The stored canonical JSON for a point, when present.
@@ -325,6 +369,46 @@ mod tests {
         std::fs::write(&path, text).unwrap();
         let set = RestoredSet::load(&path).unwrap();
         assert_eq!(set.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A crash can land mid-append at *any* byte: truncating the file
+    /// at every offset inside the last record must still load, keep
+    /// every fully written earlier record, and never conjure a bogus
+    /// one from the torn bytes.
+    #[test]
+    fn truncation_at_every_byte_of_the_last_record_resumes() {
+        let path = temp("every_offset");
+        let ok = sample_record(true);
+        let err = sample_record(false);
+        {
+            let ck = Checkpoint::open_append(&path).unwrap();
+            ck.record(1, 2, &ok.canonical_point_json()).unwrap();
+            ck.record(2, 2, &err.canonical_point_json()).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let first_len = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        for cut in first_len..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let set = RestoredSet::load(&path).unwrap();
+            assert!(
+                set.lookup(1, 2).is_some(),
+                "cut at {cut}: first record must survive"
+            );
+            if cut == first_len {
+                // Nothing of the second record is present at all.
+                assert_eq!(set.len(), 1, "cut at {cut}");
+                assert_eq!(set.skipped(), 0, "cut at {cut}");
+            } else {
+                // A partial tail either parses as the full record
+                // (only at the very end, pre-newline) or is skipped
+                // and counted — never a third outcome.
+                assert!(set.len() <= 2, "cut at {cut}");
+                if set.len() == 1 {
+                    assert_eq!(set.skipped(), 1, "cut at {cut}");
+                }
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

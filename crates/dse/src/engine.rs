@@ -46,7 +46,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hlstb::cdfg::Cdfg;
@@ -257,7 +257,7 @@ pub struct PointRunner<'a> {
     design_keys: Vec<u64>,
     points: Vec<Point>,
     point_keys: Vec<u64>,
-    cache: Option<ArtifactCache>,
+    cache: Option<Arc<ArtifactCache>>,
     max_patterns: usize,
     retry_count: AtomicU64,
 }
@@ -268,6 +268,29 @@ impl<'a> PointRunner<'a> {
     /// [`SweepOptions::cache`] asks for one. `progress` and `threads`
     /// are the caller's business — the runner only evaluates.
     pub fn new(spec: &'a SweepSpec, opts: &SweepOptions, fail_plan: Option<FailPlan>) -> Self {
+        let cache = opts.cache.then(|| Arc::new(ArtifactCache::new()));
+        PointRunner::build(spec, opts, fail_plan, cache)
+    }
+
+    /// Like [`PointRunner::new`], but sharing an externally owned
+    /// cache — the serve daemon injects one bounded, daemon-lifetime
+    /// cache here so artifacts coalesce across requests. The shared
+    /// cache wins over [`SweepOptions::cache`].
+    pub fn with_cache(
+        spec: &'a SweepSpec,
+        opts: &SweepOptions,
+        fail_plan: Option<FailPlan>,
+        cache: Arc<ArtifactCache>,
+    ) -> Self {
+        PointRunner::build(spec, opts, fail_plan, Some(cache))
+    }
+
+    fn build(
+        spec: &'a SweepSpec,
+        opts: &SweepOptions,
+        fail_plan: Option<FailPlan>,
+        cache: Option<Arc<ArtifactCache>>,
+    ) -> Self {
         let points = spec.points();
         let design_keys: Vec<u64> = spec.designs.iter().map(key::hash_debug).collect();
         let point_keys: Vec<u64> = points
@@ -281,7 +304,7 @@ impl<'a> PointRunner<'a> {
             design_keys,
             points,
             point_keys,
-            cache: opts.cache.then(ArtifactCache::new),
+            cache,
             max_patterns: spec.max_patterns(),
             retry_count: AtomicU64::new(0),
         }
@@ -304,7 +327,7 @@ impl<'a> PointRunner<'a> {
 
     /// The stage cache, when enabled.
     pub fn cache(&self) -> Option<&ArtifactCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
     }
 
     /// Retry attempts so far across all evaluated points.
@@ -335,7 +358,7 @@ impl<'a> PointRunner<'a> {
             self.spec,
             &self.design_keys,
             p,
-            self.cache.as_ref(),
+            self.cache.as_deref(),
             self.max_patterns,
             &self.opts,
             self.fail_plan.as_ref(),
@@ -442,11 +465,25 @@ pub fn run_sweep_with(
                 m.tick(&record, runner.retries(), 0, runner.cache());
             }
             if let Some(ck) = &writer {
-                if ck
-                    .record(runner.key(i), p.index, &record.canonical_point_json())
-                    .is_err()
-                {
+                // The `io:` fail-point targets the append itself: the
+                // point evaluated fine above, only its checkpoint write
+                // "fails" — exactly what a real ENOSPC looks like.
+                let injected = recovery.fail_plan.as_ref().and_then(|fp| fp.mode(p.index))
+                    == Some(FailMode::Io)
+                    && !ck.degraded();
+                let r = if injected {
+                    Err(PointError::Io {
+                        message: format!(
+                            "checkpoint write: injected io fail-point at point {}",
+                            p.index
+                        ),
+                    })
+                } else {
+                    ck.record(runner.key(i), p.index, &record.canonical_point_json())
+                };
+                if let Err(e) = r {
                     checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+                    ck.degrade(&e.to_string());
                 }
             }
             *slots[i].lock().expect("slot lock") = Some((record, design));
@@ -496,12 +533,13 @@ pub fn run_sweep_with(
             points: records,
             threads,
             workers: 0,
-            cache: runner.cache.as_ref().map(ArtifactCache::stats),
+            cache: runner.cache().map(ArtifactCache::stats),
             wall: t0.elapsed(),
             cpu,
             restored: restored_count.into_inner(),
             retries: runner.retries(),
             reissued: 0,
+            checkpoint_degraded: writer.as_ref().is_some_and(Checkpoint::degraded),
         },
         designs,
         checkpoint_write_errors: checkpoint_errors.into_inner(),

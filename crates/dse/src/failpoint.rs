@@ -13,6 +13,10 @@
 //! * `flaky` — the point panics on its first attempt and succeeds on
 //!   any retry: with `retries >= 1` it lands in the report as a normal
 //!   success, proving the retry path.
+//! * `io` — the point itself succeeds, but its *checkpoint append*
+//!   fails, exercising the degrade-to-checkpoint-less path (a single
+//!   warning plus a `checkpoint_degraded` envelope flag, never an
+//!   aborted sweep).
 //!
 //! The CLI builds a plan from the `HLSTB_FAIL_POINT` environment
 //! variable (see [`FailPlan::ENV`]); the library itself never reads the
@@ -29,6 +33,8 @@ pub enum FailMode {
     Stall,
     /// Panic on the first attempt only; succeed on retries.
     Flaky,
+    /// Evaluate normally, but fail the point's checkpoint append.
+    Io,
 }
 
 impl FailMode {
@@ -37,6 +43,7 @@ impl FailMode {
             "panic" => Some(FailMode::Panic),
             "stall" => Some(FailMode::Stall),
             "flaky" => Some(FailMode::Flaky),
+            "io" => Some(FailMode::Io),
             _ => None,
         }
     }
@@ -55,7 +62,7 @@ impl FailPlan {
 
     /// Parses the spec syntax: `;`-separated groups of
     /// `<mode>:<index>[,<index>…]` with modes `panic`, `stall`,
-    /// `flaky`. Empty input yields an empty plan.
+    /// `flaky`, `io`. Empty input yields an empty plan.
     pub fn parse(s: &str) -> Result<FailPlan, String> {
         let mut plan = FailPlan::default();
         for group in s.split(';').filter(|g| !g.trim().is_empty()) {
@@ -63,7 +70,7 @@ impl FailPlan {
                 .split_once(':')
                 .ok_or_else(|| format!("bad fail-point group `{group}`: expected mode:indices"))?;
             let mode = FailMode::parse(mode_s.trim()).ok_or_else(|| {
-                format!("bad fail-point mode `{mode_s}`: expected panic, stall, or flaky")
+                format!("bad fail-point mode `{mode_s}`: expected panic, stall, flaky, or io")
             })?;
             for idx in idx_s.split(',') {
                 let index: usize = idx
@@ -97,6 +104,7 @@ impl FailPlan {
                 FailMode::Panic => "panic",
                 FailMode::Stall => "stall",
                 FailMode::Flaky => "flaky",
+                FailMode::Io => "io",
             };
             groups.entry(name).or_default().push(index);
         }
@@ -131,11 +139,13 @@ impl FailPlan {
     }
 
     /// Indices that fail on every attempt (panic + stall) — the
-    /// expected error count of a sweep run with `retries >= 1`.
+    /// expected error count of a sweep run with `retries >= 1`. Flaky
+    /// points recover, and `io` points fail only their checkpoint
+    /// append, so neither counts.
     pub fn hard_failures(&self) -> usize {
         self.modes
             .values()
-            .filter(|m| !matches!(m, FailMode::Flaky))
+            .filter(|m| !matches!(m, FailMode::Flaky | FailMode::Io))
             .count()
     }
 }
@@ -164,8 +174,15 @@ mod tests {
     }
 
     #[test]
+    fn io_mode_parses_and_is_not_a_hard_failure() {
+        let p = FailPlan::parse("io:2;panic:1").unwrap();
+        assert_eq!(p.mode(2), Some(FailMode::Io));
+        assert_eq!(p.hard_failures(), 1);
+    }
+
+    #[test]
     fn to_spec_round_trips() {
-        for s in ["panic:1,4;stall:2;flaky:3", "", "stall:0"] {
+        for s in ["panic:1,4;stall:2;flaky:3", "", "stall:0", "io:5;panic:1"] {
             let p = FailPlan::parse(s).unwrap();
             assert_eq!(FailPlan::parse(&p.to_spec()).unwrap(), p, "{s}");
         }

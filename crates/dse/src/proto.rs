@@ -163,8 +163,9 @@ fn field_usize(v: &Value, key: &str) -> Result<usize, PointError> {
 }
 
 /// Renders a spec as its wire object: design *names* plus a combined
-/// content hash, and every axis in CLI name vocabulary.
-fn spec_to_json(spec: &SweepSpec) -> String {
+/// content hash, and every axis in CLI name vocabulary. Public so the
+/// serve request protocol can embed exactly the same spec object.
+pub fn spec_to_json(spec: &SweepSpec) -> String {
     let names = |items: &[String]| {
         let mut a = Arr::new();
         for s in items {
@@ -238,8 +239,9 @@ fn spec_to_json(spec: &SweepSpec) -> String {
 /// Resolves a wire spec object back into a [`SweepSpec`]: designs by
 /// catalogue name, axes by CLI vocabulary, then verifies the combined
 /// design content hash so a version-skewed worker fails loudly instead
-/// of silently computing different bytes.
-fn spec_from_json(v: &Value) -> Result<SweepSpec, PointError> {
+/// of silently computing different bytes. Public for the serve request
+/// protocol.
+pub fn spec_from_json(v: &Value) -> Result<SweepSpec, PointError> {
     let str_list = |key: &str| -> Result<Vec<String>, PointError> {
         v.get(key)
             .and_then(Value::as_array)

@@ -144,6 +144,10 @@ pub struct SweepReport {
     /// died mid-lease (transport recovery, not point failures; always
     /// 0 for in-process sweeps).
     pub reissued: u64,
+    /// Whether a checkpoint write failure downgraded the run to
+    /// checkpoint-less mode mid-sweep (results are complete; the
+    /// checkpoint file is not).
+    pub checkpoint_degraded: bool,
 }
 
 impl SweepReport {
@@ -225,6 +229,10 @@ impl SweepReport {
         out.push_str(&format!("  \"error_kinds\": {{{kinds}}},\n"));
         out.push_str(&format!("  \"retries\": {},\n", self.retries));
         out.push_str(&format!("  \"reissued\": {},\n", self.reissued));
+        out.push_str(&format!(
+            "  \"checkpoint_degraded\": {},\n",
+            self.checkpoint_degraded
+        ));
         out.push_str(&format!("  \"timeouts\": {},\n", self.timeouts()));
         out.push_str(&format!("  \"restored\": {},\n", self.restored));
         match &self.cache {
@@ -407,6 +415,7 @@ mod tests {
             restored: 0,
             retries: 0,
             reissued: 0,
+            checkpoint_degraded: false,
         }
     }
 

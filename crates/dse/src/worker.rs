@@ -544,6 +544,9 @@ struct Lane {
     /// `Corrupt`); the wind-down drain waits on this so the final
     /// `done` frame of every lane is counted.
     reader_done: bool,
+    /// When the lane was attached — the listen-mode handshake deadline
+    /// measures `hello` completion from here.
+    attached_at: Instant,
 }
 
 impl Lane {
@@ -557,6 +560,7 @@ impl Lane {
             ready: false,
             stats: proto::DoneStats::default(),
             reader_done: true,
+            attached_at: Instant::now(),
         }
     }
 }
@@ -572,6 +576,7 @@ enum LaneSource<'s, 'f> {
     },
     Listen {
         listener: std::net::TcpListener,
+        hello_timeout: Duration,
     },
 }
 
@@ -638,6 +643,7 @@ fn attach_lane(
         ready: false,
         stats: proto::DoneStats::default(),
         reader_done: false,
+        attached_at: Instant::now(),
     });
 }
 
@@ -709,7 +715,34 @@ pub fn run_sweep_listen(
     recovery: &Recovery,
     listener: std::net::TcpListener,
 ) -> Result<SweepOutcome, PointError> {
-    coordinate(spec, opts, recovery, LaneSource::Listen { listener })
+    run_sweep_listen_with_timeout(spec, opts, recovery, listener, DEFAULT_HELLO_TIMEOUT)
+}
+
+/// The default listen-mode handshake deadline: generous for a LAN, yet
+/// bounded — a silent TCP connect can pin a reader thread for at most
+/// this long.
+pub const DEFAULT_HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// [`run_sweep_listen`] with an explicit handshake deadline: an
+/// accepted connection that has not completed `hello` within
+/// `hello_timeout` is dropped (socket shut down, reader released) and
+/// counted, so a stuck or hostile dialer cannot wedge the accept path.
+pub fn run_sweep_listen_with_timeout(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    recovery: &Recovery,
+    listener: std::net::TcpListener,
+    hello_timeout: Duration,
+) -> Result<SweepOutcome, PointError> {
+    coordinate(
+        spec,
+        opts,
+        recovery,
+        LaneSource::Listen {
+            listener,
+            hello_timeout,
+        },
+    )
 }
 
 fn coordinate(
@@ -728,6 +761,13 @@ fn coordinate(
     let expected_workers = match &source {
         LaneSource::Fixed { workers, .. } => *workers,
         LaneSource::Listen { .. } => 0,
+    };
+    // Fixed-transport lanes handshake over pipes the coordinator just
+    // created; only listen-mode lanes face an untrusted network, so
+    // only they get a handshake deadline.
+    let hello_deadline = match &source {
+        LaneSource::Fixed { .. } => None,
+        LaneSource::Listen { hello_timeout, .. } => Some(*hello_timeout),
     };
     let points = spec.points();
     let n = points.len();
@@ -826,7 +866,7 @@ fn coordinate(
                     }
                 }
             }
-            LaneSource::Listen { listener } => {
+            LaneSource::Listen { listener, .. } => {
                 let addr = listener
                     .local_addr()
                     .map_err(|e| io_err(format!("listener address: {e}")))?;
@@ -940,6 +980,7 @@ fn coordinate(
             }
         }
 
+        let mut hello_timeouts: u64 = 0;
         // Fixed mode ends when the work or the lanes run out; listen
         // mode never gives up on lanes — it waits for (re)connects
         // until the work is done.
@@ -948,7 +989,44 @@ fn coordinate(
             if remaining == 0 || !(wait_for_lanes || lanes.iter().any(|l| l.live)) {
                 break;
             }
-            let Ok(coord_event) = rx.recv() else { break };
+            // While any accepted connection is mid-handshake, poll
+            // instead of blocking so a silent dialer is dropped at its
+            // deadline rather than pinning the loop (and its reader
+            // thread) on a connection that will never speak.
+            let mid_handshake =
+                hello_deadline.is_some() && lanes.iter().any(|l| l.live && !l.ready);
+            let coord_event = if mid_handshake {
+                match rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(ev) => Some(ev),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match rx.recv() {
+                    Ok(ev) => Some(ev),
+                    Err(_) => break,
+                }
+            };
+            if let Some(timeout) = hello_deadline {
+                for w in 0..lanes.len() {
+                    if lanes[w].live && !lanes[w].ready && lanes[w].attached_at.elapsed() >= timeout
+                    {
+                        hello_timeouts += 1;
+                        hlstb_trace::counter("dse.worker.hello_timeout", 1);
+                        fail_lane(
+                            &mut lanes,
+                            w,
+                            "hello timeout",
+                            &mut queue,
+                            chunk,
+                            &mut reissued,
+                        );
+                    }
+                }
+            }
+            let Some(coord_event) = coord_event else {
+                continue;
+            };
             let (w, event) = match coord_event {
                 CoordEvent::Link(link) => {
                     attach_lane(&mut lanes, *link, &hello_for, &tx);
@@ -994,8 +1072,9 @@ fn coordinate(
                         lanes[w].outstanding.retain(|&x| x != index);
                     } else if let Some(record) = checkpoint::record_from_canonical(&canonical) {
                         if let Some(ck) = &writer {
-                            if ck.record(key, index, &canonical).is_err() {
+                            if let Err(e) = ck.record(key, index, &canonical) {
                                 checkpoint_errors += 1;
+                                ck.degrade(&e.to_string());
                             }
                         }
                         if let Some(m) = &meter {
@@ -1050,6 +1129,10 @@ fn coordinate(
                     );
                 }
             }
+        }
+
+        if hello_timeouts > 0 {
+            eprintln!("sweep: dropped {hello_timeouts} connection(s) that never completed hello");
         }
 
         // Stop accepting before the polite shutdowns: set the flag,
@@ -1134,11 +1217,9 @@ fn coordinate(
                 runner.scheduled(i);
                 let (record, _) = runner.eval(i);
                 if let Some(ck) = &writer {
-                    if ck
-                        .record(point_keys[i], i, &record.canonical_point_json())
-                        .is_err()
-                    {
+                    if let Err(e) = ck.record(point_keys[i], i, &record.canonical_point_json()) {
                         checkpoint_errors += 1;
+                        ck.degrade(&e.to_string());
                     }
                 }
                 if let Some(m) = &meter {
@@ -1191,6 +1272,7 @@ fn coordinate(
             restored: restored_count,
             retries: fleet_retries,
             reissued,
+            checkpoint_degraded: writer.as_ref().is_some_and(Checkpoint::degraded),
         },
         designs: (0..n).map(|_| None).collect(),
         checkpoint_write_errors: checkpoint_errors,

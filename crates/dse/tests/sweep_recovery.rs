@@ -101,6 +101,82 @@ fn resumed_sweep_is_byte_identical_to_uninterrupted() {
     std::fs::remove_file(&path).ok();
 }
 
+/// An `io:` fail-point fails a point's *checkpoint append*, not the
+/// point: the sweep must degrade to checkpoint-less mode (flagged in
+/// the envelope), keep every result, and stop writing further records
+/// — while the report itself stays byte-identical to an unaffected
+/// run, since degrading changes only where bytes are persisted.
+#[test]
+fn checkpoint_write_failure_degrades_instead_of_aborting() {
+    let spec = spec();
+    let baseline = run_sweep(&spec, &SweepOptions::default());
+
+    let path = temp("io_degrade");
+    std::fs::remove_file(&path).ok();
+    let mut plan = FailPlan::default();
+    plan.insert(1, FailMode::Io);
+    let out = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            fail_plan: Some(plan),
+            checkpoint: Some(path.clone()),
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    // Every point completed; only the persistence path degraded.
+    assert!(out.report.errors().is_empty());
+    assert!(out.report.checkpoint_degraded);
+    assert_eq!(out.checkpoint_write_errors, 1);
+    assert_eq!(
+        out.report.canonical_json(),
+        baseline.report.canonical_json(),
+        "degrading the checkpoint must not perturb results"
+    );
+    let envelope = out.report.to_json();
+    assert!(
+        envelope.contains("\"checkpoint_degraded\": true"),
+        "{envelope}"
+    );
+    // The injected failure hit point 1 serially, so exactly the one
+    // record written before it survives; nothing after the degrade.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 1, "{text}");
+    // What did land is still a valid resume source.
+    let resumed = run_sweep_with(
+        &spec,
+        &SweepOptions::default(),
+        &Recovery {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..Recovery::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.report.restored, 1);
+    assert_eq!(
+        resumed.report.canonical_json(),
+        baseline.report.canonical_json()
+    );
+    assert!(!resumed.report.checkpoint_degraded);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A clean checkpointed run reports `checkpoint_degraded: false` in
+/// its envelope (and a checkpoint-less run renders the flag too — the
+/// field is unconditional so downstream parsers never miss it).
+#[test]
+fn clean_runs_do_not_raise_the_degraded_flag() {
+    let spec = spec();
+    let out = run_sweep(&spec, &SweepOptions::default());
+    assert!(!out.report.checkpoint_degraded);
+    assert!(out
+        .report
+        .to_json()
+        .contains("\"checkpoint_degraded\": false"));
+}
+
 #[test]
 fn checkpointed_failures_resume_as_typed_errors() {
     let spec = spec();

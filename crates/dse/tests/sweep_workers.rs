@@ -9,7 +9,8 @@
 use hlstb::cdfg::{benchmarks, Cdfg};
 use hlstb::flow::{DftStrategy, RegisterPolicy, Scheduler};
 use hlstb_dse::worker::{
-    run_sweep_listen, run_sweep_workers, thread_spawner, worker_connect, WorkerFail, WorkerLink,
+    run_sweep_listen, run_sweep_listen_with_timeout, run_sweep_workers, thread_spawner,
+    worker_connect, WorkerFail, WorkerLink,
 };
 use hlstb_dse::{proto, run_sweep_with, FailMode, FailPlan, Recovery, SweepOptions, SweepSpec};
 use proptest::prelude::*;
@@ -467,6 +468,68 @@ fn tcp_kill_mid_lease_then_reconnect_is_byte_identical() {
     assert_eq!(
         outcome.report.workers, 2,
         "kill + reconnect = two lanes seen"
+    );
+}
+
+/// A connection that completes TCP connect but never sends a byte —
+/// a stuck dialer, a port scanner — must be dropped at the handshake
+/// deadline instead of pinning a reader thread for the whole sweep;
+/// a real worker that dials in afterwards still finishes the job
+/// byte-identically.
+#[test]
+fn tcp_silent_connection_is_dropped_at_hello_deadline() {
+    use std::time::{Duration, Instant};
+
+    let spec = small_spec();
+    let serial = serial_canonical(&spec, &Recovery::default());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let coord = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            run_sweep_listen_with_timeout(
+                &spec,
+                &SweepOptions::default(),
+                &Recovery::default(),
+                listener,
+                Duration::from_millis(200),
+            )
+            .unwrap()
+        })
+    };
+    // Connect and go silent. No worker exists yet, so the sweep cannot
+    // finish — the only thing that can close this socket is the
+    // handshake deadline. The client sees the coordinator's hello
+    // frame, then EOF (or a reset) once it is dropped.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let t0 = Instant::now();
+    let mut buf = [0u8; 1024];
+    loop {
+        match std::io::Read::read(&mut conn, &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "dropped before any deadline could have elapsed"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "silent connection pinned its lane far past the 200ms deadline"
+    );
+    drop(conn);
+    // A real worker finishes the sweep; the dropped lane changed no
+    // results.
+    let worker = std::thread::spawn(move || worker_connect(&addr, None));
+    let outcome = coord.join().unwrap();
+    worker.join().unwrap().expect("worker exits cleanly");
+    assert_eq!(serial, outcome.report.canonical_json());
+    assert_eq!(
+        outcome.report.workers, 2,
+        "the dropped silent lane is still counted as a lane seen"
     );
 }
 

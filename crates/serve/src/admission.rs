@@ -1,0 +1,282 @@
+//! Admission control: a bounded request queue with explicit load
+//! shedding and a shared inflight-points budget.
+//!
+//! Robustness by construction means the daemon never lets backlog
+//! accumulate invisibly. Every submission either lands in the bounded
+//! queue (and the client hears `accepted`) or is refused *immediately*
+//! with a typed reason — `overloaded` when the queue is full (with a
+//! retry-after hint), `draining` once shutdown has begun. There is no
+//! path on which a client blocks inside `accept` waiting for capacity.
+//!
+//! The second guard is the **inflight-points cap**: a sweep request's
+//! cost is its point count, and the sum of points currently executing
+//! is bounded across *all* requests. Dispatch is FIFO — a queued
+//! request whose points do not fit waits at the head until running
+//! work retires enough budget (head-of-line order is deliberate: it
+//! makes admission fair and starvation-free rather than
+//! smallest-first). A request bigger than the whole cap is not
+//! rejected — it waits until the daemon is idle and then runs alone.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Tunables for [`Admission`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet executing) requests before submissions
+    /// shed with `overloaded`.
+    pub max_queue: usize,
+    /// Maximum summed point count across concurrently executing
+    /// requests. An oversized request runs alone when the daemon is
+    /// otherwise idle.
+    pub max_inflight_points: usize,
+    /// The retry hint attached to `overloaded` refusals.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queue: 32,
+            max_inflight_points: 4096,
+            retry_after: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a submission was refused. Maps 1:1 onto the wire's typed error
+/// frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The queue is full; come back after the retry hint.
+    Overloaded,
+    /// The daemon is shutting down and accepts no new work.
+    Draining,
+}
+
+/// A monotonic snapshot of the admission counters, for the metrics
+/// frame.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionCounters {
+    /// Requests that cleared admission.
+    pub accepted: u64,
+    /// Requests whose execution finished (any outcome).
+    pub completed: u64,
+    /// Requests refused by load shedding or drain.
+    pub shed: u64,
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Summed points of the requests executing right now.
+    pub inflight_points: u64,
+    /// Requests executing right now.
+    pub running: u64,
+    /// Whether drain has begun.
+    pub draining: bool,
+}
+
+struct State<J> {
+    queue: VecDeque<(J, usize)>,
+    inflight_points: usize,
+    running: usize,
+    draining: bool,
+    accepted: u64,
+    completed: u64,
+    shed: u64,
+}
+
+/// The admission gate: connection threads [`submit`](Admission::submit)
+/// jobs, executor threads block in [`next`](Admission::next) and retire
+/// budget with [`finish`](Admission::finish).
+pub struct Admission<J> {
+    cfg: AdmissionConfig,
+    state: Mutex<State<J>>,
+    work: Condvar,
+}
+
+impl<J> Admission<J> {
+    /// Builds an empty gate with the given bounds.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight_points: 0,
+                running: 0,
+                draining: false,
+                accepted: 0,
+                completed: 0,
+                shed: 0,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// The configured retry hint for `overloaded` refusals.
+    pub fn retry_after(&self) -> Duration {
+        self.cfg.retry_after
+    }
+
+    /// Offers a job costing `points`. Returns the queue depth after
+    /// insertion, or an immediate typed refusal — this call never
+    /// blocks on capacity.
+    pub fn submit(&self, job: J, points: usize) -> Result<usize, Refusal> {
+        let mut s = self.state.lock().expect("admission lock");
+        if s.draining {
+            s.shed += 1;
+            return Err(Refusal::Draining);
+        }
+        if s.queue.len() >= self.cfg.max_queue {
+            s.shed += 1;
+            return Err(Refusal::Overloaded);
+        }
+        s.queue.push_back((job, points));
+        s.accepted += 1;
+        let depth = s.queue.len();
+        drop(s);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until the head-of-queue job fits the inflight budget (or
+    /// the daemon is idle), reserves its points, and returns it.
+    /// Returns `None` once drain has begun and the queue is empty —
+    /// the executor's signal to exit.
+    pub fn next(&self) -> Option<(J, usize)> {
+        let mut s = self.state.lock().expect("admission lock");
+        loop {
+            let admit = match s.queue.front() {
+                Some(&(_, points)) => {
+                    s.inflight_points == 0
+                        || s.inflight_points + points <= self.cfg.max_inflight_points
+                }
+                None => false,
+            };
+            if admit {
+                let (job, points) = s.queue.pop_front().expect("queue non-empty");
+                s.inflight_points += points;
+                s.running += 1;
+                return Some((job, points));
+            }
+            if s.draining && s.queue.is_empty() {
+                return None;
+            }
+            // The timeout is defensive only — every state change
+            // notifies — so a missed wakeup degrades to latency, never
+            // to a hang.
+            let (guard, _) = self
+                .work
+                .wait_timeout(s, Duration::from_millis(100))
+                .expect("admission lock");
+            s = guard;
+        }
+    }
+
+    /// Retires a finished job's point reservation and wakes waiters.
+    pub fn finish(&self, points: usize) {
+        let mut s = self.state.lock().expect("admission lock");
+        s.inflight_points = s.inflight_points.saturating_sub(points);
+        s.running = s.running.saturating_sub(1);
+        s.completed += 1;
+        drop(s);
+        self.work.notify_all();
+    }
+
+    /// Begins drain: all future submissions refuse with
+    /// [`Refusal::Draining`]; queued and executing work still finishes.
+    pub fn drain(&self) {
+        self.state.lock().expect("admission lock").draining = true;
+        self.work.notify_all();
+    }
+
+    /// Whether drain has begun.
+    pub fn draining(&self) -> bool {
+        self.state.lock().expect("admission lock").draining
+    }
+
+    /// Snapshot of the counters for the metrics frame.
+    pub fn counters(&self) -> AdmissionCounters {
+        let s = self.state.lock().expect("admission lock");
+        AdmissionCounters {
+            accepted: s.accepted,
+            completed: s.completed,
+            shed: s.shed,
+            queue_depth: s.queue.len() as u64,
+            inflight_points: s.inflight_points as u64,
+            running: s.running as u64,
+            draining: s.draining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gate(max_queue: usize, max_points: usize) -> Admission<u32> {
+        Admission::new(AdmissionConfig {
+            max_queue,
+            max_inflight_points: max_points,
+            retry_after: Duration::from_millis(1),
+        })
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let g = gate(2, 100);
+        assert_eq!(g.submit(1, 1), Ok(1));
+        assert_eq!(g.submit(2, 1), Ok(2));
+        assert_eq!(g.submit(3, 1), Err(Refusal::Overloaded));
+        let c = g.counters();
+        assert_eq!((c.accepted, c.shed, c.queue_depth), (2, 1, 2));
+        // Dequeueing frees a slot immediately.
+        assert!(g.next().is_some());
+        assert_eq!(g.submit(3, 1), Ok(2));
+    }
+
+    #[test]
+    fn draining_refuses_submissions_and_drains_the_queue() {
+        let g = gate(4, 100);
+        assert_eq!(g.submit(1, 1), Ok(1));
+        g.drain();
+        assert!(g.draining());
+        assert_eq!(g.submit(2, 1), Err(Refusal::Draining));
+        // Queued work still dispatches; then executors see None.
+        assert_eq!(g.next(), Some((1, 1)));
+        g.finish(1);
+        assert_eq!(g.next(), None);
+        assert_eq!(g.counters().completed, 1);
+    }
+
+    #[test]
+    fn inflight_points_cap_serializes_expensive_requests() {
+        let g = Arc::new(gate(8, 10));
+        assert_eq!(g.submit(1, 8), Ok(1));
+        assert_eq!(g.submit(2, 8), Ok(2));
+        let (first, pts) = g.next().expect("first job");
+        assert_eq!((first, pts), (1, 8));
+        // The second 8-point job cannot start while the first holds
+        // 8 of the 10-point budget: a dequeue attempt from another
+        // thread parks until finish() retires the reservation.
+        let g2 = Arc::clone(&g);
+        let waiter = std::thread::spawn(move || g2.next());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(g.counters().running, 1, "second job must still be queued");
+        g.finish(8);
+        let got = waiter.join().expect("waiter").expect("second job");
+        assert_eq!(got, (2, 8));
+    }
+
+    #[test]
+    fn oversized_request_runs_alone_when_idle() {
+        let g = gate(4, 10);
+        assert_eq!(g.submit(1, 1_000), Ok(1), "oversized jobs queue, not shed");
+        let (job, pts) = g.next().expect("runs when the daemon is idle");
+        assert_eq!((job, pts), (1, 1_000));
+        let c = g.counters();
+        assert_eq!(c.inflight_points, 1_000);
+        g.finish(1_000);
+        assert_eq!(g.counters().inflight_points, 0);
+    }
+}

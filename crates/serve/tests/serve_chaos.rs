@@ -1,0 +1,307 @@
+//! Chaos tests for the serve daemon: fuzzed request lines, concurrent
+//! duplicate requests, handshake timeouts, load shedding, and drain —
+//! every failure mode must resolve to a typed frame or a clean exit,
+//! never a panic or a hang.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hlstb::cdfg::benchmarks;
+use hlstb::flow::DftStrategy;
+use hlstb_dse::{PointError, SweepOptions, SweepSpec};
+use hlstb_serve::proto::{self, Request};
+use hlstb_serve::{client, Daemon, ServeConfig, SweepRequest};
+use hlstb_trace::json::{self, Value};
+use proptest::prelude::*;
+
+fn small_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![benchmarks::figure1()]);
+    spec.strategies = vec![DftStrategy::None, DftStrategy::FullScan];
+    spec.patterns = vec![64];
+    spec
+}
+
+fn sweep_request(id: &str) -> SweepRequest {
+    SweepRequest {
+        id: id.to_string(),
+        spec: small_spec(),
+        opts: SweepOptions::default(),
+        deadline: None,
+    }
+}
+
+struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<Result<(), PointError>>,
+}
+
+impl Server {
+    fn start(cfg: ServeConfig) -> Server {
+        let daemon = Daemon::bind(cfg).expect("bind");
+        let addr = daemon.local_addr().expect("local addr");
+        let stop = daemon.stop_handle();
+        let handle = std::thread::spawn(move || daemon.run());
+        Server { addr, stop, handle }
+    }
+
+    fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    fn metrics(&self) -> Value {
+        let frame =
+            client::control(&self.addr(), &proto::encode_metrics_request()).expect("metrics");
+        json::parse(&frame).expect("metrics frame parses")
+    }
+
+    /// Flips the stop flag and asserts the daemon drains to `Ok(())`.
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("daemon thread")
+            .expect("drain exits cleanly");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The request parser survives arbitrary bytes: every outcome is a
+    /// parsed request or a typed error, never a panic.
+    #[test]
+    fn fuzzed_request_lines_decode_or_fail_typed(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        match proto::decode_request(&line) {
+            Ok(_) => {}
+            Err(e) => prop_assert_eq!(e.kind(), "io"),
+        }
+    }
+
+    /// A valid request line with a random chunk spliced in anywhere —
+    /// the classic torn/corrupted-frame shape — must still decode or
+    /// fail typed, never panic.
+    #[test]
+    fn fuzzed_mutations_of_a_valid_request_decode_or_fail_typed(
+        at in 0usize..400,
+        cut in 0usize..400,
+        splice in proptest::collection::vec(0u8..=255, 0..16),
+    ) {
+        let valid = proto::encode_sweep_request(&sweep_request("fuzz"));
+        let at = at.min(valid.len());
+        let cut = cut.clamp(at, valid.len());
+        let mut mutated = String::new();
+        mutated.push_str(&valid[..floor_char(&valid, at)]);
+        mutated.push_str(&String::from_utf8_lossy(&splice));
+        mutated.push_str(&valid[floor_char(&valid, cut)..]);
+        match proto::decode_request(&mutated) {
+            Ok(_) => {}
+            Err(e) => prop_assert_eq!(e.kind(), "io"),
+        }
+    }
+
+    /// Structured fuzz over the envelope fields: every combination of
+    /// version, type, id, and spec decodes or fails typed, and a sweep
+    /// can only decode when the spec object is real.
+    #[test]
+    fn fuzzed_envelopes_decode_or_fail_typed(
+        v in 0usize..4,
+        kind in 0usize..5,
+        id_len in 0usize..40,
+        spec in 0usize..4,
+    ) {
+        let v = ["1", "2", "null", "\"x\""][v];
+        let kind = ["sweep", "metrics", "ping", "warp", ""][kind];
+        let spec = ["{}", "null", "[]", "{\"designs\": []}"][spec];
+        let id = "x".repeat(id_len);
+        let line = format!(
+            "{{\"v\": {v}, \"type\": \"{kind}\", \"id\": {}, \"spec\": {spec}}}",
+            json::escape(&id),
+        );
+        match proto::decode_request(&line) {
+            Ok(Request::Sweep(_)) => prop_assert!(false, "no fuzzed spec above is valid: {line}"),
+            Ok(_) => prop_assert!(kind == "metrics" || kind == "ping"),
+            Err(e) => prop_assert_eq!(e.kind(), "io"),
+        }
+    }
+}
+
+/// Largest char-boundary offset `<= at` — splice points land between
+/// characters, not inside a multi-byte sequence.
+fn floor_char(s: &str, at: usize) -> usize {
+    let mut at = at.min(s.len());
+    while !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Four concurrent identical requests: every response is byte-identical
+/// and the shared cache coalesces or re-serves stage artifacts across
+/// requests (nonzero hits + coalesced waits).
+#[test]
+fn concurrent_duplicates_are_byte_identical_and_coalesce() {
+    let server = Server::start(ServeConfig {
+        executors: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let reports: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    client::run_sweep(&addr, &sweep_request(&format!("dup-{i}")))
+                        .expect("sweep succeeds")
+                        .report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    for r in &reports[1..] {
+        assert_eq!(
+            r, &reports[0],
+            "duplicate requests must agree byte-for-byte"
+        );
+    }
+    let m = server.metrics();
+    let hits = m
+        .get("cache_hits")
+        .and_then(Value::as_f64)
+        .expect("cache_hits");
+    let coalesced = m
+        .get("cache_coalesced")
+        .and_then(Value::as_f64)
+        .expect("cache_coalesced");
+    assert!(
+        hits + coalesced > 0.0,
+        "identical concurrent requests must share stage artifacts (hits={hits}, coalesced={coalesced})"
+    );
+    assert_eq!(m.get("completed").and_then(Value::as_f64), Some(4.0));
+    server.shutdown();
+}
+
+/// A connection that never sends a request is dropped at the handshake
+/// deadline and counted — it cannot hold a connection thread hostage.
+#[test]
+fn silent_connection_is_dropped_at_the_handshake_deadline() {
+    let server = Server::start(ServeConfig {
+        hello_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let t0 = Instant::now();
+    let mut conn = TcpStream::connect(server.addr).expect("connect");
+    let mut buf = [0u8; 64];
+    // Silent: never write. The daemon must close the connection.
+    use std::io::Read;
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "dropped too early: {elapsed:?}"
+    );
+    assert!(elapsed < Duration::from_secs(10), "hello deadline ignored");
+    let m = server.metrics();
+    assert_eq!(m.get("hello_timeouts").and_then(Value::as_f64), Some(1.0));
+    server.shutdown();
+}
+
+/// With a zero-length queue every sweep submission sheds immediately
+/// with a typed `overloaded` frame carrying the retry hint — the
+/// daemon never stalls the accept path to absorb load.
+#[test]
+fn zero_queue_daemon_sheds_with_retry_hint() {
+    let server = Server::start(ServeConfig {
+        admission: hlstb_serve::AdmissionConfig {
+            max_queue: 0,
+            retry_after: Duration::from_millis(250),
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    });
+    let err =
+        client::run_sweep(&server.addr(), &sweep_request("shed-me")).expect_err("must be shed");
+    let msg = err.message().to_string();
+    assert!(msg.contains("overloaded"), "typed kind in {msg}");
+    assert!(msg.contains("retry after 250 ms"), "retry hint in {msg}");
+    // Control requests bypass admission and still work under shed.
+    let m = server.metrics();
+    assert_eq!(m.get("shed").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(m.get("accepted").and_then(Value::as_f64), Some(0.0));
+    server.shutdown();
+}
+
+/// Garbage on the wire earns a typed `bad_request` frame and the
+/// connection survives to serve a well-formed request afterwards.
+#[test]
+fn bad_request_is_typed_and_the_connection_survives() {
+    let server = Server::start(ServeConfig::default());
+    let mut conn = TcpStream::connect(server.addr).expect("connect");
+    conn.write_all(b"}{ total garbage\n").expect("send garbage");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut frame = String::new();
+    reader.read_line(&mut frame).expect("error frame");
+    let v = json::parse(&frame).expect("frame parses");
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("error"));
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("bad_request"));
+    // Same connection, now a valid ping.
+    conn.write_all((proto::encode_ping_request() + "\n").as_bytes())
+        .expect("send ping");
+    frame.clear();
+    reader.read_line(&mut frame).expect("pong frame");
+    let v = json::parse(&frame).expect("pong parses");
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("pong"));
+    server.shutdown();
+}
+
+/// Drain initiated while a request is in flight: the request still
+/// resolves with its result frame and the daemon exits 0.
+#[test]
+fn drain_finishes_inflight_requests() {
+    let server = Server::start(ServeConfig::default());
+    let mut conn = TcpStream::connect(server.addr).expect("connect");
+    let mut line = proto::encode_sweep_request(&sweep_request("drain-race"));
+    line.push('\n');
+    conn.write_all(line.as_bytes()).expect("send");
+    let mut reader = BufReader::new(conn);
+    let mut frame = String::new();
+    reader.read_line(&mut frame).expect("accepted frame");
+    let v = json::parse(&frame).expect("frame parses");
+    assert_eq!(v.get("type").and_then(Value::as_str), Some("accepted"));
+    // The request is admitted; drain must not abandon it.
+    server.stop.store(true, Ordering::SeqCst);
+    let mut saw_result = false;
+    loop {
+        frame.clear();
+        if reader.read_line(&mut frame).unwrap_or(0) == 0 {
+            break;
+        }
+        let v = json::parse(&frame).expect("frame parses");
+        if v.get("type").and_then(Value::as_str) == Some("result") {
+            saw_result = true;
+            break;
+        }
+    }
+    assert!(saw_result, "drain abandoned an accepted request");
+    server
+        .handle
+        .join()
+        .expect("daemon thread")
+        .expect("drain exits cleanly");
+}

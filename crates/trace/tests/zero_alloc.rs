@@ -30,8 +30,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// `ALLOCATIONS` counts every thread's allocations, and the companion
+/// test below really does allocate (it records), so the two tests must
+/// never overlap — libtest runs them on parallel threads by default.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn disabled_tracing_allocates_nothing_on_the_hot_path() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     hlstb_trace::set_enabled(false);
     hlstb_trace::events::set_enabled(false);
     // Warm up thread-locals and lazy statics outside the window.
@@ -76,6 +82,7 @@ fn enabled_tracing_actually_records() {
     // collector is on (so the zero-alloc test is not vacuous). Runs in
     // the same process as the test above; order is irrelevant because
     // this test snapshots only its own names.
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     hlstb_trace::set_enabled(true);
     {
         let _span = hlstb_trace::span("zero_alloc.enabled_probe");

@@ -1,7 +1,7 @@
 # `just ci` = the full tier-1 gate; individual recipes for local loops.
 
 # Everything CI checks, in order.
-ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke sweep-workers-smoke sweep-tcp-smoke events-smoke soa-equiv perf-floor
+ci: build test fmt clippy trace-smoke sweep-smoke sweep-fault-smoke sweep-workers-smoke sweep-tcp-smoke serve-smoke events-smoke soa-equiv perf-floor
 
 # Release build (the tier-1 compile gate), all members and binaries.
 build:
@@ -149,6 +149,75 @@ sweep-tcp-smoke: build
     ! grep -q " 0 reissued," tcp_killed_summary.txt
     rm -f tcp_serial.json tcp_sharded.json tcp_summary.txt \
         tcp_killed.json tcp_killed_summary.txt
+
+# Serve smoke: one persistent daemon answers four concurrent identical
+# sweep requests byte-identically (and identically to a local sweep)
+# with nonzero cross-request cache hits, drains cleanly on SIGTERM, and
+# replays a kill-9'd journal byte-identically on restart.
+serve-smoke: build
+    #!/usr/bin/env sh
+    set -eu
+    rm -f serve_journal.jsonl serve_crash_journal.jsonl
+    ./target/release/hlstb serve --listen 127.0.0.1:0 \
+        --journal serve_journal.jsonl 2>serve_log.txt &
+    serve_pid=$!
+    serve_addr=""
+    for _ in $(seq 50); do
+        serve_addr=$(sed -n 's/^serve: listening on //p' serve_log.txt | head -1)
+        if [ -n "$serve_addr" ]; then break; fi
+        sleep 0.1
+    done
+    test -n "$serve_addr"
+    client_pids=""
+    for i in 1 2 3 4; do
+        ./target/release/hlstb serve-client --connect "$serve_addr" \
+            --id "smoke-$i" --designs figure1,tseng \
+            --strategies none,full-scan,bist-shared --grade 64 \
+            >"serve_out_$i.json" 2>/dev/null &
+        client_pids="$client_pids $!"
+    done
+    for p in $client_pids; do wait "$p"; done
+    cmp serve_out_1.json serve_out_2.json
+    cmp serve_out_1.json serve_out_3.json
+    cmp serve_out_1.json serve_out_4.json
+    ./target/release/hlstb sweep --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 \
+        --json >serve_local.json
+    cmp serve_out_1.json serve_local.json
+    ./target/release/hlstb serve-client --connect "$serve_addr" --metrics \
+        >serve_metrics.json
+    grep -q '"cache_hits"' serve_metrics.json
+    ! grep -q '"cache_hits": 0,' serve_metrics.json
+    grep -q '"completed": 4,' serve_metrics.json
+    kill -TERM $serve_pid
+    wait $serve_pid
+    grep "drained cleanly" serve_log.txt
+    HLSTB_SERVE_FAIL="abort-after-accept:smoke-1" ./target/release/hlstb serve \
+        --listen 127.0.0.1:0 --journal serve_crash_journal.jsonl \
+        2>serve_crash_log.txt &
+    serve_pid=$!
+    serve_addr=""
+    for _ in $(seq 50); do
+        serve_addr=$(sed -n 's/^serve: listening on //p' serve_crash_log.txt | head -1)
+        if [ -n "$serve_addr" ]; then break; fi
+        sleep 0.1
+    done
+    test -n "$serve_addr"
+    ! ./target/release/hlstb serve-client --connect "$serve_addr" \
+        --id smoke-1 --designs figure1,tseng \
+        --strategies none,full-scan,bist-shared --grade 64 >/dev/null 2>&1
+    wait $serve_pid || true
+    grep -q '"kind": "accepted"' serve_crash_journal.jsonl
+    ! grep -q '"kind": "completed"' serve_crash_journal.jsonl
+    ./target/release/hlstb serve --journal serve_crash_journal.jsonl --replay-only
+    grep '"kind": "completed"' serve_crash_journal.jsonl >serve_replayed.line
+    grep '"id": "smoke-1"' serve_journal.jsonl \
+        | grep '"kind": "completed"' >serve_baseline.line
+    cmp serve_replayed.line serve_baseline.line
+    rm -f serve_journal.jsonl serve_crash_journal.jsonl serve_log.txt \
+        serve_crash_log.txt serve_out_1.json serve_out_2.json \
+        serve_out_3.json serve_out_4.json serve_local.json \
+        serve_metrics.json serve_replayed.line serve_baseline.line
 
 # Events smoke: journal the tiny sweep at 1 thread uncached and 4
 # threads cached; the canonical projections must be byte-identical and

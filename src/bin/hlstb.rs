@@ -50,11 +50,15 @@ fn parse_list<T>(
 }
 
 const USAGE: &str =
-    "usage: hlstb <list|table1|synth|sweep|sgraph|cdfg|trace-check|trace-view|perf-diff> [args]
+    "usage: hlstb <list|table1|synth|sweep|serve|sgraph|cdfg|trace-check|trace-view|perf-diff> [args]
   list                          available benchmark designs
   table1                        the survey's Table 1
   synth <design> [options]      run the synthesis flow, print the report
   sweep [options]               explore a design space (see sweep options)
+  serve [options]               persistent sweep daemon over TCP (see
+                                serve options)
+  serve-client [options]        submit one sweep to a running daemon and
+                                print the canonical report
   sgraph <design> [options]     register S-graph as Graphviz DOT
   cdfg <design> [--text]        behavior as Graphviz DOT (or pseudo-code)
   trace-check <file> [span...]  validate a Chrome trace file, requiring
@@ -126,9 +130,41 @@ sweep options (axes are comma-separated lists; defaults in parentheses):
                             across thread counts and cache settings
   --progress   live progress meter on stderr (points/s, ETA, cache rate)
   plus --trace / --trace-metrics / --trace-summary as above
+serve options:
+  --listen <addr>         bind address (default 127.0.0.1:0; the bound
+                          address is printed as `serve: listening on …`)
+  --journal <file>        crash-safe JSONL request journal; on restart,
+                          accepted-but-unfinished requests replay with
+                          byte-identical result frames
+  --replay-only           replay the journal's unfinished requests,
+                          then exit without listening
+  --max-queue <N>         queued-request bound before `overloaded`
+                          shedding (default 32)
+  --max-inflight-points <N>  summed point budget across concurrently
+                          executing requests (default 4096)
+  --retry-after-ms <N>    retry hint on `overloaded` frames (500)
+  --executors <N>         concurrent request executors (2)
+  --cache-entries <N>     per-stage cache entry cap (1024)
+  --cache-bytes <N>       total cache byte cap (64 MiB)
+  --hello-timeout-ms <N>  drop connections silent past this before
+                          their first request (10000)
+serve-client options:
+  --connect <addr>        daemon address (required)
+  --id <id>               request id echoed on every frame (cli)
+  --deadline-ms <N>       end-to-end deadline measured from admission
+  --metrics | --ping      print one control reply instead of sweeping
+  plus the sweep axis flags: --designs/--schedulers/--policies/
+  --strategies/--widths/--grade/--reset-controller, and
+  --point-budget-ms/--retries/--no-cache as above
 environment:
   HLSTB_FAIL_POINT   inject deterministic point failures, e.g.
-                     \"panic:1,4;stall:2;flaky:3\" (testing/CI)
+                     \"panic:1,4;stall:2;flaky:3\" (testing/CI);
+                     \"io:N\" fails point N's checkpoint append instead,
+                     degrading the run to checkpoint-less
+  HLSTB_SERVE_FAIL   \"abort-after-accept:<id>\": the serve daemon
+                     aborts (as if kill -9) the instant request <id>
+                     is dequeued — its accepted record is journaled,
+                     nothing more (testing/CI)
   HLSTB_WORKER_FAIL  kill sweep worker W after it emits K points, e.g.
                      \"1:2\"; the coordinator re-issues its leases
 sweep-worker options:
@@ -504,6 +540,169 @@ fn run(args: &[String]) -> Result<(), String> {
             None => std::process::exit(hlstb_dse::worker::worker_main()),
             Some(other) => Err(format!("unknown sweep-worker option {other}\n{USAGE}")),
         },
+        // The persistent synthesis-as-a-service daemon: accepts
+        // newline-framed JSON sweep requests over TCP, shares one
+        // bounded artifact cache across requests, journals accepted
+        // requests for kill-9 replay, and drains cleanly on SIGTERM.
+        "serve" => {
+            let mut cfg = hlstb_serve::ServeConfig::default();
+            let mut i = 1;
+            while i < args.len() {
+                let key = args[i].as_str();
+                if key == "--replay-only" {
+                    cfg.replay_only = true;
+                    i += 1;
+                    continue;
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))?;
+                let num = |what: &str| -> Result<u64, String> {
+                    value.parse().map_err(|_| format!("bad {what} {value}"))
+                };
+                match key {
+                    "--listen" => cfg.listen = value.clone(),
+                    "--journal" => cfg.journal = Some(std::path::PathBuf::from(value)),
+                    "--max-queue" => cfg.admission.max_queue = num("queue bound")? as usize,
+                    "--max-inflight-points" => {
+                        cfg.admission.max_inflight_points = num("point cap")? as usize;
+                    }
+                    "--retry-after-ms" => {
+                        cfg.admission.retry_after =
+                            std::time::Duration::from_millis(num("retry hint")?);
+                    }
+                    "--executors" => cfg.executors = num("executor count")? as usize,
+                    "--cache-entries" => {
+                        cfg.cache_bounds.max_entries = Some(num("entry cap")? as usize);
+                    }
+                    "--cache-bytes" => cfg.cache_bounds.max_bytes = Some(num("byte cap")?),
+                    "--hello-timeout-ms" => {
+                        cfg.hello_timeout = std::time::Duration::from_millis(num("timeout")?);
+                    }
+                    other => return Err(format!("unknown option {other}\n{USAGE}")),
+                }
+                i += 2;
+            }
+            let replay_only = cfg.replay_only;
+            let daemon = hlstb_serve::Daemon::bind(cfg).map_err(|e| e.to_string())?;
+            if !replay_only {
+                let bound = daemon.local_addr().map_err(|e| e.to_string())?;
+                eprintln!("serve: listening on {bound}");
+            }
+            daemon.run().map_err(|e| e.to_string())
+        }
+        // The matching client: builds a sweep request from the same
+        // axis flags as `sweep`, submits it to a running daemon, and
+        // prints the canonical report (or a metrics/ping reply).
+        "serve-client" => {
+            let mut spec = SweepSpec::all_benchmarks();
+            let mut opts = SweepOptions::default();
+            let mut connect: Option<String> = None;
+            let mut id = String::from("cli");
+            let mut deadline: Option<std::time::Duration> = None;
+            let mut metrics = false;
+            let mut ping = false;
+            let mut i = 1;
+            while i < args.len() {
+                let key = args[i].as_str();
+                match key {
+                    "--metrics" => {
+                        metrics = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--ping" => {
+                        ping = true;
+                        i += 1;
+                        continue;
+                    }
+                    "--no-cache" => {
+                        opts.cache = false;
+                        i += 1;
+                        continue;
+                    }
+                    "--reset-controller" => {
+                        spec.reset_controller = true;
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))?;
+                match key {
+                    "--connect" => connect = Some(value.clone()),
+                    "--id" => id = value.clone(),
+                    "--designs" => {
+                        spec.designs = value
+                            .split(',')
+                            .map(|n| find_design(n.trim()).ok_or_else(|| unknown_design(n.trim())))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--schedulers" => {
+                        spec.schedulers = parse_list(value, parse_scheduler, "scheduler")?;
+                    }
+                    "--policies" => spec.policies = parse_list(value, parse_policy, "policy")?,
+                    "--strategies" => {
+                        spec.strategies = parse_list(value, parse_strategy, "strategy")?;
+                    }
+                    "--widths" => {
+                        spec.widths = parse_list(value, |w| w.parse().ok(), "width")?;
+                    }
+                    "--grade" => {
+                        spec.patterns = parse_list(value, |p| p.parse().ok(), "pattern count")?;
+                    }
+                    "--point-budget-ms" => {
+                        let ms: u64 = value
+                            .parse()
+                            .map_err(|_| format!("bad point budget {value}"))?;
+                        opts.point_budget = Some(std::time::Duration::from_millis(ms));
+                    }
+                    "--retries" => {
+                        opts.retries = value
+                            .parse()
+                            .map_err(|_| format!("bad retry count {value}"))?;
+                    }
+                    "--deadline-ms" => {
+                        let ms: u64 = value.parse().map_err(|_| format!("bad deadline {value}"))?;
+                        deadline = Some(std::time::Duration::from_millis(ms));
+                    }
+                    other => return Err(format!("unknown option {other}\n{USAGE}")),
+                }
+                i += 2;
+            }
+            let addr = connect.ok_or_else(|| "serve-client needs --connect <addr>".to_string())?;
+            if metrics {
+                let frame = hlstb_serve::client::control(
+                    &addr,
+                    &hlstb_serve::proto::encode_metrics_request(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("{frame}");
+                return Ok(());
+            }
+            if ping {
+                let frame =
+                    hlstb_serve::client::control(&addr, &hlstb_serve::proto::encode_ping_request())
+                        .map_err(|e| e.to_string())?;
+                println!("{frame}");
+                return Ok(());
+            }
+            let req = hlstb_serve::SweepRequest {
+                id,
+                spec,
+                opts,
+                deadline,
+            };
+            let out = hlstb_serve::client::run_sweep(&addr, &req).map_err(|e| e.to_string())?;
+            println!("{}", out.report);
+            eprintln!(
+                "serve-client: `{}` done ({} progress frame(s))",
+                req.id, out.progress_frames
+            );
+            Ok(())
+        }
         "cdfg" => {
             let name = args.get(1).ok_or(USAGE)?;
             let cdfg = find_design(name).ok_or_else(|| unknown_design(name))?;
